@@ -1,0 +1,113 @@
+//! The CSB / AXI4-Lite register window.
+//!
+//! Software controls the device exclusively through 32-bit register
+//! accesses: identification, status, the fault-injection block and the
+//! command FIFO through which execution plans are streamed.
+
+use nvfi_compiler::regmap;
+
+use crate::error::AccelError;
+use crate::fi::FaultInjectorBank;
+
+/// The register space of the emulated device.
+#[derive(Clone, Debug, Default)]
+pub struct CsbSpace {
+    /// The fault-injection block registers.
+    pub fi: FaultInjectorBank,
+    /// Command FIFO contents (descriptor words).
+    pub cmd_fifo: Vec<u32>,
+    /// Status register value (bit 0 = done, bit 1 = error).
+    pub status: u32,
+}
+
+impl CsbSpace {
+    /// Creates an idle register space.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Handles a register write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::BadRegister`] for unmapped addresses.
+    pub fn write(&mut self, addr: u32, value: u32) -> Result<(), AccelError> {
+        if self.fi.write(addr, value) {
+            return Ok(());
+        }
+        match addr {
+            regmap::REG_CMD_RESET => {
+                self.cmd_fifo.clear();
+                Ok(())
+            }
+            regmap::REG_CMD_DATA => {
+                self.cmd_fifo.push(value);
+                Ok(())
+            }
+            regmap::REG_CTRL => Ok(()), // start bit handled by the engine
+            regmap::REG_STATUS => {
+                self.status = value;
+                Ok(())
+            }
+            _ => Err(AccelError::BadRegister { addr }),
+        }
+    }
+
+    /// Handles a register read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::BadRegister`] for unmapped addresses.
+    pub fn read(&self, addr: u32) -> Result<u32, AccelError> {
+        if let Some(v) = self.fi.read(addr) {
+            return Ok(v);
+        }
+        match addr {
+            regmap::REG_ID => Ok(regmap::ID_VALUE),
+            regmap::REG_STATUS => Ok(self.status),
+            regmap::REG_CMD_DATA => Ok(self.cmd_fifo.len() as u32),
+            _ => Err(AccelError::BadRegister { addr }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_register_reads_back() {
+        let csb = CsbSpace::new();
+        assert_eq!(csb.read(regmap::REG_ID).unwrap(), regmap::ID_VALUE);
+    }
+
+    #[test]
+    fn cmd_fifo_accumulates_and_resets() {
+        let mut csb = CsbSpace::new();
+        csb.write(regmap::REG_CMD_DATA, 1).unwrap();
+        csb.write(regmap::REG_CMD_DATA, 2).unwrap();
+        assert_eq!(csb.cmd_fifo, vec![1, 2]);
+        csb.write(regmap::REG_CMD_RESET, 0).unwrap();
+        assert!(csb.cmd_fifo.is_empty());
+    }
+
+    #[test]
+    fn unmapped_register_errors() {
+        let mut csb = CsbSpace::new();
+        assert!(matches!(
+            csb.write(0xDEAD, 0),
+            Err(AccelError::BadRegister { addr: 0xDEAD })
+        ));
+        assert!(csb.read(0xBEEF).is_err());
+    }
+
+    #[test]
+    fn fi_registers_routed_to_bank() {
+        let mut csb = CsbSpace::new();
+        csb.write(regmap::REG_FI_SEL_A, 0xF).unwrap();
+        csb.write(regmap::REG_FI_CTRL, 1).unwrap();
+        assert!(csb.fi.enabled);
+        assert_eq!(csb.fi.sel, 0xF);
+    }
+}

@@ -1,0 +1,151 @@
+//! Byte-addressable DRAM model with access accounting.
+
+use crate::error::AccelError;
+
+/// The emulated DRAM: a flat byte array plus read/write byte counters used
+/// by the performance model.
+#[derive(Clone, Debug)]
+pub struct Dram {
+    data: Vec<u8>,
+    bytes_read: u64,
+    bytes_written: u64,
+}
+
+impl Dram {
+    /// Allocates a zeroed DRAM of `capacity` bytes.
+    #[must_use]
+    pub fn new(capacity: u64) -> Self {
+        Dram { data: vec![0; capacity as usize], bytes_read: 0, bytes_written: 0 }
+    }
+
+    /// Capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Total bytes read since the last [`Dram::reset_counters`].
+    #[must_use]
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Total bytes written since the last [`Dram::reset_counters`].
+    #[must_use]
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Clears the access counters.
+    pub fn reset_counters(&mut self) {
+        self.bytes_read = 0;
+        self.bytes_written = 0;
+    }
+
+    fn check(&self, addr: u64, len: u64) -> Result<(usize, usize), AccelError> {
+        let end = addr.checked_add(len).ok_or(AccelError::DramOutOfBounds {
+            addr,
+            len,
+            capacity: self.capacity(),
+        })?;
+        if end > self.capacity() {
+            return Err(AccelError::DramOutOfBounds { addr, len, capacity: self.capacity() });
+        }
+        Ok((addr as usize, end as usize))
+    }
+
+    /// Reads `len` bytes as i8.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::DramOutOfBounds`] on a bad range.
+    pub fn read_i8(&mut self, addr: u64, len: u64) -> Result<Vec<i8>, AccelError> {
+        let (a, b) = self.check(addr, len)?;
+        self.bytes_read += len;
+        Ok(self.data[a..b].iter().map(|&v| v as i8).collect())
+    }
+
+    /// Writes an i8 slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::DramOutOfBounds`] on a bad range.
+    pub fn write_i8(&mut self, addr: u64, bytes: &[i8]) -> Result<(), AccelError> {
+        let (a, b) = self.check(addr, bytes.len() as u64)?;
+        self.bytes_written += bytes.len() as u64;
+        for (dst, &src) in self.data[a..b].iter_mut().zip(bytes) {
+            *dst = src as u8;
+        }
+        Ok(())
+    }
+
+    /// Reads `count` little-endian i32 words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::DramOutOfBounds`] on a bad range.
+    pub fn read_i32(&mut self, addr: u64, count: usize) -> Result<Vec<i32>, AccelError> {
+        let (a, b) = self.check(addr, count as u64 * 4)?;
+        self.bytes_read += count as u64 * 4;
+        Ok(self.data[a..b]
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    /// Writes little-endian i32 words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::DramOutOfBounds`] on a bad range.
+    pub fn write_i32(&mut self, addr: u64, words: &[i32]) -> Result<(), AccelError> {
+        let (a, _) = self.check(addr, words.len() as u64 * 4)?;
+        self.bytes_written += words.len() as u64 * 4;
+        for (i, &w) in words.iter().enumerate() {
+            self.data[a + i * 4..a + i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i8_roundtrip() {
+        let mut d = Dram::new(64);
+        d.write_i8(8, &[-1, 2, -3]).unwrap();
+        assert_eq!(d.read_i8(8, 3).unwrap(), vec![-1, 2, -3]);
+    }
+
+    #[test]
+    fn i32_roundtrip_little_endian() {
+        let mut d = Dram::new(64);
+        d.write_i32(0, &[-2, 0x01020304]).unwrap();
+        assert_eq!(d.read_i32(0, 2).unwrap(), vec![-2, 0x01020304]);
+        // LE byte order check.
+        assert_eq!(d.read_i8(4, 1).unwrap(), vec![4]);
+    }
+
+    #[test]
+    fn bounds_enforced() {
+        let mut d = Dram::new(16);
+        assert!(d.write_i8(15, &[0, 0]).is_err());
+        assert!(d.read_i32(14, 1).is_err());
+        assert!(d.read_i8(u64::MAX, 2).is_err(), "overflowing range must fail");
+        let err = d.read_i8(20, 1).unwrap_err();
+        assert!(err.to_string().contains("out of bounds"));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut d = Dram::new(64);
+        d.write_i8(0, &[1; 10]).unwrap();
+        let _ = d.read_i8(0, 4).unwrap();
+        assert_eq!(d.bytes_written(), 10);
+        assert_eq!(d.bytes_read(), 4);
+        d.reset_counters();
+        assert_eq!(d.bytes_written(), 0);
+    }
+}

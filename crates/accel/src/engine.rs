@@ -1,0 +1,515 @@
+//! The execution engine: runs compiled plans on the modelled datapath.
+
+use nvfi_compiler::plan::{ConvOp, ExecutionPlan, LinearOp, PlanOp, PoolKind, PoolOp, RegWrite};
+use nvfi_compiler::surface;
+use nvfi_hwnum::{sat, I18};
+use nvfi_quant::exec::{pdp_global_avg, sdp_postprocess};
+use nvfi_tensor::{conv, pool, ConvGeom, Shape4, Tensor};
+use std::ops::Range;
+
+use crate::csb::CsbSpace;
+use crate::dram::Dram;
+use crate::error::AccelError;
+use crate::fi::FaultConfig;
+use crate::perf::{self, AccelConfig, PerfReport};
+
+/// How convolutions are evaluated functionally.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Every product goes through its injector mux; honours bit-granular
+    /// faults and transient windows. Slow — ground truth.
+    Exact,
+    /// Clean GEMM plus per-faulted-lane algebraic corrections. Only valid
+    /// for permanent full-lane overrides; errors otherwise.
+    Fast,
+    /// Use `Fast` whenever the programmed faults allow it, else `Exact`.
+    #[default]
+    Auto,
+}
+
+/// What happens on multiplier lanes whose channel index exceeds the layer's
+/// channel count (partial channel blocks).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum IdleLanePolicy {
+    /// Idle lanes multiply zeros — their (overridable!) products still enter
+    /// the adder tree, as in CMAC's zero-padded atomic ops. Default.
+    #[default]
+    ZeroFed,
+    /// Idle lanes are clock-gated: no product, faults have no effect there.
+    Gated,
+}
+
+/// Result of one inference.
+#[derive(Clone, Debug)]
+pub struct InferenceResult {
+    /// Raw i32 logits read back from DRAM.
+    pub logits: Vec<i32>,
+    /// Argmax class.
+    pub class: u8,
+    /// Cycle/latency model output for this inference.
+    pub perf: PerfReport,
+}
+
+/// The emulated accelerator device.
+#[derive(Clone, Debug)]
+pub struct Accelerator {
+    config: AccelConfig,
+    csb: CsbSpace,
+    dram: Dram,
+    plan: Option<ExecutionPlan>,
+    /// Functional MAC-array cycle counter (atomic ops retired); used to gate
+    /// transient fault windows in exact mode.
+    cycle: u64,
+}
+
+impl Accelerator {
+    /// Creates a device with the given configuration.
+    #[must_use]
+    pub fn new(config: AccelConfig) -> Self {
+        Accelerator {
+            config,
+            csb: CsbSpace::new(),
+            dram: Dram::new(config.dram_capacity),
+            plan: None,
+            cycle: 0,
+        }
+    }
+
+    /// The device configuration.
+    #[must_use]
+    pub fn config(&self) -> &AccelConfig {
+        &self.config
+    }
+
+    /// CSB register write (AXI4-Lite).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::BadRegister`] for unmapped addresses.
+    pub fn csb_write(&mut self, addr: u32, value: u32) -> Result<(), AccelError> {
+        self.csb.write(addr, value)
+    }
+
+    /// CSB register read (AXI4-Lite).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::BadRegister`] for unmapped addresses.
+    pub fn csb_read(&self, addr: u32) -> Result<u32, AccelError> {
+        self.csb.read(addr)
+    }
+
+    /// Host DMA into DRAM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::DramOutOfBounds`] on a bad range.
+    pub fn dma_write(&mut self, addr: u64, bytes: &[i8]) -> Result<(), AccelError> {
+        self.dram.write_i8(addr, bytes)
+    }
+
+    /// Host DMA out of DRAM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::DramOutOfBounds`] on a bad range.
+    pub fn dma_read(&mut self, addr: u64, len: u64) -> Result<Vec<i8>, AccelError> {
+        self.dram.read_i8(addr, len)
+    }
+
+    /// Flips one bit of DRAM — a memory single-event upset (SEU). Pointing
+    /// this at a weight region emulates weight-memory faults, complementing
+    /// the datapath injectors (part of the paper's "study the impact of
+    /// introducing various FT mechanisms" future-work agenda).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::DramOutOfBounds`] if `addr` is outside DRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 8`.
+    pub fn flip_dram_bit(&mut self, addr: u64, bit: u8) -> Result<(), AccelError> {
+        assert!(bit < 8, "bit index {bit} out of a byte");
+        let byte = self.dram.read_i8(addr, 1)?[0];
+        self.dram.write_i8(addr, &[byte ^ (1 << bit)])
+    }
+
+    /// Loads a compiled plan: validates it against the DRAM capacity and
+    /// preloads the packed weight regions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::BadPlan`] if the plan does not fit.
+    pub fn load_plan(&mut self, plan: &ExecutionPlan) -> Result<(), AccelError> {
+        if plan.dram_size > self.config.dram_capacity {
+            return Err(AccelError::BadPlan(format!(
+                "plan needs {} bytes, device has {}",
+                plan.dram_size, self.config.dram_capacity
+            )));
+        }
+        for (addr, bytes) in &plan.weight_image {
+            self.dram.write_i8(*addr, bytes)?;
+        }
+        self.plan = Some(plan.clone());
+        self.cycle = 0;
+        Ok(())
+    }
+
+    /// Loads a plan that was streamed into the command FIFO as register
+    /// writes (see [`nvfi_compiler::plan::encode_reg_stream`]). Weights must
+    /// be DMA'd separately, exactly as a real driver would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::BadPlan`] if the FIFO contents do not decode.
+    pub fn commit_cmd_fifo(&mut self) -> Result<(), AccelError> {
+        let plan = nvfi_compiler::plan::decode_words(&self.csb.cmd_fifo)
+            .map_err(|e| AccelError::BadPlan(e.to_string()))?;
+        if plan.dram_size > self.config.dram_capacity {
+            return Err(AccelError::BadPlan("plan exceeds dram".into()));
+        }
+        self.plan = Some(plan);
+        self.cycle = 0;
+        Ok(())
+    }
+
+    /// Applies the register writes of `stream` (FI programming, command
+    /// FIFO, ...) in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing write.
+    pub fn apply_reg_stream(&mut self, stream: &[RegWrite]) -> Result<(), AccelError> {
+        for w in stream {
+            self.csb_write(w.addr, w.value)?;
+        }
+        Ok(())
+    }
+
+    /// Programs a fault configuration through the CSB registers.
+    pub fn inject(&mut self, fault: &FaultConfig) {
+        for w in fault.reg_writes() {
+            self.csb.write(w.addr, w.value).expect("FI registers are mapped");
+        }
+    }
+
+    /// Disables all fault injection.
+    pub fn clear_faults(&mut self) {
+        self.csb.fi = crate::fi::FaultInjectorBank::new();
+    }
+
+    /// Restricts injection to a cycle window (a transient / "pulse" fault).
+    /// Only honoured in [`ExecMode::Exact`]; `Auto` falls back to exact
+    /// while a window is set.
+    pub fn set_fault_window(&mut self, window: Option<Range<u64>>) {
+        self.csb.fi.window = window;
+    }
+
+    /// The functional MAC-array cycle counter.
+    #[must_use]
+    pub fn mac_cycles_retired(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Quantizes, runs and classifies one f32 image (shape `(1, C, H, W)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::NoPlan`] without a loaded plan, or any engine
+    /// error.
+    pub fn run_inference(&mut self, image: &Tensor<f32>) -> Result<InferenceResult, AccelError> {
+        let plan = self.plan.as_ref().ok_or(AccelError::NoPlan)?;
+        let scale = plan.input_scale;
+        let qimg = image.map(|v| sat::quantize_f32_to_i8(v, scale));
+        self.run_inference_i8(&qimg)
+    }
+
+    /// Runs one pre-quantized i8 image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::NoPlan`] without a loaded plan, or any engine
+    /// error.
+    pub fn run_inference_i8(&mut self, image: &Tensor<i8>) -> Result<InferenceResult, AccelError> {
+        let plan = self.plan.clone().ok_or(AccelError::NoPlan)?;
+        let s = image.shape();
+        if s.with_n(1) != plan.input_shape.with_n(1) {
+            return Err(AccelError::BadPlan(format!(
+                "input {s} does not match plan input {}",
+                plan.input_shape
+            )));
+        }
+        // Host writes the input surface.
+        let packed = surface::pack_surface(&image.slice_image(0));
+        self.dram.write_i8(plan.input_addr, &packed)?;
+        // Execute ops.
+        for op in &plan.ops {
+            match op {
+                PlanOp::Conv(c) => self.exec_conv(c)?,
+                PlanOp::Pool(p) => self.exec_pool(p)?,
+                PlanOp::Linear(l) => self.exec_linear(l)?,
+            }
+        }
+        let logits = self.dram.read_i32(plan.output_addr, plan.num_classes)?;
+        let class = nvfi_quant::exec::argmax(&logits);
+        let perf = perf::plan_report(&plan, self.config.clock_hz);
+        Ok(InferenceResult { logits, class, perf })
+    }
+
+    /// Classifies a batch of f32 images, one inference each.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first engine error.
+    pub fn classify_batch(&mut self, images: &Tensor<f32>) -> Result<Vec<u8>, AccelError> {
+        let mut out = Vec::with_capacity(images.shape().n);
+        for n in 0..images.shape().n {
+            let img = images.slice_image(n);
+            out.push(self.run_inference(&img)?.class);
+        }
+        Ok(out)
+    }
+
+    /// Top-1 accuracy over a labelled set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first engine error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != images.shape().n`.
+    pub fn accuracy(
+        &mut self,
+        images: &Tensor<f32>,
+        labels: &[u8],
+    ) -> Result<f64, AccelError> {
+        assert_eq!(images.shape().n, labels.len());
+        if labels.is_empty() {
+            return Ok(0.0);
+        }
+        let preds = self.classify_batch(images)?;
+        let correct = preds.iter().zip(labels).filter(|(p, y)| p == y).count();
+        Ok(correct as f64 / labels.len() as f64)
+    }
+
+    // -- internal op execution ---------------------------------------------
+
+    fn effective_exact(&self) -> Result<bool, AccelError> {
+        let fi = &self.csb.fi;
+        let needs_exact = fi.any_active() && (!fi.is_full_override() || fi.window.is_some());
+        match self.config.mode {
+            ExecMode::Exact => Ok(true),
+            ExecMode::Fast => {
+                if needs_exact {
+                    Err(AccelError::FastPathUnsupported)
+                } else {
+                    Ok(false)
+                }
+            }
+            ExecMode::Auto => Ok(needs_exact),
+        }
+    }
+
+    fn exec_conv(&mut self, op: &ConvOp) -> Result<(), AccelError> {
+        let g = op.geom;
+        let in_bytes = surface::surface_bytes(g.input.c, g.input.h, g.input.w) as u64;
+        let input =
+            surface::unpack_surface(&self.dram.read_i8(op.input_addr, in_bytes)?, g.input);
+        let w_bytes = surface::weight_bytes(g.k, g.input.c, g.r, g.s) as u64;
+        let weights = surface::unpack_weights(
+            &self.dram.read_i8(op.weight_addr, w_bytes)?,
+            g.weight_shape(),
+        );
+        let acc = if self.effective_exact()? {
+            self.conv_exact(&input, &weights, &g)
+        } else {
+            let mut acc = conv::conv2d_i8(&input, &weights, &g, 1);
+            self.cycle +=
+                (g.oh * g.ow * g.k.div_ceil(8) * g.input.c.div_ceil(8) * g.r * g.s) as u64;
+            if self.csb.fi.any_active() {
+                self.apply_fast_corrections(&mut acc, &input, &weights, &g);
+            }
+            acc
+        };
+        // SDP: bias, requant, optional residual add, relu, saturate.
+        let out_shape = Shape4::new(1, g.k, g.oh, g.ow);
+        let residual = match op.fuse_add_addr {
+            Some(addr) => {
+                let bytes = surface::surface_bytes(g.k, g.oh, g.ow) as u64;
+                Some(surface::unpack_surface(&self.dram.read_i8(addr, bytes)?, out_shape))
+            }
+            None => None,
+        };
+        let mut out = Tensor::<i8>::zeros(out_shape);
+        for k in 0..g.k {
+            let rq = op.requant_for(k);
+            for y in 0..g.oh {
+                for x in 0..g.ow {
+                    let a = acc.at(0, k, y, x).wrapping_add(op.bias[k]);
+                    let res = residual
+                        .as_ref()
+                        .map(|r| (r.at(0, k, y, x), op.add_requant.expect("add requant")));
+                    out.set(0, k, y, x, sdp_postprocess(a, rq, res, op.relu));
+                }
+            }
+        }
+        self.dram.write_i8(op.output_addr, &surface::pack_surface(&out))
+    }
+
+    /// Ground-truth convolution: every product through its injector mux.
+    /// Schedule (defines the cycle numbering for transient windows):
+    /// kernel-group -> output row -> output col -> channel-block -> tap.
+    fn conv_exact(
+        &mut self,
+        input: &Tensor<i8>,
+        weights: &Tensor<i8>,
+        g: &ConvGeom,
+    ) -> Tensor<i32> {
+        let gated = self.config.idle_lanes == IdleLanePolicy::Gated;
+        let (kg_n, cb_n) = (g.k.div_ceil(8), g.input.c.div_ceil(8));
+        let mut acc = Tensor::<i32>::zeros(Shape4::new(1, g.k, g.oh, g.ow));
+        for kg in 0..kg_n {
+            for oy in 0..g.oh {
+                for ox in 0..g.ow {
+                    for cb in 0..cb_n {
+                        for r in 0..g.r {
+                            for s in 0..g.s {
+                                self.cycle += 1;
+                                let iy = (oy * g.stride + r) as isize - g.pad as isize;
+                                let ix = (ox * g.stride + s) as isize - g.pad as isize;
+                                let in_bounds = iy >= 0
+                                    && ix >= 0
+                                    && iy < g.input.h as isize
+                                    && ix < g.input.w as isize;
+                                for m in 0..8usize {
+                                    let k = kg * 8 + m;
+                                    if k >= g.k {
+                                        continue; // kernel-tail MAC output discarded
+                                    }
+                                    let mut psum = 0i32;
+                                    for j in 0..8usize {
+                                        let c = cb * 8 + j;
+                                        let idle = c >= g.input.c;
+                                        if idle && gated {
+                                            continue;
+                                        }
+                                        let a = if idle || !in_bounds {
+                                            0i8
+                                        } else {
+                                            input.at(0, c, iy as usize, ix as usize)
+                                        };
+                                        let w = if idle { 0i8 } else { weights.at(k, c, r, s) };
+                                        let p = self.csb.fi.apply(
+                                            m * 8 + j,
+                                            I18::from_product(a, w),
+                                            self.cycle,
+                                        );
+                                        psum = psum.wrapping_add(p.value());
+                                    }
+                                    let cur = acc.at(0, k, oy, ox);
+                                    acc.set(0, k, oy, ox, cur.wrapping_add(psum));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        acc
+    }
+
+    /// Fast-path correction: for each faulted lane, replace its clean
+    /// contribution with `forced_value * #products`. Exactly equal to the
+    /// exact path for permanent full-lane overrides (see the property
+    /// tests).
+    fn apply_fast_corrections(
+        &self,
+        acc: &mut Tensor<i32>,
+        input: &Tensor<i8>,
+        weights: &Tensor<i8>,
+        g: &ConvGeom,
+    ) {
+        let fi = &self.csb.fi;
+        let v = i64::from(fi.forced_value());
+        let gated = self.config.idle_lanes == IdleLanePolicy::Gated;
+        let cb_n = g.input.c.div_ceil(8);
+        for lane in fi.selected_lanes() {
+            let (m, j) = (lane.mac as usize, lane.mult as usize);
+            let real_blocks =
+                if j < g.input.c { (g.input.c - 1 - j) / 8 + 1 } else { 0 };
+            let blocks = if gated { real_blocks } else { cb_n };
+            let nprod = (blocks * g.r * g.s) as i64;
+            let mut k = m;
+            while k < g.k {
+                for oy in 0..g.oh {
+                    for ox in 0..g.ow {
+                        let mut lanesum = 0i64;
+                        let mut c = j;
+                        while c < g.input.c {
+                            for r in 0..g.r {
+                                for s in 0..g.s {
+                                    let iy = (oy * g.stride + r) as isize - g.pad as isize;
+                                    let ix = (ox * g.stride + s) as isize - g.pad as isize;
+                                    if iy >= 0
+                                        && ix >= 0
+                                        && iy < g.input.h as isize
+                                        && ix < g.input.w as isize
+                                    {
+                                        lanesum += i64::from(input.at(0, c, iy as usize, ix as usize))
+                                            * i64::from(weights.at(k, c, r, s));
+                                    }
+                                }
+                            }
+                            c += 8;
+                        }
+                        let corr = (v * nprod - lanesum) as i32;
+                        let cur = acc.at(0, k, oy, ox);
+                        acc.set(0, k, oy, ox, cur.wrapping_add(corr));
+                    }
+                }
+                k += 8;
+            }
+        }
+    }
+
+    fn exec_pool(&mut self, op: &PoolOp) -> Result<(), AccelError> {
+        let s = op.in_shape;
+        let bytes = surface::surface_bytes(s.c, s.h, s.w) as u64;
+        let input = surface::unpack_surface(&self.dram.read_i8(op.input_addr, bytes)?, s);
+        let out = match op.kind {
+            PoolKind::Max => pool::maxpool2d(&input, op.k, op.stride),
+            PoolKind::GlobalAvg => pdp_global_avg(&input),
+        };
+        self.dram.write_i8(op.output_addr, &surface::pack_surface(&out))
+    }
+
+    fn exec_linear(&mut self, op: &LinearOp) -> Result<(), AccelError> {
+        let in_shape = Shape4::new(1, op.in_f, 1, 1);
+        let bytes = surface::surface_bytes(op.in_f, 1, 1) as u64;
+        let input = surface::unpack_surface(&self.dram.read_i8(op.input_addr, bytes)?, in_shape);
+        let w_bytes = surface::weight_bytes(op.out_f, op.in_f, 1, 1) as u64;
+        let weights = surface::unpack_weights(
+            &self.dram.read_i8(op.weight_addr, w_bytes)?,
+            Shape4::new(op.out_f, op.in_f, 1, 1),
+        );
+        // The head runs on the same MAC array as a 1x1 convolution over a
+        // 1x1 spatial extent — faults apply here too.
+        let g = ConvGeom::new(in_shape, op.out_f, 1, 1, 1, 0);
+        let acc = if self.effective_exact()? {
+            self.conv_exact(&input, &weights, &g)
+        } else {
+            let mut acc = conv::conv2d_i8(&input, &weights, &g, 1);
+            self.cycle += (g.k.div_ceil(8) * g.input.c.div_ceil(8)) as u64;
+            if self.csb.fi.any_active() {
+                self.apply_fast_corrections(&mut acc, &input, &weights, &g);
+            }
+            acc
+        };
+        let logits: Vec<i32> = (0..op.out_f)
+            .map(|o| acc.at(0, o, 0, 0).wrapping_add(op.bias[o]))
+            .collect();
+        self.dram.write_i32(op.output_addr, &logits)
+    }
+}

@@ -1,0 +1,67 @@
+//! The emulated NVDLA-style int8 CNN inference accelerator with
+//! per-multiplier fault injection — the hardware half of the DATE 2025
+//! platform, reproduced as a bit- and mapping-faithful simulator.
+//!
+//! # Microarchitecture
+//!
+//! The modelled datapath follows the paper's Fig. 1:
+//!
+//! * **CMAC**: 8 MAC units x 8 signed 8-bit multipliers. In one atomic op
+//!   (one cycle) the array consumes one 8-channel activation word and an
+//!   8x8 weight block, producing 8 partial sums. MAC unit `m` serves output
+//!   channel `k` with `k % 8 == m`; multiplier `j` serves input channel `c`
+//!   with `c % 8 == j`. The same physical multiplier is reused by every
+//!   layer — the essential coupling that graph-level fault injection cannot
+//!   express.
+//! * **Fault injectors**: every multiplier output is an 18-bit lane with a
+//!   per-wire override mux (`out[i] = fsel[i] ? fdata[i] : product[i]`),
+//!   selected per multiplier by the 64-bit `sel_a:sel_b` register pair and
+//!   programmed over the CSB/AXI4-Lite window ([`csb`]).
+//! * **CACC/SDP/PDP**: i32 accumulation, then bias / fixed-point
+//!   requantization / optional residual add / ReLU (shared, bit-exact code
+//!   with the CPU reference in `nvfi-quant`), and pooling.
+//! * **DRAM**: a byte-addressable memory holding packed feature surfaces
+//!   and weights ([`dram`]), with access counters for the performance model.
+//!
+//! # Execution modes
+//!
+//! [`ExecMode::Exact`] pushes every single product through the injector
+//! muxes — the ground truth, and required for bit-granular faults or
+//! transient ("pulse") fault windows. [`ExecMode::Fast`] computes the clean
+//! convolution with GEMM and applies an algebraically identical correction
+//! per faulted lane; it is only valid for full-lane overrides (the paper's
+//! 0 / +1 / -1 experiments) and the two modes are property-tested equal.
+//! [`ExecMode::Auto`] picks per fault configuration.
+//!
+//! # Examples
+//!
+//! ```
+//! use nvfi_accel::{Accelerator, AccelConfig, FaultConfig, FaultKind};
+//! use nvfi_compiler::regmap::MultId;
+//!
+//! # fn demo(plan: &nvfi_compiler::ExecutionPlan, image: &nvfi_tensor::Tensor<f32>)
+//! #     -> Result<(), nvfi_accel::AccelError> {
+//! let mut accel = Accelerator::new(AccelConfig::default());
+//! accel.load_plan(plan)?;
+//! // Stuck-at-0 on the last multiplier of MAC unit 1:
+//! accel.inject(&FaultConfig::new(vec![MultId::new(0, 7)], FaultKind::StuckAtZero));
+//! let result = accel.run_inference(image)?;
+//! println!("class {} in {:.3} ms", result.class, result.perf.latency_ms());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csb;
+pub mod dram;
+mod engine;
+mod error;
+pub mod fi;
+pub mod perf;
+
+pub use engine::{Accelerator, ExecMode, IdleLanePolicy, InferenceResult};
+pub use error::AccelError;
+pub use fi::{FaultConfig, FaultKind};
+pub use perf::{AccelConfig, PerfReport, CLOCK_HZ_DEFAULT};

@@ -1,0 +1,462 @@
+//! The load-bearing correctness tests of the whole platform:
+//!
+//! 1. with no faults, the accelerator model matches the CPU reference
+//!    executor **bit-exactly**;
+//! 2. the fast fault path matches the exact (per-product) path for every
+//!    full-lane-override fault;
+//! 3. register-level fault programming is equivalent to the high-level API;
+//! 4. fault effects are confined to the mapped output channels.
+
+use nvfi_accel::{AccelConfig, Accelerator, ExecMode, FaultConfig, FaultKind, IdleLanePolicy};
+use nvfi_compiler::regmap::{self, MultId};
+use nvfi_dataset::{SynthCifar, SynthCifarConfig};
+use nvfi_nn::fold::fold_resnet;
+use nvfi_nn::resnet::ResNet;
+use nvfi_quant::{quantize, QuantConfig, QuantModel};
+use nvfi_tensor::Tensor;
+
+fn build_model(width: usize, seed: u64) -> (QuantModel, nvfi_dataset::TrainTest) {
+    let data = SynthCifar::new(SynthCifarConfig { train: 16, test: 8, ..Default::default() })
+        .generate();
+    let net = ResNet::new(width, &[1, 1], 10, seed);
+    let deploy = fold_resnet(&net, 32);
+    let q = quantize(&deploy, &data.train.images, &QuantConfig::default()).unwrap();
+    (q, data)
+}
+
+fn accel_with(q: &QuantModel, mode: ExecMode, idle: IdleLanePolicy) -> Accelerator {
+    let plan = nvfi_compiler::compile(q, nvfi_compiler::lower::DEFAULT_DRAM_CAPACITY).unwrap();
+    let mut a = Accelerator::new(AccelConfig { mode, idle_lanes: idle, ..Default::default() });
+    a.load_plan(&plan).unwrap();
+    a
+}
+
+#[test]
+fn fault_free_accel_matches_cpu_reference_bit_exactly() {
+    let (q, data) = build_model(4, 3);
+    let mut accel = accel_with(&q, ExecMode::Auto, IdleLanePolicy::ZeroFed);
+    for n in 0..data.test.len() {
+        let img = data.test.images.slice_image(n);
+        let want = nvfi_quant::exec::forward(&q, &q.quantize_input(&img), 1);
+        let got = accel.run_inference(&img).unwrap();
+        assert_eq!(got.logits, want[0], "image {n}");
+    }
+}
+
+#[test]
+fn fault_free_exact_mode_also_matches_cpu_reference() {
+    let (q, data) = build_model(4, 5);
+    let mut accel = accel_with(&q, ExecMode::Exact, IdleLanePolicy::ZeroFed);
+    let img = data.test.images.slice_image(0);
+    let want = nvfi_quant::exec::forward(&q, &q.quantize_input(&img), 1);
+    let got = accel.run_inference(&img).unwrap();
+    assert_eq!(got.logits, want[0]);
+}
+
+#[test]
+fn exact_gated_also_matches_cpu_reference_when_fault_free() {
+    // Without faults, zero-fed idle lanes contribute zero products, so both
+    // policies equal the reference.
+    let (q, data) = build_model(4, 7);
+    let mut accel = accel_with(&q, ExecMode::Exact, IdleLanePolicy::Gated);
+    let img = data.test.images.slice_image(1);
+    let want = nvfi_quant::exec::forward(&q, &q.quantize_input(&img), 1);
+    let got = accel.run_inference(&img).unwrap();
+    assert_eq!(got.logits, want[0]);
+}
+
+#[test]
+fn fast_equals_exact_for_full_override_faults() {
+    let (q, data) = build_model(4, 11);
+    // A spread of fault configurations across values and lane positions,
+    // including multi-lane sets.
+    let cases: Vec<(Vec<MultId>, FaultKind)> = vec![
+        (vec![MultId::new(0, 0)], FaultKind::StuckAtZero),
+        (vec![MultId::new(0, 7)], FaultKind::Constant(-1)),
+        (vec![MultId::new(3, 2)], FaultKind::Constant(1)),
+        (vec![MultId::new(7, 7)], FaultKind::Constant(131071)),
+        (vec![MultId::new(5, 1)], FaultKind::Constant(-131072)),
+        (
+            vec![MultId::new(0, 1), MultId::new(2, 6), MultId::new(4, 4)],
+            FaultKind::Constant(-1),
+        ),
+        (MultId::all().collect(), FaultKind::StuckAtZero),
+    ];
+    for idle in [IdleLanePolicy::ZeroFed, IdleLanePolicy::Gated] {
+        for (targets, kind) in &cases {
+            let mut exact = accel_with(&q, ExecMode::Exact, idle);
+            let mut fast = accel_with(&q, ExecMode::Fast, idle);
+            let cfg = FaultConfig::new(targets.clone(), *kind);
+            exact.inject(&cfg);
+            fast.inject(&cfg);
+            for n in 0..3 {
+                let img = data.test.images.slice_image(n);
+                let a = exact.run_inference(&img).unwrap();
+                let b = fast.run_inference(&img).unwrap();
+                assert_eq!(
+                    a.logits, b.logits,
+                    "targets {targets:?} kind {kind:?} idle {idle:?} image {n}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn register_programming_equals_api_injection() {
+    let (q, data) = build_model(4, 13);
+    let cfg = FaultConfig::new(vec![MultId::new(1, 7), MultId::new(6, 0)], FaultKind::Constant(1));
+
+    let mut via_api = accel_with(&q, ExecMode::Auto, IdleLanePolicy::ZeroFed);
+    via_api.inject(&cfg);
+
+    let mut via_regs = accel_with(&q, ExecMode::Auto, IdleLanePolicy::ZeroFed);
+    // Program the same thing with raw AXI4-Lite writes.
+    let sel: u64 = (1 << MultId::new(1, 7).lane()) | (1 << MultId::new(6, 0).lane());
+    via_regs.csb_write(regmap::REG_FI_SEL_A, sel as u32).unwrap();
+    via_regs.csb_write(regmap::REG_FI_SEL_B, (sel >> 32) as u32).unwrap();
+    via_regs.csb_write(regmap::REG_FI_FSEL, 0x3FFFF).unwrap();
+    via_regs.csb_write(regmap::REG_FI_FDATA, 1).unwrap();
+    via_regs.csb_write(regmap::REG_FI_CTRL, 1).unwrap();
+
+    let img = data.test.images.slice_image(0);
+    assert_eq!(
+        via_api.run_inference(&img).unwrap().logits,
+        via_regs.run_inference(&img).unwrap().logits
+    );
+}
+
+#[test]
+fn faults_actually_corrupt_outputs() {
+    let (q, data) = build_model(4, 17);
+    let mut clean = accel_with(&q, ExecMode::Auto, IdleLanePolicy::ZeroFed);
+    let mut faulty = accel_with(&q, ExecMode::Auto, IdleLanePolicy::ZeroFed);
+    faulty.inject(&FaultConfig::new(
+        MultId::all().collect(),
+        FaultKind::Constant(131071),
+    ));
+    let img = data.test.images.slice_image(0);
+    let a = clean.run_inference(&img).unwrap();
+    let b = faulty.run_inference(&img).unwrap();
+    assert_ne!(a.logits, b.logits, "an all-lane max-value fault must corrupt the logits");
+}
+
+#[test]
+fn clear_faults_restores_clean_behaviour() {
+    let (q, data) = build_model(4, 19);
+    let mut accel = accel_with(&q, ExecMode::Auto, IdleLanePolicy::ZeroFed);
+    let img = data.test.images.slice_image(2);
+    let clean = accel.run_inference(&img).unwrap().logits;
+    accel.inject(&FaultConfig::new(vec![MultId::new(2, 2)], FaultKind::StuckAtZero));
+    let _ = accel.run_inference(&img).unwrap();
+    accel.clear_faults();
+    assert_eq!(accel.run_inference(&img).unwrap().logits, clean);
+}
+
+#[test]
+fn fast_mode_rejects_partial_overrides() {
+    let (q, data) = build_model(4, 23);
+    let mut accel = accel_with(&q, ExecMode::Fast, IdleLanePolicy::ZeroFed);
+    accel.inject(&FaultConfig::new(
+        vec![MultId::new(0, 0)],
+        FaultKind::StuckBits { fsel: 1 << 17, fdata: 1 << 17 },
+    ));
+    let img = data.test.images.slice_image(0);
+    assert!(matches!(
+        accel.run_inference(&img),
+        Err(nvfi_accel::AccelError::FastPathUnsupported)
+    ));
+}
+
+#[test]
+fn flip_bits_fault_is_an_involution() {
+    // Running with a flip fault twice in a row gives the same (faulted)
+    // result, and the faulted result differs from clean; flipping the same
+    // wires via two stacked runs is not expressible, but the injector-level
+    // involution is covered in unit tests — here we check end-to-end effect
+    // and Auto-mode routing to the exact engine.
+    let (q, data) = build_model(4, 43);
+    let img = data.test.images.slice_image(0);
+    let mut clean = accel_with(&q, ExecMode::Auto, IdleLanePolicy::ZeroFed);
+    let clean_logits = clean.run_inference(&img).unwrap().logits;
+
+    let cfg = FaultConfig::new(vec![MultId::new(0, 0)], FaultKind::FlipBits { mask: 1 << 16 });
+    let mut auto = accel_with(&q, ExecMode::Auto, IdleLanePolicy::ZeroFed);
+    let mut exact = accel_with(&q, ExecMode::Exact, IdleLanePolicy::ZeroFed);
+    auto.inject(&cfg);
+    exact.inject(&cfg);
+    let a = auto.run_inference(&img).unwrap().logits;
+    let e = exact.run_inference(&img).unwrap().logits;
+    assert_eq!(a, e, "Auto must route flip faults through the exact engine");
+    assert_ne!(a, clean_logits, "a bit-16 flip on a busy lane must be visible");
+
+    // Fast mode must refuse.
+    let mut fast = accel_with(&q, ExecMode::Fast, IdleLanePolicy::ZeroFed);
+    fast.inject(&cfg);
+    assert!(matches!(
+        fast.run_inference(&img),
+        Err(nvfi_accel::AccelError::FastPathUnsupported)
+    ));
+}
+
+#[test]
+fn auto_mode_handles_bit_faults_via_exact_path() {
+    let (q, data) = build_model(4, 29);
+    let mut auto = accel_with(&q, ExecMode::Auto, IdleLanePolicy::ZeroFed);
+    let mut exact = accel_with(&q, ExecMode::Exact, IdleLanePolicy::ZeroFed);
+    let cfg = FaultConfig::new(
+        vec![MultId::new(0, 0)],
+        FaultKind::StuckBits { fsel: 1 << 17, fdata: 1 << 17 }, // sign wire stuck at 1
+    );
+    auto.inject(&cfg);
+    exact.inject(&cfg);
+    let img = data.test.images.slice_image(0);
+    assert_eq!(
+        auto.run_inference(&img).unwrap().logits,
+        exact.run_inference(&img).unwrap().logits
+    );
+}
+
+#[test]
+fn single_lane_fault_in_single_conv_touches_only_mapped_channels() {
+    // Build a single-conv network by hand and verify the mapping invariant:
+    // a fault on MAC m only perturbs output channels k with k % 8 == m.
+    use nvfi_hwnum::Requant;
+    use nvfi_quant::{QConv, QOp, QOpKind, QLinear};
+    use nvfi_tensor::{Mat, Shape4};
+
+    let k = 16usize;
+    let c = 8usize;
+    let weight = Tensor::from_fn(Shape4::new(k, c, 3, 3), |k, c, r, s| {
+        (((k * 31 + c * 17 + r * 5 + s) % 11) as i8) - 5
+    });
+    let q = QuantModel {
+        input_shape: Shape4::new(1, c, 8, 8),
+        input_scale: 0.05,
+        ops: vec![
+            QOp {
+                input: 0,
+                kind: QOpKind::Conv(QConv {
+                    weight,
+                    bias: vec![0; k],
+                    stride: 1,
+                    pad: 1,
+                    relu: false,
+                    fuse_add: None,
+                    requant: vec![Requant::from_scale(0.02).unwrap()],
+                    add_requant: None,
+                    out_scale: 0.1,
+                }),
+                out_scale: 0.1,
+            },
+            QOp { input: 1, kind: QOpKind::GlobalAvgPool, out_scale: 0.1 },
+            QOp {
+                input: 2,
+                kind: QOpKind::Linear(QLinear {
+                    weight: Mat::from_vec(2, k, vec![1i8; 2 * k]),
+                    bias: vec![0; 2],
+                    out_scale: 0.1,
+                }),
+                out_scale: 0.1,
+            },
+        ],
+        output: 3,
+    };
+    let plan = nvfi_compiler::compile(&q, nvfi_compiler::lower::DEFAULT_DRAM_CAPACITY).unwrap();
+    let img = Tensor::from_fn(Shape4::new(1, c, 8, 8), |_, c, h, w| {
+        ((c * 13 + h * 3 + w) % 17) as f32 * 0.01
+    });
+
+    // Read the conv output surface directly for clean vs faulted runs.
+    let conv_out_addr = match &plan.ops[0] {
+        nvfi_compiler::PlanOp::Conv(cv) => cv.output_addr,
+        _ => unreachable!(),
+    };
+    let surf_bytes = nvfi_compiler::surface::surface_bytes(k, 8, 8) as u64;
+    let out_shape = Shape4::new(1, k, 8, 8);
+
+    let mut clean = Accelerator::new(AccelConfig::default());
+    clean.load_plan(&plan).unwrap();
+    clean.run_inference(&img).unwrap();
+    let clean_surface = clean.dma_read(conv_out_addr, surf_bytes).unwrap();
+    let clean_out = nvfi_compiler::surface::unpack_surface(&clean_surface, out_shape);
+
+    let target_mac = 3u8;
+    let mut faulty = Accelerator::new(AccelConfig::default());
+    faulty.load_plan(&plan).unwrap();
+    faulty.inject(&FaultConfig::new(
+        vec![MultId::new(target_mac, 5)],
+        FaultKind::Constant(-1),
+    ));
+    faulty.run_inference(&img).unwrap();
+    let f_surface = faulty.dma_read(conv_out_addr, surf_bytes).unwrap();
+    let fault_out = nvfi_compiler::surface::unpack_surface(&f_surface, out_shape);
+
+    let mut touched = Vec::new();
+    for kk in 0..k {
+        let differs = (0..8).any(|h| {
+            (0..8).any(|w| clean_out.at(0, kk, h, w) != fault_out.at(0, kk, h, w))
+        });
+        if differs {
+            touched.push(kk);
+        }
+        if kk % 8 != target_mac as usize {
+            assert!(!differs, "channel {kk} not mapped to MAC {target_mac} but changed");
+        }
+    }
+    assert!(!touched.is_empty(), "fault had no visible effect");
+    assert!(touched.iter().all(|kk| kk % 8 == target_mac as usize));
+}
+
+#[test]
+fn idle_lane_policy_matters_for_narrow_layers() {
+    // The 3-channel stem leaves lanes 3..8 idle. A fault on an idle lane
+    // corrupts ZeroFed results but not Gated results *in the stem*; use a
+    // single-conv model so only the stem exists.
+    use nvfi_hwnum::Requant;
+    use nvfi_quant::{QConv, QOp, QOpKind, QLinear};
+    use nvfi_tensor::{Mat, Shape4};
+
+    // 6 output channels keep lane 6 idle in the linear head too (its input
+    // width is 6, so multiplier 6 never sees a real channel anywhere).
+    let weight = Tensor::from_fn(Shape4::new(6, 3, 3, 3), |k, c, r, s| {
+        (((k * 7 + c * 3 + r + s) % 9) as i8) - 4
+    });
+    let q = QuantModel {
+        input_shape: Shape4::new(1, 3, 8, 8),
+        input_scale: 0.05,
+        ops: vec![
+            QOp {
+                input: 0,
+                kind: QOpKind::Conv(QConv {
+                    weight,
+                    bias: vec![0; 6],
+                    stride: 1,
+                    pad: 1,
+                    relu: false,
+                    fuse_add: None,
+                    requant: vec![Requant::from_scale(0.05).unwrap()],
+                    add_requant: None,
+                    out_scale: 0.1,
+                }),
+                out_scale: 0.1,
+            },
+            QOp { input: 1, kind: QOpKind::GlobalAvgPool, out_scale: 0.1 },
+            QOp {
+                input: 2,
+                kind: QOpKind::Linear(QLinear {
+                    weight: Mat::from_vec(2, 6, (0..12).map(|v| v as i8 - 6).collect()),
+                    bias: vec![0; 2],
+                    out_scale: 0.1,
+                }),
+                out_scale: 0.1,
+            },
+        ],
+        output: 3,
+    };
+    let plan = nvfi_compiler::compile(&q, nvfi_compiler::lower::DEFAULT_DRAM_CAPACITY).unwrap();
+    let img = Tensor::from_fn(Shape4::new(1, 3, 8, 8), |_, c, h, w| {
+        ((c + h + w) % 5) as f32 * 0.02
+    });
+    // Fault an idle lane (mult 6 serves channels 6, 14, ... — none exist).
+    let cfg = FaultConfig::new(vec![MultId::new(0, 6)], FaultKind::Constant(1000));
+
+    let run = |idle: IdleLanePolicy, faulted: bool| {
+        let mut a = Accelerator::new(AccelConfig { idle_lanes: idle, ..Default::default() });
+        a.load_plan(&plan).unwrap();
+        if faulted {
+            a.inject(&cfg);
+        }
+        a.run_inference(&img).unwrap().logits
+    };
+
+    let clean = run(IdleLanePolicy::ZeroFed, false);
+    assert_eq!(clean, run(IdleLanePolicy::Gated, false));
+    // Gated: idle-lane fault is invisible.
+    assert_eq!(clean, run(IdleLanePolicy::Gated, true));
+    // ZeroFed: the forced products enter the adder tree.
+    assert_ne!(clean, run(IdleLanePolicy::ZeroFed, true));
+}
+
+#[test]
+fn transient_window_limits_fault_scope() {
+    let (q, data) = build_model(4, 31);
+    let img = data.test.images.slice_image(0);
+
+    let mut clean = accel_with(&q, ExecMode::Exact, IdleLanePolicy::ZeroFed);
+    let clean_logits = clean.run_inference(&img).unwrap().logits;
+    let total_cycles = clean.mac_cycles_retired();
+
+    // Window entirely after the run: no effect.
+    let mut late = accel_with(&q, ExecMode::Exact, IdleLanePolicy::ZeroFed);
+    late.inject(&FaultConfig::new(MultId::all().collect(), FaultKind::Constant(131071)));
+    late.set_fault_window(Some(total_cycles * 10..total_cycles * 11));
+    assert_eq!(late.run_inference(&img).unwrap().logits, clean_logits);
+
+    // Window covering the whole first inference: same as permanent.
+    let mut pulse = accel_with(&q, ExecMode::Exact, IdleLanePolicy::ZeroFed);
+    pulse.inject(&FaultConfig::new(MultId::all().collect(), FaultKind::Constant(131071)));
+    pulse.set_fault_window(Some(0..total_cycles + 1));
+    let mut permanent = accel_with(&q, ExecMode::Exact, IdleLanePolicy::ZeroFed);
+    permanent.inject(&FaultConfig::new(MultId::all().collect(), FaultKind::Constant(131071)));
+    assert_eq!(
+        pulse.run_inference(&img).unwrap().logits,
+        permanent.run_inference(&img).unwrap().logits
+    );
+}
+
+#[test]
+fn plan_via_command_fifo_matches_direct_load() {
+    let (q, data) = build_model(4, 37);
+    let plan = nvfi_compiler::compile(&q, nvfi_compiler::lower::DEFAULT_DRAM_CAPACITY).unwrap();
+
+    let mut direct = Accelerator::new(AccelConfig::default());
+    direct.load_plan(&plan).unwrap();
+
+    let mut streamed = Accelerator::new(AccelConfig::default());
+    streamed.apply_reg_stream(&nvfi_compiler::plan::encode_reg_stream(&plan)).unwrap();
+    streamed.commit_cmd_fifo().unwrap();
+    // Weights arrive by DMA, as a real driver would do it.
+    for (addr, bytes) in &plan.weight_image {
+        streamed.dma_write(*addr, bytes).unwrap();
+    }
+
+    let img = data.test.images.slice_image(0);
+    assert_eq!(
+        direct.run_inference(&img).unwrap().logits,
+        streamed.run_inference(&img).unwrap().logits
+    );
+}
+
+#[test]
+fn weight_memory_seu_perturbs_and_double_flip_restores() {
+    let (q, data) = build_model(4, 47);
+    let plan = nvfi_compiler::compile(&q, nvfi_compiler::lower::DEFAULT_DRAM_CAPACITY).unwrap();
+    let mut accel = Accelerator::new(AccelConfig::default());
+    accel.load_plan(&plan).unwrap();
+    let img = data.test.images.slice_image(0);
+    let clean = accel.run_inference(&img).unwrap().logits;
+
+    // Flip the MSB of a weight byte in the first conv's region.
+    let (addr, _) = &plan.weight_image[0];
+    accel.flip_dram_bit(*addr, 7).unwrap();
+    let faulted = accel.run_inference(&img).unwrap().logits;
+    assert_ne!(clean, faulted, "a weight-memory SEU must be visible");
+
+    // SEU is a bit flip: flipping again restores the original behaviour.
+    accel.flip_dram_bit(*addr, 7).unwrap();
+    assert_eq!(accel.run_inference(&img).unwrap().logits, clean);
+}
+
+#[test]
+fn perf_report_is_stable_and_fault_independent() {
+    let (q, data) = build_model(4, 41);
+    let mut a = accel_with(&q, ExecMode::Auto, IdleLanePolicy::ZeroFed);
+    let img = data.test.images.slice_image(0);
+    let r1 = a.run_inference(&img).unwrap().perf;
+    a.inject(&FaultConfig::new(vec![MultId::new(0, 0)], FaultKind::StuckAtZero));
+    let r2 = a.run_inference(&img).unwrap().perf;
+    // FI muxes are combinational: latency identical with and without faults.
+    assert_eq!(r1.total_cycles, r2.total_cycles);
+    assert!(r1.latency_ms() > 0.0);
+}

@@ -1,0 +1,133 @@
+//! Property-based equivalence: for random small convolution networks,
+//! random inputs and random full-override fault configurations, the fast
+//! (GEMM + correction) engine equals the exact (per-product mux) engine,
+//! and with no faults both equal the CPU reference executor.
+
+use nvfi_accel::{AccelConfig, Accelerator, ExecMode, FaultConfig, FaultKind, IdleLanePolicy};
+use nvfi_compiler::regmap::MultId;
+use nvfi_hwnum::Requant;
+use nvfi_quant::{QConv, QLinear, QOp, QOpKind, QuantModel};
+use nvfi_tensor::{Mat, Shape4, Tensor};
+use proptest::prelude::*;
+
+/// A random one-conv + pool + linear quantized model, input, and fault set.
+fn case() -> impl Strategy<
+    Value = (QuantModel, Tensor<f32>, Vec<MultId>, i32, bool),
+> {
+    (
+        1usize..12,  // input channels (exercises idle lanes)
+        1usize..14,  // output channels (exercises kernel tails)
+        4usize..7,   // spatial size
+        1usize..3,   // stride
+        0usize..2,   // pad
+        proptest::collection::vec(0usize..64, 1..5),
+        -131072i32..131072,
+        any::<bool>(),
+        any::<u64>(),
+    )
+        .prop_map(|(c, k, hw, stride, pad, lanes, value, gated, seed)| {
+            let r = 3.min(hw + 2 * pad);
+            let weight = Tensor::from_fn(Shape4::new(k, c, r, r), |k2, c2, r2, s2| {
+                (seed
+                    .wrapping_mul(0x9E37_79B9)
+                    .wrapping_add((k2 * 131 + c2 * 31 + r2 * 7 + s2) as u64)
+                    % 255) as i8
+            });
+            let model = QuantModel {
+                input_shape: Shape4::new(1, c, hw, hw),
+                input_scale: 0.05,
+                ops: vec![
+                    QOp {
+                        input: 0,
+                        kind: QOpKind::Conv(QConv {
+                            weight,
+                            bias: (0..k).map(|i| i as i32 * 3 - 5).collect(),
+                            stride,
+                            pad,
+                            relu: true,
+                            fuse_add: None,
+                            requant: vec![Requant::from_scale(0.01).unwrap()],
+                            add_requant: None,
+                            out_scale: 0.1,
+                        }),
+                        out_scale: 0.1,
+                    },
+                    QOp { input: 1, kind: QOpKind::GlobalAvgPool, out_scale: 0.1 },
+                    QOp {
+                        input: 2,
+                        kind: QOpKind::Linear(QLinear {
+                            weight: Mat::from_vec(
+                                3,
+                                k,
+                                (0..3 * k).map(|i| (i as i8).wrapping_mul(37)).collect(),
+                            ),
+                            bias: vec![7, -9, 0],
+                            out_scale: 0.1,
+                        }),
+                        out_scale: 0.1,
+                    },
+                ],
+                output: 3,
+            };
+            let image = Tensor::from_fn(Shape4::new(1, c, hw, hw), |_, c2, h2, w2| {
+                ((seed as usize + c2 * 17 + h2 * 5 + w2) % 40) as f32 * 0.05 - 0.5
+            });
+            let targets: Vec<MultId> = {
+                let mut t: Vec<MultId> = lanes.into_iter().map(MultId::from_lane).collect();
+                t.sort();
+                t.dedup();
+                t
+            };
+            (model, image, targets, value, gated)
+        })
+}
+
+fn run(model: &QuantModel, image: &Tensor<f32>, mode: ExecMode, gated: bool,
+       fault: Option<&FaultConfig>) -> Vec<i32> {
+    let plan = nvfi_compiler::compile(model, nvfi_compiler::lower::DEFAULT_DRAM_CAPACITY)
+        .expect("compiles");
+    let idle = if gated { IdleLanePolicy::Gated } else { IdleLanePolicy::ZeroFed };
+    let mut accel =
+        Accelerator::new(AccelConfig { mode, idle_lanes: idle, ..Default::default() });
+    accel.load_plan(&plan).expect("loads");
+    if let Some(f) = fault {
+        accel.inject(f);
+    }
+    accel.run_inference(image).expect("runs").logits
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fast_equals_exact_under_random_full_override_faults(
+        (model, image, targets, value, gated) in case()
+    ) {
+        let fault = FaultConfig::new(targets, FaultKind::Constant(value));
+        let exact = run(&model, &image, ExecMode::Exact, gated, Some(&fault));
+        let fast = run(&model, &image, ExecMode::Fast, gated, Some(&fault));
+        prop_assert_eq!(exact, fast);
+    }
+
+    #[test]
+    fn fault_free_engines_match_cpu_reference(
+        (model, image, _, _, gated) in case()
+    ) {
+        let want = nvfi_quant::exec::forward(&model, &model.quantize_input(&image), 1);
+        let exact = run(&model, &image, ExecMode::Exact, gated, None);
+        let fast = run(&model, &image, ExecMode::Fast, gated, None);
+        prop_assert_eq!(&exact, &want[0]);
+        prop_assert_eq!(&fast, &want[0]);
+    }
+
+    #[test]
+    fn stuck_at_zero_equals_constant_zero(
+        (model, image, targets, _, gated) in case()
+    ) {
+        let a = run(&model, &image, ExecMode::Auto, gated,
+            Some(&FaultConfig::new(targets.clone(), FaultKind::StuckAtZero)));
+        let b = run(&model, &image, ExecMode::Auto, gated,
+            Some(&FaultConfig::new(targets, FaultKind::Constant(0))));
+        prop_assert_eq!(a, b);
+    }
+}

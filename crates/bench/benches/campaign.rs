@@ -1,0 +1,44 @@
+//! Criterion bench behind Fig. 2 / Fig. 3: the cost of one fault-injection
+//! evaluation (program registers, run the evaluation set, read accuracy)
+//! and of fault (re)programming alone.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvfi::{EmulationPlatform, PlatformConfig};
+use nvfi_accel::{FaultConfig, FaultKind};
+use nvfi_bench::small_fixture;
+use nvfi_compiler::regmap::MultId;
+
+fn bench_single_fi_evaluation(c: &mut Criterion) {
+    let (q, data) = small_fixture();
+    let mut platform = EmulationPlatform::assemble(&q, PlatformConfig::default()).unwrap();
+    let eval = data.test.take(4);
+    let cfg = FaultConfig::new(vec![MultId::new(0, 7)], FaultKind::StuckAtZero);
+    let mut g = c.benchmark_group("campaign");
+    g.sample_size(10);
+    g.bench_function("one_fi_eval_4_images", |b| {
+        b.iter(|| {
+            platform.inject(&cfg);
+            let acc = platform.accuracy(&eval.images, &eval.labels).unwrap();
+            platform.clear_faults();
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_fault_programming(c: &mut Criterion) {
+    let (q, _) = small_fixture();
+    let mut platform = EmulationPlatform::assemble(&q, PlatformConfig::default()).unwrap();
+    let cfg = FaultConfig::new(MultId::all().collect(), FaultKind::Constant(-1));
+    let mut g = c.benchmark_group("campaign");
+    g.bench_function("program_fi_registers", |b| {
+        b.iter(|| {
+            platform.inject(&cfg);
+            platform.clear_faults();
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_single_fi_evaluation, bench_fault_programming);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench behind Table I's latency rows: the int8 CPU reference
+//! executor (1 and 4 threads) against the emulated accelerator's
+//! functional fast path. The accelerator's *FPGA* latency is a cycle model
+//! (reported by the `table1` binary); this bench measures the software
+//! cost of each engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvfi::{EmulationPlatform, PlatformConfig};
+use nvfi_bench::{medium_fixture, small_fixture};
+
+fn bench_cpu_reference(c: &mut Criterion) {
+    let (q, data) = medium_fixture();
+    let input = q.quantize_input(&data.test.images.slice_image(0));
+    let mut g = c.benchmark_group("table1_inference");
+    g.sample_size(10);
+    g.bench_function("cpu_int8_1thread_w16", |b| {
+        b.iter(|| nvfi_quant::exec::forward(&q, &input, 1))
+    });
+    g.bench_function("cpu_int8_4threads_w16", |b| {
+        b.iter(|| nvfi_quant::exec::forward(&q, &input, 4))
+    });
+    g.finish();
+}
+
+fn bench_accelerator_emulation(c: &mut Criterion) {
+    let (q, data) = small_fixture();
+    let mut platform = EmulationPlatform::assemble(&q, PlatformConfig::default()).unwrap();
+    let img = data.test.images.slice_image(0);
+    let mut g = c.benchmark_group("table1_inference");
+    g.sample_size(10);
+    g.bench_function("accel_fast_path_w4", |b| b.iter(|| platform.run(&img).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_cpu_reference, bench_accelerator_emulation);
+criterion_main!(benches);

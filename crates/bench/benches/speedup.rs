@@ -1,0 +1,32 @@
+//! Criterion bench behind the Sec. IV speedup claim: one network through
+//! (a) the emulator's fast path, (b) the cycle-driven systolic simulator
+//! (two conv layers, as SAFFIRA reports), and (c) graph-level software FI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvfi::{EmulationPlatform, PlatformConfig};
+use nvfi_bench::small_fixture;
+use nvfi_quant::swfi::GraphFault;
+
+fn bench_engines(c: &mut Criterion) {
+    let (q, data) = small_fixture();
+    let img_f32 = data.test.images.slice_image(0);
+    let img_i8 = q.quantize_input(&img_f32);
+    let mut platform = EmulationPlatform::assemble(&q, PlatformConfig::default()).unwrap();
+
+    let mut g = c.benchmark_group("speedup_engines");
+    g.sample_size(10);
+    g.bench_function("emulator_fast_path_full_net", |b| {
+        b.iter(|| platform.run(&img_f32).unwrap())
+    });
+    g.bench_function("systolic_cycle_sim_2_layers", |b| {
+        b.iter(|| nvfi_systolic::sim::simulate_first_convs(&q, &img_i8, 2, 8, &[]))
+    });
+    g.bench_function("graph_level_sw_fi_full_net", |b| {
+        let faults = [GraphFault::StuckZeroChannel { op: 0, channel: 0 }];
+        b.iter(|| nvfi_quant::exec::forward_with_graph_faults(&q, &img_i8, 1, &faults))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

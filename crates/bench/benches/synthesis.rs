@@ -1,0 +1,19 @@
+//! Criterion bench behind Table I's synthesis rows: building the
+//! structural netlists and the cost table. (Cheap — this guards against
+//! the cost model accidentally becoming expensive as variants grow.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvfi_synth::designs::{full_design, FiVariant, MultMapping};
+use nvfi_synth::table1_synthesis_rows;
+
+fn bench_netlist_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synthesis");
+    g.bench_function("full_design_variable_fi", |b| {
+        b.iter(|| full_design(FiVariant::Variable, MultMapping::Lut))
+    });
+    g.bench_function("table1_rows", |b| b.iter(table1_synthesis_rows));
+    g.finish();
+}
+
+criterion_group!(benches, bench_netlist_construction);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Runs every experiment in order (Table I, Fig. 2, Fig. 3, speedup) and
+//! writes all result files — the one-shot reproduction driver.
+//!
+//! Usage: `cargo run -p nvfi-bench --release --bin all`
+
+use nvfi::experiments::{run_fig2, run_fig3, run_speedup, run_table1, ExperimentConfig};
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    eprintln!("== Table I ==");
+    let t1 = run_table1(&cfg).expect("table1 failed");
+    print!("{t1}");
+    t1.save(&cfg.out_dir).expect("write table1");
+
+    eprintln!("== Fig. 2 ==");
+    let f2 = run_fig2(&cfg).expect("fig2 failed");
+    print!("{f2}");
+    f2.save(&cfg.out_dir).expect("write fig2");
+
+    eprintln!("== Fig. 3 ==");
+    let f3 = run_fig3(&cfg).expect("fig3 failed");
+    print!("{f3}");
+    f3.save(&cfg.out_dir).expect("write fig3");
+
+    eprintln!("== Speedup ==");
+    let sp = run_speedup(&cfg).expect("speedup failed");
+    print!("{sp}");
+    sp.save(&cfg.out_dir).expect("write speedup");
+
+    eprintln!("all results under {}", cfg.out_dir.display());
+}

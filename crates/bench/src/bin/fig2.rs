@@ -1,0 +1,19 @@
+//! Regenerates Fig. 2 (accuracy drop vs number of affected multipliers,
+//! injected values 0/+1/-1, random multiplier subsets).
+//!
+//! Usage: `cargo run -p nvfi-bench --release --bin fig2`
+//! Environment overrides: see `ExperimentConfig::from_env` (NVFI_*).
+
+use nvfi::experiments::{run_fig2, ExperimentConfig};
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let result = run_fig2(&cfg).expect("fig2 experiment failed");
+    print!("{result}");
+    println!(
+        "baseline int8 accuracy {:.1}% | {} fault injections | {:.1}s wall",
+        result.baseline_pct, result.total_fis, result.wall_seconds
+    );
+    result.save(&cfg.out_dir).expect("could not write results");
+    eprintln!("wrote {}/fig2.{{csv,json}}", cfg.out_dir.display());
+}

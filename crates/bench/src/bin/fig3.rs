@@ -1,0 +1,19 @@
+//! Regenerates Fig. 3 (8x8 accuracy-drop heat maps, one permanently faulted
+//! multiplier, injected values 0/+1/-1).
+//!
+//! Usage: `cargo run -p nvfi-bench --release --bin fig3`
+//! Environment overrides: see `ExperimentConfig::from_env` (NVFI_*).
+
+use nvfi::experiments::{run_fig3, ExperimentConfig};
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let result = run_fig3(&cfg).expect("fig3 experiment failed");
+    print!("{result}");
+    println!(
+        "baseline int8 accuracy {:.1}% | {:.1}s wall",
+        result.baseline_pct, result.wall_seconds
+    );
+    result.save(&cfg.out_dir).expect("could not write results");
+    eprintln!("wrote {}/fig3.{{csv,json}}", cfg.out_dir.display());
+}

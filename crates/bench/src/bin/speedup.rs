@@ -1,0 +1,15 @@
+//! Regenerates the Sec. IV speedup comparison: emulated-FPGA throughput vs
+//! cycle-driven software simulation (SAFFIRA-style) vs graph-level FI.
+//!
+//! Usage: `cargo run -p nvfi-bench --release --bin speedup`
+//! Environment overrides: see `ExperimentConfig::from_env` (NVFI_*).
+
+use nvfi::experiments::{run_speedup, ExperimentConfig};
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let result = run_speedup(&cfg).expect("speedup experiment failed");
+    print!("{result}");
+    result.save(&cfg.out_dir).expect("could not write results");
+    eprintln!("wrote {}/speedup.json", cfg.out_dir.display());
+}

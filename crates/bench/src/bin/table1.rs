@@ -1,0 +1,14 @@
+//! Regenerates Table I (inference latency + synthesis utilization).
+//!
+//! Usage: `cargo run -p nvfi-bench --release --bin table1`
+//! Environment overrides: see `ExperimentConfig::from_env` (NVFI_*).
+
+use nvfi::experiments::{run_table1, ExperimentConfig};
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let result = run_table1(&cfg).expect("table1 experiment failed");
+    print!("{result}");
+    result.save(&cfg.out_dir).expect("could not write results");
+    eprintln!("wrote {}/table1.{{csv,json}}", cfg.out_dir.display());
+}

@@ -1,0 +1,49 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! The binaries in `src/bin/` regenerate the paper's tables and figures
+//! (`table1`, `fig2`, `fig3`, `speedup`, or everything via `all`); the
+//! criterion benches in `benches/` measure the components those experiments
+//! are built from. Fixtures here are deliberately small so `cargo bench`
+//! finishes in minutes on one core — the *experiments* use the full-size
+//! configuration from `ExperimentConfig::from_env()`.
+
+use nvfi_dataset::{SynthCifar, SynthCifarConfig, TrainTest};
+use nvfi_nn::fold::fold_resnet;
+use nvfi_nn::resnet::ResNet;
+use nvfi_quant::{quantize, QuantConfig, QuantModel};
+
+/// A small quantized ResNet (width 4, one block per stage pair) and data,
+/// deterministic, untrained — enough for timing work.
+#[must_use]
+pub fn small_fixture() -> (QuantModel, TrainTest) {
+    let data = SynthCifar::new(SynthCifarConfig { train: 16, test: 16, ..Default::default() })
+        .generate();
+    let net = ResNet::new(4, &[1, 1], 10, 42);
+    let deploy = fold_resnet(&net, 32);
+    let q = quantize(&deploy, &data.train.images, &QuantConfig::default())
+        .expect("fixture quantizes");
+    (q, data)
+}
+
+/// A medium fixture: the default Table I width (16) full ResNet-18.
+#[must_use]
+pub fn medium_fixture() -> (QuantModel, TrainTest) {
+    let data = SynthCifar::new(SynthCifarConfig { train: 8, test: 8, ..Default::default() })
+        .generate();
+    let q = nvfi::experiments::untrained_quant_model(16, 42);
+    (q, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let (q, data) = small_fixture();
+        assert!(q.macs_per_inference() > 0);
+        assert_eq!(data.test.len(), 16);
+        let (qm, _) = medium_fixture();
+        assert!(qm.macs_per_inference() > q.macs_per_inference());
+    }
+}

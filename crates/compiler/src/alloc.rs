@@ -1,0 +1,132 @@
+//! Bump allocator for the emulated DRAM address space.
+
+use std::fmt;
+
+/// Default alignment of every region (one atomic memory word).
+pub const ALIGN: u64 = 32;
+
+/// A named, allocated DRAM region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Region {
+    /// Debug name (layer/surface this region backs).
+    pub name: String,
+    /// Start address.
+    pub addr: u64,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+/// A bump allocator with alignment and a capacity limit, tracking every
+/// region for diagnostics.
+#[derive(Clone, Debug)]
+pub struct DramAllocator {
+    capacity: u64,
+    next: u64,
+    regions: Vec<Region>,
+}
+
+/// Error returned when the address space is exhausted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Requested size.
+    pub requested: u64,
+    /// Remaining bytes.
+    pub remaining: u64,
+}
+
+impl fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "emulated DRAM exhausted: requested {} bytes, {} remaining",
+            self.requested, self.remaining
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+impl DramAllocator {
+    /// Creates an allocator over `capacity` bytes.
+    #[must_use]
+    pub fn new(capacity: u64) -> Self {
+        DramAllocator { capacity, next: 0, regions: Vec::new() }
+    }
+
+    /// Allocates an aligned region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] if the region does not fit.
+    pub fn alloc(&mut self, name: impl Into<String>, size: u64) -> Result<u64, OutOfMemory> {
+        let addr = self.next.div_ceil(ALIGN) * ALIGN;
+        let end = addr.checked_add(size).ok_or(OutOfMemory {
+            requested: size,
+            remaining: self.capacity.saturating_sub(self.next),
+        })?;
+        if end > self.capacity {
+            return Err(OutOfMemory {
+                requested: size,
+                remaining: self.capacity.saturating_sub(self.next),
+            });
+        }
+        self.next = end;
+        self.regions.push(Region { name: name.into(), addr, size });
+        Ok(addr)
+    }
+
+    /// Total bytes in use (including alignment gaps).
+    #[must_use]
+    pub fn used(&self) -> u64 {
+        self.next
+    }
+
+    /// All allocated regions in allocation order.
+    #[must_use]
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_aligned_and_disjoint() {
+        let mut a = DramAllocator::new(1 << 20);
+        let r1 = a.alloc("a", 10).unwrap();
+        let r2 = a.alloc("b", 100).unwrap();
+        let r3 = a.alloc("c", 1).unwrap();
+        for r in [r1, r2, r3] {
+            assert_eq!(r % ALIGN, 0);
+        }
+        let regions = a.regions();
+        for i in 0..regions.len() {
+            for j in i + 1..regions.len() {
+                let (x, y) = (&regions[i], &regions[j]);
+                assert!(
+                    x.addr + x.size <= y.addr || y.addr + y.size <= x.addr,
+                    "{x:?} overlaps {y:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_memory_reported() {
+        let mut a = DramAllocator::new(100);
+        assert!(a.alloc("ok", 64).is_ok());
+        let err = a.alloc("big", 64).unwrap_err();
+        assert_eq!(err.requested, 64);
+        assert!(err.to_string().contains("exhausted"));
+    }
+
+    #[test]
+    fn zero_sized_allocations_allowed() {
+        let mut a = DramAllocator::new(64);
+        let r = a.alloc("empty", 0).unwrap();
+        assert_eq!(r, 0);
+        assert_eq!(a.used(), 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! The Tengine-substitute compiler: lowers a quantized CNN onto the
+//! emulated NVDLA-style accelerator.
+//!
+//! In the paper, a Caffe-trained CNN is converted by the Tengine framework
+//! into an execution plan for the NVDLA. This crate performs the same role
+//! for [`QuantModel`](nvfi_quant::QuantModel)s:
+//!
+//! * [`surface`] — the packed int8 feature-surface layout (`N C/8 H W 8`)
+//!   and the 8x8-blocked weight layout the MAC array consumes;
+//! * [`alloc`] — DRAM address allocation for surfaces and weights;
+//! * [`plan`] — the [`ExecutionPlan`]: one lowered op per network layer,
+//!   with addresses, geometry, biases and requantizers, plus a register
+//!   command-stream encoding ([`plan::encode_reg_stream`] /
+//!   [`plan::decode_reg_stream`]) mirroring how a driver would program the
+//!   device through its CSB window;
+//! * [`regmap`] — the AXI4-Lite/CSB register addresses shared between this
+//!   compiler and the accelerator model, including the fault-injection
+//!   block (`SEL_A`, `SEL_B`, `FSEL`, `FDATA` — Fig. 1 of the paper);
+//! * [`lower`] — the entry point: [`lower::compile`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod lower;
+pub mod plan;
+pub mod regmap;
+pub mod surface;
+
+pub use lower::{compile, CompileError};
+pub use plan::{ConvOp, ExecutionPlan, LinearOp, PlanOp, PoolKind, PoolOp, RegWrite};

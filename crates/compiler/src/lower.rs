@@ -1,0 +1,242 @@
+//! Lowering: [`QuantModel`] -> [`ExecutionPlan`].
+//!
+//! Every network value gets its own feature surface in DRAM (no buffer
+//! reuse: residual connections keep earlier surfaces alive and address
+//! stability keeps the plan easy to audit). Weights are packed into the
+//! 8x8-blocked layout and collected into the plan's preload image.
+
+use std::fmt;
+
+use nvfi_quant::{QOpKind, QuantModel};
+use nvfi_tensor::{ConvGeom, Shape4, Tensor};
+
+use crate::alloc::{DramAllocator, OutOfMemory};
+use crate::plan::{ConvOp, ExecutionPlan, LinearOp, PlanOp, PoolKind, PoolOp};
+use crate::surface;
+
+/// Error lowering a model.
+#[derive(Debug)]
+pub enum CompileError {
+    /// The model does not fit in the configured DRAM capacity.
+    OutOfMemory(OutOfMemory),
+    /// The model has no linear head producing logits.
+    NoHead,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::OutOfMemory(e) => write!(f, "lowering failed: {e}"),
+            CompileError::NoHead => write!(f, "model has no linear head"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::OutOfMemory(e) => Some(e),
+            CompileError::NoHead => None,
+        }
+    }
+}
+
+impl From<OutOfMemory> for CompileError {
+    fn from(e: OutOfMemory) -> Self {
+        CompileError::OutOfMemory(e)
+    }
+}
+
+/// Default emulated DRAM capacity (256 MiB, matching a small Zynq PS-DDR
+/// carve-out).
+pub const DEFAULT_DRAM_CAPACITY: u64 = 256 << 20;
+
+/// Lowers a quantized model into an execution plan.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if the model exceeds `dram_capacity` or has no
+/// classifier head.
+pub fn compile(model: &QuantModel, dram_capacity: u64) -> Result<ExecutionPlan, CompileError> {
+    let mut alloc = DramAllocator::new(dram_capacity);
+    let shapes = model.value_shapes();
+
+    // Surface per value.
+    let mut value_addr = Vec::with_capacity(shapes.len());
+    for (i, s) in shapes.iter().enumerate() {
+        let bytes = surface::surface_bytes(s.c, s.h, s.w) as u64;
+        value_addr.push(alloc.alloc(format!("value{i} {s}"), bytes)?);
+    }
+
+    let mut weight_image: Vec<(u64, Vec<i8>)> = Vec::new();
+    let mut ops = Vec::with_capacity(model.ops.len());
+    let mut output_addr = None;
+    let mut num_classes = 0usize;
+
+    for (i, qop) in model.ops.iter().enumerate() {
+        let in_shape = shapes[qop.input];
+        let input_addr = value_addr[qop.input];
+        match &qop.kind {
+            QOpKind::Conv(c) => {
+                let ws = c.weight.shape();
+                let geom = ConvGeom::new(in_shape, ws.n, ws.h, ws.w, c.stride, c.pad);
+                let packed = surface::pack_weights(&c.weight);
+                let weight_addr = alloc.alloc(format!("weights op{i}"), packed.len() as u64)?;
+                weight_image.push((weight_addr, packed));
+                ops.push(PlanOp::Conv(ConvOp {
+                    geom,
+                    input_addr,
+                    output_addr: value_addr[i + 1],
+                    weight_addr,
+                    bias: c.bias.clone(),
+                    requant: c.requant.clone(),
+                    add_requant: c.add_requant,
+                    fuse_add_addr: c.fuse_add.map(|a| value_addr[a]),
+                    relu: c.relu,
+                }));
+            }
+            QOpKind::MaxPool { k, stride } => ops.push(PlanOp::Pool(PoolOp {
+                kind: PoolKind::Max,
+                k: *k,
+                stride: *stride,
+                in_shape,
+                input_addr,
+                output_addr: value_addr[i + 1],
+            })),
+            QOpKind::GlobalAvgPool => ops.push(PlanOp::Pool(PoolOp {
+                kind: PoolKind::GlobalAvg,
+                k: 0,
+                stride: 0,
+                in_shape,
+                input_addr,
+                output_addr: value_addr[i + 1],
+            })),
+            QOpKind::Linear(l) => {
+                // Weights packed as a (out_f, in_f, 1, 1) blocked region.
+                let wt = Tensor::from_vec(
+                    Shape4::new(l.weight.rows(), l.weight.cols(), 1, 1),
+                    l.weight.as_slice().to_vec(),
+                );
+                let packed = surface::pack_weights(&wt);
+                let weight_addr = alloc.alloc(format!("weights op{i}"), packed.len() as u64)?;
+                weight_image.push((weight_addr, packed));
+                // Logits region: out_f i32 words.
+                let logits_addr =
+                    alloc.alloc(format!("logits op{i}"), (l.weight.rows() * 4) as u64)?;
+                num_classes = l.weight.rows();
+                output_addr = Some(logits_addr);
+                ops.push(PlanOp::Linear(LinearOp {
+                    in_f: l.weight.cols(),
+                    out_f: l.weight.rows(),
+                    input_addr,
+                    output_addr: logits_addr,
+                    weight_addr,
+                    bias: l.bias.clone(),
+                }));
+            }
+        }
+    }
+
+    let output_addr = output_addr.ok_or(CompileError::NoHead)?;
+    Ok(ExecutionPlan {
+        input_shape: model.input_shape.with_n(1),
+        input_scale: model.input_scale,
+        input_addr: value_addr[0],
+        output_addr,
+        num_classes,
+        ops,
+        dram_size: alloc.used(),
+        weight_image,
+        macs_per_inference: model.macs_per_inference(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvfi_dataset::{SynthCifar, SynthCifarConfig};
+    use nvfi_nn::fold::fold_resnet;
+    use nvfi_nn::resnet::ResNet;
+    use nvfi_quant::{quantize, QuantConfig};
+
+    fn qmodel() -> QuantModel {
+        let data = SynthCifar::new(SynthCifarConfig { train: 8, test: 0, ..Default::default() })
+            .generate();
+        let net = ResNet::new(4, &[1, 1], 10, 3);
+        let deploy = fold_resnet(&net, 32);
+        quantize(&deploy, &data.train.images, &QuantConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn lowers_every_op() {
+        let q = qmodel();
+        let plan = compile(&q, DEFAULT_DRAM_CAPACITY).unwrap();
+        assert_eq!(plan.ops.len(), q.ops.len());
+        assert_eq!(plan.num_classes, 10);
+        assert!(plan.dram_size > 0);
+        assert_eq!(plan.macs_per_inference, q.macs_per_inference());
+    }
+
+    #[test]
+    fn weight_regions_cover_all_convs() {
+        let q = qmodel();
+        let plan = compile(&q, DEFAULT_DRAM_CAPACITY).unwrap();
+        assert_eq!(plan.weight_image.len(), plan.mac_ops());
+        for (addr, bytes) in &plan.weight_image {
+            assert!(addr + bytes.len() as u64 <= plan.dram_size);
+        }
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let q = qmodel();
+        let plan = compile(&q, DEFAULT_DRAM_CAPACITY).unwrap();
+        // Gather (addr, size) of all surfaces + weights and check pairwise.
+        let mut regions: Vec<(u64, u64)> = Vec::new();
+        let shapes = q.value_shapes();
+        for op in &plan.ops {
+            match op {
+                PlanOp::Conv(c) => {
+                    regions.push((c.output_addr, surface::surface_bytes(c.geom.k, c.geom.oh, c.geom.ow) as u64));
+                }
+                PlanOp::Linear(l) => regions.push((l.output_addr, (l.out_f * 4) as u64)),
+                PlanOp::Pool(p) => {
+                    let o = p.out_shape();
+                    regions.push((p.output_addr, surface::surface_bytes(o.c, o.h, o.w) as u64));
+                }
+            }
+        }
+        for (addr, bytes) in &plan.weight_image {
+            regions.push((*addr, bytes.len() as u64));
+        }
+        regions.push((plan.input_addr, surface::surface_bytes(shapes[0].c, shapes[0].h, shapes[0].w) as u64));
+        for i in 0..regions.len() {
+            for j in i + 1..regions.len() {
+                let (a, b) = (regions[i], regions[j]);
+                assert!(
+                    a.0 + a.1 <= b.0 || b.0 + b.1 <= a.0,
+                    "regions overlap: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_dram_rejected() {
+        let q = qmodel();
+        assert!(matches!(compile(&q, 1024), Err(CompileError::OutOfMemory(_))));
+    }
+
+    #[test]
+    fn plan_reg_stream_roundtrips() {
+        let q = qmodel();
+        let plan = compile(&q, DEFAULT_DRAM_CAPACITY).unwrap();
+        let stream = crate::plan::encode_reg_stream(&plan);
+        let decoded = crate::plan::decode_reg_stream(&stream).unwrap();
+        // weight_image is not part of the stream; compare the rest.
+        assert_eq!(decoded.ops, plan.ops);
+        assert_eq!(decoded.input_addr, plan.input_addr);
+        assert_eq!(decoded.output_addr, plan.output_addr);
+        assert_eq!(decoded.num_classes, plan.num_classes);
+    }
+}

@@ -1,0 +1,136 @@
+//! CSB / AXI4-Lite register map shared by the compiler (which emits register
+//! writes) and the accelerator model (which decodes them).
+//!
+//! The fault-injection block mirrors Fig. 1 of the paper: a 64-bit
+//! multiplier select split over `SEL_A`/`SEL_B`, an 18-bit per-wire select
+//! `FSEL` and 18-bit override data `FDATA`, plus an enable bit in `CTRL`.
+//! The command window (`CMD_*`) is a simple auto-incrementing descriptor
+//! FIFO through which an execution plan can be streamed to the device, in
+//! the spirit of NVDLA's configuration descriptors.
+
+/// Device identification register (read-only).
+pub const REG_ID: u32 = 0x0000;
+/// Value read from [`REG_ID`]: "NvFI" emulator, version 1.
+pub const ID_VALUE: u32 = 0x4E46_0001;
+
+/// Global control: bit 0 starts plan execution (self-clearing in the model).
+pub const REG_CTRL: u32 = 0x0004;
+/// Status: bit 0 = done, bit 1 = error.
+pub const REG_STATUS: u32 = 0x0008;
+
+/// Fault-injection block base.
+pub const FI_BASE: u32 = 0x0100;
+/// FI control: bit 0 enables the injectors.
+pub const REG_FI_CTRL: u32 = FI_BASE;
+/// Low 32 bits of the 64-bit multiplier select.
+pub const REG_FI_SEL_A: u32 = FI_BASE + 0x4;
+/// High 32 bits of the 64-bit multiplier select.
+pub const REG_FI_SEL_B: u32 = FI_BASE + 0x8;
+/// 18-bit per-wire override select.
+pub const REG_FI_FSEL: u32 = FI_BASE + 0xC;
+/// 18-bit override data.
+pub const REG_FI_FDATA: u32 = FI_BASE + 0x10;
+/// 18-bit XOR (bit-flip) mask applied after the override mux — an extension
+/// beyond the paper's stuck-at/constant models ("other fault models can
+/// easily be incorporated").
+pub const REG_FI_XOR: u32 = FI_BASE + 0x14;
+
+/// Command window: writing [`REG_CMD_RESET`] clears the descriptor FIFO;
+/// each write to [`REG_CMD_DATA`] appends one 32-bit word.
+pub const REG_CMD_RESET: u32 = 0x0200;
+/// Descriptor FIFO data port.
+pub const REG_CMD_DATA: u32 = 0x0204;
+
+/// Number of MAC units (also kernels per group).
+pub const MAC_UNITS: usize = 8;
+/// Multipliers per MAC unit (also channels per block).
+pub const MULTS_PER_MAC: usize = 8;
+/// Total multipliers in the CMAC array.
+pub const TOTAL_MULTS: usize = MAC_UNITS * MULTS_PER_MAC;
+
+/// Identifier of one physical multiplier: MAC unit `mac` (0..8), multiplier
+/// `mult` (0..8). The flat lane index is `mac * 8 + mult`, matching the
+/// `sel_a`/`sel_b` bit positions.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct MultId {
+    /// MAC unit index, `0..MAC_UNITS`.
+    pub mac: u8,
+    /// Multiplier index within the MAC unit, `0..MULTS_PER_MAC`.
+    pub mult: u8,
+}
+
+impl MultId {
+    /// Creates an id, validating ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mac` or `mult` is out of range.
+    #[must_use]
+    pub fn new(mac: u8, mult: u8) -> Self {
+        assert!((mac as usize) < MAC_UNITS, "MAC id {mac} out of range");
+        assert!((mult as usize) < MULTS_PER_MAC, "multiplier id {mult} out of range");
+        MultId { mac, mult }
+    }
+
+    /// Flat lane index `0..64` (bit position in `sel_a:sel_b`).
+    #[inline]
+    #[must_use]
+    pub fn lane(self) -> usize {
+        self.mac as usize * MULTS_PER_MAC + self.mult as usize
+    }
+
+    /// Inverse of [`MultId::lane`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= TOTAL_MULTS`.
+    #[must_use]
+    pub fn from_lane(lane: usize) -> Self {
+        assert!(lane < TOTAL_MULTS, "lane {lane} out of range");
+        MultId { mac: (lane / MULTS_PER_MAC) as u8, mult: (lane % MULTS_PER_MAC) as u8 }
+    }
+
+    /// All 64 multiplier ids in lane order.
+    pub fn all() -> impl Iterator<Item = MultId> {
+        (0..TOTAL_MULTS).map(MultId::from_lane)
+    }
+}
+
+impl std::fmt::Display for MultId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MAC{}.M{}", self.mac + 1, self.mult + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_roundtrip() {
+        for lane in 0..TOTAL_MULTS {
+            assert_eq!(MultId::from_lane(lane).lane(), lane);
+        }
+        assert_eq!(MultId::new(7, 7).lane(), 63);
+        assert_eq!(MultId::new(1, 0).lane(), 8);
+    }
+
+    #[test]
+    fn all_yields_64_distinct() {
+        let v: Vec<MultId> = MultId::all().collect();
+        assert_eq!(v.len(), 64);
+        let set: std::collections::HashSet<_> = v.iter().collect();
+        assert_eq!(set.len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn mac_range_checked() {
+        let _ = MultId::new(8, 0);
+    }
+
+    #[test]
+    fn display_is_one_based_like_the_paper() {
+        assert_eq!(MultId::new(0, 7).to_string(), "MAC1.M8");
+    }
+}

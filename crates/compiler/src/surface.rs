@@ -1,0 +1,197 @@
+//! Packed int8 data layouts consumed by the MAC array.
+//!
+//! **Feature surfaces** are stored `C/8-blocked`: element `(c, h, w)` lives
+//! at `((c/8 * H + h) * W + w) * 8 + c%8`. One atomic memory word therefore
+//! holds the 8 channel values a MAC unit's 8 multipliers consume in one
+//! cycle. Channels beyond `C` in the last block are zero.
+//!
+//! **Weight blocks** are stored per kernel group: element `(k, c, r, s)`
+//! lives at `(((k/8 * C/8 + c/8) * R + r) * S + s) * 64 + (k%8) * 8 + c%8`,
+//! i.e. one 64-byte block per `(kernel-group, channel-block, tap)` — the
+//! full 8x8 operand matrix of one atomic op. Kernels beyond `K` and
+//! channels beyond `C` are zero.
+
+use nvfi_tensor::{Shape4, Tensor};
+
+/// Lane count per block (multipliers per MAC unit, and MAC units).
+pub const ATOM: usize = 8;
+
+/// Number of channel blocks for `c` channels.
+#[inline]
+#[must_use]
+pub const fn blocks(c: usize) -> usize {
+    c.div_ceil(ATOM)
+}
+
+/// Size in bytes of a feature surface for a `(1, C, H, W)` value.
+#[inline]
+#[must_use]
+pub const fn surface_bytes(c: usize, h: usize, w: usize) -> usize {
+    blocks(c) * h * w * ATOM
+}
+
+/// Offset of `(c, h, w)` within a feature surface.
+#[inline]
+#[must_use]
+pub fn surface_offset(shape: Shape4, c: usize, h: usize, w: usize) -> usize {
+    debug_assert!(c < shape.c && h < shape.h && w < shape.w);
+    ((c / ATOM * shape.h + h) * shape.w + w) * ATOM + c % ATOM
+}
+
+/// Packs one image (`n == 1` tensor) into a feature surface.
+///
+/// # Panics
+///
+/// Panics if `image` is not a single-image tensor.
+#[must_use]
+pub fn pack_surface(image: &Tensor<i8>) -> Vec<i8> {
+    let s = image.shape();
+    assert_eq!(s.n, 1, "pack_surface expects a single image");
+    let mut out = vec![0i8; surface_bytes(s.c, s.h, s.w)];
+    for c in 0..s.c {
+        for h in 0..s.h {
+            for w in 0..s.w {
+                out[surface_offset(s, c, h, w)] = image.at(0, c, h, w);
+            }
+        }
+    }
+    out
+}
+
+/// Unpacks a feature surface back into a `(1, C, H, W)` tensor.
+///
+/// # Panics
+///
+/// Panics if `surface` has the wrong length for `shape`.
+#[must_use]
+pub fn unpack_surface(surface: &[i8], shape: Shape4) -> Tensor<i8> {
+    assert_eq!(
+        surface.len(),
+        surface_bytes(shape.c, shape.h, shape.w),
+        "surface length mismatch for {shape}"
+    );
+    Tensor::from_fn(shape.with_n(1), |_, c, h, w| surface[surface_offset(shape, c, h, w)])
+}
+
+/// Size in bytes of a packed weight region for `(K, C, R, S)` weights.
+#[inline]
+#[must_use]
+pub const fn weight_bytes(k: usize, c: usize, r: usize, s: usize) -> usize {
+    blocks(k) * blocks(c) * r * s * ATOM * ATOM
+}
+
+/// Offset of weight `(k, c, r, s)` within a packed weight region.
+#[inline]
+#[must_use]
+pub fn weight_offset(shape: Shape4, k: usize, c: usize, r: usize, s: usize) -> usize {
+    debug_assert!(k < shape.n && c < shape.c && r < shape.h && s < shape.w);
+    let (kg, ki) = (k / ATOM, k % ATOM);
+    let (cb, ci) = (c / ATOM, c % ATOM);
+    (((kg * blocks(shape.c) + cb) * shape.h + r) * shape.w + s) * ATOM * ATOM + ki * ATOM + ci
+}
+
+/// Packs a `(K, C, R, S)` weight tensor into the blocked layout.
+#[must_use]
+pub fn pack_weights(weights: &Tensor<i8>) -> Vec<i8> {
+    let s = weights.shape();
+    let mut out = vec![0i8; weight_bytes(s.n, s.c, s.h, s.w)];
+    for k in 0..s.n {
+        for c in 0..s.c {
+            for r in 0..s.h {
+                for q in 0..s.w {
+                    out[weight_offset(s, k, c, r, q)] = weights.at(k, c, r, q);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Unpacks a blocked weight region back into a `(K, C, R, S)` tensor.
+///
+/// # Panics
+///
+/// Panics if `packed` has the wrong length for `shape`.
+#[must_use]
+pub fn unpack_weights(packed: &[i8], shape: Shape4) -> Tensor<i8> {
+    assert_eq!(
+        packed.len(),
+        weight_bytes(shape.n, shape.c, shape.h, shape.w),
+        "weight region length mismatch for {shape}"
+    );
+    Tensor::from_fn(shape, |k, c, r, s| packed[weight_offset(shape, k, c, r, s)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surface_roundtrip_odd_channels() {
+        // 5 channels -> one block of 8 with 3 zero lanes.
+        let img = Tensor::from_fn(Shape4::new(1, 5, 3, 4), |_, c, h, w| {
+            (c * 16 + h * 4 + w) as i8
+        });
+        let packed = pack_surface(&img);
+        assert_eq!(packed.len(), 1 * 3 * 4 * 8);
+        let back = unpack_surface(&packed, img.shape());
+        assert_eq!(back.as_slice(), img.as_slice());
+    }
+
+    #[test]
+    fn surface_padding_lanes_are_zero() {
+        let img = Tensor::from_fn(Shape4::new(1, 3, 1, 1), |_, c, _, _| (c + 1) as i8);
+        let packed = pack_surface(&img);
+        assert_eq!(&packed[..3], &[1, 2, 3]);
+        assert_eq!(&packed[3..8], &[0; 5]);
+    }
+
+    #[test]
+    fn surface_word_is_contiguous_channel_block() {
+        // The 8 lanes of one (h, w) position must be adjacent — that is
+        // the property the MAC array relies on.
+        let img = Tensor::from_fn(Shape4::new(1, 16, 2, 2), |_, c, h, w| {
+            (c * 4 + h * 2 + w) as i8
+        });
+        let packed = pack_surface(&img);
+        let s = img.shape();
+        for h in 0..2 {
+            for w in 0..2 {
+                for c in 0..16 {
+                    let off = surface_offset(s, c, h, w);
+                    assert_eq!(off % 8, c % 8);
+                    assert_eq!(packed[off], img.at(0, c, h, w));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weight_roundtrip_with_tails() {
+        // K=10, C=12: both dimensions have partial blocks.
+        let w = Tensor::from_fn(Shape4::new(10, 12, 3, 3), |k, c, r, s| {
+            ((k * 7 + c * 5 + r * 3 + s) % 251) as i8
+        });
+        let packed = pack_weights(&w);
+        assert_eq!(packed.len(), 2 * 2 * 3 * 3 * 64);
+        assert_eq!(unpack_weights(&packed, w.shape()).as_slice(), w.as_slice());
+    }
+
+    #[test]
+    fn weight_block_is_8x8_operand_matrix() {
+        let w = Tensor::from_fn(Shape4::new(8, 8, 1, 1), |k, c, _, _| (k * 8 + c) as i8);
+        let packed = pack_weights(&w);
+        // Single block: element (ki, ci) at ki*8+ci.
+        for k in 0..8 {
+            for c in 0..8 {
+                assert_eq!(packed[k * 8 + c], (k * 8 + c) as i8);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn unpack_validates_length() {
+        let _ = unpack_surface(&[0i8; 7], Shape4::new(1, 8, 1, 1));
+    }
+}

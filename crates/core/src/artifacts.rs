@@ -1,0 +1,187 @@
+//! Train-once caching of the quantized network used by the experiments.
+//!
+//! The paper uses a pre-trained ResNet-18 from the Tengine model zoo; this
+//! workspace trains its own slim ResNet-18 on SynthCIFAR (see
+//! `nvfi-dataset`) and caches the folded float model on disk so every
+//! experiment binary and bench reuses the same network.
+
+use std::path::{Path, PathBuf};
+
+use nvfi_dataset::{SynthCifar, SynthCifarConfig, TrainTest};
+use nvfi_nn::fold::fold_resnet;
+use nvfi_nn::resnet::ResNet;
+use nvfi_nn::train::{TrainConfig, Trainer};
+use nvfi_nn::{artifact, DeployModel};
+use nvfi_quant::{quantize, QuantConfig, QuantModel};
+
+/// What to train / where to cache.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelSpec {
+    /// ResNet base width (64 = paper scale, 8 = fast slim default).
+    pub width: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Training set size.
+    pub train: usize,
+    /// Test set size.
+    pub test: usize,
+    /// SynthCIFAR pixel-noise level.
+    pub noise: f32,
+    /// SynthCIFAR label-noise fraction (see
+    /// [`nvfi_dataset::SynthCifarConfig::label_noise`]).
+    pub label_noise: f32,
+    /// Seed for dataset + init + shuffling.
+    pub seed: u64,
+    /// Cache directory.
+    pub artifact_dir: PathBuf,
+    /// Print training progress.
+    pub verbose: bool,
+}
+
+impl Default for ModelSpec {
+    fn default() -> Self {
+        ModelSpec {
+            width: 8,
+            epochs: 5,
+            train: 3000,
+            test: 600,
+            noise: 0.8,
+            // 27% corrupted labels bound test accuracy at ~75.7% — pinning
+            // the experiments at the paper's 75.5% operating point (pixel
+            // noise alone cannot: a CNN averages it away).
+            label_noise: 0.27,
+            seed: 7,
+            artifact_dir: PathBuf::from("artifacts"),
+            verbose: false,
+        }
+    }
+}
+
+impl ModelSpec {
+    /// The cache file this spec maps to.
+    #[must_use]
+    pub fn artifact_path(&self) -> PathBuf {
+        self.artifact_dir.join(format!(
+            "resnet18-w{}-e{}-t{}-n{}-l{}-s{}.nvfi",
+            self.width,
+            self.epochs,
+            self.train,
+            (self.noise * 1000.0) as u32,
+            (self.label_noise * 1000.0) as u32,
+            self.seed
+        ))
+    }
+
+    /// The dataset this spec generates.
+    #[must_use]
+    pub fn dataset(&self) -> TrainTest {
+        SynthCifar::new(SynthCifarConfig {
+            train: self.train,
+            test: self.test,
+            seed: self.seed,
+            noise: self.noise,
+            label_noise: self.label_noise,
+            ..Default::default()
+        })
+        .generate()
+    }
+}
+
+/// Loads the cached folded model, or trains + folds + caches it.
+/// Returns the deploy model and the dataset it was trained on.
+#[must_use]
+pub fn get_or_train(spec: &ModelSpec) -> (DeployModel, TrainTest) {
+    let data = spec.dataset();
+    let path = spec.artifact_path();
+    if let Ok(model) = artifact::load_file(&path) {
+        if spec.verbose {
+            eprintln!("loaded cached model {}", path.display());
+        }
+        return (model, data);
+    }
+    if spec.verbose {
+        eprintln!(
+            "training ResNet-18 (width {}) on SynthCIFAR ({} images, {} epochs)...",
+            spec.width, spec.train, spec.epochs
+        );
+    }
+    let mut net = ResNet::resnet18(spec.width, 10, spec.seed);
+    let cfg = TrainConfig {
+        epochs: spec.epochs,
+        seed: spec.seed,
+        verbose: spec.verbose,
+        ..Default::default()
+    };
+    let stats = Trainer::new(cfg).fit(&mut net, &data.train, &data.test);
+    if spec.verbose {
+        eprintln!("float test accuracy: {:.1}%", 100.0 * stats.final_test_acc());
+    }
+    let deploy = fold_resnet(&net, 32);
+    save_quietly(&deploy, &path);
+    (deploy, data)
+}
+
+/// [`get_or_train`] followed by int8 quantization (calibrating on the first
+/// 64 training images). Returns the quantized model, the dataset, and the
+/// int8 test accuracy.
+#[must_use]
+pub fn get_or_train_quantized(spec: &ModelSpec) -> (QuantModel, TrainTest, f64) {
+    let (deploy, data) = get_or_train(spec);
+    let calib = data.train.take(64);
+    let q = quantize(&deploy, &calib.images, &QuantConfig::default())
+        .expect("trained model quantizes");
+    let acc = q.accuracy(&data.test.images, &data.test.labels, 1);
+    (q, data, acc)
+}
+
+fn save_quietly(model: &DeployModel, path: &Path) {
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = artifact::save_file(model, path) {
+        eprintln!("warning: could not cache model at {}: {e}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(dir: &str) -> ModelSpec {
+        ModelSpec {
+            width: 4,
+            epochs: 1,
+            train: 40,
+            test: 20,
+            artifact_dir: std::env::temp_dir().join(dir),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn trains_then_loads_from_cache() {
+        let spec = tiny_spec("nvfi_artifacts_a");
+        let _ = std::fs::remove_file(spec.artifact_path());
+        let (m1, _) = get_or_train(&spec);
+        assert!(spec.artifact_path().exists(), "artifact should be cached");
+        let (m2, _) = get_or_train(&spec);
+        assert_eq!(m1.ops.len(), m2.ops.len());
+    }
+
+    #[test]
+    fn quantized_pipeline_reports_accuracy() {
+        let spec = tiny_spec("nvfi_artifacts_b");
+        let (q, data, acc) = get_or_train_quantized(&spec);
+        assert!((0.0..=1.0).contains(&acc));
+        assert_eq!(q.input_shape.c, 3);
+        assert_eq!(data.test.len(), 20);
+    }
+
+    #[test]
+    fn distinct_specs_have_distinct_paths() {
+        let a = tiny_spec("nvfi_artifacts_c");
+        let mut b = a.clone();
+        b.width = 8;
+        assert_ne!(a.artifact_path(), b.artifact_path());
+    }
+}

@@ -1,0 +1,211 @@
+//! The assembled emulation platform.
+
+use std::fmt;
+
+use nvfi_accel::{AccelConfig, Accelerator, AccelError, FaultConfig, InferenceResult};
+use nvfi_compiler::{CompileError, ExecutionPlan};
+use nvfi_quant::QuantModel;
+use nvfi_tensor::Tensor;
+
+/// Configuration of the assembled platform (the accelerator config plus
+/// room for platform-level knobs).
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct PlatformConfig {
+    /// The emulated device configuration.
+    pub accel: AccelConfig,
+}
+
+/// Errors from platform assembly or operation.
+#[derive(Debug)]
+pub enum PlatformError {
+    /// Lowering the model failed.
+    Compile(CompileError),
+    /// The device rejected the plan or an operation.
+    Accel(AccelError),
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::Compile(e) => write!(f, "platform compile error: {e}"),
+            PlatformError::Accel(e) => write!(f, "platform device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlatformError::Compile(e) => Some(e),
+            PlatformError::Accel(e) => Some(e),
+        }
+    }
+}
+
+impl From<CompileError> for PlatformError {
+    fn from(e: CompileError) -> Self {
+        PlatformError::Compile(e)
+    }
+}
+
+impl From<AccelError> for PlatformError {
+    fn from(e: AccelError) -> Self {
+        PlatformError::Accel(e)
+    }
+}
+
+/// A ready-to-run emulation platform: compiled plan + programmed device.
+#[derive(Clone, Debug)]
+pub struct EmulationPlatform {
+    config: PlatformConfig,
+    plan: ExecutionPlan,
+    accel: Accelerator,
+}
+
+impl EmulationPlatform {
+    /// Compiles `model` and loads it onto a fresh device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError`] if lowering fails or the plan does not fit
+    /// the device.
+    pub fn assemble(model: &QuantModel, config: PlatformConfig) -> Result<Self, PlatformError> {
+        let plan = nvfi_compiler::compile(model, config.accel.dram_capacity)?;
+        let mut accel = Accelerator::new(config.accel);
+        accel.load_plan(&plan)?;
+        Ok(EmulationPlatform { config, plan, accel })
+    }
+
+    /// The platform configuration.
+    #[must_use]
+    pub fn config(&self) -> PlatformConfig {
+        self.config
+    }
+
+    /// The compiled execution plan.
+    #[must_use]
+    pub fn plan(&self) -> &ExecutionPlan {
+        &self.plan
+    }
+
+    /// Mutable access to the device (register pokes, DMA, fault windows).
+    pub fn accel_mut(&mut self) -> &mut Accelerator {
+        &mut self.accel
+    }
+
+    /// Shared access to the device.
+    #[must_use]
+    pub fn accel(&self) -> &Accelerator {
+        &self.accel
+    }
+
+    /// Programs a fault configuration.
+    pub fn inject(&mut self, fault: &FaultConfig) {
+        self.accel.inject(fault);
+    }
+
+    /// Disables fault injection.
+    pub fn clear_faults(&mut self) {
+        self.accel.clear_faults();
+    }
+
+    /// Runs one f32 image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn run(&mut self, image: &Tensor<f32>) -> Result<InferenceResult, PlatformError> {
+        Ok(self.accel.run_inference(image)?)
+    }
+
+    /// Classifies a batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn classify(&mut self, images: &Tensor<f32>) -> Result<Vec<u8>, PlatformError> {
+        Ok(self.accel.classify_batch(images)?)
+    }
+
+    /// Top-1 accuracy on a labelled set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != images.shape().n`.
+    pub fn accuracy(
+        &mut self,
+        images: &Tensor<f32>,
+        labels: &[u8],
+    ) -> Result<f64, PlatformError> {
+        Ok(self.accel.accuracy(images, labels)?)
+    }
+
+    /// Modelled single-inference latency in milliseconds (187.5 MHz cycle
+    /// model by default).
+    #[must_use]
+    pub fn modeled_latency_ms(&self) -> f64 {
+        nvfi_accel::perf::plan_report(&self.plan, self.config.accel.clock_hz).latency_ms()
+    }
+
+    /// Modelled inference throughput (1 / latency).
+    #[must_use]
+    pub fn modeled_inferences_per_second(&self) -> f64 {
+        nvfi_accel::perf::plan_report(&self.plan, self.config.accel.clock_hz)
+            .inferences_per_second()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvfi_accel::FaultKind;
+    use nvfi_compiler::regmap::MultId;
+    use nvfi_dataset::{SynthCifar, SynthCifarConfig};
+    use nvfi_nn::fold::fold_resnet;
+    use nvfi_nn::resnet::ResNet;
+    use nvfi_quant::{quantize, QuantConfig};
+
+    fn setup() -> (QuantModel, nvfi_dataset::TrainTest) {
+        let data = SynthCifar::new(SynthCifarConfig { train: 16, test: 8, ..Default::default() })
+            .generate();
+        let net = ResNet::new(4, &[1, 1], 10, 3);
+        let deploy = fold_resnet(&net, 32);
+        (quantize(&deploy, &data.train.images, &QuantConfig::default()).unwrap(), data)
+    }
+
+    #[test]
+    fn assemble_and_run() {
+        let (q, data) = setup();
+        let mut p = EmulationPlatform::assemble(&q, PlatformConfig::default()).unwrap();
+        let r = p.run(&data.test.images.slice_image(0)).unwrap();
+        assert_eq!(r.logits.len(), 10);
+        assert!(p.modeled_latency_ms() > 0.0);
+        assert!(p.modeled_inferences_per_second() > 0.0);
+    }
+
+    #[test]
+    fn platform_matches_cpu_reference() {
+        let (q, data) = setup();
+        let mut p = EmulationPlatform::assemble(&q, PlatformConfig::default()).unwrap();
+        let want = q.classify(&data.test.images, 1);
+        let got = p.classify(&data.test.images).unwrap();
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn inject_and_clear() {
+        let (q, data) = setup();
+        let mut p = EmulationPlatform::assemble(&q, PlatformConfig::default()).unwrap();
+        let img = data.test.images.slice_image(0);
+        let clean = p.run(&img).unwrap().logits;
+        p.inject(&FaultConfig::new(MultId::all().collect(), FaultKind::Constant(131071)));
+        let faulted = p.run(&img).unwrap().logits;
+        assert_ne!(clean, faulted);
+        p.clear_faults();
+        assert_eq!(p.run(&img).unwrap().logits, clean);
+    }
+}

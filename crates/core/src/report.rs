@@ -1,0 +1,201 @@
+//! Result rendering: ASCII box plots and heat maps for the terminal, plus
+//! CSV and JSON export.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::stats::{FiveNum, HeatMap};
+
+/// Renders one horizontal ASCII box plot row for a five-number summary on a
+/// fixed `[lo, hi]` scale of `width` characters.
+///
+/// # Panics
+///
+/// Panics if `hi <= lo` or `width < 10`.
+#[must_use]
+pub fn box_plot_row(stats: &FiveNum, lo: f64, hi: f64, width: usize) -> String {
+    assert!(hi > lo, "degenerate box-plot scale");
+    assert!(width >= 10, "box plot too narrow");
+    let pos = |v: f64| -> usize {
+        let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+        ((width - 1) as f64 * t).round() as usize
+    };
+    let mut row: Vec<char> = vec![' '; width];
+    let (pmin, pq1, pmed, pq3, pmax) =
+        (pos(stats.min), pos(stats.q1), pos(stats.median), pos(stats.q3), pos(stats.max));
+    for cell in row.iter_mut().take(pq1).skip(pmin) {
+        *cell = '-';
+    }
+    for cell in row.iter_mut().take(pmax).skip(pq3) {
+        *cell = '-';
+    }
+    for cell in row.iter_mut().take(pq3 + 1).skip(pq1) {
+        *cell = '=';
+    }
+    row[pmin] = '|';
+    row[pmax] = '|';
+    row[pq1] = '[';
+    row[pq3] = ']';
+    row[pmed] = 'M';
+    row.into_iter().collect()
+}
+
+/// Renders a labelled group of box plots (e.g. Fig. 2: one row per
+/// `(#multipliers, injected value)`) with a shared scale and axis.
+#[must_use]
+pub fn box_plot_chart(title: &str, rows: &[(String, FiveNum)], width: usize) -> String {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (_, s) in rows {
+        lo = lo.min(s.min);
+        hi = hi.max(s.max);
+    }
+    if !lo.is_finite() || hi - lo < 1e-9 {
+        lo = -1.0;
+        hi = 1.0;
+    }
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0).max(6);
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:label_w$} {:<width$}",
+        "",
+        format!("{lo:.1}{}{hi:.1}", " ".repeat(width.saturating_sub(10)))
+    );
+    for (label, s) in rows {
+        let _ = writeln!(out, "{label:label_w$} {}", box_plot_row(s, lo, hi, width));
+    }
+    out
+}
+
+/// Shading palette from most negative (worst drop) to zero.
+const SHADES: &[char] = &['@', '%', '#', '*', '+', '=', '-', ':', '.', ' '];
+
+/// Renders an accuracy-drop heat map (negative cells = larger drop = darker)
+/// with 1-based MAC/multiplier labels as in the paper's Fig. 3.
+#[must_use]
+pub fn heat_map_chart(title: &str, map: &HeatMap, lo: f64, hi: f64) -> String {
+    let span = (hi - lo).max(1e-9);
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "        mult:  {}",
+        (1..=map.cols()).map(|c| format!("{c} ")).collect::<String>()
+    );
+    for r in 0..map.rows() {
+        let _ = write!(out, "  MAC {:>2}:      ", r + 1);
+        for c in 0..map.cols() {
+            let t = ((map.at(r, c) - lo) / span).clamp(0.0, 1.0);
+            let idx = (t * (SHADES.len() - 1) as f64).round() as usize;
+            let _ = write!(out, "{} ", SHADES[idx]);
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out, "  scale: '@' = {lo:.1} pp ... ' ' = {hi:.1} pp");
+    out
+}
+
+/// Writes a CSV file (header + rows) under `dir`, creating it if needed.
+///
+/// # Errors
+///
+/// Returns any I/O error.
+pub fn write_csv(
+    dir: &Path,
+    name: &str,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> io::Result<std::path::PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    let mut text = header.join(",");
+    text.push('\n');
+    for row in rows {
+        text.push_str(&row.join(","));
+        text.push('\n');
+    }
+    fs::write(&path, text)?;
+    Ok(path)
+}
+
+/// Writes a JSON value under `dir`, creating it if needed.
+///
+/// # Errors
+///
+/// Returns any I/O error.
+pub fn write_json(
+    dir: &Path,
+    name: &str,
+    value: &serde_json::Value,
+) -> io::Result<std::path::PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    fs::write(&path, serde_json::to_string_pretty(value).expect("serializable"))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FiveNum {
+        FiveNum::from_sample(&[-10.0, -8.0, -5.0, -2.0, 0.0])
+    }
+
+    #[test]
+    fn box_plot_markers_present_and_ordered() {
+        let row = box_plot_row(&sample(), -12.0, 2.0, 40);
+        assert_eq!(row.len(), 40);
+        let pm = row.find('M').unwrap();
+        let p1 = row.find('[').unwrap();
+        let p3 = row.find(']').unwrap();
+        assert!(p1 < pm && pm < p3, "{row}");
+        assert_eq!(row.matches('|').count(), 2);
+    }
+
+    #[test]
+    fn chart_has_one_row_per_entry() {
+        let rows =
+            vec![("k=1 v=0".to_string(), sample()), ("k=2 v=0".to_string(), sample())];
+        let chart = box_plot_chart("Fig2", &rows, 40);
+        assert_eq!(chart.lines().count(), 4); // title + axis + 2 rows
+        assert!(chart.contains("k=2 v=0"));
+    }
+
+    #[test]
+    fn heat_map_extremes_use_palette_ends() {
+        let mut h = HeatMap::new(2, 2);
+        h.set(0, 0, -12.0);
+        h.set(1, 1, 0.0);
+        let chart = heat_map_chart("Fig3", &h, -12.0, 0.0);
+        assert!(chart.contains('@'), "worst cell should be darkest:\n{chart}");
+        assert!(chart.contains("MAC  1"));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("nvfi_report_test");
+        let path = write_csv(
+            &dir,
+            "t.csv",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert_eq!(text, "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn json_writes_pretty() {
+        let dir = std::env::temp_dir().join("nvfi_report_test");
+        let path =
+            write_json(&dir, "t.json", &serde_json::json!({"x": [1, 2, 3]})).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains("\"x\""));
+    }
+}

@@ -1,0 +1,228 @@
+//! Statistics for campaign results: box-plot summaries and heat maps.
+
+use std::fmt;
+
+/// Five-number summary (plus mean) of a sample, with linear-interpolation
+/// quartiles — what each box of Fig. 2 shows.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct FiveNum {
+    /// Smallest observation.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl FiveNum {
+    /// Computes the summary of a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample` is empty.
+    #[must_use]
+    pub fn from_sample(sample: &[f64]) -> Self {
+        assert!(!sample.is_empty(), "five-number summary of an empty sample");
+        let mut v = sample.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        FiveNum {
+            min: v[0],
+            q1: quantile_sorted(&v, 0.25),
+            median: quantile_sorted(&v, 0.5),
+            q3: quantile_sorted(&v, 0.75),
+            max: v[v.len() - 1],
+            mean,
+            n: v.len(),
+        }
+    }
+
+    /// Interquartile range.
+    #[must_use]
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+impl fmt::Display for FiveNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "min {:.2} | q1 {:.2} | med {:.2} | q3 {:.2} | max {:.2} (n={})",
+            self.min, self.q1, self.median, self.q3, self.max, self.n
+        )
+    }
+}
+
+/// Linear-interpolation quantile of an ascending-sorted slice (the "R-7"
+/// definition used by numpy/matplotlib, so box plots match the paper's
+/// toolchain).
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+#[must_use]
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of an empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// A dense rows x cols grid of f64 cells — the Fig. 3 heat maps.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HeatMap {
+    rows: usize,
+    cols: usize,
+    cells: Vec<f64>,
+}
+
+impl HeatMap {
+    /// Creates a zero-filled grid.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize) -> Self {
+        HeatMap { rows, cols, cells: vec![0.0; rows * cols] }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Cell value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[must_use]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols);
+        self.cells[r * self.cols + c]
+    }
+
+    /// Sets a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols);
+        self.cells[r * self.cols + c] = v;
+    }
+
+    /// `(min, max)` over all cells.
+    #[must_use]
+    pub fn range(&self) -> (f64, f64) {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in &self.cells {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        (min, max)
+    }
+
+    /// The `(row, col)` of the most negative cell — "the most significant
+    /// drop" cell the paper calls out.
+    #[must_use]
+    pub fn argmin(&self) -> (usize, usize) {
+        let mut best = (0usize, 0usize);
+        let mut val = f64::INFINITY;
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if self.at(r, c) < val {
+                    val = self.at(r, c);
+                    best = (r, c);
+                }
+            }
+        }
+        best
+    }
+
+    /// All cells, row-major.
+    #[must_use]
+    pub fn cells(&self) -> &[f64] {
+        &self.cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_num_of_known_sample() {
+        let s = FiveNum::from_sample(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.iqr(), 2.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [0.0, 10.0];
+        assert_eq!(quantile_sorted(&v, 0.5), 5.0);
+        assert_eq!(quantile_sorted(&v, 0.25), 2.5);
+        assert_eq!(quantile_sorted(&[7.0], 0.9), 7.0);
+    }
+
+    #[test]
+    fn five_num_unsorted_input() {
+        let s = FiveNum::from_sample(&[5.0, 1.0, 3.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_rejected() {
+        let _ = FiveNum::from_sample(&[]);
+    }
+
+    #[test]
+    fn heatmap_argmin_and_range() {
+        let mut h = HeatMap::new(2, 3);
+        h.set(1, 2, -12.5);
+        h.set(0, 0, 3.0);
+        assert_eq!(h.argmin(), (1, 2));
+        assert_eq!(h.range(), (-12.5, 3.0));
+        assert_eq!(h.at(1, 2), -12.5);
+    }
+
+    /// Oracle comparison against a simple sorted-slice implementation.
+    #[test]
+    fn quantiles_match_sorted_slice_oracle() {
+        let data: Vec<f64> = (0..101).map(|i| (i * 37 % 101) as f64).collect();
+        let s = FiveNum::from_sample(&data);
+        // 0..=100 permuted: quantiles of the uniform grid.
+        assert_eq!(s.median, 50.0);
+        assert_eq!(s.q1, 25.0);
+        assert_eq!(s.q3, 75.0);
+    }
+}

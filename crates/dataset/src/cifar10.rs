@@ -1,0 +1,147 @@
+//! Loader for the real CIFAR-10 binary format.
+//!
+//! Each record of a CIFAR-10 binary file is 3073 bytes: one label byte
+//! followed by 3x32x32 pixel bytes in CHW order. If you have the dataset
+//! (`cifar-10-batches-bin/`), the experiments can run on it instead of
+//! SynthCIFAR; pixel values are scaled to `[-1, 1]`.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use nvfi_tensor::{Shape4, Tensor};
+
+use crate::Dataset;
+
+/// Bytes per record: 1 label + 3072 pixels.
+pub const RECORD_BYTES: usize = 3073;
+/// Image side length.
+pub const SIZE: usize = 32;
+
+/// Error loading a CIFAR-10 binary file.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The file could not be read.
+    Io(io::Error),
+    /// The file length is not a multiple of the record size.
+    BadLength {
+        /// Observed file length in bytes.
+        len: usize,
+    },
+    /// A record had a label byte outside `0..10`.
+    BadLabel {
+        /// Record index.
+        record: usize,
+        /// The offending label byte.
+        label: u8,
+    },
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "could not read CIFAR-10 file: {e}"),
+            LoadError::BadLength { len } => {
+                write!(f, "file length {len} is not a multiple of {RECORD_BYTES}")
+            }
+            LoadError::BadLabel { record, label } => {
+                write!(f, "record {record} has invalid label {label}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Parses CIFAR-10 records from an in-memory buffer.
+///
+/// # Errors
+///
+/// Returns [`LoadError::BadLength`] or [`LoadError::BadLabel`] on malformed
+/// input.
+pub fn parse(bytes: &[u8]) -> Result<Dataset, LoadError> {
+    if bytes.len() % RECORD_BYTES != 0 {
+        return Err(LoadError::BadLength { len: bytes.len() });
+    }
+    let n = bytes.len() / RECORD_BYTES;
+    let mut images = Tensor::zeros(Shape4::new(n, 3, SIZE, SIZE));
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let rec = &bytes[i * RECORD_BYTES..(i + 1) * RECORD_BYTES];
+        let label = rec[0];
+        if label >= 10 {
+            return Err(LoadError::BadLabel { record: i, label });
+        }
+        labels.push(label);
+        let img = images.image_mut(i);
+        for (dst, &px) in img.iter_mut().zip(&rec[1..]) {
+            *dst = px as f32 / 127.5 - 1.0;
+        }
+    }
+    Ok(Dataset::new(images, labels))
+}
+
+/// Loads one CIFAR-10 binary batch file.
+///
+/// # Errors
+///
+/// Returns [`LoadError`] if the file cannot be read or is malformed.
+pub fn load_batch(path: impl AsRef<Path>) -> Result<Dataset, LoadError> {
+    parse(&fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(label: u8, fill: u8) -> Vec<u8> {
+        let mut r = vec![fill; RECORD_BYTES];
+        r[0] = label;
+        r
+    }
+
+    #[test]
+    fn parses_two_records() {
+        let mut bytes = record(3, 0);
+        bytes.extend(record(9, 255));
+        let d = parse(&bytes).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.labels, vec![3, 9]);
+        assert_eq!(d.images.at(0, 0, 0, 0), -1.0);
+        assert_eq!(d.images.at(1, 2, 31, 31), 1.0);
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let bytes = vec![0u8; RECORD_BYTES - 1];
+        assert!(matches!(parse(&bytes), Err(LoadError::BadLength { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_label() {
+        let bytes = record(10, 0);
+        let err = parse(&bytes).unwrap_err();
+        assert!(matches!(err, LoadError::BadLabel { record: 0, label: 10 }));
+        assert!(err.to_string().contains("invalid label"));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_batch("/nonexistent/cifar.bin").unwrap_err();
+        assert!(matches!(err, LoadError::Io(_)));
+    }
+}

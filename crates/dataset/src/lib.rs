@@ -1,0 +1,36 @@
+//! Datasets for the fault-injection experiments.
+//!
+//! The paper evaluates on CIFAR-10 with a pre-trained ResNet-18 from the
+//! Tengine model zoo. Neither the dataset download nor the pre-trained model
+//! is available in this environment, so the workspace ships **SynthCIFAR**
+//! ([`SynthCifar`]): a fully deterministic, seeded generator of 32x32x3
+//! images in 10 classes. Each class is a parameterized procedural texture
+//! (stripes, checkerboards, rings, blobs, ...) with per-sample geometric and
+//! photometric jitter plus Gaussian noise; the noise level makes classes
+//! partially confusable so a small CNN lands in the paper's ~75% accuracy
+//! regime instead of saturating at 100%.
+//!
+//! For users who do have the real data, [`cifar10`] loads the standard
+//! CIFAR-10 binary format (`data_batch_*.bin` / `test_batch.bin`).
+//!
+//! # Examples
+//!
+//! ```
+//! use nvfi_dataset::{SynthCifar, SynthCifarConfig};
+//!
+//! let data = SynthCifar::new(SynthCifarConfig { train: 64, test: 16, ..Default::default() })
+//!     .generate();
+//! assert_eq!(data.train.len(), 64);
+//! assert_eq!(data.test.len(), 16);
+//! assert_eq!(data.train.images.shape().c, 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cifar10;
+mod split;
+mod synth;
+
+pub use split::{Dataset, TrainTest, NUM_CLASSES};
+pub use synth::{SynthCifar, SynthCifarConfig};

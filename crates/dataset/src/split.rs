@@ -1,0 +1,161 @@
+//! Dataset containers.
+
+use nvfi_tensor::{Shape4, Tensor};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Number of classes in SynthCIFAR / CIFAR-10.
+pub const NUM_CLASSES: usize = 10;
+
+/// A labelled image-classification dataset: dense NCHW f32 images (roughly
+/// in `[-1, 1]`) and one label per batch item.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Images, shape `(N, 3, H, W)`.
+    pub images: Tensor<f32>,
+    /// Class labels, `labels.len() == N`.
+    pub labels: Vec<u8>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating that labels match the batch dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != images.shape().n` or any label is out of
+    /// range.
+    #[must_use]
+    pub fn new(images: Tensor<f32>, labels: Vec<u8>) -> Self {
+        assert_eq!(images.shape().n, labels.len(), "labels do not match batch size");
+        assert!(
+            labels.iter().all(|&l| (l as usize) < NUM_CLASSES),
+            "label out of range (>= {NUM_CLASSES})"
+        );
+        Dataset { images, labels }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// A deterministic shuffled index permutation for epoch iteration.
+    #[must_use]
+    pub fn shuffled_indices(&self, seed: u64) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        idx
+    }
+
+    /// Copies the samples at `indices` into a new contiguous batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    #[must_use]
+    pub fn gather(&self, indices: &[usize]) -> Dataset {
+        let s = self.images.shape();
+        let mut images = Tensor::zeros(Shape4::new(indices.len(), s.c, s.h, s.w));
+        let mut labels = Vec::with_capacity(indices.len());
+        for (row, &i) in indices.iter().enumerate() {
+            images.image_mut(row).copy_from_slice(self.images.image(i));
+            labels.push(self.labels[i]);
+        }
+        Dataset { images, labels }
+    }
+
+    /// The first `n` samples as a new dataset (useful for fixed evaluation
+    /// subsets); `n` is clamped to the dataset size.
+    #[must_use]
+    pub fn take(&self, n: usize) -> Dataset {
+        let n = n.min(self.len());
+        self.gather(&(0..n).collect::<Vec<_>>())
+    }
+
+    /// Per-class sample counts.
+    #[must_use]
+    pub fn class_histogram(&self) -> [usize; NUM_CLASSES] {
+        let mut h = [0usize; NUM_CLASSES];
+        for &l in &self.labels {
+            h[l as usize] += 1;
+        }
+        h
+    }
+}
+
+/// A train/test split.
+#[derive(Clone, Debug)]
+pub struct TrainTest {
+    /// Training partition.
+    pub train: Dataset,
+    /// Held-out test partition.
+    pub test: Dataset,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let images = Tensor::from_fn(Shape4::new(4, 1, 2, 2), |n, _, _, _| n as f32);
+        Dataset::new(images, vec![0, 1, 2, 3])
+    }
+
+    #[test]
+    fn gather_reorders() {
+        let d = tiny();
+        let g = d.gather(&[3, 0]);
+        assert_eq!(g.labels, vec![3, 0]);
+        assert_eq!(g.images.at(0, 0, 0, 0), 3.0);
+        assert_eq!(g.images.at(1, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn take_clamps() {
+        let d = tiny();
+        assert_eq!(d.take(2).len(), 2);
+        assert_eq!(d.take(99).len(), 4);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_permutation() {
+        let d = tiny();
+        let a = d.shuffled_indices(7);
+        let b = d.shuffled_indices(7);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        assert_ne!(d.shuffled_indices(8), a, "different seeds should differ");
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let d = tiny();
+        let h = d.class_histogram();
+        assert_eq!(&h[..4], &[1, 1, 1, 1]);
+        assert_eq!(h[4..].iter().sum::<usize>(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels do not match")]
+    fn mismatched_labels_rejected() {
+        let images = Tensor::<f32>::zeros(Shape4::new(2, 1, 1, 1));
+        let _ = Dataset::new(images, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn oversized_label_rejected() {
+        let images = Tensor::<f32>::zeros(Shape4::new(1, 1, 1, 1));
+        let _ = Dataset::new(images, vec![10]);
+    }
+}

@@ -1,0 +1,313 @@
+//! SynthCIFAR: a deterministic procedural stand-in for CIFAR-10.
+
+use std::f32::consts::PI;
+
+use nvfi_tensor::{Shape4, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Dataset, TrainTest, NUM_CLASSES};
+
+/// Configuration of the SynthCIFAR generator.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct SynthCifarConfig {
+    /// Number of training samples.
+    pub train: usize,
+    /// Number of test samples.
+    pub test: usize,
+    /// Image height/width (CIFAR uses 32).
+    pub size: usize,
+    /// RNG seed; the same seed always produces the same dataset.
+    pub seed: u64,
+    /// Gaussian pixel-noise standard deviation.
+    pub noise: f32,
+    /// Amplitude of per-sample geometric jitter (phase/offset/frequency).
+    pub jitter: f32,
+    /// Fraction of samples whose label is replaced by a uniform random
+    /// class (applied to train *and* test splits). This bounds achievable
+    /// test accuracy at `1 - label_noise * 9/10` no matter how strong the
+    /// classifier — the knob that pins the experiments near the paper's
+    /// 75.5% operating point (`0.27` gives a 75.7% ceiling).
+    pub label_noise: f32,
+}
+
+impl Default for SynthCifarConfig {
+    fn default() -> Self {
+        SynthCifarConfig {
+            train: 4000,
+            test: 1000,
+            size: 32,
+            seed: 0xC1FA_0002,
+            noise: 0.55,
+            jitter: 1.0,
+            label_noise: 0.0,
+        }
+    }
+}
+
+/// Generator for the synthetic 10-class dataset. See the crate docs for why
+/// this substitutes CIFAR-10.
+///
+/// # Examples
+///
+/// ```
+/// use nvfi_dataset::{SynthCifar, SynthCifarConfig};
+/// let cfg = SynthCifarConfig { train: 10, test: 5, ..Default::default() };
+/// let a = SynthCifar::new(cfg).generate();
+/// let b = SynthCifar::new(cfg).generate();
+/// assert_eq!(a.train.images.as_slice(), b.train.images.as_slice()); // deterministic
+/// ```
+#[derive(Clone, Debug)]
+pub struct SynthCifar {
+    config: SynthCifarConfig,
+}
+
+impl SynthCifar {
+    /// Creates a generator with the given configuration.
+    #[must_use]
+    pub fn new(config: SynthCifarConfig) -> Self {
+        SynthCifar { config }
+    }
+
+    /// The generator's configuration.
+    #[must_use]
+    pub fn config(&self) -> &SynthCifarConfig {
+        &self.config
+    }
+
+    /// Generates the train/test split. Classes are balanced round-robin.
+    #[must_use]
+    pub fn generate(&self) -> TrainTest {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let train = self.generate_split(self.config.train, &mut rng);
+        let test = self.generate_split(self.config.test, &mut rng);
+        TrainTest { train, test }
+    }
+
+    fn generate_split(&self, n: usize, rng: &mut StdRng) -> Dataset {
+        let size = self.config.size;
+        let mut images = Tensor::zeros(Shape4::new(n, 3, size, size));
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = (i % NUM_CLASSES) as u8;
+            self.render(class, rng, images.image_mut(i));
+            // Label corruption: the image stays a genuine `class` sample,
+            // but the recorded label may lie.
+            let label = if self.config.label_noise > 0.0
+                && rng.gen_range(0.0..1.0) < self.config.label_noise
+            {
+                rng.gen_range(0..NUM_CLASSES as u8)
+            } else {
+                class
+            };
+            labels.push(label);
+        }
+        Dataset::new(images, labels)
+    }
+
+    /// Renders one sample of `class` into a CHW buffer.
+    fn render(&self, class: u8, rng: &mut StdRng, out: &mut [f32]) {
+        let size = self.config.size;
+        let j = self.config.jitter;
+        // Per-sample jitter parameters.
+        let phase: f32 = rng.gen_range(0.0..2.0 * PI) * j;
+        let freq_jit: f32 = 1.0 + j * rng.gen_range(-0.15..0.15);
+        let cx: f32 = 0.5 + j * rng.gen_range(-0.15..0.15);
+        let cy: f32 = 0.5 + j * rng.gen_range(-0.15..0.15);
+        let amp: f32 = 0.8 + j * rng.gen_range(-0.2..0.2);
+        // Class-specific colour mixing: each class tints channels differently.
+        let tint = CLASS_TINTS[class as usize];
+
+        for c in 0..3usize {
+            for y in 0..size {
+                for x in 0..size {
+                    let u = x as f32 / size as f32;
+                    let v = y as f32 / size as f32;
+                    let p = pattern(class, u, v, cx, cy, phase, freq_jit);
+                    let noise = gaussian(rng) * self.config.noise;
+                    let val = amp * p * tint[c] + noise;
+                    out[(c * size + y) * size + x] = val.clamp(-2.0, 2.0);
+                }
+            }
+        }
+    }
+}
+
+/// Per-class channel tints (roughly unit energy, distinct directions).
+const CLASS_TINTS: [[f32; 3]; NUM_CLASSES] = [
+    [1.0, 0.6, 0.2],
+    [0.2, 1.0, 0.6],
+    [0.6, 0.2, 1.0],
+    [1.0, 1.0, 0.3],
+    [0.3, 1.0, 1.0],
+    [1.0, 0.3, 1.0],
+    [0.9, 0.9, 0.9],
+    [1.0, 0.5, 0.5],
+    [0.5, 0.5, 1.0],
+    [0.7, 1.0, 0.4],
+];
+
+/// The base texture of each class at normalized coordinates `(u, v)`.
+fn pattern(class: u8, u: f32, v: f32, cx: f32, cy: f32, phase: f32, fj: f32) -> f32 {
+    let du = u - cx;
+    let dv = v - cy;
+    let r2 = du * du + dv * dv;
+    match class {
+        // Horizontal stripes.
+        0 => (v * 6.0 * fj * 2.0 * PI + phase).sin(),
+        // Vertical stripes.
+        1 => (u * 6.0 * fj * 2.0 * PI + phase).sin(),
+        // Diagonal stripes.
+        2 => ((u + v) * 5.0 * fj * 2.0 * PI + phase).sin(),
+        // Checkerboard.
+        3 => {
+            let a = (u * 4.0 * fj * 2.0 * PI + phase).sin();
+            let b = (v * 4.0 * fj * 2.0 * PI + phase).sin();
+            if a * b > 0.0 {
+                1.0
+            } else {
+                -1.0
+            }
+        }
+        // Concentric rings.
+        4 => (r2.sqrt() * 12.0 * fj * 2.0 * PI + phase).sin(),
+        // Centred Gaussian blob.
+        5 => (2.0 * (-r2 * 14.0 * fj).exp()) - 0.6,
+        // Corner-to-corner gradient.
+        6 => (u + v - 1.0) * 1.6 + 0.2 * (phase).sin(),
+        // Plus / cross shape.
+        7 => {
+            if du.abs() < 0.12 || dv.abs() < 0.12 {
+                1.0
+            } else {
+                -0.8
+            }
+        }
+        // High-frequency hatch.
+        8 => ((u * 11.0 - v * 9.0) * fj * 2.0 * PI + phase).sin(),
+        // Dark vignette disc.
+        9 => {
+            if r2 < 0.09 {
+                -1.0
+            } else {
+                0.7
+            }
+        }
+        _ => unreachable!("class out of range"),
+    }
+}
+
+/// Standard normal via Box-Muller.
+fn gaussian(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_classes() {
+        let data = SynthCifar::new(SynthCifarConfig { train: 100, test: 50, ..Default::default() })
+            .generate();
+        let h = data.train.class_histogram();
+        assert!(h.iter().all(|&c| c == 10), "{h:?}");
+        let ht = data.test.class_histogram();
+        assert!(ht.iter().all(|&c| c == 5), "{ht:?}");
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_distinct_across_seeds() {
+        let cfg = SynthCifarConfig { train: 20, test: 0, ..Default::default() };
+        let a = SynthCifar::new(cfg).generate();
+        let b = SynthCifar::new(cfg).generate();
+        assert_eq!(a.train.images.as_slice(), b.train.images.as_slice());
+        let c = SynthCifar::new(SynthCifarConfig { seed: 99, ..cfg }).generate();
+        assert_ne!(a.train.images.as_slice(), c.train.images.as_slice());
+    }
+
+    #[test]
+    fn label_noise_corrupts_roughly_the_requested_fraction() {
+        let cfg = SynthCifarConfig { train: 1000, test: 0, label_noise: 0.3, ..Default::default() };
+        let data = SynthCifar::new(cfg).generate();
+        // True class is i % 10 by construction; count disagreements.
+        let wrong = data
+            .train
+            .labels
+            .iter()
+            .enumerate()
+            .filter(|(i, &l)| l != (i % NUM_CLASSES) as u8)
+            .count();
+        // 30% corrupted, of which 1/10 lands back on the true class:
+        // expect ~27% disagreement.
+        assert!((170..=370).contains(&wrong), "wrong = {wrong}");
+        // Zero label noise keeps labels exact.
+        let clean = SynthCifar::new(SynthCifarConfig { label_noise: 0.0, train: 100, test: 0, ..cfg })
+            .generate();
+        assert!(clean
+            .train
+            .labels
+            .iter()
+            .enumerate()
+            .all(|(i, &l)| l == (i % NUM_CLASSES) as u8));
+    }
+
+    #[test]
+    fn pixel_range_is_bounded() {
+        let data = SynthCifar::new(SynthCifarConfig { train: 30, test: 0, ..Default::default() })
+            .generate();
+        assert!(data.train.images.as_slice().iter().all(|v| v.abs() <= 2.0));
+        assert!(data.train.images.max_abs() > 0.1, "images should not be blank");
+    }
+
+    #[test]
+    fn noise_zero_gives_clean_patterns() {
+        let cfg = SynthCifarConfig { train: 10, test: 0, noise: 0.0, jitter: 0.0, ..Default::default() };
+        let a = SynthCifar::new(cfg).generate();
+        let b = SynthCifar::new(SynthCifarConfig { seed: 123, ..cfg }).generate();
+        // With zero noise and zero jitter, same-class images are identical
+        // even across seeds.
+        assert_eq!(a.train.images.image(0), b.train.images.image(0));
+    }
+
+    #[test]
+    fn classes_are_separable_by_template_matching() {
+        // A nearest-template classifier on noiseless class means must beat
+        // 80% on modest noise — sanity that the task is learnable.
+        let clean = SynthCifar::new(SynthCifarConfig {
+            train: NUM_CLASSES,
+            test: 0,
+            noise: 0.0,
+            jitter: 0.0,
+            ..Default::default()
+        })
+        .generate();
+        let noisy = SynthCifar::new(SynthCifarConfig {
+            train: 200,
+            test: 0,
+            noise: 0.4,
+            jitter: 0.0, // geometric jitter defeats raw template matching
+            ..Default::default()
+        })
+        .generate();
+        let mut correct = 0usize;
+        for i in 0..noisy.train.len() {
+            let img = noisy.train.images.image(i);
+            let mut best = (f32::MAX, 0u8);
+            for t in 0..NUM_CLASSES {
+                let tmpl = clean.train.images.image(t);
+                let d: f32 = img.iter().zip(tmpl).map(|(a, b)| (a - b) * (a - b)).sum();
+                if d < best.0 {
+                    best = (d, clean.train.labels[t]);
+                }
+            }
+            if best.1 == noisy.train.labels[i] {
+                correct += 1;
+            }
+        }
+        let acc = correct as f32 / noisy.train.len() as f32;
+        assert!(acc > 0.8, "template accuracy {acc}");
+    }
+}

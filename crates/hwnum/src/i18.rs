@@ -1,0 +1,304 @@
+//! The 18-bit two's-complement multiplier-output lane.
+
+use core::fmt;
+use core::ops::{Add, Neg, Sub};
+
+/// A signed value carried on an 18-bit two's-complement hardware lane.
+///
+/// `I18` is the unit of fault injection in the emulated platform: every
+/// multiplier output in the CMAC is an 18-bit lane, and the injector replaces
+/// a configurable subset of those 18 wires with constant bits
+/// (see [`I18::overridden`]).
+///
+/// The value is stored sign-extended in an `i32`; the invariant
+/// `I18::MIN.value() <= v <= I18::MAX.value()` always holds. All arithmetic
+/// wraps modulo 2^18 exactly like the hardware lane would.
+///
+/// # Examples
+///
+/// ```
+/// use nvfi_hwnum::I18;
+///
+/// assert_eq!(I18::new(131071), I18::MAX);
+/// assert_eq!(I18::new(131072), I18::MIN);          // wraps
+/// assert_eq!(I18::MAX + I18::new(1), I18::MIN);    // wraps
+/// assert_eq!(I18::new(-1).bits(), 0x3FFFF);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct I18(i32);
+
+impl I18 {
+    /// Bit width of the lane.
+    pub const BITS: u32 = 18;
+    /// All 18 lane bits set: the mask a full-override fault uses as `fsel`.
+    pub const MASK: u32 = (1 << Self::BITS) - 1;
+    /// The most negative representable value, `-2^17`.
+    pub const MIN: I18 = I18(-(1 << 17));
+    /// The most positive representable value, `2^17 - 1`.
+    pub const MAX: I18 = I18((1 << 17) - 1);
+    /// Zero.
+    pub const ZERO: I18 = I18(0);
+
+    /// Creates a lane value, wrapping `v` into the 18-bit range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nvfi_hwnum::I18;
+    /// assert_eq!(I18::new(5).value(), 5);
+    /// assert_eq!(I18::new(1 << 18).value(), 0); // wraps modulo 2^18
+    /// ```
+    #[inline]
+    #[must_use]
+    pub const fn new(v: i32) -> Self {
+        Self::from_bits(v as u32 & Self::MASK)
+    }
+
+    /// Reinterprets the low 18 bits of `bits` as a two's-complement value.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nvfi_hwnum::I18;
+    /// assert_eq!(I18::from_bits(0x3FFFF).value(), -1);
+    /// assert_eq!(I18::from_bits(0x20000).value(), -131072);
+    /// ```
+    #[inline]
+    #[must_use]
+    pub const fn from_bits(bits: u32) -> Self {
+        let b = bits & Self::MASK;
+        // Sign-extend bit 17 into the i32.
+        let v = if b & (1 << 17) != 0 {
+            (b | !Self::MASK) as i32
+        } else {
+            b as i32
+        };
+        I18(v)
+    }
+
+    /// Computes the product of a signed 8-bit activation and weight on the
+    /// lane. `i8 x i8` always fits in 18 bits (|p| <= 16384), so this never
+    /// wraps.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nvfi_hwnum::I18;
+    /// assert_eq!(I18::from_product(-128, 127).value(), -16256);
+    /// ```
+    #[inline]
+    #[must_use]
+    pub const fn from_product(a: i8, w: i8) -> Self {
+        I18(a as i32 * w as i32)
+    }
+
+    /// The sign-extended numeric value of the lane.
+    #[inline]
+    #[must_use]
+    pub const fn value(self) -> i32 {
+        self.0
+    }
+
+    /// The raw 18 lane bits (two's complement, bit 17 is the sign).
+    #[inline]
+    #[must_use]
+    pub const fn bits(self) -> u32 {
+        (self.0 as u32) & Self::MASK
+    }
+
+    /// Applies the fault-injector mux to the lane:
+    /// `out[i] = fsel[i] ? fdata[i] : self[i]` for each of the 18 wires.
+    ///
+    /// This mirrors the per-bit multiplexer of the DATE 2025 platform
+    /// (`fsel(18)` / `fdata(18)` in its Fig. 1). Bits of `fsel`/`fdata` above
+    /// bit 17 are ignored.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nvfi_hwnum::I18;
+    /// let p = I18::new(100);
+    /// // Stuck-at-0 on all wires:
+    /// assert_eq!(p.overridden(I18::MASK, 0), I18::ZERO);
+    /// // Stuck-at-1 on the sign wire only:
+    /// assert_eq!(p.overridden(1 << 17, I18::MASK).value(), 100 - (1 << 18) + (1 << 17));
+    /// ```
+    #[inline]
+    #[must_use]
+    pub const fn overridden(self, fsel: u32, fdata: u32) -> Self {
+        let fsel = fsel & Self::MASK;
+        Self::from_bits((self.bits() & !fsel) | (fdata & fsel))
+    }
+
+    /// Wrapping lane addition (modulo 2^18).
+    #[inline]
+    #[must_use]
+    pub const fn wrapping_add(self, rhs: Self) -> Self {
+        Self::new(self.0.wrapping_add(rhs.0))
+    }
+
+    /// Wrapping lane subtraction (modulo 2^18).
+    #[inline]
+    #[must_use]
+    pub const fn wrapping_sub(self, rhs: Self) -> Self {
+        Self::new(self.0.wrapping_sub(rhs.0))
+    }
+}
+
+impl From<i8> for I18 {
+    #[inline]
+    fn from(v: i8) -> Self {
+        I18(v as i32)
+    }
+}
+
+impl From<i16> for I18 {
+    #[inline]
+    fn from(v: i16) -> Self {
+        I18(v as i32)
+    }
+}
+
+impl From<I18> for i32 {
+    #[inline]
+    fn from(v: I18) -> i32 {
+        v.0
+    }
+}
+
+impl Add for I18 {
+    type Output = I18;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self.wrapping_add(rhs)
+    }
+}
+
+impl Sub for I18 {
+    type Output = I18;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        self.wrapping_sub(rhs)
+    }
+}
+
+impl Neg for I18 {
+    type Output = I18;
+    #[inline]
+    fn neg(self) -> Self {
+        I18::new(self.0.wrapping_neg())
+    }
+}
+
+impl fmt::Debug for I18 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "I18({})", self.0)
+    }
+}
+
+impl fmt::Display for I18 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for I18 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.bits(), f)
+    }
+}
+
+impl fmt::UpperHex for I18 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.bits(), f)
+    }
+}
+
+impl fmt::Binary for I18 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.bits(), f)
+    }
+}
+
+impl fmt::Octal for I18 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.bits(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn product_extremes_fit() {
+        assert_eq!(I18::from_product(-128, -128).value(), 16384);
+        assert_eq!(I18::from_product(-128, 127).value(), -16256);
+        assert_eq!(I18::from_product(127, 127).value(), 16129);
+        assert_eq!(I18::from_product(0, -128).value(), 0);
+    }
+
+    #[test]
+    fn wrap_at_boundaries() {
+        assert_eq!(I18::new(131071).value(), 131071);
+        assert_eq!(I18::new(131072).value(), -131072);
+        assert_eq!(I18::new(-131072).value(), -131072);
+        assert_eq!(I18::new(-131073).value(), 131071);
+        assert_eq!(I18::new(1 << 20).value(), 0);
+    }
+
+    #[test]
+    fn bits_roundtrip_for_negatives() {
+        assert_eq!(I18::new(-1).bits(), 0x3FFFF);
+        assert_eq!(I18::from_bits(0x3FFFF).value(), -1);
+        assert_eq!(I18::new(-2).bits(), 0x3FFFE);
+    }
+
+    #[test]
+    fn full_override_matches_constant() {
+        for v in [-131072i32, -1, 0, 1, 42, 131071] {
+            let p = I18::from_product(33, -77);
+            let forced = p.overridden(I18::MASK, I18::new(v).bits());
+            assert_eq!(forced.value(), v, "forcing {v}");
+        }
+    }
+
+    #[test]
+    fn empty_override_is_identity() {
+        let p = I18::new(-4242);
+        assert_eq!(p.overridden(0, 0x3FFFF), p);
+    }
+
+    #[test]
+    fn partial_override_single_bit() {
+        let p = I18::new(0); // all wires 0
+        let forced = p.overridden(1 << 5, u32::MAX);
+        assert_eq!(forced.value(), 32);
+        let cleared = I18::new(-1).overridden(1 << 17, 0);
+        assert_eq!(cleared.value(), 131071); // sign wire cleared
+    }
+
+    #[test]
+    fn add_wraps_like_hardware() {
+        assert_eq!((I18::MAX + I18::new(1)), I18::MIN);
+        assert_eq!((I18::MIN + I18::new(-1)), I18::MAX);
+        assert_eq!((I18::new(-5) - I18::new(-5)), I18::ZERO);
+        assert_eq!(-I18::MIN, I18::MIN); // -(-2^17) wraps to itself
+    }
+
+    #[test]
+    fn formatting_is_nonempty() {
+        let v = I18::new(-1);
+        assert_eq!(format!("{v}"), "-1");
+        assert_eq!(format!("{v:x}"), "3ffff");
+        assert_eq!(format!("{v:b}"), "111111111111111111");
+        assert_eq!(format!("{:?}", I18::ZERO), "I18(0)");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(I18::from(-128i8).value(), -128);
+        assert_eq!(I18::from(-30000i16).value(), -30000);
+        assert_eq!(i32::from(I18::MAX), 131071);
+    }
+}

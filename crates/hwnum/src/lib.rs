@@ -1,0 +1,40 @@
+//! Fixed-width hardware arithmetic for the emulated NVDLA-style datapath.
+//!
+//! The accelerator modelled by this workspace multiplies signed 8-bit
+//! activations with signed 8-bit weights. In the real CMAC pipeline each
+//! product is carried on an **18-bit lane** (16 significant bits plus guard
+//! bits for the adder tree), and the DATE 2025 fault-injection platform
+//! overrides exactly those 18 wires. This crate provides:
+//!
+//! * [`I18`] — a value on an 18-bit two's-complement lane with wrapping
+//!   arithmetic and raw bit access, the unit the fault injector manipulates;
+//! * [`Requant`] — the fixed-point (multiplier, shift) re-quantization used by
+//!   the SDP post-processing unit to map i32 accumulators back to i8
+//!   activations;
+//! * [`sat`] — saturation helpers shared by the quantizer, the CPU reference
+//!   executor and the accelerator model.
+//!
+//! # Examples
+//!
+//! ```
+//! use nvfi_hwnum::I18;
+//!
+//! let p = I18::from_product(-128, -128); // 16384 fits easily in 18 bits
+//! assert_eq!(p.value(), 16384);
+//! // A fault injector forcing all 18 wires to the constant -1:
+//! let faulted = p.overridden(I18::MASK, 0x3FFFF);
+//! assert_eq!(faulted.value(), -1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod i18;
+mod requant;
+pub mod sat;
+
+pub use i18::I18;
+pub use requant::{EncodeScaleError, Requant};
+
+/// Number of bits on a multiplier output lane in the modelled CMAC.
+pub const LANE_BITS: u32 = 18;

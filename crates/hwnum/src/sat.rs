@@ -1,0 +1,94 @@
+//! Saturation helpers shared across the quantizer, CPU executor and
+//! accelerator model.
+//!
+//! All clamping in the datapath goes through these functions so the semantics
+//! (symmetric int8 range `[-128, 127]`, i32 saturation of accumulators when
+//! drained) are defined in exactly one place.
+
+/// Saturates to the signed 8-bit activation range `[-128, 127]`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(nvfi_hwnum::sat::to_i8(300), 127);
+/// assert_eq!(nvfi_hwnum::sat::to_i8(-300), -128);
+/// assert_eq!(nvfi_hwnum::sat::to_i8(-7), -7);
+/// ```
+#[inline]
+#[must_use]
+pub fn to_i8(x: i64) -> i8 {
+    x.clamp(i8::MIN as i64, i8::MAX as i64) as i8
+}
+
+/// Saturates to the signed 32-bit range.
+#[inline]
+#[must_use]
+pub fn to_i32(x: i64) -> i32 {
+    x.clamp(i32::MIN as i64, i32::MAX as i64) as i32
+}
+
+/// Clamps a 128-bit intermediate back to `i64`.
+#[inline]
+#[must_use]
+pub fn clamp_i128_to_i64(x: i128) -> i64 {
+    x.clamp(i64::MIN as i128, i64::MAX as i128) as i64
+}
+
+/// Quantizes a real value to i8 with round-half-away-from-zero and
+/// saturation: `clamp(round(x / scale))`.
+///
+/// # Panics
+///
+/// Panics if `scale` is not strictly positive (quantization scales are
+/// validated at calibration time; a non-positive scale here is a logic error).
+#[inline]
+#[must_use]
+pub fn quantize_f32_to_i8(x: f32, scale: f32) -> i8 {
+    assert!(scale > 0.0, "quantization scale must be positive");
+    let q = (x / scale).round();
+    if q >= 127.0 {
+        127
+    } else if q <= -128.0 {
+        -128
+    } else {
+        q as i8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i8_saturation() {
+        assert_eq!(to_i8(127), 127);
+        assert_eq!(to_i8(128), 127);
+        assert_eq!(to_i8(-128), -128);
+        assert_eq!(to_i8(-129), -128);
+        assert_eq!(to_i8(0), 0);
+        assert_eq!(to_i8(i64::MAX), 127);
+        assert_eq!(to_i8(i64::MIN), -128);
+    }
+
+    #[test]
+    fn i32_saturation() {
+        assert_eq!(to_i32(i64::from(i32::MAX) + 1), i32::MAX);
+        assert_eq!(to_i32(i64::from(i32::MIN) - 1), i32::MIN);
+        assert_eq!(to_i32(42), 42);
+    }
+
+    #[test]
+    fn quantize_rounds_and_saturates() {
+        assert_eq!(quantize_f32_to_i8(1.0, 0.1), 10);
+        assert_eq!(quantize_f32_to_i8(0.05, 0.1), 1); // ties away from zero
+        assert_eq!(quantize_f32_to_i8(-0.05, 0.1), -1);
+        assert_eq!(quantize_f32_to_i8(100.0, 0.1), 127);
+        assert_eq!(quantize_f32_to_i8(-100.0, 0.1), -128);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn quantize_rejects_zero_scale() {
+        let _ = quantize_f32_to_i8(1.0, 0.0);
+    }
+}

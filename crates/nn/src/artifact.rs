@@ -1,0 +1,307 @@
+//! Versioned binary serialization of [`DeployModel`].
+//!
+//! Experiments train once and cache the folded model on disk; the format is
+//! a simple tagged binary layout (magic, version, op list) built with the
+//! `bytes` crate. A hand-rolled format is used instead of a serde backend
+//! because the offline environment provides no binary serde format crate —
+//! see DESIGN.md §5.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use nvfi_tensor::{Mat, Shape4, Tensor};
+
+use crate::deploy::{DeployModel, DeployOp, DeployOpKind};
+
+const MAGIC: u32 = 0x4E56_4649; // "NVFI"
+const VERSION: u16 = 1;
+
+const TAG_CONV: u8 = 1;
+const TAG_MAXPOOL: u8 = 2;
+const TAG_GAP: u8 = 3;
+const TAG_LINEAR: u8 = 4;
+
+/// Error decoding a model artifact.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Magic number mismatch: not an artifact file.
+    BadMagic(u32),
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// Structurally invalid payload.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact i/o error: {e}"),
+            ArtifactError::BadMagic(m) => write!(f, "bad magic {m:#010x}, not a model artifact"),
+            ArtifactError::BadVersion(v) => write!(f, "unsupported artifact version {v}"),
+            ArtifactError::Corrupt(what) => write!(f, "corrupt artifact: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ArtifactError {
+    fn from(e: io::Error) -> Self {
+        ArtifactError::Io(e)
+    }
+}
+
+/// Serializes a model to bytes.
+#[must_use]
+pub fn to_bytes(model: &DeployModel) -> Vec<u8> {
+    let mut b = BytesMut::new();
+    b.put_u32_le(MAGIC);
+    b.put_u16_le(VERSION);
+    put_shape(&mut b, model.input_shape);
+    b.put_u32_le(model.ops.len() as u32);
+    b.put_u32_le(model.output as u32);
+    for op in &model.ops {
+        b.put_u32_le(op.input as u32);
+        match &op.kind {
+            DeployOpKind::Conv { weight, bias, stride, pad, relu, fuse_add } => {
+                b.put_u8(TAG_CONV);
+                put_tensor(&mut b, weight);
+                put_f32s(&mut b, bias);
+                b.put_u32_le(*stride as u32);
+                b.put_u32_le(*pad as u32);
+                b.put_u8(u8::from(*relu));
+                match fuse_add {
+                    Some(v) => {
+                        b.put_u8(1);
+                        b.put_u32_le(*v as u32);
+                    }
+                    None => b.put_u8(0),
+                }
+            }
+            DeployOpKind::MaxPool { k, stride } => {
+                b.put_u8(TAG_MAXPOOL);
+                b.put_u32_le(*k as u32);
+                b.put_u32_le(*stride as u32);
+            }
+            DeployOpKind::GlobalAvgPool => b.put_u8(TAG_GAP),
+            DeployOpKind::Linear { weight, bias } => {
+                b.put_u8(TAG_LINEAR);
+                b.put_u32_le(weight.rows() as u32);
+                b.put_u32_le(weight.cols() as u32);
+                put_f32s(&mut b, weight.as_slice());
+                put_f32s(&mut b, bias);
+            }
+        }
+    }
+    b.to_vec()
+}
+
+/// Deserializes a model from bytes.
+///
+/// # Errors
+///
+/// Returns [`ArtifactError`] if the payload is not a valid artifact.
+pub fn from_bytes(data: &[u8]) -> Result<DeployModel, ArtifactError> {
+    let mut b = Bytes::copy_from_slice(data);
+    if b.remaining() < 6 {
+        return Err(ArtifactError::Corrupt("truncated header"));
+    }
+    let magic = b.get_u32_le();
+    if magic != MAGIC {
+        return Err(ArtifactError::BadMagic(magic));
+    }
+    let version = b.get_u16_le();
+    if version != VERSION {
+        return Err(ArtifactError::BadVersion(version));
+    }
+    let input_shape = get_shape(&mut b)?;
+    let n_ops = get_u32(&mut b)? as usize;
+    let output = get_u32(&mut b)? as usize;
+    if n_ops > 1_000_000 {
+        return Err(ArtifactError::Corrupt("absurd op count"));
+    }
+    let mut ops = Vec::with_capacity(n_ops);
+    for _ in 0..n_ops {
+        let input = get_u32(&mut b)? as usize;
+        if b.remaining() < 1 {
+            return Err(ArtifactError::Corrupt("missing op tag"));
+        }
+        let kind = match b.get_u8() {
+            TAG_CONV => {
+                let weight = get_tensor(&mut b)?;
+                let bias = get_f32s(&mut b)?;
+                let stride = get_u32(&mut b)? as usize;
+                let pad = get_u32(&mut b)? as usize;
+                if b.remaining() < 2 {
+                    return Err(ArtifactError::Corrupt("truncated conv op"));
+                }
+                let relu = b.get_u8() != 0;
+                let fuse_add = match b.get_u8() {
+                    0 => None,
+                    1 => Some(get_u32(&mut b)? as usize),
+                    _ => return Err(ArtifactError::Corrupt("bad fuse_add flag")),
+                };
+                DeployOpKind::Conv { weight, bias, stride, pad, relu, fuse_add }
+            }
+            TAG_MAXPOOL => {
+                let k = get_u32(&mut b)? as usize;
+                let stride = get_u32(&mut b)? as usize;
+                DeployOpKind::MaxPool { k, stride }
+            }
+            TAG_GAP => DeployOpKind::GlobalAvgPool,
+            TAG_LINEAR => {
+                let rows = get_u32(&mut b)? as usize;
+                let cols = get_u32(&mut b)? as usize;
+                let w = get_f32s(&mut b)?;
+                if w.len() != rows * cols {
+                    return Err(ArtifactError::Corrupt("linear weight length"));
+                }
+                let bias = get_f32s(&mut b)?;
+                DeployOpKind::Linear { weight: Mat::from_vec(rows, cols, w), bias }
+            }
+            _ => return Err(ArtifactError::Corrupt("unknown op tag")),
+        };
+        ops.push(DeployOp { input, kind });
+    }
+    if output > ops.len() {
+        return Err(ArtifactError::Corrupt("output id out of range"));
+    }
+    Ok(DeployModel { input_shape, ops, output })
+}
+
+/// Saves a model artifact to a file.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be written.
+pub fn save_file(model: &DeployModel, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+    Ok(fs::write(path, to_bytes(model))?)
+}
+
+/// Loads a model artifact from a file.
+///
+/// # Errors
+///
+/// Returns [`ArtifactError`] on I/O failure or malformed content.
+pub fn load_file(path: impl AsRef<Path>) -> Result<DeployModel, ArtifactError> {
+    from_bytes(&fs::read(path)?)
+}
+
+fn put_shape(b: &mut BytesMut, s: Shape4) {
+    b.put_u32_le(s.n as u32);
+    b.put_u32_le(s.c as u32);
+    b.put_u32_le(s.h as u32);
+    b.put_u32_le(s.w as u32);
+}
+
+fn get_shape(b: &mut Bytes) -> Result<Shape4, ArtifactError> {
+    Ok(Shape4::new(
+        get_u32(b)? as usize,
+        get_u32(b)? as usize,
+        get_u32(b)? as usize,
+        get_u32(b)? as usize,
+    ))
+}
+
+fn put_tensor(b: &mut BytesMut, t: &Tensor<f32>) {
+    put_shape(b, t.shape());
+    put_f32s(b, t.as_slice());
+}
+
+fn get_tensor(b: &mut Bytes) -> Result<Tensor<f32>, ArtifactError> {
+    let shape = get_shape(b)?;
+    let data = get_f32s(b)?;
+    if data.len() != shape.len() {
+        return Err(ArtifactError::Corrupt("tensor length mismatch"));
+    }
+    Ok(Tensor::from_vec(shape, data))
+}
+
+fn put_f32s(b: &mut BytesMut, v: &[f32]) {
+    b.put_u32_le(v.len() as u32);
+    for &x in v {
+        b.put_f32_le(x);
+    }
+}
+
+fn get_f32s(b: &mut Bytes) -> Result<Vec<f32>, ArtifactError> {
+    let len = get_u32(b)? as usize;
+    if b.remaining() < len * 4 {
+        return Err(ArtifactError::Corrupt("truncated f32 array"));
+    }
+    Ok((0..len).map(|_| b.get_f32_le()).collect())
+}
+
+fn get_u32(b: &mut Bytes) -> Result<u32, ArtifactError> {
+    if b.remaining() < 4 {
+        return Err(ArtifactError::Corrupt("truncated u32"));
+    }
+    Ok(b.get_u32_le())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fold::fold_resnet;
+    use crate::resnet::ResNet;
+
+    #[test]
+    fn roundtrip_preserves_forward() {
+        let net = ResNet::new(4, &[1, 1], 10, 2);
+        let model = fold_resnet(&net, 16);
+        let bytes = to_bytes(&model);
+        let restored = from_bytes(&bytes).unwrap();
+        let x = Tensor::from_fn(Shape4::new(1, 3, 16, 16), |_, c, h, w| {
+            ((c * 5 + h * 3 + w) % 7) as f32 * 0.1
+        });
+        assert_eq!(model.forward(&x).as_slice(), restored.forward(&x).as_slice());
+        assert_eq!(model.ops.len(), restored.ops.len());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(from_bytes(&[1, 2, 3]), Err(ArtifactError::Corrupt(_))));
+        let mut bytes = to_bytes(&fold_resnet(&ResNet::new(4, &[1], 10, 0), 8));
+        bytes[0] ^= 0xFF;
+        assert!(matches!(from_bytes(&bytes), Err(ArtifactError::BadMagic(_))));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut bytes = to_bytes(&fold_resnet(&ResNet::new(4, &[1], 10, 0), 8));
+        bytes[4] = 0xFF;
+        assert!(matches!(from_bytes(&bytes), Err(ArtifactError::BadVersion(_))));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let bytes = to_bytes(&fold_resnet(&ResNet::new(4, &[1], 10, 0), 8));
+        // Any strict prefix must fail, never panic.
+        for cut in (0..bytes.len()).step_by(97) {
+            assert!(from_bytes(&bytes[..cut]).is_err(), "prefix {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let model = fold_resnet(&ResNet::new(4, &[1], 10, 1), 8);
+        let dir = std::env::temp_dir().join("nvfi_artifact_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.nvfi");
+        save_file(&model, &path).unwrap();
+        let restored = load_file(&path).unwrap();
+        assert_eq!(restored.ops.len(), model.ops.len());
+    }
+}

@@ -1,0 +1,297 @@
+//! The inference-only deployment graph produced by batch-norm folding.
+//!
+//! A [`DeployModel`] is a linear list of ops over *value ids*: value `0` is
+//! the network input and op `i` produces value `i + 1`. Residual connections
+//! are expressed with [`DeployOpKind::Conv::fuse_add`], which adds a previous
+//! value to the convolution output before the activation — exactly the
+//! elementwise-add path NVDLA's SDP offers, so the compiler can lower each
+//! deploy op onto one accelerator operation.
+
+use nvfi_tensor::{conv, pool, ConvGeom, Mat, Shape4, Tensor};
+
+/// Identifier of an intermediate value: `0` is the model input, op `i`
+/// produces value `i + 1`.
+pub type ValueId = usize;
+
+/// One inference-time operation.
+#[derive(Clone, Debug)]
+pub struct DeployOp {
+    /// The value consumed as primary input.
+    pub input: ValueId,
+    /// What the op computes.
+    pub kind: DeployOpKind,
+}
+
+/// The computation performed by a [`DeployOp`].
+#[derive(Clone, Debug)]
+pub enum DeployOpKind {
+    /// Convolution with folded bias, optional fused residual add and ReLU.
+    Conv {
+        /// Weights, `(K, C, R, S)`.
+        weight: Tensor<f32>,
+        /// Bias per output channel (batch-norm folded).
+        bias: Vec<f32>,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+        /// Whether a ReLU follows (after any fused add).
+        relu: bool,
+        /// Optional value added elementwise before the activation.
+        fuse_add: Option<ValueId>,
+    },
+    /// Square-window max pooling.
+    MaxPool {
+        /// Window size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Global average pooling to `(N, C, 1, 1)`.
+    GlobalAvgPool,
+    /// Fully connected classifier head.
+    Linear {
+        /// Weights, `(out, in)` row-major.
+        weight: Mat<f32>,
+        /// Bias per output.
+        bias: Vec<f32>,
+    },
+}
+
+/// An inference-only model: ops over value ids with a designated output.
+#[derive(Clone, Debug)]
+pub struct DeployModel {
+    /// Shape of the input with `n == 1`.
+    pub input_shape: Shape4,
+    /// Ops in execution order (op `i` produces value `i + 1`).
+    pub ops: Vec<DeployOp>,
+    /// The value holding the logits.
+    pub output: ValueId,
+}
+
+impl DeployModel {
+    /// Computes the shape (with `n == 1`) of every value, index `0` being
+    /// the input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an op references a not-yet-produced value or shapes are
+    /// inconsistent — a malformed graph.
+    #[must_use]
+    pub fn value_shapes(&self) -> Vec<Shape4> {
+        let mut shapes = vec![self.input_shape.with_n(1)];
+        for (i, op) in self.ops.iter().enumerate() {
+            assert!(op.input <= i, "op {i} reads future value {}", op.input);
+            let in_shape = shapes[op.input];
+            let out = match &op.kind {
+                DeployOpKind::Conv { weight, stride, pad, fuse_add, .. } => {
+                    let ws = weight.shape();
+                    let geom = ConvGeom::new(in_shape, ws.n, ws.h, ws.w, *stride, *pad);
+                    if let Some(a) = fuse_add {
+                        assert!(*a <= i, "op {i} fuses future value {a}");
+                        assert_eq!(shapes[*a], geom.out_shape(), "fused add shape mismatch at op {i}");
+                    }
+                    geom.out_shape()
+                }
+                DeployOpKind::MaxPool { k, stride } => Shape4::new(
+                    1,
+                    in_shape.c,
+                    (in_shape.h - k) / stride + 1,
+                    (in_shape.w - k) / stride + 1,
+                ),
+                DeployOpKind::GlobalAvgPool => Shape4::new(1, in_shape.c, 1, 1),
+                DeployOpKind::Linear { weight, .. } => Shape4::new(1, weight.rows(), 1, 1),
+            };
+            shapes.push(out);
+        }
+        shapes
+    }
+
+    /// Runs the model in f32 on a batch, returning `(N, classes, 1, 1)`
+    /// logits. This is the float reference used for calibration and for
+    /// checking quantization quality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch`'s per-image shape differs from `input_shape`.
+    #[must_use]
+    pub fn forward(&self, batch: &Tensor<f32>) -> Tensor<f32> {
+        let mut values = self.forward_values(batch);
+        values[self.output].take().expect("output value not computed")
+    }
+
+    /// Runs the model and returns **every** intermediate value (index 0 is
+    /// the input, op `i` produces index `i + 1`). The quantization
+    /// calibrator uses this to observe activation ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch`'s per-image shape differs from `input_shape`.
+    #[must_use]
+    pub fn forward_values(&self, batch: &Tensor<f32>) -> Vec<Option<Tensor<f32>>> {
+        let bs = batch.shape();
+        assert_eq!(bs.with_n(1), self.input_shape.with_n(1), "input shape mismatch");
+        let mut values: Vec<Option<Tensor<f32>>> = vec![None; self.ops.len() + 1];
+        values[0] = Some(batch.clone());
+        for (i, op) in self.ops.iter().enumerate() {
+            let x = values[op.input].as_ref().expect("value not computed");
+            let out = match &op.kind {
+                DeployOpKind::Conv { weight, bias, stride, pad, relu, fuse_add } => {
+                    let ws = weight.shape();
+                    let geom = ConvGeom::new(x.shape().with_n(1), ws.n, ws.h, ws.w, *stride, *pad);
+                    let mut y = conv::conv2d_f32(x, weight, &geom);
+                    let ys = y.shape();
+                    for n in 0..ys.n {
+                        for k in 0..ys.c {
+                            for h in 0..ys.h {
+                                for w in 0..ys.w {
+                                    let mut v = y.at(n, k, h, w) + bias[k];
+                                    if let Some(a) = fuse_add {
+                                        v += values[*a].as_ref().expect("fused value").at(n, k, h, w);
+                                    }
+                                    if *relu {
+                                        v = v.max(0.0);
+                                    }
+                                    y.set(n, k, h, w, v);
+                                }
+                            }
+                        }
+                    }
+                    y
+                }
+                DeployOpKind::MaxPool { k, stride } => pool::maxpool2d(x, *k, *stride),
+                DeployOpKind::GlobalAvgPool => pool::global_avg_f32(x),
+                DeployOpKind::Linear { weight, bias } => {
+                    let xs = x.shape();
+                    assert_eq!((xs.h, xs.w), (1, 1), "linear expects pooled input");
+                    let mut y = Tensor::zeros(Shape4::new(xs.n, weight.rows(), 1, 1));
+                    for n in 0..xs.n {
+                        let xi = x.image(n);
+                        let yi = y.image_mut(n);
+                        for o in 0..weight.rows() {
+                            let mut acc = bias[o];
+                            for (wv, xv) in weight.row(o).iter().zip(xi) {
+                                acc += wv * xv;
+                            }
+                            yi[o] = acc;
+                        }
+                    }
+                    y
+                }
+            };
+            values[i + 1] = Some(out);
+        }
+        values
+    }
+
+    /// Classifies a batch: argmax over the logits.
+    #[must_use]
+    pub fn classify(&self, batch: &Tensor<f32>) -> Vec<u8> {
+        crate::loss::predictions(&self.forward(batch))
+    }
+
+    /// Top-1 accuracy on `(images, labels)` evaluated in chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != images.shape().n`.
+    #[must_use]
+    pub fn accuracy(&self, images: &Tensor<f32>, labels: &[u8]) -> f64 {
+        assert_eq!(images.shape().n, labels.len());
+        if labels.is_empty() {
+            return 0.0;
+        }
+        let mut correct = 0usize;
+        for n in 0..labels.len() {
+            let img = images.slice_image(n);
+            let pred = self.classify(&img)[0];
+            if pred == labels[n] {
+                correct += 1;
+            }
+        }
+        correct as f64 / labels.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2-op model: 1x1 conv (identity weights) then global pool.
+    fn tiny_model() -> DeployModel {
+        let weight = Tensor::from_vec(Shape4::new(2, 2, 1, 1), vec![1.0, 0.0, 0.0, 1.0]);
+        DeployModel {
+            input_shape: Shape4::new(1, 2, 2, 2),
+            ops: vec![
+                DeployOp {
+                    input: 0,
+                    kind: DeployOpKind::Conv {
+                        weight,
+                        bias: vec![0.5, -0.5],
+                        stride: 1,
+                        pad: 0,
+                        relu: true,
+                        fuse_add: None,
+                    },
+                },
+                DeployOp { input: 1, kind: DeployOpKind::GlobalAvgPool },
+            ],
+            output: 2,
+        }
+    }
+
+    #[test]
+    fn identity_conv_with_bias_and_relu() {
+        let m = tiny_model();
+        let x = Tensor::from_vec(Shape4::new(1, 2, 2, 2), vec![1.0, -2.0, 3.0, 0.0, -1.0, -1.0, -1.0, -1.0]);
+        let y = m.forward(&x);
+        // Channel 0: relu(x + 0.5) averaged: (1.5 + 0 + 3.5 + 0.5)/4
+        assert!((y.at(0, 0, 0, 0) - 5.5 / 4.0).abs() < 1e-6);
+        // Channel 1: relu(-1 - 0.5) = 0 everywhere.
+        assert_eq!(y.at(0, 1, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn value_shapes_track_ops() {
+        let shapes = tiny_model().value_shapes();
+        assert_eq!(shapes[0], Shape4::new(1, 2, 2, 2));
+        assert_eq!(shapes[1], Shape4::new(1, 2, 2, 2));
+        assert_eq!(shapes[2], Shape4::new(1, 2, 1, 1));
+    }
+
+    #[test]
+    fn fuse_add_residual() {
+        // Conv producing zeros (+ input via fuse_add) == identity with relu.
+        let weight = Tensor::from_vec(Shape4::new(1, 1, 1, 1), vec![0.0]);
+        let m = DeployModel {
+            input_shape: Shape4::new(1, 1, 1, 2),
+            ops: vec![DeployOp {
+                input: 0,
+                kind: DeployOpKind::Conv {
+                    weight,
+                    bias: vec![0.0],
+                    stride: 1,
+                    pad: 0,
+                    relu: true,
+                    fuse_add: Some(0),
+                },
+            }],
+            output: 1,
+        };
+        let x = Tensor::from_vec(Shape4::new(1, 1, 1, 2), vec![2.0, -3.0]);
+        let y = m.forward(&x);
+        assert_eq!(y.as_slice(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn accuracy_on_trivial_classifier() {
+        let m = tiny_model();
+        // Class decided by which channel has larger mean. Build inputs
+        // accordingly; labels in {0, 1}.
+        let mut images = Tensor::zeros(Shape4::new(2, 2, 2, 2));
+        images.image_mut(0)[..4].fill(5.0); // channel 0 hot -> class 0
+        images.image_mut(1)[4..].fill(5.0); // channel 1 hot -> class 1
+        let acc = m.accuracy(&images, &[0, 1]);
+        assert_eq!(acc, 1.0);
+    }
+}

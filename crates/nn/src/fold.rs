@@ -1,0 +1,173 @@
+//! Batch-norm folding: turns a trained [`crate::resnet::ResNet`]
+//! into an inference-only [`DeployModel`] of convolutions with biases —
+//! the form the quantizer and the accelerator compiler consume.
+//!
+//! Folding uses the running statistics: for channel `k`,
+//! `w' = w * gamma / sqrt(var + eps)` and
+//! `b' = beta - mean * gamma / sqrt(var + eps)`.
+
+use nvfi_tensor::{Mat, Shape4, Tensor};
+
+use crate::deploy::{DeployModel, DeployOp, DeployOpKind, ValueId};
+use crate::layers::{BatchNorm2d, Conv2d};
+use crate::resnet::ResNet;
+
+/// Folds a batch norm into the preceding (bias-free) convolution, returning
+/// the fused weight tensor and bias vector.
+///
+/// # Panics
+///
+/// Panics if channel counts disagree.
+#[must_use]
+pub fn fold_conv_bn(conv: &Conv2d, bn: &BatchNorm2d) -> (Tensor<f32>, Vec<f32>) {
+    assert_eq!(conv.out_c, bn.c, "conv/bn channel mismatch");
+    let mut weight = conv.weight_tensor();
+    let per_k = conv.in_c * conv.k * conv.k;
+    let mut bias = vec![0f32; conv.out_c];
+    for k in 0..conv.out_c {
+        let inv_std = 1.0 / (bn.running_var[k] + bn.eps).sqrt();
+        let scale = bn.gamma.data[k] * inv_std;
+        for v in &mut weight.as_mut_slice()[k * per_k..(k + 1) * per_k] {
+            *v *= scale;
+        }
+        let conv_bias = conv.bias.as_ref().map_or(0.0, |b| b.data[k]);
+        bias[k] = bn.beta.data[k] + (conv_bias - bn.running_mean[k]) * scale;
+    }
+    (weight, bias)
+}
+
+/// Folds a full ResNet into a [`DeployModel`].
+///
+/// Residual adds are fused into the second convolution of each basic block
+/// (`fuse_add`), matching the SDP elementwise path of the accelerator.
+#[must_use]
+pub fn fold_resnet(net: &ResNet, input_hw: usize) -> DeployModel {
+    let mut ops: Vec<DeployOp> = Vec::new();
+    let push = |op: DeployOp, ops: &mut Vec<DeployOp>| -> ValueId {
+        ops.push(op);
+        ops.len() // value produced by this op
+    };
+
+    // Stem.
+    let (w, b) = fold_conv_bn(&net.stem, &net.stem_bn);
+    let mut cur: ValueId = push(
+        DeployOp {
+            input: 0,
+            kind: DeployOpKind::Conv { weight: w, bias: b, stride: net.stem.stride, pad: net.stem.pad, relu: true, fuse_add: None },
+        },
+        &mut ops,
+    );
+
+    for block in &net.blocks {
+        let block_input = cur;
+        // Shortcut (downsample or identity).
+        let shortcut: ValueId = match &block.down {
+            Some((conv, bn)) => {
+                let (w, b) = fold_conv_bn(conv, bn);
+                push(
+                    DeployOp {
+                        input: block_input,
+                        kind: DeployOpKind::Conv { weight: w, bias: b, stride: conv.stride, pad: conv.pad, relu: false, fuse_add: None },
+                    },
+                    &mut ops,
+                )
+            }
+            None => block_input,
+        };
+        // Main path conv1 (+relu).
+        let (w1, b1) = fold_conv_bn(&block.conv1, &block.bn1);
+        let v1 = push(
+            DeployOp {
+                input: block_input,
+                kind: DeployOpKind::Conv { weight: w1, bias: b1, stride: block.conv1.stride, pad: block.conv1.pad, relu: true, fuse_add: None },
+            },
+            &mut ops,
+        );
+        // Main path conv2 with fused residual add and post-add relu.
+        let (w2, b2) = fold_conv_bn(&block.conv2, &block.bn2);
+        cur = push(
+            DeployOp {
+                input: v1,
+                kind: DeployOpKind::Conv { weight: w2, bias: b2, stride: block.conv2.stride, pad: block.conv2.pad, relu: true, fuse_add: Some(shortcut) },
+            },
+            &mut ops,
+        );
+    }
+
+    // Head.
+    cur = push(DeployOp { input: cur, kind: DeployOpKind::GlobalAvgPool }, &mut ops);
+    let wmat = Mat::from_vec(net.fc.out_f, net.fc.in_f, net.fc.weight.data.clone());
+    let out = push(
+        DeployOp { input: cur, kind: DeployOpKind::Linear { weight: wmat, bias: net.fc.bias.data.clone() } },
+        &mut ops,
+    );
+
+    DeployModel { input_shape: Shape4::new(1, 3, input_hw, input_hw), ops, output: out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Layer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn folded_conv_bn_matches_eval_forward() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, false, &mut rng);
+        let mut bn = BatchNorm2d::new(3);
+        // Give batch norm non-trivial statistics and affine parameters.
+        bn.running_mean = vec![0.3, -0.2, 0.1];
+        bn.running_var = vec![0.9, 1.5, 0.4];
+        bn.gamma.data = vec![1.2, 0.7, -0.5];
+        bn.beta.data = vec![0.1, -0.3, 0.2];
+        let x = Tensor::from_fn(Shape4::new(2, 2, 5, 5), |n, c, h, w| {
+            ((n * 31 + c * 17 + h * 5 + w) % 11) as f32 * 0.1 - 0.4
+        });
+        let want = bn.forward(&conv.forward(&x, false), false);
+
+        let (wf, bf) = fold_conv_bn(&conv, &bn);
+        let model = DeployModel {
+            input_shape: Shape4::new(1, 2, 5, 5),
+            ops: vec![DeployOp {
+                input: 0,
+                kind: DeployOpKind::Conv { weight: wf, bias: bf, stride: 1, pad: 1, relu: false, fuse_add: None },
+            }],
+            output: 1,
+        };
+        let got = model.forward(&x);
+        for (a, b) in want.as_slice().iter().zip(got.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn folded_resnet_matches_eval_forward() {
+        let mut net = ResNet::new(4, &[1, 1], 10, 5);
+        // Perturb running stats so folding is non-trivial.
+        net.stem_bn.running_mean.iter_mut().enumerate().for_each(|(i, v)| *v = i as f32 * 0.05);
+        net.stem_bn.running_var.iter_mut().enumerate().for_each(|(i, v)| *v = 1.0 + i as f32 * 0.1);
+        let x = Tensor::from_fn(Shape4::new(2, 3, 16, 16), |n, c, h, w| {
+            ((n * 7 + c * 3 + h + w) % 13) as f32 * 0.1 - 0.6
+        });
+        let want = net.forward(&x, false);
+        let model = fold_resnet(&net, 16);
+        let got = model.forward(&x);
+        assert_eq!(want.shape(), got.shape());
+        for (a, b) in want.as_slice().iter().zip(got.as_slice()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn folded_resnet18_op_count() {
+        let net = ResNet::resnet18(4, 10, 0);
+        let model = fold_resnet(&net, 32);
+        // stem + 8 blocks * (2 convs (+1 downsample in 3 stages)) + pool + fc
+        // = 1 + 16 + 3 + 2 = 22 ops.
+        assert_eq!(model.ops.len(), 22);
+        let shapes = model.value_shapes();
+        assert_eq!(shapes[model.output], Shape4::new(1, 10, 1, 1));
+    }
+}

@@ -1,0 +1,67 @@
+//! Weight initialization.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Kaiming-He normal initialization for a weight tensor with `fan_in`
+/// input connections: `N(0, sqrt(2 / fan_in))`.
+///
+/// # Panics
+///
+/// Panics if `fan_in == 0`.
+pub fn kaiming_normal(rng: &mut StdRng, fan_in: usize, out: &mut [f32]) {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let std = (2.0 / fan_in as f32).sqrt();
+    for v in out {
+        *v = gaussian(rng) * std;
+    }
+}
+
+/// Uniform initialization in `[-bound, bound]` (used for linear bias).
+pub fn uniform(rng: &mut StdRng, bound: f32, out: &mut [f32]) {
+    for v in out {
+        *v = rng.gen_range(-bound..=bound);
+    }
+}
+
+/// Standard normal sample via Box-Muller.
+#[must_use]
+pub fn gaussian(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0f32..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_variance_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut buf = vec![0f32; 10_000];
+        kaiming_normal(&mut rng, 50, &mut buf);
+        let mean: f32 = buf.iter().sum::<f32>() / buf.len() as f32;
+        let var: f32 = buf.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / buf.len() as f32;
+        let want = 2.0 / 50.0;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - want).abs() / want < 0.1, "var {var} want {want}");
+    }
+
+    #[test]
+    fn uniform_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut buf = vec![0f32; 1000];
+        uniform(&mut rng, 0.25, &mut buf);
+        assert!(buf.iter().all(|v| v.abs() <= 0.25));
+        assert!(buf.iter().any(|v| v.abs() > 0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "fan_in")]
+    fn zero_fan_in_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        kaiming_normal(&mut rng, 0, &mut [0f32; 4]);
+    }
+}

@@ -1,0 +1,756 @@
+//! Trainable layers with forward and backward passes.
+//!
+//! Each layer caches whatever its backward pass needs during `forward(...,
+//! train=true)`; calling [`Layer::backward`] without a preceding training
+//! forward is a programming error and panics. Gradient correctness is
+//! verified against central finite differences in the unit tests.
+
+use nvfi_tensor::{conv, gemm, im2col, ConvGeom, Mat, Shape4, Tensor};
+use rand::rngs::StdRng;
+
+use crate::init;
+
+/// A learnable parameter: value, gradient and SGD momentum buffers of equal
+/// length.
+#[derive(Clone, Debug, Default)]
+pub struct Param {
+    /// Parameter values.
+    pub data: Vec<f32>,
+    /// Accumulated gradient (same length as `data`).
+    pub grad: Vec<f32>,
+    /// Optimizer momentum state (same length as `data`).
+    pub mom: Vec<f32>,
+}
+
+impl Param {
+    /// Creates a zero-initialized parameter of length `len`.
+    #[must_use]
+    pub fn zeros(len: usize) -> Self {
+        Param { data: vec![0.0; len], grad: vec![0.0; len], mom: vec![0.0; len] }
+    }
+
+    /// Number of scalar parameters.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the parameter is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+}
+
+/// A differentiable network layer.
+pub trait Layer {
+    /// Runs the layer. With `train == true`, caches intermediates for
+    /// [`Layer::backward`] (and, for batch norm, updates running statistics).
+    fn forward(&mut self, x: &Tensor<f32>, train: bool) -> Tensor<f32>;
+
+    /// Backpropagates `dy`, accumulating parameter gradients and returning
+    /// the gradient with respect to the layer input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no training forward pass preceded this call.
+    fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32>;
+
+    /// Visits every learnable parameter (used by the optimizer).
+    fn for_each_param(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+// ---------------------------------------------------------------------------
+// Conv2d
+// ---------------------------------------------------------------------------
+
+/// 2-D convolution with optional bias.
+#[derive(Clone, Debug)]
+pub struct Conv2d {
+    /// Input channels.
+    pub in_c: usize,
+    /// Output channels.
+    pub out_c: usize,
+    /// Kernel height/width.
+    pub k: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding.
+    pub pad: usize,
+    /// Weights, `(out_c, in_c, k, k)` flattened.
+    pub weight: Param,
+    /// Optional bias, one per output channel.
+    pub bias: Option<Param>,
+    cache: Option<ConvCache>,
+}
+
+#[derive(Clone, Debug)]
+struct ConvCache {
+    cols: Vec<Mat<f32>>,
+    geom: ConvGeom,
+    batch: usize,
+}
+
+impl Conv2d {
+    /// Creates a Kaiming-initialized convolution.
+    #[must_use]
+    pub fn new(
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        bias: bool,
+        rng: &mut StdRng,
+    ) -> Self {
+        let mut weight = Param::zeros(out_c * in_c * k * k);
+        init::kaiming_normal(rng, in_c * k * k, &mut weight.data);
+        let bias = bias.then(|| Param::zeros(out_c));
+        Conv2d { in_c, out_c, k, stride, pad, weight, bias, cache: None }
+    }
+
+    fn geom(&self, x: Shape4) -> ConvGeom {
+        assert_eq!(x.c, self.in_c, "conv expects {} input channels, got {x}", self.in_c);
+        ConvGeom::new(x.with_n(1), self.out_c, self.k, self.k, self.stride, self.pad)
+    }
+
+    /// The weights as a `(K, C, R, S)` tensor (copy).
+    #[must_use]
+    pub fn weight_tensor(&self) -> Tensor<f32> {
+        Tensor::from_vec(
+            Shape4::new(self.out_c, self.in_c, self.k, self.k),
+            self.weight.data.clone(),
+        )
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor<f32>, train: bool) -> Tensor<f32> {
+        let geom = self.geom(x.shape());
+        let wmat = Mat::from_vec(self.out_c, self.in_c * self.k * self.k, self.weight.data.clone());
+        let n = x.shape().n;
+        let mut out = Tensor::zeros(geom.out_shape().with_n(n));
+        let mut cols_cache = Vec::with_capacity(if train { n } else { 0 });
+        for i in 0..n {
+            let cols = im2col::im2col(x.image(i), &geom);
+            let mut res = gemm::gemm_f32(&wmat, &cols);
+            if let Some(b) = &self.bias {
+                for kk in 0..self.out_c {
+                    let bv = b.data[kk];
+                    for v in res.row_mut(kk) {
+                        *v += bv;
+                    }
+                }
+            }
+            out.image_mut(i).copy_from_slice(res.as_slice());
+            if train {
+                cols_cache.push(cols);
+            }
+        }
+        self.cache = train.then_some(ConvCache { cols: cols_cache, geom, batch: n });
+        out
+    }
+
+    fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
+        let cache = self.cache.take().expect("Conv2d::backward without training forward");
+        let geom = cache.geom;
+        let crs = self.in_c * self.k * self.k;
+        let wmat = Mat::from_vec(self.out_c, crs, self.weight.data.clone());
+        let wmat_t = wmat.transposed();
+        let mut dx = Tensor::zeros(geom.input.with_n(cache.batch));
+        for i in 0..cache.batch {
+            let dy_mat = Mat::from_vec(self.out_c, geom.oh * geom.ow, dy.image(i).to_vec());
+            // dW += dY * cols^T
+            let dw = gemm::gemm_f32(&dy_mat, &cache.cols[i].transposed());
+            for (g, d) in self.weight.grad.iter_mut().zip(dw.as_slice()) {
+                *g += d;
+            }
+            // db += row sums of dY
+            if let Some(b) = &mut self.bias {
+                for kk in 0..self.out_c {
+                    b.grad[kk] += dy_mat.row(kk).iter().sum::<f32>();
+                }
+            }
+            // dx = col2im(W^T * dY)
+            let dcols = gemm::gemm_f32(&wmat_t, &dy_mat);
+            im2col::col2im_acc_f32(&dcols, &geom, dx.image_mut(i));
+        }
+        dx
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BatchNorm2d
+// ---------------------------------------------------------------------------
+
+/// Per-channel batch normalization.
+#[derive(Clone, Debug)]
+pub struct BatchNorm2d {
+    /// Number of channels.
+    pub c: usize,
+    /// Scale (gamma), one per channel.
+    pub gamma: Param,
+    /// Shift (beta), one per channel.
+    pub beta: Param,
+    /// Running mean used at inference time.
+    pub running_mean: Vec<f32>,
+    /// Running variance used at inference time.
+    pub running_var: Vec<f32>,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Running-statistics update rate.
+    pub momentum: f32,
+    cache: Option<BnCache>,
+}
+
+#[derive(Clone, Debug)]
+struct BnCache {
+    xhat: Tensor<f32>,
+    inv_std: Vec<f32>,
+    count: usize,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer with `gamma = 1`, `beta = 0`.
+    #[must_use]
+    pub fn new(c: usize) -> Self {
+        let mut gamma = Param::zeros(c);
+        gamma.data.fill(1.0);
+        BatchNorm2d {
+            c,
+            gamma,
+            beta: Param::zeros(c),
+            running_mean: vec![0.0; c],
+            running_var: vec![1.0; c],
+            eps: 1e-5,
+            momentum: 0.1,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor<f32>, train: bool) -> Tensor<f32> {
+        let s = x.shape();
+        assert_eq!(s.c, self.c, "batchnorm expects {} channels, got {s}", self.c);
+        let count = s.n * s.h * s.w;
+        let mut out = Tensor::zeros(s);
+        if train {
+            let mut mean = vec![0f32; self.c];
+            let mut var = vec![0f32; self.c];
+            for n in 0..s.n {
+                for c in 0..s.c {
+                    for h in 0..s.h {
+                        for w in 0..s.w {
+                            mean[c] += x.at(n, c, h, w);
+                        }
+                    }
+                }
+            }
+            for m in &mut mean {
+                *m /= count as f32;
+            }
+            for n in 0..s.n {
+                for c in 0..s.c {
+                    for h in 0..s.h {
+                        for w in 0..s.w {
+                            let d = x.at(n, c, h, w) - mean[c];
+                            var[c] += d * d;
+                        }
+                    }
+                }
+            }
+            for v in &mut var {
+                *v /= count as f32;
+            }
+            for c in 0..self.c {
+                self.running_mean[c] =
+                    (1.0 - self.momentum) * self.running_mean[c] + self.momentum * mean[c];
+                self.running_var[c] =
+                    (1.0 - self.momentum) * self.running_var[c] + self.momentum * var[c];
+            }
+            let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+            let mut xhat = Tensor::zeros(s);
+            for n in 0..s.n {
+                for c in 0..s.c {
+                    for h in 0..s.h {
+                        for w in 0..s.w {
+                            let xh = (x.at(n, c, h, w) - mean[c]) * inv_std[c];
+                            xhat.set(n, c, h, w, xh);
+                            out.set(n, c, h, w, self.gamma.data[c] * xh + self.beta.data[c]);
+                        }
+                    }
+                }
+            }
+            self.cache = Some(BnCache { xhat, inv_std, count });
+        } else {
+            for n in 0..s.n {
+                for c in 0..s.c {
+                    let inv = 1.0 / (self.running_var[c] + self.eps).sqrt();
+                    for h in 0..s.h {
+                        for w in 0..s.w {
+                            let xh = (x.at(n, c, h, w) - self.running_mean[c]) * inv;
+                            out.set(n, c, h, w, self.gamma.data[c] * xh + self.beta.data[c]);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
+        let cache = self.cache.take().expect("BatchNorm2d::backward without training forward");
+        let s = dy.shape();
+        let count = cache.count as f32;
+        let mut dbeta = vec![0f32; self.c];
+        let mut dgamma = vec![0f32; self.c];
+        for n in 0..s.n {
+            for c in 0..s.c {
+                for h in 0..s.h {
+                    for w in 0..s.w {
+                        let g = dy.at(n, c, h, w);
+                        dbeta[c] += g;
+                        dgamma[c] += g * cache.xhat.at(n, c, h, w);
+                    }
+                }
+            }
+        }
+        for c in 0..self.c {
+            self.beta.grad[c] += dbeta[c];
+            self.gamma.grad[c] += dgamma[c];
+        }
+        let mut dx = Tensor::zeros(s);
+        for n in 0..s.n {
+            for c in 0..s.c {
+                let scale = self.gamma.data[c] * cache.inv_std[c];
+                for h in 0..s.h {
+                    for w in 0..s.w {
+                        let g = dy.at(n, c, h, w);
+                        let xh = cache.xhat.at(n, c, h, w);
+                        let d = scale * (g - dbeta[c] / count - xh * dgamma[c] / count);
+                        dx.set(n, c, h, w, d);
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ReLU
+// ---------------------------------------------------------------------------
+
+/// Elementwise rectified linear unit.
+#[derive(Clone, Debug, Default)]
+pub struct ReLU {
+    mask: Option<Vec<bool>>,
+}
+
+impl ReLU {
+    /// Creates a ReLU layer.
+    #[must_use]
+    pub fn new() -> Self {
+        ReLU { mask: None }
+    }
+}
+
+impl Layer for ReLU {
+    fn forward(&mut self, x: &Tensor<f32>, train: bool) -> Tensor<f32> {
+        let out = x.map(|v| v.max(0.0));
+        self.mask = train.then(|| x.as_slice().iter().map(|&v| v > 0.0).collect());
+        out
+    }
+
+    fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
+        let mask = self.mask.take().expect("ReLU::backward without training forward");
+        let mut dx = dy.clone();
+        for (d, &m) in dx.as_mut_slice().iter_mut().zip(&mask) {
+            if !m {
+                *d = 0.0;
+            }
+        }
+        dx
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MaxPool2d
+// ---------------------------------------------------------------------------
+
+/// Square-window max pooling.
+#[derive(Clone, Debug)]
+pub struct MaxPool2d {
+    /// Window size.
+    pub k: usize,
+    /// Stride.
+    pub stride: usize,
+    cache: Option<(Shape4, Vec<usize>)>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pooling layer.
+    #[must_use]
+    pub fn new(k: usize, stride: usize) -> Self {
+        MaxPool2d { k, stride, cache: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor<f32>, train: bool) -> Tensor<f32> {
+        let s = x.shape();
+        let oh = (s.h - self.k) / self.stride + 1;
+        let ow = (s.w - self.k) / self.stride + 1;
+        let mut out = Tensor::zeros(Shape4::new(s.n, s.c, oh, ow));
+        let mut arg = Vec::with_capacity(if train { out.shape().len() } else { 0 });
+        for n in 0..s.n {
+            for c in 0..s.c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for r in 0..self.k {
+                            for q in 0..self.k {
+                                let (h, w) = (oy * self.stride + r, ox * self.stride + q);
+                                let v = x.at(n, c, h, w);
+                                if v > best {
+                                    best = v;
+                                    best_idx = s.index(n, c, h, w);
+                                }
+                            }
+                        }
+                        out.set(n, c, oy, ox, best);
+                        if train {
+                            arg.push(best_idx);
+                        }
+                    }
+                }
+            }
+        }
+        self.cache = train.then_some((s, arg));
+        out
+    }
+
+    fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
+        let (in_shape, arg) = self.cache.take().expect("MaxPool2d::backward without forward");
+        let mut dx = Tensor::zeros(in_shape);
+        for (&idx, &g) in arg.iter().zip(dy.as_slice()) {
+            dx.as_mut_slice()[idx] += g;
+        }
+        dx
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GlobalAvgPool
+// ---------------------------------------------------------------------------
+
+/// Global average pooling `(N, C, H, W) -> (N, C, 1, 1)`.
+#[derive(Clone, Debug, Default)]
+pub struct GlobalAvgPool {
+    in_shape: Option<Shape4>,
+}
+
+impl GlobalAvgPool {
+    /// Creates the layer.
+    #[must_use]
+    pub fn new() -> Self {
+        GlobalAvgPool { in_shape: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, x: &Tensor<f32>, train: bool) -> Tensor<f32> {
+        if train {
+            self.in_shape = Some(x.shape());
+        }
+        nvfi_tensor::pool::global_avg_f32(x)
+    }
+
+    fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
+        let s = self.in_shape.take().expect("GlobalAvgPool::backward without forward");
+        let area = (s.h * s.w) as f32;
+        Tensor::from_fn(s, |n, c, _, _| dy.at(n, c, 0, 0) / area)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------------
+
+/// Fully connected layer on `(N, C, 1, 1)` feature vectors.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    /// Input features.
+    pub in_f: usize,
+    /// Output features.
+    pub out_f: usize,
+    /// Weights, `(out_f, in_f)` row-major.
+    pub weight: Param,
+    /// Bias, one per output feature.
+    pub bias: Param,
+    cache: Option<Tensor<f32>>,
+}
+
+impl Linear {
+    /// Creates a Kaiming-initialized linear layer.
+    #[must_use]
+    pub fn new(in_f: usize, out_f: usize, rng: &mut StdRng) -> Self {
+        let mut weight = Param::zeros(out_f * in_f);
+        init::kaiming_normal(rng, in_f, &mut weight.data);
+        let mut bias = Param::zeros(out_f);
+        init::uniform(rng, 1.0 / (in_f as f32).sqrt(), &mut bias.data);
+        Linear { in_f, out_f, weight, bias, cache: None }
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor<f32>, train: bool) -> Tensor<f32> {
+        let s = x.shape();
+        assert_eq!(
+            (s.c, s.h, s.w),
+            (self.in_f, 1, 1),
+            "linear expects (N,{},1,1), got {s}",
+            self.in_f
+        );
+        let mut out = Tensor::zeros(Shape4::new(s.n, self.out_f, 1, 1));
+        for n in 0..s.n {
+            let xi = x.image(n);
+            let oi = out.image_mut(n);
+            for o in 0..self.out_f {
+                let row = &self.weight.data[o * self.in_f..(o + 1) * self.in_f];
+                let mut acc = self.bias.data[o];
+                for (w, xv) in row.iter().zip(xi) {
+                    acc += w * xv;
+                }
+                oi[o] = acc;
+            }
+        }
+        if train {
+            self.cache = Some(x.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
+        let x = self.cache.take().expect("Linear::backward without training forward");
+        let s = x.shape();
+        let mut dx = Tensor::zeros(s);
+        for n in 0..s.n {
+            let xi = x.image(n);
+            let dyi = dy.image(n);
+            let dxi = dx.image_mut(n);
+            for o in 0..self.out_f {
+                let g = dyi[o];
+                self.bias.grad[o] += g;
+                let wrow = &self.weight.data[o * self.in_f..(o + 1) * self.in_f];
+                let grow = &mut self.weight.grad[o * self.in_f..(o + 1) * self.in_f];
+                for i in 0..self.in_f {
+                    grow[i] += g * xi[i];
+                    dxi[i] += g * wrow[i];
+                }
+            }
+        }
+        dx
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+}
+
+// Re-export conv free function used by fold (weights as tensors).
+pub use conv::conv2d_f32 as conv_forward_ref;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Numerical gradient check: perturb each input/parameter coordinate and
+    /// compare with backprop for the scalar loss `sum(out * coeff)`.
+    fn grad_check<L: Layer>(layer: &mut L, x: &Tensor<f32>, tol: f32) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let out = layer.forward(x, true);
+        let coeff: Vec<f32> =
+            (0..out.shape().len()).map(|_| init::gaussian(&mut rng)).collect();
+        let dy = Tensor::from_vec(out.shape(), coeff.clone());
+        let dx = layer.backward(&dy);
+
+        let loss = |l: &mut L, input: &Tensor<f32>| -> f32 {
+            let o = l.forward(input, false);
+            o.as_slice().iter().zip(&coeff).map(|(a, b)| a * b).sum()
+        };
+
+        let eps = 1e-2f32;
+        // Check input gradients on a sample of coordinates.
+        for idx in (0..x.shape().len()).step_by(7) {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let num = (loss(layer, &xp) - loss(layer, &xm)) / (2.0 * eps);
+            let ana = dx.as_slice()[idx];
+            assert!(
+                (num - ana).abs() <= tol * (1.0 + num.abs().max(ana.abs())),
+                "input grad {idx}: numerical {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_gradients_match_numerical() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, true, &mut rng);
+        let x = Tensor::from_fn(Shape4::new(2, 2, 5, 5), |n, c, h, w| {
+            ((n * 97 + c * 31 + h * 7 + w * 3) % 11) as f32 * 0.1 - 0.5
+        });
+        grad_check(&mut conv, &x, 5e-2);
+    }
+
+    #[test]
+    fn conv_weight_gradients_match_numerical() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut conv = Conv2d::new(1, 2, 3, 2, 1, true, &mut rng);
+        let x = Tensor::from_fn(Shape4::new(1, 1, 5, 5), |_, _, h, w| {
+            ((h * 5 + w) % 7) as f32 * 0.2 - 0.6
+        });
+        let out = conv.forward(&x, true);
+        let coeff: Vec<f32> = (0..out.shape().len()).map(|i| ((i % 5) as f32) - 2.0).collect();
+        let dy = Tensor::from_vec(out.shape(), coeff.clone());
+        let _ = conv.backward(&dy);
+        let analytic = conv.weight.grad.clone();
+        let eps = 1e-2f32;
+        for idx in 0..conv.weight.len() {
+            let orig = conv.weight.data[idx];
+            conv.weight.data[idx] = orig + eps;
+            let op = conv.forward(&x, false);
+            conv.weight.data[idx] = orig - eps;
+            let om = conv.forward(&x, false);
+            conv.weight.data[idx] = orig;
+            let lp: f32 = op.as_slice().iter().zip(&coeff).map(|(a, b)| a * b).sum();
+            let lm: f32 = om.as_slice().iter().zip(&coeff).map(|(a, b)| a * b).sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - analytic[idx]).abs() <= 5e-2 * (1.0 + num.abs()),
+                "weight grad {idx}: numerical {num} vs analytic {}",
+                analytic[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn batchnorm_gradients_match_numerical() {
+        let mut bn = BatchNorm2d::new(3);
+        // Freeze running-stat updates out of the loss path by checking in
+        // train mode with momentum 0 (forward(train=false) uses running
+        // stats, which would change the function between evaluations).
+        bn.momentum = 0.0;
+        let x = Tensor::from_fn(Shape4::new(2, 3, 3, 3), |n, c, h, w| {
+            ((n * 13 + c * 7 + h * 3 + w) % 9) as f32 * 0.25 - 1.0
+        });
+        // Custom check in train mode.
+        let out = bn.forward(&x, true);
+        let coeff: Vec<f32> = (0..out.shape().len()).map(|i| ((i % 7) as f32) * 0.3 - 1.0).collect();
+        let dy = Tensor::from_vec(out.shape(), coeff.clone());
+        let dx = bn.backward(&dy);
+        let eps = 1e-2f32;
+        for idx in (0..x.shape().len()).step_by(5) {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let lp: f32 =
+                bn.forward(&xp, true).as_slice().iter().zip(&coeff).map(|(a, b)| a * b).sum();
+            bn.cache = None;
+            let lm: f32 =
+                bn.forward(&xm, true).as_slice().iter().zip(&coeff).map(|(a, b)| a * b).sum();
+            bn.cache = None;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = dx.as_slice()[idx];
+            assert!(
+                (num - ana).abs() <= 5e-2 * (1.0 + num.abs().max(ana.abs())),
+                "bn input grad {idx}: numerical {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_gradients_match_numerical() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut lin = Linear::new(6, 4, &mut rng);
+        let x = Tensor::from_fn(Shape4::new(3, 6, 1, 1), |n, c, _, _| {
+            ((n * 11 + c * 3) % 7) as f32 * 0.2 - 0.5
+        });
+        grad_check(&mut lin, &x, 2e-2);
+    }
+
+    #[test]
+    fn relu_masks_negative_gradient() {
+        let mut relu = ReLU::new();
+        let x = Tensor::from_vec(Shape4::new(1, 1, 1, 4), vec![-1.0f32, 2.0, -3.0, 4.0]);
+        let y = relu.forward(&x, true);
+        assert_eq!(y.as_slice(), &[0.0, 2.0, 0.0, 4.0]);
+        let dy = Tensor::from_vec(x.shape(), vec![1.0f32; 4]);
+        let dx = relu.backward(&dy);
+        assert_eq!(dx.as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn maxpool_routes_gradient_to_argmax() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(Shape4::new(1, 1, 2, 2), vec![1.0f32, 5.0, 2.0, 3.0]);
+        let y = pool.forward(&x, true);
+        assert_eq!(y.as_slice(), &[5.0]);
+        let dx = pool.backward(&Tensor::from_vec(y.shape(), vec![1.0])); // gradient 1
+        assert_eq!(dx.as_slice(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_roundtrip() {
+        let mut pool = GlobalAvgPool::new();
+        let x = Tensor::from_vec(Shape4::new(1, 1, 2, 2), vec![1.0f32, 2.0, 3.0, 6.0]);
+        let y = pool.forward(&x, true);
+        assert_eq!(y.as_slice(), &[3.0]);
+        let dx = pool.backward(&Tensor::from_vec(y.shape(), vec![4.0]));
+        assert_eq!(dx.as_slice(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        bn.running_mean[0] = 1.0;
+        bn.running_var[0] = 4.0;
+        let x = Tensor::from_vec(Shape4::new(1, 1, 1, 2), vec![1.0f32, 5.0]);
+        let y = bn.forward(&x, false);
+        assert!((y.at(0, 0, 0, 0) - 0.0).abs() < 1e-4);
+        assert!((y.at(0, 0, 0, 1) - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "without")]
+    fn backward_requires_forward() {
+        let mut relu = ReLU::new();
+        let dy = Tensor::<f32>::zeros(Shape4::new(1, 1, 1, 1));
+        let _ = relu.backward(&dy);
+    }
+}

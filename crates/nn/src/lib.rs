@@ -1,0 +1,48 @@
+//! Float CNN training stack: the substrate that replaces the paper's
+//! "pre-trained ResNet-18 from the Tengine model zoo".
+//!
+//! The crate provides everything needed to produce a trained, deployable
+//! CIFAR-class CNN from scratch, offline and deterministically:
+//!
+//! * [`layers`] — Conv2d / BatchNorm2d / ReLU / MaxPool / GlobalAvgPool /
+//!   Linear with full forward **and backward** passes (tape-style caches);
+//! * [`resnet`] — a width-configurable ResNet-18 (CIFAR variant: 3x3 stem,
+//!   stages `[2,2,2,2]`, widths `[w, 2w, 4w, 8w]`);
+//! * [`train`] — SGD-with-momentum trainer with cosine learning-rate decay;
+//! * [`fold`] — batch-norm folding into convolutions, producing the
+//!   inference-only [`DeployModel`] consumed by the quantizer and compiler;
+//! * [`artifact`] — a versioned binary serialization of [`DeployModel`] so
+//!   experiments can cache the trained network.
+//!
+//! # Examples
+//!
+//! Training a tiny network end to end (see `examples/train_quantize_deploy.rs`
+//! for the full pipeline):
+//!
+//! ```
+//! use nvfi_dataset::{SynthCifar, SynthCifarConfig};
+//! use nvfi_nn::{resnet::ResNet, train::{Trainer, TrainConfig}};
+//!
+//! let data = SynthCifar::new(SynthCifarConfig { train: 40, test: 20, ..Default::default() })
+//!     .generate();
+//! let mut net = ResNet::resnet18(4, 10, 1); // width 4, 10 classes, seed 1
+//! let cfg = TrainConfig { epochs: 1, batch: 8, ..Default::default() };
+//! let stats = Trainer::new(cfg).fit(&mut net, &data.train, &data.test);
+//! assert_eq!(stats.epochs.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod deploy;
+pub mod fold;
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod optim;
+pub mod resnet;
+pub mod train;
+
+pub use deploy::{DeployModel, DeployOp, DeployOpKind, ValueId};
+pub use layers::Param;

@@ -1,0 +1,111 @@
+//! Softmax cross-entropy loss.
+
+use nvfi_tensor::Tensor;
+
+/// Computes mean softmax cross-entropy over a batch of `(N, classes, 1, 1)`
+/// logits, returning `(loss, dlogits)` where `dlogits` is already divided by
+/// the batch size.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.shape().n` or a label is out of range.
+#[must_use]
+pub fn softmax_cross_entropy(logits: &Tensor<f32>, labels: &[u8]) -> (f32, Tensor<f32>) {
+    let s = logits.shape();
+    assert_eq!(s.n, labels.len(), "labels do not match batch");
+    assert_eq!((s.h, s.w), (1, 1), "logits must be (N, C, 1, 1)");
+    let classes = s.c;
+    let mut dlogits = Tensor::zeros(s);
+    let mut loss = 0f32;
+    for n in 0..s.n {
+        let row = logits.image(n);
+        let label = labels[n] as usize;
+        assert!(label < classes, "label {label} out of range");
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        loss += -(exps[label] / sum).ln();
+        let drow = dlogits.image_mut(n);
+        for c in 0..classes {
+            let p = exps[c] / sum;
+            drow[c] = (p - if c == label { 1.0 } else { 0.0 }) / s.n as f32;
+        }
+    }
+    (loss / s.n as f32, dlogits)
+}
+
+/// Argmax prediction for each batch item of `(N, classes, 1, 1)` logits.
+#[must_use]
+pub fn predictions(logits: &Tensor<f32>) -> Vec<u8> {
+    let s = logits.shape();
+    (0..s.n)
+        .map(|n| {
+            let row = logits.image(n);
+            let mut best = (f32::NEG_INFINITY, 0u8);
+            for (c, &v) in row.iter().enumerate() {
+                if v > best.0 {
+                    best = (v, c as u8);
+                }
+            }
+            best.1
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvfi_tensor::Shape4;
+
+    #[test]
+    fn perfect_prediction_has_low_loss() {
+        let logits = Tensor::from_vec(Shape4::new(1, 3, 1, 1), vec![10.0f32, -10.0, -10.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-3, "loss {loss}");
+    }
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Tensor::from_vec(Shape4::new(1, 4, 1, 1), vec![0f32; 4]);
+        let (loss, dl) = softmax_cross_entropy(&logits, &[2]);
+        assert!((loss - 4f32.ln()).abs() < 1e-5);
+        // Gradient: p - onehot = 0.25 everywhere except -0.75 at the label.
+        assert!((dl.at(0, 2, 0, 0) + 0.75).abs() < 1e-5);
+        assert!((dl.at(0, 0, 0, 0) - 0.25).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero() {
+        let logits = Tensor::from_vec(Shape4::new(2, 3, 1, 1), vec![1.0f32, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let (_, dl) = softmax_cross_entropy(&logits, &[1, 2]);
+        let total: f32 = dl.as_slice().iter().sum();
+        assert!(total.abs() < 1e-5);
+    }
+
+    #[test]
+    fn numerical_gradient_matches() {
+        let base = vec![0.5f32, -0.3, 0.8, 0.1];
+        let labels = [3u8];
+        let logits = Tensor::from_vec(Shape4::new(1, 4, 1, 1), base.clone());
+        let (_, dl) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for i in 0..4 {
+            let mut lp = base.clone();
+            lp[i] += eps;
+            let mut lm = base.clone();
+            lm[i] -= eps;
+            let (fp, _) =
+                softmax_cross_entropy(&Tensor::from_vec(Shape4::new(1, 4, 1, 1), lp), &labels);
+            let (fm, _) =
+                softmax_cross_entropy(&Tensor::from_vec(Shape4::new(1, 4, 1, 1), lm), &labels);
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - dl.as_slice()[i]).abs() < 1e-3, "coord {i}");
+        }
+    }
+
+    #[test]
+    fn predictions_argmax() {
+        let logits = Tensor::from_vec(Shape4::new(2, 3, 1, 1), vec![1.0f32, 5.0, 2.0, 9.0, 0.0, 3.0]);
+        assert_eq!(predictions(&logits), vec![1, 0]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Width-configurable ResNet-18 (CIFAR variant).
+//!
+//! Topology: 3x3 stem (no max-pool, CIFAR images are only 32x32), four
+//! stages of two basic blocks each with widths `[w, 2w, 4w, 8w]`, strides
+//! `[1, 2, 2, 2]`, global average pooling and a linear classifier — the same
+//! graph as the paper's "small ResNet-18", with `w` trading accuracy for
+//! train/simulation time.
+
+use nvfi_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::layers::{
+    BatchNorm2d, Conv2d, GlobalAvgPool, Layer, Linear, Param, ReLU,
+};
+
+/// A residual basic block: `relu(bn2(conv2(relu(bn1(conv1 x)))) + shortcut(x))`.
+#[derive(Clone, Debug)]
+pub struct BasicBlock {
+    /// First 3x3 convolution (possibly strided).
+    pub conv1: Conv2d,
+    /// Batch norm after `conv1`.
+    pub bn1: BatchNorm2d,
+    relu1: ReLU,
+    /// Second 3x3 convolution.
+    pub conv2: Conv2d,
+    /// Batch norm after `conv2`.
+    pub bn2: BatchNorm2d,
+    /// Optional 1x1 strided projection shortcut.
+    pub down: Option<(Conv2d, BatchNorm2d)>,
+    relu_out: ReLU,
+}
+
+impl BasicBlock {
+    /// Creates a block mapping `in_c -> out_c` with the given stride.
+    #[must_use]
+    pub fn new(in_c: usize, out_c: usize, stride: usize, rng: &mut StdRng) -> Self {
+        let down = (stride != 1 || in_c != out_c)
+            .then(|| (Conv2d::new(in_c, out_c, 1, stride, 0, false, rng), BatchNorm2d::new(out_c)));
+        BasicBlock {
+            conv1: Conv2d::new(in_c, out_c, 3, stride, 1, false, rng),
+            bn1: BatchNorm2d::new(out_c),
+            relu1: ReLU::new(),
+            conv2: Conv2d::new(out_c, out_c, 3, 1, 1, false, rng),
+            bn2: BatchNorm2d::new(out_c),
+            down,
+            relu_out: ReLU::new(),
+        }
+    }
+}
+
+impl Layer for BasicBlock {
+    fn forward(&mut self, x: &Tensor<f32>, train: bool) -> Tensor<f32> {
+        let mut y = self.conv1.forward(x, train);
+        y = self.bn1.forward(&y, train);
+        y = self.relu1.forward(&y, train);
+        y = self.conv2.forward(&y, train);
+        y = self.bn2.forward(&y, train);
+        let shortcut = match &mut self.down {
+            Some((conv, bn)) => {
+                let s = conv.forward(x, train);
+                bn.forward(&s, train)
+            }
+            None => x.clone(),
+        };
+        let mut sum = y;
+        for (a, b) in sum.as_mut_slice().iter_mut().zip(shortcut.as_slice()) {
+            *a += b;
+        }
+        self.relu_out.forward(&sum, train)
+    }
+
+    fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
+        let dsum = self.relu_out.backward(dy);
+        // Main path.
+        let mut d = self.bn2.backward(&dsum);
+        d = self.conv2.backward(&d);
+        d = self.relu1.backward(&d);
+        d = self.bn1.backward(&d);
+        let mut dx = self.conv1.backward(&d);
+        // Shortcut path.
+        let dshort = match &mut self.down {
+            Some((conv, bn)) => {
+                let d = bn.backward(&dsum);
+                conv.backward(&d)
+            }
+            None => dsum,
+        };
+        for (a, b) in dx.as_mut_slice().iter_mut().zip(dshort.as_slice()) {
+            *a += b;
+        }
+        dx
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.conv1.for_each_param(f);
+        self.bn1.for_each_param(f);
+        self.conv2.for_each_param(f);
+        self.bn2.for_each_param(f);
+        if let Some((conv, bn)) = &mut self.down {
+            conv.for_each_param(f);
+            bn.for_each_param(f);
+        }
+    }
+}
+
+/// A CIFAR-style residual network.
+#[derive(Clone, Debug)]
+pub struct ResNet {
+    /// 3x3 stem convolution.
+    pub stem: Conv2d,
+    /// Stem batch norm.
+    pub stem_bn: BatchNorm2d,
+    stem_relu: ReLU,
+    /// Residual stages in order.
+    pub blocks: Vec<BasicBlock>,
+    pool: GlobalAvgPool,
+    /// Final classifier.
+    pub fc: Linear,
+    /// Base width `w` this network was built with.
+    pub width: usize,
+}
+
+impl ResNet {
+    /// Builds a ResNet-18 with base width `width` (the paper-scale network
+    /// uses 64; slim variants train quickly), `classes` outputs and a
+    /// deterministic parameter seed.
+    #[must_use]
+    pub fn resnet18(width: usize, classes: usize, seed: u64) -> Self {
+        Self::new(width, &[2, 2, 2, 2], classes, seed)
+    }
+
+    /// Builds a residual network with `stage_blocks[i]` basic blocks in
+    /// stage `i`; widths double each stage starting from `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`, `classes == 0` or `stage_blocks` is empty.
+    #[must_use]
+    pub fn new(width: usize, stage_blocks: &[usize], classes: usize, seed: u64) -> Self {
+        assert!(width > 0 && classes > 0 && !stage_blocks.is_empty(), "bad resnet config");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stem = Conv2d::new(3, width, 3, 1, 1, false, &mut rng);
+        let stem_bn = BatchNorm2d::new(width);
+        let mut blocks = Vec::new();
+        let mut in_c = width;
+        for (stage, &nblocks) in stage_blocks.iter().enumerate() {
+            let out_c = width << stage;
+            for b in 0..nblocks {
+                let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+                blocks.push(BasicBlock::new(in_c, out_c, stride, &mut rng));
+                in_c = out_c;
+            }
+        }
+        let fc = Linear::new(in_c, classes, &mut rng);
+        ResNet { stem, stem_bn, stem_relu: ReLU::new(), blocks, pool: GlobalAvgPool::new(), fc, width }
+    }
+
+    /// Total number of learnable scalars.
+    #[must_use]
+    pub fn num_params(&mut self) -> usize {
+        let mut n = 0;
+        self.for_each_param(&mut |p| n += p.len());
+        n
+    }
+
+    /// Clears all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        self.for_each_param(&mut |p| p.zero_grad());
+    }
+}
+
+impl Layer for ResNet {
+    fn forward(&mut self, x: &Tensor<f32>, train: bool) -> Tensor<f32> {
+        let mut y = self.stem.forward(x, train);
+        y = self.stem_bn.forward(&y, train);
+        y = self.stem_relu.forward(&y, train);
+        for b in &mut self.blocks {
+            y = b.forward(&y, train);
+        }
+        let y = self.pool.forward(&y, train);
+        self.fc.forward(&y, train)
+    }
+
+    fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
+        let mut d = self.fc.backward(dy);
+        d = self.pool.backward(&d);
+        for b in self.blocks.iter_mut().rev() {
+            d = b.backward(&d);
+        }
+        d = self.stem_relu.backward(&d);
+        d = self.stem_bn.backward(&d);
+        self.stem.backward(&d)
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.stem.for_each_param(f);
+        self.stem_bn.for_each_param(f);
+        for b in &mut self.blocks {
+            b.for_each_param(f);
+        }
+        self.fc.for_each_param(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvfi_tensor::Shape4;
+
+    #[test]
+    fn resnet18_has_expected_structure() {
+        let mut net = ResNet::resnet18(8, 10, 0);
+        assert_eq!(net.blocks.len(), 8);
+        assert!(net.blocks[0].down.is_none());
+        assert!(net.blocks[2].down.is_some());
+        assert_eq!(net.fc.in_f, 64);
+        assert!(net.num_params() > 10_000);
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut net = ResNet::resnet18(4, 10, 0);
+        let x = Tensor::<f32>::zeros(Shape4::new(2, 3, 32, 32));
+        let y = net.forward(&x, false);
+        assert_eq!(y.shape(), Shape4::new(2, 10, 1, 1));
+    }
+
+    #[test]
+    fn forward_backward_roundtrip_runs() {
+        let mut net = ResNet::new(4, &[1, 1], 10, 3);
+        let x = Tensor::from_fn(Shape4::new(2, 3, 8, 8), |n, c, h, w| {
+            ((n + c + h + w) % 5) as f32 * 0.1
+        });
+        let y = net.forward(&x, true);
+        let dy = y.map(|_| 0.1);
+        let dx = net.backward(&dy);
+        assert_eq!(dx.shape(), x.shape());
+        // Gradients should be non-zero somewhere.
+        let mut total = 0.0f32;
+        net.for_each_param(&mut |p| total += p.grad.iter().map(|g| g.abs()).sum::<f32>());
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn deterministic_init() {
+        let mut a = ResNet::resnet18(4, 10, 11);
+        let mut b = ResNet::resnet18(4, 10, 11);
+        let x = Tensor::from_fn(Shape4::new(1, 3, 32, 32), |_, c, h, w| {
+            ((c * 3 + h + w) % 7) as f32 * 0.1
+        });
+        assert_eq!(a.forward(&x, false).as_slice(), b.forward(&x, false).as_slice());
+    }
+}

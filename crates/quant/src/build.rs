@@ -1,0 +1,288 @@
+//! The quantizer: float [`DeployModel`] + calibration data -> [`QuantModel`].
+
+use std::fmt;
+
+use nvfi_hwnum::Requant;
+use nvfi_nn::{DeployModel, DeployOpKind};
+use nvfi_tensor::Tensor;
+
+use crate::model::{QConv, QLinear, QOp, QOpKind, QuantModel};
+
+/// Quantizer configuration.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct QuantConfig {
+    /// Use one weight scale per output channel (better accuracy, as Tengine
+    /// does) instead of per tensor.
+    pub per_channel: bool,
+    /// Process calibration images in chunks of this size.
+    pub calib_chunk: usize,
+}
+
+impl Default for QuantConfig {
+    fn default() -> Self {
+        QuantConfig { per_channel: true, calib_chunk: 16 }
+    }
+}
+
+/// Error produced by [`quantize`].
+#[derive(Debug)]
+pub enum QuantError {
+    /// The calibration set is empty.
+    EmptyCalibration,
+    /// An activation or weight range degenerated to zero and no scale could
+    /// be derived.
+    DegenerateScale {
+        /// Which value/op the failure occurred at.
+        at: String,
+    },
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::EmptyCalibration => write!(f, "calibration set is empty"),
+            QuantError::DegenerateScale { at } => {
+                write!(f, "degenerate quantization scale at {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
+/// Quantizes `model` using `calib` images (f32, same shape as the model
+/// input) to derive activation ranges.
+///
+/// # Errors
+///
+/// Returns [`QuantError`] if calibration data is empty or a scale cannot be
+/// derived.
+pub fn quantize(
+    model: &DeployModel,
+    calib: &Tensor<f32>,
+    config: &QuantConfig,
+) -> Result<QuantModel, QuantError> {
+    if calib.shape().n == 0 {
+        return Err(QuantError::EmptyCalibration);
+    }
+    // --- Pass 1: observe per-value activation ranges on the calibration set.
+    let n_values = model.ops.len() + 1;
+    let mut absmax = vec![0f32; n_values];
+    let n = calib.shape().n;
+    let chunk = config.calib_chunk.max(1);
+    let mut i = 0;
+    while i < n {
+        let hi = (i + chunk).min(n);
+        let idx: Vec<usize> = (i..hi).collect();
+        let batch = gather_images(calib, &idx);
+        let values = model.forward_values(&batch);
+        for (v, m) in values.iter().zip(absmax.iter_mut()) {
+            if let Some(t) = v {
+                *m = m.max(t.max_abs());
+            }
+        }
+        i = hi;
+    }
+
+    // --- Derive activation scales: s = absmax / 127 (symmetric).
+    let scale_of = |value: usize, absmax: &[f32]| -> Result<f32, QuantError> {
+        let m = absmax[value];
+        if !(m.is_finite()) || m <= 0.0 {
+            return Err(QuantError::DegenerateScale { at: format!("value {value}") });
+        }
+        Ok(m / 127.0)
+    };
+
+    let input_scale = scale_of(0, &absmax)?;
+    let mut scales = vec![0f32; n_values];
+    scales[0] = input_scale;
+
+    let mut ops = Vec::with_capacity(model.ops.len());
+    for (i, op) in model.ops.iter().enumerate() {
+        let s_in = scales[op.input];
+        let (kind, out_scale) = match &op.kind {
+            DeployOpKind::Conv { weight, bias, stride, pad, relu, fuse_add } => {
+                let s_out = scale_of(i + 1, &absmax)?;
+                let k = weight.shape().n;
+                let per_k = weight.shape().len() / k;
+                // Weight scales (per channel or per tensor).
+                let wslice = weight.as_slice();
+                let mut w_scales = Vec::new();
+                if config.per_channel {
+                    for kk in 0..k {
+                        let m = wslice[kk * per_k..(kk + 1) * per_k]
+                            .iter()
+                            .fold(0f32, |a, &v| a.max(v.abs()));
+                        w_scales.push(scale_from_absmax(m, &format!("conv {i} ch {kk}"))?);
+                    }
+                } else {
+                    let m = wslice.iter().fold(0f32, |a, &v| a.max(v.abs()));
+                    w_scales.push(scale_from_absmax(m, &format!("conv {i}"))?);
+                }
+                let qweight = quantize_weights(weight, &w_scales, per_k);
+                let mut qbias = Vec::with_capacity(k);
+                let mut requants = Vec::with_capacity(w_scales.len());
+                for kk in 0..k {
+                    let sw = w_scales[if w_scales.len() == 1 { 0 } else { kk }];
+                    qbias.push((bias[kk] / (s_in * sw)).round() as i32);
+                }
+                for &sw in &w_scales {
+                    let r = Requant::from_scale(f64::from(s_in) * f64::from(sw) / f64::from(s_out))
+                        .map_err(|_| QuantError::DegenerateScale { at: format!("conv {i} requant") })?;
+                    requants.push(r);
+                }
+                let add_requant = match fuse_add {
+                    Some(a) => {
+                        let s_res = scales[*a];
+                        Some(
+                            Requant::from_scale(f64::from(s_res) / f64::from(s_out)).map_err(
+                                |_| QuantError::DegenerateScale { at: format!("conv {i} add") },
+                            )?,
+                        )
+                    }
+                    None => None,
+                };
+                (
+                    QOpKind::Conv(QConv {
+                        weight: qweight,
+                        bias: qbias,
+                        stride: *stride,
+                        pad: *pad,
+                        relu: *relu,
+                        fuse_add: *fuse_add,
+                        requant: requants,
+                        add_requant,
+                        out_scale: s_out,
+                    }),
+                    s_out,
+                )
+            }
+            DeployOpKind::MaxPool { k, stride } => {
+                (QOpKind::MaxPool { k: *k, stride: *stride }, s_in)
+            }
+            DeployOpKind::GlobalAvgPool => (QOpKind::GlobalAvgPool, s_in),
+            DeployOpKind::Linear { weight, bias } => {
+                let m = weight.as_slice().iter().fold(0f32, |a, &v| a.max(v.abs()));
+                let sw = scale_from_absmax(m, &format!("linear {i}"))?;
+                let qw = nvfi_tensor::Mat::from_vec(
+                    weight.rows(),
+                    weight.cols(),
+                    weight
+                        .as_slice()
+                        .iter()
+                        .map(|&v| nvfi_hwnum::sat::quantize_f32_to_i8(v, sw))
+                        .collect(),
+                );
+                let out_scale = s_in * sw;
+                let qbias: Vec<i32> =
+                    bias.iter().map(|&b| (b / out_scale).round() as i32).collect();
+                (QOpKind::Linear(QLinear { weight: qw, bias: qbias, out_scale }), out_scale)
+            }
+        };
+        scales[i + 1] = out_scale;
+        ops.push(QOp { input: op.input, kind, out_scale });
+    }
+
+    Ok(QuantModel {
+        input_shape: model.input_shape,
+        input_scale,
+        ops,
+        output: model.output,
+    })
+}
+
+fn scale_from_absmax(m: f32, at: &str) -> Result<f32, QuantError> {
+    if !m.is_finite() || m <= 0.0 {
+        return Err(QuantError::DegenerateScale { at: at.to_owned() });
+    }
+    Ok(m / 127.0)
+}
+
+fn quantize_weights(w: &Tensor<f32>, scales: &[f32], per_k: usize) -> Tensor<i8> {
+    let mut out = Vec::with_capacity(w.shape().len());
+    for (idx, &v) in w.as_slice().iter().enumerate() {
+        let s = if scales.len() == 1 { scales[0] } else { scales[idx / per_k] };
+        out.push(nvfi_hwnum::sat::quantize_f32_to_i8(v, s));
+    }
+    Tensor::from_vec(w.shape(), out)
+}
+
+fn gather_images(images: &Tensor<f32>, idx: &[usize]) -> Tensor<f32> {
+    let s = images.shape();
+    let mut out = Tensor::zeros(nvfi_tensor::Shape4::new(idx.len(), s.c, s.h, s.w));
+    for (row, &i) in idx.iter().enumerate() {
+        out.image_mut(row).copy_from_slice(images.image(i));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvfi_dataset::{SynthCifar, SynthCifarConfig};
+    use nvfi_nn::fold::fold_resnet;
+    use nvfi_nn::resnet::ResNet;
+
+    fn setup() -> (DeployModel, Tensor<f32>) {
+        let data = SynthCifar::new(SynthCifarConfig { train: 24, test: 0, ..Default::default() })
+            .generate();
+        let net = ResNet::new(4, &[1, 1], 10, 3);
+        (fold_resnet(&net, 32), data.train.images)
+    }
+
+    #[test]
+    fn produces_one_qop_per_deploy_op() {
+        let (model, calib) = setup();
+        let q = quantize(&model, &calib, &QuantConfig::default()).unwrap();
+        assert_eq!(q.ops.len(), model.ops.len());
+        assert_eq!(q.output, model.output);
+        assert!(q.input_scale > 0.0);
+    }
+
+    #[test]
+    fn per_channel_has_k_requants() {
+        let (model, calib) = setup();
+        let q = quantize(&model, &calib, &QuantConfig { per_channel: true, calib_chunk: 8 }).unwrap();
+        let QOpKind::Conv(c) = &q.ops[0].kind else { panic!("first op should be conv") };
+        assert_eq!(c.requant.len(), c.weight.shape().n);
+        let qt =
+            quantize(&model, &calib, &QuantConfig { per_channel: false, calib_chunk: 8 }).unwrap();
+        let QOpKind::Conv(ct) = &qt.ops[0].kind else { panic!() };
+        assert_eq!(ct.requant.len(), 1);
+    }
+
+    #[test]
+    fn empty_calibration_rejected() {
+        let (model, calib) = setup();
+        let empty = calib.slice_image(0);
+        let none = nvfi_tensor::Tensor::<f32>::zeros(empty.shape().with_n(0));
+        assert!(matches!(
+            quantize(&model, &none, &QuantConfig::default()),
+            Err(QuantError::EmptyCalibration)
+        ));
+    }
+
+    #[test]
+    fn pool_scales_pass_through() {
+        let (model, calib) = setup();
+        let q = quantize(&model, &calib, &QuantConfig::default()).unwrap();
+        // GlobalAvgPool op preserves its input scale.
+        for (i, op) in q.ops.iter().enumerate() {
+            if matches!(op.kind, QOpKind::GlobalAvgPool) {
+                let in_scale = if op.input == 0 {
+                    q.input_scale
+                } else {
+                    q.ops[op.input - 1].out_scale
+                };
+                assert_eq!(op.out_scale, in_scale, "op {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn macs_count_positive() {
+        let (model, calib) = setup();
+        let q = quantize(&model, &calib, &QuantConfig::default()).unwrap();
+        assert!(q.macs_per_inference() > 100_000);
+    }
+}

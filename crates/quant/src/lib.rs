@@ -1,0 +1,45 @@
+//! Post-training int8 quantization and the bit-exact CPU reference executor.
+//!
+//! This crate replaces the int8 deployment leg of the paper's Tengine/Caffe
+//! toolchain: a folded float [`DeployModel`](nvfi_nn::DeployModel) is
+//! calibrated on sample data and converted into a [`QuantModel`] — symmetric
+//! int8 activations and weights (optionally per-output-channel weight
+//! scales), i32 biases and fixed-point [`Requant`](nvfi_hwnum::Requant)
+//! rescaling, exactly the arithmetic NVDLA's int8 pipeline performs.
+//!
+//! Two executors run a [`QuantModel`]:
+//!
+//! * [`exec`] — the CPU reference (1..N threads). The accelerator model in
+//!   `nvfi-accel` is required to match it **bit-exactly** in the fault-free
+//!   case; this is what makes accuracy comparisons meaningful.
+//! * [`swfi`] — the paper's "easiest but least reliable" baseline: fault
+//!   injection at the CNN *execution-graph* level (stuck-at-0 output
+//!   channels, disconnected residual components), with no knowledge of the
+//!   hardware mapping.
+//!
+//! # Examples
+//!
+//! ```
+//! use nvfi_dataset::{SynthCifar, SynthCifarConfig};
+//! use nvfi_nn::{fold::fold_resnet, resnet::ResNet};
+//! use nvfi_quant::{quantize, QuantConfig};
+//!
+//! let data = SynthCifar::new(SynthCifarConfig { train: 8, test: 8, ..Default::default() })
+//!     .generate();
+//! let net = ResNet::new(4, &[1, 1], 10, 1);
+//! let deploy = fold_resnet(&net, 32);
+//! let qmodel = quantize(&deploy, &data.train.images, &QuantConfig::default()).unwrap();
+//! let preds = qmodel.classify(&data.test.images, 1);
+//! assert_eq!(preds.len(), 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod build;
+pub mod exec;
+mod model;
+pub mod swfi;
+
+pub use build::{quantize, QuantConfig, QuantError};
+pub use model::{QConv, QLinear, QOp, QOpKind, QuantModel};

@@ -1,0 +1,172 @@
+//! The quantized model representation.
+
+use nvfi_hwnum::Requant;
+use nvfi_tensor::{Mat, Shape4, Tensor};
+
+/// Identifier of an intermediate value (same convention as
+/// [`nvfi_nn::DeployModel`]: value 0 is the input, op `i` produces `i + 1`).
+pub type ValueId = usize;
+
+/// A quantized convolution, optionally fusing a residual add and ReLU —
+/// one CONV+SDP pass on the accelerator.
+#[derive(Clone, Debug)]
+pub struct QConv {
+    /// int8 weights, `(K, C, R, S)`.
+    pub weight: Tensor<i8>,
+    /// i32 bias in the accumulator domain (`s_in * s_w[k]`).
+    pub bias: Vec<i32>,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding.
+    pub pad: usize,
+    /// ReLU after bias/add.
+    pub relu: bool,
+    /// Residual value added before the activation, if any.
+    pub fuse_add: Option<ValueId>,
+    /// Per-output-channel requantizer accumulator -> output i8
+    /// (`len == 1` when per-tensor).
+    pub requant: Vec<Requant>,
+    /// Requantizer applied to the fused residual input (scale
+    /// `s_res / s_out`); present iff `fuse_add` is.
+    pub add_requant: Option<Requant>,
+    /// Real-valued scale of the i8 output activations.
+    pub out_scale: f32,
+}
+
+impl QConv {
+    /// The requantizer for output channel `k`.
+    #[inline]
+    #[must_use]
+    pub fn requant_for(&self, k: usize) -> Requant {
+        if self.requant.len() == 1 {
+            self.requant[0]
+        } else {
+            self.requant[k]
+        }
+    }
+}
+
+/// A quantized fully connected head. Logits stay in i32 (argmax needs no
+/// further requantization).
+#[derive(Clone, Debug)]
+pub struct QLinear {
+    /// int8 weights, `(out, in)` row-major.
+    pub weight: Mat<i8>,
+    /// i32 bias in the accumulator domain.
+    pub bias: Vec<i32>,
+    /// Real-valued scale of the i32 logits.
+    pub out_scale: f32,
+}
+
+/// The operation performed by a [`QOp`].
+#[derive(Clone, Debug)]
+pub enum QOpKind {
+    /// Convolution (+bias, optional fused add, optional ReLU).
+    Conv(QConv),
+    /// Max pooling (i8 passthrough; scale unchanged).
+    MaxPool {
+        /// Window size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Global average pooling with exact integer rounding (scale unchanged).
+    GlobalAvgPool,
+    /// Fully connected head producing i32 logits.
+    Linear(QLinear),
+}
+
+/// One quantized op.
+#[derive(Clone, Debug)]
+pub struct QOp {
+    /// Input value id.
+    pub input: ValueId,
+    /// Operation.
+    pub kind: QOpKind,
+    /// Real-valued scale of this op's output.
+    pub out_scale: f32,
+}
+
+/// A fully quantized network.
+#[derive(Clone, Debug)]
+pub struct QuantModel {
+    /// Input shape with `n == 1`.
+    pub input_shape: Shape4,
+    /// Scale of the quantized input activations.
+    pub input_scale: f32,
+    /// Ops in execution order.
+    pub ops: Vec<QOp>,
+    /// Value id of the logits.
+    pub output: ValueId,
+}
+
+impl QuantModel {
+    /// Quantizes a float input batch to i8 using the model's input scale.
+    #[must_use]
+    pub fn quantize_input(&self, batch: &Tensor<f32>) -> Tensor<i8> {
+        batch.map(|v| nvfi_hwnum::sat::quantize_f32_to_i8(v, self.input_scale))
+    }
+
+    /// Number of convolution ops (including the head when lowered).
+    #[must_use]
+    pub fn conv_count(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o.kind, QOpKind::Conv(_))).count()
+    }
+
+    /// Shapes (with `n == 1`) of every value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed graph (future references, shape mismatches).
+    #[must_use]
+    pub fn value_shapes(&self) -> Vec<Shape4> {
+        let mut shapes = vec![self.input_shape.with_n(1)];
+        for (i, op) in self.ops.iter().enumerate() {
+            assert!(op.input <= i, "op {i} reads future value");
+            let s = shapes[op.input];
+            let out = match &op.kind {
+                QOpKind::Conv(c) => {
+                    let ws = c.weight.shape();
+                    let geom =
+                        nvfi_tensor::ConvGeom::new(s, ws.n, ws.h, ws.w, c.stride, c.pad);
+                    geom.out_shape()
+                }
+                QOpKind::MaxPool { k, stride } => {
+                    Shape4::new(1, s.c, (s.h - k) / stride + 1, (s.w - k) / stride + 1)
+                }
+                QOpKind::GlobalAvgPool => Shape4::new(1, s.c, 1, 1),
+                QOpKind::Linear(l) => Shape4::new(1, l.weight.rows(), 1, 1),
+            };
+            shapes.push(out);
+        }
+        shapes
+    }
+
+    /// Total multiply-accumulate count of one inference (conv + linear).
+    #[must_use]
+    pub fn macs_per_inference(&self) -> u64 {
+        let shapes = self.value_shapes();
+        let mut macs = 0u64;
+        for op in &self.ops {
+            match &op.kind {
+                QOpKind::Conv(c) => {
+                    let ws = c.weight.shape();
+                    let geom = nvfi_tensor::ConvGeom::new(
+                        shapes[op.input],
+                        ws.n,
+                        ws.h,
+                        ws.w,
+                        c.stride,
+                        c.pad,
+                    );
+                    macs += geom.macs_per_image();
+                }
+                QOpKind::Linear(l) => {
+                    macs += (l.weight.rows() * l.weight.cols()) as u64;
+                }
+                _ => {}
+            }
+        }
+        macs
+    }
+}

@@ -1,0 +1,124 @@
+//! Graph-level software fault injection — the paper's "easiest but least
+//! reliable" FT analysis (Sec. I): faults are applied to the CNN execution
+//! graph with no knowledge of the hardware mapping.
+//!
+//! Two fault kinds from the paper's examples:
+//!
+//! * **stuck-at-0 at the outputs of operations** — an entire output channel
+//!   of an op reads zero ([`GraphFault::StuckZeroChannel`]);
+//! * **disconnecting a model component** — a residual connection is dropped
+//!   ([`GraphFault::DisconnectResidual`]).
+//!
+//! Contrast with `nvfi-accel`, where faults live on physical multiplier
+//! lanes shared by *all* layers: the graph-level model cannot express that
+//! coupling, which is exactly the fidelity gap the paper's platform closes.
+
+use nvfi_tensor::Tensor;
+
+use crate::exec;
+use crate::model::QuantModel;
+
+/// A fault applied to the execution graph.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum GraphFault {
+    /// Output `channel` of op `op` is stuck at zero.
+    StuckZeroChannel {
+        /// Op index in the quantized model.
+        op: usize,
+        /// Output channel.
+        channel: usize,
+    },
+    /// The fused residual input of op `op` is disconnected.
+    DisconnectResidual {
+        /// Op index in the quantized model.
+        op: usize,
+    },
+}
+
+/// Classifies a batch under graph-level faults.
+#[must_use]
+pub fn classify_with_faults(
+    model: &QuantModel,
+    batch: &Tensor<f32>,
+    faults: &[GraphFault],
+    threads: usize,
+) -> Vec<u8> {
+    let qin = model.quantize_input(batch);
+    exec::forward_with_graph_faults(model, &qin, threads, faults)
+        .iter()
+        .map(|row| exec::argmax(row))
+        .collect()
+}
+
+/// Accuracy under graph-level faults.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != images.shape().n`.
+#[must_use]
+pub fn accuracy_with_faults(
+    model: &QuantModel,
+    images: &Tensor<f32>,
+    labels: &[u8],
+    faults: &[GraphFault],
+    threads: usize,
+) -> f64 {
+    assert_eq!(images.shape().n, labels.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let preds = classify_with_faults(model, images, faults, threads);
+    preds.iter().zip(labels).filter(|(p, y)| p == y).count() as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{quantize, QuantConfig};
+    use nvfi_dataset::{SynthCifar, SynthCifarConfig};
+    use nvfi_nn::fold::fold_resnet;
+    use nvfi_nn::resnet::ResNet;
+
+    #[test]
+    fn disconnecting_residual_changes_predictions_sometimes() {
+        let data = SynthCifar::new(SynthCifarConfig { train: 16, test: 16, ..Default::default() })
+            .generate();
+        let net = ResNet::new(4, &[1, 1], 10, 11);
+        let deploy = fold_resnet(&net, 32);
+        let q = quantize(&deploy, &data.train.images, &QuantConfig::default()).unwrap();
+        // Find the op with a fused add (second conv of the first block).
+        let target = q
+            .ops
+            .iter()
+            .position(|o| matches!(&o.kind, crate::QOpKind::Conv(c) if c.fuse_add.is_some()))
+            .expect("resnet has a residual op");
+        let clean = q.classify(&data.test.images, 1);
+        let faulted = classify_with_faults(
+            &q,
+            &data.test.images,
+            &[GraphFault::DisconnectResidual { op: target }],
+            1,
+        );
+        assert_eq!(clean.len(), faulted.len());
+        // The logits path differs; predictions may or may not flip, but the
+        // computation must stay valid (all labels in range).
+        assert!(faulted.iter().all(|&p| p < 10));
+    }
+
+    #[test]
+    fn accuracy_bounds() {
+        let data = SynthCifar::new(SynthCifarConfig { train: 16, test: 8, ..Default::default() })
+            .generate();
+        let net = ResNet::new(4, &[1], 10, 1);
+        let deploy = fold_resnet(&net, 32);
+        let q = quantize(&deploy, &data.train.images, &QuantConfig::default()).unwrap();
+        let acc = accuracy_with_faults(
+            &q,
+            &data.test.images,
+            &data.test.labels,
+            &[GraphFault::StuckZeroChannel { op: 0, channel: 1 }],
+            1,
+        );
+        assert!((0.0..=1.0).contains(&acc));
+    }
+}

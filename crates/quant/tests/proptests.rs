@@ -1,0 +1,132 @@
+//! Property-based tests of the quantization pipeline.
+
+use nvfi_hwnum::sat;
+use nvfi_nn::{DeployModel, DeployOp, DeployOpKind};
+use nvfi_quant::{quantize, QuantConfig};
+use nvfi_tensor::{Shape4, Tensor};
+use proptest::prelude::*;
+
+/// A single random conv layer as a deploy model.
+fn conv_model(
+    c: usize,
+    k: usize,
+    hw: usize,
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+) -> DeployModel {
+    DeployModel {
+        input_shape: Shape4::new(1, c, hw, hw),
+        ops: vec![
+            DeployOp {
+                input: 0,
+                kind: DeployOpKind::Conv {
+                    weight: Tensor::from_vec(Shape4::new(k, c, 3, 3), weights),
+                    bias,
+                    stride: 1,
+                    pad: 1,
+                    relu: false,
+                    fuse_add: None,
+                },
+            },
+            DeployOp { input: 1, kind: DeployOpKind::GlobalAvgPool },
+            DeployOp {
+                input: 2,
+                kind: DeployOpKind::Linear {
+                    weight: nvfi_tensor::Mat::from_vec(2, k, vec![0.5; 2 * k]),
+                    bias: vec![0.0, 0.1],
+                },
+            },
+        ],
+        output: 3,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Symmetric int8 quantization round-trips within half a step.
+    #[test]
+    fn quantize_dequantize_error_bound(v in -10.0f32..10.0, absmax in 0.5f32..20.0) {
+        let v = v.clamp(-absmax, absmax);
+        let scale = absmax / 127.0;
+        let q = sat::quantize_f32_to_i8(v, scale);
+        let back = f32::from(q) * scale;
+        prop_assert!((v - back).abs() <= scale / 2.0 + 1e-6,
+            "v={} back={} scale={}", v, back, scale);
+    }
+
+    /// The quantized conv model tracks the float model: per-logit error is
+    /// bounded by a few output quantization steps.
+    #[test]
+    fn quantized_conv_tracks_float(
+        c in 1usize..5,
+        k in 1usize..7,
+        seed in any::<u64>(),
+    ) {
+        let hw = 6usize;
+        let wlen = k * c * 9;
+        let weights: Vec<f32> = (0..wlen)
+            .map(|i| ((seed.wrapping_add(i as u64 * 2654435761) % 2000) as f32 / 1000.0) - 1.0)
+            .collect();
+        let bias: Vec<f32> = (0..k).map(|i| i as f32 * 0.05 - 0.1).collect();
+        let model = conv_model(c, k, hw, weights, bias);
+        // Calibration images spanning the input range.
+        let calib = Tensor::from_fn(Shape4::new(4, c, hw, hw), |n, ci, h, w| {
+            ((n * 31 + ci * 17 + h * 5 + w) % 21) as f32 * 0.1 - 1.0
+        });
+        let q = quantize(&model, &calib, &QuantConfig::default()).unwrap();
+        let test = calib.slice_image(1);
+        let want = model.forward(&test);
+        let got = nvfi_quant::exec::forward(&q, &q.quantize_input(&test), 1);
+        // Compare in the logits' real-valued domain.
+        let out_scale = q.ops.last().unwrap().out_scale;
+        for (idx, (&w, &g)) in want.as_slice().iter().zip(&got[0]).enumerate() {
+            let g_real = g as f32 * out_scale;
+            // Error budget: input + weight + output rounding across the
+            // network; generous but still catches systematic bugs.
+            let budget = 0.1 + want.as_slice().iter().fold(0f32, |m, &v| m.max(v.abs())) * 0.1;
+            prop_assert!((w - g_real).abs() <= budget,
+                "logit {}: float {} vs int8 {}", idx, w, g_real);
+        }
+    }
+
+    /// Per-channel quantization is at least as accurate as per-tensor on
+    /// the weights themselves (reconstruction error).
+    #[test]
+    fn per_channel_weight_error_not_worse(seed in any::<u64>()) {
+        let k = 4usize;
+        let per_k = 9usize;
+        // Channels with very different magnitudes — the case per-channel
+        // scaling exists for.
+        let weights: Vec<f32> = (0..k * per_k)
+            .map(|i| {
+                let ch = i / per_k;
+                let mag = 10f32.powi(ch as i32 - 2);
+                (((seed.wrapping_add(i as u64 * 97) % 200) as f32 / 100.0) - 1.0) * mag
+            })
+            .collect();
+        let err = |per_channel: bool| -> f32 {
+            let mut total = 0f32;
+            if per_channel {
+                for ch in 0..k {
+                    let chunk = &weights[ch * per_k..(ch + 1) * per_k];
+                    let absmax = chunk.iter().fold(0f32, |m, &v| m.max(v.abs())).max(1e-9);
+                    let scale = absmax / 127.0;
+                    for &v in chunk {
+                        let q = sat::quantize_f32_to_i8(v, scale);
+                        total += (v - f32::from(q) * scale).abs();
+                    }
+                }
+            } else {
+                let absmax = weights.iter().fold(0f32, |m, &v| m.max(v.abs())).max(1e-9);
+                let scale = absmax / 127.0;
+                for &v in &weights {
+                    let q = sat::quantize_f32_to_i8(v, scale);
+                    total += (v - f32::from(q) * scale).abs();
+                }
+            }
+            total
+        };
+        prop_assert!(err(true) <= err(false) + 1e-6);
+    }
+}

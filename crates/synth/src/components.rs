@@ -1,0 +1,142 @@
+//! Component-level building blocks and their primitive costs.
+//!
+//! Cost assumptions (documented so the model is auditable):
+//!
+//! * **Adders**: one LUT per result bit plus one CARRY8 per 8 bits; a
+//!   pipeline register costs one FF per bit.
+//! * **Signed 8x8 multiplier in LUTs**: Booth-free partial-product array,
+//!   four 9-bit rows compressed by a two-level adder tree — approx. 57 LUTs
+//!   with an 18-bit product register (matching Vivado's typical ~55-60 LUT
+//!   result for `(* use_dsp = "no" *)` int8 multipliers).
+//! * **2:1 mux**: two bits per LUT6 (the O5/O6 dual-output packing).
+//! * **FI constant injection**: the shared constant network gates each of
+//!   the 18 product wires once — 18 LUTs total, no state.
+//! * **FI variable injection**: per multiplier, an 18-bit 2:1 mux (9 LUTs)
+//!   plus a select gate (1 LUT); globally, the `sel`/`fsel`/`fdata`/`ctrl`
+//!   config registers, 4 fan-out replicas of the 36-bit override pair, and
+//!   the AXI4-Lite slave block.
+
+use crate::netlist::Netlist;
+
+/// An `width`-bit ripple/carry adder mapped to LUT + CARRY8.
+#[must_use]
+pub fn adder(width: u64) -> Netlist {
+    Netlist { luts: width, ffs: 0, carry8: width.div_ceil(8), dsps: 0 }
+}
+
+/// A `width`-bit register.
+#[must_use]
+pub fn register(width: u64) -> Netlist {
+    Netlist::lut_ff(0, width)
+}
+
+/// A `width`-bit 2:1 multiplexer (two bits per LUT6 via dual outputs).
+#[must_use]
+pub fn mux2(width: u64) -> Netlist {
+    Netlist::lut_ff(width.div_ceil(2), 0)
+}
+
+/// A signed 8x8 multiplier in LUT fabric with a pipelined 18-bit product
+/// register.
+#[must_use]
+pub fn mult8x8_lut() -> Netlist {
+    // 4 compressed partial-product rows (9 LUTs each) + two adder levels
+    // (12 + 9 LUTs) = 57 LUTs; 18 FF product register.
+    Netlist { luts: 57, ffs: 18, carry8: 4, dsps: 0 }
+}
+
+/// A signed 8x8 multiplier in a DSP48 slice (ablation variant).
+#[must_use]
+pub fn mult8x8_dsp() -> Netlist {
+    Netlist { luts: 2, ffs: 18, carry8: 0, dsps: 1 }
+}
+
+/// The 8-input adder tree of one MAC unit over 18-bit lanes
+/// (4x19b + 2x20b + 1x21b adders, one 21-bit pipeline register).
+#[must_use]
+pub fn adder_tree_8x18() -> Netlist {
+    adder(19) * 4 + adder(20) * 2 + adder(21) + register(21)
+}
+
+/// One 32-bit accumulator (adder + register) of the CACC.
+#[must_use]
+pub fn accumulator32() -> Netlist {
+    adder(32) + register(32)
+}
+
+/// An AXI4-Lite slave with `n_regs` mapped 32-bit registers (address decode
+/// + read mux + handshake state).
+#[must_use]
+pub fn axi4_lite_slave(n_regs: u64) -> Netlist {
+    Netlist {
+        luts: 20 + 4 * n_regs, // decode + per-register read mux slices
+        ffs: 40 + 8,           // addr/data/resp pipeline + FSM
+        carry8: 0,
+        dsps: 0,
+    }
+}
+
+/// Constant-error fault injection for (any subset of) multipliers: the
+/// shared 18-wire constant network with one gating LUT per wire.
+/// This is the paper's "+18 LUTs" variant.
+#[must_use]
+pub fn fi_constant() -> Netlist {
+    Netlist::lut_ff(18, 0)
+}
+
+/// Variable-error fault injection: runtime-programmable per-wire override
+/// on every multiplier.
+#[must_use]
+pub fn fi_variable(n_mults: u64) -> Netlist {
+    // Per multiplier: 18-bit 2:1 mux + select gate.
+    let per_mult = mux2(18) + Netlist::lut_ff(1, 0);
+    // Global config: sel(64) + fsel(18) + fdata(18) + ctrl(1) registers.
+    let config = register(64 + 18 + 18 + 1);
+    // Fan-out replicas of the 36-bit fsel/fdata pair (one per array
+    // quadrant) to meet timing across the 64-multiplier array.
+    let replicas = register(36) * 4;
+    // AXI4-Lite block with the 5 FI registers.
+    per_mult * n_mults + config + replicas + axi4_lite_slave(5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_costs_scale_linearly() {
+        assert_eq!(adder(8).luts, 8);
+        assert_eq!(adder(8).carry8, 1);
+        assert_eq!(adder(9).carry8, 2);
+    }
+
+    #[test]
+    fn mux_packs_two_bits_per_lut() {
+        assert_eq!(mux2(18).luts, 9);
+        assert_eq!(mux2(17).luts, 9);
+        assert_eq!(mux2(2).luts, 1);
+    }
+
+    #[test]
+    fn fi_constant_is_18_luts_stateless() {
+        let n = fi_constant();
+        assert_eq!(n.luts, 18);
+        assert_eq!(n.ffs, 0);
+    }
+
+    #[test]
+    fn fi_variable_matches_paper_scale() {
+        // Paper text: +0.71% LUT, +0.31% FF over 94438/104732.
+        let n = fi_variable(64);
+        let lut_pct = n.luts as f64 / 94438.0 * 100.0;
+        let ff_pct = n.ffs as f64 / 104732.0 * 100.0;
+        assert!((0.5..1.0).contains(&lut_pct), "LUT delta {lut_pct:.2}%");
+        assert!((0.2..0.45).contains(&ff_pct), "FF delta {ff_pct:.2}%");
+    }
+
+    #[test]
+    fn dsp_variant_trades_luts_for_dsps() {
+        assert!(mult8x8_dsp().luts < mult8x8_lut().luts);
+        assert_eq!(mult8x8_dsp().dsps, 1);
+    }
+}

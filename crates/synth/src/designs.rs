@@ -1,0 +1,137 @@
+//! Whole-design assemblies: the CMAC array with its FI variants, plus the
+//! calibrated rest-of-design constant.
+
+use crate::components;
+use crate::netlist::Netlist;
+
+/// Fault-injection hardware variant.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FiVariant {
+    /// No injection hardware (baseline NVDLA).
+    None,
+    /// Synthesis-time constant error on selected multipliers.
+    Constant,
+    /// Fully register-programmable injection (the platform's shipping
+    /// configuration).
+    Variable,
+}
+
+/// Multiplier mapping choice (ablation).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum MultMapping {
+    /// LUT-fabric multipliers (as the paper's build, which adds FI muxes in
+    /// fabric).
+    Lut,
+    /// DSP48 multipliers.
+    Dsp,
+}
+
+/// Number of multipliers in the array (8 MAC units x 8).
+pub const N_MULTS: u64 = 64;
+/// Number of MAC units.
+pub const N_MACS: u64 = 8;
+
+/// The paper's total utilization for the baseline NVDLA build on the
+/// XCZU7EV (Table I): used to calibrate the non-CMAC remainder.
+pub const PAPER_BASE_LUTS: u64 = 94_438;
+/// Baseline flip-flop count from the paper's Table I.
+pub const PAPER_BASE_FFS: u64 = 104_732;
+
+/// The CMAC datapath: multipliers, per-MAC adder trees, accumulators and
+/// the operand sequencing registers.
+#[must_use]
+pub fn cmac(mapping: MultMapping) -> Netlist {
+    let mult = match mapping {
+        MultMapping::Lut => components::mult8x8_lut(),
+        MultMapping::Dsp => components::mult8x8_dsp(),
+    };
+    // Operand registers per MAC: 8 activations + 8 weights, 8 bits each.
+    let operand_regs = components::register(2 * 8 * 8);
+    let per_mac = mult * 8 + components::adder_tree_8x18() + components::accumulator32()
+        + operand_regs;
+    per_mac * N_MACS
+}
+
+/// The fault-injection hardware for a variant.
+#[must_use]
+pub fn fi_block(variant: FiVariant) -> Netlist {
+    match variant {
+        FiVariant::None => Netlist::EMPTY,
+        FiVariant::Constant => components::fi_constant(),
+        FiVariant::Variable => components::fi_variable(N_MULTS),
+    }
+}
+
+/// The calibrated non-CMAC remainder (CDMA, convolution buffer control,
+/// CSC, SDP, PDP, bridges, interconnect) such that
+/// `cmac(Lut) + REST_OF_DESIGN == PAPER_BASE_*`.
+///
+/// This is the one non-structural constant in the model; everything the
+/// fault-injection experiments vary is computed from components.
+#[must_use]
+pub fn rest_of_design() -> Netlist {
+    let c = cmac(MultMapping::Lut);
+    Netlist::lut_ff(PAPER_BASE_LUTS - c.luts, PAPER_BASE_FFS - c.ffs)
+}
+
+/// A full design: CMAC + FI variant + rest of design.
+#[must_use]
+pub fn full_design(variant: FiVariant, mapping: MultMapping) -> Netlist {
+    cmac(mapping) + fi_block(variant) + rest_of_design()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_design_matches_paper_totals() {
+        let base = full_design(FiVariant::None, MultMapping::Lut);
+        assert_eq!(base.luts, PAPER_BASE_LUTS);
+        assert_eq!(base.ffs, PAPER_BASE_FFS);
+    }
+
+    #[test]
+    fn constant_fi_adds_exactly_18_luts() {
+        let base = full_design(FiVariant::None, MultMapping::Lut);
+        let fi = full_design(FiVariant::Constant, MultMapping::Lut);
+        assert_eq!(fi.luts - base.luts, 18);
+        assert_eq!(fi.ffs, base.ffs);
+    }
+
+    #[test]
+    fn variable_fi_delta_is_sub_percent() {
+        let base = full_design(FiVariant::None, MultMapping::Lut);
+        let fi = full_design(FiVariant::Variable, MultMapping::Lut);
+        let dlut = (fi.luts - base.luts) as f64 / base.luts as f64 * 100.0;
+        let dff = (fi.ffs - base.ffs) as f64 / base.ffs as f64 * 100.0;
+        assert!(dlut < 1.0, "LUT overhead {dlut:.2}% should be sub-percent");
+        assert!(dff < 0.5, "FF overhead {dff:.2}% should be well below 0.5%");
+        assert!(dlut > 0.0 && dff > 0.0);
+    }
+
+    #[test]
+    fn variants_are_ordered_by_cost() {
+        let none = full_design(FiVariant::None, MultMapping::Lut).luts;
+        let constant = full_design(FiVariant::Constant, MultMapping::Lut).luts;
+        let variable = full_design(FiVariant::Variable, MultMapping::Lut).luts;
+        assert!(none < constant && constant < variable);
+    }
+
+    #[test]
+    fn dsp_mapping_saves_fabric() {
+        let lut = full_design(FiVariant::None, MultMapping::Lut);
+        let dsp = full_design(FiVariant::None, MultMapping::Dsp);
+        assert!(dsp.luts < lut.luts);
+        assert_eq!(dsp.dsps, 64); // 8 mults x 8 MACs, one DSP each
+    }
+
+    #[test]
+    fn cmac_is_a_plausible_fraction_of_the_design() {
+        let c = cmac(MultMapping::Lut);
+        // 64 LUT multipliers + trees: a few thousand LUTs, well under the
+        // full-chip count.
+        assert!(c.luts > 2000 && c.luts < 20_000, "{}", c.luts);
+        assert!(c.ffs > 2000 && c.ffs < 20_000, "{}", c.ffs);
+    }
+}

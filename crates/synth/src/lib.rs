@@ -1,0 +1,35 @@
+//! Structural synthesis cost model: LUT/FF estimates for the accelerator's
+//! CMAC datapath and its fault-injection variants — the source of the
+//! synthesis rows of the paper's Table I.
+//!
+//! The model builds an explicit component-level netlist ([`Netlist`],
+//! [`components`]) and maps it onto UltraScale+-style primitives (6-input
+//! LUTs, flip-flops, CARRY8 chains, optional DSP48 slices). The interesting
+//! numbers of the paper are **deltas**:
+//!
+//! * adding *constant-error* injection to selected multipliers costs
+//!   **+18 LUTs** (one gating LUT per 18-bit lane wire of the shared
+//!   constant network);
+//! * adding *variable-error* injection (runtime-selectable `fsel`/`fdata`)
+//!   costs **+0.71 % LUTs / +0.31 % FFs** — per-multiplier 2:1 muxes packed
+//!   two bits per LUT6, per-multiplier select gates, the AXI4-Lite config
+//!   block, and fan-out replicas of the override registers.
+//!
+//! Those deltas are computed structurally here. The *absolute* base counts
+//! (94,438 LUT / 104,732 FF for the whole NVDLA build) include the large
+//! non-CMAC remainder (CDMA, buffers, SDP, PDP, bridges) that this
+//! workspace does not model gate-by-gate; the remainder is a documented
+//! calibration constant ([`designs::rest_of_design`]) so that totals are
+//! comparable with the paper's table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod components;
+pub mod designs;
+mod netlist;
+mod report;
+pub mod timing;
+
+pub use netlist::Netlist;
+pub use report::{table1_synthesis_rows, SynthRow};

@@ -1,0 +1,90 @@
+//! Primitive-count netlist.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Mul};
+
+/// Resource counts after technology mapping.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Netlist {
+    /// 6-input look-up tables.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// CARRY8 carry-chain segments.
+    pub carry8: u64,
+    /// DSP48 slices.
+    pub dsps: u64,
+}
+
+impl Netlist {
+    /// The empty netlist.
+    pub const EMPTY: Netlist = Netlist { luts: 0, ffs: 0, carry8: 0, dsps: 0 };
+
+    /// Creates a netlist from LUT/FF counts only.
+    #[must_use]
+    pub const fn lut_ff(luts: u64, ffs: u64) -> Self {
+        Netlist { luts, ffs, carry8: 0, dsps: 0 }
+    }
+}
+
+impl Add for Netlist {
+    type Output = Netlist;
+    fn add(self, rhs: Self) -> Self {
+        Netlist {
+            luts: self.luts + rhs.luts,
+            ffs: self.ffs + rhs.ffs,
+            carry8: self.carry8 + rhs.carry8,
+            dsps: self.dsps + rhs.dsps,
+        }
+    }
+}
+
+impl AddAssign for Netlist {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<u64> for Netlist {
+    type Output = Netlist;
+    fn mul(self, n: u64) -> Self {
+        Netlist {
+            luts: self.luts * n,
+            ffs: self.ffs * n,
+            carry8: self.carry8 * n,
+            dsps: self.dsps * n,
+        }
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} LUT, {} FF, {} CARRY8, {} DSP",
+            self.luts, self.ffs, self.carry8, self.dsps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Netlist::lut_ff(10, 20);
+        let b = Netlist { luts: 1, ffs: 2, carry8: 3, dsps: 4 };
+        let s = a + b;
+        assert_eq!(s, Netlist { luts: 11, ffs: 22, carry8: 3, dsps: 4 });
+        assert_eq!(b * 3, Netlist { luts: 3, ffs: 6, carry8: 9, dsps: 12 });
+        let mut c = a;
+        c += b;
+        assert_eq!(c, s);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(Netlist::EMPTY.to_string().contains("LUT"));
+    }
+}

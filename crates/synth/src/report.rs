@@ -1,0 +1,97 @@
+//! The synthesis rows of Table I.
+
+use core::fmt;
+
+use crate::designs::{full_design, FiVariant, MultMapping, PAPER_BASE_FFS, PAPER_BASE_LUTS};
+
+/// One synthesis row: a design variant with model and paper numbers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SynthRow {
+    /// Variant label as it appears in the paper's Table I.
+    pub label: &'static str,
+    /// Modelled LUT count.
+    pub luts: u64,
+    /// Modelled FF count.
+    pub ffs: u64,
+    /// Paper's reported LUT count (None where the paper has no row).
+    pub paper_luts: Option<u64>,
+    /// Paper's reported FF count.
+    pub paper_ffs: Option<u64>,
+}
+
+impl fmt::Display for SynthRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:<32} {:>8} {:>8}", self.label, self.luts, self.ffs)?;
+        if let (Some(pl), Some(pf)) = (self.paper_luts, self.paper_ffs) {
+            write!(f, "   (paper: {pl:>8} {pf:>8})")?;
+        }
+        Ok(())
+    }
+}
+
+/// The three synthesis rows of Table I (base, +FI constant, +FI variable),
+/// with paper reference values attached.
+#[must_use]
+pub fn table1_synthesis_rows() -> Vec<SynthRow> {
+    let base = full_design(FiVariant::None, MultMapping::Lut);
+    let constant = full_design(FiVariant::Constant, MultMapping::Lut);
+    let variable = full_design(FiVariant::Variable, MultMapping::Lut);
+    vec![
+        SynthRow {
+            label: "NVDLA",
+            luts: base.luts,
+            ffs: base.ffs,
+            paper_luts: Some(PAPER_BASE_LUTS),
+            paper_ffs: Some(PAPER_BASE_FFS),
+        },
+        SynthRow {
+            label: "NVDLA + FI (constant error)",
+            luts: constant.luts,
+            ffs: constant.ffs,
+            paper_luts: Some(94_456),
+            paper_ffs: Some(104_717),
+        },
+        SynthRow {
+            label: "NVDLA + FI (variable error)",
+            luts: variable.luts,
+            ffs: variable.ffs,
+            paper_luts: Some(96_081),
+            paper_ffs: Some(106_150),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_rows_in_paper_order() {
+        let rows = table1_synthesis_rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].label, "NVDLA");
+        assert!(rows[1].luts > rows[0].luts);
+        assert!(rows[2].luts > rows[1].luts);
+    }
+
+    #[test]
+    fn base_row_reproduces_paper_exactly() {
+        let rows = table1_synthesis_rows();
+        assert_eq!(Some(rows[0].luts), rows[0].paper_luts);
+        assert_eq!(Some(rows[0].ffs), rows[0].paper_ffs);
+    }
+
+    #[test]
+    fn constant_row_close_to_paper() {
+        let rows = table1_synthesis_rows();
+        let model_delta = rows[1].luts as i64 - rows[0].luts as i64;
+        let paper_delta = rows[1].paper_luts.unwrap() as i64 - rows[0].paper_luts.unwrap() as i64;
+        assert_eq!(model_delta, paper_delta, "constant-error delta must match (+18)");
+    }
+
+    #[test]
+    fn display_includes_paper_reference() {
+        let rows = table1_synthesis_rows();
+        assert!(rows[0].to_string().contains("paper"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Static timing model: why the fault injectors do not change the clock.
+//!
+//! The paper reports the same 4.59 ms inference (i.e. the same 187.5 MHz
+//! clock) with and without FI. Structurally that holds because the
+//! injector mux sits **after the multiplier's product register**, at the
+//! head of the adder-tree pipeline stage — and that stage has fewer logic
+//! levels than the multiplier stage, so the critical path is unchanged.
+//!
+//! The model here is deliberately simple (levels-of-logic times a per-level
+//! delay plus clocking overhead) but it is structural: each pipeline stage
+//! of the CMAC is enumerated with its LUT depth, the FI variants add their
+//! mux level to the correct stage, and `fmax` falls out.
+
+use crate::designs::FiVariant;
+
+/// Combinational delay budget per LUT level including routing
+/// (UltraScale+ -2 speed grade ballpark).
+pub const LUT_LEVEL_DELAY_NS: f64 = 0.75;
+
+/// Clock-to-out plus setup overhead per stage.
+pub const CLOCK_OVERHEAD_NS: f64 = 0.5;
+
+/// The paper's target clock.
+pub const TARGET_CLOCK_MHZ: f64 = 187.5;
+
+/// One pipeline stage of the CMAC datapath.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Stage name.
+    pub name: &'static str,
+    /// LUT levels between the stage's registers.
+    pub levels: u32,
+}
+
+impl StageTiming {
+    /// Stage delay in nanoseconds.
+    #[must_use]
+    pub fn delay_ns(&self) -> f64 {
+        f64::from(self.levels) * LUT_LEVEL_DELAY_NS + CLOCK_OVERHEAD_NS
+    }
+}
+
+/// The CMAC pipeline stages for a given FI variant.
+///
+/// * `multiply`: Booth-less partial products + two compression levels,
+///   ending in the 18-bit product register — 6 LUT levels.
+/// * `adder_tree`: the 8:1 sum of product lanes — 3 LUT levels (carry
+///   chains), **plus one mux level when fault injection is present** (the
+///   injector sits between the product register and the tree).
+/// * `accumulate`: the 32-bit accumulator add — 1 level plus carry.
+#[must_use]
+pub fn pipeline_stages(variant: FiVariant) -> Vec<StageTiming> {
+    let fi_levels = match variant {
+        FiVariant::None => 0,
+        FiVariant::Constant | FiVariant::Variable => 1,
+    };
+    vec![
+        StageTiming { name: "multiply", levels: 6 },
+        StageTiming { name: "adder_tree", levels: 3 + fi_levels },
+        StageTiming { name: "accumulate", levels: 2 },
+    ]
+}
+
+/// The slowest stage of the pipeline.
+///
+/// # Panics
+///
+/// Never panics (the stage list is non-empty by construction).
+#[must_use]
+pub fn critical_stage(variant: FiVariant) -> StageTiming {
+    pipeline_stages(variant)
+        .into_iter()
+        .max_by(|a, b| a.delay_ns().total_cmp(&b.delay_ns()))
+        .expect("pipeline has stages")
+}
+
+/// Estimated maximum clock frequency in MHz.
+#[must_use]
+pub fn fmax_mhz(variant: FiVariant) -> f64 {
+    1e3 / critical_stage(variant).delay_ns()
+}
+
+/// Whether the design variant closes timing at the paper's 187.5 MHz.
+#[must_use]
+pub fn meets_target_clock(variant: FiVariant) -> bool {
+    fmax_mhz(variant) >= TARGET_CLOCK_MHZ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_meets_187_5_mhz() {
+        for v in [FiVariant::None, FiVariant::Constant, FiVariant::Variable] {
+            assert!(
+                meets_target_clock(v),
+                "{v:?}: fmax {:.1} MHz below target",
+                fmax_mhz(v)
+            );
+        }
+    }
+
+    #[test]
+    fn fi_mux_lands_in_the_adder_stage_not_the_multiplier() {
+        let base = pipeline_stages(FiVariant::None);
+        let fi = pipeline_stages(FiVariant::Variable);
+        assert_eq!(base[0], fi[0], "multiplier stage untouched");
+        assert_eq!(fi[1].levels, base[1].levels + 1, "one mux level in the tree stage");
+    }
+
+    #[test]
+    fn critical_path_is_the_multiplier_with_and_without_fi() {
+        for v in [FiVariant::None, FiVariant::Constant, FiVariant::Variable] {
+            assert_eq!(critical_stage(v).name, "multiply");
+        }
+    }
+
+    #[test]
+    fn fmax_is_therefore_fi_independent() {
+        let f0 = fmax_mhz(FiVariant::None);
+        let f1 = fmax_mhz(FiVariant::Constant);
+        let f2 = fmax_mhz(FiVariant::Variable);
+        assert_eq!(f0, f1);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn stage_delay_math() {
+        let s = StageTiming { name: "x", levels: 4 };
+        assert!((s.delay_ns() - (4.0 * LUT_LEVEL_DELAY_NS + CLOCK_OVERHEAD_NS)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,28 @@
+//! A SAFFIRA-style cycle-driven systolic-array simulator — the "software
+//! simulation" baseline the paper's speedup claim is measured against.
+//!
+//! SAFFIRA (DDECS'24) assesses DNN accelerator reliability by simulating a
+//! homogeneous systolic PE array; because the simulation is cycle-driven it
+//! is slow, and the paper reports it completing **5.8 simulations/second on
+//! just two convolutional layers** while the FPGA emulator reaches 217 full
+//! ResNet-18 inferences/second. This crate reproduces that *kind* of tool:
+//!
+//! * an `N x N` weight-stationary PE grid ([`SystolicArray`]): activations
+//!   flow west-to-east, partial sums north-to-south, with proper input
+//!   skewing — every PE register is updated every simulated cycle;
+//! * convolution is lowered with im2col and tiled over the grid
+//!   ([`sim::run_conv`]);
+//! * PE-level fault injection ([`PeFault`]) forcing a PE's product, the
+//!   systolic analogue of the platform's multiplier faults.
+//!
+//! The functional results are property-tested against the reference
+//! convolution; the *throughput* of this simulator is what the speedup
+//! experiment measures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array;
+pub mod sim;
+
+pub use array::{PeFault, SystolicArray};

@@ -1,0 +1,204 @@
+//! Convolution on the systolic array: im2col + weight-tile streaming.
+
+use nvfi_quant::{QOpKind, QuantModel};
+use nvfi_tensor::{im2col, ConvGeom, Tensor};
+
+use crate::array::{PeFault, SystolicArray};
+
+/// Statistics of one simulated layer (or layer sequence).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SimStats {
+    /// Simulated array cycles (load + stream + drain).
+    pub cycles: u64,
+    /// PE evaluations performed by the simulator.
+    pub pe_ops: u64,
+}
+
+/// Runs one convolution on an `n x n` array, returning the i32 accumulator
+/// tensor and simulation statistics. Functionally equivalent to
+/// [`nvfi_tensor::conv::conv2d_i8_naive`] when no faults are set.
+///
+/// The reduction axis (`C*R*S`) is tiled over array rows; output channels
+/// are tiled over array columns.
+///
+/// # Panics
+///
+/// Panics if shapes disagree with `geom`.
+#[must_use]
+pub fn run_conv(
+    input: &Tensor<i8>,
+    weights: &Tensor<i8>,
+    geom: &ConvGeom,
+    array_size: usize,
+    faults: &[(usize, usize, PeFault)],
+) -> (Tensor<i32>, SimStats) {
+    let n = array_size;
+    let crs = geom.input.c * geom.r * geom.s;
+    let wmat = nvfi_tensor::conv::weights_as_mat(weights, geom); // K x CRS
+    let out_shape = geom.out_shape().with_n(input.shape().n);
+    let mut out = Tensor::<i32>::zeros(out_shape);
+    let mut stats = SimStats::default();
+
+    for img in 0..input.shape().n {
+        let cols = im2col::im2col(input.image(img), geom); // CRS x (OH*OW)
+        let t = cols.cols();
+        // Tile over output channels (array columns) and reduction (rows).
+        let mut k0 = 0;
+        while k0 < geom.k {
+            let ktile = n.min(geom.k - k0);
+            let mut acc = vec![vec![0i32; t]; ktile];
+            let mut r0 = 0;
+            while r0 < crs {
+                let rtile = n.min(crs - r0);
+                let mut array = SystolicArray::new(n);
+                for &(fr, fc, f) in faults {
+                    array.set_fault(fr, fc, f);
+                }
+                // Stationary tile: row = reduction index, col = output chan.
+                let tile: Vec<Vec<i8>> = (0..rtile)
+                    .map(|r| (0..ktile).map(|c| wmat.at(k0 + c, r0 + r)).collect())
+                    .collect();
+                array.load_weights(&tile);
+                let columns: Vec<Vec<i8>> =
+                    (0..t).map(|j| (0..rtile).map(|r| cols.at(r0 + r, j)).collect()).collect();
+                let results = array.stream(&columns);
+                for (j, res) in results.iter().enumerate() {
+                    for c in 0..ktile {
+                        acc[c][j] = acc[c][j].wrapping_add(res[c]);
+                    }
+                }
+                stats.cycles += array.cycles();
+                stats.pe_ops += array.pe_ops();
+                r0 += rtile;
+            }
+            for c in 0..ktile {
+                for j in 0..t {
+                    let (oy, ox) = (j / geom.ow, j % geom.ow);
+                    out.set(img, k0 + c, oy, ox, acc[c][j]);
+                }
+            }
+            k0 += ktile;
+        }
+    }
+    (out, stats)
+}
+
+/// Simulates the first `layers` convolutions of a quantized model on one
+/// image — the workload SAFFIRA's 5.8 sim/s figure refers to (two layers).
+/// Returns the per-layer statistics.
+///
+/// # Panics
+///
+/// Panics if the model has fewer than `layers` convolution ops.
+#[must_use]
+pub fn simulate_first_convs(
+    model: &QuantModel,
+    image: &Tensor<i8>,
+    layers: usize,
+    array_size: usize,
+    faults: &[(usize, usize, PeFault)],
+) -> Vec<SimStats> {
+    let mut stats = Vec::new();
+    let mut x = image.clone();
+    for op in &model.ops {
+        if stats.len() == layers {
+            break;
+        }
+        if let QOpKind::Conv(c) = &op.kind {
+            let ws = c.weight.shape();
+            let geom = ConvGeom::new(x.shape().with_n(1), ws.n, ws.h, ws.w, c.stride, c.pad);
+            let (acc, s) = run_conv(&x, &c.weight, &geom, array_size, faults);
+            stats.push(s);
+            // Requantize to feed the next layer (per-channel aware).
+            let os = acc.shape();
+            let mut y = Tensor::<i8>::zeros(os);
+            for n in 0..os.n {
+                for k in 0..os.c {
+                    let rq = c.requant_for(k);
+                    for h in 0..os.h {
+                        for w in 0..os.w {
+                            let a = acc.at(n, k, h, w).wrapping_add(c.bias[k]);
+                            y.set(
+                                n,
+                                k,
+                                h,
+                                w,
+                                nvfi_quant::exec::sdp_postprocess(a, rq, None, c.relu),
+                            );
+                        }
+                    }
+                }
+            }
+            x = y;
+        }
+    }
+    assert_eq!(stats.len(), layers, "model has fewer than {layers} conv layers");
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvfi_tensor::Shape4;
+
+    #[test]
+    fn conv_matches_reference_across_tilings() {
+        let input = Tensor::from_fn(Shape4::new(1, 5, 6, 6), |_, c, h, w| {
+            ((c * 43 + h * 11 + w * 7) % 255) as i8
+        });
+        let geom = ConvGeom::new(input.shape(), 7, 3, 3, 1, 1);
+        let weights = Tensor::from_fn(geom.weight_shape(), |k, c, r, s| {
+            ((k * 91 + c * 37 + r * 13 + s * 3) % 251) as i8
+        });
+        let want = nvfi_tensor::conv::conv2d_i8_naive(&input, &weights, &geom);
+        for n in [4, 8, 16] {
+            let (got, stats) = run_conv(&input, &weights, &geom, n, &[]);
+            assert_eq!(got.as_slice(), want.as_slice(), "array size {n}");
+            assert!(stats.cycles > 0 && stats.pe_ops > 0);
+        }
+    }
+
+    #[test]
+    fn strided_conv_matches_reference() {
+        let input = Tensor::from_fn(Shape4::new(1, 4, 8, 8), |_, c, h, w| {
+            ((c + 3 * h + 5 * w) % 19) as i8
+        });
+        let geom = ConvGeom::new(input.shape(), 6, 3, 3, 2, 1);
+        let weights =
+            Tensor::from_fn(geom.weight_shape(), |k, c, r, s| ((k + c + r + s) % 7) as i8 - 3);
+        let want = nvfi_tensor::conv::conv2d_i8_naive(&input, &weights, &geom);
+        let (got, _) = run_conv(&input, &weights, &geom, 8, &[]);
+        assert_eq!(got.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn pe_fault_perturbs_output() {
+        let input = Tensor::from_fn(Shape4::new(1, 8, 4, 4), |_, c, h, w| {
+            ((c * 5 + h + w) % 23) as i8
+        });
+        let geom = ConvGeom::new(input.shape(), 8, 1, 1, 1, 0);
+        let weights = Tensor::from_fn(geom.weight_shape(), |k, c, _, _| ((k * 3 + c) % 11) as i8);
+        let (clean, _) = run_conv(&input, &weights, &geom, 8, &[]);
+        let (bad, _) =
+            run_conv(&input, &weights, &geom, 8, &[(0, 0, PeFault::StuckProduct(999))]);
+        assert_ne!(clean.as_slice(), bad.as_slice());
+        // Only output channel 0 (array column 0) is affected by PE (0,0).
+        for k in 1..8 {
+            for h in 0..4 {
+                for w in 0..4 {
+                    assert_eq!(clean.at(0, k, h, w), bad.at(0, k, h, w));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_count_grows_with_reduction_tiles() {
+        let input = Tensor::<i8>::zeros(Shape4::new(1, 32, 4, 4));
+        let geom = ConvGeom::new(input.shape(), 8, 1, 1, 1, 0);
+        let weights = Tensor::<i8>::zeros(geom.weight_shape());
+        let (_, small) = run_conv(&input, &weights, &geom, 32, &[]);
+        let (_, big) = run_conv(&input, &weights, &geom, 8, &[]);
+        assert!(big.cycles > small.cycles, "more tiles => more cycles");
+    }
+}

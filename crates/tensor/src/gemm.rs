@@ -1,0 +1,201 @@
+//! Dense GEMM kernels: f32 for training, i8 -> i32 for quantized inference.
+//!
+//! The int8 kernel accumulates with **wrapping** i32 addition so that the CPU
+//! reference executor and the accelerator model share overflow semantics even
+//! under injected faults that blow up the dynamic range.
+
+use crate::Mat;
+
+/// `out += a * b` for f32 matrices.
+///
+/// # Panics
+///
+/// Panics if the dimensions do not agree (`a: MxK`, `b: KxN`, `out: MxN`).
+pub fn gemm_f32_acc(a: &Mat<f32>, b: &Mat<f32>, out: &mut Mat<f32>) {
+    let (m, k, n) = check_dims(a.rows(), a.cols(), b.rows(), b.cols(), out.rows(), out.cols());
+    let bd = b.as_slice();
+    for i in 0..m {
+        let arow = a.row(i);
+        let orow = out.row_mut(i);
+        for p in 0..k {
+            let av = arow[p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `a * b` for f32 matrices.
+#[must_use]
+pub fn gemm_f32(a: &Mat<f32>, b: &Mat<f32>) -> Mat<f32> {
+    let mut out = Mat::zeros(a.rows(), b.cols());
+    gemm_f32_acc(a, b, &mut out);
+    out
+}
+
+/// `out = out (+) a * b` for int8 inputs with wrapping i32 accumulation.
+///
+/// # Panics
+///
+/// Panics if the dimensions do not agree.
+pub fn gemm_i8_i32_acc(a: &Mat<i8>, b: &Mat<i8>, out: &mut Mat<i32>) {
+    let (m, k, n) = check_dims(a.rows(), a.cols(), b.rows(), b.cols(), out.rows(), out.cols());
+    let bd = b.as_slice();
+    for i in 0..m {
+        let arow = a.row(i);
+        let orow = out.row_mut(i);
+        for p in 0..k {
+            let av = arow[p] as i32;
+            if av == 0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o = o.wrapping_add(av * bv as i32);
+            }
+        }
+    }
+}
+
+/// `a * b` for int8 inputs, producing wrapping i32 accumulators.
+#[must_use]
+pub fn gemm_i8_i32(a: &Mat<i8>, b: &Mat<i8>) -> Mat<i32> {
+    let mut out = Mat::zeros(a.rows(), b.cols());
+    gemm_i8_i32_acc(a, b, &mut out);
+    out
+}
+
+/// Multi-threaded variant of [`gemm_i8_i32`]: rows of `a` are sharded over
+/// `threads` OS threads (crossbeam scoped). With `threads <= 1` this is the
+/// single-threaded kernel.
+///
+/// # Panics
+///
+/// Panics if the dimensions do not agree.
+#[must_use]
+pub fn gemm_i8_i32_threaded(a: &Mat<i8>, b: &Mat<i8>, threads: usize) -> Mat<i32> {
+    if threads <= 1 || a.rows() < 2 {
+        return gemm_i8_i32(a, b);
+    }
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    assert_eq!(k, b.rows(), "inner dimensions disagree: {k} vs {}", b.rows());
+    let mut out: Mat<i32> = Mat::zeros(m, n);
+    let rows_per = m.div_ceil(threads);
+    let ad = a.as_slice();
+    let bd = b.as_slice();
+    crossbeam::thread::scope(|scope| {
+        for (t, chunk) in out.as_mut_slice().chunks_mut(rows_per * n).enumerate() {
+            let row0 = t * rows_per;
+            scope.spawn(move |_| {
+                let rows_here = chunk.len() / n;
+                for i in 0..rows_here {
+                    let arow = &ad[(row0 + i) * k..(row0 + i + 1) * k];
+                    let orow = &mut chunk[i * n..(i + 1) * n];
+                    for p in 0..k {
+                        let av = arow[p] as i32;
+                        if av == 0 {
+                            continue;
+                        }
+                        let brow = &bd[p * n..(p + 1) * n];
+                        for (o, &bv) in orow.iter_mut().zip(brow) {
+                            *o = o.wrapping_add(av * bv as i32);
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("gemm worker thread panicked");
+    out
+}
+
+fn check_dims(
+    am: usize,
+    ak: usize,
+    bk: usize,
+    bn: usize,
+    om: usize,
+    on: usize,
+) -> (usize, usize, usize) {
+    assert_eq!(ak, bk, "inner dimensions disagree: {ak} vs {bk}");
+    assert_eq!(am, om, "output rows disagree: {am} vs {om}");
+    assert_eq!(bn, on, "output cols disagree: {bn} vs {on}");
+    (am, ak, bn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_i32(a: &Mat<i8>, b: &Mat<i8>) -> Mat<i32> {
+        let mut out = Mat::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0i32;
+                for p in 0..a.cols() {
+                    acc = acc.wrapping_add(a.at(i, p) as i32 * b.at(p, j) as i32);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Mat::from_vec(2, 2, vec![1i8, 2, 3, 4]);
+        let b = Mat::from_vec(2, 2, vec![5i8, 6, 7, 8]);
+        let c = gemm_i8_i32(&a, &b);
+        assert_eq!(c.as_slice(), &[19, 22, 43, 50]);
+    }
+
+    #[test]
+    fn matches_naive_reference() {
+        let a = Mat::from_vec(3, 4, (0..12).map(|v| (v as i8).wrapping_mul(7)).collect());
+        let b = Mat::from_vec(4, 5, (0..20).map(|v| (v as i8).wrapping_sub(9)).collect());
+        assert_eq!(gemm_i8_i32(&a, &b).as_slice(), naive_i32(&a, &b).as_slice());
+    }
+
+    #[test]
+    fn threaded_matches_single() {
+        let a = Mat::from_vec(7, 9, (0..63).map(|v| (v * 3 % 251) as i8).collect());
+        let b = Mat::from_vec(9, 5, (0..45).map(|v| (v * 5 % 251) as i8).collect());
+        let single = gemm_i8_i32(&a, &b);
+        for threads in [1, 2, 3, 4, 8, 16] {
+            assert_eq!(
+                gemm_i8_i32_threaded(&a, &b, threads).as_slice(),
+                single.as_slice(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn f32_identity() {
+        let a = Mat::from_vec(2, 2, vec![1.0f32, 0.0, 0.0, 1.0]);
+        let b = Mat::from_vec(2, 3, vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(gemm_f32(&a, &b).as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn f32_accumulates() {
+        let a = Mat::from_vec(1, 1, vec![2.0f32]);
+        let b = Mat::from_vec(1, 1, vec![3.0f32]);
+        let mut out = Mat::from_vec(1, 1, vec![10.0f32]);
+        gemm_f32_acc(&a, &b, &mut out);
+        assert_eq!(out.at(0, 0), 16.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dimension_mismatch_panics() {
+        let a = Mat::<i8>::zeros(2, 3);
+        let b = Mat::<i8>::zeros(2, 3);
+        let _ = gemm_i8_i32(&a, &b);
+    }
+}

@@ -1,0 +1,157 @@
+//! im2col / col2im lowering of convolution to matrix multiplication.
+//!
+//! The column matrix has one row per `(c, r, s)` weight tap and one column
+//! per output pixel `(oy, ox)`; padded taps read as zero. Multiplying the
+//! `K x (C*R*S)` weight matrix by the column matrix yields the `K x (OH*OW)`
+//! output feature map — the same schedule the accelerator's MAC array walks,
+//! which is what makes the fast fault-correction path algebraically exact.
+
+use crate::{ConvGeom, Mat, Shape4};
+
+/// Builds the column matrix for one batch item of `input`.
+///
+/// `image` must be the CHW slice of a single batch item whose shape matches
+/// `geom.input` (with any `n`).
+///
+/// # Panics
+///
+/// Panics if `image.len() != geom.input.image_len()`.
+///
+/// # Examples
+///
+/// ```
+/// use nvfi_tensor::{im2col, ConvGeom, Shape4, Tensor};
+/// let geom = ConvGeom::new(Shape4::new(1, 1, 2, 2), 1, 2, 2, 1, 0);
+/// let img = Tensor::from_vec(Shape4::new(1, 1, 2, 2), vec![1i8, 2, 3, 4]);
+/// let cols = im2col::im2col(img.image(0), &geom);
+/// assert_eq!((cols.rows(), cols.cols()), (4, 1));
+/// assert_eq!(cols.as_slice(), &[1, 2, 3, 4]);
+/// ```
+#[must_use]
+pub fn im2col<T: Copy + Default>(image: &[T], geom: &ConvGeom) -> Mat<T> {
+    let Shape4 { c: ci, h, w, .. } = geom.input;
+    assert_eq!(image.len(), geom.input.image_len(), "image does not match {}", geom.input);
+    let mut out = Mat::zeros(ci * geom.r * geom.s, geom.oh * geom.ow);
+    let cols = geom.oh * geom.ow;
+    for c in 0..ci {
+        for r in 0..geom.r {
+            for s in 0..geom.s {
+                let row_idx = (c * geom.r + r) * geom.s + s;
+                let row = &mut out.as_mut_slice()[row_idx * cols..(row_idx + 1) * cols];
+                for oy in 0..geom.oh {
+                    let iy = (oy * geom.stride + r) as isize - geom.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue; // whole row of taps falls in padding
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..geom.ow {
+                        let ix = (ox * geom.stride + s) as isize - geom.pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        row[oy * geom.ow + ox] = image[(c * h + iy) * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Adjoint of [`im2col`]: scatter-adds a column-matrix gradient back onto an
+/// image gradient buffer. Used by the convolution backward pass.
+///
+/// # Panics
+///
+/// Panics if the matrix or buffer dimensions do not match `geom`.
+pub fn col2im_acc_f32(cols_grad: &Mat<f32>, geom: &ConvGeom, image_grad: &mut [f32]) {
+    let Shape4 { c: ci, h, w, .. } = geom.input;
+    assert_eq!(image_grad.len(), geom.input.image_len());
+    assert_eq!(cols_grad.rows(), ci * geom.r * geom.s);
+    assert_eq!(cols_grad.cols(), geom.oh * geom.ow);
+    for c in 0..ci {
+        for r in 0..geom.r {
+            for s in 0..geom.s {
+                let row_idx = (c * geom.r + r) * geom.s + s;
+                let row = cols_grad.row(row_idx);
+                for oy in 0..geom.oh {
+                    let iy = (oy * geom.stride + r) as isize - geom.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..geom.ow {
+                        let ix = (ox * geom.stride + s) as isize - geom.pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        image_grad[(c * h + iy) * w + ix as usize] += row[oy * geom.ow + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    #[test]
+    fn identity_1x1_kernel() {
+        let geom = ConvGeom::new(Shape4::new(1, 2, 2, 2), 1, 1, 1, 1, 0);
+        let img = Tensor::from_vec(Shape4::new(1, 2, 2, 2), (0..8i8).collect());
+        let cols = im2col(img.image(0), &geom);
+        assert_eq!((cols.rows(), cols.cols()), (2, 4));
+        assert_eq!(cols.as_slice(), img.as_slice());
+    }
+
+    #[test]
+    fn padding_reads_zero() {
+        let geom = ConvGeom::new(Shape4::new(1, 1, 1, 1), 1, 3, 3, 1, 1);
+        let img = Tensor::from_vec(Shape4::new(1, 1, 1, 1), vec![5i8]);
+        let cols = im2col(img.image(0), &geom);
+        assert_eq!((cols.rows(), cols.cols()), (9, 1));
+        // Only the center tap reads the pixel; all others are padding.
+        let expected: Vec<i8> = (0..9).map(|i| if i == 4 { 5 } else { 0 }).collect();
+        assert_eq!(cols.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn stride_two_samples_every_other_pixel() {
+        let geom = ConvGeom::new(Shape4::new(1, 1, 4, 4), 1, 1, 1, 2, 0);
+        let img = Tensor::from_fn(Shape4::new(1, 1, 4, 4), |_, _, h, w| (h * 4 + w) as i8);
+        let cols = im2col(img.image(0), &geom);
+        assert_eq!(cols.as_slice(), &[0, 2, 8, 10]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for all x, y — checked on a dense
+        // basis by transposing the implied linear operator.
+        let geom = ConvGeom::new(Shape4::new(1, 2, 3, 3), 1, 2, 2, 1, 1);
+        let in_len = geom.input.image_len();
+        let cols_len = geom.input.c * geom.r * geom.s * geom.oh * geom.ow;
+        // Operator matrix from im2col applied to basis vectors.
+        let mut op = vec![vec![0f32; in_len]; cols_len];
+        for i in 0..in_len {
+            let mut x = vec![0f32; in_len];
+            x[i] = 1.0;
+            let cols = im2col(&x, &geom);
+            for (j, &v) in cols.as_slice().iter().enumerate() {
+                op[j][i] = v;
+            }
+        }
+        // col2im applied to basis vectors must give the transpose.
+        for j in 0..cols_len {
+            let mut g = Mat::zeros(geom.input.c * geom.r * geom.s, geom.oh * geom.ow);
+            g.as_mut_slice()[j] = 1.0;
+            let mut back = vec![0f32; in_len];
+            col2im_acc_f32(&g, &geom, &mut back);
+            for i in 0..in_len {
+                assert_eq!(back[i], op[j][i], "adjoint mismatch at ({j},{i})");
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Dense row-major matrix, the working set of im2col + GEMM convolution.
+
+use core::fmt;
+
+/// A dense row-major matrix.
+///
+/// # Examples
+///
+/// ```
+/// use nvfi_tensor::Mat;
+/// let mut m = Mat::<i32>::zeros(2, 3);
+/// m.set(1, 2, 42);
+/// assert_eq!(m.at(1, 2), 42);
+/// assert_eq!(m.row(1), &[0, 0, 42]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Mat<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Mat<T> {
+    /// Creates a zero-filled matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat { rows, cols, data: vec![T::default(); rows * cols] }
+    }
+
+    /// Creates a matrix from a row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer does not match {rows}x{cols}");
+        Mat { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    #[must_use]
+    pub fn at(&self, r: usize, c: usize) -> T {
+        assert!(r < self.rows && c < self.cols, "({r},{c}) out of {0}x{1}", self.rows, self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Writes the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: T) {
+        assert!(r < self.rows && c < self.cols, "({r},{c}) out of {0}x{1}", self.rows, self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[inline]
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[T] {
+        assert!(r < self.rows, "row {r} out of {}", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [T] {
+        assert!(r < self.rows, "row {r} out of {}", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The whole row-major buffer.
+    #[inline]
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable access to the whole row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the buffer.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// The transpose (copies).
+    #[must_use]
+    pub fn transposed(&self) -> Mat<T> {
+        let mut out = Mat::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Fills with a constant.
+    pub fn fill(&mut self, v: T) {
+        self.data.fill(v);
+    }
+}
+
+impl<T: Copy + Default + fmt::Debug> fmt::Debug for Mat<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Mat[{}x{}]", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_rows() {
+        let m = Mat::from_vec(2, 3, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(m.at(0, 2), 3);
+        assert_eq!(m.row(1), &[4, 5, 6]);
+    }
+
+    #[test]
+    fn transpose() {
+        let m = Mat::from_vec(2, 3, vec![1, 2, 3, 4, 5, 6]);
+        let t = m.transposed();
+        assert_eq!((t.rows(), t.cols()), (3, 2));
+        assert_eq!(t.as_slice(), &[1, 4, 2, 5, 3, 6]);
+        assert_eq!(t.transposed(), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn bounds_checked() {
+        let m = Mat::<i8>::zeros(2, 2);
+        let _ = m.at(2, 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Pooling primitives shared by the float graph, the quantized executor and
+//! the accelerator's PDP model.
+
+use crate::{Shape4, Tensor};
+
+/// 2-D max pooling with square window `k` and stride `stride`.
+///
+/// # Panics
+///
+/// Panics if the window does not tile the input (`(h - k) % stride != 0`),
+/// if `k == 0`, or if `stride == 0`; the networks in this workspace only use
+/// exact tilings.
+#[must_use]
+pub fn maxpool2d<T: Copy + Default + PartialOrd>(
+    input: &Tensor<T>,
+    k: usize,
+    stride: usize,
+) -> Tensor<T> {
+    let s = input.shape();
+    assert!(k > 0 && stride > 0, "pooling window and stride must be positive");
+    assert!(
+        s.h >= k && s.w >= k && (s.h - k) % stride == 0 && (s.w - k) % stride == 0,
+        "pool {k}/{stride} does not tile {s}"
+    );
+    let oh = (s.h - k) / stride + 1;
+    let ow = (s.w - k) / stride + 1;
+    let mut out = Tensor::zeros(Shape4::new(s.n, s.c, oh, ow));
+    for n in 0..s.n {
+        for c in 0..s.c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = input.at(n, c, oy * stride, ox * stride);
+                    for r in 0..k {
+                        for q in 0..k {
+                            let v = input.at(n, c, oy * stride + r, ox * stride + q);
+                            if v > best {
+                                best = v;
+                            }
+                        }
+                    }
+                    out.set(n, c, oy, ox, best);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Global average pooling over f32 feature maps: `(N, C, H, W) -> (N, C, 1, 1)`.
+#[must_use]
+pub fn global_avg_f32(input: &Tensor<f32>) -> Tensor<f32> {
+    let s = input.shape();
+    let area = (s.h * s.w) as f32;
+    Tensor::from_fn(Shape4::new(s.n, s.c, 1, 1), |n, c, _, _| {
+        let mut acc = 0f32;
+        for h in 0..s.h {
+            for w in 0..s.w {
+                acc += input.at(n, c, h, w);
+            }
+        }
+        acc / area
+    })
+}
+
+/// Per-channel spatial sums of an int8 tensor, as the PDP computes them
+/// before the average divide: `(N, C, H, W) -> (N, C)` of i32 sums.
+#[must_use]
+pub fn global_sum_i8(input: &Tensor<i8>) -> Vec<i32> {
+    let s = input.shape();
+    let mut out = Vec::with_capacity(s.n * s.c);
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let mut acc = 0i32;
+            for h in 0..s.h {
+                for w in 0..s.w {
+                    acc = acc.wrapping_add(input.at(n, c, h, w) as i32);
+                }
+            }
+            out.push(acc);
+        }
+    }
+    out
+}
+
+/// Integer average with round-half-away-from-zero: `round(sum / count)`.
+/// This is the exact divide the PDP average unit performs.
+///
+/// # Panics
+///
+/// Panics if `count == 0`.
+#[inline]
+#[must_use]
+pub fn rounded_div(sum: i32, count: u32) -> i32 {
+    assert!(count > 0, "average over zero elements");
+    let c = count as i64;
+    let s = sum as i64;
+    let half = c / 2;
+    let r = if s >= 0 { (s + half) / c } else { (s - half) / c };
+    r as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_2x2() {
+        let input = Tensor::from_vec(
+            Shape4::new(1, 1, 4, 4),
+            vec![1i8, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16],
+        );
+        let out = maxpool2d(&input, 2, 2);
+        assert_eq!(out.shape(), Shape4::new(1, 1, 2, 2));
+        assert_eq!(out.as_slice(), &[6, 8, 14, 16]);
+    }
+
+    #[test]
+    fn maxpool_3x3_stride1() {
+        let input = Tensor::from_fn(Shape4::new(1, 1, 3, 3), |_, _, h, w| (h * 3 + w) as i8);
+        let out = maxpool2d(&input, 3, 1);
+        assert_eq!(out.as_slice(), &[8]);
+    }
+
+    #[test]
+    fn maxpool_handles_negative_values() {
+        let input = Tensor::from_vec(Shape4::new(1, 1, 2, 2), vec![-9i8, -3, -127, -50]);
+        assert_eq!(maxpool2d(&input, 2, 2).as_slice(), &[-3]);
+    }
+
+    #[test]
+    fn global_avg() {
+        let input = Tensor::from_vec(Shape4::new(1, 2, 1, 2), vec![1.0f32, 3.0, -2.0, -2.0]);
+        let out = global_avg_f32(&input);
+        assert_eq!(out.as_slice(), &[2.0, -2.0]);
+    }
+
+    #[test]
+    fn global_sums() {
+        let input = Tensor::from_vec(Shape4::new(2, 1, 1, 2), vec![1i8, 2, -3, -4]);
+        assert_eq!(global_sum_i8(&input), vec![3, -7]);
+    }
+
+    #[test]
+    fn rounded_div_half_away() {
+        assert_eq!(rounded_div(5, 2), 3);
+        assert_eq!(rounded_div(-5, 2), -3);
+        assert_eq!(rounded_div(4, 2), 2);
+        assert_eq!(rounded_div(7, 16), 0);
+        assert_eq!(rounded_div(8, 16), 1);
+        assert_eq!(rounded_div(-8, 16), -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not tile")]
+    fn ragged_pool_rejected() {
+        let input = Tensor::<i8>::zeros(Shape4::new(1, 1, 5, 5));
+        let _ = maxpool2d(&input, 2, 2);
+    }
+}

@@ -1,0 +1,209 @@
+//! Shapes and convolution geometry.
+
+use core::fmt;
+
+/// The shape of a dense NCHW tensor: batch, channels, height, width.
+///
+/// # Examples
+///
+/// ```
+/// use nvfi_tensor::Shape4;
+/// let s = Shape4::new(2, 3, 32, 32);
+/// assert_eq!(s.len(), 2 * 3 * 32 * 32);
+/// assert_eq!(s.index(1, 2, 31, 31), s.len() - 1);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Shape4 {
+    /// Batch size.
+    pub n: usize,
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+}
+
+impl Shape4 {
+    /// Creates a shape.
+    #[must_use]
+    pub const fn new(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Shape4 { n, c, h, w }
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub const fn len(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// Whether the shape holds no elements.
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linear index of `(n, c, h, w)` in the dense NCHW layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if any coordinate is out of bounds.
+    #[inline]
+    #[must_use]
+    pub fn index(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(
+            n < self.n && c < self.c && h < self.h && w < self.w,
+            "index ({n},{c},{h},{w}) out of bounds for {self}"
+        );
+        ((n * self.c + c) * self.h + h) * self.w + w
+    }
+
+    /// Number of elements in one batch item (`c * h * w`).
+    #[must_use]
+    pub const fn image_len(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Returns the same shape with a different batch size.
+    #[must_use]
+    pub const fn with_n(self, n: usize) -> Self {
+        Shape4 { n, ..self }
+    }
+}
+
+impl fmt::Display for Shape4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}x{}x{}x{}]", self.n, self.c, self.h, self.w)
+    }
+}
+
+/// Geometry of a 2-D convolution: input/output shapes, kernel size, stride
+/// and symmetric zero padding.
+///
+/// # Examples
+///
+/// ```
+/// use nvfi_tensor::{ConvGeom, Shape4};
+/// // A stride-2 3x3 convolution halving a 32x32 feature map:
+/// let g = ConvGeom::new(Shape4::new(1, 16, 32, 32), 32, 3, 3, 2, 1);
+/// assert_eq!((g.oh, g.ow), (16, 16));
+/// assert_eq!(g.out_shape(), Shape4::new(1, 32, 16, 16));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ConvGeom {
+    /// Input shape (N, C, H, W).
+    pub input: Shape4,
+    /// Number of output channels (kernels), `K`.
+    pub k: usize,
+    /// Kernel height, `R`.
+    pub r: usize,
+    /// Kernel width, `S`.
+    pub s: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Symmetric zero padding (same on all four sides).
+    pub pad: usize,
+    /// Output height.
+    pub oh: usize,
+    /// Output width.
+    pub ow: usize,
+}
+
+impl ConvGeom {
+    /// Computes the geometry for the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel (with padding) does not fit in the input, or if
+    /// `stride == 0` — both indicate an ill-formed layer.
+    #[must_use]
+    pub fn new(input: Shape4, k: usize, r: usize, s: usize, stride: usize, pad: usize) -> Self {
+        assert!(stride > 0, "convolution stride must be positive");
+        assert!(k > 0 && r > 0 && s > 0, "convolution dims must be positive");
+        assert!(
+            input.h + 2 * pad >= r && input.w + 2 * pad >= s,
+            "kernel {r}x{s} with pad {pad} does not fit input {input}"
+        );
+        let oh = (input.h + 2 * pad - r) / stride + 1;
+        let ow = (input.w + 2 * pad - s) / stride + 1;
+        ConvGeom { input, k, r, s, stride, pad, oh, ow }
+    }
+
+    /// Shape of the convolution output.
+    #[must_use]
+    pub const fn out_shape(&self) -> Shape4 {
+        Shape4::new(self.input.n, self.k, self.oh, self.ow)
+    }
+
+    /// Shape of the weight tensor `(K, C, R, S)`.
+    #[must_use]
+    pub const fn weight_shape(&self) -> Shape4 {
+        Shape4::new(self.k, self.input.c, self.r, self.s)
+    }
+
+    /// Number of multiply-accumulate operations per batch item.
+    #[must_use]
+    pub const fn macs_per_image(&self) -> u64 {
+        (self.k * self.input.c * self.r * self.s * self.oh * self.ow) as u64
+    }
+}
+
+impl fmt::Display for ConvGeom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "conv {}x{}x{} -> {}x{}x{} (k={} {}x{} s={} p={})",
+            self.input.c, self.input.h, self.input.w, self.k, self.oh, self.ow, self.k, self.r,
+            self.s, self.stride, self.pad
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_row_major_nchw() {
+        let s = Shape4::new(2, 3, 4, 5);
+        assert_eq!(s.index(0, 0, 0, 0), 0);
+        assert_eq!(s.index(0, 0, 0, 1), 1);
+        assert_eq!(s.index(0, 0, 1, 0), 5);
+        assert_eq!(s.index(0, 1, 0, 0), 20);
+        assert_eq!(s.index(1, 0, 0, 0), 60);
+        assert_eq!(s.index(1, 2, 3, 4), 119);
+    }
+
+    #[test]
+    fn conv_geometry_same_padding() {
+        let g = ConvGeom::new(Shape4::new(1, 3, 32, 32), 16, 3, 3, 1, 1);
+        assert_eq!((g.oh, g.ow), (32, 32));
+        assert_eq!(g.weight_shape(), Shape4::new(16, 3, 3, 3));
+        assert_eq!(g.macs_per_image(), 16 * 3 * 9 * 32 * 32);
+    }
+
+    #[test]
+    fn conv_geometry_1x1() {
+        let g = ConvGeom::new(Shape4::new(4, 64, 8, 8), 128, 1, 1, 1, 0);
+        assert_eq!(g.out_shape(), Shape4::new(4, 128, 8, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn zero_stride_rejected() {
+        let _ = ConvGeom::new(Shape4::new(1, 1, 8, 8), 1, 3, 3, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_kernel_rejected() {
+        let _ = ConvGeom::new(Shape4::new(1, 1, 2, 2), 1, 5, 5, 1, 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Shape4::new(1, 2, 3, 4).to_string(), "[1x2x3x4]");
+        let g = ConvGeom::new(Shape4::new(1, 3, 8, 8), 4, 3, 3, 1, 1);
+        assert!(g.to_string().contains("conv"));
+    }
+}

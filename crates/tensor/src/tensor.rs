@@ -1,0 +1,236 @@
+//! Dense NCHW tensor container.
+
+use core::fmt;
+
+use crate::Shape4;
+
+/// A dense NCHW tensor over a copyable element type (`f32`, `i8`, `i32`).
+///
+/// # Examples
+///
+/// ```
+/// use nvfi_tensor::{Shape4, Tensor};
+/// let t = Tensor::from_fn(Shape4::new(1, 2, 2, 2), |_, c, h, w| (c * 4 + h * 2 + w) as i32);
+/// assert_eq!(t.at(0, 1, 1, 1), 7);
+/// assert_eq!(t.as_slice().len(), 8);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor<T> {
+    shape: Shape4,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Tensor<T> {
+    /// Creates a tensor filled with `T::default()` (zero for all numeric
+    /// types used in this workspace).
+    #[must_use]
+    pub fn zeros(shape: Shape4) -> Self {
+        Tensor { shape, data: vec![T::default(); shape.len()] }
+    }
+
+    /// Creates a tensor from an existing dense NCHW buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != shape.len()`.
+    #[must_use]
+    pub fn from_vec(shape: Shape4, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "buffer length {} does not match shape {shape}",
+            data.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor by evaluating `f(n, c, h, w)` at every coordinate.
+    #[must_use]
+    pub fn from_fn(shape: Shape4, mut f: impl FnMut(usize, usize, usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(shape.len());
+        for n in 0..shape.n {
+            for c in 0..shape.c {
+                for h in 0..shape.h {
+                    for w in 0..shape.w {
+                        data.push(f(n, c, h, w));
+                    }
+                }
+            }
+        }
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    #[inline]
+    #[must_use]
+    pub fn shape(&self) -> Shape4 {
+        self.shape
+    }
+
+    /// Element at `(n, c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of bounds.
+    #[inline]
+    #[must_use]
+    pub fn at(&self, n: usize, c: usize, h: usize, w: usize) -> T {
+        self.data[self.shape.index(n, c, h, w)]
+    }
+
+    /// Writes the element at `(n, c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of bounds.
+    #[inline]
+    pub fn set(&mut self, n: usize, c: usize, h: usize, w: usize, v: T) {
+        let idx = self.shape.index(n, c, h, w);
+        self.data[idx] = v;
+    }
+
+    /// The raw dense buffer in NCHW order.
+    #[inline]
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable access to the raw dense buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the underlying buffer.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Borrow of one batch item as a contiguous CHW slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of bounds.
+    #[must_use]
+    pub fn image(&self, n: usize) -> &[T] {
+        assert!(n < self.shape.n, "batch index {n} out of bounds for {}", self.shape);
+        let len = self.shape.image_len();
+        &self.data[n * len..(n + 1) * len]
+    }
+
+    /// Mutable borrow of one batch item as a contiguous CHW slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of bounds.
+    pub fn image_mut(&mut self, n: usize) -> &mut [T] {
+        assert!(n < self.shape.n, "batch index {n} out of bounds for {}", self.shape);
+        let len = self.shape.image_len();
+        &mut self.data[n * len..(n + 1) * len]
+    }
+
+    /// Creates a single-image tensor (`n == 1`) borrowing nothing: copies the
+    /// `n`-th batch item out.
+    #[must_use]
+    pub fn slice_image(&self, n: usize) -> Tensor<T> {
+        Tensor { shape: self.shape.with_n(1), data: self.image(n).to_vec() }
+    }
+
+    /// Applies `f` elementwise, producing a new tensor of the same shape.
+    #[must_use]
+    pub fn map<U: Copy + Default>(&self, f: impl Fn(T) -> U) -> Tensor<U> {
+        Tensor { shape: self.shape, data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// Fills the tensor with a constant.
+    pub fn fill(&mut self, v: T) {
+        self.data.fill(v);
+    }
+}
+
+impl Tensor<f32> {
+    /// Largest absolute value in the tensor (0.0 when empty). Used by the
+    /// quantization calibrator.
+    #[must_use]
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Sum of all elements.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|&v| f64::from(v)).sum()
+    }
+}
+
+impl<T: Copy + Default + fmt::Debug> fmt::Debug for Tensor<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let preview: Vec<&T> = self.data.iter().take(8).collect();
+        write!(f, "Tensor{} {:?}", self.shape, preview)?;
+        if self.data.len() > 8 {
+            write!(f, "... ({} elems)", self.data.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_set_get() {
+        let mut t = Tensor::<i8>::zeros(Shape4::new(2, 2, 3, 3));
+        assert!(t.as_slice().iter().all(|&v| v == 0));
+        t.set(1, 1, 2, 2, -7);
+        assert_eq!(t.at(1, 1, 2, 2), -7);
+        assert_eq!(t.at(0, 0, 0, 0), 0);
+    }
+
+    #[test]
+    fn from_fn_matches_indexing() {
+        let t = Tensor::from_fn(Shape4::new(2, 3, 4, 5), |n, c, h, w| {
+            (n * 1000 + c * 100 + h * 10 + w) as i32
+        });
+        assert_eq!(t.at(1, 2, 3, 4), 1234);
+        assert_eq!(t.as_slice()[t.shape().index(1, 2, 3, 4)], 1234);
+    }
+
+    #[test]
+    fn image_slicing() {
+        let t = Tensor::from_fn(Shape4::new(3, 1, 2, 2), |n, _, _, _| n as f32);
+        assert_eq!(t.image(1), &[1.0; 4]);
+        let img = t.slice_image(2);
+        assert_eq!(img.shape(), Shape4::new(1, 1, 2, 2));
+        assert_eq!(img.as_slice(), &[2.0; 4]);
+    }
+
+    #[test]
+    fn map_and_max_abs() {
+        let t = Tensor::from_vec(Shape4::new(1, 1, 1, 4), vec![-3.0f32, 1.0, 2.5, -0.5]);
+        assert_eq!(t.max_abs(), 3.0);
+        let q = t.map(|v| v as i32);
+        assert_eq!(q.as_slice(), &[-3, 1, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_validates_length() {
+        let _ = Tensor::from_vec(Shape4::new(1, 1, 2, 2), vec![0f32; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn image_bounds_checked() {
+        let t = Tensor::<f32>::zeros(Shape4::new(1, 1, 1, 1));
+        let _ = t.image(1);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let t = Tensor::<i32>::zeros(Shape4::new(1, 1, 1, 1));
+        assert!(!format!("{t:?}").is_empty());
+    }
+}

@@ -1,0 +1,54 @@
+//! A miniature Fig. 2: random multiplier subsets of growing size, three
+//! injected values, box-plot statistics of the accuracy drop.
+//!
+//! Run with: `cargo run --release --example fault_campaign`
+
+use nvfi::campaign::{Campaign, CampaignSpec, TargetSelection};
+use nvfi::report::box_plot_chart;
+use nvfi::stats::FiveNum;
+use nvfi::PlatformConfig;
+use nvfi_accel::FaultKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A quickly trained slim model (cached across runs in artifacts/).
+    let spec = nvfi::artifacts::ModelSpec {
+        width: 4,
+        epochs: 2,
+        train: 300,
+        test: 100,
+        verbose: true,
+        ..Default::default()
+    };
+    let (qmodel, data, base_acc) = nvfi::artifacts::get_or_train_quantized(&spec);
+    println!("baseline int8 accuracy: {:.1}%", 100.0 * base_acc);
+
+    let campaign = Campaign::new(&qmodel, PlatformConfig::default());
+    let mut rows = Vec::new();
+    for k in [1usize, 2, 4] {
+        for value in [0i32, 1, -1] {
+            let result = campaign.run(
+                &CampaignSpec {
+                    selection: TargetSelection::RandomSubsets { k, trials: 5, seed: 1 },
+                    kinds: vec![FaultKind::Constant(value)],
+                    eval_images: 50,
+                    threads: 1,
+                    verbose: false,
+                },
+                &data.test,
+            )?;
+            let drops = result.drops_pct();
+            println!(
+                "k={k} inj={value:>2}: mean SDC rate {:.0}% ({} FIs)",
+                100.0 * result.mean_sdc_rate(),
+                result.records.len()
+            );
+            rows.push((format!("k={k} inj={value:>2}"), FiveNum::from_sample(&drops)));
+        }
+    }
+    println!(
+        "{}",
+        box_plot_chart("accuracy drop [pp] under random multiplier faults", &rows, 46)
+    );
+    println!("(more multipliers faulted => larger drop, independent of the value)");
+    Ok(())
+}

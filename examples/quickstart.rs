@@ -1,0 +1,48 @@
+//! Quickstart: assemble the emulation platform, run an inference, inject a
+//! multiplier fault, and watch the logits move.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use nvfi::{EmulationPlatform, PlatformConfig};
+use nvfi_accel::{FaultConfig, FaultKind};
+use nvfi_compiler::regmap::MultId;
+use nvfi_dataset::{SynthCifar, SynthCifarConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small untrained ResNet-18 is enough to see fault mechanics.
+    let qmodel = nvfi::experiments::untrained_quant_model(8, 1);
+    let data = SynthCifar::new(SynthCifarConfig { train: 0, test: 8, ..Default::default() })
+        .generate();
+
+    let mut platform = EmulationPlatform::assemble(&qmodel, PlatformConfig::default())?;
+    println!("{}", platform.plan().describe());
+    println!(
+        "modelled FPGA latency: {:.3} ms  ({:.0} inferences/s at 187.5 MHz)",
+        platform.modeled_latency_ms(),
+        platform.modeled_inferences_per_second()
+    );
+
+    let image = data.test.images.slice_image(0);
+    let clean = platform.run(&image)?;
+    println!("clean logits:   {:?} -> class {}", clean.logits, clean.class);
+
+    // Stuck-at-0 on the last multiplier of MAC unit 1 — the paper's most
+    // sensitive position.
+    let fault = FaultConfig::new(vec![MultId::new(0, 7)], FaultKind::StuckAtZero);
+    platform.inject(&fault);
+    let faulted = platform.run(&image)?;
+    println!("faulted logits: {:?} -> class {}", faulted.logits, faulted.class);
+
+    let changed = clean
+        .logits
+        .iter()
+        .zip(&faulted.logits)
+        .filter(|(a, b)| a != b)
+        .count();
+    println!("{changed}/10 logits changed under the fault");
+
+    platform.clear_faults();
+    assert_eq!(platform.run(&image)?.logits, clean.logits);
+    println!("fault cleared: logits back to clean values");
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! A miniature Fig. 3: fault every one of the 64 multipliers in turn and
+//! render the per-position accuracy-drop heat map.
+//!
+//! Run with: `cargo run --release --example sensitivity_heatmap`
+
+use nvfi::campaign::{Campaign, CampaignSpec, TargetSelection};
+use nvfi::report::heat_map_chart;
+use nvfi::stats::HeatMap;
+use nvfi::PlatformConfig;
+use nvfi_accel::FaultKind;
+use nvfi_compiler::regmap::{MAC_UNITS, MULTS_PER_MAC};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = nvfi::artifacts::ModelSpec {
+        width: 4,
+        epochs: 2,
+        train: 300,
+        test: 100,
+        verbose: true,
+        ..Default::default()
+    };
+    let (qmodel, data, base_acc) = nvfi::artifacts::get_or_train_quantized(&spec);
+    println!("baseline int8 accuracy: {:.1}%", 100.0 * base_acc);
+
+    let campaign = Campaign::new(&qmodel, PlatformConfig::default());
+    let result = campaign.run(
+        &CampaignSpec {
+            selection: TargetSelection::ExhaustiveSingle,
+            kinds: vec![FaultKind::Constant(-1)],
+            eval_images: 40,
+            threads: 1,
+            verbose: false,
+        },
+        &data.test,
+    )?;
+
+    let mut map = HeatMap::new(MAC_UNITS, MULTS_PER_MAC);
+    for rec in &result.records {
+        let m = rec.targets[0];
+        map.set(m.mac as usize, m.mult as usize, rec.drop_pct);
+    }
+    let (lo, hi) = map.range();
+    println!("{}", heat_map_chart("accuracy drop per faulted multiplier (inj -1)", &map, lo, hi.max(0.0)));
+    let (r, c) = map.argmin();
+    println!(
+        "most sensitive position: MAC {} multiplier {} ({:.1} pp drop)",
+        r + 1,
+        c + 1,
+        map.at(r, c)
+    );
+    Ok(())
+}

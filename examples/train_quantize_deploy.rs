@@ -1,0 +1,70 @@
+//! The full model pipeline the platform consumes: train a slim ResNet-18 on
+//! SynthCIFAR, fold batch norm, quantize to int8, compile, and verify the
+//! emulated accelerator matches the CPU reference bit-exactly.
+//!
+//! Run with: `cargo run --release --example train_quantize_deploy`
+//! (Takes a couple of minutes: it really trains.)
+
+use nvfi::{EmulationPlatform, PlatformConfig};
+use nvfi_dataset::{SynthCifar, SynthCifarConfig};
+use nvfi_nn::fold::fold_resnet;
+use nvfi_nn::layers::Layer as _;
+use nvfi_nn::resnet::ResNet;
+use nvfi_nn::train::{TrainConfig, Trainer};
+use nvfi_quant::{quantize, QuantConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Data.
+    let data = SynthCifar::new(SynthCifarConfig {
+        train: 800,
+        test: 200,
+        ..Default::default()
+    })
+    .generate();
+    println!("SynthCIFAR: {} train / {} test images", data.train.len(), data.test.len());
+
+    // 2. Train a slim ResNet-18 (width 8).
+    let mut net = ResNet::resnet18(8, 10, 7);
+    let stats = Trainer::new(TrainConfig { epochs: 3, verbose: true, ..Default::default() })
+        .fit(&mut net, &data.train, &data.test);
+    println!("float test accuracy: {:.1}%", 100.0 * stats.final_test_acc());
+
+    // 3. Fold batch norm into convolutions.
+    let deploy = fold_resnet(&net, 32);
+    let float_acc = deploy.accuracy(&data.test.images, &data.test.labels);
+    println!("folded deploy-graph accuracy: {:.1}%", 100.0 * float_acc);
+    // Folding must not change eval-mode behaviour.
+    let logits_net = net.forward(&data.test.images.slice_image(0), false);
+    let logits_deploy = deploy.forward(&data.test.images.slice_image(0));
+    let max_diff = logits_net
+        .as_slice()
+        .iter()
+        .zip(logits_deploy.as_slice())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0f32, f32::max);
+    println!("max logit difference after folding: {max_diff:.5}");
+
+    // 4. Post-training int8 quantization (per-channel weights).
+    let q = quantize(&deploy, &data.train.take(64).images, &QuantConfig::default())?;
+    let int8_acc = q.accuracy(&data.test.images, &data.test.labels, 1);
+    println!(
+        "int8 accuracy: {:.1}% (drop vs float: {:.1} pp)",
+        100.0 * int8_acc,
+        100.0 * (float_acc - int8_acc)
+    );
+
+    // 5. Compile and run on the emulated accelerator.
+    let mut platform = EmulationPlatform::assemble(&q, PlatformConfig::default())?;
+    let accel_acc = platform.accuracy(&data.test.images, &data.test.labels)?;
+    println!("accelerator accuracy: {:.1}%", 100.0 * accel_acc);
+    assert_eq!(
+        accel_acc, int8_acc,
+        "the emulated accelerator must match the CPU reference bit-exactly"
+    );
+    println!(
+        "modelled FPGA latency {:.2} ms ({:.0} inf/s)",
+        platform.modeled_latency_ms(),
+        platform.modeled_inferences_per_second()
+    );
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! Umbrella crate for the `zynq-nvdla-fi` workspace: re-exports every
+//! sub-crate so the runnable examples and cross-crate integration tests can
+//! reach the whole platform through one dependency.
+//!
+//! The actual functionality lives in the workspace crates:
+//!
+//! * [`nvfi`] — the emulation platform, fault models, campaigns, experiments;
+//! * [`nvfi_accel`] — the emulated NVDLA-style accelerator with fault
+//!   injectors;
+//! * [`nvfi_compiler`] — quantized-model-to-execution-plan compiler;
+//! * [`nvfi_quant`] / [`nvfi_nn`] / [`nvfi_dataset`] / [`nvfi_tensor`] /
+//!   [`nvfi_hwnum`] — the CNN stack;
+//! * [`nvfi_systolic`] — the SAFFIRA-style software-simulation baseline;
+//! * [`nvfi_synth`] — the synthesis (LUT/FF) cost model.
+
+#![forbid(unsafe_code)]
+
+pub use nvfi;
+pub use nvfi_accel;
+pub use nvfi_compiler;
+pub use nvfi_dataset;
+pub use nvfi_hwnum;
+pub use nvfi_nn;
+pub use nvfi_quant;
+pub use nvfi_synth;
+pub use nvfi_systolic;
+pub use nvfi_tensor;

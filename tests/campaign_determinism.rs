@@ -1,0 +1,54 @@
+//! Reproducibility: identical seeds give identical campaign results, across
+//! process lifetimes and worker-thread counts.
+
+use zynq_nvdla_fi::nvfi::campaign::{Campaign, CampaignSpec, TargetSelection};
+use zynq_nvdla_fi::nvfi::PlatformConfig;
+use zynq_nvdla_fi::nvfi_accel::FaultKind;
+use zynq_nvdla_fi::nvfi_dataset::{SynthCifar, SynthCifarConfig};
+
+#[test]
+fn same_seed_same_everything() {
+    let q = zynq_nvdla_fi::nvfi::experiments::untrained_quant_model(4, 2);
+    let data = SynthCifar::new(SynthCifarConfig { train: 0, test: 8, ..Default::default() })
+        .generate();
+    let spec = CampaignSpec {
+        selection: TargetSelection::RandomSubsets { k: 3, trials: 4, seed: 77 },
+        kinds: vec![FaultKind::StuckAtZero, FaultKind::Constant(-1)],
+        eval_images: 6,
+        threads: 1,
+        verbose: false,
+    };
+    let campaign = Campaign::new(&q, PlatformConfig::default());
+    let a = campaign.run(&spec, &data.test).unwrap();
+    let b = campaign.run(&spec, &data.test).unwrap();
+    assert_eq!(a.baseline_accuracy, b.baseline_accuracy);
+    assert_eq!(a.records, b.records);
+
+    // Different seed: different target draws.
+    let spec2 = CampaignSpec {
+        selection: TargetSelection::RandomSubsets { k: 3, trials: 4, seed: 78 },
+        ..spec.clone()
+    };
+    let c = campaign.run(&spec2, &data.test).unwrap();
+    let targets_a: Vec<_> = a.records.iter().map(|r| r.targets.clone()).collect();
+    let targets_c: Vec<_> = c.records.iter().map(|r| r.targets.clone()).collect();
+    assert_ne!(targets_a, targets_c);
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let q = zynq_nvdla_fi::nvfi::experiments::untrained_quant_model(4, 3);
+    let data = SynthCifar::new(SynthCifarConfig { train: 0, test: 8, ..Default::default() })
+        .generate();
+    let mk = |threads| CampaignSpec {
+        selection: TargetSelection::ExhaustiveSingle,
+        kinds: vec![FaultKind::Constant(1)],
+        eval_images: 4,
+        threads,
+        verbose: false,
+    };
+    let campaign = Campaign::new(&q, PlatformConfig::default());
+    let single = campaign.run(&mk(1), &data.test).unwrap();
+    let multi = campaign.run(&mk(3), &data.test).unwrap();
+    assert_eq!(single.records, multi.records);
+}

@@ -1,0 +1,69 @@
+//! End-to-end integration: SynthCIFAR -> train -> fold -> quantize ->
+//! compile -> emulated accelerator, with every stage's invariant checked.
+
+use zynq_nvdla_fi::nvfi::{EmulationPlatform, PlatformConfig};
+use zynq_nvdla_fi::nvfi_dataset::{SynthCifar, SynthCifarConfig};
+use zynq_nvdla_fi::nvfi_nn::fold::fold_resnet;
+use zynq_nvdla_fi::nvfi_nn::layers::Layer as _;
+use zynq_nvdla_fi::nvfi_nn::resnet::ResNet;
+use zynq_nvdla_fi::nvfi_nn::train::{TrainConfig, Trainer};
+use zynq_nvdla_fi::nvfi_quant::{quantize, QuantConfig};
+
+#[test]
+fn full_pipeline_trains_and_deploys() {
+    // 1. Data: small but learnable.
+    let data = SynthCifar::new(SynthCifarConfig {
+        train: 200,
+        test: 60,
+        noise: 0.3,
+        ..Default::default()
+    })
+    .generate();
+
+    // 2. Train a tiny network for a few epochs.
+    let mut net = ResNet::new(4, &[1, 1], 10, 11);
+    let stats = Trainer::new(TrainConfig { epochs: 4, batch: 16, ..Default::default() })
+        .fit(&mut net, &data.train, &data.test);
+    let float_acc = stats.final_test_acc();
+    assert!(
+        float_acc > 0.25,
+        "float training should beat chance, got {float_acc:.2}"
+    );
+
+    // 3. Fold: eval-mode behaviour must be preserved.
+    let deploy = fold_resnet(&net, 32);
+    let img = data.test.images.slice_image(0);
+    let a = net.forward(&img, false);
+    let b = deploy.forward(&img);
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        assert!((x - y).abs() < 1e-2, "folding changed logits: {x} vs {y}");
+    }
+
+    // 4. Quantize: int8 accuracy close to float.
+    let q = quantize(&deploy, &data.train.take(64).images, &QuantConfig::default()).unwrap();
+    let int8_acc = q.accuracy(&data.test.images, &data.test.labels, 1);
+    assert!(
+        (float_acc - int8_acc).abs() < 0.15,
+        "quantization lost too much: float {float_acc:.2} vs int8 {int8_acc:.2}"
+    );
+
+    // 5. The emulated accelerator matches the CPU reference bit-exactly.
+    let mut platform = EmulationPlatform::assemble(&q, PlatformConfig::default()).unwrap();
+    let accel_acc = platform.accuracy(&data.test.images, &data.test.labels).unwrap();
+    assert_eq!(accel_acc, int8_acc, "accelerator must be bit-exact vs CPU reference");
+
+    // 6. The cycle model reports plausible numbers for a 187.5 MHz device.
+    let ms = platform.modeled_latency_ms();
+    assert!(ms > 0.01 && ms < 1000.0, "modelled latency {ms} ms out of range");
+}
+
+#[test]
+fn accelerator_handles_batches_of_any_size() {
+    let q = zynq_nvdla_fi::nvfi::experiments::untrained_quant_model(4, 9);
+    let data = SynthCifar::new(SynthCifarConfig { train: 0, test: 5, ..Default::default() })
+        .generate();
+    let mut platform = EmulationPlatform::assemble(&q, PlatformConfig::default()).unwrap();
+    let preds = platform.classify(&data.test.images).unwrap();
+    assert_eq!(preds.len(), 5);
+    assert!(preds.iter().all(|&p| p < 10));
+}

@@ -1,0 +1,66 @@
+//! Smoke tests: every experiment driver runs end to end on a quick
+//! configuration and writes its result files.
+
+use zynq_nvdla_fi::nvfi::experiments::{
+    run_fig2, run_fig3, run_speedup, run_table1, ExperimentConfig,
+};
+
+fn quick(out: &str) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick();
+    cfg.out_dir = std::env::temp_dir().join(out);
+    cfg
+}
+
+#[test]
+fn table1_smoke() {
+    let cfg = quick("nvfi_smoke_t1");
+    let r = run_table1(&cfg).unwrap();
+    r.save(&cfg.out_dir).unwrap();
+    assert!(cfg.out_dir.join("table1.csv").exists());
+    assert!(cfg.out_dir.join("table1.json").exists());
+    // The modelled accelerator is faster than the single-threaded host CPU
+    // reference (the Table I shape).
+    let cpu_1t = r.latency[0].ms;
+    let accel = r.latency[2].ms;
+    assert!(
+        accel < cpu_1t,
+        "modelled accelerator ({accel:.2} ms) should beat 1-thread CPU ({cpu_1t:.2} ms)"
+    );
+}
+
+#[test]
+fn fig2_smoke() {
+    let cfg = quick("nvfi_smoke_f2");
+    let r = run_fig2(&cfg).unwrap();
+    r.save(&cfg.out_dir).unwrap();
+    assert!(cfg.out_dir.join("fig2.json").exists());
+    // Drops are bounded and groups ordered by k.
+    for w in r.groups.windows(2) {
+        assert!(w[0].k <= w[1].k);
+    }
+    for g in &r.groups {
+        assert!(g.drops.iter().all(|d| (-100.0..=100.0).contains(d)));
+    }
+}
+
+#[test]
+fn fig3_smoke() {
+    let cfg = quick("nvfi_smoke_f3");
+    let r = run_fig3(&cfg).unwrap();
+    r.save(&cfg.out_dir).unwrap();
+    assert_eq!(r.maps.len(), 3);
+    for (_, map) in &r.maps {
+        assert_eq!((map.rows(), map.cols()), (8, 8));
+    }
+    assert_eq!(r.worst_cells().len(), 3);
+    assert!(cfg.out_dir.join("fig3.csv").exists());
+}
+
+#[test]
+fn speedup_smoke() {
+    let cfg = quick("nvfi_smoke_sp");
+    let r = run_speedup(&cfg).unwrap();
+    r.save(&cfg.out_dir).unwrap();
+    assert!(cfg.out_dir.join("speedup.json").exists());
+    assert!(r.speedup() > 1.0, "speedup {} should exceed 1x", r.speedup());
+}
