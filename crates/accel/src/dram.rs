@@ -65,6 +65,21 @@ impl Dram {
         Ok(self.data[a..b].iter().map(|&v| v as i8).collect())
     }
 
+    /// Buffer-reusing [`Dram::read_i8`]: clears `out` and fills it with the
+    /// `len` bytes at `addr`. Steady-state readers keep one buffer and never
+    /// reallocate once its capacity has grown to the largest read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::DramOutOfBounds`] on a bad range.
+    pub fn read_i8_into(&mut self, addr: u64, len: u64, out: &mut Vec<i8>) -> Result<(), AccelError> {
+        let (a, b) = self.check(addr, len)?;
+        self.bytes_read += len;
+        out.clear();
+        out.extend(self.data[a..b].iter().map(|&v| v as i8));
+        Ok(())
+    }
+
     /// Writes an i8 slice.
     ///
     /// # Errors

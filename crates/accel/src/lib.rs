@@ -25,13 +25,50 @@
 //!
 //! # Execution modes
 //!
-//! [`ExecMode::Exact`] pushes every single product through the injector
-//! muxes — the ground truth, and required for bit-granular faults or
-//! transient ("pulse") fault windows. [`ExecMode::Fast`] computes the clean
-//! convolution with GEMM and applies an algebraically identical correction
-//! per faulted lane; it is only valid for full-lane overrides (the paper's
-//! 0 / +1 / -1 experiments) and the two modes are property-tested equal.
-//! [`ExecMode::Auto`] picks per fault configuration.
+//! * [`ExecMode::Exact`] pushes every single product through the injector
+//!   muxes in the CMAC's atomic-op schedule — the ground truth. It is the
+//!   only mode that honours **bit-granular** faults
+//!   ([`FaultKind::StuckBits`], [`FaultKind::FlipBits`]) and **transient
+//!   windows** ([`Accelerator::set_fault_window`]), because both depend on
+//!   per-product values and cycle numbers.
+//! * [`ExecMode::Fast`] computes the clean convolution with im2col + GEMM
+//!   and applies an algebraically identical correction per faulted lane
+//!   (`forced_value * #products - clean_lane_sum`). Valid only for
+//!   permanent full-lane overrides (the paper's 0 / +1 / -1 experiments);
+//!   anything else returns [`AccelError::FastPathUnsupported`]. The two
+//!   engines are property-tested bit-equal on their shared domain.
+//! * [`ExecMode::Auto`] (default) resolves per programmed fault
+//!   configuration: fast whenever the faults allow it, exact otherwise.
+//!
+//! # Weight-arena lifecycle
+//!
+//! [`Accelerator::load_plan`] / [`Accelerator::commit_cmd_fifo`] build a
+//! **weight arena**: every conv/linear layer's packed weight region is
+//! unpacked from the blocked DRAM layout once and cached as the dense
+//! `K x (C*R*S)` GEMM operand. The cache is keyed by the backing DRAM
+//! range, and the only two host-visible ways of mutating DRAM —
+//! [`Accelerator::dma_write`] and [`Accelerator::flip_dram_bit`] — mark
+//! every overlapping entry dirty; the next op that needs the entry
+//! re-unpacks it from DRAM. Weight-memory SEU experiments therefore observe
+//! exactly what a cold device would, which `tests/arena.rs` property-tests.
+//!
+//! # Scratch reuse invariants
+//!
+//! All per-op intermediates (DMA staging, unpacked activations, im2col
+//! columns, i32 accumulators, SDP output, packed surfaces) live in a
+//! per-device scratch arena whose buffers are resized per op but never
+//! shrink, so steady-state inference allocates nothing on the heap. Two
+//! invariants keep that safe: (1) every buffer is fully overwritten (or
+//! explicitly zeroed) before use — nothing reads stale bytes from a
+//! previous op or inference; (2) scratch never aliases DRAM — op inputs are
+//! staged out of DRAM before any output is written back. The batched path
+//! ([`Accelerator::run_batch_i8`]) additionally keeps **all** surfaces —
+//! input, intermediates — in a per-address scratch map instead of DRAM;
+//! results are bit-identical to the per-image path, but DRAM is only
+//! touched for weight-arena refills and one final logits write per
+//! mini-batch (the last image's, for parity with per-image runs), so
+//! access counters and `dma_read` of surface addresses reflect per-image
+//! traffic only when `batch == 1`.
 //!
 //! # Examples
 //!

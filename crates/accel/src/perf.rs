@@ -30,6 +30,9 @@ pub const DMA_BYTES_PER_CYCLE: u64 = 8;
 /// Lanes the PDP processes per cycle.
 pub const PDP_LANES_PER_CYCLE: u64 = 8;
 
+/// Default host-side inference mini-batch (see [`AccelConfig::batch`]).
+pub const BATCH_DEFAULT: usize = 8;
+
 /// Accelerator configuration.
 #[derive(Copy, Clone, Debug, PartialEq)]
 pub struct AccelConfig {
@@ -41,6 +44,11 @@ pub struct AccelConfig {
     pub clock_hz: f64,
     /// Emulated DRAM capacity in bytes.
     pub dram_capacity: u64,
+    /// Host-side mini-batch for `classify_batch`: how many images share one
+    /// im2col + GEMM pass on the fast path. Purely a host-emulation
+    /// throughput knob — results are bit-identical for every value; the
+    /// modelled FPGA latency is per-image regardless.
+    pub batch: usize,
 }
 
 impl Default for AccelConfig {
@@ -50,6 +58,7 @@ impl Default for AccelConfig {
             idle_lanes: crate::engine::IdleLanePolicy::ZeroFed,
             clock_hz: CLOCK_HZ_DEFAULT,
             dram_capacity: nvfi_compiler::lower::DEFAULT_DRAM_CAPACITY,
+            batch: BATCH_DEFAULT,
         }
     }
 }

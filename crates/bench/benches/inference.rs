@@ -32,5 +32,26 @@ fn bench_accelerator_emulation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_cpu_reference, bench_accelerator_emulation);
+/// Steady-state emulated inference on the medium (Table I width-16) fixture
+/// — the number the zero-realloc hot path is judged on. Measures both the
+/// single-image path and the batched classify path over the whole test set.
+fn bench_accelerator_medium(c: &mut Criterion) {
+    let (q, data) = medium_fixture();
+    let mut platform = EmulationPlatform::assemble(&q, PlatformConfig::default()).unwrap();
+    let img = data.test.images.slice_image(0);
+    let mut g = c.benchmark_group("inference_medium");
+    g.sample_size(10);
+    g.bench_function("accel_fast_path_w16", |b| b.iter(|| platform.run(&img).unwrap()));
+    g.bench_function("accel_classify8_w16", |b| {
+        b.iter(|| platform.classify(&data.test.images).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cpu_reference,
+    bench_accelerator_emulation,
+    bench_accelerator_medium
+);
 criterion_main!(benches);

@@ -48,14 +48,38 @@ pub fn pack_surface(image: &Tensor<i8>) -> Vec<i8> {
     let s = image.shape();
     assert_eq!(s.n, 1, "pack_surface expects a single image");
     let mut out = vec![0i8; surface_bytes(s.c, s.h, s.w)];
-    for c in 0..s.c {
-        for h in 0..s.h {
-            for w in 0..s.w {
-                out[surface_offset(s, c, h, w)] = image.at(0, c, h, w);
+    pack_surface_into(image.as_slice(), s, &mut out);
+    out
+}
+
+/// Buffer-reusing [`pack_surface`] over a raw CHW image slice. `out` must be
+/// `surface_bytes(shape.c, shape.h, shape.w)` long; padding lanes are
+/// zeroed. The loop is blocked per channel block so the inner walk is a
+/// strided scatter with no per-element offset arithmetic.
+///
+/// # Panics
+///
+/// Panics if `image` or `out` have the wrong length for `shape`.
+pub fn pack_surface_into(image: &[i8], shape: Shape4, out: &mut [i8]) {
+    let Shape4 { c, h, w, .. } = shape;
+    assert_eq!(image.len(), shape.image_len(), "image length mismatch for {shape}");
+    assert_eq!(out.len(), surface_bytes(c, h, w), "surface length mismatch for {shape}");
+    out.fill(0);
+    for cb in 0..blocks(c) {
+        for ci in 0..ATOM {
+            let ch = cb * ATOM + ci;
+            if ch >= c {
+                break;
+            }
+            for y in 0..h {
+                let src = &image[(ch * h + y) * w..(ch * h + y + 1) * w];
+                let dst = &mut out[((cb * h + y) * w) * ATOM..((cb * h + y) * w + w) * ATOM];
+                for (x, &v) in src.iter().enumerate() {
+                    dst[x * ATOM + ci] = v;
+                }
             }
         }
     }
-    out
 }
 
 /// Unpacks a feature surface back into a `(1, C, H, W)` tensor.
@@ -65,12 +89,36 @@ pub fn pack_surface(image: &Tensor<i8>) -> Vec<i8> {
 /// Panics if `surface` has the wrong length for `shape`.
 #[must_use]
 pub fn unpack_surface(surface: &[i8], shape: Shape4) -> Tensor<i8> {
-    assert_eq!(
-        surface.len(),
-        surface_bytes(shape.c, shape.h, shape.w),
-        "surface length mismatch for {shape}"
-    );
-    Tensor::from_fn(shape.with_n(1), |_, c, h, w| surface[surface_offset(shape, c, h, w)])
+    let mut out = vec![0i8; shape.image_len()];
+    unpack_surface_into(surface, shape, &mut out);
+    Tensor::from_vec(shape.with_n(1), out)
+}
+
+/// Buffer-reusing [`unpack_surface`] writing the dense CHW image into `out`
+/// (`shape.image_len()` long).
+///
+/// # Panics
+///
+/// Panics if `surface` or `out` have the wrong length for `shape`.
+pub fn unpack_surface_into(surface: &[i8], shape: Shape4, out: &mut [i8]) {
+    let Shape4 { c, h, w, .. } = shape;
+    assert_eq!(surface.len(), surface_bytes(c, h, w), "surface length mismatch for {shape}");
+    assert_eq!(out.len(), shape.image_len(), "image length mismatch for {shape}");
+    for cb in 0..blocks(c) {
+        for ci in 0..ATOM {
+            let ch = cb * ATOM + ci;
+            if ch >= c {
+                break;
+            }
+            for y in 0..h {
+                let src = &surface[((cb * h + y) * w) * ATOM..((cb * h + y) * w + w) * ATOM];
+                let dst = &mut out[(ch * h + y) * w..(ch * h + y + 1) * w];
+                for (x, d) in dst.iter_mut().enumerate() {
+                    *d = src[x * ATOM + ci];
+                }
+            }
+        }
+    }
 }
 
 /// Size in bytes of a packed weight region for `(K, C, R, S)` weights.
@@ -114,12 +162,42 @@ pub fn pack_weights(weights: &Tensor<i8>) -> Vec<i8> {
 /// Panics if `packed` has the wrong length for `shape`.
 #[must_use]
 pub fn unpack_weights(packed: &[i8], shape: Shape4) -> Tensor<i8> {
+    let mut out = vec![0i8; shape.len()];
+    unpack_weights_into(packed, shape, &mut out);
+    Tensor::from_vec(shape, out)
+}
+
+/// Buffer-reusing [`unpack_weights`] writing the dense `(K, C, R, S)`
+/// buffer into `out` (`shape.len()` long). Lane indices are hoisted out of
+/// the tap loops so the inner walk is a fixed-stride gather.
+///
+/// # Panics
+///
+/// Panics if `packed` or `out` have the wrong length for `shape`.
+pub fn unpack_weights_into(packed: &[i8], shape: Shape4, out: &mut [i8]) {
+    let Shape4 { n: k_n, c, h: r_n, w: s_n } = shape;
     assert_eq!(
         packed.len(),
-        weight_bytes(shape.n, shape.c, shape.h, shape.w),
+        weight_bytes(k_n, c, r_n, s_n),
         "weight region length mismatch for {shape}"
     );
-    Tensor::from_fn(shape, |k, c, r, s| packed[weight_offset(shape, k, c, r, s)])
+    assert_eq!(out.len(), shape.len(), "weight buffer length mismatch for {shape}");
+    let cb_n = blocks(c);
+    for k in 0..k_n {
+        let (kg, ki) = (k / ATOM, k % ATOM);
+        for ch in 0..c {
+            let (cb, ci) = (ch / ATOM, ch % ATOM);
+            let lane = ki * ATOM + ci;
+            let dst = &mut out[(k * c + ch) * r_n * s_n..(k * c + ch + 1) * r_n * s_n];
+            let base = (kg * cb_n + cb) * r_n;
+            for r in 0..r_n {
+                let row = ((base + r) * s_n) * ATOM * ATOM + lane;
+                for (s, d) in dst[r * s_n..(r + 1) * s_n].iter_mut().enumerate() {
+                    *d = packed[row + s * ATOM * ATOM];
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -133,7 +211,7 @@ mod tests {
             (c * 16 + h * 4 + w) as i8
         });
         let packed = pack_surface(&img);
-        assert_eq!(packed.len(), 1 * 3 * 4 * 8);
+        assert_eq!(packed.len(), 3 * 4 * 8);
         let back = unpack_surface(&packed, img.shape());
         assert_eq!(back.as_slice(), img.as_slice());
     }

@@ -12,13 +12,13 @@
 //! owns a full device instance (plan + DRAM), mirroring how independent
 //! FPGA boards would split a campaign.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use nvfi_accel::{FaultConfig, FaultKind};
 use nvfi_compiler::regmap::{MultId, TOTAL_MULTS};
 use nvfi_dataset::Dataset;
 use nvfi_quant::QuantModel;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -210,77 +210,85 @@ impl Campaign {
         }
 
         let threads = spec.threads.max(1).min(work.len().max(1));
-        let results: Mutex<Vec<Option<FiRecord>>> = Mutex::new(vec![None; work.len()]);
-        let next: Mutex<usize> = Mutex::new(0);
+        // Lock-free work distribution: a fetch-add cursor hands out indices
+        // and every worker accumulates `(idx, record)` pairs privately; the
+        // buffers are merged (and re-ordered by index) after join, so the
+        // steady-state campaign loop takes no lock at all.
+        let next = AtomicUsize::new(0);
 
-        crossbeam::thread::scope(|scope| -> Result<(), PlatformError> {
+        let mut worker_results: Vec<Vec<(usize, FiRecord)>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| -> Result<(), PlatformError> {
             let mut handles = Vec::new();
             for _ in 0..threads {
                 let eval = &eval;
                 let work = &work;
-                let results = &results;
                 let next = &next;
                 let model = &self.model;
                 let config = self.config;
                 let clean_preds = &clean_preds;
-                handles.push(scope.spawn(move |_| -> Result<(), PlatformError> {
-                    let mut platform = EmulationPlatform::assemble(model, config)?;
-                    loop {
-                        let idx = {
-                            let mut n = next.lock();
-                            if *n >= work.len() {
+                handles.push(scope.spawn(
+                    move || -> Result<Vec<(usize, FiRecord)>, PlatformError> {
+                        let mut platform = EmulationPlatform::assemble(model, config)?;
+                        let mut local: Vec<(usize, FiRecord)> = Vec::new();
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= work.len() {
                                 break;
                             }
-                            let i = *n;
-                            *n += 1;
-                            i
-                        };
-                        let (_, targets, kind) = &work[idx];
-                        platform.inject(&FaultConfig::new(targets.clone(), *kind));
-                        let preds = platform.classify(&eval.images)?;
-                        platform.clear_faults();
-                        let correct =
-                            preds.iter().zip(&eval.labels).filter(|(p, y)| p == y).count();
-                        let accuracy = correct as f64 / eval.len() as f64;
-                        let mut outcomes = OutcomeCounts::default();
-                        for (p, c) in preds.iter().zip(clean_preds.iter()) {
-                            if p == c {
-                                outcomes.masked += 1;
-                            } else {
-                                outcomes.sdc += 1;
+                            let (_, targets, kind) = &work[idx];
+                            platform.inject(&FaultConfig::new(targets.clone(), *kind));
+                            let preds = platform.classify(&eval.images)?;
+                            platform.clear_faults();
+                            let correct =
+                                preds.iter().zip(&eval.labels).filter(|(p, y)| p == y).count();
+                            let accuracy = correct as f64 / eval.len() as f64;
+                            let mut outcomes = OutcomeCounts::default();
+                            for (p, c) in preds.iter().zip(clean_preds.iter()) {
+                                if p == c {
+                                    outcomes.masked += 1;
+                                } else {
+                                    outcomes.sdc += 1;
+                                }
                             }
+                            if spec.verbose {
+                                eprintln!(
+                                    "  fi {}/{}: {:?} on {} mult(s) -> {:.1}% (sdc {:.0}%)",
+                                    idx + 1,
+                                    work.len(),
+                                    kind,
+                                    targets.len(),
+                                    accuracy * 100.0,
+                                    outcomes.sdc_rate() * 100.0
+                                );
+                            }
+                            local.push((
+                                idx,
+                                FiRecord {
+                                    targets: targets.clone(),
+                                    kind: *kind,
+                                    accuracy,
+                                    drop_pct: (accuracy - baseline_accuracy) * 100.0,
+                                    outcomes,
+                                },
+                            ));
                         }
-                        if spec.verbose {
-                            eprintln!(
-                                "  fi {}/{}: {:?} on {} mult(s) -> {:.1}% (sdc {:.0}%)",
-                                idx + 1,
-                                work.len(),
-                                kind,
-                                targets.len(),
-                                accuracy * 100.0,
-                                outcomes.sdc_rate() * 100.0
-                            );
-                        }
-                        results.lock()[idx] = Some(FiRecord {
-                            targets: targets.clone(),
-                            kind: *kind,
-                            accuracy,
-                            drop_pct: (accuracy - baseline_accuracy) * 100.0,
-                            outcomes,
-                        });
-                    }
-                    Ok(())
-                }));
+                        Ok(local)
+                    },
+                ));
             }
             for h in handles {
-                h.join().expect("campaign worker panicked")?;
+                worker_results.push(h.join().expect("campaign worker panicked")?);
             }
             Ok(())
-        })
-        .expect("campaign scope panicked")?;
+        })?;
 
+        let mut slots: Vec<Option<FiRecord>> = vec![None; work.len()];
+        for (idx, rec) in worker_results.into_iter().flatten() {
+            debug_assert!(slots[idx].is_none(), "duplicate record for work item {idx}");
+            slots[idx] = Some(rec);
+        }
         let records: Vec<FiRecord> =
-            results.into_inner().into_iter().map(|r| r.expect("record missing")).collect();
+            slots.into_iter().map(|r| r.expect("record missing")).collect();
         let total_inferences = (records.len() as u64 + 1) * eval.len() as u64;
         Ok(CampaignResult {
             baseline_accuracy,
@@ -377,6 +385,31 @@ mod tests {
         let r = &result.records[0];
         assert_eq!(r.outcomes.sdc, 0, "no selected lane => fully masked");
         assert_eq!(r.drop_pct, 0.0);
+    }
+
+    #[test]
+    fn campaign_is_batch_size_invariant() {
+        // The mini-batch wired through PlatformConfig.accel.batch is purely
+        // a host-side throughput knob: records must be bit-identical.
+        let (q, eval) = setup();
+        let spec = CampaignSpec {
+            selection: TargetSelection::RandomSubsets { k: 2, trials: 3, seed: 11 },
+            kinds: vec![FaultKind::StuckAtZero, FaultKind::Constant(1)],
+            eval_images: 7,
+            threads: 1,
+            verbose: false,
+        };
+        let run_with_batch = |batch: usize| {
+            let mut config = PlatformConfig::default();
+            config.accel.batch = batch;
+            Campaign::new(&q, config).run(&spec, &eval).unwrap()
+        };
+        let a = run_with_batch(1);
+        let b = run_with_batch(4);
+        let c = run_with_batch(64);
+        assert_eq!(a.baseline_accuracy, b.baseline_accuracy);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.records, c.records);
     }
 
     #[test]

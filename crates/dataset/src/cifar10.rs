@@ -74,7 +74,7 @@ impl From<io::Error> for LoadError {
 /// Returns [`LoadError::BadLength`] or [`LoadError::BadLabel`] on malformed
 /// input.
 pub fn parse(bytes: &[u8]) -> Result<Dataset, LoadError> {
-    if bytes.len() % RECORD_BYTES != 0 {
+    if !bytes.len().is_multiple_of(RECORD_BYTES) {
         return Err(LoadError::BadLength { len: bytes.len() });
     }
     let n = bytes.len() / RECORD_BYTES;

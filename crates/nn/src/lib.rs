@@ -33,6 +33,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Index loops here mirror the tensor math they implement; iterator
+// rewrites would obscure the (n, c, h, w) structure.
+#![allow(clippy::needless_range_loop)]
 
 pub mod artifact;
 pub mod deploy;

@@ -2,19 +2,23 @@
 //! fast path. The two are property-tested against each other; the naive
 //! versions are the semantic ground truth for the whole workspace.
 
-use crate::{gemm, im2col, ConvGeom, Mat, Tensor};
+use crate::{gemm, im2col, ConvGeom, MatRef, Tensor};
 
 /// Reinterprets a `(K, C, R, S)` weight tensor as the `K x (C*R*S)` GEMM
-/// operand (zero-copy layout property of row-major NCHW).
+/// operand. This is a **zero-copy** view: the dense row-major NCHW buffer
+/// already is the row-major `K x (C*R*S)` matrix, so no bytes move.
 #[must_use]
-pub fn weights_as_mat<T: Copy + Default>(weights: &Tensor<T>, geom: &ConvGeom) -> Mat<T> {
+pub fn weights_as_mat<'a, T: Copy + Default>(
+    weights: &'a Tensor<T>,
+    geom: &ConvGeom,
+) -> MatRef<'a, T> {
     let ws = weights.shape();
     assert_eq!(
         (ws.n, ws.c, ws.h, ws.w),
         (geom.k, geom.input.c, geom.r, geom.s),
         "weight shape {ws} does not match {geom}"
     );
-    Mat::from_vec(geom.k, geom.input.c * geom.r * geom.s, weights.as_slice().to_vec())
+    MatRef::from_slice(geom.k, geom.input.c * geom.r * geom.s, weights.as_slice())
 }
 
 /// Naive direct f32 convolution (reference).
@@ -109,7 +113,7 @@ pub fn conv2d_i8_naive(input: &Tensor<i8>, weights: &Tensor<i8>, geom: &ConvGeom
 /// Panics if shapes disagree with `geom`.
 #[must_use]
 pub fn conv2d_f32(input: &Tensor<f32>, weights: &Tensor<f32>, geom: &ConvGeom) -> Tensor<f32> {
-    let wmat = weights_as_mat(weights, geom);
+    let wmat = weights_as_mat(weights, geom).to_mat();
     let out_shape = geom.out_shape().with_n(input.shape().n);
     let mut out = Tensor::zeros(out_shape);
     for n in 0..input.shape().n {
@@ -132,15 +136,48 @@ pub fn conv2d_i8(
     geom: &ConvGeom,
     threads: usize,
 ) -> Tensor<i32> {
-    let wmat = weights_as_mat(weights, geom);
+    let wmat = weights_as_mat(weights, geom); // zero-copy view
     let out_shape = geom.out_shape().with_n(input.shape().n);
     let mut out = Tensor::zeros(out_shape);
+    let (m, k, n_cols) = (geom.k, geom.input.c * geom.r * geom.s, geom.oh * geom.ow);
+    let mut cols = vec![0i8; k * n_cols];
     for n in 0..input.shape().n {
-        let cols = im2col::im2col(input.image(n), geom);
-        let res = gemm::gemm_i8_i32_threaded(&wmat, &cols, threads);
-        out.image_mut(n).copy_from_slice(res.as_slice());
+        im2col::im2col_into(input.image(n), geom, &mut cols);
+        gemm::gemm_i8_i32_threaded_into(
+            wmat.as_slice(),
+            &cols,
+            out.image_mut(n),
+            m,
+            k,
+            n_cols,
+            threads,
+        );
     }
     out
+}
+
+/// Scratch-buffer int8 convolution for one image: `cols` is the reusable
+/// im2col buffer (resized as needed) and the accumulator is written into
+/// `acc` (`K * OH * OW`, overwritten). Bit-identical to [`conv2d_i8`].
+///
+/// # Panics
+///
+/// Panics if shapes disagree with `geom` or `acc` has the wrong length.
+pub fn conv2d_i8_into(
+    image: &[i8],
+    weights: &[i8],
+    geom: &ConvGeom,
+    cols: &mut Vec<i8>,
+    acc: &mut [i32],
+    threads: usize,
+) {
+    let (m, k, n_cols) = (geom.k, geom.input.c * geom.r * geom.s, geom.oh * geom.ow);
+    assert_eq!(weights.len(), m * k, "weights do not match {geom}");
+    assert_eq!(acc.len(), m * n_cols, "accumulator does not match {geom}");
+    cols.resize(k * n_cols, 0);
+    im2col::im2col_into(image, geom, cols);
+    acc.fill(0);
+    gemm::gemm_i8_i32_threaded_into(weights, cols, acc, m, k, n_cols, threads);
 }
 
 #[cfg(test)]

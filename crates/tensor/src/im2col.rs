@@ -29,33 +29,88 @@ use crate::{ConvGeom, Mat, Shape4};
 /// ```
 #[must_use]
 pub fn im2col<T: Copy + Default>(image: &[T], geom: &ConvGeom) -> Mat<T> {
+    let mut out = Mat::zeros(geom.input.c * geom.r * geom.s, geom.oh * geom.ow);
+    im2col_into(image, geom, out.as_mut_slice());
+    out
+}
+
+/// Buffer-reusing [`im2col`]: fills `out` (length
+/// `C*R*S * OH*OW`, row-major) with the column matrix, zeroing it first so
+/// padded taps read as zero. This is what lets the steady-state inference
+/// path run without per-op allocation — callers keep one scratch buffer
+/// sized to the largest convolution of the plan.
+///
+/// # Panics
+///
+/// Panics if `image` or `out` have the wrong length for `geom`.
+pub fn im2col_into<T: Copy + Default>(image: &[T], geom: &ConvGeom, out: &mut [T]) {
+    let cols = geom.oh * geom.ow;
+    im2col_into_offset(image, geom, out, cols, 0);
+}
+
+/// Strided [`im2col_into`]: writes one image's column block into a wider
+/// matrix whose rows are `row_stride` long, starting at column `col_off` —
+/// how a mini-batch's columns are laid side by side for one batched GEMM.
+/// Only this image's `OH*OW`-wide column block is zeroed and written.
+///
+/// # Panics
+///
+/// Panics if `image` does not match `geom` or the block exceeds `out`.
+pub fn im2col_into_offset<T: Copy + Default>(
+    image: &[T],
+    geom: &ConvGeom,
+    out: &mut [T],
+    row_stride: usize,
+    col_off: usize,
+) {
     let Shape4 { c: ci, h, w, .. } = geom.input;
     assert_eq!(image.len(), geom.input.image_len(), "image does not match {}", geom.input);
-    let mut out = Mat::zeros(ci * geom.r * geom.s, geom.oh * geom.ow);
     let cols = geom.oh * geom.ow;
+    let rows = ci * geom.r * geom.s;
+    assert!(col_off + cols <= row_stride, "column block exceeds row stride");
+    assert_eq!(out.len(), rows * row_stride, "column buffer mismatch for {geom}");
+    for row_idx in 0..rows {
+        out[row_idx * row_stride + col_off..row_idx * row_stride + col_off + cols]
+            .fill(T::default());
+    }
     for c in 0..ci {
         for r in 0..geom.r {
             for s in 0..geom.s {
                 let row_idx = (c * geom.r + r) * geom.s + s;
-                let row = &mut out.as_mut_slice()[row_idx * cols..(row_idx + 1) * cols];
+                let row = &mut out
+                    [row_idx * row_stride + col_off..row_idx * row_stride + col_off + cols];
                 for oy in 0..geom.oh {
                     let iy = (oy * geom.stride + r) as isize - geom.pad as isize;
                     if iy < 0 || iy >= h as isize {
                         continue; // whole row of taps falls in padding
                     }
                     let iy = iy as usize;
-                    for ox in 0..geom.ow {
-                        let ix = (ox * geom.stride + s) as isize - geom.pad as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
+                    let src_row = &image[(c * h + iy) * w..(c * h + iy + 1) * w];
+                    let dst_row = &mut row[oy * geom.ow..(oy + 1) * geom.ow];
+                    if geom.stride == 1 {
+                        // Contiguous run: the in-bounds ox span maps to a
+                        // contiguous input span shifted by (s - pad).
+                        let shift = s as isize - geom.pad as isize;
+                        let ox_lo = (-shift).max(0) as usize;
+                        let ox_hi = ((w as isize - shift).min(geom.ow as isize)).max(0) as usize;
+                        if ox_lo < ox_hi {
+                            let src_lo = (ox_lo as isize + shift) as usize;
+                            dst_row[ox_lo..ox_hi]
+                                .copy_from_slice(&src_row[src_lo..src_lo + (ox_hi - ox_lo)]);
                         }
-                        row[oy * geom.ow + ox] = image[(c * h + iy) * w + ix as usize];
+                    } else {
+                        for (ox, dst) in dst_row.iter_mut().enumerate() {
+                            let ix = (ox * geom.stride + s) as isize - geom.pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            *dst = src_row[ix as usize];
+                        }
                     }
                 }
             }
         }
     }
-    out
 }
 
 /// Adjoint of [`im2col`]: scatter-adds a column-matrix gradient back onto an
@@ -144,6 +199,7 @@ mod tests {
             }
         }
         // col2im applied to basis vectors must give the transpose.
+        #[allow(clippy::needless_range_loop)]
         for j in 0..cols_len {
             let mut g = Mat::zeros(geom.input.c * geom.r * geom.s, geom.oh * geom.ow);
             g.as_mut_slice()[j] = 1.0;

@@ -36,6 +36,6 @@ pub mod pool;
 mod shape;
 mod tensor;
 
-pub use mat::Mat;
+pub use mat::{Mat, MatRef};
 pub use shape::{ConvGeom, Shape4};
 pub use tensor::Tensor;

@@ -141,6 +141,90 @@ impl<T: Copy + Default + fmt::Debug> fmt::Debug for Mat<T> {
     }
 }
 
+/// A borrowed dense row-major matrix view — the zero-copy counterpart of
+/// [`Mat`], used where an existing buffer (a weight tensor, an arena entry)
+/// already *is* the row-major operand and copying it into an owned `Mat`
+/// would be pure overhead.
+#[derive(Copy, Clone)]
+pub struct MatRef<'a, T> {
+    rows: usize,
+    cols: usize,
+    data: &'a [T],
+}
+
+impl<'a, T: Copy> MatRef<'a, T> {
+    /// Creates a view over a row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_slice(rows: usize, cols: usize, data: &'a [T]) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer does not match {rows}x{cols}");
+        MatRef { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    #[must_use]
+    pub fn at(&self, r: usize, c: usize) -> T {
+        assert!(r < self.rows && c < self.cols, "({r},{c}) out of {0}x{1}", self.rows, self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Borrow of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[inline]
+    #[must_use]
+    pub fn row(&self, r: usize) -> &'a [T] {
+        assert!(r < self.rows, "row {r} out of {}", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The whole row-major buffer.
+    #[inline]
+    #[must_use]
+    pub fn as_slice(&self) -> &'a [T] {
+        self.data
+    }
+
+    /// Copies the view into an owned [`Mat`].
+    #[must_use]
+    pub fn to_mat(&self) -> Mat<T>
+    where
+        T: Default,
+    {
+        Mat::from_vec(self.rows, self.cols, self.data.to_vec())
+    }
+}
+
+impl<T: Copy + fmt::Debug> fmt::Debug for MatRef<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MatRef[{}x{}]", self.rows, self.cols)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,7 +19,7 @@ pub fn maxpool2d<T: Copy + Default + PartialOrd>(
     let s = input.shape();
     assert!(k > 0 && stride > 0, "pooling window and stride must be positive");
     assert!(
-        s.h >= k && s.w >= k && (s.h - k) % stride == 0 && (s.w - k) % stride == 0,
+        s.h >= k && s.w >= k && (s.h - k).is_multiple_of(stride) && (s.w - k).is_multiple_of(stride),
         "pool {k}/{stride} does not tile {s}"
     );
     let oh = (s.h - k) / stride + 1;

@@ -1,0 +1,120 @@
+//! Offline stand-in for the `criterion` crate (API subset; see
+//! shims/README.md).
+//!
+//! Runs each benchmark `sample_size` times after one warm-up iteration and
+//! prints mean/median wall time. When the `CRITERION_JSON` environment
+//! variable names a file, one JSON line per benchmark
+//! (`{"id": ..., "mean_ns": ..., "median_ns": ...}`) is appended to it —
+//! that is how `BENCH_*.json` numbers in this repository are produced.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Re-export-compatible opaque black box.
+#[must_use]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, name: name.to_string(), sample_size: 20 }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        run_bench(id, 20, f);
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        run_bench(&format!("{}/{}", self.name, id), self.sample_size, f);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure under measurement.
+pub struct Bencher {
+    samples_ns: Vec<u128>,
+    target: usize,
+}
+
+impl Bencher {
+    /// Measures `f`, running it once for warm-up then `sample_size` times.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let _ = black_box(f()); // warm-up
+        for _ in 0..self.target {
+            let t = Instant::now();
+            let _ = black_box(f());
+            self.samples_ns.push(t.elapsed().as_nanos());
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher { samples_ns: Vec::new(), target: sample_size };
+    f(&mut b);
+    if b.samples_ns.is_empty() {
+        println!("bench {id:<40} (no samples)");
+        return;
+    }
+    b.samples_ns.sort_unstable();
+    let mean = b.samples_ns.iter().sum::<u128>() / b.samples_ns.len() as u128;
+    let median = b.samples_ns[b.samples_ns.len() / 2];
+    println!(
+        "bench {id:<40} mean {:>12.3} ms   median {:>12.3} ms   ({} samples)",
+        mean as f64 / 1e6,
+        median as f64 / 1e6,
+        b.samples_ns.len()
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut fh) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(fh, "{{\"id\": \"{id}\", \"mean_ns\": {mean}, \"median_ns\": {median}}}");
+        }
+    }
+}
+
+/// Collects benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` for one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

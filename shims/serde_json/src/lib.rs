@@ -1,0 +1,372 @@
+//! Offline stand-in for the `serde_json` crate (API subset; see
+//! shims/README.md): a `Value` tree, the `json!` constructor macro and
+//! pretty serialization. Objects preserve insertion order.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (stored as f64, printed without a trailing `.0` when
+    /// integral).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (insertion-ordered).
+    Object(Vec<(String, Value)>),
+}
+
+macro_rules! value_from_num {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(v as f64)
+            }
+        }
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Value {
+                Value::Number(*v as f64)
+            }
+        }
+    )*};
+}
+value_from_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl From<&Value> for Value {
+    fn from(v: &Value) -> Value {
+        v.clone()
+    }
+}
+
+impl<T> From<Vec<T>> for Value
+where
+    T: Into<Value>,
+{
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T> From<&Vec<T>> for Value
+where
+    T: Clone + Into<Value>,
+{
+    fn from(v: &Vec<T>) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T> From<&[T]> for Value
+where
+    T: Clone + Into<Value>,
+{
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+/// Borrow-based conversion used by the `json!` macro (the upstream macro
+/// goes through `serde::Serialize`, which also works on references — this
+/// mirrors that, so `json!({"xs": s.xs})` never moves out of `s`).
+pub trait ToJson {
+    /// The JSON representation.
+    fn to_json(&self) -> Value;
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+macro_rules! to_json_num {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+to_json_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(v: f64, out: &mut String) {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            out.push_str(&format!("{}", v as i64));
+        } else {
+            out.push_str(&format!("{v}"));
+        }
+    } else {
+        out.push_str("null"); // JSON has no NaN/Inf; match serde_json's lossy modes
+    }
+}
+
+fn write_pretty(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(*n, out),
+        Value::String(s) => escape(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad_in);
+                write_pretty(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                out.push_str(&pad_in);
+                escape(k, out);
+                out.push_str(": ");
+                write_pretty(val, indent + 1, out);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Serialization error (this stand-in cannot actually fail).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Pretty-prints a value with two-space indentation.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors the upstream signature.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(value, 0, &mut out);
+    Ok(out)
+}
+
+/// Builds a [`Value`] from JSON-ish syntax: objects with string-literal
+/// keys, arrays, `null`, and arbitrary Rust expressions coerced via
+/// `Into<Value>`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elems:tt)* ]) => { $crate::json_array!([ $($elems)* ] -> []) };
+    ({ $($fields:tt)* }) => { $crate::json_object!({ $($fields)* } -> []) };
+    ($other:expr) => { $crate::ToJson::to_json(&$other) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    // Terminal: no elements left.
+    ([] -> [$($out:expr),*]) => { $crate::Value::Array(vec![$($out),*]) };
+    // Nested object element.
+    ([ { $($obj:tt)* } $(, $($rest:tt)*)? ] -> [$($out:expr),*]) => {
+        $crate::json_array!([ $($($rest)*)? ] -> [$($out,)* $crate::json!({ $($obj)* })])
+    };
+    // Nested array element.
+    ([ [ $($arr:tt)* ] $(, $($rest:tt)*)? ] -> [$($out:expr),*]) => {
+        $crate::json_array!([ $($($rest)*)? ] -> [$($out,)* $crate::json!([ $($arr)* ])])
+    };
+    // null element.
+    ([ null $(, $($rest:tt)*)? ] -> [$($out:expr),*]) => {
+        $crate::json_array!([ $($($rest)*)? ] -> [$($out,)* $crate::Value::Null])
+    };
+    // Expression element.
+    ([ $head:expr $(, $($rest:tt)*)? ] -> [$($out:expr),*]) => {
+        $crate::json_array!([ $($($rest)*)? ] -> [$($out,)* $crate::ToJson::to_json(&$head)])
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    // Terminal: no fields left.
+    ({} -> [$($out:expr),*]) => { $crate::Value::Object(vec![$($out),*]) };
+    ({ $(,)? } -> [$($out:expr),*]) => { $crate::Value::Object(vec![$($out),*]) };
+    // Key with nested object value.
+    ({ $key:literal : { $($obj:tt)* } $(, $($rest:tt)*)? } -> [$($out:expr),*]) => {
+        $crate::json_object!({ $($($rest)*)? } ->
+            [$($out,)* ($key.to_string(), $crate::json!({ $($obj)* }))])
+    };
+    // Key with nested array value.
+    ({ $key:literal : [ $($arr:tt)* ] $(, $($rest:tt)*)? } -> [$($out:expr),*]) => {
+        $crate::json_object!({ $($($rest)*)? } ->
+            [$($out,)* ($key.to_string(), $crate::json!([ $($arr)* ]))])
+    };
+    // Key with null value.
+    ({ $key:literal : null $(, $($rest:tt)*)? } -> [$($out:expr),*]) => {
+        $crate::json_object!({ $($($rest)*)? } ->
+            [$($out,)* ($key.to_string(), $crate::Value::Null)])
+    };
+    // Key with expression value.
+    ({ $key:literal : $val:expr $(, $($rest:tt)*)? } -> [$($out:expr),*]) => {
+        $crate::json_object!({ $($($rest)*)? } ->
+            [$($out,)* ($key.to_string(), $crate::ToJson::to_json(&$val))])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_arrays_objects() {
+        let v = json!({
+            "a": 1,
+            "b": [1, 2.5, "x"],
+            "c": { "nested": true, "n": null },
+            "d": vec![1.0f64, 2.0],
+        });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"a\": 1"));
+        assert!(s.contains("2.5"));
+        assert!(s.contains("\"nested\": true"));
+        assert!(s.contains("null"));
+    }
+
+    #[test]
+    fn numbers_print_integral_when_whole() {
+        assert_eq!(to_string_pretty(&json!(3.0f64)).unwrap(), "3");
+        assert_eq!(to_string_pretty(&json!(3.25f64)).unwrap(), "3.25");
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = to_string_pretty(&json!("a\"b\\c\n")).unwrap();
+        assert_eq!(s, "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn collected_values_nest() {
+        let parts: Vec<Value> = (0..3).map(|i| json!([i, i * 2])).collect();
+        let v = json!({ "parts": parts });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains('['));
+    }
+}
