@@ -348,7 +348,16 @@ impl Accelerator {
 
     /// Programs a fault configuration through the CSB registers.
     pub fn inject(&mut self, fault: &FaultConfig) {
-        for w in fault.reg_writes() {
+        self.inject_writes(&fault.reg_writes());
+    }
+
+    /// Programs a fault from an already-encoded register stream.
+    ///
+    /// [`FaultConfig::reg_writes`] allocates the stream; when the same fault
+    /// is re-injected across every member of a device pool, encoding it once
+    /// and replaying the writes per device keeps re-injection allocation-free.
+    pub fn inject_writes(&mut self, writes: &[RegWrite]) {
+        for w in writes {
             self.csb.write(w.addr, w.value).expect("FI registers are mapped");
         }
     }
@@ -361,11 +370,21 @@ impl Accelerator {
     /// Restricts injection to a cycle window (a transient / "pulse" fault).
     /// Only honoured in [`ExecMode::Exact`]; `Auto` falls back to exact
     /// while a window is set.
+    ///
+    /// Cycle numbering restarts at every launched inference (see
+    /// [`Accelerator::mac_cycles_retired`]), so the window describes a pulse
+    /// relative to inference start: every image of a campaign experiences
+    /// the same transient, regardless of which device of a pool — or which
+    /// position in a mini-batch — it lands on.
     pub fn set_fault_window(&mut self, window: Option<Range<u64>>) {
         self.csb.fi.window = window;
     }
 
-    /// The functional MAC-array cycle counter.
+    /// The functional MAC-array cycle counter: atomic ops retired by the
+    /// most recent inference launch ([`Accelerator::run_inference_i8`] run,
+    /// or one [`Accelerator::run_batch_i8`] fast-path batch). The counter
+    /// restarts at each launch so transient fault windows are
+    /// per-inference-deterministic.
     #[must_use]
     pub fn mac_cycles_retired(&self) -> u64 {
         self.cycle
@@ -399,6 +418,9 @@ impl Accelerator {
                 plan.input_shape
             )));
         }
+        // Per-inference cycle numbering: transient windows gate on cycles
+        // since *this* launch, not since plan load.
+        self.cycle = 0;
         // Host writes the input surface.
         let in_shape = plan.input_shape.with_n(1);
         self.scratch.packed.resize(
@@ -463,6 +485,7 @@ impl Accelerator {
             return Ok(out);
         }
         let b_n = bs.n;
+        self.cycle = 0;
         // Seed the surface map with the (already dense NCHW) input batch.
         let input_buf = self
             .scratch

@@ -23,7 +23,7 @@ fn bench_fast_vs_exact(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_fi_exec_mode");
     g.sample_size(10);
     for (label, mode) in [("fast", ExecMode::Fast), ("exact", ExecMode::Exact)] {
-        let cfg = PlatformConfig { accel: AccelConfig { mode, ..Default::default() } };
+        let cfg = PlatformConfig { accel: AccelConfig { mode, ..Default::default() }, ..Default::default() };
         let mut platform = EmulationPlatform::assemble(&q, cfg).unwrap();
         platform.inject(&fault);
         g.bench_function(label, |b| b.iter(|| platform.run(&img).unwrap()));
@@ -40,7 +40,7 @@ fn bench_idle_lane_policy(c: &mut Criterion) {
         [("zero_fed", IdleLanePolicy::ZeroFed), ("gated", IdleLanePolicy::Gated)]
     {
         let cfg =
-            PlatformConfig { accel: AccelConfig { idle_lanes: idle, ..Default::default() } };
+            PlatformConfig { accel: AccelConfig { idle_lanes: idle, ..Default::default() }, ..Default::default() };
         let mut platform = EmulationPlatform::assemble(&q, cfg).unwrap();
         platform
             .inject(&FaultConfig::new(vec![MultId::new(1, 1)], FaultKind::Constant(1)));

@@ -1,12 +1,16 @@
 //! Criterion bench behind Fig. 2 / Fig. 3: the cost of one fault-injection
-//! evaluation (program registers, run the evaluation set, read accuracy)
-//! and of fault (re)programming alone.
+//! evaluation (program registers, run the evaluation set, read accuracy),
+//! of fault (re)programming alone, and of a pool-sharded
+//! single-configuration campaign (the worst case for per-configuration
+//! parallelism, and the case `DevicePool` exists for).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use nvfi::campaign::{Campaign, CampaignSpec, TargetSelection};
 use nvfi::{EmulationPlatform, PlatformConfig};
 use nvfi_accel::{FaultConfig, FaultKind};
 use nvfi_bench::small_fixture;
 use nvfi_compiler::regmap::MultId;
+use nvfi_dataset::{SynthCifar, SynthCifarConfig};
 
 fn bench_single_fi_evaluation(c: &mut Criterion) {
     let (q, data) = small_fixture();
@@ -40,5 +44,44 @@ fn bench_fault_programming(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_single_fi_evaluation, bench_fault_programming);
+/// The pool-sharding acceptance scenario: one fault configuration, 256
+/// synthetic images. Single device vs. the full host thread budget sharding
+/// the batch across a device pool. Records are bit-identical (asserted);
+/// wall-clock is what the two-level scheduler is judged on.
+fn bench_pool_sharded_campaign(c: &mut Criterion) {
+    let (q, _) = small_fixture();
+    let eval = SynthCifar::new(SynthCifarConfig { train: 0, test: 256, ..Default::default() })
+        .generate()
+        .test;
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let campaign = Campaign::new(&q, PlatformConfig::default());
+    let mk = |threads| CampaignSpec {
+        selection: TargetSelection::Fixed(vec![vec![MultId::new(0, 7)]]),
+        kinds: vec![FaultKind::StuckAtZero],
+        eval_images: 256,
+        threads,
+        ..Default::default()
+    };
+    assert_eq!(
+        campaign.run(&mk(1), &eval).unwrap().records,
+        campaign.run(&mk(threads), &eval).unwrap().records,
+        "pool sharding must not change records"
+    );
+    let mut g = c.benchmark_group("campaign");
+    g.sample_size(10);
+    g.bench_function("one_cfg_256img_single_device", |b| {
+        b.iter(|| campaign.run(&mk(1), &eval).unwrap())
+    });
+    g.bench_function(&format!("one_cfg_256img_pool_{threads}threads"), |b| {
+        b.iter(|| campaign.run(&mk(threads), &eval).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_fi_evaluation,
+    bench_fault_programming,
+    bench_pool_sharded_campaign
+);
 criterion_main!(benches);

@@ -8,10 +8,22 @@
 //! * **exhaustive single** (Fig. 3): every one of the 64 multipliers is
 //!   faulted alone, once per injected value.
 //!
-//! Campaigns shard fault configurations over worker threads; each worker
-//! owns a full device instance (plan + DRAM), mirroring how independent
-//! FPGA boards would split a campaign.
+//! Campaigns use **two-level scheduling** over a fleet of device instances
+//! (mirroring how independent FPGA boards would split a campaign):
+//!
+//! 1. an outer lock-free cursor hands out `(targets, kind)` work items to
+//!    worker groups, exactly one fault configuration in flight per group;
+//! 2. each group owns a [`DevicePool`] and shards the evaluation batch
+//!    across its members, so when the work list is narrower than the thread
+//!    budget (one configuration, many images) the spare threads still pull
+//!    their weight.
+//!
+//! With `threads` ≤ work items every pool has one device and the scheduler
+//! degenerates to the classic one-device-per-worker loop; with a single
+//! work item it degenerates to pure batch sharding. Either way, records are
+//! bit-identical to the single-threaded, single-device run.
 
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -24,6 +36,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::platform::{EmulationPlatform, PlatformConfig, PlatformError};
+use crate::pool::DevicePool;
 
 /// Which multipliers each fault configuration targets.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -52,10 +65,38 @@ pub struct CampaignSpec {
     pub kinds: Vec<FaultKind>,
     /// Number of evaluation images (clamped to the dataset size).
     pub eval_images: usize,
-    /// Worker threads (each owns a device instance).
+    /// Total device/thread budget of the campaign. Devices are grouped into
+    /// per-work-item pools by the two-level scheduler (see [`Campaign::run`]).
     pub threads: usize,
+    /// Requested devices per fault configuration ([`DevicePool`] size).
+    /// `0` (the default) auto-sizes: `threads` devices are spread evenly
+    /// over `min(threads, work items)` pools, so a narrow work list gets
+    /// wide pools and a wide work list gets one device per worker. A
+    /// non-zero request is clamped to the `threads` budget, which is always
+    /// spread in full over the resulting groups ([`Campaign::pool_layout`]).
+    pub pool_devices: usize,
+    /// Optional transient fault window (in per-inference MAC cycles),
+    /// applied alongside every injected fault configuration. Forces the
+    /// exact engine; the baseline pass stays fault- and window-free.
+    pub fault_window: Option<Range<u64>>,
     /// Progress lines on stderr.
     pub verbose: bool,
+}
+
+impl Default for CampaignSpec {
+    /// An exhaustive single-multiplier sweep, stuck-at-zero, single thread —
+    /// override what the experiment needs via struct update syntax.
+    fn default() -> Self {
+        CampaignSpec {
+            selection: TargetSelection::ExhaustiveSingle,
+            kinds: vec![FaultKind::StuckAtZero],
+            eval_images: 100,
+            threads: 1,
+            pool_devices: 0,
+            fault_window: None,
+            verbose: false,
+        }
+    }
 }
 
 /// Per-image outcome taxonomy of one fault injection, following the usual
@@ -177,7 +218,38 @@ impl Campaign {
         }
     }
 
+    /// Devices per worker group: the full `threads` budget spread over the
+    /// outer scheduling width, remainder devices going to the leading
+    /// groups. With `pool_devices == 0` the width is
+    /// `min(threads, work_items)`; a non-zero `pool_devices` requests that
+    /// group size instead, clamped to the thread budget — the layout never
+    /// exceeds `threads` devices in total and never leaves budgeted threads
+    /// idle (at least one group, never more groups than work items).
+    #[must_use]
+    pub fn pool_layout(threads: usize, work_items: usize, pool_devices: usize) -> Vec<usize> {
+        let threads = threads.max(1);
+        let work_items = work_items.max(1);
+        let outer = if pool_devices == 0 {
+            threads.min(work_items)
+        } else {
+            let per_group = pool_devices.min(threads);
+            (threads / per_group).min(work_items).max(1)
+        };
+        let base = threads / outer;
+        let rem = threads % outer;
+        (0..outer).map(|i| base + usize::from(i < rem)).collect()
+    }
+
     /// Runs the campaign on `eval` data.
+    ///
+    /// Scheduling is two-level: an outer lock-free cursor over the expanded
+    /// `(targets, kind)` work list, and — whenever the work list is narrower
+    /// than `spec.threads` — inner sharding of each configuration's
+    /// evaluation batch across the worker group's [`DevicePool`]. The
+    /// baseline pass runs through the full fleet the same way. Records,
+    /// `total_inferences` and record order are bit-identical to the
+    /// single-device, single-threaded path for every `threads`,
+    /// `pool_devices` and shard granularity.
     ///
     /// # Errors
     ///
@@ -185,50 +257,76 @@ impl Campaign {
     ///
     /// # Panics
     ///
-    /// Panics if the spec has no kinds or zero evaluation images.
+    /// Panics if the spec has no kinds, zero evaluation images, or a target
+    /// selection that expands to an empty work list
+    /// (`TargetSelection::Fixed(vec![])` or `RandomSubsets { trials: 0, .. }`).
     pub fn run(&self, spec: &CampaignSpec, eval: &Dataset) -> Result<CampaignResult, PlatformError> {
         assert!(!spec.kinds.is_empty(), "campaign needs at least one fault kind");
         assert!(spec.eval_images > 0, "campaign needs evaluation images");
-        let eval = eval.take(spec.eval_images);
-        let start = Instant::now();
-
-        // Baseline on a pristine device: accuracy plus the fault-free
-        // predictions used for masked/SDC classification.
-        let mut base_platform = EmulationPlatform::assemble(&self.model, self.config)?;
-        let clean_preds = base_platform.classify(&eval.images)?;
-        let correct =
-            clean_preds.iter().zip(&eval.labels).filter(|(p, y)| p == y).count();
-        let baseline_accuracy = correct as f64 / eval.len() as f64;
-
         // The work list: (index, targets, kind).
         let targets = Self::expand_targets(&spec.selection);
+        assert!(
+            !targets.is_empty(),
+            "campaign target selection expands to no target sets \
+             (Fixed(vec![]) or RandomSubsets {{ trials: 0, .. }}): the result \
+             would have no records, which downstream statistics \
+             (FiveNum::from_sample) reject"
+        );
         let mut work: Vec<(usize, Vec<MultId>, FaultKind)> = Vec::new();
         for t in &targets {
             for k in &spec.kinds {
                 work.push((work.len(), t.clone(), *k));
             }
         }
+        let eval = eval.take(spec.eval_images);
+        let start = Instant::now();
 
-        let threads = spec.threads.max(1).min(work.len().max(1));
+        // The device fleet: compile the plan once, clone it per member, one
+        // pool of devices per outer worker group. Groups are capped at the
+        // number of shards the evaluation batch can actually produce, so a
+        // huge thread budget over a tiny eval set does not clone devices
+        // that could never receive a shard.
+        let max_shards = eval.len().div_ceil(DevicePool::granularity(&self.config)).max(1);
+        let mut layout = Self::pool_layout(spec.threads, work.len(), spec.pool_devices);
+        for size in &mut layout {
+            *size = (*size).min(max_shards);
+        }
+        let fleet_size: usize = layout.iter().sum();
+        let mut fleet = DevicePool::from_device(
+            EmulationPlatform::assemble(&self.model, self.config)?,
+            fleet_size,
+        );
+
+        // Baseline through the same pool, sharded across the whole fleet:
+        // accuracy plus the fault-free predictions used for masked/SDC
+        // classification.
+        let clean_preds = fleet.classify(&eval.images)?;
+        let correct =
+            clean_preds.iter().zip(&eval.labels).filter(|(p, y)| p == y).count();
+        let baseline_accuracy = correct as f64 / eval.len() as f64;
+
+        let pools = fleet.split(&layout);
         // Lock-free work distribution: a fetch-add cursor hands out indices
-        // and every worker accumulates `(idx, record)` pairs privately; the
-        // buffers are merged (and re-ordered by index) after join, so the
-        // steady-state campaign loop takes no lock at all.
+        // and every worker group accumulates `(idx, record)` pairs
+        // privately; the buffers are merged (and re-ordered by index) after
+        // join, so the steady-state campaign loop takes no lock at all.
         let next = AtomicUsize::new(0);
+        // Completion counter behind the progress lines: one monotonically
+        // increasing `done/total` line per finished work item, regardless of
+        // which group finished which index.
+        let done = AtomicUsize::new(0);
 
-        let mut worker_results: Vec<Vec<(usize, FiRecord)>> = Vec::with_capacity(threads);
+        let mut worker_results: Vec<Vec<(usize, FiRecord)>> = Vec::with_capacity(pools.len());
         std::thread::scope(|scope| -> Result<(), PlatformError> {
             let mut handles = Vec::new();
-            for _ in 0..threads {
+            for mut pool in pools {
                 let eval = &eval;
                 let work = &work;
                 let next = &next;
-                let model = &self.model;
-                let config = self.config;
+                let done = &done;
                 let clean_preds = &clean_preds;
                 handles.push(scope.spawn(
                     move || -> Result<Vec<(usize, FiRecord)>, PlatformError> {
-                        let mut platform = EmulationPlatform::assemble(model, config)?;
                         let mut local: Vec<(usize, FiRecord)> = Vec::new();
                         loop {
                             let idx = next.fetch_add(1, Ordering::Relaxed);
@@ -236,9 +334,12 @@ impl Campaign {
                                 break;
                             }
                             let (_, targets, kind) = &work[idx];
-                            platform.inject(&FaultConfig::new(targets.clone(), *kind));
-                            let preds = platform.classify(&eval.images)?;
-                            platform.clear_faults();
+                            pool.inject(&FaultConfig::new(targets.clone(), *kind));
+                            if spec.fault_window.is_some() {
+                                pool.set_fault_window(spec.fault_window.clone());
+                            }
+                            let preds = pool.classify(&eval.images)?;
+                            pool.clear_faults();
                             let correct =
                                 preds.iter().zip(&eval.labels).filter(|(p, y)| p == y).count();
                             let accuracy = correct as f64 / eval.len() as f64;
@@ -251,9 +352,17 @@ impl Campaign {
                                 }
                             }
                             if spec.verbose {
-                                eprintln!(
+                                // Holding the stderr lock across the
+                                // increment and the write makes the printed
+                                // `done/total` strictly monotonic: no other
+                                // group can count or print in between.
+                                use std::io::Write;
+                                let mut err = std::io::stderr().lock();
+                                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                                let _ = writeln!(
+                                    err,
                                     "  fi {}/{}: {:?} on {} mult(s) -> {:.1}% (sdc {:.0}%)",
-                                    idx + 1,
+                                    finished,
                                     work.len(),
                                     kind,
                                     targets.len(),
@@ -339,6 +448,36 @@ mod tests {
     }
 
     #[test]
+    fn pool_layout_conserves_the_thread_budget() {
+        for threads in 1..=9usize {
+            for work_items in 1..=9usize {
+                for pool_devices in 0..=12usize {
+                    let layout = Campaign::pool_layout(threads, work_items, pool_devices);
+                    let total: usize = layout.iter().sum();
+                    assert_eq!(
+                        total, threads,
+                        "layout {layout:?} must use the whole budget \
+                         (threads={threads} work={work_items} pool={pool_devices})"
+                    );
+                    assert!(layout.len() <= work_items, "never more groups than work items");
+                    assert!(layout.iter().all(|&s| s > 0));
+                    // Even spread: group sizes differ by at most one.
+                    let (lo, hi) = (layout.iter().min(), layout.iter().max());
+                    assert!(hi.unwrap() - lo.unwrap() <= 1);
+                }
+            }
+        }
+        // Auto layout: wide work list => one device per group.
+        assert_eq!(Campaign::pool_layout(3, 10, 0), vec![1, 1, 1]);
+        // Narrow work list: the budget folds into wide pools.
+        assert_eq!(Campaign::pool_layout(8, 1, 0), vec![8]);
+        // Requested group size is honoured when it divides the budget...
+        assert_eq!(Campaign::pool_layout(8, 4, 4), vec![4, 4]);
+        // ...and clamped to the budget when it exceeds it.
+        assert_eq!(Campaign::pool_layout(1, 3, 32), vec![1]);
+    }
+
+    #[test]
     fn campaign_runs_and_counts() {
         let (q, eval) = setup();
         let campaign = Campaign::new(&q, PlatformConfig::default());
@@ -351,6 +490,7 @@ mod tests {
             eval_images: 8,
             threads: 1,
             verbose: false,
+            ..Default::default()
         };
         let result = campaign.run(&spec, &eval).unwrap();
         assert_eq!(result.records.len(), 4);
@@ -380,6 +520,7 @@ mod tests {
             eval_images: 6,
             threads: 1,
             verbose: false,
+            ..Default::default()
         };
         let result = campaign.run(&spec, &eval).unwrap();
         let r = &result.records[0];
@@ -398,6 +539,7 @@ mod tests {
             eval_images: 7,
             threads: 1,
             verbose: false,
+            ..Default::default()
         };
         let run_with_batch = |batch: usize| {
             let mut config = PlatformConfig::default();
@@ -422,6 +564,7 @@ mod tests {
             eval_images: 6,
             threads,
             verbose: false,
+            ..Default::default()
         };
         let a = campaign.run(&mk_spec(1), &eval).unwrap();
         let b = campaign.run(&mk_spec(4), &eval).unwrap();

@@ -46,6 +46,9 @@ pub struct ExperimentConfig {
     pub max_k: usize,
     /// Campaign worker threads.
     pub threads: usize,
+    /// Devices per fault configuration (0 = auto; see
+    /// [`crate::campaign::CampaignSpec::pool_devices`]).
+    pub pool_devices: usize,
     /// Where result files are written.
     pub out_dir: PathBuf,
     /// Progress on stderr.
@@ -61,6 +64,7 @@ impl Default for ExperimentConfig {
             trials_per_k: 10,
             max_k: 7,
             threads: 1,
+            pool_devices: 0,
             out_dir: PathBuf::from("results"),
             verbose: false,
         }
@@ -85,6 +89,7 @@ impl ExperimentConfig {
             trials_per_k: 2,
             max_k: 3,
             threads: 1,
+            pool_devices: 0,
             out_dir: std::env::temp_dir().join("nvfi_quick_results"),
             verbose: false,
         }
@@ -93,7 +98,7 @@ impl ExperimentConfig {
     /// The default configuration with `NVFI_*` environment overrides:
     /// `NVFI_WIDTH`, `NVFI_EPOCHS`, `NVFI_TRAIN`, `NVFI_TEST`, `NVFI_NOISE`,
     /// `NVFI_EVAL`, `NVFI_TRIALS`, `NVFI_MAX_K`, `NVFI_TABLE1_WIDTH`,
-    /// `NVFI_THREADS`, `NVFI_OUT_DIR`, `NVFI_VERBOSE`.
+    /// `NVFI_THREADS`, `NVFI_POOL`, `NVFI_OUT_DIR`, `NVFI_VERBOSE`.
     #[must_use]
     pub fn from_env() -> Self {
         fn get<T: std::str::FromStr>(key: &str, default: T) -> T {
@@ -112,6 +117,7 @@ impl ExperimentConfig {
         cfg.max_k = get("NVFI_MAX_K", cfg.max_k);
         cfg.table1_width = get("NVFI_TABLE1_WIDTH", cfg.table1_width);
         cfg.threads = get("NVFI_THREADS", cfg.threads);
+        cfg.pool_devices = get("NVFI_POOL", cfg.pool_devices);
         cfg.verbose = get("NVFI_VERBOSE", 1u8) != 0;
         if let Ok(dir) = std::env::var("NVFI_OUT_DIR") {
             cfg.out_dir = PathBuf::from(dir);
@@ -239,7 +245,9 @@ pub fn run_fig2(cfg: &ExperimentConfig) -> Result<Fig2Result, crate::PlatformErr
                 kinds: vec![FaultKind::Constant(value)],
                 eval_images: cfg.eval_images,
                 threads: cfg.threads,
+                pool_devices: cfg.pool_devices,
                 verbose: cfg.verbose,
+                ..Default::default()
             };
             let result = campaign.run(&spec, &data.test)?;
             let drops = result.drops_pct();
@@ -374,7 +382,9 @@ pub fn run_fig3(cfg: &ExperimentConfig) -> Result<Fig3Result, crate::PlatformErr
             kinds: vec![FaultKind::Constant(value)],
             eval_images: cfg.eval_images,
             threads: cfg.threads,
+            pool_devices: cfg.pool_devices,
             verbose: cfg.verbose,
+            ..Default::default()
         };
         let result = campaign.run(&spec, &data.test)?;
         let mut map = HeatMap::new(MAC_UNITS, MULTS_PER_MAC);

@@ -10,7 +10,16 @@
 //!   helpers (the role the ARM-side software stack plays on the real Zynq);
 //! * [`campaign`] — fault-injection campaigns: random multiplier subsets
 //!   (Fig. 2), exhaustive single-multiplier sweeps (Fig. 3), fixed lists;
-//!   sharded over worker threads, each with its own device instance;
+//!   scheduled at two levels: an outer lock-free cursor hands fault
+//!   configurations to worker groups, and each group's [`DevicePool`]
+//!   shards the evaluation batch across its device instances, so campaigns
+//!   saturate the thread budget whether they are wide (many configurations)
+//!   or narrow (one configuration, many images);
+//! * [`pool`] — the [`DevicePool`]: a set of identical device instances
+//!   (independent emulated FPGA boards) that splits one classification
+//!   batch into contiguous image shards and deterministically merges the
+//!   per-shard predictions back in image order, bit-identical to a single
+//!   device;
 //! * [`stats`] — five-number summaries for box plots and accuracy-drop heat
 //!   maps;
 //! * [`report`] — ASCII rendering (box plots, heat maps) plus CSV/JSON
@@ -34,8 +43,9 @@
 //!     selection: TargetSelection::RandomSubsets { k: 3, trials: 10, seed: 42 },
 //!     kinds: vec![FaultKind::StuckAtZero],
 //!     eval_images: 100,
-//!     threads: 1,
-//!     verbose: false,
+//!     threads: 8,          // two-level: 10 trials share 8 devices...
+//!     pool_devices: 0,     // ...grouped automatically (0 = auto)
+//!     ..Default::default()
 //! };
 //! let result = Campaign::new(&qmodel, platform.config()).run(&spec, &data)?;
 //! println!("median drop: {:.1} pp", result.drops_pct()[0]);
@@ -50,7 +60,9 @@ pub mod artifacts;
 pub mod campaign;
 pub mod experiments;
 mod platform;
+pub mod pool;
 pub mod report;
 pub mod stats;
 
 pub use platform::{EmulationPlatform, PlatformConfig, PlatformError};
+pub use pool::DevicePool;

@@ -1,0 +1,295 @@
+//! Device pools: shard one evaluation batch across several device instances.
+//!
+//! A fault-injection campaign with few fault configurations but a large
+//! evaluation set is serialized by per-configuration devices: one device
+//! evaluates every image while the other worker threads idle. A
+//! [`DevicePool`] is the batch-level counterpart — a set of identical
+//! [`EmulationPlatform`] instances (think independent FPGA boards programmed
+//! with the same bitstream and network) that splits a classification batch
+//! into contiguous image shards, runs one shard per device on scoped
+//! threads, and merges the per-shard predictions back in image order.
+//!
+//! Determinism: every pool member is a clone of the same programmed device,
+//! per-image inference does not depend on which images a device ran before
+//! (transient fault windows gate on per-inference cycle numbering, see
+//! [`nvfi_accel::Accelerator::set_fault_window`]), and shards are contiguous
+//! and ordered — so the merged prediction vector is bit-identical to running
+//! the whole batch on a single device, for every pool size and shard
+//! granularity.
+
+use std::ops::Range;
+
+use nvfi_accel::FaultConfig;
+use nvfi_quant::QuantModel;
+use nvfi_tensor::Tensor;
+
+use crate::platform::{EmulationPlatform, PlatformConfig, PlatformError};
+
+/// A pool of identical emulated devices sharing the work of one evaluation
+/// batch.
+#[derive(Clone, Debug)]
+pub struct DevicePool {
+    devices: Vec<EmulationPlatform>,
+}
+
+impl DevicePool {
+    /// Compiles `model` once and populates the pool with `devices` clones of
+    /// the programmed device (cloning device state is much cheaper than
+    /// recompiling the plan per member).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError`] if lowering fails or the plan does not fit
+    /// the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices == 0`.
+    pub fn assemble(
+        model: &QuantModel,
+        config: PlatformConfig,
+        devices: usize,
+    ) -> Result<Self, PlatformError> {
+        Ok(Self::from_device(EmulationPlatform::assemble(model, config)?, devices))
+    }
+
+    /// Builds a pool of `devices` members by cloning one programmed device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices == 0`.
+    #[must_use]
+    pub fn from_device(device: EmulationPlatform, devices: usize) -> Self {
+        assert!(devices > 0, "a device pool needs at least one device");
+        let mut v = Vec::with_capacity(devices);
+        for _ in 1..devices {
+            v.push(device.clone());
+        }
+        v.push(device);
+        DevicePool { devices: v }
+    }
+
+    /// Number of devices in the pool.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The (shared) platform configuration of the pool members.
+    #[must_use]
+    pub fn config(&self) -> PlatformConfig {
+        self.devices[0].config()
+    }
+
+    /// Partitions the pool into sub-pools of the given sizes (in order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sizes` does not sum to the pool size or contains a zero.
+    #[must_use]
+    pub fn split(self, sizes: &[usize]) -> Vec<DevicePool> {
+        assert_eq!(
+            sizes.iter().sum::<usize>(),
+            self.devices.len(),
+            "split sizes must consume the whole pool"
+        );
+        let mut devices = self.devices.into_iter();
+        sizes
+            .iter()
+            .map(|&n| {
+                assert!(n > 0, "sub-pools need at least one device");
+                DevicePool { devices: devices.by_ref().take(n).collect() }
+            })
+            .collect()
+    }
+
+    /// Programs `fault` into every pool member. The register stream is
+    /// encoded once and replayed per device, so re-injection across the pool
+    /// allocates once regardless of pool size.
+    pub fn inject(&mut self, fault: &FaultConfig) {
+        let writes = fault.reg_writes();
+        for d in &mut self.devices {
+            d.accel_mut().inject_writes(&writes);
+        }
+    }
+
+    /// Disables fault injection (and any transient window) on every member.
+    pub fn clear_faults(&mut self) {
+        for d in &mut self.devices {
+            d.clear_faults();
+        }
+    }
+
+    /// Sets the transient fault window on every member.
+    pub fn set_fault_window(&mut self, window: Option<Range<u64>>) {
+        for d in &mut self.devices {
+            d.accel_mut().set_fault_window(window.clone());
+        }
+    }
+
+    /// The shard granularity a pool under `config` uses: an explicit
+    /// [`PlatformConfig::shard_images`], else one fast-path mini-batch.
+    #[must_use]
+    pub fn granularity(config: &PlatformConfig) -> usize {
+        match config.shard_images {
+            0 => config.accel.batch.max(1),
+            g => g,
+        }
+    }
+
+    /// The deterministic shard layout: `images` images split into at most
+    /// `devices` contiguous ranges, each — except possibly the last — a
+    /// multiple of `granularity` images, with the leading shards taking the
+    /// extra granules.
+    #[must_use]
+    pub fn shard_plan(images: usize, devices: usize, granularity: usize) -> Vec<Range<usize>> {
+        if images == 0 {
+            return Vec::new();
+        }
+        let g = granularity.max(1);
+        let granules = images.div_ceil(g);
+        let shards = devices.max(1).min(granules);
+        let per = granules / shards;
+        let rem = granules % shards;
+        let mut out = Vec::with_capacity(shards);
+        let mut start = 0usize;
+        for i in 0..shards {
+            let n = (per + usize::from(i < rem)) * g;
+            let end = (start + n).min(images);
+            out.push(start..end);
+            start = end;
+        }
+        out
+    }
+
+    /// Classifies `images`, sharding the batch across the pool members on
+    /// scoped threads. Merged predictions are in image order and
+    /// bit-identical to [`EmulationPlatform::classify`] on one device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first device error (by shard order).
+    pub fn classify(&mut self, images: &Tensor<f32>) -> Result<Vec<u8>, PlatformError> {
+        let s = images.shape();
+        let granularity = Self::granularity(&self.config());
+        let plan = Self::shard_plan(s.n, self.devices.len(), granularity);
+        if plan.len() <= 1 {
+            return self.devices[0].classify(images);
+        }
+        let image_len = s.image_len();
+        let mut results: Vec<Result<Vec<u8>, PlatformError>> = Vec::with_capacity(plan.len());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (device, range) in self.devices.iter_mut().zip(plan.iter().cloned()) {
+                handles.push(scope.spawn(move || {
+                    let chunk = Tensor::from_vec(
+                        s.with_n(range.len()),
+                        images.as_slice()[range.start * image_len..range.end * image_len]
+                            .to_vec(),
+                    );
+                    device.classify(&chunk)
+                }));
+            }
+            for h in handles {
+                results.push(h.join().expect("pool shard worker panicked"));
+            }
+        });
+        let mut preds = Vec::with_capacity(s.n);
+        for r in results {
+            preds.extend(r?);
+        }
+        Ok(preds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvfi_accel::FaultKind;
+    use nvfi_compiler::regmap::MultId;
+    use nvfi_dataset::{SynthCifar, SynthCifarConfig};
+
+    fn setup() -> (QuantModel, nvfi_dataset::Dataset) {
+        let q = crate::experiments::untrained_quant_model(4, 12);
+        let data = SynthCifar::new(SynthCifarConfig { train: 0, test: 11, ..Default::default() })
+            .generate();
+        (q, data.test)
+    }
+
+    #[test]
+    fn shard_plan_covers_contiguously() {
+        for (images, devices, g) in
+            [(10, 3, 1), (10, 3, 4), (7, 8, 1), (256, 8, 8), (5, 1, 2), (9, 4, 2)]
+        {
+            let plan = DevicePool::shard_plan(images, devices, g);
+            assert!(plan.len() <= devices);
+            assert_eq!(plan[0].start, 0);
+            assert_eq!(plan.last().unwrap().end, images);
+            for w in plan.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "shards must be contiguous");
+                assert!(!w[0].is_empty());
+            }
+            for r in &plan[..plan.len() - 1] {
+                assert_eq!(r.len() % g, 0, "non-final shards keep granularity {g}");
+            }
+        }
+        assert!(DevicePool::shard_plan(0, 4, 2).is_empty());
+        // More devices than granules: surplus devices get no shard.
+        assert_eq!(DevicePool::shard_plan(6, 8, 4).len(), 2);
+    }
+
+    #[test]
+    fn pool_matches_single_device_with_and_without_faults() {
+        let (q, eval) = setup();
+        let mut single = EmulationPlatform::assemble(&q, PlatformConfig::default()).unwrap();
+        let mut pool = DevicePool::assemble(&q, PlatformConfig::default(), 3).unwrap();
+        assert_eq!(pool.size(), 3);
+        assert_eq!(
+            single.classify(&eval.images).unwrap(),
+            pool.classify(&eval.images).unwrap()
+        );
+        let fault =
+            FaultConfig::new(vec![MultId::new(1, 2), MultId::new(3, 4)], FaultKind::Constant(-1));
+        single.inject(&fault);
+        pool.inject(&fault);
+        assert_eq!(
+            single.classify(&eval.images).unwrap(),
+            pool.classify(&eval.images).unwrap()
+        );
+        single.clear_faults();
+        pool.clear_faults();
+        assert_eq!(
+            single.classify(&eval.images).unwrap(),
+            pool.classify(&eval.images).unwrap()
+        );
+    }
+
+    #[test]
+    fn pool_is_shard_granularity_invariant() {
+        let (q, eval) = setup();
+        let classify_with = |shard_images: usize| {
+            let config = PlatformConfig { shard_images, ..Default::default() };
+            DevicePool::assemble(&q, config, 4).unwrap().classify(&eval.images).unwrap()
+        };
+        let a = classify_with(0);
+        let b = classify_with(1);
+        let c = classify_with(5);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn split_partitions_in_order() {
+        let (q, _) = setup();
+        let pool = DevicePool::assemble(&q, PlatformConfig::default(), 5).unwrap();
+        let parts = pool.split(&[2, 2, 1]);
+        assert_eq!(parts.iter().map(DevicePool::size).collect::<Vec<_>>(), vec![2, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_sized_pool_rejected() {
+        let (q, _) = setup();
+        let _ = DevicePool::assemble(&q, PlatformConfig::default(), 0);
+    }
+}

@@ -93,8 +93,15 @@ pub struct HeatMap {
 
 impl HeatMap {
     /// Creates a zero-filled grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-sized grid (`rows == 0` or `cols == 0`): such a map
+    /// has no cells, so `range()` would be `(inf, -inf)` and `argmin()`
+    /// would name a cell `(0, 0)` that `at` rejects.
     #[must_use]
     pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "heat map needs a non-empty grid, got {rows}x{cols}");
         HeatMap { rows, cols, cells: vec![0.0; rows * cols] }
     }
 
@@ -213,6 +220,27 @@ mod tests {
         assert_eq!(h.argmin(), (1, 2));
         assert_eq!(h.range(), (-12.5, 3.0));
         assert_eq!(h.at(1, 2), -12.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty grid")]
+    fn zero_row_heatmap_rejected() {
+        let _ = HeatMap::new(0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty grid")]
+    fn zero_col_heatmap_rejected() {
+        let _ = HeatMap::new(8, 0);
+    }
+
+    #[test]
+    fn one_cell_heatmap_is_consistent() {
+        let mut h = HeatMap::new(1, 1);
+        h.set(0, 0, -3.0);
+        assert_eq!(h.argmin(), (0, 0));
+        assert_eq!(h.range(), (-3.0, -3.0));
+        assert_eq!(h.at(h.argmin().0, h.argmin().1), -3.0);
     }
 
     /// Oracle comparison against a simple sorted-slice implementation.

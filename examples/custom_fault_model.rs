@@ -21,6 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Bit-granular faults need the exact (per-product) engine.
     let config = PlatformConfig {
         accel: AccelConfig { mode: ExecMode::Exact, ..Default::default() },
+        ..Default::default()
     };
     let mut platform = EmulationPlatform::assemble(&qmodel, config)?;
     let clean = platform.run(&image)?.logits;
@@ -59,20 +60,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     platform.clear_faults();
 
     // A pulse fault: all lanes forced to the maximum value, but only during
-    // a 2000-cycle window mid-inference. The window is absolute in the
-    // device's MAC-cycle counter, so offset it from the cycles already
-    // retired by the runs above.
-    let total = {
-        let mut probe = EmulationPlatform::assemble(&qmodel, config)?;
-        probe.run(&image)?;
-        probe.accel().mac_cycles_retired()
-    };
+    // a 2000-cycle window mid-inference. Cycle numbering restarts at every
+    // inference launch, so the window is relative to inference start and the
+    // same pulse hits every image — no offsetting for previous runs needed.
+    let total = platform.accel().mac_cycles_retired();
     println!("one inference retires {total} MAC-array cycles");
-    let base = platform.accel().mac_cycles_retired();
     platform.inject(&FaultConfig::new(MultId::all().collect(), FaultKind::Constant(131071)));
     platform
         .accel_mut()
-        .set_fault_window(Some(base + total / 2..base + total / 2 + 2000));
+        .set_fault_window(Some(total / 2..total / 2 + 2000));
     let pulsed = platform.run(&image)?.logits;
     println!("pulse fault (2k cyc):  {pulsed:?}");
     assert_ne!(clean, pulsed, "the pulse lands mid-inference and must be visible");

@@ -23,6 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("baseline int8 accuracy: {:.1}%", 100.0 * base_acc);
 
     let campaign = Campaign::new(&qmodel, PlatformConfig::default());
+    // The full host thread budget: with only 5 trials per campaign, the
+    // two-level scheduler groups surplus threads into device pools that
+    // shard each trial's evaluation batch (records are identical to
+    // threads = 1, just faster).
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut rows = Vec::new();
     for k in [1usize, 2, 4] {
         for value in [0i32, 1, -1] {
@@ -31,8 +36,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     selection: TargetSelection::RandomSubsets { k, trials: 5, seed: 1 },
                     kinds: vec![FaultKind::Constant(value)],
                     eval_images: 50,
-                    threads: 1,
+                    threads,
                     verbose: false,
+                    ..Default::default()
                 },
                 &data.test,
             )?;

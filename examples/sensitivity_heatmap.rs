@@ -30,6 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             eval_images: 40,
             threads: 1,
             verbose: false,
+            ..Default::default()
         },
         &data.test,
     )?;

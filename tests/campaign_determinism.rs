@@ -16,7 +16,7 @@ fn same_seed_same_everything() {
         kinds: vec![FaultKind::StuckAtZero, FaultKind::Constant(-1)],
         eval_images: 6,
         threads: 1,
-        verbose: false,
+        ..Default::default()
     };
     let campaign = Campaign::new(&q, PlatformConfig::default());
     let a = campaign.run(&spec, &data.test).unwrap();
@@ -35,6 +35,129 @@ fn same_seed_same_everything() {
     assert_ne!(targets_a, targets_c);
 }
 
+/// The tentpole guarantee of device-pool sharding: a campaign whose work
+/// list is narrower than the thread budget (here 1 configuration across 8
+/// threads, so the whole budget becomes one wide pool) produces records
+/// bit-identical to the single-device, single-threaded run.
+#[test]
+fn sharded_pool_matches_single_device() {
+    let q = zynq_nvdla_fi::nvfi::experiments::untrained_quant_model(4, 9);
+    let data = SynthCifar::new(SynthCifarConfig { train: 0, test: 24, ..Default::default() })
+        .generate();
+    let mk = |threads, pool_devices| CampaignSpec {
+        selection: TargetSelection::Fixed(vec![vec![
+            zynq_nvdla_fi::nvfi_compiler::regmap::MultId::new(1, 3),
+        ]]),
+        kinds: vec![FaultKind::Constant(-1)],
+        eval_images: 24,
+        threads,
+        pool_devices,
+        ..Default::default()
+    };
+    let campaign = Campaign::new(&q, PlatformConfig::default());
+    let single = campaign.run(&mk(1, 0), &data.test).unwrap();
+    // threads > work items: all 8 devices shard the one configuration.
+    let sharded = campaign.run(&mk(8, 0), &data.test).unwrap();
+    // Explicit pool sizing must agree too.
+    let pinned = campaign.run(&mk(8, 3), &data.test).unwrap();
+    assert_eq!(single.baseline_accuracy, sharded.baseline_accuracy);
+    assert_eq!(single.records, sharded.records);
+    assert_eq!(single.records, pinned.records);
+    assert_eq!(single.total_inferences, sharded.total_inferences);
+    assert_eq!(single.total_inferences, pinned.total_inferences);
+}
+
+/// Shard granularity is a pure scheduling knob: any `shard_images` value
+/// merges to the same records.
+#[test]
+fn shard_granularity_does_not_change_results() {
+    let q = zynq_nvdla_fi::nvfi::experiments::untrained_quant_model(4, 21);
+    let data = SynthCifar::new(SynthCifarConfig { train: 0, test: 13, ..Default::default() })
+        .generate();
+    let spec = CampaignSpec {
+        selection: TargetSelection::RandomSubsets { k: 2, trials: 2, seed: 3 },
+        kinds: vec![FaultKind::StuckAtZero],
+        eval_images: 13,
+        threads: 5,
+        ..Default::default()
+    };
+    let run_with_granularity = |shard_images| {
+        let config = PlatformConfig { shard_images, ..Default::default() };
+        Campaign::new(&q, config).run(&spec, &data.test).unwrap()
+    };
+    let a = run_with_granularity(0);
+    let b = run_with_granularity(1);
+    let c = run_with_granularity(7);
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.records, c.records);
+}
+
+/// End-to-end coverage of the exact-engine degradation under transient
+/// fault windows (`Accelerator::set_fault_window`), previously only covered
+/// per-inference: a campaign with a window must produce identical records
+/// through the sharded pool and the single-device path, because cycle
+/// numbering is per-inference and thus placement-invariant.
+#[test]
+fn transient_window_campaign_is_shard_invariant() {
+    let q = zynq_nvdla_fi::nvfi::experiments::untrained_quant_model(4, 15);
+    let data = SynthCifar::new(SynthCifarConfig { train: 0, test: 10, ..Default::default() })
+        .generate();
+    let all_mults: Vec<_> = zynq_nvdla_fi::nvfi_compiler::regmap::MultId::all().collect();
+    let mk = |threads| CampaignSpec {
+        selection: TargetSelection::Fixed(vec![all_mults.clone()]),
+        kinds: vec![FaultKind::Constant(131071)],
+        eval_images: 10,
+        threads,
+        // A mid-inference pulse: forces the exact engine (the fast path
+        // cannot honour windows), so this drives the batched-classify
+        // degradation end-to-end through Campaign::run.
+        fault_window: Some(50..5_000),
+        ..Default::default()
+    };
+    let campaign = Campaign::new(&q, PlatformConfig::default());
+    let single = campaign.run(&mk(1), &data.test).unwrap();
+    let sharded = campaign.run(&mk(6), &data.test).unwrap();
+    assert_eq!(single.records, sharded.records);
+
+    // Sanity: the pulse is really narrower than a permanent fault — the
+    // same configuration without a window must not be *less* disruptive.
+    let mut permanent_spec = mk(1);
+    permanent_spec.fault_window = None;
+    let permanent = campaign.run(&permanent_spec, &data.test).unwrap();
+    assert!(
+        permanent.records[0].outcomes.sdc >= single.records[0].outcomes.sdc,
+        "a permanent full-array fault cannot corrupt fewer images than its pulse"
+    );
+}
+
+#[test]
+#[should_panic(expected = "expands to no target sets")]
+fn empty_fixed_selection_is_rejected() {
+    let q = zynq_nvdla_fi::nvfi::experiments::untrained_quant_model(4, 2);
+    let data = SynthCifar::new(SynthCifarConfig { train: 0, test: 4, ..Default::default() })
+        .generate();
+    let spec = CampaignSpec {
+        selection: TargetSelection::Fixed(vec![]),
+        eval_images: 4,
+        ..Default::default()
+    };
+    let _ = Campaign::new(&q, PlatformConfig::default()).run(&spec, &data.test);
+}
+
+#[test]
+#[should_panic(expected = "expands to no target sets")]
+fn zero_trial_selection_is_rejected() {
+    let q = zynq_nvdla_fi::nvfi::experiments::untrained_quant_model(4, 2);
+    let data = SynthCifar::new(SynthCifarConfig { train: 0, test: 4, ..Default::default() })
+        .generate();
+    let spec = CampaignSpec {
+        selection: TargetSelection::RandomSubsets { k: 3, trials: 0, seed: 1 },
+        eval_images: 4,
+        ..Default::default()
+    };
+    let _ = Campaign::new(&q, PlatformConfig::default()).run(&spec, &data.test);
+}
+
 #[test]
 fn thread_count_does_not_change_results() {
     let q = zynq_nvdla_fi::nvfi::experiments::untrained_quant_model(4, 3);
@@ -45,7 +168,7 @@ fn thread_count_does_not_change_results() {
         kinds: vec![FaultKind::Constant(1)],
         eval_images: 4,
         threads,
-        verbose: false,
+        ..Default::default()
     };
     let campaign = Campaign::new(&q, PlatformConfig::default());
     let single = campaign.run(&mk(1), &data.test).unwrap();

@@ -103,6 +103,7 @@ fn campaign_records_match_direct_injection() {
                 eval_images: 4,
                 threads: 1,
                 verbose: false,
+                ..Default::default()
             },
             &eval,
         )
