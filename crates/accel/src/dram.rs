@@ -15,7 +15,11 @@ impl Dram {
     /// Allocates a zeroed DRAM of `capacity` bytes.
     #[must_use]
     pub fn new(capacity: u64) -> Self {
-        Dram { data: vec![0; capacity as usize], bytes_read: 0, bytes_written: 0 }
+        Dram {
+            data: vec![0; capacity as usize],
+            bytes_read: 0,
+            bytes_written: 0,
+        }
     }
 
     /// Capacity in bytes.
@@ -49,7 +53,11 @@ impl Dram {
             capacity: self.capacity(),
         })?;
         if end > self.capacity() {
-            return Err(AccelError::DramOutOfBounds { addr, len, capacity: self.capacity() });
+            return Err(AccelError::DramOutOfBounds {
+                addr,
+                len,
+                capacity: self.capacity(),
+            });
         }
         Ok((addr as usize, end as usize))
     }
@@ -72,7 +80,12 @@ impl Dram {
     /// # Errors
     ///
     /// Returns [`AccelError::DramOutOfBounds`] on a bad range.
-    pub fn read_i8_into(&mut self, addr: u64, len: u64, out: &mut Vec<i8>) -> Result<(), AccelError> {
+    pub fn read_i8_into(
+        &mut self,
+        addr: u64,
+        len: u64,
+        out: &mut Vec<i8>,
+    ) -> Result<(), AccelError> {
         let (a, b) = self.check(addr, len)?;
         self.bytes_read += len;
         out.clear();
@@ -148,7 +161,10 @@ mod tests {
         let mut d = Dram::new(16);
         assert!(d.write_i8(15, &[0, 0]).is_err());
         assert!(d.read_i32(14, 1).is_err());
-        assert!(d.read_i8(u64::MAX, 2).is_err(), "overflowing range must fail");
+        assert!(
+            d.read_i8(u64::MAX, 2).is_err(),
+            "overflowing range must fail"
+        );
         let err = d.read_i8(20, 1).unwrap_err();
         assert!(err.to_string().contains("out of bounds"));
     }

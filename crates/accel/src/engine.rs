@@ -140,6 +140,8 @@ struct Scratch {
     packed: Vec<i8>,
     /// Logit staging for the linear head.
     logits: Vec<i32>,
+    /// Quantized-input staging of the f32 convenience wrappers.
+    qinput: Vec<i8>,
     /// Batched intermediate surfaces (dense CHW, batch-major), by address.
     batch_surfaces: HashMap<u64, Vec<i8>>,
 }
@@ -358,7 +360,9 @@ impl Accelerator {
     /// and replaying the writes per device keeps re-injection allocation-free.
     pub fn inject_writes(&mut self, writes: &[RegWrite]) {
         for w in writes {
-            self.csb.write(w.addr, w.value).expect("FI registers are mapped");
+            self.csb
+                .write(w.addr, w.value)
+                .expect("FI registers are mapped");
         }
     }
 
@@ -394,40 +398,75 @@ impl Accelerator {
     ///
     /// # Errors
     ///
-    /// Returns [`AccelError::NoPlan`] without a loaded plan, or any engine
-    /// error.
+    /// Returns [`AccelError::NoPlan`] without a loaded plan,
+    /// [`AccelError::BadPlan`] if `image` is not exactly one plan-shaped
+    /// image, or any engine error.
     pub fn run_inference(&mut self, image: &Tensor<f32>) -> Result<InferenceResult, AccelError> {
         let plan = self.plan.as_ref().ok_or(AccelError::NoPlan)?;
+        let s = image.shape();
+        if s.n != 1 || s != plan.input_shape.with_n(1) {
+            return Err(AccelError::BadPlan(format!(
+                "input {s} does not match plan input {} (single image)",
+                plan.input_shape
+            )));
+        }
         let scale = plan.input_scale;
-        let qimg = image.map(|v| sat::quantize_f32_to_i8(v, scale));
-        self.run_inference_i8(&qimg)
+        let mut qimg = std::mem::take(&mut self.scratch.qinput);
+        nvfi_quant::batch::quantize_slice_into(image.as_slice(), scale, &mut qimg);
+        let result = self.run_inference_i8_view(&qimg);
+        self.scratch.qinput = qimg;
+        result
     }
 
     /// Runs one pre-quantized i8 image.
     ///
     /// # Errors
     ///
-    /// Returns [`AccelError::NoPlan`] without a loaded plan, or any engine
-    /// error.
+    /// Returns [`AccelError::NoPlan`] without a loaded plan,
+    /// [`AccelError::BadPlan`] if `image` is not exactly one plan-shaped
+    /// image (multi-image batches go through
+    /// [`Accelerator::run_batch_i8`]), or any engine error.
     pub fn run_inference_i8(&mut self, image: &Tensor<i8>) -> Result<InferenceResult, AccelError> {
-        let plan = self.plan.clone().ok_or(AccelError::NoPlan)?;
+        let plan = self.plan.as_ref().ok_or(AccelError::NoPlan)?;
         let s = image.shape();
-        if s.with_n(1) != plan.input_shape.with_n(1) {
+        if s.n != 1 || s != plan.input_shape.with_n(1) {
             return Err(AccelError::BadPlan(format!(
-                "input {s} does not match plan input {}",
+                "input {s} does not match plan input {} (single image)",
                 plan.input_shape
+            )));
+        }
+        self.run_inference_i8_view(image.image(0))
+    }
+
+    /// Runs one pre-quantized i8 image borrowed as a dense CHW slice — the
+    /// zero-copy entry point device pools drive with sub-views of a
+    /// campaign-lifetime quantized evaluation set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::NoPlan`] without a loaded plan,
+    /// [`AccelError::BadPlan`] if `image.len()` is not exactly one plan
+    /// input image, or any engine error.
+    pub fn run_inference_i8_view(&mut self, image: &[i8]) -> Result<InferenceResult, AccelError> {
+        let plan = self.plan.clone().ok_or(AccelError::NoPlan)?;
+        let in_shape = plan.input_shape.with_n(1);
+        if image.len() != in_shape.image_len() {
+            return Err(AccelError::BadPlan(format!(
+                "input of {} pixels does not match plan input {} ({} pixels)",
+                image.len(),
+                plan.input_shape,
+                in_shape.image_len()
             )));
         }
         // Per-inference cycle numbering: transient windows gate on cycles
         // since *this* launch, not since plan load.
         self.cycle = 0;
         // Host writes the input surface.
-        let in_shape = plan.input_shape.with_n(1);
         self.scratch.packed.resize(
             surface::surface_bytes(in_shape.c, in_shape.h, in_shape.w),
             0,
         );
-        surface::pack_surface_into(image.image(0), in_shape, &mut self.scratch.packed);
+        surface::pack_surface_into(image, in_shape, &mut self.scratch.packed);
         let packed = std::mem::take(&mut self.scratch.packed);
         self.dram.write_i8(plan.input_addr, &packed)?;
         self.scratch.packed = packed;
@@ -441,7 +480,11 @@ impl Accelerator {
         }
         let logits = self.dram.read_i32(plan.output_addr, plan.num_classes)?;
         let class = nvfi_quant::exec::argmax(&logits);
-        Ok(InferenceResult { logits, class, perf: self.perf_report() })
+        Ok(InferenceResult {
+            logits,
+            class,
+            perf: self.perf_report(),
+        })
     }
 
     fn perf_report(&self) -> PerfReport {
@@ -466,25 +509,50 @@ impl Accelerator {
         &mut self,
         images: &Tensor<i8>,
     ) -> Result<Vec<InferenceResult>, AccelError> {
-        let plan = self.plan.clone().ok_or(AccelError::NoPlan)?;
+        let plan = self.plan.as_ref().ok_or(AccelError::NoPlan)?;
         let bs = images.shape();
-        if bs.n == 0 {
-            return Ok(Vec::new());
-        }
-        if bs.with_n(1) != plan.input_shape.with_n(1) {
+        if bs.n > 0 && bs.with_n(1) != plan.input_shape.with_n(1) {
             return Err(AccelError::BadPlan(format!(
                 "input {bs} does not match plan input {}",
                 plan.input_shape
             )));
         }
-        if bs.n == 1 || self.effective_exact()? {
-            let mut out = Vec::with_capacity(bs.n);
-            for n in 0..bs.n {
-                out.push(self.run_inference_i8(&images.slice_image(n))?);
+        self.run_batch_i8_view(images.as_slice())
+    }
+
+    /// Runs a mini-batch of pre-quantized i8 images borrowed as dense,
+    /// back-to-back CHW slices — [`Accelerator::run_batch_i8`] without the
+    /// owning [`Tensor`]: device pools point this at sub-views of a
+    /// campaign-lifetime quantized evaluation set, so the per-call cost is
+    /// zero copies and zero quantization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::NoPlan`] without a loaded plan,
+    /// [`AccelError::BadPlan`] if `images.len()` is not a whole number of
+    /// plan input images, or any engine error.
+    pub fn run_batch_i8_view(&mut self, images: &[i8]) -> Result<Vec<InferenceResult>, AccelError> {
+        let plan = self.plan.clone().ok_or(AccelError::NoPlan)?;
+        let image_len = plan.input_shape.with_n(1).image_len();
+        if !images.len().is_multiple_of(image_len) {
+            return Err(AccelError::BadPlan(format!(
+                "batch of {} pixels is not a whole number of plan input images \
+                 ({} pixels each)",
+                images.len(),
+                image_len
+            )));
+        }
+        let b_n = images.len() / image_len;
+        if b_n == 0 {
+            return Ok(Vec::new());
+        }
+        if b_n == 1 || self.effective_exact()? {
+            let mut out = Vec::with_capacity(b_n);
+            for n in 0..b_n {
+                out.push(self.run_inference_i8_view(&images[n * image_len..(n + 1) * image_len])?);
             }
             return Ok(out);
         }
-        let b_n = bs.n;
         self.cycle = 0;
         // Seed the surface map with the (already dense NCHW) input batch.
         let input_buf = self
@@ -493,7 +561,7 @@ impl Accelerator {
             .entry(plan.input_addr)
             .or_default();
         input_buf.clear();
-        input_buf.extend_from_slice(images.as_slice());
+        input_buf.extend_from_slice(images);
         let mut logits_per_image: Vec<Vec<i32>> = Vec::new();
         for (i, op) in plan.ops.iter().enumerate() {
             match op {
@@ -516,35 +584,69 @@ impl Accelerator {
             .into_iter()
             .map(|logits| {
                 let class = nvfi_quant::exec::argmax(&logits);
-                InferenceResult { logits, class, perf: self.perf_report() }
+                InferenceResult {
+                    logits,
+                    class,
+                    perf: self.perf_report(),
+                }
             })
             .collect())
     }
 
-    /// Classifies a batch of f32 images, running the fast path over
-    /// mini-batches of [`AccelConfig::batch`] images.
+    /// Classifies a batch of f32 images: one quantization pass over the
+    /// whole batch, then [`Accelerator::classify_batch_i8`]. A thin
+    /// quantize-then-delegate wrapper — quantization is elementwise, so the
+    /// predictions are bit-identical to quantizing per mini-batch (or per
+    /// image).
     ///
     /// # Errors
     ///
     /// Propagates the first engine error.
     pub fn classify_batch(&mut self, images: &Tensor<f32>) -> Result<Vec<u8>, AccelError> {
-        let plan = self.plan.clone().ok_or(AccelError::NoPlan)?;
-        let scale = plan.input_scale;
+        let plan = self.plan.as_ref().ok_or(AccelError::NoPlan)?;
         let s = images.shape();
+        if s.n > 0 && s.with_n(1) != plan.input_shape.with_n(1) {
+            return Err(AccelError::BadPlan(format!(
+                "input {s} does not match plan input {}",
+                plan.input_shape
+            )));
+        }
+        let scale = plan.input_scale;
+        let mut qbatch = std::mem::take(&mut self.scratch.qinput);
+        nvfi_quant::batch::quantize_slice_into(images.as_slice(), scale, &mut qbatch);
+        let result = self.classify_batch_i8(&qbatch);
+        self.scratch.qinput = qbatch;
+        result
+    }
+
+    /// Classifies a batch of pre-quantized i8 images borrowed as dense,
+    /// back-to-back CHW slices, running the fast path over mini-batches of
+    /// [`AccelConfig::batch`] images. Each mini-batch is a borrowed sub-view
+    /// — no per-call copy and no quantization, which is what lets a
+    /// fault-injection campaign quantize its evaluation set exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::BadPlan`] if `images.len()` is not a whole
+    /// number of plan input images; propagates the first engine error.
+    pub fn classify_batch_i8(&mut self, images: &[i8]) -> Result<Vec<u8>, AccelError> {
+        let plan = self.plan.as_ref().ok_or(AccelError::NoPlan)?;
+        let image_len = plan.input_shape.with_n(1).image_len();
+        if !images.len().is_multiple_of(image_len) {
+            return Err(AccelError::BadPlan(format!(
+                "batch of {} pixels is not a whole number of plan input images \
+                 ({} pixels each)",
+                images.len(),
+                image_len
+            )));
+        }
+        let n = images.len() / image_len;
         let batch = self.config.batch.max(1);
-        let mut out = Vec::with_capacity(s.n);
+        let mut out = Vec::with_capacity(n);
         let mut n0 = 0;
-        while n0 < s.n {
-            let nn = (n0 + batch).min(s.n);
-            let chunk_shape = s.with_n(nn - n0);
-            let chunk = Tensor::from_vec(
-                chunk_shape,
-                images.as_slice()[n0 * s.image_len()..nn * s.image_len()]
-                    .iter()
-                    .map(|&v| sat::quantize_f32_to_i8(v, scale))
-                    .collect(),
-            );
-            for r in self.run_batch_i8(&chunk)? {
+        while n0 < n {
+            let nn = (n0 + batch).min(n);
+            for r in self.run_batch_i8_view(&images[n0 * image_len..nn * image_len])? {
                 out.push(r.class);
             }
             n0 = nn;
@@ -561,11 +663,7 @@ impl Accelerator {
     /// # Panics
     ///
     /// Panics if `labels.len() != images.shape().n`.
-    pub fn accuracy(
-        &mut self,
-        images: &Tensor<f32>,
-        labels: &[u8],
-    ) -> Result<f64, AccelError> {
+    pub fn accuracy(&mut self, images: &Tensor<f32>, labels: &[u8]) -> Result<f64, AccelError> {
         assert_eq!(images.shape().n, labels.len());
         if labels.is_empty() {
             return Ok(0.0);
@@ -604,7 +702,8 @@ impl Accelerator {
         let g = op.geom;
         let in_shape = g.input.with_n(1);
         let in_bytes = surface::surface_bytes(g.input.c, g.input.h, g.input.w) as u64;
-        self.dram.read_i8_into(op.input_addr, in_bytes, &mut self.scratch.dma)?;
+        self.dram
+            .read_i8_into(op.input_addr, in_bytes, &mut self.scratch.dma)?;
         self.scratch.input.resize(in_shape.image_len(), 0);
         surface::unpack_surface_into(&self.scratch.dma, in_shape, &mut self.scratch.input);
         // Residual surface, if fused.
@@ -612,7 +711,8 @@ impl Accelerator {
         let residual = match op.fuse_add_addr {
             Some(addr) => {
                 let bytes = surface::surface_bytes(g.k, g.oh, g.ow) as u64;
-                self.dram.read_i8_into(addr, bytes, &mut self.scratch.res_raw)?;
+                self.dram
+                    .read_i8_into(addr, bytes, &mut self.scratch.res_raw)?;
                 self.scratch.res.resize(out_shape.image_len(), 0);
                 surface::unpack_surface_into(
                     &self.scratch.res_raw,
@@ -627,8 +727,8 @@ impl Accelerator {
         let this = &mut *self;
         let fi = &this.csb.fi;
         let gated = this.config.idle_lanes == IdleLanePolicy::Gated;
-        let weights = &this.arena.entries[this.arena.by_op[op_idx].expect("conv has weights")]
-            .weights;
+        let weights =
+            &this.arena.entries[this.arena.by_op[op_idx].expect("conv has weights")].weights;
         let scratch = &mut this.scratch;
         scratch.acc.resize(g.k * g.oh * g.ow, 0);
         if exact {
@@ -688,7 +788,12 @@ impl Accelerator {
 
     /// Batched fast-path convolution: surfaces come from and go to the
     /// scratch surface map; one GEMM covers the whole mini-batch.
-    fn exec_conv_batch(&mut self, op_idx: usize, op: &ConvOp, b_n: usize) -> Result<(), AccelError> {
+    fn exec_conv_batch(
+        &mut self,
+        op_idx: usize,
+        op: &ConvOp,
+        b_n: usize,
+    ) -> Result<(), AccelError> {
         self.refresh_weights(op_idx)?;
         let g = op.geom;
         let in_len = g.input.image_len();
@@ -701,8 +806,8 @@ impl Accelerator {
         let this = &mut *self;
         let fi = &this.csb.fi;
         let gated = this.config.idle_lanes == IdleLanePolicy::Gated;
-        let weights = &this.arena.entries[this.arena.by_op[op_idx].expect("conv has weights")]
-            .weights;
+        let weights =
+            &this.arena.entries[this.arena.by_op[op_idx].expect("conv has weights")].weights;
         let scratch = &mut this.scratch;
         let input = scratch
             .batch_surfaces
@@ -782,7 +887,8 @@ impl Accelerator {
     fn exec_pool(&mut self, op: &PoolOp) -> Result<(), AccelError> {
         let s = op.in_shape;
         let bytes = surface::surface_bytes(s.c, s.h, s.w) as u64;
-        self.dram.read_i8_into(op.input_addr, bytes, &mut self.scratch.dma)?;
+        self.dram
+            .read_i8_into(op.input_addr, bytes, &mut self.scratch.dma)?;
         self.scratch.input.resize(s.image_len(), 0);
         surface::unpack_surface_into(&self.scratch.dma, s.with_n(1), &mut self.scratch.input);
         let o = op.out_shape();
@@ -830,7 +936,8 @@ impl Accelerator {
         self.refresh_weights(op_idx)?;
         let in_shape = Shape4::new(1, op.in_f, 1, 1);
         let bytes = surface::surface_bytes(op.in_f, 1, 1) as u64;
-        self.dram.read_i8_into(op.input_addr, bytes, &mut self.scratch.dma)?;
+        self.dram
+            .read_i8_into(op.input_addr, bytes, &mut self.scratch.dma)?;
         self.scratch.input.resize(in_shape.image_len(), 0);
         surface::unpack_surface_into(&self.scratch.dma, in_shape, &mut self.scratch.input);
         // The head runs on the same MAC array as a 1x1 convolution over a
@@ -839,8 +946,8 @@ impl Accelerator {
         let this = &mut *self;
         let fi = &this.csb.fi;
         let gated = this.config.idle_lanes == IdleLanePolicy::Gated;
-        let weights = &this.arena.entries[this.arena.by_op[op_idx].expect("linear has weights")]
-            .weights;
+        let weights =
+            &this.arena.entries[this.arena.by_op[op_idx].expect("linear has weights")].weights;
         let scratch = &mut this.scratch;
         scratch.acc.resize(op.out_f, 0);
         if exact {
@@ -899,14 +1006,18 @@ impl Accelerator {
         let this = &mut *self;
         let fi = &this.csb.fi;
         let gated = this.config.idle_lanes == IdleLanePolicy::Gated;
-        let weights = &this.arena.entries[this.arena.by_op[op_idx].expect("linear has weights")]
-            .weights;
+        let weights =
+            &this.arena.entries[this.arena.by_op[op_idx].expect("linear has weights")].weights;
         let scratch = &mut this.scratch;
         let input = scratch
             .batch_surfaces
             .remove(&op.input_addr)
             .expect("batched linear input surface computed");
-        assert_eq!(input.len(), b_n * op.in_f, "batched linear input length mismatch");
+        assert_eq!(
+            input.len(),
+            b_n * op.in_f,
+            "batched linear input length mismatch"
+        );
         // B operand: (in_f x b_n), i.e. the batch-major input transposed.
         scratch.cols.resize(op.in_f * b_n, 0);
         for b in 0..b_n {
@@ -1033,7 +1144,11 @@ fn apply_fast_corrections_into(
     let (h, w) = (g.input.h, g.input.w);
     for lane in fi.selected_lanes() {
         let (m, j) = (lane.mac as usize, lane.mult as usize);
-        let real_blocks = if j < g.input.c { (g.input.c - 1 - j) / 8 + 1 } else { 0 };
+        let real_blocks = if j < g.input.c {
+            (g.input.c - 1 - j) / 8 + 1
+        } else {
+            0
+        };
         let blocks = if gated { real_blocks } else { cb_n };
         let nprod = (blocks * g.r * g.s) as i64;
         let mut k = m;
@@ -1048,9 +1163,9 @@ fn apply_fast_corrections_into(
                                 let iy = (oy * g.stride + r) as isize - g.pad as isize;
                                 let ix = (ox * g.stride + s) as isize - g.pad as isize;
                                 if iy >= 0 && ix >= 0 && iy < h as isize && ix < w as isize {
-                                    lanesum += i64::from(
-                                        input[(c * h + iy as usize) * w + ix as usize],
-                                    ) * i64::from(weights.at(k, c, r, s));
+                                    lanesum +=
+                                        i64::from(input[(c * h + iy as usize) * w + ix as usize])
+                                            * i64::from(weights.at(k, c, r, s));
                                 }
                             }
                         }
@@ -1110,9 +1225,15 @@ fn pool_into(op: &PoolOp, input: &[i8], out: &mut [i8]) {
     match op.kind {
         PoolKind::Max => {
             let (k, stride) = (op.k, op.stride);
-            assert!(k > 0 && stride > 0, "pooling window and stride must be positive");
             assert!(
-                s.h >= k && s.w >= k && (s.h - k).is_multiple_of(stride) && (s.w - k).is_multiple_of(stride),
+                k > 0 && stride > 0,
+                "pooling window and stride must be positive"
+            );
+            assert!(
+                s.h >= k
+                    && s.w >= k
+                    && (s.h - k).is_multiple_of(stride)
+                    && (s.w - k).is_multiple_of(stride),
                 "pool {k}/{stride} does not tile {s}"
             );
             let oh = (s.h - k) / stride + 1;

@@ -31,16 +31,21 @@ pub enum AccelError {
 impl fmt::Display for AccelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AccelError::DramOutOfBounds { addr, len, capacity } => write!(
+            AccelError::DramOutOfBounds {
+                addr,
+                len,
+                capacity,
+            } => write!(
                 f,
                 "dram access out of bounds: {len} bytes at {addr:#x} (capacity {capacity:#x})"
             ),
             AccelError::NoPlan => write!(f, "no execution plan loaded"),
             AccelError::BadPlan(why) => write!(f, "malformed execution plan: {why}"),
             AccelError::BadRegister { addr } => write!(f, "unmapped register {addr:#06x}"),
-            AccelError::FastPathUnsupported =>
-
-                write!(f, "fast path cannot express the programmed faults; use ExecMode::Exact"),
+            AccelError::FastPathUnsupported => write!(
+                f,
+                "fast path cannot express the programmed faults; use ExecMode::Exact"
+            ),
         }
     }
 }

@@ -1,8 +1,8 @@
 //! The fault-injection block: 64 per-multiplier 18-bit override muxes.
 
-use nvfi_hwnum::I18;
 use nvfi_compiler::plan::RegWrite;
 use nvfi_compiler::regmap::{self, MultId};
+use nvfi_hwnum::I18;
 use std::ops::Range;
 
 /// High-level fault kinds expressible with the injector registers.
@@ -78,12 +78,30 @@ impl FaultConfig {
         }
         let (fsel, fdata, xor) = self.kind.registers();
         vec![
-            RegWrite { addr: regmap::REG_FI_SEL_A, value: sel as u32 },
-            RegWrite { addr: regmap::REG_FI_SEL_B, value: (sel >> 32) as u32 },
-            RegWrite { addr: regmap::REG_FI_FSEL, value: fsel },
-            RegWrite { addr: regmap::REG_FI_FDATA, value: fdata },
-            RegWrite { addr: regmap::REG_FI_XOR, value: xor },
-            RegWrite { addr: regmap::REG_FI_CTRL, value: 1 },
+            RegWrite {
+                addr: regmap::REG_FI_SEL_A,
+                value: sel as u32,
+            },
+            RegWrite {
+                addr: regmap::REG_FI_SEL_B,
+                value: (sel >> 32) as u32,
+            },
+            RegWrite {
+                addr: regmap::REG_FI_FSEL,
+                value: fsel,
+            },
+            RegWrite {
+                addr: regmap::REG_FI_FDATA,
+                value: fdata,
+            },
+            RegWrite {
+                addr: regmap::REG_FI_XOR,
+                value: xor,
+            },
+            RegWrite {
+                addr: regmap::REG_FI_CTRL,
+                value: 1,
+            },
         ]
     }
 }
@@ -207,7 +225,10 @@ mod tests {
         assert_eq!(FaultKind::StuckAtZero.registers(), (0x3FFFF, 0, 0));
         assert_eq!(FaultKind::Constant(-1).registers(), (0x3FFFF, 0x3FFFF, 0));
         assert_eq!(FaultKind::Constant(1).registers(), (0x3FFFF, 1, 0));
-        assert_eq!(FaultKind::FlipBits { mask: 0b101 }.registers(), (0, 0, 0b101));
+        assert_eq!(
+            FaultKind::FlipBits { mask: 0b101 }.registers(),
+            (0, 0, 0b101)
+        );
         assert!(FaultKind::Constant(5).is_full_override());
         assert!(!FaultKind::StuckBits { fsel: 1, fdata: 1 }.is_full_override());
         assert!(!FaultKind::FlipBits { mask: 1 }.is_full_override());
@@ -291,7 +312,11 @@ mod tests {
         bank.write(regmap::REG_FI_FDATA, 0xFFFF_FFFF);
         assert_eq!(bank.read(regmap::REG_FI_SEL_A), Some(0xAAAA_5555));
         assert_eq!(bank.read(regmap::REG_FI_SEL_B), Some(0x1234_5678));
-        assert_eq!(bank.read(regmap::REG_FI_FDATA), Some(0x3FFFF), "fdata masked to 18 bits");
+        assert_eq!(
+            bank.read(regmap::REG_FI_FDATA),
+            Some(0x3FFFF),
+            "fdata masked to 18 bits"
+        );
         assert_eq!(bank.read(0x9999), None);
     }
 }

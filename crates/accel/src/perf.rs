@@ -108,7 +108,11 @@ pub fn op_cycles(op: &PlanOp) -> (u64, u64) {
             let in_bytes = surface::surface_bytes(g.input.c, g.input.h, g.input.w) as u64;
             let w_bytes = surface::weight_bytes(g.k, g.input.c, g.r, g.s) as u64;
             let out_bytes = surface::surface_bytes(g.k, g.oh, g.ow) as u64;
-            let res_bytes = if c.fuse_add_addr.is_some() { out_bytes } else { 0 };
+            let res_bytes = if c.fuse_add_addr.is_some() {
+                out_bytes
+            } else {
+                0
+            };
             let dma = in_bytes + w_bytes + out_bytes + res_bytes;
             (mac.max(dma / DMA_BYTES_PER_CYCLE) + OP_SETUP_CYCLES, dma)
         }
@@ -136,7 +140,10 @@ pub fn op_cycles(op: &PlanOp) -> (u64, u64) {
 /// Builds the full report for a plan at a given clock.
 #[must_use]
 pub fn plan_report(plan: &ExecutionPlan, clock_hz: f64) -> PerfReport {
-    let mut report = PerfReport { clock_hz, ..Default::default() };
+    let mut report = PerfReport {
+        clock_hz,
+        ..Default::default()
+    };
     for op in &plan.ops {
         let (cycles, dma) = op_cycles(op);
         report.op_cycles.push(cycles);
@@ -144,8 +151,8 @@ pub fn plan_report(plan: &ExecutionPlan, clock_hz: f64) -> PerfReport {
         report.dma_bytes += dma;
         if let PlanOp::Conv(c) = op {
             let g = &c.geom;
-            report.mac_cycles += (g.oh * g.ow * g.k.div_ceil(8) * g.input.c.div_ceil(8) * g.r * g.s)
-                as u64;
+            report.mac_cycles +=
+                (g.oh * g.ow * g.k.div_ceil(8) * g.input.c.div_ceil(8) * g.r * g.s) as u64;
         }
         if let PlanOp::Pool(p) = op {
             // PDP work is accounted in op cycles only.

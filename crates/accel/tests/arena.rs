@@ -18,12 +18,12 @@ use proptest::prelude::*;
 /// A small random conv + pool + linear model plus a batch of images.
 fn case() -> impl Strategy<Value = (QuantModel, Tensor<f32>, Vec<MultId>, i32, u64)> {
     (
-        1usize..10,  // input channels
-        1usize..14,  // output channels
-        4usize..7,   // spatial size
-        1usize..3,   // stride
-        0usize..2,   // pad
-        2usize..6,   // batch size
+        1usize..10, // input channels
+        1usize..14, // output channels
+        4usize..7,  // spatial size
+        1usize..3,  // stride
+        0usize..2,  // pad
+        2usize..6,  // batch size
         proptest::collection::vec(0usize..64, 1..4),
         -131072i32..131072,
         any::<u64>(),
@@ -55,7 +55,11 @@ fn case() -> impl Strategy<Value = (QuantModel, Tensor<f32>, Vec<MultId>, i32, u
                         }),
                         out_scale: 0.1,
                     },
-                    QOp { input: 1, kind: QOpKind::GlobalAvgPool, out_scale: 0.1 },
+                    QOp {
+                        input: 1,
+                        kind: QOpKind::GlobalAvgPool,
+                        out_scale: 0.1,
+                    },
                     QOp {
                         input: 2,
                         kind: QOpKind::Linear(QLinear {

@@ -16,8 +16,12 @@ use nvfi_quant::{quantize, QuantConfig, QuantModel};
 use nvfi_tensor::Tensor;
 
 fn build_model(width: usize, seed: u64) -> (QuantModel, nvfi_dataset::TrainTest) {
-    let data = SynthCifar::new(SynthCifarConfig { train: 16, test: 8, ..Default::default() })
-        .generate();
+    let data = SynthCifar::new(SynthCifarConfig {
+        train: 16,
+        test: 8,
+        ..Default::default()
+    })
+    .generate();
     let net = ResNet::new(width, &[1, 1], 10, seed);
     let deploy = fold_resnet(&net, 32);
     let q = quantize(&deploy, &data.train.images, &QuantConfig::default()).unwrap();
@@ -26,7 +30,11 @@ fn build_model(width: usize, seed: u64) -> (QuantModel, nvfi_dataset::TrainTest)
 
 fn accel_with(q: &QuantModel, mode: ExecMode, idle: IdleLanePolicy) -> Accelerator {
     let plan = nvfi_compiler::compile(q, nvfi_compiler::lower::DEFAULT_DRAM_CAPACITY).unwrap();
-    let mut a = Accelerator::new(AccelConfig { mode, idle_lanes: idle, ..Default::default() });
+    let mut a = Accelerator::new(AccelConfig {
+        mode,
+        idle_lanes: idle,
+        ..Default::default()
+    });
     a.load_plan(&plan).unwrap();
     a
 }
@@ -105,7 +113,10 @@ fn fast_equals_exact_for_full_override_faults() {
 #[test]
 fn register_programming_equals_api_injection() {
     let (q, data) = build_model(4, 13);
-    let cfg = FaultConfig::new(vec![MultId::new(1, 7), MultId::new(6, 0)], FaultKind::Constant(1));
+    let cfg = FaultConfig::new(
+        vec![MultId::new(1, 7), MultId::new(6, 0)],
+        FaultKind::Constant(1),
+    );
 
     let mut via_api = accel_with(&q, ExecMode::Auto, IdleLanePolicy::ZeroFed);
     via_api.inject(&cfg);
@@ -113,8 +124,12 @@ fn register_programming_equals_api_injection() {
     let mut via_regs = accel_with(&q, ExecMode::Auto, IdleLanePolicy::ZeroFed);
     // Program the same thing with raw AXI4-Lite writes.
     let sel: u64 = (1 << MultId::new(1, 7).lane()) | (1 << MultId::new(6, 0).lane());
-    via_regs.csb_write(regmap::REG_FI_SEL_A, sel as u32).unwrap();
-    via_regs.csb_write(regmap::REG_FI_SEL_B, (sel >> 32) as u32).unwrap();
+    via_regs
+        .csb_write(regmap::REG_FI_SEL_A, sel as u32)
+        .unwrap();
+    via_regs
+        .csb_write(regmap::REG_FI_SEL_B, (sel >> 32) as u32)
+        .unwrap();
     via_regs.csb_write(regmap::REG_FI_FSEL, 0x3FFFF).unwrap();
     via_regs.csb_write(regmap::REG_FI_FDATA, 1).unwrap();
     via_regs.csb_write(regmap::REG_FI_CTRL, 1).unwrap();
@@ -138,7 +153,10 @@ fn faults_actually_corrupt_outputs() {
     let img = data.test.images.slice_image(0);
     let a = clean.run_inference(&img).unwrap();
     let b = faulty.run_inference(&img).unwrap();
-    assert_ne!(a.logits, b.logits, "an all-lane max-value fault must corrupt the logits");
+    assert_ne!(
+        a.logits, b.logits,
+        "an all-lane max-value fault must corrupt the logits"
+    );
 }
 
 #[test]
@@ -147,7 +165,10 @@ fn clear_faults_restores_clean_behaviour() {
     let mut accel = accel_with(&q, ExecMode::Auto, IdleLanePolicy::ZeroFed);
     let img = data.test.images.slice_image(2);
     let clean = accel.run_inference(&img).unwrap().logits;
-    accel.inject(&FaultConfig::new(vec![MultId::new(2, 2)], FaultKind::StuckAtZero));
+    accel.inject(&FaultConfig::new(
+        vec![MultId::new(2, 2)],
+        FaultKind::StuckAtZero,
+    ));
     let _ = accel.run_inference(&img).unwrap();
     accel.clear_faults();
     assert_eq!(accel.run_inference(&img).unwrap().logits, clean);
@@ -159,7 +180,10 @@ fn fast_mode_rejects_partial_overrides() {
     let mut accel = accel_with(&q, ExecMode::Fast, IdleLanePolicy::ZeroFed);
     accel.inject(&FaultConfig::new(
         vec![MultId::new(0, 0)],
-        FaultKind::StuckBits { fsel: 1 << 17, fdata: 1 << 17 },
+        FaultKind::StuckBits {
+            fsel: 1 << 17,
+            fdata: 1 << 17,
+        },
     ));
     let img = data.test.images.slice_image(0);
     assert!(matches!(
@@ -180,7 +204,10 @@ fn flip_bits_fault_is_an_involution() {
     let mut clean = accel_with(&q, ExecMode::Auto, IdleLanePolicy::ZeroFed);
     let clean_logits = clean.run_inference(&img).unwrap().logits;
 
-    let cfg = FaultConfig::new(vec![MultId::new(0, 0)], FaultKind::FlipBits { mask: 1 << 16 });
+    let cfg = FaultConfig::new(
+        vec![MultId::new(0, 0)],
+        FaultKind::FlipBits { mask: 1 << 16 },
+    );
     let mut auto = accel_with(&q, ExecMode::Auto, IdleLanePolicy::ZeroFed);
     let mut exact = accel_with(&q, ExecMode::Exact, IdleLanePolicy::ZeroFed);
     auto.inject(&cfg);
@@ -188,7 +215,10 @@ fn flip_bits_fault_is_an_involution() {
     let a = auto.run_inference(&img).unwrap().logits;
     let e = exact.run_inference(&img).unwrap().logits;
     assert_eq!(a, e, "Auto must route flip faults through the exact engine");
-    assert_ne!(a, clean_logits, "a bit-16 flip on a busy lane must be visible");
+    assert_ne!(
+        a, clean_logits,
+        "a bit-16 flip on a busy lane must be visible"
+    );
 
     // Fast mode must refuse.
     let mut fast = accel_with(&q, ExecMode::Fast, IdleLanePolicy::ZeroFed);
@@ -206,7 +236,10 @@ fn auto_mode_handles_bit_faults_via_exact_path() {
     let mut exact = accel_with(&q, ExecMode::Exact, IdleLanePolicy::ZeroFed);
     let cfg = FaultConfig::new(
         vec![MultId::new(0, 0)],
-        FaultKind::StuckBits { fsel: 1 << 17, fdata: 1 << 17 }, // sign wire stuck at 1
+        FaultKind::StuckBits {
+            fsel: 1 << 17,
+            fdata: 1 << 17,
+        }, // sign wire stuck at 1
     );
     auto.inject(&cfg);
     exact.inject(&cfg);
@@ -222,7 +255,7 @@ fn single_lane_fault_in_single_conv_touches_only_mapped_channels() {
     // Build a single-conv network by hand and verify the mapping invariant:
     // a fault on MAC m only perturbs output channels k with k % 8 == m.
     use nvfi_hwnum::Requant;
-    use nvfi_quant::{QConv, QOp, QOpKind, QLinear};
+    use nvfi_quant::{QConv, QLinear, QOp, QOpKind};
     use nvfi_tensor::{Mat, Shape4};
 
     let k = 16usize;
@@ -249,7 +282,11 @@ fn single_lane_fault_in_single_conv_touches_only_mapped_channels() {
                 }),
                 out_scale: 0.1,
             },
-            QOp { input: 1, kind: QOpKind::GlobalAvgPool, out_scale: 0.1 },
+            QOp {
+                input: 1,
+                kind: QOpKind::GlobalAvgPool,
+                out_scale: 0.1,
+            },
             QOp {
                 input: 2,
                 kind: QOpKind::Linear(QLinear {
@@ -294,14 +331,16 @@ fn single_lane_fault_in_single_conv_touches_only_mapped_channels() {
 
     let mut touched = Vec::new();
     for kk in 0..k {
-        let differs = (0..8).any(|h| {
-            (0..8).any(|w| clean_out.at(0, kk, h, w) != fault_out.at(0, kk, h, w))
-        });
+        let differs =
+            (0..8).any(|h| (0..8).any(|w| clean_out.at(0, kk, h, w) != fault_out.at(0, kk, h, w)));
         if differs {
             touched.push(kk);
         }
         if kk % 8 != target_mac as usize {
-            assert!(!differs, "channel {kk} not mapped to MAC {target_mac} but changed");
+            assert!(
+                !differs,
+                "channel {kk} not mapped to MAC {target_mac} but changed"
+            );
         }
     }
     assert!(!touched.is_empty(), "fault had no visible effect");
@@ -314,7 +353,7 @@ fn idle_lane_policy_matters_for_narrow_layers() {
     // corrupts ZeroFed results but not Gated results *in the stem*; use a
     // single-conv model so only the stem exists.
     use nvfi_hwnum::Requant;
-    use nvfi_quant::{QConv, QOp, QOpKind, QLinear};
+    use nvfi_quant::{QConv, QLinear, QOp, QOpKind};
     use nvfi_tensor::{Mat, Shape4};
 
     // 6 output channels keep lane 6 idle in the linear head too (its input
@@ -341,7 +380,11 @@ fn idle_lane_policy_matters_for_narrow_layers() {
                 }),
                 out_scale: 0.1,
             },
-            QOp { input: 1, kind: QOpKind::GlobalAvgPool, out_scale: 0.1 },
+            QOp {
+                input: 1,
+                kind: QOpKind::GlobalAvgPool,
+                out_scale: 0.1,
+            },
             QOp {
                 input: 2,
                 kind: QOpKind::Linear(QLinear {
@@ -362,7 +405,10 @@ fn idle_lane_policy_matters_for_narrow_layers() {
     let cfg = FaultConfig::new(vec![MultId::new(0, 6)], FaultKind::Constant(1000));
 
     let run = |idle: IdleLanePolicy, faulted: bool| {
-        let mut a = Accelerator::new(AccelConfig { idle_lanes: idle, ..Default::default() });
+        let mut a = Accelerator::new(AccelConfig {
+            idle_lanes: idle,
+            ..Default::default()
+        });
         a.load_plan(&plan).unwrap();
         if faulted {
             a.inject(&cfg);
@@ -389,16 +435,25 @@ fn transient_window_limits_fault_scope() {
 
     // Window entirely after the run: no effect.
     let mut late = accel_with(&q, ExecMode::Exact, IdleLanePolicy::ZeroFed);
-    late.inject(&FaultConfig::new(MultId::all().collect(), FaultKind::Constant(131071)));
+    late.inject(&FaultConfig::new(
+        MultId::all().collect(),
+        FaultKind::Constant(131071),
+    ));
     late.set_fault_window(Some(total_cycles * 10..total_cycles * 11));
     assert_eq!(late.run_inference(&img).unwrap().logits, clean_logits);
 
     // Window covering the whole first inference: same as permanent.
     let mut pulse = accel_with(&q, ExecMode::Exact, IdleLanePolicy::ZeroFed);
-    pulse.inject(&FaultConfig::new(MultId::all().collect(), FaultKind::Constant(131071)));
+    pulse.inject(&FaultConfig::new(
+        MultId::all().collect(),
+        FaultKind::Constant(131071),
+    ));
     pulse.set_fault_window(Some(0..total_cycles + 1));
     let mut permanent = accel_with(&q, ExecMode::Exact, IdleLanePolicy::ZeroFed);
-    permanent.inject(&FaultConfig::new(MultId::all().collect(), FaultKind::Constant(131071)));
+    permanent.inject(&FaultConfig::new(
+        MultId::all().collect(),
+        FaultKind::Constant(131071),
+    ));
     assert_eq!(
         pulse.run_inference(&img).unwrap().logits,
         permanent.run_inference(&img).unwrap().logits
@@ -414,7 +469,9 @@ fn plan_via_command_fifo_matches_direct_load() {
     direct.load_plan(&plan).unwrap();
 
     let mut streamed = Accelerator::new(AccelConfig::default());
-    streamed.apply_reg_stream(&nvfi_compiler::plan::encode_reg_stream(&plan)).unwrap();
+    streamed
+        .apply_reg_stream(&nvfi_compiler::plan::encode_reg_stream(&plan))
+        .unwrap();
     streamed.commit_cmd_fifo().unwrap();
     // Weights arrive by DMA, as a real driver would do it.
     for (addr, bytes) in &plan.weight_image {
@@ -454,7 +511,10 @@ fn perf_report_is_stable_and_fault_independent() {
     let mut a = accel_with(&q, ExecMode::Auto, IdleLanePolicy::ZeroFed);
     let img = data.test.images.slice_image(0);
     let r1 = a.run_inference(&img).unwrap().perf;
-    a.inject(&FaultConfig::new(vec![MultId::new(0, 0)], FaultKind::StuckAtZero));
+    a.inject(&FaultConfig::new(
+        vec![MultId::new(0, 0)],
+        FaultKind::StuckAtZero,
+    ));
     let r2 = a.run_inference(&img).unwrap().perf;
     // FI muxes are combinational: latency identical with and without faults.
     assert_eq!(r1.total_cycles, r2.total_cycles);

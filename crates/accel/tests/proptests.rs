@@ -11,15 +11,13 @@ use nvfi_tensor::{Mat, Shape4, Tensor};
 use proptest::prelude::*;
 
 /// A random one-conv + pool + linear quantized model, input, and fault set.
-fn case() -> impl Strategy<
-    Value = (QuantModel, Tensor<f32>, Vec<MultId>, i32, bool),
-> {
+fn case() -> impl Strategy<Value = (QuantModel, Tensor<f32>, Vec<MultId>, i32, bool)> {
     (
-        1usize..12,  // input channels (exercises idle lanes)
-        1usize..14,  // output channels (exercises kernel tails)
-        4usize..7,   // spatial size
-        1usize..3,   // stride
-        0usize..2,   // pad
+        1usize..12, // input channels (exercises idle lanes)
+        1usize..14, // output channels (exercises kernel tails)
+        4usize..7,  // spatial size
+        1usize..3,  // stride
+        0usize..2,  // pad
         proptest::collection::vec(0usize..64, 1..5),
         -131072i32..131072,
         any::<bool>(),
@@ -52,7 +50,11 @@ fn case() -> impl Strategy<
                         }),
                         out_scale: 0.1,
                     },
-                    QOp { input: 1, kind: QOpKind::GlobalAvgPool, out_scale: 0.1 },
+                    QOp {
+                        input: 1,
+                        kind: QOpKind::GlobalAvgPool,
+                        out_scale: 0.1,
+                    },
                     QOp {
                         input: 2,
                         kind: QOpKind::Linear(QLinear {
@@ -82,13 +84,25 @@ fn case() -> impl Strategy<
         })
 }
 
-fn run(model: &QuantModel, image: &Tensor<f32>, mode: ExecMode, gated: bool,
-       fault: Option<&FaultConfig>) -> Vec<i32> {
+fn run(
+    model: &QuantModel,
+    image: &Tensor<f32>,
+    mode: ExecMode,
+    gated: bool,
+    fault: Option<&FaultConfig>,
+) -> Vec<i32> {
     let plan = nvfi_compiler::compile(model, nvfi_compiler::lower::DEFAULT_DRAM_CAPACITY)
         .expect("compiles");
-    let idle = if gated { IdleLanePolicy::Gated } else { IdleLanePolicy::ZeroFed };
-    let mut accel =
-        Accelerator::new(AccelConfig { mode, idle_lanes: idle, ..Default::default() });
+    let idle = if gated {
+        IdleLanePolicy::Gated
+    } else {
+        IdleLanePolicy::ZeroFed
+    };
+    let mut accel = Accelerator::new(AccelConfig {
+        mode,
+        idle_lanes: idle,
+        ..Default::default()
+    });
     accel.load_plan(&plan).expect("loads");
     if let Some(f) = fault {
         accel.inject(f);

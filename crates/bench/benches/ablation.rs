@@ -23,7 +23,13 @@ fn bench_fast_vs_exact(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_fi_exec_mode");
     g.sample_size(10);
     for (label, mode) in [("fast", ExecMode::Fast), ("exact", ExecMode::Exact)] {
-        let cfg = PlatformConfig { accel: AccelConfig { mode, ..Default::default() }, ..Default::default() };
+        let cfg = PlatformConfig {
+            accel: AccelConfig {
+                mode,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
         let mut platform = EmulationPlatform::assemble(&q, cfg).unwrap();
         platform.inject(&fault);
         g.bench_function(label, |b| b.iter(|| platform.run(&img).unwrap()));
@@ -36,14 +42,22 @@ fn bench_idle_lane_policy(c: &mut Criterion) {
     let img = data.test.images.slice_image(0);
     let mut g = c.benchmark_group("ablation_idle_lanes");
     g.sample_size(10);
-    for (label, idle) in
-        [("zero_fed", IdleLanePolicy::ZeroFed), ("gated", IdleLanePolicy::Gated)]
-    {
-        let cfg =
-            PlatformConfig { accel: AccelConfig { idle_lanes: idle, ..Default::default() }, ..Default::default() };
+    for (label, idle) in [
+        ("zero_fed", IdleLanePolicy::ZeroFed),
+        ("gated", IdleLanePolicy::Gated),
+    ] {
+        let cfg = PlatformConfig {
+            accel: AccelConfig {
+                idle_lanes: idle,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
         let mut platform = EmulationPlatform::assemble(&q, cfg).unwrap();
-        platform
-            .inject(&FaultConfig::new(vec![MultId::new(1, 1)], FaultKind::Constant(1)));
+        platform.inject(&FaultConfig::new(
+            vec![MultId::new(1, 1)],
+            FaultKind::Constant(1),
+        ));
         g.bench_function(label, |b| b.iter(|| platform.run(&img).unwrap()));
     }
     g.finish();
@@ -54,11 +68,14 @@ fn bench_conv_kernels(c: &mut Criterion) {
         ((ch * 7 + h * 3 + w) % 251) as i8
     });
     let geom = ConvGeom::new(input.shape(), 16, 3, 3, 1, 1);
-    let weights =
-        Tensor::from_fn(geom.weight_shape(), |k, ch, r, s| ((k + ch + r + s) % 17) as i8);
+    let weights = Tensor::from_fn(geom.weight_shape(), |k, ch, r, s| {
+        ((k + ch + r + s) % 17) as i8
+    });
     let mut g = c.benchmark_group("ablation_conv_kernel");
     g.sample_size(10);
-    g.bench_function("im2col_gemm", |b| b.iter(|| conv::conv2d_i8(&input, &weights, &geom, 1)));
+    g.bench_function("im2col_gemm", |b| {
+        b.iter(|| conv::conv2d_i8(&input, &weights, &geom, 1))
+    });
     g.bench_function("naive_direct", |b| {
         b.iter(|| conv::conv2d_i8_naive(&input, &weights, &geom))
     });
@@ -80,11 +97,16 @@ fn bench_quant_granularity(c: &mut Criterion) {
         let q = quantize(
             &deploy,
             &data.train.images,
-            &QuantConfig { per_channel, calib_chunk: 8 },
+            &QuantConfig {
+                per_channel,
+                calib_chunk: 8,
+            },
         )
         .unwrap();
         let input = q.quantize_input(&data.test.images.slice_image(0));
-        g.bench_function(label, |b| b.iter(|| nvfi_quant::exec::forward(&q, &input, 1)));
+        g.bench_function(label, |b| {
+            b.iter(|| nvfi_quant::exec::forward(&q, &input, 1))
+        });
     }
     g.finish();
 }

@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nvfi::campaign::{Campaign, CampaignSpec, TargetSelection};
-use nvfi::{EmulationPlatform, PlatformConfig};
+use nvfi::{DevicePool, EmulationPlatform, PlatformConfig, QuantizedEvalSet};
 use nvfi_accel::{FaultConfig, FaultKind};
 use nvfi_bench::small_fixture;
 use nvfi_compiler::regmap::MultId;
@@ -50,9 +50,13 @@ fn bench_fault_programming(c: &mut Criterion) {
 /// wall-clock is what the two-level scheduler is judged on.
 fn bench_pool_sharded_campaign(c: &mut Criterion) {
     let (q, _) = small_fixture();
-    let eval = SynthCifar::new(SynthCifarConfig { train: 0, test: 256, ..Default::default() })
-        .generate()
-        .test;
+    let eval = SynthCifar::new(SynthCifarConfig {
+        train: 0,
+        test: 256,
+        ..Default::default()
+    })
+    .generate()
+    .test;
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let campaign = Campaign::new(&q, PlatformConfig::default());
     let mk = |threads| CampaignSpec {
@@ -78,10 +82,60 @@ fn bench_pool_sharded_campaign(c: &mut Criterion) {
     g.finish();
 }
 
+/// The PR 3 quantize-once scenario, on the same one-configuration/256-image
+/// fixture as `bench_pool_sharded_campaign`: each iteration is one fault
+/// evaluation (inject, classify the whole set, clear). `f32_requant` pays
+/// one f32 → i8 quantization pass of all 256 images per evaluation — the
+/// per-work-item cost the seed campaign loop paid; `quantize_once`
+/// classifies borrowed sub-views of a `QuantizedEvalSet` built once outside
+/// the loop, which is what `Campaign::run` now does. Predictions are
+/// asserted bit-identical.
+fn bench_quantize_once(c: &mut Criterion) {
+    let (q, _) = small_fixture();
+    let eval = SynthCifar::new(SynthCifarConfig {
+        train: 0,
+        test: 256,
+        ..Default::default()
+    })
+    .generate()
+    .test;
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut pool = DevicePool::assemble(&q, PlatformConfig::default(), threads).unwrap();
+    let cfg = FaultConfig::new(vec![MultId::new(0, 7)], FaultKind::StuckAtZero);
+    let qset = QuantizedEvalSet::build(&q, &eval.images);
+    pool.inject(&cfg);
+    assert_eq!(
+        pool.classify(&eval.images).unwrap(),
+        pool.classify_i8(&qset).unwrap(),
+        "borrowed-i8 and f32 paths must agree"
+    );
+    pool.clear_faults();
+    let mut g = c.benchmark_group("campaign");
+    g.sample_size(10);
+    g.bench_function("one_cfg_256img_f32_requant", |b| {
+        b.iter(|| {
+            pool.inject(&cfg);
+            let preds = pool.classify(&eval.images).unwrap();
+            pool.clear_faults();
+            preds
+        })
+    });
+    g.bench_function("one_cfg_256img_quantize_once", |b| {
+        b.iter(|| {
+            pool.inject(&cfg);
+            let preds = pool.classify_i8(&qset).unwrap();
+            pool.clear_faults();
+            preds
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_single_fi_evaluation,
     bench_fault_programming,
-    bench_pool_sharded_campaign
+    bench_pool_sharded_campaign,
+    bench_quantize_once
 );
 criterion_main!(benches);

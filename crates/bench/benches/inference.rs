@@ -28,7 +28,9 @@ fn bench_accelerator_emulation(c: &mut Criterion) {
     let img = data.test.images.slice_image(0);
     let mut g = c.benchmark_group("table1_inference");
     g.sample_size(10);
-    g.bench_function("accel_fast_path_w4", |b| b.iter(|| platform.run(&img).unwrap()));
+    g.bench_function("accel_fast_path_w4", |b| {
+        b.iter(|| platform.run(&img).unwrap())
+    });
     g.finish();
 }
 
@@ -41,7 +43,9 @@ fn bench_accelerator_medium(c: &mut Criterion) {
     let img = data.test.images.slice_image(0);
     let mut g = c.benchmark_group("inference_medium");
     g.sample_size(10);
-    g.bench_function("accel_fast_path_w16", |b| b.iter(|| platform.run(&img).unwrap()));
+    g.bench_function("accel_fast_path_w16", |b| {
+        b.iter(|| platform.run(&img).unwrap())
+    });
     g.bench_function("accel_classify8_w16", |b| {
         b.iter(|| platform.classify(&data.test.images).unwrap())
     });

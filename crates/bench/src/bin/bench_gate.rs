@@ -1,0 +1,206 @@
+//! CI bench-regression gate: compares a fresh `cargo bench` run against the
+//! committed baselines and fails (exit 1) on a >`max_regression_pct`
+//! slowdown of any tracked scenario.
+//!
+//! ```text
+//! bench_gate <BENCH_inference_ci.json> <BENCH_inference.json>
+//! ```
+//!
+//! The first file is the criterion shim's `CRITERION_JSON` output: one JSON
+//! object per line, `{"id": "...", "mean_ns": N, "median_ns": N}`. The
+//! second is the committed `BENCH_inference.json`, whose `ci_gate` section
+//! defines the contract:
+//!
+//! ```json
+//! "ci_gate": {
+//!   "max_regression_pct": 25,
+//!   "normalize_by": "table1_inference/cpu_int8_1thread_w16",
+//!   "reference_max_regression_pct": 300,
+//!   "tracked_mean_ms": { "<bench id>": <baseline mean ms>, ... }
+//! }
+//! ```
+//!
+//! Raw wall-clock baselines are host-specific, and CI runners are not the
+//! machine the baselines were recorded on. When `normalize_by` names a
+//! scenario, every mean (fresh and baseline) is divided by that scenario's
+//! mean from its *own* run first — the compared quantity is then "time
+//! relative to the CPU reference executor on the same host", which cancels
+//! the host's absolute speed while still catching regressions that slow one
+//! path relative to the rest. Omit `normalize_by` to gate on raw means.
+//!
+//! Normalization is blind to regressions *of the reference itself* (its
+//! normalized ratio is identically 1), and a slower reference rescales —
+//! masks — everyone else's ratio. So when the `normalize_by` scenario is
+//! also tracked, its row is gated on **raw** time instead, against the
+//! looser `reference_max_regression_pct` bound (default 300%, i.e. 4x):
+//! wide enough for a slower CI runner, tight enough that a catastrophic
+//! uniform slowdown — the one shape normalization cannot see — still fails
+//! the job.
+//!
+//! A tracked scenario missing from the fresh run also fails the gate (a
+//! silently dropped bench must not pass as "no regression").
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 3 {
+        eprintln!("usage: bench_gate <fresh CRITERION_JSON lines> <committed baseline json>");
+        return ExitCode::FAILURE;
+    }
+    match run(&args[1], &args[2]) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses the shim's JSON-lines output into `id -> mean_ms`.
+fn parse_fresh(path: &str) -> Result<HashMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut means = HashMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let row = serde_json::from_str(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        let id = row
+            .get("id")
+            .and_then(serde_json::Value::as_str)
+            .ok_or_else(|| format!("{path}:{}: missing `id`", lineno + 1))?;
+        let mean_ns = row
+            .get("mean_ns")
+            .and_then(serde_json::Value::as_f64)
+            .ok_or_else(|| format!("{path}:{}: missing `mean_ns`", lineno + 1))?;
+        // Later lines win: re-running a bench appends, and the newest
+        // measurement is the one the gate should judge.
+        means.insert(id.to_string(), mean_ns / 1e6);
+    }
+    Ok(means)
+}
+
+struct Gate {
+    max_regression_pct: f64,
+    normalize_by: Option<String>,
+    reference_max_regression_pct: f64,
+    tracked_mean_ms: Vec<(String, f64)>,
+}
+
+/// Reads the `ci_gate` section of the committed baseline file.
+fn parse_baseline(path: &str) -> Result<Gate, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    let gate = doc
+        .get("ci_gate")
+        .ok_or_else(|| format!("{path}: no `ci_gate` section"))?;
+    let max_regression_pct = gate
+        .get("max_regression_pct")
+        .and_then(serde_json::Value::as_f64)
+        .ok_or_else(|| format!("{path}: ci_gate.max_regression_pct missing"))?;
+    let normalize_by = gate
+        .get("normalize_by")
+        .and_then(serde_json::Value::as_str)
+        .map(str::to_string);
+    let reference_max_regression_pct = gate
+        .get("reference_max_regression_pct")
+        .and_then(serde_json::Value::as_f64)
+        .unwrap_or(300.0);
+    let tracked = gate
+        .get("tracked_mean_ms")
+        .and_then(serde_json::Value::as_object)
+        .ok_or_else(|| format!("{path}: ci_gate.tracked_mean_ms missing"))?;
+    let mut tracked_mean_ms = Vec::new();
+    for (id, v) in tracked {
+        let ms = v
+            .as_f64()
+            .ok_or_else(|| format!("{path}: tracked_mean_ms[{id}] is not a number"))?;
+        tracked_mean_ms.push((id.clone(), ms));
+    }
+    if tracked_mean_ms.is_empty() {
+        return Err(format!("{path}: ci_gate.tracked_mean_ms is empty"));
+    }
+    Ok(Gate {
+        max_regression_pct,
+        normalize_by,
+        reference_max_regression_pct,
+        tracked_mean_ms,
+    })
+}
+
+fn run(fresh_path: &str, baseline_path: &str) -> Result<bool, String> {
+    let fresh = parse_fresh(fresh_path)?;
+    let gate = parse_baseline(baseline_path)?;
+
+    // Normalization denominators, each from its own run.
+    let (fresh_ref, base_ref) = match &gate.normalize_by {
+        Some(id) => {
+            let f = *fresh
+                .get(id)
+                .ok_or_else(|| format!("normalize_by scenario `{id}` missing from {fresh_path}"))?;
+            let b = gate
+                .tracked_mean_ms
+                .iter()
+                .find(|(tid, _)| tid == id)
+                .map(|(_, ms)| *ms)
+                .ok_or_else(|| {
+                    format!("normalize_by scenario `{id}` missing from tracked_mean_ms")
+                })?;
+            (f, b)
+        }
+        None => (1.0, 1.0),
+    };
+
+    let unit = if gate.normalize_by.is_some() {
+        "rel"
+    } else {
+        "ms"
+    };
+    println!(
+        "bench gate: max regression {:.0}%{}",
+        gate.max_regression_pct,
+        gate.normalize_by
+            .as_deref()
+            .map(|id| format!(", normalized by `{id}`"))
+            .unwrap_or_default()
+    );
+    let mut ok = true;
+    for (id, base_ms) in &gate.tracked_mean_ms {
+        let Some(&fresh_ms) = fresh.get(id) else {
+            println!("  FAIL {id:<44} missing from the fresh run");
+            ok = false;
+            continue;
+        };
+        // The reference scenario's normalized ratio is identically 1 (and a
+        // slower reference would mask everyone else), so gate it on raw
+        // time against the looser host-tolerant bound instead.
+        let is_reference = gate.normalize_by.as_deref() == Some(id);
+        let (base, new, unit, limit) = if is_reference {
+            (*base_ms, fresh_ms, "ms", gate.reference_max_regression_pct)
+        } else {
+            (
+                base_ms / base_ref,
+                fresh_ms / fresh_ref,
+                unit,
+                gate.max_regression_pct,
+            )
+        };
+        let delta_pct = (new - base) / base * 100.0;
+        let fail = delta_pct > limit;
+        println!(
+            "  {} {id:<44} base {base:>10.4} {unit}   now {new:>10.4} {unit}   {delta_pct:>+7.1}% \
+             (limit +{limit:.0}%{})",
+            if fail { "FAIL" } else { "  ok" },
+            if is_reference { ", raw reference" } else { "" },
+        );
+        ok &= !fail;
+    }
+    if !ok {
+        eprintln!("bench gate: tracked scenario regressed beyond the threshold");
+    }
+    Ok(ok)
+}

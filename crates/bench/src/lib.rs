@@ -16,20 +16,28 @@ use nvfi_quant::{quantize, QuantConfig, QuantModel};
 /// deterministic, untrained — enough for timing work.
 #[must_use]
 pub fn small_fixture() -> (QuantModel, TrainTest) {
-    let data = SynthCifar::new(SynthCifarConfig { train: 16, test: 16, ..Default::default() })
-        .generate();
+    let data = SynthCifar::new(SynthCifarConfig {
+        train: 16,
+        test: 16,
+        ..Default::default()
+    })
+    .generate();
     let net = ResNet::new(4, &[1, 1], 10, 42);
     let deploy = fold_resnet(&net, 32);
-    let q = quantize(&deploy, &data.train.images, &QuantConfig::default())
-        .expect("fixture quantizes");
+    let q =
+        quantize(&deploy, &data.train.images, &QuantConfig::default()).expect("fixture quantizes");
     (q, data)
 }
 
 /// A medium fixture: the default Table I width (16) full ResNet-18.
 #[must_use]
 pub fn medium_fixture() -> (QuantModel, TrainTest) {
-    let data = SynthCifar::new(SynthCifarConfig { train: 8, test: 8, ..Default::default() })
-        .generate();
+    let data = SynthCifar::new(SynthCifarConfig {
+        train: 8,
+        test: 8,
+        ..Default::default()
+    })
+    .generate();
     let q = nvfi::experiments::untrained_quant_model(16, 42);
     (q, data)
 }

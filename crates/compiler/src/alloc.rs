@@ -50,7 +50,11 @@ impl DramAllocator {
     /// Creates an allocator over `capacity` bytes.
     #[must_use]
     pub fn new(capacity: u64) -> Self {
-        DramAllocator { capacity, next: 0, regions: Vec::new() }
+        DramAllocator {
+            capacity,
+            next: 0,
+            regions: Vec::new(),
+        }
     }
 
     /// Allocates an aligned region.
@@ -71,7 +75,11 @@ impl DramAllocator {
             });
         }
         self.next = end;
-        self.regions.push(Region { name: name.into(), addr, size });
+        self.regions.push(Region {
+            name: name.into(),
+            addr,
+            size,
+        });
         Ok(addr)
     }
 

@@ -160,8 +160,12 @@ mod tests {
     use nvfi_quant::{quantize, QuantConfig};
 
     fn qmodel() -> QuantModel {
-        let data = SynthCifar::new(SynthCifarConfig { train: 8, test: 0, ..Default::default() })
-            .generate();
+        let data = SynthCifar::new(SynthCifarConfig {
+            train: 8,
+            test: 0,
+            ..Default::default()
+        })
+        .generate();
         let net = ResNet::new(4, &[1, 1], 10, 3);
         let deploy = fold_resnet(&net, 32);
         quantize(&deploy, &data.train.images, &QuantConfig::default()).unwrap()
@@ -197,7 +201,10 @@ mod tests {
         for op in &plan.ops {
             match op {
                 PlanOp::Conv(c) => {
-                    regions.push((c.output_addr, surface::surface_bytes(c.geom.k, c.geom.oh, c.geom.ow) as u64));
+                    regions.push((
+                        c.output_addr,
+                        surface::surface_bytes(c.geom.k, c.geom.oh, c.geom.ow) as u64,
+                    ));
                 }
                 PlanOp::Linear(l) => regions.push((l.output_addr, (l.out_f * 4) as u64)),
                 PlanOp::Pool(p) => {
@@ -209,7 +216,10 @@ mod tests {
         for (addr, bytes) in &plan.weight_image {
             regions.push((*addr, bytes.len() as u64));
         }
-        regions.push((plan.input_addr, surface::surface_bytes(shapes[0].c, shapes[0].h, shapes[0].w) as u64));
+        regions.push((
+            plan.input_addr,
+            surface::surface_bytes(shapes[0].c, shapes[0].h, shapes[0].w) as u64,
+        ));
         for i in 0..regions.len() {
             for j in i + 1..regions.len() {
                 let (a, b) = (regions[i], regions[j]);
@@ -224,7 +234,10 @@ mod tests {
     #[test]
     fn tiny_dram_rejected() {
         let q = qmodel();
-        assert!(matches!(compile(&q, 1024), Err(CompileError::OutOfMemory(_))));
+        assert!(matches!(
+            compile(&q, 1024),
+            Err(CompileError::OutOfMemory(_))
+        ));
     }
 
     #[test]

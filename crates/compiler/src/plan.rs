@@ -151,7 +151,10 @@ impl ExecutionPlan {
     /// Number of convolution ops (including the linear head).
     #[must_use]
     pub fn mac_ops(&self) -> usize {
-        self.ops.iter().filter(|o| matches!(o, PlanOp::Conv(_) | PlanOp::Linear(_))).count()
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, PlanOp::Conv(_) | PlanOp::Linear(_)))
+            .count()
     }
 
     /// Human-readable plan listing.
@@ -176,7 +179,11 @@ impl ExecutionPlan {
                         c.input_addr,
                         c.weight_addr,
                         c.output_addr,
-                        if c.fuse_add_addr.is_some() { " +residual" } else { "" },
+                        if c.fuse_add_addr.is_some() {
+                            " +residual"
+                        } else {
+                            ""
+                        },
                         if c.relu { " relu" } else { "" },
                     );
                 }
@@ -297,7 +304,11 @@ pub fn encode_words(plan: &ExecutionPlan) -> Vec<u32> {
                 }
             }
             PlanOp::Pool(p) => {
-                w.push(if p.kind == PoolKind::Max { TAG_POOL_MAX } else { TAG_POOL_GAVG });
+                w.push(if p.kind == PoolKind::Max {
+                    TAG_POOL_MAX
+                } else {
+                    TAG_POOL_GAVG
+                });
                 for v in [p.k, p.stride, p.in_shape.c, p.in_shape.h, p.in_shape.w] {
                     w.push(v as u32);
                 }
@@ -436,7 +447,11 @@ pub fn decode_words(words: &[u32]) -> Result<ExecutionPlan, DecodeError> {
                 let input_addr = n64!();
                 let output_addr = n64!();
                 PlanOp::Pool(PoolOp {
-                    kind: if tag == TAG_POOL_MAX { PoolKind::Max } else { PoolKind::GlobalAvg },
+                    kind: if tag == TAG_POOL_MAX {
+                        PoolKind::Max
+                    } else {
+                        PoolKind::GlobalAvg
+                    },
                     k,
                     stride,
                     in_shape: Shape4::new(1, c, h, w),
@@ -457,7 +472,14 @@ pub fn decode_words(words: &[u32]) -> Result<ExecutionPlan, DecodeError> {
                 let bias: Vec<i32> = (0..n_bias)
                     .map(|_| next().map(|v| v as i32))
                     .collect::<Result<_, _>>()?;
-                PlanOp::Linear(LinearOp { in_f, out_f, input_addr, output_addr, weight_addr, bias })
+                PlanOp::Linear(LinearOp {
+                    in_f,
+                    out_f,
+                    input_addr,
+                    output_addr,
+                    weight_addr,
+                    bias,
+                })
             }
             t => return Err(DecodeError::BadTag(t)),
         };
@@ -480,12 +502,14 @@ pub fn decode_words(words: &[u32]) -> Result<ExecutionPlan, DecodeError> {
 /// descriptor word — how a driver streams the plan into the device.
 #[must_use]
 pub fn encode_reg_stream(plan: &ExecutionPlan) -> Vec<RegWrite> {
-    let mut writes = vec![RegWrite { addr: regmap::REG_CMD_RESET, value: 0 }];
-    writes.extend(
-        encode_words(plan)
-            .into_iter()
-            .map(|value| RegWrite { addr: regmap::REG_CMD_DATA, value }),
-    );
+    let mut writes = vec![RegWrite {
+        addr: regmap::REG_CMD_RESET,
+        value: 0,
+    }];
+    writes.extend(encode_words(plan).into_iter().map(|value| RegWrite {
+        addr: regmap::REG_CMD_DATA,
+        value,
+    }));
     writes
 }
 
@@ -585,7 +609,10 @@ mod tests {
         // op count is right before first tag; find first tag position by
         // decoding header length: 3 + 1 + 2 + 2 + 1 + 2 + 2 + 1 = 14 words.
         words[14] = 0xDEAD;
-        assert!(matches!(decode_words(&words), Err(DecodeError::BadTag(0xDEAD))));
+        assert!(matches!(
+            decode_words(&words),
+            Err(DecodeError::BadTag(0xDEAD))
+        ));
     }
 
     #[test]

@@ -68,7 +68,10 @@ impl MultId {
     #[must_use]
     pub fn new(mac: u8, mult: u8) -> Self {
         assert!((mac as usize) < MAC_UNITS, "MAC id {mac} out of range");
-        assert!((mult as usize) < MULTS_PER_MAC, "multiplier id {mult} out of range");
+        assert!(
+            (mult as usize) < MULTS_PER_MAC,
+            "multiplier id {mult} out of range"
+        );
         MultId { mac, mult }
     }
 
@@ -87,7 +90,10 @@ impl MultId {
     #[must_use]
     pub fn from_lane(lane: usize) -> Self {
         assert!(lane < TOTAL_MULTS, "lane {lane} out of range");
-        MultId { mac: (lane / MULTS_PER_MAC) as u8, mult: (lane % MULTS_PER_MAC) as u8 }
+        MultId {
+            mac: (lane / MULTS_PER_MAC) as u8,
+            mult: (lane % MULTS_PER_MAC) as u8,
+        }
     }
 
     /// All 64 multiplier ids in lane order.

@@ -62,8 +62,16 @@ pub fn pack_surface(image: &Tensor<i8>) -> Vec<i8> {
 /// Panics if `image` or `out` have the wrong length for `shape`.
 pub fn pack_surface_into(image: &[i8], shape: Shape4, out: &mut [i8]) {
     let Shape4 { c, h, w, .. } = shape;
-    assert_eq!(image.len(), shape.image_len(), "image length mismatch for {shape}");
-    assert_eq!(out.len(), surface_bytes(c, h, w), "surface length mismatch for {shape}");
+    assert_eq!(
+        image.len(),
+        shape.image_len(),
+        "image length mismatch for {shape}"
+    );
+    assert_eq!(
+        out.len(),
+        surface_bytes(c, h, w),
+        "surface length mismatch for {shape}"
+    );
     out.fill(0);
     for cb in 0..blocks(c) {
         for ci in 0..ATOM {
@@ -102,8 +110,16 @@ pub fn unpack_surface(surface: &[i8], shape: Shape4) -> Tensor<i8> {
 /// Panics if `surface` or `out` have the wrong length for `shape`.
 pub fn unpack_surface_into(surface: &[i8], shape: Shape4, out: &mut [i8]) {
     let Shape4 { c, h, w, .. } = shape;
-    assert_eq!(surface.len(), surface_bytes(c, h, w), "surface length mismatch for {shape}");
-    assert_eq!(out.len(), shape.image_len(), "image length mismatch for {shape}");
+    assert_eq!(
+        surface.len(),
+        surface_bytes(c, h, w),
+        "surface length mismatch for {shape}"
+    );
+    assert_eq!(
+        out.len(),
+        shape.image_len(),
+        "image length mismatch for {shape}"
+    );
     for cb in 0..blocks(c) {
         for ci in 0..ATOM {
             let ch = cb * ATOM + ci;
@@ -175,13 +191,22 @@ pub fn unpack_weights(packed: &[i8], shape: Shape4) -> Tensor<i8> {
 ///
 /// Panics if `packed` or `out` have the wrong length for `shape`.
 pub fn unpack_weights_into(packed: &[i8], shape: Shape4, out: &mut [i8]) {
-    let Shape4 { n: k_n, c, h: r_n, w: s_n } = shape;
+    let Shape4 {
+        n: k_n,
+        c,
+        h: r_n,
+        w: s_n,
+    } = shape;
     assert_eq!(
         packed.len(),
         weight_bytes(k_n, c, r_n, s_n),
         "weight region length mismatch for {shape}"
     );
-    assert_eq!(out.len(), shape.len(), "weight buffer length mismatch for {shape}");
+    assert_eq!(
+        out.len(),
+        shape.len(),
+        "weight buffer length mismatch for {shape}"
+    );
     let cb_n = blocks(c);
     for k in 0..k_n {
         let (kg, ki) = (k / ATOM, k % ATOM);

@@ -114,7 +114,10 @@ pub fn get_or_train(spec: &ModelSpec) -> (DeployModel, TrainTest) {
     };
     let stats = Trainer::new(cfg).fit(&mut net, &data.train, &data.test);
     if spec.verbose {
-        eprintln!("float test accuracy: {:.1}%", 100.0 * stats.final_test_acc());
+        eprintln!(
+            "float test accuracy: {:.1}%",
+            100.0 * stats.final_test_acc()
+        );
     }
     let deploy = fold_resnet(&net, 32);
     save_quietly(&deploy, &path);
@@ -128,8 +131,8 @@ pub fn get_or_train(spec: &ModelSpec) -> (DeployModel, TrainTest) {
 pub fn get_or_train_quantized(spec: &ModelSpec) -> (QuantModel, TrainTest, f64) {
     let (deploy, data) = get_or_train(spec);
     let calib = data.train.take(64);
-    let q = quantize(&deploy, &calib.images, &QuantConfig::default())
-        .expect("trained model quantizes");
+    let q =
+        quantize(&deploy, &calib.images, &QuantConfig::default()).expect("trained model quantizes");
     let acc = q.accuracy(&data.test.images, &data.test.labels, 1);
     (q, data, acc)
 }

@@ -36,7 +36,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::platform::{EmulationPlatform, PlatformConfig, PlatformError};
-use crate::pool::DevicePool;
+use crate::pool::{DevicePool, QuantizedEvalSet};
 
 /// Which multipliers each fault configuration targets.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -176,7 +176,10 @@ impl CampaignResult {
         if self.records.is_empty() {
             return 0.0;
         }
-        self.records.iter().map(|r| r.outcomes.sdc_rate()).sum::<f64>()
+        self.records
+            .iter()
+            .map(|r| r.outcomes.sdc_rate())
+            .sum::<f64>()
             / self.records.len() as f64
     }
 }
@@ -192,7 +195,10 @@ impl Campaign {
     /// Creates a runner (devices are instantiated per worker at run time).
     #[must_use]
     pub fn new(model: &QuantModel, config: PlatformConfig) -> Self {
-        Campaign { model: model.clone(), config }
+        Campaign {
+            model: model.clone(),
+            config,
+        }
     }
 
     /// Expands the target selection into explicit target sets.
@@ -211,9 +217,7 @@ impl Campaign {
                     })
                     .collect()
             }
-            TargetSelection::ExhaustiveSingle => {
-                MultId::all().map(|m| vec![m]).collect()
-            }
+            TargetSelection::ExhaustiveSingle => MultId::all().map(|m| vec![m]).collect(),
             TargetSelection::Fixed(sets) => sets.clone(),
         }
     }
@@ -242,6 +246,12 @@ impl Campaign {
 
     /// Runs the campaign on `eval` data.
     ///
+    /// The evaluation split is quantized to i8 exactly **once**, up front
+    /// (a campaign-lifetime [`QuantizedEvalSet`], mirroring the paper's
+    /// quantize-at-bitstream-programming flow); every fault configuration
+    /// and every device shard then classifies borrowed sub-views of that
+    /// set with zero per-work-item quantization or pixel copies.
+    ///
     /// Scheduling is two-level: an outer lock-free cursor over the expanded
     /// `(targets, kind)` work list, and — whenever the work list is narrower
     /// than `spec.threads` — inner sharding of each configuration's
@@ -260,8 +270,15 @@ impl Campaign {
     /// Panics if the spec has no kinds, zero evaluation images, or a target
     /// selection that expands to an empty work list
     /// (`TargetSelection::Fixed(vec![])` or `RandomSubsets { trials: 0, .. }`).
-    pub fn run(&self, spec: &CampaignSpec, eval: &Dataset) -> Result<CampaignResult, PlatformError> {
-        assert!(!spec.kinds.is_empty(), "campaign needs at least one fault kind");
+    pub fn run(
+        &self,
+        spec: &CampaignSpec,
+        eval: &Dataset,
+    ) -> Result<CampaignResult, PlatformError> {
+        assert!(
+            !spec.kinds.is_empty(),
+            "campaign needs at least one fault kind"
+        );
         assert!(spec.eval_images > 0, "campaign needs evaluation images");
         // The work list: (index, targets, kind).
         let targets = Self::expand_targets(&spec.selection);
@@ -281,12 +298,24 @@ impl Campaign {
         let eval = eval.take(spec.eval_images);
         let start = Instant::now();
 
+        // Quantize the evaluation split to i8 exactly once per campaign —
+        // the software equivalent of the paper's flow, which quantizes the
+        // evaluation set when the bitstream is programmed. Every work item
+        // and every device shard below classifies borrowed sub-views of
+        // this set; no per-work-item or per-shard re-quantization (asserted
+        // by the `nvfi_quant::batch::quantization_passes` probe in
+        // tests/quantize_once.rs).
+        let qset = QuantizedEvalSet::build(&self.model, &eval.images);
+
         // The device fleet: compile the plan once, clone it per member, one
         // pool of devices per outer worker group. Groups are capped at the
         // number of shards the evaluation batch can actually produce, so a
         // huge thread budget over a tiny eval set does not clone devices
         // that could never receive a shard.
-        let max_shards = eval.len().div_ceil(DevicePool::granularity(&self.config)).max(1);
+        let max_shards = eval
+            .len()
+            .div_ceil(DevicePool::granularity(&self.config))
+            .max(1);
         let mut layout = Self::pool_layout(spec.threads, work.len(), spec.pool_devices);
         for size in &mut layout {
             *size = (*size).min(max_shards);
@@ -300,9 +329,12 @@ impl Campaign {
         // Baseline through the same pool, sharded across the whole fleet:
         // accuracy plus the fault-free predictions used for masked/SDC
         // classification.
-        let clean_preds = fleet.classify(&eval.images)?;
-        let correct =
-            clean_preds.iter().zip(&eval.labels).filter(|(p, y)| p == y).count();
+        let clean_preds = fleet.classify_i8(&qset)?;
+        let correct = clean_preds
+            .iter()
+            .zip(&eval.labels)
+            .filter(|(p, y)| p == y)
+            .count();
         let baseline_accuracy = correct as f64 / eval.len() as f64;
 
         let pools = fleet.split(&layout);
@@ -321,6 +353,7 @@ impl Campaign {
             let mut handles = Vec::new();
             for mut pool in pools {
                 let eval = &eval;
+                let qset = &qset;
                 let work = &work;
                 let next = &next;
                 let done = &done;
@@ -338,10 +371,13 @@ impl Campaign {
                             if spec.fault_window.is_some() {
                                 pool.set_fault_window(spec.fault_window.clone());
                             }
-                            let preds = pool.classify(&eval.images)?;
+                            let preds = pool.classify_i8(qset)?;
                             pool.clear_faults();
-                            let correct =
-                                preds.iter().zip(&eval.labels).filter(|(p, y)| p == y).count();
+                            let correct = preds
+                                .iter()
+                                .zip(&eval.labels)
+                                .filter(|(p, y)| p == y)
+                                .count();
                             let accuracy = correct as f64 / eval.len() as f64;
                             let mut outcomes = OutcomeCounts::default();
                             for (p, c) in preds.iter().zip(clean_preds.iter()) {
@@ -396,8 +432,10 @@ impl Campaign {
             debug_assert!(slots[idx].is_none(), "duplicate record for work item {idx}");
             slots[idx] = Some(rec);
         }
-        let records: Vec<FiRecord> =
-            slots.into_iter().map(|r| r.expect("record missing")).collect();
+        let records: Vec<FiRecord> = slots
+            .into_iter()
+            .map(|r| r.expect("record missing"))
+            .collect();
         let total_inferences = (records.len() as u64 + 1) * eval.len() as u64;
         Ok(CampaignResult {
             baseline_accuracy,
@@ -417,8 +455,12 @@ mod tests {
     use nvfi_quant::{quantize, QuantConfig};
 
     fn setup() -> (QuantModel, Dataset) {
-        let data = SynthCifar::new(SynthCifarConfig { train: 16, test: 12, ..Default::default() })
-            .generate();
+        let data = SynthCifar::new(SynthCifarConfig {
+            train: 16,
+            test: 12,
+            ..Default::default()
+        })
+        .generate();
         let net = ResNet::new(4, &[1, 1], 10, 3);
         let deploy = fold_resnet(&net, 32);
         let q = quantize(&deploy, &data.train.images, &QuantConfig::default()).unwrap();
@@ -427,7 +469,11 @@ mod tests {
 
     #[test]
     fn random_subsets_are_deterministic_distinct_and_sized() {
-        let sel = TargetSelection::RandomSubsets { k: 5, trials: 20, seed: 9 };
+        let sel = TargetSelection::RandomSubsets {
+            k: 5,
+            trials: 20,
+            seed: 9,
+        };
         let a = Campaign::expand_targets(&sel);
         let b = Campaign::expand_targets(&sel);
         assert_eq!(a, b);
@@ -442,8 +488,7 @@ mod tests {
     fn exhaustive_covers_all_64() {
         let sets = Campaign::expand_targets(&TargetSelection::ExhaustiveSingle);
         assert_eq!(sets.len(), 64);
-        let all: std::collections::HashSet<_> =
-            sets.iter().map(|s| s[0]).collect();
+        let all: std::collections::HashSet<_> = sets.iter().map(|s| s[0]).collect();
         assert_eq!(all.len(), 64);
     }
 
@@ -459,7 +504,10 @@ mod tests {
                         "layout {layout:?} must use the whole budget \
                          (threads={threads} work={work_items} pool={pool_devices})"
                     );
-                    assert!(layout.len() <= work_items, "never more groups than work items");
+                    assert!(
+                        layout.len() <= work_items,
+                        "never more groups than work items"
+                    );
                     assert!(layout.iter().all(|&s| s > 0));
                     // Even spread: group sizes differ by at most one.
                     let (lo, hi) = (layout.iter().min(), layout.iter().max());
@@ -534,7 +582,11 @@ mod tests {
         // a host-side throughput knob: records must be bit-identical.
         let (q, eval) = setup();
         let spec = CampaignSpec {
-            selection: TargetSelection::RandomSubsets { k: 2, trials: 3, seed: 11 },
+            selection: TargetSelection::RandomSubsets {
+                k: 2,
+                trials: 3,
+                seed: 11,
+            },
             kinds: vec![FaultKind::StuckAtZero, FaultKind::Constant(1)],
             eval_images: 7,
             threads: 1,
@@ -559,7 +611,11 @@ mod tests {
         let (q, eval) = setup();
         let campaign = Campaign::new(&q, PlatformConfig::default());
         let mk_spec = |threads| CampaignSpec {
-            selection: TargetSelection::RandomSubsets { k: 2, trials: 3, seed: 5 },
+            selection: TargetSelection::RandomSubsets {
+                k: 2,
+                trials: 3,
+                seed: 5,
+            },
             kinds: vec![FaultKind::StuckAtZero],
             eval_images: 6,
             threads,
@@ -569,6 +625,9 @@ mod tests {
         let a = campaign.run(&mk_spec(1), &eval).unwrap();
         let b = campaign.run(&mk_spec(4), &eval).unwrap();
         assert_eq!(a.baseline_accuracy, b.baseline_accuracy);
-        assert_eq!(a.records, b.records, "record order and values must be deterministic");
+        assert_eq!(
+            a.records, b.records,
+            "record order and values must be deterministic"
+        );
     }
 }

@@ -49,6 +49,9 @@ pub struct ExperimentConfig {
     /// Devices per fault configuration (0 = auto; see
     /// [`crate::campaign::CampaignSpec::pool_devices`]).
     pub pool_devices: usize,
+    /// Device-pool shard granularity in images (0 = one mini-batch; see
+    /// [`crate::PlatformConfig::shard_images`]).
+    pub shard_images: usize,
     /// Where result files are written.
     pub out_dir: PathBuf,
     /// Progress on stderr.
@@ -65,6 +68,7 @@ impl Default for ExperimentConfig {
             max_k: 7,
             threads: 1,
             pool_devices: 0,
+            shard_images: 0,
             out_dir: PathBuf::from("results"),
             verbose: false,
         }
@@ -90,6 +94,7 @@ impl ExperimentConfig {
             max_k: 3,
             threads: 1,
             pool_devices: 0,
+            shard_images: 0,
             out_dir: std::env::temp_dir().join("nvfi_quick_results"),
             verbose: false,
         }
@@ -98,13 +103,20 @@ impl ExperimentConfig {
     /// The default configuration with `NVFI_*` environment overrides:
     /// `NVFI_WIDTH`, `NVFI_EPOCHS`, `NVFI_TRAIN`, `NVFI_TEST`, `NVFI_NOISE`,
     /// `NVFI_EVAL`, `NVFI_TRIALS`, `NVFI_MAX_K`, `NVFI_TABLE1_WIDTH`,
-    /// `NVFI_THREADS`, `NVFI_POOL`, `NVFI_OUT_DIR`, `NVFI_VERBOSE`.
+    /// `NVFI_THREADS`, `NVFI_POOL`, `NVFI_SHARD`, `NVFI_OUT_DIR`,
+    /// `NVFI_VERBOSE`.
     #[must_use]
     pub fn from_env() -> Self {
         fn get<T: std::str::FromStr>(key: &str, default: T) -> T {
-            std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
         }
-        let mut cfg = ExperimentConfig { verbose: true, ..Default::default() };
+        let mut cfg = ExperimentConfig {
+            verbose: true,
+            ..Default::default()
+        };
         cfg.model.width = get("NVFI_WIDTH", cfg.model.width);
         cfg.model.epochs = get("NVFI_EPOCHS", cfg.model.epochs);
         cfg.model.train = get("NVFI_TRAIN", cfg.model.train);
@@ -118,11 +130,22 @@ impl ExperimentConfig {
         cfg.table1_width = get("NVFI_TABLE1_WIDTH", cfg.table1_width);
         cfg.threads = get("NVFI_THREADS", cfg.threads);
         cfg.pool_devices = get("NVFI_POOL", cfg.pool_devices);
+        cfg.shard_images = get("NVFI_SHARD", cfg.shard_images);
         cfg.verbose = get("NVFI_VERBOSE", 1u8) != 0;
         if let Ok(dir) = std::env::var("NVFI_OUT_DIR") {
             cfg.out_dir = PathBuf::from(dir);
         }
         cfg
+    }
+
+    /// The platform configuration campaign experiments run with (the
+    /// default device plus this config's pool scheduling knobs).
+    #[must_use]
+    pub fn platform(&self) -> PlatformConfig {
+        PlatformConfig {
+            shard_images: self.shard_images,
+            ..Default::default()
+        }
     }
 }
 
@@ -231,7 +254,7 @@ impl fmt::Display for Fig2Result {
 pub fn run_fig2(cfg: &ExperimentConfig) -> Result<Fig2Result, crate::PlatformError> {
     let (qmodel, data, base_acc) = get_or_train_quantized(&cfg.model);
     let start = Instant::now();
-    let campaign = Campaign::new(&qmodel, PlatformConfig::default());
+    let campaign = Campaign::new(&qmodel, cfg.platform());
     let mut groups = Vec::new();
     let mut total = 0usize;
     for k in 1..=cfg.max_k {
@@ -322,7 +345,12 @@ impl Fig3Result {
                 }
             }
         }
-        report::write_csv(dir, "fig3.csv", &["value", "mac", "mult", "drop_pct"], &rows)?;
+        report::write_csv(
+            dir,
+            "fig3.csv",
+            &["value", "mac", "mult", "drop_pct"],
+            &rows,
+        )?;
         let maps: Vec<serde_json::Value> = self
             .maps
             .iter()
@@ -360,7 +388,10 @@ impl fmt::Display for Fig3Result {
             ))?;
         }
         for (v, mac, mult) in self.worst_cells() {
-            writeln!(f, "  worst cell for injected {v}: MAC {mac}, multiplier {mult}")?;
+            writeln!(
+                f,
+                "  worst cell for injected {v}: MAC {mac}, multiplier {mult}"
+            )?;
         }
         Ok(())
     }
@@ -374,7 +405,7 @@ impl fmt::Display for Fig3Result {
 pub fn run_fig3(cfg: &ExperimentConfig) -> Result<Fig3Result, crate::PlatformError> {
     let (qmodel, data, base_acc) = get_or_train_quantized(&cfg.model);
     let start = Instant::now();
-    let campaign = Campaign::new(&qmodel, PlatformConfig::default());
+    let campaign = Campaign::new(&qmodel, cfg.platform());
     let mut maps = Vec::new();
     for &value in &INJECTED_VALUES {
         let spec = CampaignSpec {
@@ -473,7 +504,15 @@ impl Table1Result {
         report::write_csv(
             dir,
             "table1.csv",
-            &["device", "threads", "clock", "inference_ms", "paper_ms", "luts", "ffs"],
+            &[
+                "device",
+                "threads",
+                "clock",
+                "inference_ms",
+                "paper_ms",
+                "luts",
+                "ffs",
+            ],
             &rows,
         )?;
         report::write_json(
@@ -504,16 +543,25 @@ impl fmt::Display for Table1Result {
             self.width,
             self.macs as f64 / 1e6
         )?;
-        writeln!(f, "{:<44} {:>8} {:>12} {:>10}", "Device", "Threads", "Clock", "ms")?;
+        writeln!(
+            f,
+            "{:<44} {:>8} {:>12} {:>10}",
+            "Device", "Threads", "Clock", "ms"
+        )?;
         for r in &self.latency {
             writeln!(
                 f,
                 "{:<44} {:>8} {:>12} {:>10.3}{}",
                 r.device,
-                if r.threads == 0 { "-".to_string() } else { r.threads.to_string() },
+                if r.threads == 0 {
+                    "-".to_string()
+                } else {
+                    r.threads.to_string()
+                },
                 r.clock,
                 r.ms,
-                r.paper_ms.map_or(String::new(), |v| format!("   (paper {v} ms)")),
+                r.paper_ms
+                    .map_or(String::new(), |v| format!("   (paper {v} ms)")),
             )?;
         }
         writeln!(f, "{:<32} {:>8} {:>8}", "Synthesis", "LUT", "FF")?;

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use nvfi_accel::{AccelConfig, Accelerator, AccelError, FaultConfig, InferenceResult};
+use nvfi_accel::{AccelConfig, AccelError, Accelerator, FaultConfig, InferenceResult};
 use nvfi_compiler::{CompileError, ExecutionPlan};
 use nvfi_quant::QuantModel;
 use nvfi_tensor::Tensor;
@@ -80,7 +80,11 @@ impl EmulationPlatform {
         let plan = nvfi_compiler::compile(model, config.accel.dram_capacity)?;
         let mut accel = Accelerator::new(config.accel);
         accel.load_plan(&plan)?;
-        Ok(EmulationPlatform { config, plan, accel })
+        Ok(EmulationPlatform {
+            config,
+            plan,
+            accel,
+        })
     }
 
     /// The platform configuration.
@@ -125,13 +129,27 @@ impl EmulationPlatform {
         Ok(self.accel.run_inference(image)?)
     }
 
-    /// Classifies a batch.
+    /// Classifies a batch of f32 images (one quantization pass, then the
+    /// borrowed-i8 path — see [`EmulationPlatform::classify_i8`]).
     ///
     /// # Errors
     ///
     /// Propagates device errors.
     pub fn classify(&mut self, images: &Tensor<f32>) -> Result<Vec<u8>, PlatformError> {
         Ok(self.accel.classify_batch(images)?)
+    }
+
+    /// Classifies a batch of pre-quantized i8 images borrowed as dense,
+    /// back-to-back CHW slices — the zero-copy path a
+    /// [`crate::pool::DevicePool`] drives with sub-views of a
+    /// campaign-lifetime [`crate::pool::QuantizedEvalSet`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors (including a batch length that is not a
+    /// whole number of plan input images).
+    pub fn classify_i8(&mut self, images: &[i8]) -> Result<Vec<u8>, PlatformError> {
+        Ok(self.accel.classify_batch_i8(images)?)
     }
 
     /// Top-1 accuracy on a labelled set.
@@ -143,11 +161,7 @@ impl EmulationPlatform {
     /// # Panics
     ///
     /// Panics if `labels.len() != images.shape().n`.
-    pub fn accuracy(
-        &mut self,
-        images: &Tensor<f32>,
-        labels: &[u8],
-    ) -> Result<f64, PlatformError> {
+    pub fn accuracy(&mut self, images: &Tensor<f32>, labels: &[u8]) -> Result<f64, PlatformError> {
         Ok(self.accel.accuracy(images, labels)?)
     }
 
@@ -177,11 +191,18 @@ mod tests {
     use nvfi_quant::{quantize, QuantConfig};
 
     fn setup() -> (QuantModel, nvfi_dataset::TrainTest) {
-        let data = SynthCifar::new(SynthCifarConfig { train: 16, test: 8, ..Default::default() })
-            .generate();
+        let data = SynthCifar::new(SynthCifarConfig {
+            train: 16,
+            test: 8,
+            ..Default::default()
+        })
+        .generate();
         let net = ResNet::new(4, &[1, 1], 10, 3);
         let deploy = fold_resnet(&net, 32);
-        (quantize(&deploy, &data.train.images, &QuantConfig::default()).unwrap(), data)
+        (
+            quantize(&deploy, &data.train.images, &QuantConfig::default()).unwrap(),
+            data,
+        )
     }
 
     #[test]
@@ -209,7 +230,10 @@ mod tests {
         let mut p = EmulationPlatform::assemble(&q, PlatformConfig::default()).unwrap();
         let img = data.test.images.slice_image(0);
         let clean = p.run(&img).unwrap().logits;
-        p.inject(&FaultConfig::new(MultId::all().collect(), FaultKind::Constant(131071)));
+        p.inject(&FaultConfig::new(
+            MultId::all().collect(),
+            FaultKind::Constant(131071),
+        ));
         let faulted = p.run(&img).unwrap().logits;
         assert_ne!(clean, faulted);
         p.clear_faults();

@@ -16,14 +16,105 @@
 //! and ordered — so the merged prediction vector is bit-identical to running
 //! the whole batch on a single device, for every pool size and shard
 //! granularity.
+//!
+//! Input movement: campaigns quantize their evaluation split to i8 once, up
+//! front, into a [`QuantizedEvalSet`]; [`DevicePool::classify_i8`] shards
+//! that set **by reference** (borrowed contiguous sub-views), so the
+//! per-classification cost is zero pixel copies and zero quantization. The
+//! f32 [`DevicePool::classify`] remains as a thin quantize-once-then-delegate
+//! wrapper.
 
 use std::ops::Range;
 
-use nvfi_accel::FaultConfig;
+use nvfi_accel::{AccelError, FaultConfig};
 use nvfi_quant::QuantModel;
-use nvfi_tensor::Tensor;
+use nvfi_tensor::{Shape4, Tensor};
 
 use crate::platform::{EmulationPlatform, PlatformConfig, PlatformError};
+
+/// An evaluation set quantized to i8 exactly once, for the lifetime of a
+/// campaign.
+///
+/// The paper's emulation flow quantizes the evaluation images once, when the
+/// bitstream is programmed; re-quantizing per fault configuration (or per
+/// device shard) is pure multiplied waste. A `QuantizedEvalSet` is the
+/// software equivalent: build it up front from the f32 split, then hand
+/// [`DevicePool::classify_i8`] borrowed sub-views — the images stay
+/// contiguous in NCHW order, so any shard range aligned to whole images
+/// (in particular the mini-batch-aligned ranges of
+/// [`DevicePool::shard_plan`]) is a zero-copy slice.
+///
+/// Quantization is elementwise, so building one set for the whole split is
+/// bit-identical to quantizing each shard separately (property-tested in
+/// `nvfi-quant`); building it costs exactly one pass of the
+/// [`nvfi_quant::batch::quantization_passes`] probe.
+#[derive(Clone, Debug)]
+pub struct QuantizedEvalSet {
+    images: Tensor<i8>,
+}
+
+impl QuantizedEvalSet {
+    /// Quantizes `images` with `model`'s input scale — one batch-quantization
+    /// pass, however many work items and shards later consume the set.
+    #[must_use]
+    pub fn build(model: &QuantModel, images: &Tensor<f32>) -> Self {
+        QuantizedEvalSet {
+            images: model.quantize_input(images),
+        }
+    }
+
+    /// Quantizes `images` with an explicit input scale (the compiled plan's
+    /// `input_scale` — what a pool of programmed devices knows without the
+    /// model).
+    #[must_use]
+    pub fn from_scale(images: &Tensor<f32>, scale: f32) -> Self {
+        let data = nvfi_quant::batch::quantize_slice(images.as_slice(), scale);
+        QuantizedEvalSet {
+            images: Tensor::from_vec(images.shape(), data),
+        }
+    }
+
+    /// Wraps an already-quantized batch.
+    #[must_use]
+    pub fn from_tensor(images: Tensor<i8>) -> Self {
+        QuantizedEvalSet { images }
+    }
+
+    /// Number of images in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.images.shape().n
+    }
+
+    /// Whether the set has no images.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The set's shape (`n` images).
+    #[must_use]
+    pub fn shape(&self) -> Shape4 {
+        self.images.shape()
+    }
+
+    /// The quantized images.
+    #[must_use]
+    pub fn images(&self) -> &Tensor<i8> {
+        &self.images
+    }
+
+    /// Borrow of the images in `range` as one contiguous dense i8 slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds.
+    #[must_use]
+    pub fn view(&self, range: Range<usize>) -> &[i8] {
+        let image_len = self.images.shape().image_len();
+        &self.images.as_slice()[range.start * image_len..range.end * image_len]
+    }
+}
 
 /// A pool of identical emulated devices sharing the work of one evaluation
 /// batch.
@@ -50,7 +141,10 @@ impl DevicePool {
         config: PlatformConfig,
         devices: usize,
     ) -> Result<Self, PlatformError> {
-        Ok(Self::from_device(EmulationPlatform::assemble(model, config)?, devices))
+        Ok(Self::from_device(
+            EmulationPlatform::assemble(model, config)?,
+            devices,
+        ))
     }
 
     /// Builds a pool of `devices` members by cloning one programmed device.
@@ -98,7 +192,9 @@ impl DevicePool {
             .iter()
             .map(|&n| {
                 assert!(n > 0, "sub-pools need at least one device");
-                DevicePool { devices: devices.by_ref().take(n).collect() }
+                DevicePool {
+                    devices: devices.by_ref().take(n).collect(),
+                }
             })
             .collect()
     }
@@ -166,29 +262,65 @@ impl DevicePool {
     /// scoped threads. Merged predictions are in image order and
     /// bit-identical to [`EmulationPlatform::classify`] on one device.
     ///
+    /// A thin quantize-then-delegate wrapper around
+    /// [`DevicePool::classify_i8`]: the batch is quantized **once** (with
+    /// the compiled plan's input scale) and sharded by reference —
+    /// campaign-lifetime callers that already hold a [`QuantizedEvalSet`]
+    /// should call [`DevicePool::classify_i8`] directly and skip even that
+    /// one pass.
+    ///
     /// # Errors
     ///
     /// Propagates the first device error (by shard order).
     pub fn classify(&mut self, images: &Tensor<f32>) -> Result<Vec<u8>, PlatformError> {
-        let s = images.shape();
+        let scale = self.devices[0].plan().input_scale;
+        let set = QuantizedEvalSet::from_scale(images, scale);
+        self.classify_i8(&set)
+    }
+
+    /// Classifies a pre-quantized evaluation set, sharding the batch across
+    /// the pool members on scoped threads — by reference: every shard is a
+    /// borrowed sub-view of `set`, so the per-call cost is zero pixel copies
+    /// and zero quantization. Merged predictions are in image order and
+    /// bit-identical to the f32 path on one device.
+    ///
+    /// # Ragged tails
+    ///
+    /// The image count does not have to be a multiple of the shard
+    /// granularity (or of the device mini-batch): [`DevicePool::shard_plan`]
+    /// keeps every shard except the last a whole number of granules, and
+    /// only the **last** shard may carry the ragged tail. An image count
+    /// that *is* a multiple of the granularity has an empty tail (every
+    /// shard whole); one that is not ends in a final shard smaller than a
+    /// granule — possibly smaller than one device mini-batch, which the
+    /// engine's mini-batch loop handles as a short final batch. Either way
+    /// predictions are bit-identical to the unsharded run (covered
+    /// explicitly by the ragged-tail tests below).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first device error (by shard order). Returns
+    /// [`PlatformError::Accel`] if `set`'s image shape does not match the
+    /// compiled plan's input shape.
+    pub fn classify_i8(&mut self, set: &QuantizedEvalSet) -> Result<Vec<u8>, PlatformError> {
+        let s = set.shape();
+        let plan_input = self.devices[0].plan().input_shape;
+        if s.n > 0 && s.with_n(1) != plan_input.with_n(1) {
+            return Err(PlatformError::Accel(AccelError::BadPlan(format!(
+                "evaluation set {s} does not match plan input {plan_input}"
+            ))));
+        }
         let granularity = Self::granularity(&self.config());
         let plan = Self::shard_plan(s.n, self.devices.len(), granularity);
         if plan.len() <= 1 {
-            return self.devices[0].classify(images);
+            return self.devices[0].classify_i8(set.view(0..s.n));
         }
-        let image_len = s.image_len();
         let mut results: Vec<Result<Vec<u8>, PlatformError>> = Vec::with_capacity(plan.len());
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (device, range) in self.devices.iter_mut().zip(plan.iter().cloned()) {
-                handles.push(scope.spawn(move || {
-                    let chunk = Tensor::from_vec(
-                        s.with_n(range.len()),
-                        images.as_slice()[range.start * image_len..range.end * image_len]
-                            .to_vec(),
-                    );
-                    device.classify(&chunk)
-                }));
+                let shard = set.view(range);
+                handles.push(scope.spawn(move || device.classify_i8(shard)));
             }
             for h in handles {
                 results.push(h.join().expect("pool shard worker panicked"));
@@ -211,16 +343,25 @@ mod tests {
 
     fn setup() -> (QuantModel, nvfi_dataset::Dataset) {
         let q = crate::experiments::untrained_quant_model(4, 12);
-        let data = SynthCifar::new(SynthCifarConfig { train: 0, test: 11, ..Default::default() })
-            .generate();
+        let data = SynthCifar::new(SynthCifarConfig {
+            train: 0,
+            test: 11,
+            ..Default::default()
+        })
+        .generate();
         (q, data.test)
     }
 
     #[test]
     fn shard_plan_covers_contiguously() {
-        for (images, devices, g) in
-            [(10, 3, 1), (10, 3, 4), (7, 8, 1), (256, 8, 8), (5, 1, 2), (9, 4, 2)]
-        {
+        for (images, devices, g) in [
+            (10, 3, 1),
+            (10, 3, 4),
+            (7, 8, 1),
+            (256, 8, 8),
+            (5, 1, 2),
+            (9, 4, 2),
+        ] {
             let plan = DevicePool::shard_plan(images, devices, g);
             assert!(plan.len() <= devices);
             assert_eq!(plan[0].start, 0);
@@ -248,8 +389,10 @@ mod tests {
             single.classify(&eval.images).unwrap(),
             pool.classify(&eval.images).unwrap()
         );
-        let fault =
-            FaultConfig::new(vec![MultId::new(1, 2), MultId::new(3, 4)], FaultKind::Constant(-1));
+        let fault = FaultConfig::new(
+            vec![MultId::new(1, 2), MultId::new(3, 4)],
+            FaultKind::Constant(-1),
+        );
         single.inject(&fault);
         pool.inject(&fault);
         assert_eq!(
@@ -265,11 +408,101 @@ mod tests {
     }
 
     #[test]
+    fn i8_set_matches_f32_classify() {
+        let (q, eval) = setup();
+        let mut pool = DevicePool::assemble(&q, PlatformConfig::default(), 3).unwrap();
+        let set = QuantizedEvalSet::build(&q, &eval.images);
+        assert_eq!(set.len(), eval.images.shape().n);
+        assert!(!set.is_empty());
+        let fault = FaultConfig::new(vec![MultId::new(2, 5)], FaultKind::StuckAtZero);
+        pool.inject(&fault);
+        assert_eq!(
+            pool.classify(&eval.images).unwrap(),
+            pool.classify_i8(&set).unwrap(),
+            "borrowed-i8 path must be bit-identical to the f32 wrapper"
+        );
+    }
+
+    /// The ragged-tail contract of [`DevicePool::classify_i8`]: with an
+    /// explicit granularity, only the *last* shard may be a partial granule.
+    /// Both tail shapes — empty (count divisible by the granularity) and a
+    /// tail smaller than one granule / device mini-batch — must merge to the
+    /// same predictions as the unsharded device.
+    #[test]
+    fn ragged_tail_is_explicit_and_bit_identical() {
+        let q = crate::experiments::untrained_quant_model(4, 31);
+        let config = PlatformConfig {
+            shard_images: 4,
+            ..Default::default()
+        };
+        let mut single = EmulationPlatform::assemble(&q, PlatformConfig::default()).unwrap();
+        let mut pool = DevicePool::assemble(&q, config, 3).unwrap();
+
+        // Empty tail: 8 images over granularity 4 = 2 whole granules; every
+        // shard is whole.
+        let even = SynthCifar::new(SynthCifarConfig {
+            train: 0,
+            test: 8,
+            ..Default::default()
+        })
+        .generate()
+        .test;
+        let plan = DevicePool::shard_plan(8, 3, 4);
+        assert_eq!(
+            plan,
+            vec![0..4, 4..8],
+            "8 images / g=4: two whole shards, empty tail"
+        );
+        assert_eq!(
+            single.classify(&even.images).unwrap(),
+            pool.classify(&even.images).unwrap()
+        );
+
+        // Ragged tail smaller than a granule (and than the default
+        // mini-batch): 11 images -> shards of 4, 4 and a 3-image tail.
+        let ragged = SynthCifar::new(SynthCifarConfig {
+            train: 0,
+            test: 11,
+            ..Default::default()
+        })
+        .generate()
+        .test;
+        let plan = DevicePool::shard_plan(11, 3, 4);
+        assert_eq!(
+            plan,
+            vec![0..4, 4..8, 8..11],
+            "only the last shard is partial"
+        );
+        assert!(plan.last().unwrap().len() < 4);
+        let set = QuantizedEvalSet::build(&q, &ragged.images);
+        assert_eq!(
+            single.classify(&ragged.images).unwrap(),
+            pool.classify_i8(&set).unwrap()
+        );
+    }
+
+    #[test]
+    fn mismatched_set_shape_is_rejected() {
+        let (q, _) = setup();
+        let mut pool = DevicePool::assemble(&q, PlatformConfig::default(), 2).unwrap();
+        // Wrong spatial extent: 3x8x8 instead of the plan's 3x32x32.
+        let bad =
+            QuantizedEvalSet::from_tensor(Tensor::zeros(nvfi_tensor::Shape4::new(2, 3, 8, 8)));
+        assert!(pool.classify_i8(&bad).is_err());
+    }
+
+    #[test]
     fn pool_is_shard_granularity_invariant() {
         let (q, eval) = setup();
         let classify_with = |shard_images: usize| {
-            let config = PlatformConfig { shard_images, ..Default::default() };
-            DevicePool::assemble(&q, config, 4).unwrap().classify(&eval.images).unwrap()
+            let config = PlatformConfig {
+                shard_images,
+                ..Default::default()
+            };
+            DevicePool::assemble(&q, config, 4)
+                .unwrap()
+                .classify(&eval.images)
+                .unwrap()
         };
         let a = classify_with(0);
         let b = classify_with(1);
@@ -283,7 +516,10 @@ mod tests {
         let (q, _) = setup();
         let pool = DevicePool::assemble(&q, PlatformConfig::default(), 5).unwrap();
         let parts = pool.split(&[2, 2, 1]);
-        assert_eq!(parts.iter().map(DevicePool::size).collect::<Vec<_>>(), vec![2, 2, 1]);
+        assert_eq!(
+            parts.iter().map(DevicePool::size).collect::<Vec<_>>(),
+            vec![2, 2, 1]
+        );
     }
 
     #[test]

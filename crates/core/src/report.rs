@@ -23,8 +23,13 @@ pub fn box_plot_row(stats: &FiveNum, lo: f64, hi: f64, width: usize) -> String {
         ((width - 1) as f64 * t).round() as usize
     };
     let mut row: Vec<char> = vec![' '; width];
-    let (pmin, pq1, pmed, pq3, pmax) =
-        (pos(stats.min), pos(stats.q1), pos(stats.median), pos(stats.q3), pos(stats.max));
+    let (pmin, pq1, pmed, pq3, pmax) = (
+        pos(stats.min),
+        pos(stats.q1),
+        pos(stats.median),
+        pos(stats.q3),
+        pos(stats.max),
+    );
     for cell in row.iter_mut().take(pq1).skip(pmin) {
         *cell = '-';
     }
@@ -84,7 +89,9 @@ pub fn heat_map_chart(title: &str, map: &HeatMap, lo: f64, hi: f64) -> String {
     let _ = writeln!(
         out,
         "        mult:  {}",
-        (1..=map.cols()).map(|c| format!("{c} ")).collect::<String>()
+        (1..=map.cols())
+            .map(|c| format!("{c} "))
+            .collect::<String>()
     );
     for r in 0..map.rows() {
         let _ = write!(out, "  MAC {:>2}:      ", r + 1);
@@ -134,7 +141,10 @@ pub fn write_json(
 ) -> io::Result<std::path::PathBuf> {
     fs::create_dir_all(dir)?;
     let path = dir.join(name);
-    fs::write(&path, serde_json::to_string_pretty(value).expect("serializable"))?;
+    fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serializable"),
+    )?;
     Ok(path)
 }
 
@@ -159,8 +169,10 @@ mod tests {
 
     #[test]
     fn chart_has_one_row_per_entry() {
-        let rows =
-            vec![("k=1 v=0".to_string(), sample()), ("k=2 v=0".to_string(), sample())];
+        let rows = vec![
+            ("k=1 v=0".to_string(), sample()),
+            ("k=2 v=0".to_string(), sample()),
+        ];
         let chart = box_plot_chart("Fig2", &rows, 40);
         assert_eq!(chart.lines().count(), 4); // title + axis + 2 rows
         assert!(chart.contains("k=2 v=0"));
@@ -172,7 +184,10 @@ mod tests {
         h.set(0, 0, -12.0);
         h.set(1, 1, 0.0);
         let chart = heat_map_chart("Fig3", &h, -12.0, 0.0);
-        assert!(chart.contains('@'), "worst cell should be darkest:\n{chart}");
+        assert!(
+            chart.contains('@'),
+            "worst cell should be darkest:\n{chart}"
+        );
         assert!(chart.contains("MAC  1"));
     }
 
@@ -193,8 +208,7 @@ mod tests {
     #[test]
     fn json_writes_pretty() {
         let dir = std::env::temp_dir().join("nvfi_report_test");
-        let path =
-            write_json(&dir, "t.json", &serde_json::json!({"x": [1, 2, 3]})).unwrap();
+        let path = write_json(&dir, "t.json", &serde_json::json!({"x": [1, 2, 3]})).unwrap();
         let text = std::fs::read_to_string(path).unwrap();
         assert!(text.contains("\"x\""));
     }

@@ -101,8 +101,15 @@ impl HeatMap {
     /// would name a cell `(0, 0)` that `at` rejects.
     #[must_use]
     pub fn new(rows: usize, cols: usize) -> Self {
-        assert!(rows > 0 && cols > 0, "heat map needs a non-empty grid, got {rows}x{cols}");
-        HeatMap { rows, cols, cells: vec![0.0; rows * cols] }
+        assert!(
+            rows > 0 && cols > 0,
+            "heat map needs a non-empty grid, got {rows}x{cols}"
+        );
+        HeatMap {
+            rows,
+            cols,
+            cells: vec![0.0; rows * cols],
+        }
     }
 
     /// Number of rows.

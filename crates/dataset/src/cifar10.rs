@@ -135,7 +135,13 @@ mod tests {
     fn rejects_bad_label() {
         let bytes = record(10, 0);
         let err = parse(&bytes).unwrap_err();
-        assert!(matches!(err, LoadError::BadLabel { record: 0, label: 10 }));
+        assert!(matches!(
+            err,
+            LoadError::BadLabel {
+                record: 0,
+                label: 10
+            }
+        ));
         assert!(err.to_string().contains("invalid label"));
     }
 

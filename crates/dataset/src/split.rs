@@ -26,7 +26,11 @@ impl Dataset {
     /// range.
     #[must_use]
     pub fn new(images: Tensor<f32>, labels: Vec<u8>) -> Self {
-        assert_eq!(images.shape().n, labels.len(), "labels do not match batch size");
+        assert_eq!(
+            images.shape().n,
+            labels.len(),
+            "labels do not match batch size"
+        );
         assert!(
             labels.iter().all(|&l| (l as usize) < NUM_CLASSES),
             "label out of range (>= {NUM_CLASSES})"

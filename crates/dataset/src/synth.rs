@@ -210,8 +210,12 @@ mod tests {
 
     #[test]
     fn balanced_classes() {
-        let data = SynthCifar::new(SynthCifarConfig { train: 100, test: 50, ..Default::default() })
-            .generate();
+        let data = SynthCifar::new(SynthCifarConfig {
+            train: 100,
+            test: 50,
+            ..Default::default()
+        })
+        .generate();
         let h = data.train.class_histogram();
         assert!(h.iter().all(|&c| c == 10), "{h:?}");
         let ht = data.test.class_histogram();
@@ -220,7 +224,11 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed_and_distinct_across_seeds() {
-        let cfg = SynthCifarConfig { train: 20, test: 0, ..Default::default() };
+        let cfg = SynthCifarConfig {
+            train: 20,
+            test: 0,
+            ..Default::default()
+        };
         let a = SynthCifar::new(cfg).generate();
         let b = SynthCifar::new(cfg).generate();
         assert_eq!(a.train.images.as_slice(), b.train.images.as_slice());
@@ -230,7 +238,12 @@ mod tests {
 
     #[test]
     fn label_noise_corrupts_roughly_the_requested_fraction() {
-        let cfg = SynthCifarConfig { train: 1000, test: 0, label_noise: 0.3, ..Default::default() };
+        let cfg = SynthCifarConfig {
+            train: 1000,
+            test: 0,
+            label_noise: 0.3,
+            ..Default::default()
+        };
         let data = SynthCifar::new(cfg).generate();
         // True class is i % 10 by construction; count disagreements.
         let wrong = data
@@ -244,8 +257,13 @@ mod tests {
         // expect ~27% disagreement.
         assert!((170..=370).contains(&wrong), "wrong = {wrong}");
         // Zero label noise keeps labels exact.
-        let clean = SynthCifar::new(SynthCifarConfig { label_noise: 0.0, train: 100, test: 0, ..cfg })
-            .generate();
+        let clean = SynthCifar::new(SynthCifarConfig {
+            label_noise: 0.0,
+            train: 100,
+            test: 0,
+            ..cfg
+        })
+        .generate();
         assert!(clean
             .train
             .labels
@@ -256,15 +274,28 @@ mod tests {
 
     #[test]
     fn pixel_range_is_bounded() {
-        let data = SynthCifar::new(SynthCifarConfig { train: 30, test: 0, ..Default::default() })
-            .generate();
+        let data = SynthCifar::new(SynthCifarConfig {
+            train: 30,
+            test: 0,
+            ..Default::default()
+        })
+        .generate();
         assert!(data.train.images.as_slice().iter().all(|v| v.abs() <= 2.0));
-        assert!(data.train.images.max_abs() > 0.1, "images should not be blank");
+        assert!(
+            data.train.images.max_abs() > 0.1,
+            "images should not be blank"
+        );
     }
 
     #[test]
     fn noise_zero_gives_clean_patterns() {
-        let cfg = SynthCifarConfig { train: 10, test: 0, noise: 0.0, jitter: 0.0, ..Default::default() };
+        let cfg = SynthCifarConfig {
+            train: 10,
+            test: 0,
+            noise: 0.0,
+            jitter: 0.0,
+            ..Default::default()
+        };
         let a = SynthCifar::new(cfg).generate();
         let b = SynthCifar::new(SynthCifarConfig { seed: 123, ..cfg }).generate();
         // With zero noise and zero jitter, same-class images are identical

@@ -55,7 +55,10 @@ impl Requant {
     pub const MAX_SHIFT: u8 = 62;
 
     /// The identity requantizer (`x -> x`).
-    pub const IDENTITY: Requant = Requant { multiplier: 1, shift: 0 };
+    pub const IDENTITY: Requant = Requant {
+        multiplier: 1,
+        shift: 0,
+    };
 
     /// Creates a requantizer from raw fixed-point parts.
     ///
@@ -81,7 +84,9 @@ impl Requant {
     /// positive, or so large/small that it falls outside the representable
     /// fixed-point range.
     pub fn from_scale(scale: f64) -> Result<Self, EncodeScaleError> {
-        let err = EncodeScaleError { scale_bits: scale.to_bits() };
+        let err = EncodeScaleError {
+            scale_bits: scale.to_bits(),
+        };
         if !scale.is_finite() || scale <= 0.0 {
             return Err(err);
         }
@@ -115,9 +120,15 @@ impl Requant {
         if total_shift > Self::MAX_SHIFT as i32 {
             // Scale is so small that even the largest shift underflows;
             // saturate to "always zero" representation.
-            return Ok(Requant { multiplier: 0, shift: 0 });
+            return Ok(Requant {
+                multiplier: 0,
+                shift: 0,
+            });
         }
-        Ok(Requant { multiplier: m as i32, shift: total_shift as u8 })
+        Ok(Requant {
+            multiplier: m as i32,
+            shift: total_shift as u8,
+        })
     }
 
     /// The fixed-point multiplier.

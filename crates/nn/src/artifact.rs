@@ -75,7 +75,14 @@ pub fn to_bytes(model: &DeployModel) -> Vec<u8> {
     for op in &model.ops {
         b.put_u32_le(op.input as u32);
         match &op.kind {
-            DeployOpKind::Conv { weight, bias, stride, pad, relu, fuse_add } => {
+            DeployOpKind::Conv {
+                weight,
+                bias,
+                stride,
+                pad,
+                relu,
+                fuse_add,
+            } => {
                 b.put_u8(TAG_CONV);
                 put_tensor(&mut b, weight);
                 put_f32s(&mut b, bias);
@@ -153,7 +160,14 @@ pub fn from_bytes(data: &[u8]) -> Result<DeployModel, ArtifactError> {
                     1 => Some(get_u32(&mut b)? as usize),
                     _ => return Err(ArtifactError::Corrupt("bad fuse_add flag")),
                 };
-                DeployOpKind::Conv { weight, bias, stride, pad, relu, fuse_add }
+                DeployOpKind::Conv {
+                    weight,
+                    bias,
+                    stride,
+                    pad,
+                    relu,
+                    fuse_add,
+                }
             }
             TAG_MAXPOOL => {
                 let k = get_u32(&mut b)? as usize;
@@ -169,7 +183,10 @@ pub fn from_bytes(data: &[u8]) -> Result<DeployModel, ArtifactError> {
                     return Err(ArtifactError::Corrupt("linear weight length"));
                 }
                 let bias = get_f32s(&mut b)?;
-                DeployOpKind::Linear { weight: Mat::from_vec(rows, cols, w), bias }
+                DeployOpKind::Linear {
+                    weight: Mat::from_vec(rows, cols, w),
+                    bias,
+                }
             }
             _ => return Err(ArtifactError::Corrupt("unknown op tag")),
         };
@@ -178,7 +195,11 @@ pub fn from_bytes(data: &[u8]) -> Result<DeployModel, ArtifactError> {
     if output > ops.len() {
         return Err(ArtifactError::Corrupt("output id out of range"));
     }
-    Ok(DeployModel { input_shape, ops, output })
+    Ok(DeployModel {
+        input_shape,
+        ops,
+        output,
+    })
 }
 
 /// Saves a model artifact to a file.
@@ -266,23 +287,35 @@ mod tests {
         let x = Tensor::from_fn(Shape4::new(1, 3, 16, 16), |_, c, h, w| {
             ((c * 5 + h * 3 + w) % 7) as f32 * 0.1
         });
-        assert_eq!(model.forward(&x).as_slice(), restored.forward(&x).as_slice());
+        assert_eq!(
+            model.forward(&x).as_slice(),
+            restored.forward(&x).as_slice()
+        );
         assert_eq!(model.ops.len(), restored.ops.len());
     }
 
     #[test]
     fn rejects_garbage() {
-        assert!(matches!(from_bytes(&[1, 2, 3]), Err(ArtifactError::Corrupt(_))));
+        assert!(matches!(
+            from_bytes(&[1, 2, 3]),
+            Err(ArtifactError::Corrupt(_))
+        ));
         let mut bytes = to_bytes(&fold_resnet(&ResNet::new(4, &[1], 10, 0), 8));
         bytes[0] ^= 0xFF;
-        assert!(matches!(from_bytes(&bytes), Err(ArtifactError::BadMagic(_))));
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(ArtifactError::BadMagic(_))
+        ));
     }
 
     #[test]
     fn rejects_wrong_version() {
         let mut bytes = to_bytes(&fold_resnet(&ResNet::new(4, &[1], 10, 0), 8));
         bytes[4] = 0xFF;
-        assert!(matches!(from_bytes(&bytes), Err(ArtifactError::BadVersion(_))));
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(ArtifactError::BadVersion(_))
+        ));
     }
 
     #[test]

@@ -84,12 +84,22 @@ impl DeployModel {
             assert!(op.input <= i, "op {i} reads future value {}", op.input);
             let in_shape = shapes[op.input];
             let out = match &op.kind {
-                DeployOpKind::Conv { weight, stride, pad, fuse_add, .. } => {
+                DeployOpKind::Conv {
+                    weight,
+                    stride,
+                    pad,
+                    fuse_add,
+                    ..
+                } => {
                     let ws = weight.shape();
                     let geom = ConvGeom::new(in_shape, ws.n, ws.h, ws.w, *stride, *pad);
                     if let Some(a) = fuse_add {
                         assert!(*a <= i, "op {i} fuses future value {a}");
-                        assert_eq!(shapes[*a], geom.out_shape(), "fused add shape mismatch at op {i}");
+                        assert_eq!(
+                            shapes[*a],
+                            geom.out_shape(),
+                            "fused add shape mismatch at op {i}"
+                        );
                     }
                     geom.out_shape()
                 }
@@ -117,7 +127,9 @@ impl DeployModel {
     #[must_use]
     pub fn forward(&self, batch: &Tensor<f32>) -> Tensor<f32> {
         let mut values = self.forward_values(batch);
-        values[self.output].take().expect("output value not computed")
+        values[self.output]
+            .take()
+            .expect("output value not computed")
     }
 
     /// Runs the model and returns **every** intermediate value (index 0 is
@@ -130,13 +142,24 @@ impl DeployModel {
     #[must_use]
     pub fn forward_values(&self, batch: &Tensor<f32>) -> Vec<Option<Tensor<f32>>> {
         let bs = batch.shape();
-        assert_eq!(bs.with_n(1), self.input_shape.with_n(1), "input shape mismatch");
+        assert_eq!(
+            bs.with_n(1),
+            self.input_shape.with_n(1),
+            "input shape mismatch"
+        );
         let mut values: Vec<Option<Tensor<f32>>> = vec![None; self.ops.len() + 1];
         values[0] = Some(batch.clone());
         for (i, op) in self.ops.iter().enumerate() {
             let x = values[op.input].as_ref().expect("value not computed");
             let out = match &op.kind {
-                DeployOpKind::Conv { weight, bias, stride, pad, relu, fuse_add } => {
+                DeployOpKind::Conv {
+                    weight,
+                    bias,
+                    stride,
+                    pad,
+                    relu,
+                    fuse_add,
+                } => {
                     let ws = weight.shape();
                     let geom = ConvGeom::new(x.shape().with_n(1), ws.n, ws.h, ws.w, *stride, *pad);
                     let mut y = conv::conv2d_f32(x, weight, &geom);
@@ -147,7 +170,10 @@ impl DeployModel {
                                 for w in 0..ys.w {
                                     let mut v = y.at(n, k, h, w) + bias[k];
                                     if let Some(a) = fuse_add {
-                                        v += values[*a].as_ref().expect("fused value").at(n, k, h, w);
+                                        v += values[*a]
+                                            .as_ref()
+                                            .expect("fused value")
+                                            .at(n, k, h, w);
                                     }
                                     if *relu {
                                         v = v.max(0.0);
@@ -234,7 +260,10 @@ mod tests {
                         fuse_add: None,
                     },
                 },
-                DeployOp { input: 1, kind: DeployOpKind::GlobalAvgPool },
+                DeployOp {
+                    input: 1,
+                    kind: DeployOpKind::GlobalAvgPool,
+                },
             ],
             output: 2,
         }
@@ -243,7 +272,10 @@ mod tests {
     #[test]
     fn identity_conv_with_bias_and_relu() {
         let m = tiny_model();
-        let x = Tensor::from_vec(Shape4::new(1, 2, 2, 2), vec![1.0, -2.0, 3.0, 0.0, -1.0, -1.0, -1.0, -1.0]);
+        let x = Tensor::from_vec(
+            Shape4::new(1, 2, 2, 2),
+            vec![1.0, -2.0, 3.0, 0.0, -1.0, -1.0, -1.0, -1.0],
+        );
         let y = m.forward(&x);
         // Channel 0: relu(x + 0.5) averaged: (1.5 + 0 + 3.5 + 0.5)/4
         assert!((y.at(0, 0, 0, 0) - 5.5 / 4.0).abs() < 1e-6);

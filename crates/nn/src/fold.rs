@@ -53,7 +53,14 @@ pub fn fold_resnet(net: &ResNet, input_hw: usize) -> DeployModel {
     let mut cur: ValueId = push(
         DeployOp {
             input: 0,
-            kind: DeployOpKind::Conv { weight: w, bias: b, stride: net.stem.stride, pad: net.stem.pad, relu: true, fuse_add: None },
+            kind: DeployOpKind::Conv {
+                weight: w,
+                bias: b,
+                stride: net.stem.stride,
+                pad: net.stem.pad,
+                relu: true,
+                fuse_add: None,
+            },
         },
         &mut ops,
     );
@@ -67,7 +74,14 @@ pub fn fold_resnet(net: &ResNet, input_hw: usize) -> DeployModel {
                 push(
                     DeployOp {
                         input: block_input,
-                        kind: DeployOpKind::Conv { weight: w, bias: b, stride: conv.stride, pad: conv.pad, relu: false, fuse_add: None },
+                        kind: DeployOpKind::Conv {
+                            weight: w,
+                            bias: b,
+                            stride: conv.stride,
+                            pad: conv.pad,
+                            relu: false,
+                            fuse_add: None,
+                        },
                     },
                     &mut ops,
                 )
@@ -79,7 +93,14 @@ pub fn fold_resnet(net: &ResNet, input_hw: usize) -> DeployModel {
         let v1 = push(
             DeployOp {
                 input: block_input,
-                kind: DeployOpKind::Conv { weight: w1, bias: b1, stride: block.conv1.stride, pad: block.conv1.pad, relu: true, fuse_add: None },
+                kind: DeployOpKind::Conv {
+                    weight: w1,
+                    bias: b1,
+                    stride: block.conv1.stride,
+                    pad: block.conv1.pad,
+                    relu: true,
+                    fuse_add: None,
+                },
             },
             &mut ops,
         );
@@ -88,21 +109,44 @@ pub fn fold_resnet(net: &ResNet, input_hw: usize) -> DeployModel {
         cur = push(
             DeployOp {
                 input: v1,
-                kind: DeployOpKind::Conv { weight: w2, bias: b2, stride: block.conv2.stride, pad: block.conv2.pad, relu: true, fuse_add: Some(shortcut) },
+                kind: DeployOpKind::Conv {
+                    weight: w2,
+                    bias: b2,
+                    stride: block.conv2.stride,
+                    pad: block.conv2.pad,
+                    relu: true,
+                    fuse_add: Some(shortcut),
+                },
             },
             &mut ops,
         );
     }
 
     // Head.
-    cur = push(DeployOp { input: cur, kind: DeployOpKind::GlobalAvgPool }, &mut ops);
+    cur = push(
+        DeployOp {
+            input: cur,
+            kind: DeployOpKind::GlobalAvgPool,
+        },
+        &mut ops,
+    );
     let wmat = Mat::from_vec(net.fc.out_f, net.fc.in_f, net.fc.weight.data.clone());
     let out = push(
-        DeployOp { input: cur, kind: DeployOpKind::Linear { weight: wmat, bias: net.fc.bias.data.clone() } },
+        DeployOp {
+            input: cur,
+            kind: DeployOpKind::Linear {
+                weight: wmat,
+                bias: net.fc.bias.data.clone(),
+            },
+        },
         &mut ops,
     );
 
-    DeployModel { input_shape: Shape4::new(1, 3, input_hw, input_hw), ops, output: out }
+    DeployModel {
+        input_shape: Shape4::new(1, 3, input_hw, input_hw),
+        ops,
+        output: out,
+    }
 }
 
 #[cfg(test)]
@@ -132,7 +176,14 @@ mod tests {
             input_shape: Shape4::new(1, 2, 5, 5),
             ops: vec![DeployOp {
                 input: 0,
-                kind: DeployOpKind::Conv { weight: wf, bias: bf, stride: 1, pad: 1, relu: false, fuse_add: None },
+                kind: DeployOpKind::Conv {
+                    weight: wf,
+                    bias: bf,
+                    stride: 1,
+                    pad: 1,
+                    relu: false,
+                    fuse_add: None,
+                },
             }],
             output: 1,
         };
@@ -146,8 +197,16 @@ mod tests {
     fn folded_resnet_matches_eval_forward() {
         let mut net = ResNet::new(4, &[1, 1], 10, 5);
         // Perturb running stats so folding is non-trivial.
-        net.stem_bn.running_mean.iter_mut().enumerate().for_each(|(i, v)| *v = i as f32 * 0.05);
-        net.stem_bn.running_var.iter_mut().enumerate().for_each(|(i, v)| *v = 1.0 + i as f32 * 0.1);
+        net.stem_bn
+            .running_mean
+            .iter_mut()
+            .enumerate()
+            .for_each(|(i, v)| *v = i as f32 * 0.05);
+        net.stem_bn
+            .running_var
+            .iter_mut()
+            .enumerate()
+            .for_each(|(i, v)| *v = 1.0 + i as f32 * 0.1);
         let x = Tensor::from_fn(Shape4::new(2, 3, 16, 16), |n, c, h, w| {
             ((n * 7 + c * 3 + h + w) % 13) as f32 * 0.1 - 0.6
         });

@@ -26,7 +26,11 @@ impl Param {
     /// Creates a zero-initialized parameter of length `len`.
     #[must_use]
     pub fn zeros(len: usize) -> Self {
-        Param { data: vec![0.0; len], grad: vec![0.0; len], mom: vec![0.0; len] }
+        Param {
+            data: vec![0.0; len],
+            grad: vec![0.0; len],
+            mom: vec![0.0; len],
+        }
     }
 
     /// Number of scalar parameters.
@@ -111,12 +115,32 @@ impl Conv2d {
         let mut weight = Param::zeros(out_c * in_c * k * k);
         init::kaiming_normal(rng, in_c * k * k, &mut weight.data);
         let bias = bias.then(|| Param::zeros(out_c));
-        Conv2d { in_c, out_c, k, stride, pad, weight, bias, cache: None }
+        Conv2d {
+            in_c,
+            out_c,
+            k,
+            stride,
+            pad,
+            weight,
+            bias,
+            cache: None,
+        }
     }
 
     fn geom(&self, x: Shape4) -> ConvGeom {
-        assert_eq!(x.c, self.in_c, "conv expects {} input channels, got {x}", self.in_c);
-        ConvGeom::new(x.with_n(1), self.out_c, self.k, self.k, self.stride, self.pad)
+        assert_eq!(
+            x.c, self.in_c,
+            "conv expects {} input channels, got {x}",
+            self.in_c
+        );
+        ConvGeom::new(
+            x.with_n(1),
+            self.out_c,
+            self.k,
+            self.k,
+            self.stride,
+            self.pad,
+        )
     }
 
     /// The weights as a `(K, C, R, S)` tensor (copy).
@@ -132,7 +156,11 @@ impl Conv2d {
 impl Layer for Conv2d {
     fn forward(&mut self, x: &Tensor<f32>, train: bool) -> Tensor<f32> {
         let geom = self.geom(x.shape());
-        let wmat = Mat::from_vec(self.out_c, self.in_c * self.k * self.k, self.weight.data.clone());
+        let wmat = Mat::from_vec(
+            self.out_c,
+            self.in_c * self.k * self.k,
+            self.weight.data.clone(),
+        );
         let n = x.shape().n;
         let mut out = Tensor::zeros(geom.out_shape().with_n(n));
         let mut cols_cache = Vec::with_capacity(if train { n } else { 0 });
@@ -152,12 +180,19 @@ impl Layer for Conv2d {
                 cols_cache.push(cols);
             }
         }
-        self.cache = train.then_some(ConvCache { cols: cols_cache, geom, batch: n });
+        self.cache = train.then_some(ConvCache {
+            cols: cols_cache,
+            geom,
+            batch: n,
+        });
         out
     }
 
     fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
-        let cache = self.cache.take().expect("Conv2d::backward without training forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("Conv2d::backward without training forward");
         let geom = cache.geom;
         let crs = self.in_c * self.k * self.k;
         let wmat = Mat::from_vec(self.out_c, crs, self.weight.data.clone());
@@ -244,7 +279,11 @@ impl BatchNorm2d {
 impl Layer for BatchNorm2d {
     fn forward(&mut self, x: &Tensor<f32>, train: bool) -> Tensor<f32> {
         let s = x.shape();
-        assert_eq!(s.c, self.c, "batchnorm expects {} channels, got {s}", self.c);
+        assert_eq!(
+            s.c, self.c,
+            "batchnorm expects {} channels, got {s}",
+            self.c
+        );
         let count = s.n * s.h * s.w;
         let mut out = Tensor::zeros(s);
         if train {
@@ -294,7 +333,11 @@ impl Layer for BatchNorm2d {
                     }
                 }
             }
-            self.cache = Some(BnCache { xhat, inv_std, count });
+            self.cache = Some(BnCache {
+                xhat,
+                inv_std,
+                count,
+            });
         } else {
             for n in 0..s.n {
                 for c in 0..s.c {
@@ -312,7 +355,10 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
-        let cache = self.cache.take().expect("BatchNorm2d::backward without training forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("BatchNorm2d::backward without training forward");
         let s = dy.shape();
         let count = cache.count as f32;
         let mut dbeta = vec![0f32; self.c];
@@ -381,7 +427,10 @@ impl Layer for ReLU {
     }
 
     fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
-        let mask = self.mask.take().expect("ReLU::backward without training forward");
+        let mask = self
+            .mask
+            .take()
+            .expect("ReLU::backward without training forward");
         let mut dx = dy.clone();
         for (d, &m) in dx.as_mut_slice().iter_mut().zip(&mask) {
             if !m {
@@ -410,7 +459,11 @@ impl MaxPool2d {
     /// Creates a max-pooling layer.
     #[must_use]
     pub fn new(k: usize, stride: usize) -> Self {
-        MaxPool2d { k, stride, cache: None }
+        MaxPool2d {
+            k,
+            stride,
+            cache: None,
+        }
     }
 }
 
@@ -450,7 +503,10 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
-        let (in_shape, arg) = self.cache.take().expect("MaxPool2d::backward without forward");
+        let (in_shape, arg) = self
+            .cache
+            .take()
+            .expect("MaxPool2d::backward without forward");
         let mut dx = Tensor::zeros(in_shape);
         for (&idx, &g) in arg.iter().zip(dy.as_slice()) {
             dx.as_mut_slice()[idx] += g;
@@ -486,7 +542,10 @@ impl Layer for GlobalAvgPool {
     }
 
     fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
-        let s = self.in_shape.take().expect("GlobalAvgPool::backward without forward");
+        let s = self
+            .in_shape
+            .take()
+            .expect("GlobalAvgPool::backward without forward");
         let area = (s.h * s.w) as f32;
         Tensor::from_fn(s, |n, c, _, _| dy.at(n, c, 0, 0) / area)
     }
@@ -518,7 +577,13 @@ impl Linear {
         init::kaiming_normal(rng, in_f, &mut weight.data);
         let mut bias = Param::zeros(out_f);
         init::uniform(rng, 1.0 / (in_f as f32).sqrt(), &mut bias.data);
-        Linear { in_f, out_f, weight, bias, cache: None }
+        Linear {
+            in_f,
+            out_f,
+            weight,
+            bias,
+            cache: None,
+        }
     }
 }
 
@@ -551,7 +616,10 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, dy: &Tensor<f32>) -> Tensor<f32> {
-        let x = self.cache.take().expect("Linear::backward without training forward");
+        let x = self
+            .cache
+            .take()
+            .expect("Linear::backward without training forward");
         let s = x.shape();
         let mut dx = Tensor::zeros(s);
         for n in 0..s.n {
@@ -591,8 +659,9 @@ mod tests {
     fn grad_check<L: Layer>(layer: &mut L, x: &Tensor<f32>, tol: f32) {
         let mut rng = StdRng::seed_from_u64(42);
         let out = layer.forward(x, true);
-        let coeff: Vec<f32> =
-            (0..out.shape().len()).map(|_| init::gaussian(&mut rng)).collect();
+        let coeff: Vec<f32> = (0..out.shape().len())
+            .map(|_| init::gaussian(&mut rng))
+            .collect();
         let dy = Tensor::from_vec(out.shape(), coeff.clone());
         let dx = layer.backward(&dy);
 
@@ -635,7 +704,9 @@ mod tests {
             ((h * 5 + w) % 7) as f32 * 0.2 - 0.6
         });
         let out = conv.forward(&x, true);
-        let coeff: Vec<f32> = (0..out.shape().len()).map(|i| ((i % 5) as f32) - 2.0).collect();
+        let coeff: Vec<f32> = (0..out.shape().len())
+            .map(|i| ((i % 5) as f32) - 2.0)
+            .collect();
         let dy = Tensor::from_vec(out.shape(), coeff.clone());
         let _ = conv.backward(&dy);
         let analytic = conv.weight.grad.clone();
@@ -670,7 +741,9 @@ mod tests {
         });
         // Custom check in train mode.
         let out = bn.forward(&x, true);
-        let coeff: Vec<f32> = (0..out.shape().len()).map(|i| ((i % 7) as f32) * 0.3 - 1.0).collect();
+        let coeff: Vec<f32> = (0..out.shape().len())
+            .map(|i| ((i % 7) as f32) * 0.3 - 1.0)
+            .collect();
         let dy = Tensor::from_vec(out.shape(), coeff.clone());
         let dx = bn.backward(&dy);
         let eps = 1e-2f32;
@@ -679,11 +752,21 @@ mod tests {
             xp.as_mut_slice()[idx] += eps;
             let mut xm = x.clone();
             xm.as_mut_slice()[idx] -= eps;
-            let lp: f32 =
-                bn.forward(&xp, true).as_slice().iter().zip(&coeff).map(|(a, b)| a * b).sum();
+            let lp: f32 = bn
+                .forward(&xp, true)
+                .as_slice()
+                .iter()
+                .zip(&coeff)
+                .map(|(a, b)| a * b)
+                .sum();
             bn.cache = None;
-            let lm: f32 =
-                bn.forward(&xm, true).as_slice().iter().zip(&coeff).map(|(a, b)| a * b).sum();
+            let lm: f32 = bn
+                .forward(&xm, true)
+                .as_slice()
+                .iter()
+                .zip(&coeff)
+                .map(|(a, b)| a * b)
+                .sum();
             bn.cache = None;
             let num = (lp - lm) / (2.0 * eps);
             let ana = dx.as_slice()[idx];

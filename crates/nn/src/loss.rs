@@ -76,7 +76,10 @@ mod tests {
 
     #[test]
     fn gradient_sums_to_zero() {
-        let logits = Tensor::from_vec(Shape4::new(2, 3, 1, 1), vec![1.0f32, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let logits = Tensor::from_vec(
+            Shape4::new(2, 3, 1, 1),
+            vec![1.0f32, 2.0, 3.0, -1.0, 0.0, 1.0],
+        );
         let (_, dl) = softmax_cross_entropy(&logits, &[1, 2]);
         let total: f32 = dl.as_slice().iter().sum();
         assert!(total.abs() < 1e-5);
@@ -105,7 +108,10 @@ mod tests {
 
     #[test]
     fn predictions_argmax() {
-        let logits = Tensor::from_vec(Shape4::new(2, 3, 1, 1), vec![1.0f32, 5.0, 2.0, 9.0, 0.0, 3.0]);
+        let logits = Tensor::from_vec(
+            Shape4::new(2, 3, 1, 1),
+            vec![1.0f32, 5.0, 2.0, 9.0, 0.0, 3.0],
+        );
         assert_eq!(predictions(&logits), vec![1, 0]);
     }
 }

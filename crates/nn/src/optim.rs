@@ -15,7 +15,11 @@ pub struct Sgd {
 
 impl Default for Sgd {
     fn default() -> Self {
-        Sgd { lr: 0.05, momentum: 0.9, weight_decay: 5e-4 }
+        Sgd {
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 5e-4,
+        }
     }
 }
 
@@ -73,7 +77,11 @@ mod tests {
         // Minimize f(x) = x^2 with grad 2x.
         let mut layer = Scalar { p: Param::zeros(1) };
         layer.p.data[0] = 4.0;
-        let opt = Sgd { lr: 0.1, momentum: 0.0, weight_decay: 0.0 };
+        let opt = Sgd {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        };
         for _ in 0..60 {
             layer.p.grad[0] = 2.0 * layer.p.data[0];
             opt.step(&mut layer);
@@ -86,7 +94,11 @@ mod tests {
         let run = |momentum: f32| {
             let mut layer = Scalar { p: Param::zeros(1) };
             layer.p.data[0] = 4.0;
-            let opt = Sgd { lr: 0.02, momentum, weight_decay: 0.0 };
+            let opt = Sgd {
+                lr: 0.02,
+                momentum,
+                weight_decay: 0.0,
+            };
             for _ in 0..20 {
                 layer.p.grad[0] = 2.0 * layer.p.data[0];
                 opt.step(&mut layer);
@@ -100,7 +112,11 @@ mod tests {
     fn weight_decay_shrinks_params() {
         let mut layer = Scalar { p: Param::zeros(1) };
         layer.p.data[0] = 1.0;
-        let opt = Sgd { lr: 0.1, momentum: 0.0, weight_decay: 1.0 };
+        let opt = Sgd {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 1.0,
+        };
         opt.step(&mut layer); // gradient is zero; only decay acts
         assert!(layer.p.data[0] < 1.0);
     }

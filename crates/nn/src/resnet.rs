@@ -10,9 +10,7 @@ use nvfi_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::layers::{
-    BatchNorm2d, Conv2d, GlobalAvgPool, Layer, Linear, Param, ReLU,
-};
+use crate::layers::{BatchNorm2d, Conv2d, GlobalAvgPool, Layer, Linear, Param, ReLU};
 
 /// A residual basic block: `relu(bn2(conv2(relu(bn1(conv1 x)))) + shortcut(x))`.
 #[derive(Clone, Debug)]
@@ -35,8 +33,12 @@ impl BasicBlock {
     /// Creates a block mapping `in_c -> out_c` with the given stride.
     #[must_use]
     pub fn new(in_c: usize, out_c: usize, stride: usize, rng: &mut StdRng) -> Self {
-        let down = (stride != 1 || in_c != out_c)
-            .then(|| (Conv2d::new(in_c, out_c, 1, stride, 0, false, rng), BatchNorm2d::new(out_c)));
+        let down = (stride != 1 || in_c != out_c).then(|| {
+            (
+                Conv2d::new(in_c, out_c, 1, stride, 0, false, rng),
+                BatchNorm2d::new(out_c),
+            )
+        });
         BasicBlock {
             conv1: Conv2d::new(in_c, out_c, 3, stride, 1, false, rng),
             bn1: BatchNorm2d::new(out_c),
@@ -138,7 +140,10 @@ impl ResNet {
     /// Panics if `width == 0`, `classes == 0` or `stage_blocks` is empty.
     #[must_use]
     pub fn new(width: usize, stage_blocks: &[usize], classes: usize, seed: u64) -> Self {
-        assert!(width > 0 && classes > 0 && !stage_blocks.is_empty(), "bad resnet config");
+        assert!(
+            width > 0 && classes > 0 && !stage_blocks.is_empty(),
+            "bad resnet config"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let stem = Conv2d::new(3, width, 3, 1, 1, false, &mut rng);
         let stem_bn = BatchNorm2d::new(width);
@@ -153,7 +158,15 @@ impl ResNet {
             }
         }
         let fc = Linear::new(in_c, classes, &mut rng);
-        ResNet { stem, stem_bn, stem_relu: ReLU::new(), blocks, pool: GlobalAvgPool::new(), fc, width }
+        ResNet {
+            stem,
+            stem_bn,
+            stem_relu: ReLU::new(),
+            blocks,
+            pool: GlobalAvgPool::new(),
+            fc,
+            width,
+        }
     }
 
     /// Total number of learnable scalars.
@@ -249,6 +262,9 @@ mod tests {
         let x = Tensor::from_fn(Shape4::new(1, 3, 32, 32), |_, c, h, w| {
             ((c * 3 + h + w) % 7) as f32 * 0.1
         });
-        assert_eq!(a.forward(&x, false).as_slice(), b.forward(&x, false).as_slice());
+        assert_eq!(
+            a.forward(&x, false).as_slice(),
+            b.forward(&x, false).as_slice()
+        );
     }
 }

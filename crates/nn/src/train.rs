@@ -104,18 +104,27 @@ impl Trainer {
                 let (l, dlogits) = loss::softmax_cross_entropy(&logits, &batch.labels);
                 epoch_loss += f64::from(l) * chunk.len() as f64;
                 let preds = loss::predictions(&logits);
-                correct +=
-                    preds.iter().zip(&batch.labels).filter(|(p, y)| p == y).count();
+                correct += preds
+                    .iter()
+                    .zip(&batch.labels)
+                    .filter(|(p, y)| p == y)
+                    .count();
                 net.backward(&dlogits);
                 let lr = Sgd::cosine_lr(cfg.lr, step, total_steps);
-                let opt =
-                    Sgd { lr, momentum: cfg.momentum, weight_decay: cfg.weight_decay };
+                let opt = Sgd {
+                    lr,
+                    momentum: cfg.momentum,
+                    weight_decay: cfg.weight_decay,
+                };
                 opt.step(net);
                 step += 1;
             }
             let train_acc = correct as f64 / train.len() as f64;
-            let test_acc =
-                if test.is_empty() { 0.0 } else { evaluate(net, test, cfg.batch.max(16)) };
+            let test_acc = if test.is_empty() {
+                0.0
+            } else {
+                evaluate(net, test, cfg.batch.max(16))
+            };
             let e = EpochStats {
                 loss: (epoch_loss / train.len() as f64) as f32,
                 train_acc,
@@ -171,7 +180,12 @@ mod tests {
         })
         .generate();
         let mut net = ResNet::new(4, &[1, 1], 10, 7);
-        let cfg = TrainConfig { epochs: 15, batch: 16, lr: 0.05, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 15,
+            batch: 16,
+            lr: 0.05,
+            ..Default::default()
+        };
         let stats = Trainer::new(cfg).fit(&mut net, &data.train, &data.test);
         assert_eq!(stats.epochs.len(), 15);
         let last = stats.epochs.last().unwrap();
@@ -193,10 +207,17 @@ mod tests {
             ..Default::default()
         })
         .generate();
-        let cfg = TrainConfig { epochs: 1, batch: 8, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 1,
+            batch: 8,
+            ..Default::default()
+        };
         let run = || {
             let mut net = ResNet::new(4, &[1], 10, 9);
-            Trainer::new(cfg).fit(&mut net, &data.train, &data.test).epochs[0].loss
+            Trainer::new(cfg)
+                .fit(&mut net, &data.train, &data.test)
+                .epochs[0]
+                .loss
         };
         assert_eq!(run(), run());
     }
@@ -204,8 +225,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty training set")]
     fn empty_train_rejected() {
-        let data = SynthCifar::new(SynthCifarConfig { train: 4, test: 0, ..Default::default() })
-            .generate();
+        let data = SynthCifar::new(SynthCifarConfig {
+            train: 4,
+            test: 0,
+            ..Default::default()
+        })
+        .generate();
         let empty = data.train.take(0);
         let mut net = ResNet::new(4, &[1], 10, 0);
         let _ = Trainer::new(TrainConfig::default()).fit(&mut net, &empty, &empty);

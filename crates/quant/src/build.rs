@@ -20,7 +20,10 @@ pub struct QuantConfig {
 
 impl Default for QuantConfig {
     fn default() -> Self {
-        QuantConfig { per_channel: true, calib_chunk: 16 }
+        QuantConfig {
+            per_channel: true,
+            calib_chunk: 16,
+        }
     }
 }
 
@@ -88,7 +91,9 @@ pub fn quantize(
     let scale_of = |value: usize, absmax: &[f32]| -> Result<f32, QuantError> {
         let m = absmax[value];
         if !(m.is_finite()) || m <= 0.0 {
-            return Err(QuantError::DegenerateScale { at: format!("value {value}") });
+            return Err(QuantError::DegenerateScale {
+                at: format!("value {value}"),
+            });
         }
         Ok(m / 127.0)
     };
@@ -101,7 +106,14 @@ pub fn quantize(
     for (i, op) in model.ops.iter().enumerate() {
         let s_in = scales[op.input];
         let (kind, out_scale) = match &op.kind {
-            DeployOpKind::Conv { weight, bias, stride, pad, relu, fuse_add } => {
+            DeployOpKind::Conv {
+                weight,
+                bias,
+                stride,
+                pad,
+                relu,
+                fuse_add,
+            } => {
                 let s_out = scale_of(i + 1, &absmax)?;
                 let k = weight.shape().n;
                 let per_k = weight.shape().len() / k;
@@ -128,7 +140,9 @@ pub fn quantize(
                 }
                 for &sw in &w_scales {
                     let r = Requant::from_scale(f64::from(s_in) * f64::from(sw) / f64::from(s_out))
-                        .map_err(|_| QuantError::DegenerateScale { at: format!("conv {i} requant") })?;
+                        .map_err(|_| QuantError::DegenerateScale {
+                            at: format!("conv {i} requant"),
+                        })?;
                     requants.push(r);
                 }
                 let add_requant = match fuse_add {
@@ -136,7 +150,9 @@ pub fn quantize(
                         let s_res = scales[*a];
                         Some(
                             Requant::from_scale(f64::from(s_res) / f64::from(s_out)).map_err(
-                                |_| QuantError::DegenerateScale { at: format!("conv {i} add") },
+                                |_| QuantError::DegenerateScale {
+                                    at: format!("conv {i} add"),
+                                },
                             )?,
                         )
                     }
@@ -157,9 +173,13 @@ pub fn quantize(
                     s_out,
                 )
             }
-            DeployOpKind::MaxPool { k, stride } => {
-                (QOpKind::MaxPool { k: *k, stride: *stride }, s_in)
-            }
+            DeployOpKind::MaxPool { k, stride } => (
+                QOpKind::MaxPool {
+                    k: *k,
+                    stride: *stride,
+                },
+                s_in,
+            ),
             DeployOpKind::GlobalAvgPool => (QOpKind::GlobalAvgPool, s_in),
             DeployOpKind::Linear { weight, bias } => {
                 let m = weight.as_slice().iter().fold(0f32, |a, &v| a.max(v.abs()));
@@ -174,13 +194,26 @@ pub fn quantize(
                         .collect(),
                 );
                 let out_scale = s_in * sw;
-                let qbias: Vec<i32> =
-                    bias.iter().map(|&b| (b / out_scale).round() as i32).collect();
-                (QOpKind::Linear(QLinear { weight: qw, bias: qbias, out_scale }), out_scale)
+                let qbias: Vec<i32> = bias
+                    .iter()
+                    .map(|&b| (b / out_scale).round() as i32)
+                    .collect();
+                (
+                    QOpKind::Linear(QLinear {
+                        weight: qw,
+                        bias: qbias,
+                        out_scale,
+                    }),
+                    out_scale,
+                )
             }
         };
         scales[i + 1] = out_scale;
-        ops.push(QOp { input: op.input, kind, out_scale });
+        ops.push(QOp {
+            input: op.input,
+            kind,
+            out_scale,
+        });
     }
 
     Ok(QuantModel {
@@ -201,7 +234,11 @@ fn scale_from_absmax(m: f32, at: &str) -> Result<f32, QuantError> {
 fn quantize_weights(w: &Tensor<f32>, scales: &[f32], per_k: usize) -> Tensor<i8> {
     let mut out = Vec::with_capacity(w.shape().len());
     for (idx, &v) in w.as_slice().iter().enumerate() {
-        let s = if scales.len() == 1 { scales[0] } else { scales[idx / per_k] };
+        let s = if scales.len() == 1 {
+            scales[0]
+        } else {
+            scales[idx / per_k]
+        };
         out.push(nvfi_hwnum::sat::quantize_f32_to_i8(v, s));
     }
     Tensor::from_vec(w.shape(), out)
@@ -224,8 +261,12 @@ mod tests {
     use nvfi_nn::resnet::ResNet;
 
     fn setup() -> (DeployModel, Tensor<f32>) {
-        let data = SynthCifar::new(SynthCifarConfig { train: 24, test: 0, ..Default::default() })
-            .generate();
+        let data = SynthCifar::new(SynthCifarConfig {
+            train: 24,
+            test: 0,
+            ..Default::default()
+        })
+        .generate();
         let net = ResNet::new(4, &[1, 1], 10, 3);
         (fold_resnet(&net, 32), data.train.images)
     }
@@ -242,12 +283,31 @@ mod tests {
     #[test]
     fn per_channel_has_k_requants() {
         let (model, calib) = setup();
-        let q = quantize(&model, &calib, &QuantConfig { per_channel: true, calib_chunk: 8 }).unwrap();
-        let QOpKind::Conv(c) = &q.ops[0].kind else { panic!("first op should be conv") };
+        let q = quantize(
+            &model,
+            &calib,
+            &QuantConfig {
+                per_channel: true,
+                calib_chunk: 8,
+            },
+        )
+        .unwrap();
+        let QOpKind::Conv(c) = &q.ops[0].kind else {
+            panic!("first op should be conv")
+        };
         assert_eq!(c.requant.len(), c.weight.shape().n);
-        let qt =
-            quantize(&model, &calib, &QuantConfig { per_channel: false, calib_chunk: 8 }).unwrap();
-        let QOpKind::Conv(ct) = &qt.ops[0].kind else { panic!() };
+        let qt = quantize(
+            &model,
+            &calib,
+            &QuantConfig {
+                per_channel: false,
+                calib_chunk: 8,
+            },
+        )
+        .unwrap();
+        let QOpKind::Conv(ct) = &qt.ops[0].kind else {
+            panic!()
+        };
         assert_eq!(ct.requant.len(), 1);
     }
 

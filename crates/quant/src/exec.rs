@@ -71,13 +71,20 @@ pub fn forward_with_graph_faults(
     faults: &[GraphFault],
 ) -> Vec<Vec<i32>> {
     let bs = input.shape();
-    assert_eq!(bs.with_n(1), model.input_shape.with_n(1), "input shape mismatch");
+    assert_eq!(
+        bs.with_n(1),
+        model.input_shape.with_n(1),
+        "input shape mismatch"
+    );
     let batch = bs.n;
     let mut values: Vec<Option<Tensor<i8>>> = vec![None; model.ops.len() + 1];
     values[0] = Some(input.clone());
     let mut logits: Vec<Vec<i32>> = Vec::new();
     for (i, op) in model.ops.iter().enumerate() {
-        let x = values[op.input].as_ref().expect("value not computed").clone();
+        let x = values[op.input]
+            .as_ref()
+            .expect("value not computed")
+            .clone();
         let out: Tensor<i8> = match &op.kind {
             QOpKind::Conv(c) => {
                 let ws = c.weight.shape();
@@ -167,7 +174,10 @@ fn apply_stuck_zero(y: &mut Tensor<i8>, faults: &[GraphFault], op_idx: usize) {
 #[must_use]
 pub fn classify(model: &QuantModel, batch: &Tensor<f32>, threads: usize) -> Vec<u8> {
     let qin = model.quantize_input(batch);
-    forward(model, &qin, threads).iter().map(|row| argmax(row)).collect()
+    forward(model, &qin, threads)
+        .iter()
+        .map(|row| argmax(row))
+        .collect()
 }
 
 /// Top-1 accuracy on `(images, labels)`.
@@ -221,8 +231,12 @@ mod tests {
     use nvfi_nn::resnet::ResNet;
 
     fn setup() -> (QuantModel, nvfi_dataset::TrainTest) {
-        let data = SynthCifar::new(SynthCifarConfig { train: 24, test: 16, ..Default::default() })
-            .generate();
+        let data = SynthCifar::new(SynthCifarConfig {
+            train: 24,
+            test: 16,
+            ..Default::default()
+        })
+        .generate();
         let net = ResNet::new(4, &[1, 1], 10, 3);
         let deploy = fold_resnet(&net, 32);
         let q = quantize(&deploy, &data.train.images, &QuantConfig::default()).unwrap();
@@ -253,8 +267,12 @@ mod tests {
         // Train nothing; just check the int8 network agrees with the float
         // deploy graph on most predictions (random weights, so logits are
         // small — agreement should still be high).
-        let data = SynthCifar::new(SynthCifarConfig { train: 32, test: 32, ..Default::default() })
-            .generate();
+        let data = SynthCifar::new(SynthCifarConfig {
+            train: 32,
+            test: 32,
+            ..Default::default()
+        })
+        .generate();
         let net = ResNet::new(8, &[1, 1], 10, 9);
         let deploy = fold_resnet(&net, 32);
         let q = quantize(&deploy, &data.train.images, &QuantConfig::default()).unwrap();
@@ -279,7 +297,10 @@ mod tests {
             1,
             &[GraphFault::StuckZeroChannel { op: 0, channel: 0 }],
         );
-        assert_ne!(clean, faulted, "zeroing a stem channel should change logits");
+        assert_ne!(
+            clean, faulted,
+            "zeroing a stem channel should change logits"
+        );
     }
 
     #[test]

@@ -102,15 +102,21 @@ pub struct QuantModel {
 
 impl QuantModel {
     /// Quantizes a float input batch to i8 using the model's input scale.
+    /// One call is one batch-quantization pass of the
+    /// [`crate::batch::quantization_passes`] probe.
     #[must_use]
     pub fn quantize_input(&self, batch: &Tensor<f32>) -> Tensor<i8> {
-        batch.map(|v| nvfi_hwnum::sat::quantize_f32_to_i8(v, self.input_scale))
+        let data = crate::batch::quantize_slice(batch.as_slice(), self.input_scale);
+        Tensor::from_vec(batch.shape(), data)
     }
 
     /// Number of convolution ops (including the head when lowered).
     #[must_use]
     pub fn conv_count(&self) -> usize {
-        self.ops.iter().filter(|o| matches!(o.kind, QOpKind::Conv(_))).count()
+        self.ops
+            .iter()
+            .filter(|o| matches!(o.kind, QOpKind::Conv(_)))
+            .count()
     }
 
     /// Shapes (with `n == 1`) of every value.
@@ -127,8 +133,7 @@ impl QuantModel {
             let out = match &op.kind {
                 QOpKind::Conv(c) => {
                     let ws = c.weight.shape();
-                    let geom =
-                        nvfi_tensor::ConvGeom::new(s, ws.n, ws.h, ws.w, c.stride, c.pad);
+                    let geom = nvfi_tensor::ConvGeom::new(s, ws.n, ws.h, ws.w, c.stride, c.pad);
                     geom.out_shape()
                 }
                 QOpKind::MaxPool { k, stride } => {

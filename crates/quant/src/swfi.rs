@@ -81,8 +81,12 @@ mod tests {
 
     #[test]
     fn disconnecting_residual_changes_predictions_sometimes() {
-        let data = SynthCifar::new(SynthCifarConfig { train: 16, test: 16, ..Default::default() })
-            .generate();
+        let data = SynthCifar::new(SynthCifarConfig {
+            train: 16,
+            test: 16,
+            ..Default::default()
+        })
+        .generate();
         let net = ResNet::new(4, &[1, 1], 10, 11);
         let deploy = fold_resnet(&net, 32);
         let q = quantize(&deploy, &data.train.images, &QuantConfig::default()).unwrap();
@@ -107,8 +111,12 @@ mod tests {
 
     #[test]
     fn accuracy_bounds() {
-        let data = SynthCifar::new(SynthCifarConfig { train: 16, test: 8, ..Default::default() })
-            .generate();
+        let data = SynthCifar::new(SynthCifarConfig {
+            train: 16,
+            test: 8,
+            ..Default::default()
+        })
+        .generate();
         let net = ResNet::new(4, &[1], 10, 1);
         let deploy = fold_resnet(&net, 32);
         let q = quantize(&deploy, &data.train.images, &QuantConfig::default()).unwrap();

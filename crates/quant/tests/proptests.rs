@@ -7,13 +7,7 @@ use nvfi_tensor::{Shape4, Tensor};
 use proptest::prelude::*;
 
 /// A single random conv layer as a deploy model.
-fn conv_model(
-    c: usize,
-    k: usize,
-    hw: usize,
-    weights: Vec<f32>,
-    bias: Vec<f32>,
-) -> DeployModel {
+fn conv_model(c: usize, k: usize, hw: usize, weights: Vec<f32>, bias: Vec<f32>) -> DeployModel {
     DeployModel {
         input_shape: Shape4::new(1, c, hw, hw),
         ops: vec![
@@ -28,7 +22,10 @@ fn conv_model(
                     fuse_add: None,
                 },
             },
-            DeployOp { input: 1, kind: DeployOpKind::GlobalAvgPool },
+            DeployOp {
+                input: 1,
+                kind: DeployOpKind::GlobalAvgPool,
+            },
             DeployOp {
                 input: 2,
                 kind: DeployOpKind::Linear {
@@ -128,5 +125,43 @@ proptest! {
             total
         };
         prop_assert!(err(true) <= err(false) + 1e-6);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Batch quantization distributes over concatenation:
+    /// `quantize(concat(a, b)) == concat(quantize(a), quantize(b))` for the
+    /// input scales campaigns use. This is what makes the once-per-campaign
+    /// quantization pass shard-order-invariant — a `QuantizedEvalSet` built
+    /// up front is bit-identical to quantizing every device shard (or
+    /// mini-batch) separately, wherever the shard boundaries fall.
+    #[test]
+    fn batch_quantization_distributes_over_concat(
+        a in proptest::collection::vec(-4.0f32..4.0, 0..96),
+        b in proptest::collection::vec(-4.0f32..4.0, 0..96),
+        // Campaign input scales come from absmax/127 calibration of roughly
+        // [-1, 1] images, i.e. small positive reals.
+        scale in 0.001f32..0.2,
+    ) {
+        let whole: Vec<f32> = a.iter().chain(b.iter()).copied().collect();
+        let q_whole = nvfi_quant::batch::quantize_slice(&whole, scale);
+        let mut q_parts = nvfi_quant::batch::quantize_slice(&a, scale);
+        q_parts.extend(nvfi_quant::batch::quantize_slice(&b, scale));
+        prop_assert_eq!(q_whole, q_parts);
+    }
+
+    /// The batch helper agrees elementwise with the scalar quantizer it is
+    /// hoisting (so routing every f32 wrapper through it changed nothing).
+    #[test]
+    fn batch_helper_matches_scalar_quantizer(
+        xs in proptest::collection::vec(-300.0f32..300.0, 1..64),
+        scale in 0.001f32..2.0,
+    ) {
+        let q = nvfi_quant::batch::quantize_slice(&xs, scale);
+        for (x, got) in xs.iter().zip(&q) {
+            prop_assert_eq!(*got, sat::quantize_f32_to_i8(*x, scale));
+        }
     }
 }

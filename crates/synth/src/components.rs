@@ -21,7 +21,12 @@ use crate::netlist::Netlist;
 /// An `width`-bit ripple/carry adder mapped to LUT + CARRY8.
 #[must_use]
 pub fn adder(width: u64) -> Netlist {
-    Netlist { luts: width, ffs: 0, carry8: width.div_ceil(8), dsps: 0 }
+    Netlist {
+        luts: width,
+        ffs: 0,
+        carry8: width.div_ceil(8),
+        dsps: 0,
+    }
 }
 
 /// A `width`-bit register.
@@ -42,13 +47,23 @@ pub fn mux2(width: u64) -> Netlist {
 pub fn mult8x8_lut() -> Netlist {
     // 4 compressed partial-product rows (9 LUTs each) + two adder levels
     // (12 + 9 LUTs) = 57 LUTs; 18 FF product register.
-    Netlist { luts: 57, ffs: 18, carry8: 4, dsps: 0 }
+    Netlist {
+        luts: 57,
+        ffs: 18,
+        carry8: 4,
+        dsps: 0,
+    }
 }
 
 /// A signed 8x8 multiplier in a DSP48 slice (ablation variant).
 #[must_use]
 pub fn mult8x8_dsp() -> Netlist {
-    Netlist { luts: 2, ffs: 18, carry8: 0, dsps: 1 }
+    Netlist {
+        luts: 2,
+        ffs: 18,
+        carry8: 0,
+        dsps: 1,
+    }
 }
 
 /// The 8-input adder tree of one MAC unit over 18-bit lanes

@@ -47,8 +47,8 @@ pub fn cmac(mapping: MultMapping) -> Netlist {
     };
     // Operand registers per MAC: 8 activations + 8 weights, 8 bits each.
     let operand_regs = components::register(2 * 8 * 8);
-    let per_mac = mult * 8 + components::adder_tree_8x18() + components::accumulator32()
-        + operand_regs;
+    let per_mac =
+        mult * 8 + components::adder_tree_8x18() + components::accumulator32() + operand_regs;
     per_mac * N_MACS
 }
 

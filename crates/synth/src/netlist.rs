@@ -18,12 +18,22 @@ pub struct Netlist {
 
 impl Netlist {
     /// The empty netlist.
-    pub const EMPTY: Netlist = Netlist { luts: 0, ffs: 0, carry8: 0, dsps: 0 };
+    pub const EMPTY: Netlist = Netlist {
+        luts: 0,
+        ffs: 0,
+        carry8: 0,
+        dsps: 0,
+    };
 
     /// Creates a netlist from LUT/FF counts only.
     #[must_use]
     pub const fn lut_ff(luts: u64, ffs: u64) -> Self {
-        Netlist { luts, ffs, carry8: 0, dsps: 0 }
+        Netlist {
+            luts,
+            ffs,
+            carry8: 0,
+            dsps: 0,
+        }
     }
 }
 
@@ -74,10 +84,31 @@ mod tests {
     #[test]
     fn arithmetic() {
         let a = Netlist::lut_ff(10, 20);
-        let b = Netlist { luts: 1, ffs: 2, carry8: 3, dsps: 4 };
+        let b = Netlist {
+            luts: 1,
+            ffs: 2,
+            carry8: 3,
+            dsps: 4,
+        };
         let s = a + b;
-        assert_eq!(s, Netlist { luts: 11, ffs: 22, carry8: 3, dsps: 4 });
-        assert_eq!(b * 3, Netlist { luts: 3, ffs: 6, carry8: 9, dsps: 12 });
+        assert_eq!(
+            s,
+            Netlist {
+                luts: 11,
+                ffs: 22,
+                carry8: 3,
+                dsps: 4
+            }
+        );
+        assert_eq!(
+            b * 3,
+            Netlist {
+                luts: 3,
+                ffs: 6,
+                carry8: 9,
+                dsps: 12
+            }
+        );
         let mut c = a;
         c += b;
         assert_eq!(c, s);

@@ -86,7 +86,10 @@ mod tests {
         let rows = table1_synthesis_rows();
         let model_delta = rows[1].luts as i64 - rows[0].luts as i64;
         let paper_delta = rows[1].paper_luts.unwrap() as i64 - rows[0].paper_luts.unwrap() as i64;
-        assert_eq!(model_delta, paper_delta, "constant-error delta must match (+18)");
+        assert_eq!(
+            model_delta, paper_delta,
+            "constant-error delta must match (+18)"
+        );
     }
 
     #[test]

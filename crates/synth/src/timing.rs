@@ -55,9 +55,18 @@ pub fn pipeline_stages(variant: FiVariant) -> Vec<StageTiming> {
         FiVariant::Constant | FiVariant::Variable => 1,
     };
     vec![
-        StageTiming { name: "multiply", levels: 6 },
-        StageTiming { name: "adder_tree", levels: 3 + fi_levels },
-        StageTiming { name: "accumulate", levels: 2 },
+        StageTiming {
+            name: "multiply",
+            levels: 6,
+        },
+        StageTiming {
+            name: "adder_tree",
+            levels: 3 + fi_levels,
+        },
+        StageTiming {
+            name: "accumulate",
+            levels: 2,
+        },
     ]
 }
 
@@ -106,7 +115,11 @@ mod tests {
         let base = pipeline_stages(FiVariant::None);
         let fi = pipeline_stages(FiVariant::Variable);
         assert_eq!(base[0], fi[0], "multiplier stage untouched");
-        assert_eq!(fi[1].levels, base[1].levels + 1, "one mux level in the tree stage");
+        assert_eq!(
+            fi[1].levels,
+            base[1].levels + 1,
+            "one mux level in the tree stage"
+        );
     }
 
     #[test]
@@ -127,7 +140,10 @@ mod tests {
 
     #[test]
     fn stage_delay_math() {
-        let s = StageTiming { name: "x", levels: 4 };
+        let s = StageTiming {
+            name: "x",
+            levels: 4,
+        };
         assert!((s.delay_ns() - (4.0 * LUT_LEVEL_DELAY_NS + CLOCK_OVERHEAD_NS)).abs() < 1e-12);
     }
 }

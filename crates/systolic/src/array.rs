@@ -82,7 +82,10 @@ impl SystolicArray {
     ///
     /// Panics if out of range.
     pub fn set_fault(&mut self, row: usize, col: usize, fault: PeFault) {
-        assert!(row < self.n && col < self.n, "PE ({row},{col}) out of range");
+        assert!(
+            row < self.n && col < self.n,
+            "PE ({row},{col}) out of range"
+        );
         self.faults[row * self.n + col] = fault;
     }
 
@@ -131,9 +134,16 @@ impl SystolicArray {
             let mut new_p = vec![0i32; n * n];
             for r in 0..n {
                 for c in 0..n {
-                    let a_in =
-                        if c == 0 { self.feed_a(columns, t, r) } else { self.a_regs[r * n + c - 1] };
-                    let p_in = if r == 0 { 0 } else { self.p_regs[(r - 1) * n + c] };
+                    let a_in = if c == 0 {
+                        self.feed_a(columns, t, r)
+                    } else {
+                        self.a_regs[r * n + c - 1]
+                    };
+                    let p_in = if r == 0 {
+                        0
+                    } else {
+                        self.p_regs[(r - 1) * n + c]
+                    };
                     let w = self.weights[r * n + c];
                     let product = match self.faults[r * n + c] {
                         PeFault::None => w.wrapping_mul(a_in),
@@ -245,7 +255,10 @@ mod tests {
         for k in 0..cols.len() {
             assert_eq!(clean[k][0], bad[k][0]);
             assert_eq!(clean[k][1], bad[k][1]);
-            assert_ne!(clean[k][2], bad[k][2], "column 2 must see the fault (k={k})");
+            assert_ne!(
+                clean[k][2], bad[k][2],
+                "column 2 must see the fault (k={k})"
+            );
             // The faulted PE replaces w*a with 100 for every streamed value.
             let expected = clean[k][2] - 6 * i32::from(cols[k][1]) + 100;
             assert_eq!(bad[k][2], expected);

@@ -59,8 +59,9 @@ pub fn run_conv(
                     .map(|r| (0..ktile).map(|c| wmat.at(k0 + c, r0 + r)).collect())
                     .collect();
                 array.load_weights(&tile);
-                let columns: Vec<Vec<i8>> =
-                    (0..t).map(|j| (0..rtile).map(|r| cols.at(r0 + r, j)).collect()).collect();
+                let columns: Vec<Vec<i8>> = (0..t)
+                    .map(|j| (0..rtile).map(|r| cols.at(r0 + r, j)).collect())
+                    .collect();
                 let results = array.stream(&columns);
                 for (j, res) in results.iter().enumerate() {
                     for c in 0..ktile {
@@ -132,7 +133,11 @@ pub fn simulate_first_convs(
             x = y;
         }
     }
-    assert_eq!(stats.len(), layers, "model has fewer than {layers} conv layers");
+    assert_eq!(
+        stats.len(),
+        layers,
+        "model has fewer than {layers} conv layers"
+    );
     stats
 }
 
@@ -164,8 +169,9 @@ mod tests {
             ((c + 3 * h + 5 * w) % 19) as i8
         });
         let geom = ConvGeom::new(input.shape(), 6, 3, 3, 2, 1);
-        let weights =
-            Tensor::from_fn(geom.weight_shape(), |k, c, r, s| ((k + c + r + s) % 7) as i8 - 3);
+        let weights = Tensor::from_fn(geom.weight_shape(), |k, c, r, s| {
+            ((k + c + r + s) % 7) as i8 - 3
+        });
         let want = nvfi_tensor::conv::conv2d_i8_naive(&input, &weights, &geom);
         let (got, _) = run_conv(&input, &weights, &geom, 8, &[]);
         assert_eq!(got.as_slice(), want.as_slice());
@@ -179,8 +185,13 @@ mod tests {
         let geom = ConvGeom::new(input.shape(), 8, 1, 1, 1, 0);
         let weights = Tensor::from_fn(geom.weight_shape(), |k, c, _, _| ((k * 3 + c) % 11) as i8);
         let (clean, _) = run_conv(&input, &weights, &geom, 8, &[]);
-        let (bad, _) =
-            run_conv(&input, &weights, &geom, 8, &[(0, 0, PeFault::StuckProduct(999))]);
+        let (bad, _) = run_conv(
+            &input,
+            &weights,
+            &geom,
+            8,
+            &[(0, 0, PeFault::StuckProduct(999))],
+        );
         assert_ne!(clean.as_slice(), bad.as_slice());
         // Only output channel 0 (array column 0) is affected by PE (0,0).
         for k in 1..8 {

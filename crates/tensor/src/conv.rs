@@ -27,10 +27,21 @@ pub fn weights_as_mat<'a, T: Copy + Default>(
 ///
 /// Panics if `input` or `weights` disagree with `geom`.
 #[must_use]
-pub fn conv2d_f32_naive(input: &Tensor<f32>, weights: &Tensor<f32>, geom: &ConvGeom) -> Tensor<f32> {
-    assert_eq!(input.shape().with_n(geom.input.n), geom.input, "input mismatch");
+pub fn conv2d_f32_naive(
+    input: &Tensor<f32>,
+    weights: &Tensor<f32>,
+    geom: &ConvGeom,
+) -> Tensor<f32> {
+    assert_eq!(
+        input.shape().with_n(geom.input.n),
+        geom.input,
+        "input mismatch"
+    );
     let ws = weights.shape();
-    assert_eq!((ws.n, ws.c, ws.h, ws.w), (geom.k, geom.input.c, geom.r, geom.s));
+    assert_eq!(
+        (ws.n, ws.c, ws.h, ws.w),
+        (geom.k, geom.input.c, geom.r, geom.s)
+    );
     let out_shape = geom.out_shape().with_n(input.shape().n);
     let mut out = Tensor::zeros(out_shape);
     for n in 0..input.shape().n {
@@ -70,9 +81,16 @@ pub fn conv2d_f32_naive(input: &Tensor<f32>, weights: &Tensor<f32>, geom: &ConvG
 /// Panics if `input` or `weights` disagree with `geom`.
 #[must_use]
 pub fn conv2d_i8_naive(input: &Tensor<i8>, weights: &Tensor<i8>, geom: &ConvGeom) -> Tensor<i32> {
-    assert_eq!(input.shape().with_n(geom.input.n), geom.input, "input mismatch");
+    assert_eq!(
+        input.shape().with_n(geom.input.n),
+        geom.input,
+        "input mismatch"
+    );
     let ws = weights.shape();
-    assert_eq!((ws.n, ws.c, ws.h, ws.w), (geom.k, geom.input.c, geom.r, geom.s));
+    assert_eq!(
+        (ws.n, ws.c, ws.h, ws.w),
+        (geom.k, geom.input.c, geom.r, geom.s)
+    );
     let out_shape = geom.out_shape().with_n(input.shape().n);
     let mut out = Tensor::zeros(out_shape);
     for n in 0..input.shape().n {
@@ -188,13 +206,16 @@ mod tests {
     #[test]
     fn known_3x3_edge_detector() {
         // Sobel-like kernel on a vertical step image.
-        let input = Tensor::from_fn(Shape4::new(1, 1, 4, 4), |_, _, _, w| {
-            if w >= 2 {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let input = Tensor::from_fn(
+            Shape4::new(1, 1, 4, 4),
+            |_, _, _, w| {
+                if w >= 2 {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        );
         let weights = Tensor::from_vec(
             Shape4::new(1, 1, 3, 3),
             vec![-1.0, 0.0, 1.0, -1.0, 0.0, 1.0, -1.0, 0.0, 1.0],

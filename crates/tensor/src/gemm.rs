@@ -12,7 +12,7 @@
 //! accumulators stay in vector registers across the whole `k` loop — each
 //! output element is loaded and stored once per GEMM, and each `b` element
 //! serves four output rows. Leftover rows (`m % 4`) fall back to a
-//! single-row kernel that walks [`COL_BLOCK`]-wide panels with four fused
+//! single-row kernel that walks `COL_BLOCK`-wide panels with four fused
 //! `k`-steps.
 
 use crate::Mat;
@@ -31,7 +31,14 @@ const COL_BLOCK: usize = 768;
 ///
 /// Panics if the dimensions do not agree (`a: MxK`, `b: KxN`, `out: MxN`).
 pub fn gemm_f32_acc(a: &Mat<f32>, b: &Mat<f32>, out: &mut Mat<f32>) {
-    let (m, k, n) = check_dims(a.rows(), a.cols(), b.rows(), b.cols(), out.rows(), out.cols());
+    let (m, k, n) = check_dims(
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols(),
+        out.rows(),
+        out.cols(),
+    );
     let bd = b.as_slice();
     for i in 0..m {
         let arow = a.row(i);
@@ -78,10 +85,22 @@ pub fn gemm_i8_i32_into(a: &[i8], b: &[i8], out: &mut [i32], m: usize, k: usize,
     let quads = m / 4;
     for q in 0..quads {
         let i = q * 4;
-        gemm_quad_blocked(&a[i * k..(i + 4) * k], b, &mut out[i * n..(i + 4) * n], k, n);
+        gemm_quad_blocked(
+            &a[i * k..(i + 4) * k],
+            b,
+            &mut out[i * n..(i + 4) * n],
+            k,
+            n,
+        );
     }
     for i in quads * 4..m {
-        gemm_row_blocked(&a[i * k..(i + 1) * k], b, &mut out[i * n..(i + 1) * n], k, n);
+        gemm_row_blocked(
+            &a[i * k..(i + 1) * k],
+            b,
+            &mut out[i * n..(i + 1) * n],
+            k,
+            n,
+        );
     }
 }
 
@@ -195,9 +214,7 @@ fn gemm_row_blocked(arow: &[i8], b: &[i8], orow: &mut [i32], k: usize, n: usize)
                 let b2 = &b[(p + 2) * n + j0..(p + 2) * n + jn];
                 let b3 = &b[(p + 3) * n + j0..(p + 3) * n + jn];
                 let o = &mut orow[j0..jn];
-                for ((((o, &v0), &v1), &v2), &v3) in
-                    o.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
-                {
+                for ((((o, &v0), &v1), &v2), &v3) in o.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
                     // Wrapping adds in ascending-p order: bit-identical to
                     // the naive accumulation order within this panel.
                     let s = o
@@ -232,7 +249,14 @@ fn gemm_row_blocked(arow: &[i8], b: &[i8], orow: &mut [i32], k: usize, n: usize)
 ///
 /// Panics if the dimensions do not agree.
 pub fn gemm_i8_i32_acc(a: &Mat<i8>, b: &Mat<i8>, out: &mut Mat<i32>) {
-    let (m, k, n) = check_dims(a.rows(), a.cols(), b.rows(), b.cols(), out.rows(), out.cols());
+    let (m, k, n) = check_dims(
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols(),
+        out.rows(),
+        out.cols(),
+    );
     gemm_i8_i32_into(a.as_slice(), b.as_slice(), out.as_mut_slice(), m, k, n);
 }
 
@@ -257,7 +281,13 @@ pub fn gemm_i8_i32(a: &Mat<i8>, b: &Mat<i8>) -> Mat<i32> {
 /// Panics if the dimensions do not agree.
 #[must_use]
 pub fn gemm_i8_i32_threaded(a: &Mat<i8>, b: &Mat<i8>, threads: usize) -> Mat<i32> {
-    assert_eq!(a.cols(), b.rows(), "inner dimensions disagree: {} vs {}", a.cols(), b.rows());
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "inner dimensions disagree: {} vs {}",
+        a.cols(),
+        b.rows()
+    );
     let mut out: Mat<i32> = Mat::zeros(a.rows(), b.cols());
     gemm_i8_i32_threaded_into(
         a.as_slice(),

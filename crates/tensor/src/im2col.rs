@@ -64,11 +64,23 @@ pub fn im2col_into_offset<T: Copy + Default>(
     col_off: usize,
 ) {
     let Shape4 { c: ci, h, w, .. } = geom.input;
-    assert_eq!(image.len(), geom.input.image_len(), "image does not match {}", geom.input);
+    assert_eq!(
+        image.len(),
+        geom.input.image_len(),
+        "image does not match {}",
+        geom.input
+    );
     let cols = geom.oh * geom.ow;
     let rows = ci * geom.r * geom.s;
-    assert!(col_off + cols <= row_stride, "column block exceeds row stride");
-    assert_eq!(out.len(), rows * row_stride, "column buffer mismatch for {geom}");
+    assert!(
+        col_off + cols <= row_stride,
+        "column block exceeds row stride"
+    );
+    assert_eq!(
+        out.len(),
+        rows * row_stride,
+        "column buffer mismatch for {geom}"
+    );
     for row_idx in 0..rows {
         out[row_idx * row_stride + col_off..row_idx * row_stride + col_off + cols]
             .fill(T::default());
@@ -77,8 +89,8 @@ pub fn im2col_into_offset<T: Copy + Default>(
         for r in 0..geom.r {
             for s in 0..geom.s {
                 let row_idx = (c * geom.r + r) * geom.s + s;
-                let row = &mut out
-                    [row_idx * row_stride + col_off..row_idx * row_stride + col_off + cols];
+                let row =
+                    &mut out[row_idx * row_stride + col_off..row_idx * row_stride + col_off + cols];
                 for oy in 0..geom.oh {
                     let iy = (oy * geom.stride + r) as isize - geom.pad as isize;
                     if iy < 0 || iy >= h as isize {

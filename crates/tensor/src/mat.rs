@@ -24,7 +24,11 @@ impl<T: Copy + Default> Mat<T> {
     /// Creates a zero-filled matrix.
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Mat { rows, cols, data: vec![T::default(); rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![T::default(); rows * cols],
+        }
     }
 
     /// Creates a matrix from a row-major buffer.
@@ -34,7 +38,11 @@ impl<T: Copy + Default> Mat<T> {
     /// Panics if `data.len() != rows * cols`.
     #[must_use]
     pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer does not match {rows}x{cols}");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer does not match {rows}x{cols}"
+        );
         Mat { rows, cols, data }
     }
 
@@ -60,7 +68,12 @@ impl<T: Copy + Default> Mat<T> {
     #[inline]
     #[must_use]
     pub fn at(&self, r: usize, c: usize) -> T {
-        assert!(r < self.rows && c < self.cols, "({r},{c}) out of {0}x{1}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "({r},{c}) out of {0}x{1}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c]
     }
 
@@ -71,7 +84,12 @@ impl<T: Copy + Default> Mat<T> {
     /// Panics if out of bounds.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: T) {
-        assert!(r < self.rows && c < self.cols, "({r},{c}) out of {0}x{1}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "({r},{c}) out of {0}x{1}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -160,7 +178,11 @@ impl<'a, T: Copy> MatRef<'a, T> {
     /// Panics if `data.len() != rows * cols`.
     #[must_use]
     pub fn from_slice(rows: usize, cols: usize, data: &'a [T]) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer does not match {rows}x{cols}");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer does not match {rows}x{cols}"
+        );
         MatRef { rows, cols, data }
     }
 
@@ -186,7 +208,12 @@ impl<'a, T: Copy> MatRef<'a, T> {
     #[inline]
     #[must_use]
     pub fn at(&self, r: usize, c: usize) -> T {
-        assert!(r < self.rows && c < self.cols, "({r},{c}) out of {0}x{1}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "({r},{c}) out of {0}x{1}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c]
     }
 

@@ -17,9 +17,15 @@ pub fn maxpool2d<T: Copy + Default + PartialOrd>(
     stride: usize,
 ) -> Tensor<T> {
     let s = input.shape();
-    assert!(k > 0 && stride > 0, "pooling window and stride must be positive");
     assert!(
-        s.h >= k && s.w >= k && (s.h - k).is_multiple_of(stride) && (s.w - k).is_multiple_of(stride),
+        k > 0 && stride > 0,
+        "pooling window and stride must be positive"
+    );
+    assert!(
+        s.h >= k
+            && s.w >= k
+            && (s.h - k).is_multiple_of(stride)
+            && (s.w - k).is_multiple_of(stride),
         "pool {k}/{stride} does not tile {s}"
     );
     let oh = (s.h - k) / stride + 1;
@@ -95,7 +101,11 @@ pub fn rounded_div(sum: i32, count: u32) -> i32 {
     let c = count as i64;
     let s = sum as i64;
     let half = c / 2;
-    let r = if s >= 0 { (s + half) / c } else { (s - half) / c };
+    let r = if s >= 0 {
+        (s + half) / c
+    } else {
+        (s - half) / c
+    };
     r as i32
 }
 

@@ -126,7 +126,16 @@ impl ConvGeom {
         );
         let oh = (input.h + 2 * pad - r) / stride + 1;
         let ow = (input.w + 2 * pad - s) / stride + 1;
-        ConvGeom { input, k, r, s, stride, pad, oh, ow }
+        ConvGeom {
+            input,
+            k,
+            r,
+            s,
+            stride,
+            pad,
+            oh,
+            ow,
+        }
     }
 
     /// Shape of the convolution output.
@@ -153,8 +162,17 @@ impl fmt::Display for ConvGeom {
         write!(
             f,
             "conv {}x{}x{} -> {}x{}x{} (k={} {}x{} s={} p={})",
-            self.input.c, self.input.h, self.input.w, self.k, self.oh, self.ow, self.k, self.r,
-            self.s, self.stride, self.pad
+            self.input.c,
+            self.input.h,
+            self.input.w,
+            self.k,
+            self.oh,
+            self.ow,
+            self.k,
+            self.r,
+            self.s,
+            self.stride,
+            self.pad
         )
     }
 }

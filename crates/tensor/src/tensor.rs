@@ -25,7 +25,10 @@ impl<T: Copy + Default> Tensor<T> {
     /// types used in this workspace).
     #[must_use]
     pub fn zeros(shape: Shape4) -> Self {
-        Tensor { shape, data: vec![T::default(); shape.len()] }
+        Tensor {
+            shape,
+            data: vec![T::default(); shape.len()],
+        }
     }
 
     /// Creates a tensor from an existing dense NCHW buffer.
@@ -115,7 +118,11 @@ impl<T: Copy + Default> Tensor<T> {
     /// Panics if `n` is out of bounds.
     #[must_use]
     pub fn image(&self, n: usize) -> &[T] {
-        assert!(n < self.shape.n, "batch index {n} out of bounds for {}", self.shape);
+        assert!(
+            n < self.shape.n,
+            "batch index {n} out of bounds for {}",
+            self.shape
+        );
         let len = self.shape.image_len();
         &self.data[n * len..(n + 1) * len]
     }
@@ -126,7 +133,11 @@ impl<T: Copy + Default> Tensor<T> {
     ///
     /// Panics if `n` is out of bounds.
     pub fn image_mut(&mut self, n: usize) -> &mut [T] {
-        assert!(n < self.shape.n, "batch index {n} out of bounds for {}", self.shape);
+        assert!(
+            n < self.shape.n,
+            "batch index {n} out of bounds for {}",
+            self.shape
+        );
         let len = self.shape.image_len();
         &mut self.data[n * len..(n + 1) * len]
     }
@@ -135,13 +146,19 @@ impl<T: Copy + Default> Tensor<T> {
     /// `n`-th batch item out.
     #[must_use]
     pub fn slice_image(&self, n: usize) -> Tensor<T> {
-        Tensor { shape: self.shape.with_n(1), data: self.image(n).to_vec() }
+        Tensor {
+            shape: self.shape.with_n(1),
+            data: self.image(n).to_vec(),
+        }
     }
 
     /// Applies `f` elementwise, producing a new tensor of the same shape.
     #[must_use]
     pub fn map<U: Copy + Default>(&self, f: impl Fn(T) -> U) -> Tensor<U> {
-        Tensor { shape: self.shape, data: self.data.iter().map(|&v| f(v)).collect() }
+        Tensor {
+            shape: self.shape,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
     }
 
     /// Fills the tensor with a constant.

@@ -5,8 +5,16 @@ use nvfi_tensor::{conv, gemm, ConvGeom, Mat, Shape4, Tensor};
 use proptest::prelude::*;
 
 fn small_conv_case() -> impl Strategy<Value = (Tensor<i8>, Tensor<i8>, ConvGeom)> {
-    (1usize..3, 1usize..6, 3usize..8, 3usize..8, 1usize..5, 1usize..3, 0usize..2).prop_flat_map(
-        |(n, c, h, w, k, stride, pad)| {
+    (
+        1usize..3,
+        1usize..6,
+        3usize..8,
+        3usize..8,
+        1usize..5,
+        1usize..3,
+        0usize..2,
+    )
+        .prop_flat_map(|(n, c, h, w, k, stride, pad)| {
             let r = 3.min(h + 2 * pad);
             let s = 3.min(w + 2 * pad);
             let input_shape = Shape4::new(n, c, h, w);
@@ -25,8 +33,7 @@ fn small_conv_case() -> impl Strategy<Value = (Tensor<i8>, Tensor<i8>, ConvGeom)
                         geom,
                     )
                 })
-        },
-    )
+        })
 }
 
 proptest! {

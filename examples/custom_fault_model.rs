@@ -14,13 +14,20 @@ use nvfi_dataset::{SynthCifar, SynthCifarConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let qmodel = nvfi::experiments::untrained_quant_model(8, 3);
-    let data = SynthCifar::new(SynthCifarConfig { train: 0, test: 4, ..Default::default() })
-        .generate();
+    let data = SynthCifar::new(SynthCifarConfig {
+        train: 0,
+        test: 4,
+        ..Default::default()
+    })
+    .generate();
     let image = data.test.images.slice_image(0);
 
     // Bit-granular faults need the exact (per-product) engine.
     let config = PlatformConfig {
-        accel: AccelConfig { mode: ExecMode::Exact, ..Default::default() },
+        accel: AccelConfig {
+            mode: ExecMode::Exact,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let mut platform = EmulationPlatform::assemble(&qmodel, config)?;
@@ -31,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // strongly negative.
     let sign_stuck = FaultConfig::new(
         vec![MultId::new(2, 3)],
-        FaultKind::StuckBits { fsel: 1 << 17, fdata: 1 << 17 },
+        FaultKind::StuckBits {
+            fsel: 1 << 17,
+            fdata: 1 << 17,
+        },
     );
     platform.inject(&sign_stuck);
     let faulted = platform.run(&image)?.logits;
@@ -65,12 +75,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // same pulse hits every image — no offsetting for previous runs needed.
     let total = platform.accel().mac_cycles_retired();
     println!("one inference retires {total} MAC-array cycles");
-    platform.inject(&FaultConfig::new(MultId::all().collect(), FaultKind::Constant(131071)));
+    platform.inject(&FaultConfig::new(
+        MultId::all().collect(),
+        FaultKind::Constant(131071),
+    ));
     platform
         .accel_mut()
         .set_fault_window(Some(total / 2..total / 2 + 2000));
     let pulsed = platform.run(&image)?.logits;
     println!("pulse fault (2k cyc):  {pulsed:?}");
-    assert_ne!(clean, pulsed, "the pulse lands mid-inference and must be visible");
+    assert_ne!(
+        clean, pulsed,
+        "the pulse lands mid-inference and must be visible"
+    );
     Ok(())
 }

@@ -33,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for value in [0i32, 1, -1] {
             let result = campaign.run(
                 &CampaignSpec {
-                    selection: TargetSelection::RandomSubsets { k, trials: 5, seed: 1 },
+                    selection: TargetSelection::RandomSubsets {
+                        k,
+                        trials: 5,
+                        seed: 1,
+                    },
                     kinds: vec![FaultKind::Constant(value)],
                     eval_images: 50,
                     threads,
@@ -48,12 +52,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 100.0 * result.mean_sdc_rate(),
                 result.records.len()
             );
-            rows.push((format!("k={k} inj={value:>2}"), FiveNum::from_sample(&drops)));
+            rows.push((
+                format!("k={k} inj={value:>2}"),
+                FiveNum::from_sample(&drops),
+            ));
         }
     }
     println!(
         "{}",
-        box_plot_chart("accuracy drop [pp] under random multiplier faults", &rows, 46)
+        box_plot_chart(
+            "accuracy drop [pp] under random multiplier faults",
+            &rows,
+            46
+        )
     );
     println!("(more multipliers faulted => larger drop, independent of the value)");
     Ok(())

@@ -11,8 +11,12 @@ use nvfi_dataset::{SynthCifar, SynthCifarConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small untrained ResNet-18 is enough to see fault mechanics.
     let qmodel = nvfi::experiments::untrained_quant_model(8, 1);
-    let data = SynthCifar::new(SynthCifarConfig { train: 0, test: 8, ..Default::default() })
-        .generate();
+    let data = SynthCifar::new(SynthCifarConfig {
+        train: 0,
+        test: 8,
+        ..Default::default()
+    })
+    .generate();
 
     let mut platform = EmulationPlatform::assemble(&qmodel, PlatformConfig::default())?;
     println!("{}", platform.plan().describe());
@@ -24,14 +28,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let image = data.test.images.slice_image(0);
     let clean = platform.run(&image)?;
-    println!("clean logits:   {:?} -> class {}", clean.logits, clean.class);
+    println!(
+        "clean logits:   {:?} -> class {}",
+        clean.logits, clean.class
+    );
 
     // Stuck-at-0 on the last multiplier of MAC unit 1 — the paper's most
     // sensitive position.
     let fault = FaultConfig::new(vec![MultId::new(0, 7)], FaultKind::StuckAtZero);
     platform.inject(&fault);
     let faulted = platform.run(&image)?;
-    println!("faulted logits: {:?} -> class {}", faulted.logits, faulted.class);
+    println!(
+        "faulted logits: {:?} -> class {}",
+        faulted.logits, faulted.class
+    );
 
     let changed = clean
         .logits

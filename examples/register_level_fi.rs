@@ -12,8 +12,12 @@ use nvfi_dataset::{SynthCifar, SynthCifarConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let qmodel = nvfi::experiments::untrained_quant_model(8, 5);
     let plan = nvfi_compiler::compile(&qmodel, nvfi_compiler::lower::DEFAULT_DRAM_CAPACITY)?;
-    let data = SynthCifar::new(SynthCifarConfig { train: 0, test: 2, ..Default::default() })
-        .generate();
+    let data = SynthCifar::new(SynthCifarConfig {
+        train: 0,
+        test: 2,
+        ..Default::default()
+    })
+    .generate();
 
     let mut dev = Accelerator::new(AccelConfig::default());
 
@@ -24,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Stream the execution plan through the command FIFO.
     let stream = encode_reg_stream(&plan);
-    println!("streaming {} descriptor words into the command window", stream.len() - 1);
+    println!(
+        "streaming {} descriptor words into the command window",
+        stream.len() - 1
+    );
     dev.apply_reg_stream(&stream)?;
     dev.commit_cmd_fifo()?;
 
@@ -55,12 +62,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 5. Run and read the logits straight out of DRAM.
     let image = data.test.images.slice_image(0);
     let result = dev.run_inference(&image)?;
-    println!("faulted inference: class {} logits {:?}", result.class, result.logits);
+    println!(
+        "faulted inference: class {} logits {:?}",
+        result.class, result.logits
+    );
 
     // 6. Disable FI and compare.
     dev.csb_write(regmap::REG_FI_CTRL, 0)?;
     let clean = dev.run_inference(&image)?;
-    println!("clean inference:   class {} logits {:?}", clean.class, clean.logits);
+    println!(
+        "clean inference:   class {} logits {:?}",
+        clean.class, clean.logits
+    );
     assert_ne!(result.logits, clean.logits);
     Ok(())
 }

@@ -41,7 +41,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         map.set(m.mac as usize, m.mult as usize, rec.drop_pct);
     }
     let (lo, hi) = map.range();
-    println!("{}", heat_map_chart("accuracy drop per faulted multiplier (inj -1)", &map, lo, hi.max(0.0)));
+    println!(
+        "{}",
+        heat_map_chart(
+            "accuracy drop per faulted multiplier (inj -1)",
+            &map,
+            lo,
+            hi.max(0.0)
+        )
+    );
     let (r, c) = map.argmin();
     println!(
         "most sensitive position: MAC {} multiplier {} ({:.1} pp drop)",

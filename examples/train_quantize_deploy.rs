@@ -21,13 +21,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..Default::default()
     })
     .generate();
-    println!("SynthCIFAR: {} train / {} test images", data.train.len(), data.test.len());
+    println!(
+        "SynthCIFAR: {} train / {} test images",
+        data.train.len(),
+        data.test.len()
+    );
 
     // 2. Train a slim ResNet-18 (width 8).
     let mut net = ResNet::resnet18(8, 10, 7);
-    let stats = Trainer::new(TrainConfig { epochs: 3, verbose: true, ..Default::default() })
-        .fit(&mut net, &data.train, &data.test);
-    println!("float test accuracy: {:.1}%", 100.0 * stats.final_test_acc());
+    let stats = Trainer::new(TrainConfig {
+        epochs: 3,
+        verbose: true,
+        ..Default::default()
+    })
+    .fit(&mut net, &data.train, &data.test);
+    println!(
+        "float test accuracy: {:.1}%",
+        100.0 * stats.final_test_acc()
+    );
 
     // 3. Fold batch norm into convolutions.
     let deploy = fold_resnet(&net, 32);
@@ -45,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("max logit difference after folding: {max_diff:.5}");
 
     // 4. Post-training int8 quantization (per-channel weights).
-    let q = quantize(&deploy, &data.train.take(64).images, &QuantConfig::default())?;
+    let q = quantize(
+        &deploy,
+        &data.train.take(64).images,
+        &QuantConfig::default(),
+    )?;
     let int8_acc = q.accuracy(&data.test.images, &data.test.labels, 1);
     println!(
         "int8 accuracy: {:.1}% (drop vs float: {:.1} pp)",

@@ -74,7 +74,10 @@ impl Bytes {
     /// Copies a slice into a new buffer.
     #[must_use]
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: data.to_vec(), pos: 0 }
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
     }
 }
 
@@ -113,7 +116,10 @@ impl BytesMut {
     /// Freezes into a readable [`Bytes`].
     #[must_use]
     pub fn freeze(self) -> Bytes {
-        Bytes { data: self.data, pos: 0 }
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
     }
 }
 

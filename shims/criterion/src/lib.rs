@@ -25,7 +25,11 @@ pub struct Criterion {
 impl Criterion {
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _c: self, name: name.to_string(), sample_size: 20 }
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
     }
 
     /// Runs an ungrouped benchmark.
@@ -76,7 +80,10 @@ impl Bencher {
 }
 
 fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
-    let mut b = Bencher { samples_ns: Vec::new(), target: sample_size };
+    let mut b = Bencher {
+        samples_ns: Vec::new(),
+        target: sample_size,
+    };
     f(&mut b);
     if b.samples_ns.is_empty() {
         println!("bench {id:<40} (no samples)");
@@ -92,8 +99,15 @@ fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
         b.samples_ns.len()
     );
     if let Ok(path) = std::env::var("CRITERION_JSON") {
-        if let Ok(mut fh) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
-            let _ = writeln!(fh, "{{\"id\": \"{id}\", \"mean_ns\": {mean}, \"median_ns\": {median}}}");
+        if let Ok(mut fh) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                fh,
+                "{{\"id\": \"{id}\", \"mean_ns\": {mean}, \"median_ns\": {median}}}"
+            );
         }
     }
 }

@@ -232,7 +232,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use core::ops::Range;
 
-    /// Length specifications accepted by [`vec`]: a fixed length or a range.
+    /// Length specifications accepted by [`vec()`]: a fixed length or a range.
     pub trait IntoLenRange {
         /// Draws a concrete length.
         fn draw_len(&self, rng: &mut TestRng) -> usize;
@@ -267,7 +267,10 @@ pub mod collection {
     /// Strategy producing vectors of values from `elem`.
     #[must_use]
     pub fn vec<S: Strategy>(elem: S, len: impl IntoLenRange + 'static) -> VecStrategy<S> {
-        VecStrategy { elem, len: Box::new(len) }
+        VecStrategy {
+            elem,
+            len: Box::new(len),
+        }
     }
 }
 

@@ -30,8 +30,12 @@ pub trait SeedableRng: Sized {
 pub trait SampleUniform: Copy + PartialOrd {
     /// Draws uniformly from `[lo, hi)` (`inclusive == false`) or
     /// `[lo, hi]` (`inclusive == true`).
-    fn sample_uniform<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
-        -> Self;
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
 }
 
 macro_rules! int_sample_uniform {
@@ -123,7 +127,9 @@ pub mod rngs {
 
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
-            StdRng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+            StdRng {
+                state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            }
         }
     }
 
@@ -194,6 +200,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..64).collect::<Vec<_>>());
-        assert_ne!(v, (0..64).collect::<Vec<_>>(), "64 elements should not stay in place");
+        assert_ne!(
+            v,
+            (0..64).collect::<Vec<_>>(),
+            "64 elements should not stay in place"
+        );
     }
 }

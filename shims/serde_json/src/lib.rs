@@ -1,6 +1,8 @@
 //! Offline stand-in for the `serde_json` crate (API subset; see
-//! shims/README.md): a `Value` tree, the `json!` constructor macro and
-//! pretty serialization. Objects preserve insertion order.
+//! shims/README.md): a `Value` tree, the `json!` constructor macro, pretty
+//! serialization, parsing via [`from_str`] and the read accessors
+//! ([`Value::get`], [`Value::as_f64`], ...). Objects preserve insertion
+//! order.
 
 use std::fmt;
 
@@ -20,6 +22,64 @@ pub enum Value {
     Array(Vec<Value>),
     /// An object (insertion-ordered).
     Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member `key` of an object (or `None` for other variants / missing
+    /// keys), like upstream's `Value::get` with a string index.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields in insertion order, if this is an object (upstream
+    /// returns a `Map`; this stand-in exposes the ordered pairs directly).
+    #[must_use]
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
 }
 
 macro_rules! value_from_num {
@@ -246,17 +306,223 @@ fn write_pretty(v: &Value, indent: usize, out: &mut String) {
     }
 }
 
-/// Serialization error (this stand-in cannot actually fail).
+/// Serialization / parse error. Serialization in this stand-in cannot
+/// actually fail; parsing reports the byte offset of the first problem.
 #[derive(Debug)]
-pub struct Error;
+pub struct Error(String);
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "serde_json shim error")
+        write!(f, "serde_json shim error: {}", self.0)
     }
 }
 
 impl std::error::Error for Error {}
+
+/// Parses a JSON document into a [`Value`] (upstream:
+/// `serde_json::from_str::<Value>`). Accepts exactly one top-level value
+/// with optional surrounding whitespace.
+///
+/// # Errors
+///
+/// Returns [`Error`] (with the byte offset) on malformed input or trailing
+/// garbage.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error(format!("expected `{lit}` at byte {pos}", pos = *pos)))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error("unexpected end of input".into())),
+        Some(b'n') => expect(b, pos, "null").map(|()| Value::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Value::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::String),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `]` at byte {}", *pos))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                fields.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `}}` at byte {}", *pos))),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos).map(Value::Number),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(Error(format!("expected string at byte {}", *pos)));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(Error("unterminated string".into())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                        let cp = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error(format!("bad \\u escape `{hex}`")))?;
+                        // Surrogates (emitted pairwise by upstream for
+                        // astral-plane chars) are not needed by this
+                        // workspace's data; map them to the replacement char.
+                        out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(Error(format!("bad escape at byte {}", *pos))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so boundaries
+                // are valid).
+                let start = *pos;
+                *pos += 1;
+                while *pos < b.len() && (b[*pos] & 0xc0) == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..*pos]).expect("valid UTF-8 input"));
+            }
+        }
+    }
+}
+
+/// Strict JSON number grammar:
+/// `-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?`. Rust's `f64::parse`
+/// is laxer (leading `+`, `.5`, `1.`, `inf`), and upstream serde_json
+/// rejects those — committed files must not depend on shim leniency.
+fn is_json_number(s: &str) -> bool {
+    let b = s.strip_prefix('-').unwrap_or(s).as_bytes();
+    let mut i = 0;
+    match b.first() {
+        Some(b'0') => i = 1,
+        Some(c) if c.is_ascii_digit() => {
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+        _ => return false,
+    }
+    if b.get(i) == Some(&b'.') {
+        i += 1;
+        if !b.get(i).is_some_and(u8::is_ascii_digit) {
+            return false;
+        }
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    if matches!(b.get(i), Some(b'e' | b'E')) {
+        i += 1;
+        if matches!(b.get(i), Some(b'+' | b'-')) {
+            i += 1;
+        }
+        if !b.get(i).is_some_and(u8::is_ascii_digit) {
+            return false;
+        }
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    i == b.len()
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, Error> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .filter(|t| is_json_number(t))
+        .and_then(|t| t.parse::<f64>().ok())
+        // Upstream rejects out-of-range literals (1e999) rather than
+        // returning infinity, which would make numeric comparisons vacuous.
+        .filter(|v| v.is_finite())
+        .ok_or_else(|| Error(format!("bad number at byte {start}")))
+}
 
 /// Pretty-prints a value with two-space indentation.
 ///
@@ -368,5 +634,49 @@ mod tests {
         let v = json!({ "parts": parts });
         let s = to_string_pretty(&v).unwrap();
         assert!(s.contains('['));
+    }
+
+    #[test]
+    fn parse_round_trips_pretty_output() {
+        let v = json!({
+            "a": 1,
+            "b": [1, 2.5, "x\"y\\z"],
+            "c": { "nested": true, "n": null },
+            "neg": -3.5e-2,
+        });
+        let parsed = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn accessors_navigate() {
+        let v = from_str(r#"{"id": "x/y", "mean_ns": 1500000, "ok": true, "xs": [1, 2]}"#).unwrap();
+        assert_eq!(v.get("id").and_then(Value::as_str), Some("x/y"));
+        assert_eq!(v.get("mean_ns").and_then(Value::as_f64), Some(1.5e6));
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("xs").and_then(Value::as_array).map(Vec::len), Some(2));
+        assert_eq!(v.as_object().map(Vec::len), Some(4));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1, 2,]").is_err());
+        assert!(from_str("12 34").is_err());
+        assert!(from_str("\"unterminated").is_err());
+        assert!(from_str("nul").is_err());
+    }
+
+    #[test]
+    fn parse_numbers_strictly_like_upstream() {
+        // Valid JSON numbers.
+        for ok in ["0", "-0", "10", "2.5", "-0.125", "1e3", "1.5E-2", "9e+2"] {
+            assert!(from_str(ok).is_ok(), "`{ok}` is a valid JSON number");
+        }
+        // Rust-parseable but not JSON (upstream serde_json rejects these).
+        for bad in ["+25", ".5", "1.", "01", "1e", "1e+", "inf", "NaN", "1e999"] {
+            assert!(from_str(bad).is_err(), "`{bad}` must be rejected");
+        }
     }
 }

@@ -9,10 +9,18 @@ use zynq_nvdla_fi::nvfi_dataset::{SynthCifar, SynthCifarConfig};
 #[test]
 fn same_seed_same_everything() {
     let q = zynq_nvdla_fi::nvfi::experiments::untrained_quant_model(4, 2);
-    let data = SynthCifar::new(SynthCifarConfig { train: 0, test: 8, ..Default::default() })
-        .generate();
+    let data = SynthCifar::new(SynthCifarConfig {
+        train: 0,
+        test: 8,
+        ..Default::default()
+    })
+    .generate();
     let spec = CampaignSpec {
-        selection: TargetSelection::RandomSubsets { k: 3, trials: 4, seed: 77 },
+        selection: TargetSelection::RandomSubsets {
+            k: 3,
+            trials: 4,
+            seed: 77,
+        },
         kinds: vec![FaultKind::StuckAtZero, FaultKind::Constant(-1)],
         eval_images: 6,
         threads: 1,
@@ -26,7 +34,11 @@ fn same_seed_same_everything() {
 
     // Different seed: different target draws.
     let spec2 = CampaignSpec {
-        selection: TargetSelection::RandomSubsets { k: 3, trials: 4, seed: 78 },
+        selection: TargetSelection::RandomSubsets {
+            k: 3,
+            trials: 4,
+            seed: 78,
+        },
         ..spec.clone()
     };
     let c = campaign.run(&spec2, &data.test).unwrap();
@@ -42,8 +54,12 @@ fn same_seed_same_everything() {
 #[test]
 fn sharded_pool_matches_single_device() {
     let q = zynq_nvdla_fi::nvfi::experiments::untrained_quant_model(4, 9);
-    let data = SynthCifar::new(SynthCifarConfig { train: 0, test: 24, ..Default::default() })
-        .generate();
+    let data = SynthCifar::new(SynthCifarConfig {
+        train: 0,
+        test: 24,
+        ..Default::default()
+    })
+    .generate();
     let mk = |threads, pool_devices| CampaignSpec {
         selection: TargetSelection::Fixed(vec![vec![
             zynq_nvdla_fi::nvfi_compiler::regmap::MultId::new(1, 3),
@@ -72,17 +88,28 @@ fn sharded_pool_matches_single_device() {
 #[test]
 fn shard_granularity_does_not_change_results() {
     let q = zynq_nvdla_fi::nvfi::experiments::untrained_quant_model(4, 21);
-    let data = SynthCifar::new(SynthCifarConfig { train: 0, test: 13, ..Default::default() })
-        .generate();
+    let data = SynthCifar::new(SynthCifarConfig {
+        train: 0,
+        test: 13,
+        ..Default::default()
+    })
+    .generate();
     let spec = CampaignSpec {
-        selection: TargetSelection::RandomSubsets { k: 2, trials: 2, seed: 3 },
+        selection: TargetSelection::RandomSubsets {
+            k: 2,
+            trials: 2,
+            seed: 3,
+        },
         kinds: vec![FaultKind::StuckAtZero],
         eval_images: 13,
         threads: 5,
         ..Default::default()
     };
     let run_with_granularity = |shard_images| {
-        let config = PlatformConfig { shard_images, ..Default::default() };
+        let config = PlatformConfig {
+            shard_images,
+            ..Default::default()
+        };
         Campaign::new(&q, config).run(&spec, &data.test).unwrap()
     };
     let a = run_with_granularity(0);
@@ -100,8 +127,12 @@ fn shard_granularity_does_not_change_results() {
 #[test]
 fn transient_window_campaign_is_shard_invariant() {
     let q = zynq_nvdla_fi::nvfi::experiments::untrained_quant_model(4, 15);
-    let data = SynthCifar::new(SynthCifarConfig { train: 0, test: 10, ..Default::default() })
-        .generate();
+    let data = SynthCifar::new(SynthCifarConfig {
+        train: 0,
+        test: 10,
+        ..Default::default()
+    })
+    .generate();
     let all_mults: Vec<_> = zynq_nvdla_fi::nvfi_compiler::regmap::MultId::all().collect();
     let mk = |threads| CampaignSpec {
         selection: TargetSelection::Fixed(vec![all_mults.clone()]),
@@ -130,12 +161,65 @@ fn transient_window_campaign_is_shard_invariant() {
     );
 }
 
+/// Tentpole guarantee of the quantize-once hot path: classifying through
+/// the campaign-lifetime borrowed-i8 set (`DevicePool::classify_i8` over a
+/// `QuantizedEvalSet`) is bit-identical to the f32 quantize-per-call path,
+/// across shard granularities and fault kinds — including the full-array
+/// huge-constant fault and a fault-free pool.
+#[test]
+fn i8_path_matches_f32_path_across_shards_and_kinds() {
+    use zynq_nvdla_fi::nvfi::pool::{DevicePool, QuantizedEvalSet};
+    use zynq_nvdla_fi::nvfi_accel::FaultConfig;
+    use zynq_nvdla_fi::nvfi_compiler::regmap::MultId;
+
+    let q = zynq_nvdla_fi::nvfi::experiments::untrained_quant_model(4, 33);
+    let data = SynthCifar::new(SynthCifarConfig {
+        train: 0,
+        test: 14,
+        ..Default::default()
+    })
+    .generate();
+    let kinds = [
+        None,
+        Some(FaultKind::StuckAtZero),
+        Some(FaultKind::Constant(-1)),
+        Some(FaultKind::Constant(131071)),
+    ];
+    for shard_images in [0usize, 1, 5] {
+        let config = PlatformConfig {
+            shard_images,
+            ..Default::default()
+        };
+        let mut pool = DevicePool::assemble(&q, config, 3).unwrap();
+        let qset = QuantizedEvalSet::build(&q, &data.test.images);
+        for kind in kinds {
+            match kind {
+                Some(k) => pool.inject(&FaultConfig::new(
+                    vec![MultId::new(1, 2), MultId::new(4, 4)],
+                    k,
+                )),
+                None => pool.clear_faults(),
+            }
+            let via_f32 = pool.classify(&data.test.images).unwrap();
+            let via_i8 = pool.classify_i8(&qset).unwrap();
+            assert_eq!(
+                via_f32, via_i8,
+                "i8/f32 parity broke (shard_images={shard_images}, kind={kind:?})"
+            );
+        }
+    }
+}
+
 #[test]
 #[should_panic(expected = "expands to no target sets")]
 fn empty_fixed_selection_is_rejected() {
     let q = zynq_nvdla_fi::nvfi::experiments::untrained_quant_model(4, 2);
-    let data = SynthCifar::new(SynthCifarConfig { train: 0, test: 4, ..Default::default() })
-        .generate();
+    let data = SynthCifar::new(SynthCifarConfig {
+        train: 0,
+        test: 4,
+        ..Default::default()
+    })
+    .generate();
     let spec = CampaignSpec {
         selection: TargetSelection::Fixed(vec![]),
         eval_images: 4,
@@ -148,10 +232,18 @@ fn empty_fixed_selection_is_rejected() {
 #[should_panic(expected = "expands to no target sets")]
 fn zero_trial_selection_is_rejected() {
     let q = zynq_nvdla_fi::nvfi::experiments::untrained_quant_model(4, 2);
-    let data = SynthCifar::new(SynthCifarConfig { train: 0, test: 4, ..Default::default() })
-        .generate();
+    let data = SynthCifar::new(SynthCifarConfig {
+        train: 0,
+        test: 4,
+        ..Default::default()
+    })
+    .generate();
     let spec = CampaignSpec {
-        selection: TargetSelection::RandomSubsets { k: 3, trials: 0, seed: 1 },
+        selection: TargetSelection::RandomSubsets {
+            k: 3,
+            trials: 0,
+            seed: 1,
+        },
         eval_images: 4,
         ..Default::default()
     };
@@ -161,8 +253,12 @@ fn zero_trial_selection_is_rejected() {
 #[test]
 fn thread_count_does_not_change_results() {
     let q = zynq_nvdla_fi::nvfi::experiments::untrained_quant_model(4, 3);
-    let data = SynthCifar::new(SynthCifarConfig { train: 0, test: 8, ..Default::default() })
-        .generate();
+    let data = SynthCifar::new(SynthCifarConfig {
+        train: 0,
+        test: 8,
+        ..Default::default()
+    })
+    .generate();
     let mk = |threads| CampaignSpec {
         selection: TargetSelection::ExhaustiveSingle,
         kinds: vec![FaultKind::Constant(1)],

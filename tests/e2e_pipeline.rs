@@ -22,8 +22,12 @@ fn full_pipeline_trains_and_deploys() {
 
     // 2. Train a tiny network for a few epochs.
     let mut net = ResNet::new(4, &[1, 1], 10, 11);
-    let stats = Trainer::new(TrainConfig { epochs: 4, batch: 16, ..Default::default() })
-        .fit(&mut net, &data.train, &data.test);
+    let stats = Trainer::new(TrainConfig {
+        epochs: 4,
+        batch: 16,
+        ..Default::default()
+    })
+    .fit(&mut net, &data.train, &data.test);
     let float_acc = stats.final_test_acc();
     assert!(
         float_acc > 0.25,
@@ -40,7 +44,12 @@ fn full_pipeline_trains_and_deploys() {
     }
 
     // 4. Quantize: int8 accuracy close to float.
-    let q = quantize(&deploy, &data.train.take(64).images, &QuantConfig::default()).unwrap();
+    let q = quantize(
+        &deploy,
+        &data.train.take(64).images,
+        &QuantConfig::default(),
+    )
+    .unwrap();
     let int8_acc = q.accuracy(&data.test.images, &data.test.labels, 1);
     assert!(
         (float_acc - int8_acc).abs() < 0.15,
@@ -49,19 +58,31 @@ fn full_pipeline_trains_and_deploys() {
 
     // 5. The emulated accelerator matches the CPU reference bit-exactly.
     let mut platform = EmulationPlatform::assemble(&q, PlatformConfig::default()).unwrap();
-    let accel_acc = platform.accuracy(&data.test.images, &data.test.labels).unwrap();
-    assert_eq!(accel_acc, int8_acc, "accelerator must be bit-exact vs CPU reference");
+    let accel_acc = platform
+        .accuracy(&data.test.images, &data.test.labels)
+        .unwrap();
+    assert_eq!(
+        accel_acc, int8_acc,
+        "accelerator must be bit-exact vs CPU reference"
+    );
 
     // 6. The cycle model reports plausible numbers for a 187.5 MHz device.
     let ms = platform.modeled_latency_ms();
-    assert!(ms > 0.01 && ms < 1000.0, "modelled latency {ms} ms out of range");
+    assert!(
+        ms > 0.01 && ms < 1000.0,
+        "modelled latency {ms} ms out of range"
+    );
 }
 
 #[test]
 fn accelerator_handles_batches_of_any_size() {
     let q = zynq_nvdla_fi::nvfi::experiments::untrained_quant_model(4, 9);
-    let data = SynthCifar::new(SynthCifarConfig { train: 0, test: 5, ..Default::default() })
-        .generate();
+    let data = SynthCifar::new(SynthCifarConfig {
+        train: 0,
+        test: 5,
+        ..Default::default()
+    })
+    .generate();
     let mut platform = EmulationPlatform::assemble(&q, PlatformConfig::default()).unwrap();
     let preds = platform.classify(&data.test.images).unwrap();
     assert_eq!(preds.len(), 5);

@@ -62,5 +62,9 @@ fn speedup_smoke() {
     let r = run_speedup(&cfg).unwrap();
     r.save(&cfg.out_dir).unwrap();
     assert!(cfg.out_dir.join("speedup.json").exists());
-    assert!(r.speedup() > 1.0, "speedup {} should exceed 1x", r.speedup());
+    assert!(
+        r.speedup() > 1.0,
+        "speedup {} should exceed 1x",
+        r.speedup()
+    );
 }

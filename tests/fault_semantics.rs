@@ -10,8 +10,12 @@ use zynq_nvdla_fi::nvfi_quant::QuantModel;
 
 fn fixture() -> (QuantModel, zynq_nvdla_fi::nvfi_dataset::TrainTest) {
     let q = zynq_nvdla_fi::nvfi::experiments::untrained_quant_model(8, 21);
-    let data = SynthCifar::new(SynthCifarConfig { train: 0, test: 6, ..Default::default() })
-        .generate();
+    let data = SynthCifar::new(SynthCifarConfig {
+        train: 0,
+        test: 6,
+        ..Default::default()
+    })
+    .generate();
     (q, data)
 }
 
@@ -27,9 +31,15 @@ fn hardware_fault_couples_layers_graph_fault_does_not() {
     // Hardware fault on one multiplier.
     let mut platform = EmulationPlatform::assemble(&q, PlatformConfig::default()).unwrap();
     let clean = platform.run(&img).unwrap().logits;
-    platform.inject(&FaultConfig::new(vec![MultId::new(0, 0)], FaultKind::Constant(-1)));
+    platform.inject(&FaultConfig::new(
+        vec![MultId::new(0, 0)],
+        FaultKind::Constant(-1),
+    ));
     let hw = platform.run(&img).unwrap().logits;
-    assert_ne!(clean, hw, "a permanent multiplier fault must perturb the logits");
+    assert_ne!(
+        clean, hw,
+        "a permanent multiplier fault must perturb the logits"
+    );
 
     // Graph-level approximation: stuck-at-0 on one output channel of the
     // first conv. It produces *some* perturbation but generally a different
@@ -52,12 +62,24 @@ fn hardware_fault_couples_layers_graph_fault_does_not() {
 fn all_multipliers_stuck_at_zero_kills_information() {
     let (q, data) = fixture();
     let mut platform = EmulationPlatform::assemble(&q, PlatformConfig::default()).unwrap();
-    platform.inject(&FaultConfig::new(MultId::all().collect(), FaultKind::StuckAtZero));
+    platform.inject(&FaultConfig::new(
+        MultId::all().collect(),
+        FaultKind::StuckAtZero,
+    ));
     // Every image now produces identical logits: no input information
     // survives a fully dead MAC array.
-    let a = platform.run(&data.test.images.slice_image(0)).unwrap().logits;
-    let b = platform.run(&data.test.images.slice_image(1)).unwrap().logits;
-    let c = platform.run(&data.test.images.slice_image(2)).unwrap().logits;
+    let a = platform
+        .run(&data.test.images.slice_image(0))
+        .unwrap()
+        .logits;
+    let b = platform
+        .run(&data.test.images.slice_image(1))
+        .unwrap()
+        .logits;
+    let c = platform
+        .run(&data.test.images.slice_image(2))
+        .unwrap()
+        .logits;
     assert_eq!(a, b);
     assert_eq!(b, c);
 }
@@ -82,7 +104,10 @@ fn larger_target_sets_perturb_at_least_as_many_logits() {
     let one = changed(&mut platform, vec![MultId::new(3, 3)]);
     let all_in_mac: Vec<MultId> = (0..8).map(|j| MultId::new(3, j)).collect();
     let many = changed(&mut platform, all_in_mac);
-    assert!(many >= one, "faulting all of MAC 4 ({many}) vs one lane ({one})");
+    assert!(
+        many >= one,
+        "faulting all of MAC 4 ({many}) vs one lane ({one})"
+    );
 }
 
 /// The campaign driver and direct injection agree (no state leaks between

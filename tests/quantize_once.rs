@@ -1,0 +1,61 @@
+//! The quantize-once guarantee, asserted through the
+//! `nvfi_quant::batch::quantization_passes` probe: one campaign performs
+//! exactly **one** f32 → i8 quantization of its evaluation set, no matter
+//! how many fault configurations, fault kinds, threads or device shards it
+//! schedules.
+//!
+//! The probe counter is process-wide, so this test lives in its own
+//! integration-test binary (cargo runs test binaries one at a time): no
+//! concurrently running test can quantize in between the two counter reads.
+
+use zynq_nvdla_fi::nvfi::campaign::{Campaign, CampaignSpec, TargetSelection};
+use zynq_nvdla_fi::nvfi::PlatformConfig;
+use zynq_nvdla_fi::nvfi_accel::FaultKind;
+use zynq_nvdla_fi::nvfi_compiler::regmap::MultId;
+use zynq_nvdla_fi::nvfi_dataset::{SynthCifar, SynthCifarConfig};
+use zynq_nvdla_fi::nvfi_quant::batch::quantization_passes;
+
+#[test]
+fn campaign_quantizes_the_eval_set_exactly_once() {
+    let q = zynq_nvdla_fi::nvfi::experiments::untrained_quant_model(4, 7);
+    let data = SynthCifar::new(SynthCifarConfig {
+        train: 0,
+        test: 10,
+        ..Default::default()
+    })
+    .generate();
+    // 2 target sets x 2 kinds = 4 work items, sharded over 3 threads: the
+    // seed path would have re-quantized (at least) once per work item per
+    // shard.
+    let spec = CampaignSpec {
+        selection: TargetSelection::Fixed(vec![
+            vec![MultId::new(0, 1)],
+            vec![MultId::new(2, 3), MultId::new(5, 6)],
+        ]),
+        kinds: vec![FaultKind::StuckAtZero, FaultKind::Constant(-1)],
+        eval_images: 10,
+        threads: 3,
+        ..Default::default()
+    };
+    let campaign = Campaign::new(&q, PlatformConfig::default());
+
+    let before = quantization_passes();
+    let result = campaign.run(&spec, &data.test).unwrap();
+    let after = quantization_passes();
+
+    assert_eq!(result.records.len(), 4);
+    assert_eq!(result.total_inferences, 5 * 10);
+    assert_eq!(
+        after - before,
+        1,
+        "a campaign must quantize its evaluation set exactly once \
+         (the QuantizedEvalSet built in Campaign::run) — any extra pass \
+         means per-work-item or per-shard re-quantization crept back in"
+    );
+
+    // Same guarantee when the pool degenerates to a single device.
+    let single = CampaignSpec { threads: 1, ..spec };
+    let before = quantization_passes();
+    let _ = campaign.run(&single, &data.test).unwrap();
+    assert_eq!(quantization_passes() - before, 1);
+}
