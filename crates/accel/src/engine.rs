@@ -29,6 +29,7 @@
 
 use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use nvfi_compiler::plan::{ConvOp, ExecutionPlan, LinearOp, PlanOp, PoolKind, PoolOp, RegWrite};
@@ -50,11 +51,58 @@ pub enum ExecMode {
     /// faults and transient windows. Slow — ground truth.
     Exact,
     /// Clean GEMM plus per-faulted-lane algebraic corrections. Only valid
-    /// for permanent full-lane overrides; errors otherwise.
+    /// for permanent full-lane overrides; errors otherwise (transient
+    /// windows already at [`Accelerator::set_fault_window`] time).
     Fast,
-    /// Use `Fast` whenever the programmed faults allow it, else `Exact`.
+    /// Resolve **per op**: `Fast` wherever the programmed faults allow it,
+    /// `Exact` where they do not. Under a transient window only the ops
+    /// whose MAC-cycle span intersects the window run exact — the
+    /// fault-free prefix and the post-pulse suffix keep the fast path
+    /// (op-scoped execution, bit-identical to all-exact).
     #[default]
     Auto,
+}
+
+/// How one plan op is evaluated — the per-op refinement of [`ExecMode`].
+///
+/// A transient fault window only touches the ops whose MAC-cycle span
+/// intersects it, so everything outside the window runs the fast path with
+/// **no** corrections (the injectors are provably inactive for every one of
+/// those ops' cycles), and only the intersecting ops pay for the per-product
+/// exact engine.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum OpPath {
+    /// Clean register-tiled im2col + GEMM; no fault can observe this op.
+    Fast,
+    /// Fast plus per-faulted-lane algebraic corrections (permanent
+    /// full-lane overrides).
+    FastCorrected,
+    /// Per-product exact engine with injection armed.
+    Exact,
+}
+
+/// Process-wide count of golden-prefix captures
+/// ([`Accelerator::run_prefix_i8_view`] calls). A test probe in the spirit
+/// of `nvfi_quant::batch::quantization_passes`: a campaign must capture the
+/// golden prefix of each image exactly once, however many windowed work
+/// items later restore it.
+static GOLDEN_PREFIX_PASSES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of golden restores
+/// ([`Accelerator::run_suffix_i8_view`] calls) — the cheap half of the
+/// golden-prefix protocol.
+static GOLDEN_RESTORES: AtomicU64 = AtomicU64::new(0);
+
+/// Reads the process-wide golden-prefix capture counter (test probe).
+#[must_use]
+pub fn golden_prefix_passes() -> u64 {
+    GOLDEN_PREFIX_PASSES.load(Ordering::Relaxed)
+}
+
+/// Reads the process-wide golden-restore counter (test probe).
+#[must_use]
+pub fn golden_restores() -> u64 {
+    GOLDEN_RESTORES.load(Ordering::Relaxed)
 }
 
 /// What happens on multiplier lanes whose channel index exceeds the layer's
@@ -161,6 +209,10 @@ pub struct Accelerator {
     /// Cycle-model report of the loaded plan (fault-independent, so it is
     /// computed once per plan and cloned per inference).
     perf_template: Option<PerfReport>,
+    /// Per-op MAC-cycle spans of the loaded plan
+    /// ([`ExecutionPlan::mac_cycle_spans`], computed once per plan) — the
+    /// schedule table op-scoped exact execution consults per op.
+    spans: Vec<Range<u64>>,
 }
 
 impl Accelerator {
@@ -176,6 +228,7 @@ impl Accelerator {
             arena: WeightArena::default(),
             scratch: Scratch::default(),
             perf_template: None,
+            spans: Vec::new(),
         }
     }
 
@@ -287,8 +340,15 @@ impl Accelerator {
     /// Shared tail of the two plan loaders: resets the run state and builds
     /// the weight arena from the plan's current DRAM contents.
     fn install_plan(&mut self, plan: Arc<ExecutionPlan>) -> Result<(), AccelError> {
+        // A window programmed before the plan (or valid for a previous
+        // plan) must be re-validated against this plan's schedule, or a
+        // stale past-the-end window would silently disarm every injection.
+        if let Some(w) = &self.csb.fi.window {
+            Self::validate_window(w, plan.total_mac_cycles())?;
+        }
         self.cycle = 0;
         self.perf_template = Some(perf::plan_report(&plan, self.config.clock_hz));
+        self.spans = plan.mac_cycle_spans();
         self.arena.clear();
         self.arena.by_op = vec![None; plan.ops.len()];
         for (i, op) in plan.ops.iter().enumerate() {
@@ -372,16 +432,105 @@ impl Accelerator {
     }
 
     /// Restricts injection to a cycle window (a transient / "pulse" fault).
-    /// Only honoured in [`ExecMode::Exact`]; `Auto` falls back to exact
-    /// while a window is set.
+    /// Windows need the per-product exact engine, but only for the ops whose
+    /// MAC-cycle span intersects the window: under [`ExecMode::Auto`] the
+    /// fault-free prefix and the post-pulse suffix keep the fast
+    /// register-tiled path (op-scoped execution); [`ExecMode::Exact`] runs
+    /// everything exact.
     ///
     /// Cycle numbering restarts at every launched inference (see
     /// [`Accelerator::mac_cycles_retired`]), so the window describes a pulse
     /// relative to inference start: every image of a campaign experiences
     /// the same transient, regardless of which device of a pool — or which
     /// position in a mini-batch — it lands on.
-    pub fn set_fault_window(&mut self, window: Option<Range<u64>>) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::FastPathUnsupported`] for a non-`None` window
+    /// under [`ExecMode::Fast`] (the fast path cannot arm injection for the
+    /// intersecting ops — previously this surfaced only at inference time,
+    /// deep in the engine), and [`AccelError::BadPlan`] if a plan is loaded
+    /// and the window cannot overlap any retired MAC cycle (`1..=total`):
+    /// such a "pulse" would silently run a fault-free campaign at exact-mode
+    /// cost.
+    pub fn set_fault_window(&mut self, window: Option<Range<u64>>) -> Result<(), AccelError> {
+        if let Some(w) = &window {
+            self.validate_fault_window(w)?;
+        }
         self.csb.fi.window = window;
+        Ok(())
+    }
+
+    /// Read-only validation of a prospective transient window: everything
+    /// [`Accelerator::set_fault_window`] checks (execution-mode conflict,
+    /// plan-schedule overlap when a plan is loaded) without mutating the
+    /// device — for callers that want to surface window errors up front.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Accelerator::set_fault_window`].
+    pub fn validate_fault_window(&self, window: &Range<u64>) -> Result<(), AccelError> {
+        if self.config.mode == ExecMode::Fast {
+            return Err(AccelError::FastPathUnsupported);
+        }
+        if let Some(plan) = &self.plan {
+            Self::validate_window(window, plan.total_mac_cycles())?;
+        }
+        Ok(())
+    }
+
+    /// Rejects a transient window that cannot overlap any retired MAC cycle
+    /// (`1..=total`) of a plan. Shared by [`Accelerator::set_fault_window`]
+    /// and the plan loaders (a window programmed before — or across — plan
+    /// loads is re-validated at install time).
+    fn validate_window(w: &Range<u64>, total: u64) -> Result<(), AccelError> {
+        if w.start >= w.end || w.end <= 1 || w.start > total {
+            return Err(AccelError::BadPlan(format!(
+                "transient fault window {}..{} cannot overlap any MAC \
+                 cycle of this plan (the per-inference counter retires \
+                 cycles 1..={total}); the campaign would be a \
+                 fault-free no-op",
+                w.start, w.end
+            )));
+        }
+        Ok(())
+    }
+
+    /// The per-inference MAC-cycle span `[start, end)` of every plan op, in
+    /// retired-counter numbering (see [`ExecutionPlan::mac_cycle_spans`]).
+    /// Empty without a loaded plan.
+    #[must_use]
+    pub fn mac_cycle_spans(&self) -> &[Range<u64>] {
+        &self.spans
+    }
+
+    /// Total MAC cycles one inference of the loaded plan retires.
+    #[must_use]
+    pub fn total_mac_cycles(&self) -> Option<u64> {
+        self.plan.as_ref().map(|p| p.total_mac_cycles())
+    }
+
+    /// Index of the first plan op whose MAC-cycle span intersects `window`
+    /// — the earliest op that can observe a transient fault in that window.
+    /// `None` without a plan or when the window misses every op.
+    #[must_use]
+    pub fn first_op_in_window(&self, window: &Range<u64>) -> Option<usize> {
+        self.spans.iter().position(|s| span_intersects(s, window))
+    }
+
+    /// MAC cycles retired by ops `0..boundary` — the value the cycle counter
+    /// holds when op `boundary` starts, which a golden restore
+    /// ([`Accelerator::run_suffix_i8_view`]) must re-seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `boundary > ops.len()` of the loaded plan (or none is).
+    #[must_use]
+    pub fn prefix_mac_cycles(&self, boundary: usize) -> u64 {
+        if boundary == self.spans.len() {
+            return self.spans.last().map_or(0, |s| s.end - 1);
+        }
+        self.spans[boundary].start - 1
     }
 
     /// The functional MAC-array cycle counter: atomic ops retired by the
@@ -449,6 +598,100 @@ impl Accelerator {
     /// input image, or any engine error.
     pub fn run_inference_i8_view(&mut self, image: &[i8]) -> Result<InferenceResult, AccelError> {
         let plan = self.plan.clone().ok_or(AccelError::NoPlan)?;
+        // Per-inference cycle numbering: transient windows gate on cycles
+        // since *this* launch, not since plan load.
+        self.cycle = 0;
+        self.write_input_surface(&plan, image)?;
+        self.exec_ops(&plan, 0, plan.ops.len())?;
+        self.read_result(&plan)
+    }
+
+    /// Runs only the plan's prefix `ops[0..boundary]` on one pre-quantized
+    /// i8 image, leaving DRAM in exactly the state a full run would have at
+    /// that op boundary (and the cycle counter at the prefix's retired
+    /// count). This is the **capture** half of the golden-prefix protocol: a
+    /// campaign runs it fault-free once per image, snapshots the boundary's
+    /// live-in surfaces (see `ExecutionPlan::live_in_surfaces`) and replays
+    /// them into [`Accelerator::run_suffix_i8_view`] for every windowed work
+    /// item. Counted by the process-wide [`golden_prefix_passes`] probe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::NoPlan`] without a loaded plan,
+    /// [`AccelError::BadPlan`] on a shape mismatch or `boundary` outside the
+    /// plan, or any engine error.
+    pub fn run_prefix_i8_view(&mut self, image: &[i8], boundary: usize) -> Result<(), AccelError> {
+        let plan = self.plan.clone().ok_or(AccelError::NoPlan)?;
+        if boundary > plan.ops.len() {
+            return Err(AccelError::BadPlan(format!(
+                "prefix boundary {boundary} outside the {}-op plan",
+                plan.ops.len()
+            )));
+        }
+        self.cycle = 0;
+        self.write_input_surface(&plan, image)?;
+        self.exec_ops(&plan, 0, boundary)?;
+        GOLDEN_PREFIX_PASSES.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Runs the plan's suffix `ops[boundary..]` from a restored golden
+    /// prefix: `surfaces` names the boundary's live-in `(addr, bytes)`
+    /// regions and `data` holds their bytes back to back, exactly as
+    /// captured after [`Accelerator::run_prefix_i8_view`]. The cycle counter
+    /// is re-seeded with the prefix's retired count, so transient fault
+    /// windows observe the same absolute cycle numbers as a full run —
+    /// results are bit-identical to [`Accelerator::run_inference_i8_view`]
+    /// of the same image (property-tested in `tests/equivalence.rs`).
+    /// Counted by the process-wide [`golden_restores`] probe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::NoPlan`] without a loaded plan,
+    /// [`AccelError::BadPlan`] if `boundary` is outside the plan or `data`
+    /// does not match `surfaces`, or any engine error.
+    pub fn run_suffix_i8_view(
+        &mut self,
+        boundary: usize,
+        surfaces: &[(u64, u64)],
+        data: &[i8],
+    ) -> Result<InferenceResult, AccelError> {
+        let plan = self.plan.clone().ok_or(AccelError::NoPlan)?;
+        if boundary > plan.ops.len() {
+            return Err(AccelError::BadPlan(format!(
+                "suffix boundary {boundary} outside the {}-op plan",
+                plan.ops.len()
+            )));
+        }
+        let need: u64 = surfaces.iter().map(|(_, b)| b).sum();
+        if need != data.len() as u64 {
+            return Err(AccelError::BadPlan(format!(
+                "golden restore of {} bytes against a {}-byte live-in set",
+                data.len(),
+                need
+            )));
+        }
+        let mut off = 0usize;
+        for &(addr, bytes) in surfaces {
+            let bytes = bytes as usize;
+            self.dram.write_i8(addr, &data[off..off + bytes])?;
+            // Activation surfaces never alias weight regions by allocator
+            // construction, but keep the DRAM-mutation contract anyway.
+            self.arena.invalidate_overlap(addr, bytes as u64);
+            off += bytes;
+        }
+        self.cycle = self.prefix_mac_cycles(boundary);
+        self.exec_ops(&plan, boundary, plan.ops.len())?;
+        GOLDEN_RESTORES.fetch_add(1, Ordering::Relaxed);
+        self.read_result(&plan)
+    }
+
+    /// Packs one dense-CHW i8 image into the plan's input surface.
+    fn write_input_surface(
+        &mut self,
+        plan: &ExecutionPlan,
+        image: &[i8],
+    ) -> Result<(), AccelError> {
         let in_shape = plan.input_shape.with_n(1);
         if image.len() != in_shape.image_len() {
             return Err(AccelError::BadPlan(format!(
@@ -458,10 +701,6 @@ impl Accelerator {
                 in_shape.image_len()
             )));
         }
-        // Per-inference cycle numbering: transient windows gate on cycles
-        // since *this* launch, not since plan load.
-        self.cycle = 0;
-        // Host writes the input surface.
         self.scratch.packed.resize(
             surface::surface_bytes(in_shape.c, in_shape.h, in_shape.w),
             0,
@@ -470,14 +709,23 @@ impl Accelerator {
         let packed = std::mem::take(&mut self.scratch.packed);
         self.dram.write_i8(plan.input_addr, &packed)?;
         self.scratch.packed = packed;
-        // Execute ops.
-        for (i, op) in plan.ops.iter().enumerate() {
+        Ok(())
+    }
+
+    /// Executes plan ops `[from, to)` on the per-image path.
+    fn exec_ops(&mut self, plan: &ExecutionPlan, from: usize, to: usize) -> Result<(), AccelError> {
+        for (i, op) in plan.ops.iter().enumerate().take(to).skip(from) {
             match op {
                 PlanOp::Conv(c) => self.exec_conv(i, c)?,
                 PlanOp::Pool(p) => self.exec_pool(p)?,
                 PlanOp::Linear(l) => self.exec_linear(i, l)?,
             }
         }
+        Ok(())
+    }
+
+    /// Reads the logits back and assembles an [`InferenceResult`].
+    fn read_result(&mut self, plan: &ExecutionPlan) -> Result<InferenceResult, AccelError> {
         let logits = self.dram.read_i32(plan.output_addr, plan.num_classes)?;
         let class = nvfi_quant::exec::argmax(&logits);
         Ok(InferenceResult {
@@ -675,6 +923,10 @@ impl Accelerator {
 
     // -- internal op execution ---------------------------------------------
 
+    /// Whether any op of the next inference may need the per-image exact
+    /// engine — the batch-level decision that drops
+    /// [`Accelerator::run_batch_i8_view`] to the per-image path, where
+    /// [`Accelerator::op_path`] refines the choice per op.
     fn effective_exact(&self) -> Result<bool, AccelError> {
         let fi = &self.csb.fi;
         let needs_exact = fi.any_active() && (!fi.is_full_override() || fi.window.is_some());
@@ -691,13 +943,60 @@ impl Accelerator {
         }
     }
 
-    /// Atomic-op (MAC-array cycle) count of one convolution.
-    fn conv_atomic_ops(g: &ConvGeom) -> u64 {
-        (g.oh * g.ow * g.k.div_ceil(8) * g.input.c.div_ceil(8) * g.r * g.s) as u64
+    /// The execution path of plan op `op_idx` under the current fault
+    /// programming — op-scoped exact execution:
+    ///
+    /// * no active fault → [`OpPath::Fast`];
+    /// * permanent full-lane override → [`OpPath::FastCorrected`]
+    ///   (algebraic corrections, no exact engine anywhere);
+    /// * permanent bit-granular fault → [`OpPath::Exact`] for every op
+    ///   (full-inference exact, as before);
+    /// * transient window → [`OpPath::Exact`] only for ops whose MAC-cycle
+    ///   span intersects the window; every other op — the golden prefix and
+    ///   the tainted suffix — runs [`OpPath::Fast`] with **no** corrections,
+    ///   because the injectors are inactive for all of its cycles.
+    ///
+    /// [`ExecMode::Exact`] forces everything exact; [`ExecMode::Fast`]
+    /// errors whenever the exact engine would be needed.
+    fn op_path(&self, op_idx: usize) -> Result<OpPath, AccelError> {
+        if self.config.mode == ExecMode::Exact {
+            return Ok(OpPath::Exact);
+        }
+        let fi = &self.csb.fi;
+        if !fi.any_active() {
+            return Ok(OpPath::Fast);
+        }
+        let needs_exact = match &fi.window {
+            Some(w) => span_intersects(&self.spans[op_idx], w),
+            None => !fi.is_full_override(),
+        };
+        if needs_exact {
+            if self.config.mode == ExecMode::Fast {
+                return Err(AccelError::FastPathUnsupported);
+            }
+            return Ok(OpPath::Exact);
+        }
+        if fi.window.is_some() {
+            // Windowed fault missing this op entirely: plain fast, no
+            // corrections — the mux output equals the product for every
+            // cycle of this op's span.
+            return Ok(OpPath::Fast);
+        }
+        Ok(OpPath::FastCorrected)
+    }
+
+    /// Atomic-op (MAC-array cycle) count of plan op `op_idx`, read from the
+    /// cached schedule table — the *same* numbers the exact engine retires
+    /// one by one, so fast-path bulk bumps and exact per-product counting
+    /// can never drift apart.
+    fn op_mac_cycles(&self, op_idx: usize) -> u64 {
+        let s = &self.spans[op_idx];
+        s.end - s.start
     }
 
     fn exec_conv(&mut self, op_idx: usize, op: &ConvOp) -> Result<(), AccelError> {
-        let exact = self.effective_exact()?;
+        let path = self.op_path(op_idx)?;
+        let op_cycles = self.op_mac_cycles(op_idx);
         self.refresh_weights(op_idx)?;
         let g = op.geom;
         let in_shape = g.input.with_n(1);
@@ -731,7 +1030,7 @@ impl Accelerator {
             &this.arena.entries[this.arena.by_op[op_idx].expect("conv has weights")].weights;
         let scratch = &mut this.scratch;
         scratch.acc.resize(g.k * g.oh * g.ow, 0);
-        if exact {
+        if path == OpPath::Exact {
             scratch.acc.fill(0);
             conv_exact_into(
                 fi,
@@ -751,8 +1050,8 @@ impl Accelerator {
                 &mut scratch.acc,
                 1,
             );
-            this.cycle += Self::conv_atomic_ops(&g);
-            if fi.any_active() {
+            this.cycle += op_cycles;
+            if path == OpPath::FastCorrected {
                 apply_fast_corrections_into(
                     fi,
                     gated,
@@ -794,6 +1093,7 @@ impl Accelerator {
         op: &ConvOp,
         b_n: usize,
     ) -> Result<(), AccelError> {
+        let op_cycles = self.op_mac_cycles(op_idx);
         self.refresh_weights(op_idx)?;
         let g = op.geom;
         let in_len = g.input.image_len();
@@ -835,7 +1135,7 @@ impl Accelerator {
             crs,
             wide_n,
         );
-        this.cycle += Self::conv_atomic_ops(&g) * b_n as u64;
+        this.cycle += op_cycles * b_n as u64;
         if fi.any_active() {
             for b in 0..b_n {
                 apply_fast_corrections_into(
@@ -932,7 +1232,8 @@ impl Accelerator {
     }
 
     fn exec_linear(&mut self, op_idx: usize, op: &LinearOp) -> Result<(), AccelError> {
-        let exact = self.effective_exact()?;
+        let path = self.op_path(op_idx)?;
+        let op_cycles = self.op_mac_cycles(op_idx);
         self.refresh_weights(op_idx)?;
         let in_shape = Shape4::new(1, op.in_f, 1, 1);
         let bytes = surface::surface_bytes(op.in_f, 1, 1) as u64;
@@ -950,7 +1251,7 @@ impl Accelerator {
             &this.arena.entries[this.arena.by_op[op_idx].expect("linear has weights")].weights;
         let scratch = &mut this.scratch;
         scratch.acc.resize(op.out_f, 0);
-        if exact {
+        if path == OpPath::Exact {
             scratch.acc.fill(0);
             conv_exact_into(
                 fi,
@@ -970,8 +1271,8 @@ impl Accelerator {
                 &mut scratch.acc,
                 1,
             );
-            this.cycle += (g.k.div_ceil(8) * g.input.c.div_ceil(8)) as u64;
-            if fi.any_active() {
+            this.cycle += op_cycles;
+            if path == OpPath::FastCorrected {
                 apply_fast_corrections_into(
                     fi,
                     gated,
@@ -1000,6 +1301,7 @@ impl Accelerator {
         op: &LinearOp,
         b_n: usize,
     ) -> Result<Vec<Vec<i32>>, AccelError> {
+        let op_cycles = self.op_mac_cycles(op_idx);
         self.refresh_weights(op_idx)?;
         let in_shape = Shape4::new(1, op.in_f, 1, 1);
         let g = ConvGeom::new(in_shape, op.out_f, 1, 1, 1, 0);
@@ -1035,7 +1337,7 @@ impl Accelerator {
             op.in_f,
             b_n,
         );
-        this.cycle += (g.k.div_ceil(8) * g.input.c.div_ceil(8)) as u64 * b_n as u64;
+        this.cycle += op_cycles * b_n as u64;
         if fi.any_active() {
             for b in 0..b_n {
                 apply_fast_corrections_into(
@@ -1060,6 +1362,13 @@ impl Accelerator {
         scratch.batch_surfaces.insert(op.input_addr, input);
         Ok(logits)
     }
+}
+
+/// Whether two half-open cycle ranges overlap (an empty range — e.g. a
+/// pool op's span — never does, even when it sits strictly inside the
+/// other range).
+fn span_intersects(a: &Range<u64>, b: &Range<u64>) -> bool {
+    !a.is_empty() && !b.is_empty() && a.start < b.end && b.start < a.end
 }
 
 /// Ground-truth convolution: every product through its injector mux.

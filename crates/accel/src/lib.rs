@@ -23,11 +23,11 @@
 //! * **DRAM**: a byte-addressable memory holding packed feature surfaces
 //!   and weights ([`dram`]), with access counters for the performance model.
 //!
-//! # Execution modes
+//! # Execution modes and the op-scoped pipeline
 //!
 //! * [`ExecMode::Exact`] pushes every single product through the injector
-//!   muxes in the CMAC's atomic-op schedule — the ground truth. It is the
-//!   only mode that honours **bit-granular** faults
+//!   muxes in the CMAC's atomic-op schedule — the ground truth, and the
+//!   only engine that can honour **bit-granular** faults
 //!   ([`FaultKind::StuckBits`], [`FaultKind::FlipBits`]) and **transient
 //!   windows** ([`Accelerator::set_fault_window`]), because both depend on
 //!   per-product values and cycle numbers.
@@ -35,10 +35,31 @@
 //!   and applies an algebraically identical correction per faulted lane
 //!   (`forced_value * #products - clean_lane_sum`). Valid only for
 //!   permanent full-lane overrides (the paper's 0 / +1 / -1 experiments);
-//!   anything else returns [`AccelError::FastPathUnsupported`]. The two
-//!   engines are property-tested bit-equal on their shared domain.
-//! * [`ExecMode::Auto`] (default) resolves per programmed fault
-//!   configuration: fast whenever the faults allow it, exact otherwise.
+//!   anything else returns [`AccelError::FastPathUnsupported`] — a
+//!   transient window already at [`Accelerator::set_fault_window`] time.
+//!   The two engines are property-tested bit-equal on their shared domain.
+//! * [`ExecMode::Auto`] (default) resolves **per op**, not per inference.
+//!   Each plan op owns a fixed per-inference MAC-cycle span
+//!   (`ExecutionPlan::mac_cycle_spans`, cached on the device at plan-load
+//!   time), so under a transient window the pipeline is *op-scoped*: ops
+//!   whose span ends before the window run the fast register-tiled path
+//!   (bit-identical when no fault is active), ops intersecting the window
+//!   run exact with injection armed, and ops after the window drop back to
+//!   the fast path on the (tainted) intermediate activations. Permanent
+//!   bit-granular faults still run full-inference exact; permanent
+//!   full-lane overrides run fast-with-corrections everywhere. Window
+//!   placement equivalence against all-exact is tested exhaustively in
+//!   `tests/equivalence.rs`.
+//!
+//! The fault-free prefix of a windowed inference is also *restorable*:
+//! [`Accelerator::run_prefix_i8_view`] runs ops `0..b` and leaves DRAM in
+//! the boundary state, and [`Accelerator::run_suffix_i8_view`] re-seeds the
+//! boundary's live-in surfaces (`ExecutionPlan::live_in_surfaces`) plus the
+//! prefix cycle count and runs ops `b..` — bit-identical to the full run.
+//! Fault-injection campaigns build a campaign-lifetime golden-prefix
+//! activation cache on top of this pair (`nvfi::GoldenActivationCache`),
+//! capturing each image's prefix once (probed by [`golden_prefix_passes`])
+//! and restoring it for every windowed work item ([`golden_restores`]).
 //!
 //! # Weight-arena lifecycle
 //!
@@ -98,7 +119,9 @@ mod error;
 pub mod fi;
 pub mod perf;
 
-pub use engine::{Accelerator, ExecMode, IdleLanePolicy, InferenceResult};
+pub use engine::{
+    golden_prefix_passes, golden_restores, Accelerator, ExecMode, IdleLanePolicy, InferenceResult,
+};
 pub use error::AccelError;
 pub use fi::{FaultConfig, FaultKind};
 pub use perf::{AccelConfig, PerfReport, CLOCK_HZ_DEFAULT};

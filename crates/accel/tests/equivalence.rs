@@ -430,17 +430,32 @@ fn transient_window_limits_fault_scope() {
     let img = data.test.images.slice_image(0);
 
     let mut clean = accel_with(&q, ExecMode::Exact, IdleLanePolicy::ZeroFed);
-    let clean_logits = clean.run_inference(&img).unwrap().logits;
+    let _ = clean.run_inference(&img).unwrap();
     let total_cycles = clean.mac_cycles_retired();
+    assert_eq!(
+        Some(total_cycles),
+        clean.total_mac_cycles(),
+        "retired counter must agree with the plan schedule table"
+    );
 
-    // Window entirely after the run: no effect.
+    // Window entirely after the run: rejected as a silent no-op (it used to
+    // run a fault-free campaign at exact-engine cost).
     let mut late = accel_with(&q, ExecMode::Exact, IdleLanePolicy::ZeroFed);
     late.inject(&FaultConfig::new(
         MultId::all().collect(),
         FaultKind::Constant(131071),
     ));
-    late.set_fault_window(Some(total_cycles * 10..total_cycles * 11));
-    assert_eq!(late.run_inference(&img).unwrap().logits, clean_logits);
+    let err = late
+        .set_fault_window(Some(total_cycles * 10..total_cycles * 11))
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("cannot overlap any MAC cycle"),
+        "unexpected message: {err}"
+    );
+    // Same for a window that ends before the first cycle retires, and for
+    // an empty window.
+    assert!(late.set_fault_window(Some(0..1)).is_err());
+    assert!(late.set_fault_window(Some(10..10)).is_err());
 
     // Window covering the whole first inference: same as permanent.
     let mut pulse = accel_with(&q, ExecMode::Exact, IdleLanePolicy::ZeroFed);
@@ -448,7 +463,7 @@ fn transient_window_limits_fault_scope() {
         MultId::all().collect(),
         FaultKind::Constant(131071),
     ));
-    pulse.set_fault_window(Some(0..total_cycles + 1));
+    pulse.set_fault_window(Some(0..total_cycles + 1)).unwrap();
     let mut permanent = accel_with(&q, ExecMode::Exact, IdleLanePolicy::ZeroFed);
     permanent.inject(&FaultConfig::new(
         MultId::all().collect(),
@@ -458,6 +473,168 @@ fn transient_window_limits_fault_scope() {
         pulse.run_inference(&img).unwrap().logits,
         permanent.run_inference(&img).unwrap().logits
     );
+}
+
+#[test]
+fn fast_mode_rejects_windows_at_set_time() {
+    // ExecMode::Fast can never arm injection for a windowed op; the
+    // conflict must surface when the window is programmed, not at inference
+    // time deep inside the engine.
+    let (q, _) = build_model(4, 53);
+    let mut fast = accel_with(&q, ExecMode::Fast, IdleLanePolicy::ZeroFed);
+    assert!(matches!(
+        fast.set_fault_window(Some(10..20)),
+        Err(nvfi_accel::AccelError::FastPathUnsupported)
+    ));
+    // Clearing the window is always fine.
+    fast.set_fault_window(None).unwrap();
+}
+
+/// A window programmed before any plan is loaded (nothing to validate
+/// against yet) — or left over from a previous plan — is re-validated when
+/// a plan is installed: a stale past-the-end window would otherwise
+/// silently disarm every injection under op-scoped execution.
+#[test]
+fn stale_window_is_revalidated_at_plan_load() {
+    let (q, _) = build_model(4, 67);
+    let plan = nvfi_compiler::compile(&q, nvfi_compiler::lower::DEFAULT_DRAM_CAPACITY).unwrap();
+    let mut a = Accelerator::new(AccelConfig::default());
+    // No plan yet: the window is accepted provisionally...
+    a.set_fault_window(Some(u64::MAX - 10..u64::MAX)).unwrap();
+    // ...and rejected by the loader of a plan it cannot overlap.
+    assert!(matches!(
+        a.load_plan(&plan),
+        Err(nvfi_accel::AccelError::BadPlan(_))
+    ));
+    // A window the plan can observe survives the load.
+    a.set_fault_window(Some(1..100)).unwrap();
+    a.load_plan(&plan).unwrap();
+    assert!(a.total_mac_cycles().unwrap() >= 100);
+}
+
+/// Exhaustive window-placement equivalence of op-scoped execution: for a
+/// window aligned to every op boundary, covering single ops, straddling op
+/// pairs, and clipping single cycles, the Auto-mode pipeline
+/// (prefix-fast / window-exact / suffix-fast) must match the all-exact
+/// ground truth bit for bit — for a full-override fault *and* a
+/// bit-granular flip fault.
+#[test]
+fn op_scoped_window_placement_matches_all_exact() {
+    let (q, data) = build_model(4, 59);
+    let img = data.test.images.slice_image(0);
+    let probe = accel_with(&q, ExecMode::Exact, IdleLanePolicy::ZeroFed);
+    let spans: Vec<_> = probe.mac_cycle_spans().to_vec();
+    let total = probe.total_mac_cycles().unwrap();
+    let mac_spans: Vec<_> = spans.iter().filter(|s| !s.is_empty()).cloned().collect();
+    assert!(mac_spans.len() >= 3, "fixture has several MAC ops");
+
+    let mut windows: Vec<std::ops::Range<u64>> = Vec::new();
+    for s in &mac_spans {
+        // Exactly one op.
+        windows.push(s.clone());
+        // A single cycle inside the op.
+        let mid = s.start + (s.end - s.start) / 2;
+        windows.push(mid..mid + 1);
+    }
+    for w in mac_spans.windows(2) {
+        // Straddling two (or more) ops: mid of one to mid of the next.
+        let a = w[0].start + (w[0].end - w[0].start) / 2;
+        let b = w[1].start + (w[1].end - w[1].start) / 2;
+        windows.push(a..b);
+    }
+    // The whole inference, and a window overhanging the end.
+    windows.push(1..total + 1);
+    windows.push(total..total * 2);
+
+    let faults = [
+        FaultConfig::new(MultId::all().collect(), FaultKind::Constant(131071)),
+        FaultConfig::new(
+            vec![MultId::new(0, 0), MultId::new(3, 2)],
+            FaultKind::FlipBits { mask: 1 << 16 },
+        ),
+    ];
+    let mut any_corruption = false;
+    let clean_logits = {
+        let mut a = accel_with(&q, ExecMode::Auto, IdleLanePolicy::ZeroFed);
+        a.run_inference(&img).unwrap().logits
+    };
+    for fault in &faults {
+        for w in &windows {
+            let mut exact = accel_with(&q, ExecMode::Exact, IdleLanePolicy::ZeroFed);
+            let mut scoped = accel_with(&q, ExecMode::Auto, IdleLanePolicy::ZeroFed);
+            exact.inject(fault);
+            scoped.inject(fault);
+            exact.set_fault_window(Some(w.clone())).unwrap();
+            scoped.set_fault_window(Some(w.clone())).unwrap();
+            let a = exact.run_inference(&img).unwrap();
+            let b = scoped.run_inference(&img).unwrap();
+            assert_eq!(
+                a.logits, b.logits,
+                "op-scoped != all-exact for window {w:?} fault {fault:?}"
+            );
+            assert_eq!(
+                exact.mac_cycles_retired(),
+                scoped.mac_cycles_retired(),
+                "cycle accounting must be path-independent (window {w:?})"
+            );
+            any_corruption |= a.logits != clean_logits;
+        }
+    }
+    assert!(
+        any_corruption,
+        "at least one windowed fault must perturb the logits"
+    );
+}
+
+/// The golden-prefix protocol at engine level: capturing the boundary's
+/// live-in surfaces after a fault-free prefix run and restoring them into
+/// a suffix run reproduces the full windowed inference bit for bit, for
+/// every op boundary.
+#[test]
+fn golden_prefix_restore_is_bit_identical() {
+    let (q, data) = build_model(4, 61);
+    let plan = nvfi_compiler::compile(&q, nvfi_compiler::lower::DEFAULT_DRAM_CAPACITY).unwrap();
+    let img_f32 = data.test.images.slice_image(0);
+    let img = q.quantize_input(&img_f32);
+    let probe = accel_with(&q, ExecMode::Exact, IdleLanePolicy::ZeroFed);
+    let spans: Vec<_> = probe.mac_cycle_spans().to_vec();
+
+    for (boundary, span) in spans.iter().enumerate().take(plan.ops.len()).skip(1) {
+        if span.is_empty() {
+            continue; // pool op: no MAC cycles, no window can bite here
+        }
+        let window = span.clone();
+        let fault = FaultConfig::new(MultId::all().collect(), FaultKind::Constant(131071));
+
+        // Ground truth: the full op-scoped windowed run.
+        let mut full = accel_with(&q, ExecMode::Auto, IdleLanePolicy::ZeroFed);
+        full.inject(&fault);
+        full.set_fault_window(Some(window.clone())).unwrap();
+        let want = full.run_inference_i8(&img).unwrap();
+
+        // Golden capture (fault-free), then restore + suffix under fault.
+        let mut golden = accel_with(&q, ExecMode::Auto, IdleLanePolicy::ZeroFed);
+        let surfaces = plan.live_in_surfaces(boundary);
+        golden.run_prefix_i8_view(img.as_slice(), boundary).unwrap();
+        let mut data = Vec::new();
+        for &(addr, bytes) in &surfaces {
+            data.extend(golden.dma_read(addr, bytes).unwrap());
+        }
+        golden.inject(&fault);
+        golden.set_fault_window(Some(window.clone())).unwrap();
+        let got = golden
+            .run_suffix_i8_view(boundary, &surfaces, &data)
+            .unwrap();
+        assert_eq!(
+            want.logits, got.logits,
+            "golden restore diverged at boundary {boundary} (window {window:?})"
+        );
+        assert_eq!(
+            full.mac_cycles_retired(),
+            golden.mac_cycles_retired(),
+            "suffix run must end on the same retired count (boundary {boundary})"
+        );
+    }
 }
 
 #[test]

@@ -7,10 +7,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use nvfi::campaign::{Campaign, CampaignSpec, TargetSelection};
 use nvfi::{DevicePool, EmulationPlatform, PlatformConfig, QuantizedEvalSet};
-use nvfi_accel::{FaultConfig, FaultKind};
-use nvfi_bench::small_fixture;
+use nvfi_accel::{AccelConfig, ExecMode, FaultConfig, FaultKind};
+use nvfi_bench::{medium_fixture, small_fixture};
 use nvfi_compiler::regmap::MultId;
 use nvfi_dataset::{SynthCifar, SynthCifarConfig};
+use nvfi_quant::QuantModel;
 
 fn bench_single_fi_evaluation(c: &mut Criterion) {
     let (q, data) = small_fixture();
@@ -131,11 +132,129 @@ fn bench_quantize_once(c: &mut Criterion) {
     g.finish();
 }
 
+/// Runs one windowed campaign under each of the three execution strategies
+/// and benches them, asserting the records bit-identical first:
+///
+/// * **all-exact** (`ExecMode::Exact`): every op of every inference through
+///   the per-product engine — what any windowed campaign cost before
+///   op-scoped execution;
+/// * **op-scoped** (`ExecMode::Auto`, golden cache disabled): only the ops
+///   whose MAC-cycle span intersects the window run exact; the fault-free
+///   prefix is recomputed (fast path) per work item;
+/// * **op-scoped + golden cache** (the default): the prefix is captured
+///   once per image per campaign and restored per work item.
+#[allow(clippy::too_many_arguments)]
+fn bench_windowed_trio(
+    c: &mut Criterion,
+    q: &QuantModel,
+    eval: &nvfi_dataset::Dataset,
+    work_items: usize,
+    prefix: &str,
+    sample_size: usize,
+    window_of: impl Fn(u64) -> std::ops::Range<u64>,
+) {
+    let total = EmulationPlatform::assemble(q, PlatformConfig::default())
+        .unwrap()
+        .accel()
+        .total_mac_cycles()
+        .unwrap();
+    let window = window_of(total);
+    let targets: Vec<Vec<MultId>> = (0..work_items)
+        .map(|i| vec![MultId::new((i % 8) as u8, ((i * 3 + 7) % 8) as u8)])
+        .collect();
+    let mk_campaign = |mode| {
+        let config = PlatformConfig {
+            accel: AccelConfig {
+                mode,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        Campaign::new(q, config)
+    };
+    let mk_spec = |golden_cache_bytes| CampaignSpec {
+        selection: TargetSelection::Fixed(targets.clone()),
+        kinds: vec![FaultKind::StuckAtZero],
+        eval_images: eval.len(),
+        threads: 1,
+        fault_window: Some(window.clone()),
+        golden_cache_bytes,
+        ..Default::default()
+    };
+    let all_exact = mk_campaign(ExecMode::Exact);
+    let op_scoped = mk_campaign(ExecMode::Auto);
+    let a = all_exact.run(&mk_spec(0), eval).unwrap();
+    let b = op_scoped.run(&mk_spec(0), eval).unwrap();
+    let g = op_scoped.run(&mk_spec(usize::MAX), eval).unwrap();
+    assert_eq!(
+        a.records, b.records,
+        "op-scoped execution must not change windowed records"
+    );
+    assert_eq!(
+        a.records, g.records,
+        "golden-prefix restore must not change windowed records"
+    );
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(sample_size);
+    group.bench_function(&format!("{prefix}_all_exact"), |bch| {
+        bch.iter(|| all_exact.run(&mk_spec(0), eval).unwrap())
+    });
+    group.bench_function(&format!("{prefix}_op_scoped"), |bch| {
+        bch.iter(|| op_scoped.run(&mk_spec(0), eval).unwrap())
+    });
+    group.bench_function(&format!("{prefix}_golden_cache"), |bch| {
+        bch.iter(|| op_scoped.run(&mk_spec(usize::MAX), eval).unwrap())
+    });
+    group.finish();
+}
+
+/// The op-scoped + golden-cache acceptance scenarios.
+///
+/// * `win4cfg_256img_*`: a window over the third quarter of the MAC cycles
+///   (1/4 of the inference), 256 small-fixture images, 4 fault
+///   configurations — the shape transient-SEU sweeps take. Op-scoping is
+///   the big lever here (3/4 of every inference leaves the exact engine).
+/// * `pulse4cfg_256img_*`: a 2000-cycle pulse at the 3/4 mark (a DeepStrike
+///   / EMFI-style narrow transient, ~3% of the inference). The exact-engine
+///   share is tiny, so the golden cache's prefix restore becomes the
+///   dominant saving on top of op-scoping.
+/// * `win1cfg_16img_medium_*`: the quarter-window trio on the medium
+///   (paper-sized, width-16 ResNet-18) fixture — fewer images because the
+///   all-exact baseline costs ~100 ms/inference there — for the >= 2x
+///   acceptance ratio.
+fn bench_windowed_campaign(c: &mut Criterion) {
+    let (q, _) = small_fixture();
+    let eval = SynthCifar::new(SynthCifarConfig {
+        train: 0,
+        test: 256,
+        ..Default::default()
+    })
+    .generate()
+    .test;
+    bench_windowed_trio(c, &q, &eval, 4, "win4cfg_256img", 3, |t| t / 2..t * 3 / 4);
+    bench_windowed_trio(c, &q, &eval, 4, "pulse4cfg_256img", 3, |t| {
+        t * 3 / 4..t * 3 / 4 + 2000
+    });
+
+    let (qm, _) = medium_fixture();
+    let eval_m = SynthCifar::new(SynthCifarConfig {
+        train: 0,
+        test: 16,
+        ..Default::default()
+    })
+    .generate()
+    .test;
+    bench_windowed_trio(c, &qm, &eval_m, 1, "win1cfg_16img_medium", 3, |t| {
+        t / 2..t * 3 / 4
+    });
+}
+
 criterion_group!(
     benches,
     bench_single_fi_evaluation,
     bench_fault_programming,
     bench_pool_sharded_campaign,
-    bench_quantize_once
+    bench_quantize_once,
+    bench_windowed_campaign
 );
 criterion_main!(benches);

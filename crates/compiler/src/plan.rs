@@ -6,6 +6,7 @@ use nvfi_hwnum::Requant;
 use nvfi_tensor::{ConvGeom, Shape4};
 
 use crate::regmap;
+use crate::surface;
 
 /// One register write on the CSB/AXI4-Lite bus.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -155,6 +156,117 @@ impl ExecutionPlan {
             .iter()
             .filter(|o| matches!(o, PlanOp::Conv(_) | PlanOp::Linear(_)))
             .count()
+    }
+
+    /// MAC-array atomic ops (= functional MAC cycles) one op retires.
+    /// Pool ops run on the PDP and retire none.
+    #[must_use]
+    pub fn op_mac_cycles(op: &PlanOp) -> u64 {
+        match op {
+            PlanOp::Conv(c) => {
+                let g = &c.geom;
+                (g.oh * g.ow * g.k.div_ceil(8) * g.input.c.div_ceil(8) * g.r * g.s) as u64
+            }
+            PlanOp::Linear(l) => (l.out_f.div_ceil(8) * l.in_f.div_ceil(8)) as u64,
+            PlanOp::Pool(_) => 0,
+        }
+    }
+
+    /// The per-inference MAC-cycle span `[start, end)` of every op, in the
+    /// engine's *retired-counter* domain: the counter is pre-incremented, so
+    /// the first atomic op of an inference retires at counter value 1 and op
+    /// `i` occupies `[prefix_i + 1, prefix_i + n_i + 1)` where `prefix_i` is
+    /// the cumulative atomic-op count of ops `0..i`. Pool ops get an empty
+    /// span at their boundary. A transient fault window `w` (see
+    /// `Accelerator::set_fault_window`) can only be observed by ops whose
+    /// span intersects `w` — the schedule table behind op-scoped exact
+    /// execution.
+    #[must_use]
+    pub fn mac_cycle_spans(&self) -> Vec<std::ops::Range<u64>> {
+        let mut spans = Vec::with_capacity(self.ops.len());
+        let mut prefix = 0u64;
+        for op in &self.ops {
+            let n = Self::op_mac_cycles(op);
+            spans.push(prefix + 1..prefix + n + 1);
+            prefix += n;
+        }
+        spans
+    }
+
+    /// Total MAC cycles one inference retires (the retired counter runs
+    /// `1..=total`). The upper bound a transient fault window must start
+    /// below to have any effect.
+    #[must_use]
+    pub fn total_mac_cycles(&self) -> u64 {
+        self.ops.iter().map(Self::op_mac_cycles).sum()
+    }
+
+    /// The live-in surface set at op boundary `b`: every `(addr, bytes)`
+    /// DRAM surface that some op `j >= b` reads before any op in `b..j`
+    /// writes it. Restoring exactly these surfaces (plus the MAC-cycle
+    /// prefix count) reproduces the machine state a fresh run would reach at
+    /// the boundary — what a golden-prefix activation cache checkpoints.
+    /// When one address is read at several sizes, the largest wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b > self.ops.len()`.
+    #[must_use]
+    pub fn live_in_surfaces(&self, b: usize) -> Vec<(u64, u64)> {
+        assert!(b <= self.ops.len(), "boundary {b} outside the plan");
+        let mut written: Vec<u64> = Vec::new();
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        let read = |live: &mut Vec<(u64, u64)>, written: &[u64], addr: u64, bytes: u64| {
+            if written.contains(&addr) {
+                return;
+            }
+            match live.iter_mut().find(|(a, _)| *a == addr) {
+                Some((_, sz)) => *sz = (*sz).max(bytes),
+                None => live.push((addr, bytes)),
+            }
+        };
+        for op in &self.ops[b..] {
+            match op {
+                PlanOp::Conv(c) => {
+                    let g = &c.geom;
+                    read(
+                        &mut live,
+                        &written,
+                        c.input_addr,
+                        surface::surface_bytes(g.input.c, g.input.h, g.input.w) as u64,
+                    );
+                    if let Some(addr) = c.fuse_add_addr {
+                        read(
+                            &mut live,
+                            &written,
+                            addr,
+                            surface::surface_bytes(g.k, g.oh, g.ow) as u64,
+                        );
+                    }
+                    written.push(c.output_addr);
+                }
+                PlanOp::Pool(p) => {
+                    let s = p.in_shape;
+                    read(
+                        &mut live,
+                        &written,
+                        p.input_addr,
+                        surface::surface_bytes(s.c, s.h, s.w) as u64,
+                    );
+                    written.push(p.output_addr);
+                }
+                PlanOp::Linear(l) => {
+                    read(
+                        &mut live,
+                        &written,
+                        l.input_addr,
+                        surface::surface_bytes(l.in_f, 1, 1) as u64,
+                    );
+                    written.push(l.output_addr);
+                }
+            }
+        }
+        live
     }
 
     /// Human-readable plan listing.
@@ -613,6 +725,46 @@ mod tests {
             decode_words(&words),
             Err(DecodeError::BadTag(0xDEAD))
         ));
+    }
+
+    #[test]
+    fn mac_cycle_spans_tile_the_inference() {
+        let plan = sample_plan();
+        let spans = plan.mac_cycle_spans();
+        assert_eq!(spans.len(), plan.ops.len());
+        // Conv: 8x8 out, ceil(5/8)=1 kernel group, ceil(3/8)=1 channel
+        // block, 3x3 taps = 576 atomic ops; retired counter is 1-based.
+        assert_eq!(spans[0], 1..577);
+        // Pool retires no MAC cycles: empty span at its boundary.
+        assert_eq!(spans[1], 577..577);
+        // Linear: ceil(10/8) * ceil(5/8) = 2 atomic ops.
+        assert_eq!(spans[2], 577..579);
+        assert_eq!(plan.total_mac_cycles(), 578);
+        // Spans are contiguous and ordered.
+        for w in spans.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn live_in_surfaces_track_reads_before_writes() {
+        let plan = sample_plan();
+        // Boundary 0: the conv reads its input and the fused residual (same
+        // address here), nothing written yet.
+        let at0 = plan.live_in_surfaces(0);
+        assert_eq!(at0.len(), 1, "input and residual share 0x100");
+        assert_eq!(at0[0].0, 0x100);
+        // Boundary 1: the pool reads 0x400, which op 0 has already written
+        // by then — but from the boundary's perspective nothing in [1..)
+        // writes it first, so it is live-in.
+        let at1 = plan.live_in_surfaces(1);
+        assert_eq!(at1, vec![(0x400, at1[0].1)]);
+        // Boundary 2: only the linear input.
+        let at2 = plan.live_in_surfaces(2);
+        assert_eq!(at2.len(), 1);
+        assert_eq!(at2[0].0, 0x800);
+        // Boundary past the last op: nothing to restore.
+        assert!(plan.live_in_surfaces(3).is_empty());
     }
 
     #[test]

@@ -36,7 +36,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::platform::{EmulationPlatform, PlatformConfig, PlatformError};
-use crate::pool::{DevicePool, QuantizedEvalSet};
+use crate::pool::{DevicePool, GoldenActivationCache, QuantizedEvalSet};
 
 /// Which multipliers each fault configuration targets.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -55,6 +55,13 @@ pub enum TargetSelection {
     /// Explicit target sets.
     Fixed(Vec<Vec<MultId>>),
 }
+
+/// Default golden-prefix cache budget
+/// ([`CampaignSpec::golden_cache_bytes`]): large enough to checkpoint any
+/// fixture in this repository whole, small enough that an oversized
+/// evaluation set falls back to recomputing prefixes instead of exhausting
+/// host memory.
+pub const GOLDEN_CACHE_DEFAULT_BYTES: usize = 256 << 20;
 
 /// A campaign specification.
 #[derive(Clone, Debug, PartialEq)]
@@ -76,9 +83,24 @@ pub struct CampaignSpec {
     /// spread in full over the resulting groups ([`Campaign::pool_layout`]).
     pub pool_devices: usize,
     /// Optional transient fault window (in per-inference MAC cycles),
-    /// applied alongside every injected fault configuration. Forces the
-    /// exact engine; the baseline pass stays fault- and window-free.
+    /// applied alongside every injected fault configuration. Only the plan
+    /// ops whose MAC-cycle span intersects the window run the exact engine
+    /// (op-scoped execution); the fault-free prefix is restored from a
+    /// campaign-lifetime [`GoldenActivationCache`] (see
+    /// [`CampaignSpec::golden_cache_bytes`]). The baseline pass stays
+    /// fault- and window-free. Validated against the compiled plan up
+    /// front: a window that cannot overlap any retired MAC cycle is
+    /// rejected instead of silently running a fault-free campaign.
     pub fault_window: Option<Range<u64>>,
+    /// Byte budget of the golden-prefix activation cache used by windowed
+    /// campaigns (`NVFI_GOLDEN_CACHE` in the experiment drivers). Defaults
+    /// to [`GOLDEN_CACHE_DEFAULT_BYTES`] (256 MiB — far more than any
+    /// fixture here needs, but bounded, so a huge evaluation set degrades
+    /// to recomputing prefixes instead of exhausting memory). A smaller
+    /// budget checkpoints only the leading `budget / stride` images and
+    /// the rest recompute their prefix (bit-identical, slower); `0`
+    /// disables the cache entirely; `usize::MAX` removes the bound.
+    pub golden_cache_bytes: usize,
     /// Progress lines on stderr.
     pub verbose: bool,
 }
@@ -94,6 +116,7 @@ impl Default for CampaignSpec {
             threads: 1,
             pool_devices: 0,
             fault_window: None,
+            golden_cache_bytes: GOLDEN_CACHE_DEFAULT_BYTES,
             verbose: false,
         }
     }
@@ -321,10 +344,21 @@ impl Campaign {
             *size = (*size).min(max_shards);
         }
         let fleet_size: usize = layout.iter().sum();
-        let mut fleet = DevicePool::from_device(
-            EmulationPlatform::assemble(&self.model, self.config)?,
-            fleet_size,
-        );
+        // One prototype device first: it validates the transient window
+        // against the compiled plan and the execution mode *before* any
+        // work is scheduled (a window that cannot overlap any MAC cycle
+        // used to run a silent fault-free campaign at exact-engine cost),
+        // and — still fault-free — captures the golden-prefix activation
+        // cache windowed work items restore from.
+        let mut proto = EmulationPlatform::assemble(&self.model, self.config)?;
+        let golden = match &spec.fault_window {
+            Some(w) => {
+                proto.accel().validate_fault_window(w)?;
+                GoldenActivationCache::build(&mut proto, &qset, w, spec.golden_cache_bytes)?
+            }
+            None => None,
+        };
+        let mut fleet = DevicePool::from_device(proto, fleet_size);
 
         // Baseline through the same pool, sharded across the whole fleet:
         // accuracy plus the fault-free predictions used for masked/SDC
@@ -358,6 +392,7 @@ impl Campaign {
                 let next = &next;
                 let done = &done;
                 let clean_preds = &clean_preds;
+                let golden = &golden;
                 handles.push(scope.spawn(
                     move || -> Result<Vec<(usize, FiRecord)>, PlatformError> {
                         let mut local: Vec<(usize, FiRecord)> = Vec::new();
@@ -368,10 +403,14 @@ impl Campaign {
                             }
                             let (_, targets, kind) = &work[idx];
                             pool.inject(&FaultConfig::new(targets.clone(), *kind));
-                            if spec.fault_window.is_some() {
-                                pool.set_fault_window(spec.fault_window.clone());
-                            }
-                            let preds = pool.classify_i8(qset)?;
+                            let preds = if spec.fault_window.is_some() {
+                                pool.set_fault_window(spec.fault_window.clone())?;
+                                // Windowed items run op-scoped per image,
+                                // restoring the golden prefix when cached.
+                                pool.classify_i8_golden(qset, golden.as_ref())?
+                            } else {
+                                pool.classify_i8(qset)?
+                            };
                             pool.clear_faults();
                             let correct = preds
                                 .iter()

@@ -52,6 +52,10 @@ pub struct ExperimentConfig {
     /// Device-pool shard granularity in images (0 = one mini-batch; see
     /// [`crate::PlatformConfig::shard_images`]).
     pub shard_images: usize,
+    /// Byte budget of the golden-prefix activation cache for windowed
+    /// campaigns (see [`crate::campaign::CampaignSpec::golden_cache_bytes`];
+    /// default 256 MiB, `usize::MAX` = unbounded, `0` = disabled).
+    pub golden_cache_bytes: usize,
     /// Where result files are written.
     pub out_dir: PathBuf,
     /// Progress on stderr.
@@ -69,6 +73,7 @@ impl Default for ExperimentConfig {
             threads: 1,
             pool_devices: 0,
             shard_images: 0,
+            golden_cache_bytes: crate::campaign::GOLDEN_CACHE_DEFAULT_BYTES,
             out_dir: PathBuf::from("results"),
             verbose: false,
         }
@@ -95,6 +100,7 @@ impl ExperimentConfig {
             threads: 1,
             pool_devices: 0,
             shard_images: 0,
+            golden_cache_bytes: crate::campaign::GOLDEN_CACHE_DEFAULT_BYTES,
             out_dir: std::env::temp_dir().join("nvfi_quick_results"),
             verbose: false,
         }
@@ -103,8 +109,8 @@ impl ExperimentConfig {
     /// The default configuration with `NVFI_*` environment overrides:
     /// `NVFI_WIDTH`, `NVFI_EPOCHS`, `NVFI_TRAIN`, `NVFI_TEST`, `NVFI_NOISE`,
     /// `NVFI_EVAL`, `NVFI_TRIALS`, `NVFI_MAX_K`, `NVFI_TABLE1_WIDTH`,
-    /// `NVFI_THREADS`, `NVFI_POOL`, `NVFI_SHARD`, `NVFI_OUT_DIR`,
-    /// `NVFI_VERBOSE`.
+    /// `NVFI_THREADS`, `NVFI_POOL`, `NVFI_SHARD`, `NVFI_GOLDEN_CACHE`,
+    /// `NVFI_OUT_DIR`, `NVFI_VERBOSE`.
     #[must_use]
     pub fn from_env() -> Self {
         fn get<T: std::str::FromStr>(key: &str, default: T) -> T {
@@ -131,6 +137,7 @@ impl ExperimentConfig {
         cfg.threads = get("NVFI_THREADS", cfg.threads);
         cfg.pool_devices = get("NVFI_POOL", cfg.pool_devices);
         cfg.shard_images = get("NVFI_SHARD", cfg.shard_images);
+        cfg.golden_cache_bytes = get("NVFI_GOLDEN_CACHE", cfg.golden_cache_bytes);
         cfg.verbose = get("NVFI_VERBOSE", 1u8) != 0;
         if let Ok(dir) = std::env::var("NVFI_OUT_DIR") {
             cfg.out_dir = PathBuf::from(dir);
@@ -269,6 +276,7 @@ pub fn run_fig2(cfg: &ExperimentConfig) -> Result<Fig2Result, crate::PlatformErr
                 eval_images: cfg.eval_images,
                 threads: cfg.threads,
                 pool_devices: cfg.pool_devices,
+                golden_cache_bytes: cfg.golden_cache_bytes,
                 verbose: cfg.verbose,
                 ..Default::default()
             };
@@ -414,6 +422,7 @@ pub fn run_fig3(cfg: &ExperimentConfig) -> Result<Fig3Result, crate::PlatformErr
             eval_images: cfg.eval_images,
             threads: cfg.threads,
             pool_devices: cfg.pool_devices,
+            golden_cache_bytes: cfg.golden_cache_bytes,
             verbose: cfg.verbose,
             ..Default::default()
         };

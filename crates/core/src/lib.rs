@@ -65,4 +65,4 @@ pub mod report;
 pub mod stats;
 
 pub use platform::{EmulationPlatform, PlatformConfig, PlatformError};
-pub use pool::{DevicePool, QuantizedEvalSet};
+pub use pool::{DevicePool, GoldenActivationCache, QuantizedEvalSet};

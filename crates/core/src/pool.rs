@@ -32,6 +32,141 @@ use nvfi_tensor::{Shape4, Tensor};
 
 use crate::platform::{EmulationPlatform, PlatformConfig, PlatformError};
 
+/// Per-shard classification closure of the pool's shared shard/merge
+/// protocol: classifies one device's contiguous image range.
+type ShardFn<'a> =
+    dyn Fn(&mut EmulationPlatform, Range<usize>) -> Result<Vec<u8>, PlatformError> + Sync + 'a;
+
+/// A campaign-lifetime cache of golden (fault-free) activations at one op
+/// boundary — the state a transient-window work item needs to skip the
+/// fault-free prefix of every inference.
+///
+/// A transient fault window can only be observed by the plan ops whose
+/// MAC-cycle span intersects it; every op before the first such op computes
+/// exactly the same activations for every one of a campaign's thousands of
+/// windowed work items. The cache runs that prefix **once per image**
+/// ([`nvfi_accel::Accelerator::run_prefix_i8_view`], counted by the
+/// `nvfi_accel::golden_prefix_passes` probe), snapshots the boundary's
+/// live-in DRAM surfaces (`ExecutionPlan::live_in_surfaces` — every surface
+/// some suffix op reads before the suffix itself rewrites it, so aliasing
+/// allocators are handled), and work items restore those bytes instead of
+/// recomputing the prefix
+/// ([`nvfi_accel::Accelerator::run_suffix_i8_view`]).
+///
+/// # Memory model
+///
+/// Entries are laid out contiguously, one fixed-stride record per image
+/// (`stride = Σ live-in surface bytes`), and the whole cache is shared
+/// **read-only** across every device of a [`DevicePool`] (borrowed into the
+/// shard threads — no copies, no locks). The byte budget
+/// (`CampaignSpec::golden_cache_bytes`, `NVFI_GOLDEN_CACHE`) bounds the
+/// cache: when the full evaluation set does not fit, only the leading
+/// `budget / stride` images are checkpointed and the rest transparently fall
+/// back to the op-scoped path that recomputes the prefix — bit-identical
+/// either way, just slower.
+#[derive(Clone, Debug)]
+pub struct GoldenActivationCache {
+    /// First plan op whose MAC-cycle span intersects the window.
+    boundary: usize,
+    /// Live-in `(addr, bytes)` surfaces of the boundary, in capture order.
+    surfaces: Vec<(u64, u64)>,
+    /// Bytes per cached image.
+    stride: usize,
+    /// `cached_images * stride` bytes of captured surfaces.
+    data: Vec<i8>,
+    /// Images `0..cached_images` of the evaluation set are cached.
+    cached_images: usize,
+}
+
+impl GoldenActivationCache {
+    /// Captures golden-prefix checkpoints for `set` on `device`, for the
+    /// transient window `window`, within `budget_bytes`.
+    ///
+    /// Returns `Ok(None)` when a cache cannot help: the budget is `0`
+    /// (disabled), the window first bites in op 0 (no prefix to skip), the
+    /// window misses the plan entirely, or the budget cannot hold even one
+    /// image. The device must be **fault-free** — capture runs the fast
+    /// path, and the snapshot is only golden without programmed faults.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors from the capture runs.
+    pub fn build(
+        device: &mut EmulationPlatform,
+        set: &QuantizedEvalSet,
+        window: &Range<u64>,
+        budget_bytes: usize,
+    ) -> Result<Option<Self>, PlatformError> {
+        if budget_bytes == 0 {
+            return Ok(None);
+        }
+        let Some(boundary) = device.accel().first_op_in_window(window) else {
+            return Ok(None);
+        };
+        if boundary == 0 {
+            return Ok(None);
+        }
+        let surfaces = device.plan().live_in_surfaces(boundary);
+        let stride: usize = surfaces.iter().map(|&(_, b)| b as usize).sum();
+        if stride == 0 {
+            return Ok(None);
+        }
+        let cached_images = set.len().min(budget_bytes / stride);
+        if cached_images == 0 {
+            return Ok(None);
+        }
+        let mut data = Vec::with_capacity(cached_images * stride);
+        for i in 0..cached_images {
+            device
+                .accel_mut()
+                .run_prefix_i8_view(set.view(i..i + 1), boundary)?;
+            for &(addr, bytes) in &surfaces {
+                data.extend(device.accel_mut().dma_read(addr, bytes)?);
+            }
+        }
+        Ok(Some(GoldenActivationCache {
+            boundary,
+            surfaces,
+            stride,
+            data,
+            cached_images,
+        }))
+    }
+
+    /// The op boundary the cache checkpoints.
+    #[must_use]
+    pub fn boundary(&self) -> usize {
+        self.boundary
+    }
+
+    /// Number of images checkpointed (a budget-limited prefix of the set).
+    #[must_use]
+    pub fn cached_images(&self) -> usize {
+        self.cached_images
+    }
+
+    /// Total cache payload in bytes.
+    #[must_use]
+    pub fn byte_size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The captured live-in surfaces of image `i`, or `None` when `i` fell
+    /// outside the byte budget (caller recomputes the prefix instead).
+    #[must_use]
+    #[allow(clippy::type_complexity)]
+    pub fn entry(&self, i: usize) -> Option<(&[(u64, u64)], &[i8])> {
+        if i < self.cached_images {
+            Some((
+                &self.surfaces,
+                &self.data[i * self.stride..(i + 1) * self.stride],
+            ))
+        } else {
+            None
+        }
+    }
+}
+
 /// An evaluation set quantized to i8 exactly once, for the lifetime of a
 /// campaign.
 ///
@@ -217,10 +352,18 @@ impl DevicePool {
     }
 
     /// Sets the transient fault window on every member.
-    pub fn set_fault_window(&mut self, window: Option<Range<u64>>) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's window validation
+    /// ([`nvfi_accel::Accelerator::set_fault_window`]): `ExecMode::Fast`
+    /// devices reject windows outright, and a window that cannot overlap
+    /// any MAC cycle of the loaded plan is rejected as a silent no-op.
+    pub fn set_fault_window(&mut self, window: Option<Range<u64>>) -> Result<(), PlatformError> {
         for d in &mut self.devices {
-            d.accel_mut().set_fault_window(window.clone());
+            d.accel_mut().set_fault_window(window.clone())?;
         }
+        Ok(())
     }
 
     /// The shard granularity a pool under `config` uses: an explicit
@@ -303,6 +446,14 @@ impl DevicePool {
     /// [`PlatformError::Accel`] if `set`'s image shape does not match the
     /// compiled plan's input shape.
     pub fn classify_i8(&mut self, set: &QuantizedEvalSet) -> Result<Vec<u8>, PlatformError> {
+        self.check_set_shape(set)?;
+        self.classify_sharded(set.len(), &|device, range| {
+            device.classify_i8(set.view(range))
+        })
+    }
+
+    /// Validates `set` against the compiled plan's input shape.
+    fn check_set_shape(&self, set: &QuantizedEvalSet) -> Result<(), PlatformError> {
         let s = set.shape();
         let plan_input = self.devices[0].plan().input_shape;
         if s.n > 0 && s.with_n(1) != plan_input.with_n(1) {
@@ -310,27 +461,87 @@ impl DevicePool {
                 "evaluation set {s} does not match plan input {plan_input}"
             ))));
         }
+        Ok(())
+    }
+
+    /// The shared shard/merge protocol of every classify entry point:
+    /// splits `images` per [`DevicePool::shard_plan`], runs `run_shard`
+    /// once per `(device, image range)` — on the calling thread for a
+    /// single shard, on scoped threads otherwise — and merges the per-shard
+    /// predictions in shard (= image) order, propagating the first error by
+    /// shard order.
+    fn classify_sharded(
+        &mut self,
+        images: usize,
+        run_shard: &ShardFn<'_>,
+    ) -> Result<Vec<u8>, PlatformError> {
         let granularity = Self::granularity(&self.config());
-        let plan = Self::shard_plan(s.n, self.devices.len(), granularity);
+        let plan = Self::shard_plan(images, self.devices.len(), granularity);
         if plan.len() <= 1 {
-            return self.devices[0].classify_i8(set.view(0..s.n));
+            return run_shard(&mut self.devices[0], 0..images);
         }
         let mut results: Vec<Result<Vec<u8>, PlatformError>> = Vec::with_capacity(plan.len());
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (device, range) in self.devices.iter_mut().zip(plan.iter().cloned()) {
-                let shard = set.view(range);
-                handles.push(scope.spawn(move || device.classify_i8(shard)));
+                handles.push(scope.spawn(move || run_shard(device, range)));
             }
             for h in handles {
                 results.push(h.join().expect("pool shard worker panicked"));
             }
         });
-        let mut preds = Vec::with_capacity(s.n);
+        let mut preds = Vec::with_capacity(images);
         for r in results {
             preds.extend(r?);
         }
         Ok(preds)
+    }
+
+    /// Classifies a pre-quantized evaluation set under an armed transient
+    /// fault window, restoring each image's golden prefix from `cache`
+    /// instead of recomputing it. Sharding mirrors
+    /// [`DevicePool::classify_i8`] (contiguous image ranges, one scoped
+    /// thread per device, merged in image order); the cache is shared
+    /// read-only across the shard threads. Images outside the cache's byte
+    /// budget — or all of them, when `cache` is `None` — run the full
+    /// op-scoped inference (fast prefix, exact window ops, fast suffix).
+    /// Predictions are bit-identical to [`DevicePool::classify_i8`] for
+    /// every cache budget (asserted by `tests/campaign_determinism.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first device error (by shard order). Returns
+    /// [`PlatformError::Accel`] on an evaluation-set shape mismatch.
+    pub fn classify_i8_golden(
+        &mut self,
+        set: &QuantizedEvalSet,
+        cache: Option<&GoldenActivationCache>,
+    ) -> Result<Vec<u8>, PlatformError> {
+        let Some(cache) = cache else {
+            return self.classify_i8(set);
+        };
+        self.check_set_shape(set)?;
+        self.classify_sharded(set.len(), &|device, range| {
+            let mut preds = Vec::with_capacity(range.len());
+            for i in range {
+                let class = match cache.entry(i) {
+                    Some((surfaces, data)) => {
+                        device
+                            .accel_mut()
+                            .run_suffix_i8_view(cache.boundary(), surfaces, data)?
+                            .class
+                    }
+                    None => {
+                        device
+                            .accel_mut()
+                            .run_inference_i8_view(set.view(i..i + 1))?
+                            .class
+                    }
+                };
+                preds.push(class);
+            }
+            Ok(preds)
+        })
     }
 }
 

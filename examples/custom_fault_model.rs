@@ -81,7 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ));
     platform
         .accel_mut()
-        .set_fault_window(Some(total / 2..total / 2 + 2000));
+        .set_fault_window(Some(total / 2..total / 2 + 2000))?;
     let pulsed = platform.run(&image)?.logits;
     println!("pulse fault (2k cyc):  {pulsed:?}");
     assert_ne!(

@@ -210,6 +210,153 @@ fn i8_path_matches_f32_path_across_shards_and_kinds() {
     }
 }
 
+/// The tentpole guarantee of op-scoped execution + golden-prefix caching:
+/// a windowed campaign produces bit-identical `CampaignResult` records
+/// through all three execution strategies —
+///
+/// 1. **all-exact** (`ExecMode::Exact`): every op of every inference
+///    through the per-product engine, the pre-PR behaviour;
+/// 2. **op-scoped** (`ExecMode::Auto`, cache disabled): fast prefix, exact
+///    window ops, fast suffix, prefix recomputed per work item;
+/// 3. **op-scoped + golden cache** (the default): the fault-free prefix is
+///    captured once per image and restored per work item.
+#[test]
+fn windowed_campaign_three_paths_are_bit_identical() {
+    use zynq_nvdla_fi::nvfi_accel::{AccelConfig, ExecMode};
+
+    let q = zynq_nvdla_fi::nvfi::experiments::untrained_quant_model(4, 9);
+    let data = SynthCifar::new(SynthCifarConfig {
+        train: 0,
+        test: 9,
+        ..Default::default()
+    })
+    .generate();
+    // A pulse over the third quarter of the inference: a real golden prefix
+    // (half the plan), a real fast suffix (the last quarter), and — on this
+    // seed — visible prediction corruption, so the bit-identity assertions
+    // below compare non-trivial records.
+    let total = zynq_nvdla_fi::nvfi::EmulationPlatform::assemble(&q, PlatformConfig::default())
+        .unwrap()
+        .accel()
+        .total_mac_cycles()
+        .unwrap();
+    let window = total / 2..total * 3 / 4;
+    let mk = |mode, golden_cache_bytes| {
+        let config = PlatformConfig {
+            accel: AccelConfig {
+                mode,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let spec = CampaignSpec {
+            selection: TargetSelection::Fixed(vec![
+                vec![zynq_nvdla_fi::nvfi_compiler::regmap::MultId::new(1, 3)],
+                zynq_nvdla_fi::nvfi_compiler::regmap::MultId::all().collect(),
+            ]),
+            kinds: vec![FaultKind::Constant(131071)],
+            eval_images: 9,
+            threads: 3,
+            fault_window: Some(window.clone()),
+            golden_cache_bytes,
+            ..Default::default()
+        };
+        Campaign::new(&q, config).run(&spec, &data.test).unwrap()
+    };
+    let all_exact = mk(ExecMode::Exact, 0);
+    let op_scoped = mk(ExecMode::Auto, 0);
+    let cached = mk(ExecMode::Auto, usize::MAX);
+    assert_eq!(all_exact.baseline_accuracy, op_scoped.baseline_accuracy);
+    assert_eq!(all_exact.baseline_accuracy, cached.baseline_accuracy);
+    assert_eq!(
+        all_exact.records, op_scoped.records,
+        "op-scoped execution changed windowed records"
+    );
+    assert_eq!(
+        all_exact.records, cached.records,
+        "golden-prefix restore changed windowed records"
+    );
+    assert_eq!(all_exact.total_inferences, cached.total_inferences);
+    // Sanity: the pulse really corrupts something, so the equalities above
+    // compare non-trivial records.
+    assert!(
+        cached.records.iter().any(|r| r.outcomes.sdc > 0),
+        "a mid-inference all-lane max-value pulse must corrupt something"
+    );
+}
+
+/// A golden-cache byte budget too small for the whole evaluation set
+/// checkpoints only the leading images; the rest recompute their prefix.
+/// Records must be bit-identical for every budget, including zero.
+#[test]
+fn golden_cache_budget_fallback_is_bit_identical() {
+    let q = zynq_nvdla_fi::nvfi::experiments::untrained_quant_model(4, 29);
+    let data = SynthCifar::new(SynthCifarConfig {
+        train: 0,
+        test: 7,
+        ..Default::default()
+    })
+    .generate();
+    let total = zynq_nvdla_fi::nvfi::EmulationPlatform::assemble(&q, PlatformConfig::default())
+        .unwrap()
+        .accel()
+        .total_mac_cycles()
+        .unwrap();
+    let mk = |golden_cache_bytes| CampaignSpec {
+        selection: TargetSelection::Fixed(vec![zynq_nvdla_fi::nvfi_compiler::regmap::MultId::all(
+        )
+        .collect()]),
+        kinds: vec![FaultKind::Constant(131071)],
+        eval_images: 7,
+        threads: 2,
+        fault_window: Some(total / 2..total / 2 + 500),
+        golden_cache_bytes,
+        ..Default::default()
+    };
+    let campaign = Campaign::new(&q, PlatformConfig::default());
+    let unlimited = campaign.run(&mk(usize::MAX), &data.test).unwrap();
+    // Enough for roughly half the images (stride is a few KiB on this
+    // fixture), and a budget of one byte (holds zero images).
+    let partial = campaign.run(&mk(16 * 1024), &data.test).unwrap();
+    let starved = campaign.run(&mk(1), &data.test).unwrap();
+    let disabled = campaign.run(&mk(0), &data.test).unwrap();
+    assert_eq!(unlimited.records, partial.records);
+    assert_eq!(unlimited.records, starved.records);
+    assert_eq!(unlimited.records, disabled.records);
+}
+
+/// A transient window that cannot overlap any MAC cycle of the compiled
+/// plan used to run a silent fault-free campaign at exact-engine cost; now
+/// it is rejected up front with the engine's message.
+#[test]
+fn window_past_the_end_is_rejected() {
+    let q = zynq_nvdla_fi::nvfi::experiments::untrained_quant_model(4, 2);
+    let data = SynthCifar::new(SynthCifarConfig {
+        train: 0,
+        test: 4,
+        ..Default::default()
+    })
+    .generate();
+    let total = zynq_nvdla_fi::nvfi::EmulationPlatform::assemble(&q, PlatformConfig::default())
+        .unwrap()
+        .accel()
+        .total_mac_cycles()
+        .unwrap();
+    let spec = CampaignSpec {
+        selection: TargetSelection::ExhaustiveSingle,
+        eval_images: 4,
+        fault_window: Some(total * 2..total * 3),
+        ..Default::default()
+    };
+    let err = Campaign::new(&q, PlatformConfig::default())
+        .run(&spec, &data.test)
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("cannot overlap any MAC cycle"),
+        "unexpected error: {err}"
+    );
+}
+
 #[test]
 #[should_panic(expected = "expands to no target sets")]
 fn empty_fixed_selection_is_rejected() {
