@@ -300,6 +300,50 @@ impl Accelerator {
         Ok(())
     }
 
+    /// Exports the loaded plan's weight regions as a DRAM image: one
+    /// `(addr, bytes)` record per conv/linear weight region, read from the
+    /// device's **current** DRAM contents — so a weight-memory SEU injected
+    /// with [`Accelerator::flip_dram_bit`] travels with the image. This is
+    /// what a distributed campaign ships to remote workers once per session
+    /// (the `nvfi-dist` coordinator), the software analogue of DMA-ing the
+    /// programmed bitstream's weight memory to another board.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::NoPlan`] if no plan is loaded; propagates DRAM
+    /// errors.
+    pub fn export_weight_image(&mut self) -> Result<Vec<(u64, Vec<i8>)>, AccelError> {
+        if self.plan.is_none() {
+            return Err(AccelError::NoPlan);
+        }
+        let regions: Vec<(u64, u64)> = self
+            .arena
+            .entries
+            .iter()
+            .map(|e| (e.addr, e.bytes))
+            .collect();
+        let mut out = Vec::with_capacity(regions.len());
+        for (addr, bytes) in regions {
+            out.push((addr, self.dram.read_i8(addr, bytes)?));
+        }
+        Ok(out)
+    }
+
+    /// Imports a weight image exported by [`Accelerator::export_weight_image`]
+    /// (or carried by [`ExecutionPlan::weight_image`]): DMA-writes every
+    /// region, invalidating overlapping weight-arena entries so the next
+    /// inference unpacks the imported bytes exactly as a cold device would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::DramOutOfBounds`] if a region does not fit.
+    pub fn import_weight_image(&mut self, regions: &[(u64, Vec<i8>)]) -> Result<(), AccelError> {
+        for (addr, bytes) in regions {
+            self.dma_write(*addr, bytes)?;
+        }
+        Ok(())
+    }
+
     /// Loads a compiled plan: validates it against the DRAM capacity,
     /// preloads the packed weight regions and builds the weight arena.
     ///

@@ -4,13 +4,14 @@
 //! single-configuration campaign (the worst case for per-configuration
 //! parallelism, and the case `DevicePool` exists for).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use nvfi::campaign::{Campaign, CampaignSpec, TargetSelection};
 use nvfi::{DevicePool, EmulationPlatform, PlatformConfig, QuantizedEvalSet};
 use nvfi_accel::{AccelConfig, ExecMode, FaultConfig, FaultKind};
 use nvfi_bench::{medium_fixture, small_fixture};
 use nvfi_compiler::regmap::MultId;
 use nvfi_dataset::{SynthCifar, SynthCifarConfig};
+use nvfi_dist::{run_campaign, FleetSpec};
 use nvfi_quant::QuantModel;
 
 fn bench_single_fi_evaluation(c: &mut Criterion) {
@@ -249,12 +250,73 @@ fn bench_windowed_campaign(c: &mut Criterion) {
     });
 }
 
+/// The `nvfi-dist` acceptance trio: the same 4-configuration x 128-image
+/// campaign through the in-process pool, one worker process, and two worker
+/// processes (coordinator + self-exec'd copies of this bench binary over
+/// localhost). Each iteration is a **whole** distributed campaign — worker
+/// spawn, session programming (plan + weights + eval set shipped once) and
+/// shutdown included — so the rows measure the real end-to-end cost a user
+/// pays, not just the steady state. Records are asserted bit-identical
+/// across the three paths first.
+fn bench_dist_campaign(c: &mut Criterion) {
+    let (q, _) = small_fixture();
+    let eval = SynthCifar::new(SynthCifarConfig {
+        train: 0,
+        test: 128,
+        ..Default::default()
+    })
+    .generate()
+    .test;
+    let config = PlatformConfig::default();
+    let mk = |workers| CampaignSpec {
+        selection: TargetSelection::Fixed(
+            (0..4)
+                .map(|i| vec![MultId::new(i as u8, (7 - i) as u8)])
+                .collect(),
+        ),
+        kinds: vec![FaultKind::StuckAtZero],
+        eval_images: 128,
+        threads: 2,
+        workers,
+        ..Default::default()
+    };
+    let fleet = FleetSpec::self_exec();
+    let run = |workers: usize| run_campaign(&q, config, &mk(workers), &eval, &fleet).unwrap();
+    let inproc = Campaign::new(&q, config).run(&mk(0), &eval).unwrap();
+    assert_eq!(
+        inproc.records,
+        run(1).records,
+        "1-worker campaign must match the in-process pool"
+    );
+    assert_eq!(
+        inproc.records,
+        run(2).records,
+        "2-worker campaign must match the in-process pool"
+    );
+    let mut g = c.benchmark_group("campaign");
+    g.sample_size(5);
+    g.bench_function("dist_4cfg_128img_inproc", |b| {
+        b.iter(|| Campaign::new(&q, config).run(&mk(0), &eval).unwrap())
+    });
+    g.bench_function("dist_4cfg_128img_1worker", |b| b.iter(|| run(1)));
+    g.bench_function("dist_4cfg_128img_2workers", |b| b.iter(|| run(2)));
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_single_fi_evaluation,
     bench_fault_programming,
     bench_pool_sharded_campaign,
     bench_quantize_once,
-    bench_windowed_campaign
+    bench_windowed_campaign,
+    bench_dist_campaign
 );
-criterion_main!(benches);
+
+// Hand-written entry point instead of `criterion_main!`: the distributed
+// bench raises its worker fleet by re-executing this binary, so the worker
+// hook must run before any benchmark does.
+fn main() {
+    nvfi_dist::worker::maybe_serve();
+    benches();
+}

@@ -3,9 +3,15 @@
 //!
 //! Usage: `cargo run -p nvfi-bench --release --bin all`
 
-use nvfi::experiments::{run_fig2, run_fig3, run_speedup, run_table1, ExperimentConfig};
+use nvfi::experiments::{
+    run_fig2, run_fig2_with, run_fig3, run_fig3_with, run_speedup, run_table1, ExperimentConfig,
+};
+use nvfi_bench::DistRunner;
 
 fn main() {
+    // Self-exec hook: a copy of this binary spawned as a dist worker serves
+    // its session here and never runs the experiments below.
+    nvfi_dist::worker::maybe_serve();
     let cfg = ExperimentConfig::from_env();
     eprintln!("== Table I ==");
     let t1 = run_table1(&cfg).expect("table1 failed");
@@ -13,12 +19,20 @@ fn main() {
     t1.save(&cfg.out_dir).expect("write table1");
 
     eprintln!("== Fig. 2 ==");
-    let f2 = run_fig2(&cfg).expect("fig2 failed");
+    let f2 = if cfg.workers > 0 {
+        run_fig2_with(&cfg, DistRunner::from_config(&cfg)).expect("fig2 failed")
+    } else {
+        run_fig2(&cfg).expect("fig2 failed")
+    };
     print!("{f2}");
     f2.save(&cfg.out_dir).expect("write fig2");
 
     eprintln!("== Fig. 3 ==");
-    let f3 = run_fig3(&cfg).expect("fig3 failed");
+    let f3 = if cfg.workers > 0 {
+        run_fig3_with(&cfg, DistRunner::from_config(&cfg)).expect("fig3 failed")
+    } else {
+        run_fig3(&cfg).expect("fig3 failed")
+    };
     print!("{f3}");
     f3.save(&cfg.out_dir).expect("write fig3");
 

@@ -3,12 +3,23 @@
 //!
 //! Usage: `cargo run -p nvfi-bench --release --bin fig2`
 //! Environment overrides: see `ExperimentConfig::from_env` (NVFI_*).
+//! With `NVFI_WORKERS` > 0 the campaigns run over `nvfi-dist` worker
+//! processes (local self-exec, or attaching to `NVFI_DIST_ADDR` from other
+//! hosts) — records are bit-identical to the in-process run.
 
-use nvfi::experiments::{run_fig2, ExperimentConfig};
+use nvfi::experiments::{run_fig2, run_fig2_with, ExperimentConfig};
+use nvfi_bench::DistRunner;
 
 fn main() {
+    // Self-exec hook: a copy of this binary spawned as a dist worker serves
+    // its session here and never runs the experiment below.
+    nvfi_dist::worker::maybe_serve();
     let cfg = ExperimentConfig::from_env();
-    let result = run_fig2(&cfg).expect("fig2 experiment failed");
+    let result = if cfg.workers > 0 {
+        run_fig2_with(&cfg, DistRunner::from_config(&cfg)).expect("fig2 experiment failed")
+    } else {
+        run_fig2(&cfg).expect("fig2 experiment failed")
+    };
     print!("{result}");
     println!(
         "baseline int8 accuracy {:.1}% | {} fault injections | {:.1}s wall",

@@ -3,12 +3,23 @@
 //!
 //! Usage: `cargo run -p nvfi-bench --release --bin fig3`
 //! Environment overrides: see `ExperimentConfig::from_env` (NVFI_*).
+//! With `NVFI_WORKERS` > 0 the campaigns run over `nvfi-dist` worker
+//! processes (local self-exec, or attaching to `NVFI_DIST_ADDR` from other
+//! hosts) — records are bit-identical to the in-process run.
 
-use nvfi::experiments::{run_fig3, ExperimentConfig};
+use nvfi::experiments::{run_fig3, run_fig3_with, ExperimentConfig};
+use nvfi_bench::DistRunner;
 
 fn main() {
+    // Self-exec hook: a copy of this binary spawned as a dist worker serves
+    // its session here and never runs the experiment below.
+    nvfi_dist::worker::maybe_serve();
     let cfg = ExperimentConfig::from_env();
-    let result = run_fig3(&cfg).expect("fig3 experiment failed");
+    let result = if cfg.workers > 0 {
+        run_fig3_with(&cfg, DistRunner::from_config(&cfg)).expect("fig3 experiment failed")
+    } else {
+        run_fig3(&cfg).expect("fig3 experiment failed")
+    };
     print!("{result}");
     println!(
         "baseline int8 accuracy {:.1}% | {:.1}s wall",

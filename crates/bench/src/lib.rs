@@ -42,6 +42,68 @@ pub fn medium_fixture() -> (QuantModel, TrainTest) {
     (q, data)
 }
 
+/// The distributed [`nvfi::experiments::CampaignRunner`] of the experiment
+/// binaries: schedules every campaign through the `nvfi-dist` coordinator,
+/// honouring [`nvfi::experiments::ExperimentConfig::workers`]
+/// (`NVFI_WORKERS`) and
+/// [`nvfi::experiments::ExperimentConfig::dist_addr`] (`NVFI_DIST_ADDR`).
+///
+/// Two fleet shapes:
+///
+/// * `dist_addr` unset — `workers` **local** processes are raised by
+///   re-executing the current binary, so the binary's `main` must start
+///   with [`nvfi_dist::worker::maybe_serve`] (the experiment binaries do);
+/// * `dist_addr` set — the coordinator binds there and waits for all
+///   `workers` workers to attach **remotely** (`nvfi_worker <addr>` on
+///   each host); nothing is spawned locally.
+pub struct DistRunner {
+    fleet: nvfi_dist::FleetSpec,
+    /// Workers attach remotely instead of being spawned (`dist_addr` set).
+    external: bool,
+}
+
+impl DistRunner {
+    /// Builds the runner from the experiment configuration's wire knobs.
+    #[must_use]
+    pub fn from_config(cfg: &nvfi::experiments::ExperimentConfig) -> Self {
+        match &cfg.dist_addr {
+            Some(addr) => DistRunner {
+                fleet: nvfi_dist::FleetSpec {
+                    listen: Some(addr.clone()),
+                    external_workers: cfg.workers,
+                    ..nvfi_dist::FleetSpec::self_exec()
+                },
+                external: true,
+            },
+            None => DistRunner {
+                fleet: nvfi_dist::FleetSpec::self_exec(),
+                external: false,
+            },
+        }
+    }
+}
+
+impl nvfi::experiments::CampaignRunner<nvfi_dist::DistError> for DistRunner {
+    fn run_campaign(
+        &mut self,
+        model: &QuantModel,
+        config: nvfi::PlatformConfig,
+        spec: &nvfi::campaign::CampaignSpec,
+        eval: &nvfi_dataset::Dataset,
+    ) -> Result<nvfi::campaign::CampaignResult, nvfi_dist::DistError> {
+        let spec = if self.external {
+            // All workers are remote attachments; spawn none locally.
+            nvfi::campaign::CampaignSpec {
+                workers: 0,
+                ..spec.clone()
+            }
+        } else {
+            spec.clone()
+        };
+        nvfi_dist::run_campaign(model, config, &spec, eval, &self.fleet)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -92,6 +92,17 @@ pub struct CampaignSpec {
     /// front: a window that cannot overlap any retired MAC cycle is
     /// rejected instead of silently running a fault-free campaign.
     pub fault_window: Option<Range<u64>>,
+    /// Worker **processes** of a distributed campaign (`NVFI_WORKERS` in
+    /// the experiment drivers). `0` (the default) runs in-process. This
+    /// knob is consumed by the `nvfi-dist` coordinator
+    /// (`nvfi_dist::run_campaign`), which spawns/attaches that many worker
+    /// processes, ships them the compiled plan + DRAM weight image once,
+    /// and schedules work items (and, when the work list is narrower than
+    /// the worker fleet, image shards of each item) across them —
+    /// bit-identical to the in-process path. [`Campaign::run`] itself
+    /// always executes in-process, whatever this field says: it is the
+    /// fallback the coordinator delegates to when `workers == 0`.
+    pub workers: usize,
     /// Byte budget of the golden-prefix activation cache used by windowed
     /// campaigns (`NVFI_GOLDEN_CACHE` in the experiment drivers). Defaults
     /// to [`GOLDEN_CACHE_DEFAULT_BYTES`] (256 MiB — far more than any
@@ -115,6 +126,7 @@ impl Default for CampaignSpec {
             eval_images: 100,
             threads: 1,
             pool_devices: 0,
+            workers: 0,
             fault_window: None,
             golden_cache_bytes: GOLDEN_CACHE_DEFAULT_BYTES,
             verbose: false,
@@ -161,6 +173,64 @@ pub struct FiRecord {
     /// Masked / silent-data-corruption breakdown vs. the fault-free
     /// predictions.
     pub outcomes: OutcomeCounts,
+}
+
+/// Fraction of `preds` equal to `labels` — the one accuracy fold of the
+/// campaign stack, shared by [`Campaign::run`] (baseline and, via
+/// [`FiRecord::from_preds`], every record) and the `nvfi-dist` coordinator.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+#[must_use]
+pub fn prediction_accuracy(preds: &[u8], labels: &[u8]) -> f64 {
+    assert_eq!(preds.len(), labels.len(), "one prediction per label");
+    if preds.is_empty() {
+        return 0.0;
+    }
+    preds.iter().zip(labels).filter(|(p, y)| p == y).count() as f64 / preds.len() as f64
+}
+
+impl FiRecord {
+    /// Folds one fault configuration's predictions into a record: accuracy
+    /// against `labels`, masked/SDC classification against the fault-free
+    /// `clean_preds`, drop against `baseline_accuracy` (a fraction, not a
+    /// percentage). This is **the** record fold — the in-process
+    /// [`Campaign::run`] and the `nvfi-dist` coordinator both call it, so
+    /// their advertised bit-identity is structural rather than two copies
+    /// of the same arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `preds`, `clean_preds` and `labels` do not all have the
+    /// same length.
+    #[must_use]
+    pub fn from_preds(
+        targets: Vec<MultId>,
+        kind: FaultKind,
+        preds: &[u8],
+        clean_preds: &[u8],
+        labels: &[u8],
+        baseline_accuracy: f64,
+    ) -> Self {
+        assert_eq!(preds.len(), clean_preds.len(), "one clean prediction each");
+        let accuracy = prediction_accuracy(preds, labels);
+        let mut outcomes = OutcomeCounts::default();
+        for (p, c) in preds.iter().zip(clean_preds) {
+            if p == c {
+                outcomes.masked += 1;
+            } else {
+                outcomes.sdc += 1;
+            }
+        }
+        FiRecord {
+            targets,
+            kind,
+            accuracy,
+            drop_pct: (accuracy - baseline_accuracy) * 100.0,
+            outcomes,
+        }
+    }
 }
 
 /// A completed campaign.
@@ -364,12 +434,7 @@ impl Campaign {
         // accuracy plus the fault-free predictions used for masked/SDC
         // classification.
         let clean_preds = fleet.classify_i8(&qset)?;
-        let correct = clean_preds
-            .iter()
-            .zip(&eval.labels)
-            .filter(|(p, y)| p == y)
-            .count();
-        let baseline_accuracy = correct as f64 / eval.len() as f64;
+        let baseline_accuracy = prediction_accuracy(&clean_preds, &eval.labels);
 
         let pools = fleet.split(&layout);
         // Lock-free work distribution: a fetch-add cursor hands out indices
@@ -385,7 +450,7 @@ impl Campaign {
         let mut worker_results: Vec<Vec<(usize, FiRecord)>> = Vec::with_capacity(pools.len());
         std::thread::scope(|scope| -> Result<(), PlatformError> {
             let mut handles = Vec::new();
-            for mut pool in pools {
+            for (worker_id, mut pool) in pools.into_iter().enumerate() {
                 let eval = &eval;
                 let qset = &qset;
                 let work = &work;
@@ -412,49 +477,40 @@ impl Campaign {
                                 pool.classify_i8(qset)?
                             };
                             pool.clear_faults();
-                            let correct = preds
-                                .iter()
-                                .zip(&eval.labels)
-                                .filter(|(p, y)| p == y)
-                                .count();
-                            let accuracy = correct as f64 / eval.len() as f64;
-                            let mut outcomes = OutcomeCounts::default();
-                            for (p, c) in preds.iter().zip(clean_preds.iter()) {
-                                if p == c {
-                                    outcomes.masked += 1;
-                                } else {
-                                    outcomes.sdc += 1;
-                                }
-                            }
+                            let record = FiRecord::from_preds(
+                                targets.clone(),
+                                *kind,
+                                &preds,
+                                clean_preds,
+                                &eval.labels,
+                                baseline_accuracy,
+                            );
                             if spec.verbose {
                                 // Holding the stderr lock across the
                                 // increment and the write makes the printed
                                 // `done/total` strictly monotonic: no other
-                                // group can count or print in between.
+                                // group can count or print in between. The
+                                // `[worker k]` suffix attributes each item
+                                // to its worker group, mirroring the
+                                // per-worker attribution of distributed
+                                // (`nvfi-dist`) progress lines.
                                 use std::io::Write;
                                 let mut err = std::io::stderr().lock();
                                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                                 let _ = writeln!(
                                     err,
-                                    "  fi {}/{}: {:?} on {} mult(s) -> {:.1}% (sdc {:.0}%)",
+                                    "  fi {}/{} [worker {}]: {:?} on {} mult(s) \
+                                     -> {:.1}% (sdc {:.0}%)",
                                     finished,
                                     work.len(),
+                                    worker_id,
                                     kind,
                                     targets.len(),
-                                    accuracy * 100.0,
-                                    outcomes.sdc_rate() * 100.0
+                                    record.accuracy * 100.0,
+                                    record.outcomes.sdc_rate() * 100.0
                                 );
                             }
-                            local.push((
-                                idx,
-                                FiRecord {
-                                    targets: targets.clone(),
-                                    kind: *kind,
-                                    accuracy,
-                                    drop_pct: (accuracy - baseline_accuracy) * 100.0,
-                                    outcomes,
-                                },
-                            ));
+                            local.push((idx, record));
                         }
                         Ok(local)
                     },

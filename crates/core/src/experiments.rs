@@ -56,6 +56,22 @@ pub struct ExperimentConfig {
     /// campaigns (see [`crate::campaign::CampaignSpec::golden_cache_bytes`];
     /// default 256 MiB, `usize::MAX` = unbounded, `0` = disabled).
     pub golden_cache_bytes: usize,
+    /// Worker processes of a distributed campaign (`NVFI_WORKERS`; see
+    /// [`crate::campaign::CampaignSpec::workers`]). `0` (the default) runs
+    /// in-process. Honoured by the `nvfi-bench` experiment binaries (fig2,
+    /// fig3, all), which schedule through the `nvfi-dist` coordinator via
+    /// [`run_fig2_with`] / [`run_fig3_with`] when this is non-zero: without
+    /// [`ExperimentConfig::dist_addr`] the workers are spawned locally
+    /// (self-exec); with it they are expected to attach from other hosts.
+    pub workers: usize,
+    /// Listen address of the distributed coordinator (`NVFI_DIST_ADDR`,
+    /// e.g. `0.0.0.0:7070`). When set, the `nvfi-bench` experiment
+    /// binaries bind the coordinator there and wait for all
+    /// [`ExperimentConfig::workers`] workers to attach **remotely**
+    /// (`nvfi_worker <this-host>:7070` on each machine) instead of spawning
+    /// local processes. `None` (the default) binds an ephemeral localhost
+    /// port for locally spawned workers.
+    pub dist_addr: Option<String>,
     /// Where result files are written.
     pub out_dir: PathBuf,
     /// Progress on stderr.
@@ -74,6 +90,8 @@ impl Default for ExperimentConfig {
             pool_devices: 0,
             shard_images: 0,
             golden_cache_bytes: crate::campaign::GOLDEN_CACHE_DEFAULT_BYTES,
+            workers: 0,
+            dist_addr: None,
             out_dir: PathBuf::from("results"),
             verbose: false,
         }
@@ -101,6 +119,8 @@ impl ExperimentConfig {
             pool_devices: 0,
             shard_images: 0,
             golden_cache_bytes: crate::campaign::GOLDEN_CACHE_DEFAULT_BYTES,
+            workers: 0,
+            dist_addr: None,
             out_dir: std::env::temp_dir().join("nvfi_quick_results"),
             verbose: false,
         }
@@ -110,7 +130,7 @@ impl ExperimentConfig {
     /// `NVFI_WIDTH`, `NVFI_EPOCHS`, `NVFI_TRAIN`, `NVFI_TEST`, `NVFI_NOISE`,
     /// `NVFI_EVAL`, `NVFI_TRIALS`, `NVFI_MAX_K`, `NVFI_TABLE1_WIDTH`,
     /// `NVFI_THREADS`, `NVFI_POOL`, `NVFI_SHARD`, `NVFI_GOLDEN_CACHE`,
-    /// `NVFI_OUT_DIR`, `NVFI_VERBOSE`.
+    /// `NVFI_WORKERS`, `NVFI_DIST_ADDR`, `NVFI_OUT_DIR`, `NVFI_VERBOSE`.
     #[must_use]
     pub fn from_env() -> Self {
         fn get<T: std::str::FromStr>(key: &str, default: T) -> T {
@@ -138,6 +158,12 @@ impl ExperimentConfig {
         cfg.pool_devices = get("NVFI_POOL", cfg.pool_devices);
         cfg.shard_images = get("NVFI_SHARD", cfg.shard_images);
         cfg.golden_cache_bytes = get("NVFI_GOLDEN_CACHE", cfg.golden_cache_bytes);
+        cfg.workers = get("NVFI_WORKERS", cfg.workers);
+        if let Ok(addr) = std::env::var("NVFI_DIST_ADDR") {
+            if !addr.is_empty() {
+                cfg.dist_addr = Some(addr);
+            }
+        }
         cfg.verbose = get("NVFI_VERBOSE", 1u8) != 0;
         if let Ok(dir) = std::env::var("NVFI_OUT_DIR") {
             cfg.out_dir = PathBuf::from(dir);
@@ -252,6 +278,52 @@ impl fmt::Display for Fig2Result {
     }
 }
 
+/// The signature a campaign executor must satisfy for the `*_with`
+/// experiment drivers ([`run_fig2_with`], [`run_fig3_with`]): given the
+/// trained model, the platform configuration and one campaign spec, produce
+/// the result. The in-process executor is
+/// `|m, c, spec, eval| Campaign::new(m, c).run(spec, eval)` (what
+/// [`run_fig2`] / [`run_fig3`] use); the `nvfi-bench` experiment binaries
+/// substitute the `nvfi-dist` coordinator when
+/// [`ExperimentConfig::workers`] / [`ExperimentConfig::dist_addr`] ask for
+/// a distributed fleet — this crate itself stays socket-free, and because
+/// the distributed path is record-bit-identical, the figures are too.
+pub trait CampaignRunner<E> {
+    /// Runs one campaign.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the executor's error type is (the in-process runner's
+    /// [`crate::PlatformError`], `nvfi-dist`'s `DistError`, ...).
+    fn run_campaign(
+        &mut self,
+        model: &QuantModel,
+        config: PlatformConfig,
+        spec: &CampaignSpec,
+        eval: &nvfi_dataset::Dataset,
+    ) -> Result<crate::campaign::CampaignResult, E>;
+}
+
+impl<E, F> CampaignRunner<E> for F
+where
+    F: FnMut(
+        &QuantModel,
+        PlatformConfig,
+        &CampaignSpec,
+        &nvfi_dataset::Dataset,
+    ) -> Result<crate::campaign::CampaignResult, E>,
+{
+    fn run_campaign(
+        &mut self,
+        model: &QuantModel,
+        config: PlatformConfig,
+        spec: &CampaignSpec,
+        eval: &nvfi_dataset::Dataset,
+    ) -> Result<crate::campaign::CampaignResult, E> {
+        self(model, config, spec, eval)
+    }
+}
+
 /// Reproduces Fig. 2: random multiplier subsets of growing size, injected
 /// values 0 / +1 / -1.
 ///
@@ -259,9 +331,37 @@ impl fmt::Display for Fig2Result {
 ///
 /// Propagates platform errors.
 pub fn run_fig2(cfg: &ExperimentConfig) -> Result<Fig2Result, crate::PlatformError> {
+    run_fig2_with(cfg, in_process_campaign)
+}
+
+/// The in-process [`CampaignRunner`]: `Campaign::new(model, config).run(..)`.
+///
+/// # Errors
+///
+/// Propagates platform errors.
+pub fn in_process_campaign(
+    model: &QuantModel,
+    config: PlatformConfig,
+    spec: &CampaignSpec,
+    eval: &nvfi_dataset::Dataset,
+) -> Result<crate::campaign::CampaignResult, crate::PlatformError> {
+    Campaign::new(model, config).run(spec, eval)
+}
+
+/// Runner-generic [`run_fig2`]: the campaign executor is injected (see
+/// [`CampaignRunner`]), so a driver can schedule every campaign through the
+/// `nvfi-dist` coordinator — honouring `NVFI_WORKERS` / `NVFI_DIST_ADDR` —
+/// without this crate depending on sockets.
+///
+/// # Errors
+///
+/// Propagates the executor's errors.
+pub fn run_fig2_with<E>(
+    cfg: &ExperimentConfig,
+    mut runner: impl CampaignRunner<E>,
+) -> Result<Fig2Result, E> {
     let (qmodel, data, base_acc) = get_or_train_quantized(&cfg.model);
     let start = Instant::now();
-    let campaign = Campaign::new(&qmodel, cfg.platform());
     let mut groups = Vec::new();
     let mut total = 0usize;
     for k in 1..=cfg.max_k {
@@ -276,11 +376,12 @@ pub fn run_fig2(cfg: &ExperimentConfig) -> Result<Fig2Result, crate::PlatformErr
                 eval_images: cfg.eval_images,
                 threads: cfg.threads,
                 pool_devices: cfg.pool_devices,
+                workers: cfg.workers,
                 golden_cache_bytes: cfg.golden_cache_bytes,
                 verbose: cfg.verbose,
                 ..Default::default()
             };
-            let result = campaign.run(&spec, &data.test)?;
+            let result = runner.run_campaign(&qmodel, cfg.platform(), &spec, &data.test)?;
             let drops = result.drops_pct();
             total += drops.len();
             if cfg.verbose {
@@ -411,9 +512,21 @@ impl fmt::Display for Fig3Result {
 ///
 /// Propagates platform errors.
 pub fn run_fig3(cfg: &ExperimentConfig) -> Result<Fig3Result, crate::PlatformError> {
+    run_fig3_with(cfg, in_process_campaign)
+}
+
+/// Runner-generic [`run_fig3`] (see [`CampaignRunner`] and
+/// [`run_fig2_with`]).
+///
+/// # Errors
+///
+/// Propagates the executor's errors.
+pub fn run_fig3_with<E>(
+    cfg: &ExperimentConfig,
+    mut runner: impl CampaignRunner<E>,
+) -> Result<Fig3Result, E> {
     let (qmodel, data, base_acc) = get_or_train_quantized(&cfg.model);
     let start = Instant::now();
-    let campaign = Campaign::new(&qmodel, cfg.platform());
     let mut maps = Vec::new();
     for &value in &INJECTED_VALUES {
         let spec = CampaignSpec {
@@ -422,11 +535,12 @@ pub fn run_fig3(cfg: &ExperimentConfig) -> Result<Fig3Result, crate::PlatformErr
             eval_images: cfg.eval_images,
             threads: cfg.threads,
             pool_devices: cfg.pool_devices,
+            workers: cfg.workers,
             golden_cache_bytes: cfg.golden_cache_bytes,
             verbose: cfg.verbose,
             ..Default::default()
         };
-        let result = campaign.run(&spec, &data.test)?;
+        let result = runner.run_campaign(&qmodel, cfg.platform(), &spec, &data.test)?;
         let mut map = HeatMap::new(MAC_UNITS, MULTS_PER_MAC);
         for rec in &result.records {
             let m = rec.targets[0];

@@ -87,6 +87,28 @@ impl EmulationPlatform {
         })
     }
 
+    /// Assembles a platform from an **already compiled** plan: loads it onto
+    /// a fresh device without needing the quantized model. This is how a
+    /// remote `nvfi-dist` worker programs its device from the wire — the
+    /// coordinator compiles once and ships the plan words plus the DRAM
+    /// weight image; the worker decodes and calls this. The plan's
+    /// [`nvfi_compiler::ExecutionPlan::weight_image`] is preloaded as usual
+    /// (it may be empty when weights arrive separately via
+    /// [`nvfi_accel::Accelerator::import_weight_image`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError`] if the plan does not fit the device.
+    pub fn from_plan(plan: ExecutionPlan, config: PlatformConfig) -> Result<Self, PlatformError> {
+        let mut accel = Accelerator::new(config.accel);
+        accel.load_plan(&plan)?;
+        Ok(EmulationPlatform {
+            config,
+            plan,
+            accel,
+        })
+    }
+
     /// The platform configuration.
     #[must_use]
     pub fn config(&self) -> PlatformConfig {
@@ -222,6 +244,25 @@ mod tests {
         let want = q.classify(&data.test.images, 1);
         let got = p.classify(&data.test.images).unwrap();
         assert_eq!(want, got);
+    }
+
+    #[test]
+    fn from_plan_matches_model_assembly() {
+        let (q, data) = setup();
+        let mut compiled = EmulationPlatform::assemble(&q, PlatformConfig::default()).unwrap();
+        // Ship the plan words + weight image the way a dist worker receives
+        // them: the command-stream encoding (weight_image excluded) plus the
+        // exported DRAM regions.
+        let words = nvfi_compiler::plan::encode_words(compiled.plan());
+        let image = compiled.accel_mut().export_weight_image().unwrap();
+        let decoded = nvfi_compiler::plan::decode_words(&words).unwrap();
+        let mut shipped = EmulationPlatform::from_plan(decoded, PlatformConfig::default()).unwrap();
+        shipped.accel_mut().import_weight_image(&image).unwrap();
+        assert_eq!(
+            compiled.classify(&data.test.images).unwrap(),
+            shipped.classify(&data.test.images).unwrap(),
+            "a plan-programmed device must match the model-compiled one"
+        );
     }
 
     #[test]

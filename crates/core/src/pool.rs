@@ -446,9 +446,39 @@ impl DevicePool {
     /// [`PlatformError::Accel`] if `set`'s image shape does not match the
     /// compiled plan's input shape.
     pub fn classify_i8(&mut self, set: &QuantizedEvalSet) -> Result<Vec<u8>, PlatformError> {
+        self.classify_i8_range(set, 0..set.len())
+    }
+
+    /// Classifies the contiguous sub-range `range` of a pre-quantized
+    /// evaluation set, sharding those images across the pool members exactly
+    /// as [`DevicePool::classify_i8`] shards the whole set. This is the
+    /// entry point a distributed worker drives: the coordinator assigns it
+    /// an image range of a work item, and the worker fans that range out
+    /// over its local devices — predictions for `range` are bit-identical
+    /// to the corresponding slice of a full-set classification.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first device error (by shard order). Returns
+    /// [`PlatformError::Accel`] on an evaluation-set shape mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds of `set`.
+    pub fn classify_i8_range(
+        &mut self,
+        set: &QuantizedEvalSet,
+        range: Range<usize>,
+    ) -> Result<Vec<u8>, PlatformError> {
         self.check_set_shape(set)?;
-        self.classify_sharded(set.len(), &|device, range| {
-            device.classify_i8(set.view(range))
+        assert!(
+            range.start <= range.end && range.end <= set.len(),
+            "image range {range:?} outside the {}-image set",
+            set.len()
+        );
+        let offset = range.start;
+        self.classify_sharded(range.len(), &move |device, r| {
+            device.classify_i8(set.view(offset + r.start..offset + r.end))
         })
     }
 

@@ -1,0 +1,34 @@
+//! Standalone campaign worker: connects to a coordinator and serves
+//! sessions (hello → plan/weights → eval set → work items → shutdown) in a
+//! loop — after a clean shutdown it reconnects for the next campaign of the
+//! same experiment, and exits once the coordinator stays gone.
+//!
+//! ```text
+//! nvfi_worker <coordinator-addr>      # e.g. nvfi_worker 10.0.0.5:7070
+//! NVFI_WORKER_CONNECT=<addr> nvfi_worker
+//! ```
+//!
+//! Run by the coordinator as a local subprocess, or by hand on another host
+//! to attach to a coordinator listening on `NVFI_DIST_ADDR`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let addr = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var(nvfi_dist::worker::ENV_CONNECT).ok());
+    let Some(addr) = addr else {
+        eprintln!(
+            "usage: nvfi_worker <coordinator-addr>  (or set {})",
+            nvfi_dist::worker::ENV_CONNECT
+        );
+        return ExitCode::FAILURE;
+    };
+    match nvfi_dist::worker::serve_forever(&addr) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("nvfi_worker ({addr}): {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

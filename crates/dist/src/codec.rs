@@ -1,0 +1,438 @@
+//! Checked little-endian encode/decode primitives of the wire format.
+//!
+//! [`Enc`] and [`Dec`] wrap the `bytes` shim's [`BytesMut`]/[`Bytes`] with
+//! the two guarantees a network decoder needs on top of the shim's `try_*`
+//! accessors:
+//!
+//! * **no panics on bad input** — every read returns a [`WireError`]
+//!   instead of panicking on underflow;
+//! * **length checks before allocation** — variable-length fields carry a
+//!   `u64` element count that is validated against the bytes actually
+//!   remaining in the frame *before* any buffer is allocated, so a corrupt
+//!   count cannot OOM the process.
+
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A malformed wire payload (distinct from socket I/O errors).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before a fixed-size field.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// A variable-length field claims more elements than the frame holds.
+    BadLength {
+        /// What was being decoded.
+        what: &'static str,
+        /// The claimed byte length.
+        claimed: u64,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// Unknown message or enum tag.
+    BadTag {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending tag value.
+        tag: u32,
+    },
+    /// The peer speaks a different wire version.
+    Version {
+        /// The peer's version (from its `Hello`).
+        peer: u32,
+        /// This side's [`crate::wire::WIRE_VERSION`].
+        local: u32,
+    },
+    /// The peer's `Hello` magic is wrong (not an `nvfi-dist` endpoint).
+    BadMagic(u32),
+    /// A field failed validation.
+    Invalid(&'static str),
+    /// The payload has trailing bytes after a complete message.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { what } => write!(f, "frame truncated while decoding {what}"),
+            WireError::BadLength {
+                what,
+                claimed,
+                remaining,
+            } => write!(
+                f,
+                "{what} claims {claimed} bytes but only {remaining} remain in the frame"
+            ),
+            WireError::BadTag { what, tag } => write!(f, "unknown {what} tag {tag:#x}"),
+            WireError::Version { peer, local } => write!(
+                f,
+                "wire version mismatch: peer speaks v{peer}, this side speaks v{local} \
+                 (rebuild the older endpoint)"
+            ),
+            WireError::BadMagic(m) => {
+                write!(f, "bad hello magic {m:#010x}: not an nvfi-dist endpoint")
+            }
+            WireError::Invalid(what) => write!(f, "invalid wire field: {what}"),
+            WireError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after a complete message")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encoder: a growable little-endian byte sink.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: BytesMut,
+}
+
+impl Enc {
+    /// An empty encoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded payload.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf.into_vec()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Appends a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Appends a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Appends a little-endian i32.
+    pub fn i32(&mut self, v: i32) {
+        self.buf.put_i32_le(v);
+    }
+
+    /// Appends a little-endian i64.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.put_i64_le(v);
+    }
+
+    /// Appends an f64 as its IEEE-754 bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.put_u64_le(v.to_bits());
+    }
+
+    /// Appends a length-prefixed i8 slice (count + raw bytes).
+    pub fn i8_slice(&mut self, v: &[i8]) {
+        self.buf.put_u64_le(v.len() as u64);
+        // i8 -> u8 is a bit-pattern reinterpretation; chunk through a small
+        // stack buffer to avoid a full-size temporary copy.
+        let mut chunk = [0u8; 4096];
+        for part in v.chunks(chunk.len()) {
+            for (dst, &src) in chunk.iter_mut().zip(part) {
+                *dst = src as u8;
+            }
+            self.buf.put_slice(&chunk[..part.len()]);
+        }
+    }
+
+    /// Appends a length-prefixed raw byte slice.
+    pub fn u8_slice(&mut self, v: &[u8]) {
+        self.buf.put_u64_le(v.len() as u64);
+        self.buf.put_slice(v);
+    }
+
+    /// Appends a length-prefixed u32 word list.
+    pub fn u32_slice(&mut self, v: &[u32]) {
+        self.buf.put_u64_le(v.len() as u64);
+        for &w in v {
+            self.buf.put_u32_le(w);
+        }
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.buf.put_u64_le(v.len() as u64);
+        self.buf.put_slice(v.as_bytes());
+    }
+}
+
+/// Decoder: a checked little-endian read cursor over one frame payload.
+#[derive(Debug)]
+pub struct Dec {
+    buf: Bytes,
+}
+
+impl Dec {
+    /// Wraps a frame payload.
+    #[must_use]
+    pub fn new(payload: Vec<u8>) -> Self {
+        Dec {
+            buf: Bytes::from_vec(payload),
+        }
+    }
+
+    /// Bytes left to decode.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] on underflow.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        self.buf.try_get_u8().ok_or(WireError::Truncated { what })
+    }
+
+    /// Reads a little-endian u32.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] on underflow.
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        self.buf
+            .try_get_u32_le()
+            .ok_or(WireError::Truncated { what })
+    }
+
+    /// Reads a little-endian u64.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] on underflow.
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        self.buf
+            .try_get_u64_le()
+            .ok_or(WireError::Truncated { what })
+    }
+
+    /// Reads a little-endian i32.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] on underflow.
+    pub fn i32(&mut self, what: &'static str) -> Result<i32, WireError> {
+        self.buf
+            .try_get_i32_le()
+            .ok_or(WireError::Truncated { what })
+    }
+
+    /// Reads a little-endian i64.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] on underflow.
+    pub fn i64(&mut self, what: &'static str) -> Result<i64, WireError> {
+        self.buf
+            .try_get_i64_le()
+            .ok_or(WireError::Truncated { what })
+    }
+
+    /// Reads an f64 from its IEEE-754 bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] on underflow.
+    pub fn f64(&mut self, what: &'static str) -> Result<f64, WireError> {
+        self.u64(what).map(f64::from_bits)
+    }
+
+    /// Reads a `u64` element count for `elem_bytes`-sized elements,
+    /// validating it against the bytes remaining **before** anything is
+    /// allocated.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] on underflow, [`WireError::BadLength`] if
+    /// the claimed payload exceeds the remaining frame.
+    fn checked_len(&mut self, what: &'static str, elem_bytes: usize) -> Result<usize, WireError> {
+        let count = self.u64(what)?;
+        let claimed = count.saturating_mul(elem_bytes as u64);
+        if claimed > self.remaining() as u64 {
+            return Err(WireError::BadLength {
+                what,
+                claimed,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(count as usize)
+    }
+
+    /// Reads a length-prefixed i8 slice.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] / [`WireError::BadLength`] on a short or
+    /// lying frame.
+    pub fn i8_slice(&mut self, what: &'static str) -> Result<Vec<i8>, WireError> {
+        let n = self.checked_len(what, 1)?;
+        let raw = self
+            .buf
+            .try_take_bytes(n)
+            .ok_or(WireError::Truncated { what })?;
+        Ok(raw.iter().map(|&b| b as i8).collect())
+    }
+
+    /// Reads a length-prefixed raw byte slice.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] / [`WireError::BadLength`] on a short or
+    /// lying frame.
+    pub fn u8_slice(&mut self, what: &'static str) -> Result<Vec<u8>, WireError> {
+        let n = self.checked_len(what, 1)?;
+        let raw = self
+            .buf
+            .try_take_bytes(n)
+            .ok_or(WireError::Truncated { what })?;
+        Ok(raw.to_vec())
+    }
+
+    /// Reads a length-prefixed u32 word list.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] / [`WireError::BadLength`] on a short or
+    /// lying frame.
+    pub fn u32_slice(&mut self, what: &'static str) -> Result<Vec<u32>, WireError> {
+        let n = self.checked_len(what, 4)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u32(what)?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed UTF-8 string (lossy on invalid UTF-8 — error
+    /// messages must never fail to decode).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] / [`WireError::BadLength`] on a short or
+    /// lying frame.
+    pub fn str(&mut self, what: &'static str) -> Result<String, WireError> {
+        let n = self.checked_len(what, 1)?;
+        let raw = self
+            .buf
+            .try_take_bytes(n)
+            .ok_or(WireError::Truncated { what })?;
+        Ok(String::from_utf8_lossy(raw).into_owned())
+    }
+
+    /// Asserts the payload was fully consumed — a frame must parse exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::TrailingBytes`] if bytes remain.
+    pub fn finish(self) -> Result<(), WireError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(WireError::TrailingBytes(n)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX - 1);
+        e.i32(-12);
+        e.i64(i64::MIN);
+        e.f64(187.5e6);
+        let mut d = Dec::new(e.into_vec());
+        assert_eq!(d.u8("a").unwrap(), 7);
+        assert_eq!(d.u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64("c").unwrap(), u64::MAX - 1);
+        assert_eq!(d.i32("d").unwrap(), -12);
+        assert_eq!(d.i64("e").unwrap(), i64::MIN);
+        assert_eq!(d.f64("f").unwrap(), 187.5e6);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn slices_roundtrip() {
+        let mut e = Enc::new();
+        e.i8_slice(&[-128, -1, 0, 1, 127]);
+        e.u32_slice(&[1, 2, 3]);
+        e.str("hello worker");
+        let mut d = Dec::new(e.into_vec());
+        assert_eq!(d.i8_slice("a").unwrap(), vec![-128, -1, 0, 1, 127]);
+        assert_eq!(d.u32_slice("b").unwrap(), vec![1, 2, 3]);
+        assert_eq!(d.str("c").unwrap(), "hello worker");
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn large_i8_slice_roundtrips_across_chunks() {
+        // Exercise the 4 KiB chunked encode path with a non-aligned length.
+        let big: Vec<i8> = (0..10_000).map(|i| (i % 251) as i8).collect();
+        let mut e = Enc::new();
+        e.i8_slice(&big);
+        let mut d = Dec::new(e.into_vec());
+        assert_eq!(d.i8_slice("big").unwrap(), big);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut e = Enc::new();
+        e.u64(1234);
+        let full = e.into_vec();
+        for cut in 0..full.len() {
+            let mut d = Dec::new(full[..cut].to_vec());
+            assert_eq!(d.u64("x"), Err(WireError::Truncated { what: "x" }));
+        }
+    }
+
+    #[test]
+    fn lying_length_rejected_before_allocation() {
+        // A count claiming ~16 EiB of i8 payload must be rejected by the
+        // remaining-bytes check, not attempted.
+        let mut e = Enc::new();
+        e.u64(u64::MAX / 2);
+        let mut d = Dec::new(e.into_vec());
+        assert!(matches!(
+            d.i8_slice("payload"),
+            Err(WireError::BadLength { .. })
+        ));
+        // Same for u32 lists, where the element size multiplies.
+        let mut e = Enc::new();
+        e.u64(u64::MAX / 3);
+        let mut d = Dec::new(e.into_vec());
+        assert!(matches!(
+            d.u32_slice("words"),
+            Err(WireError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut e = Enc::new();
+        e.u8(1);
+        e.u8(2);
+        let mut d = Dec::new(e.into_vec());
+        assert_eq!(d.u8("only").unwrap(), 1);
+        assert_eq!(d.finish(), Err(WireError::TrailingBytes(1)));
+    }
+}

@@ -1,0 +1,662 @@
+//! The coordinator: raises a worker fleet, ships the session payloads once,
+//! schedules `(work item × image shard)` tasks over the fleet, and merges
+//! the predictions into a [`CampaignResult`] bit-identical to the
+//! in-process [`Campaign::run`].
+//!
+//! Scheduling reuses the two-level shape of the in-process campaign loop:
+//! an outer cursor over the expanded `(targets, kind)` work list, and —
+//! whenever the work list is narrower than the worker fleet — inner
+//! sharding of each item's evaluation range across several workers
+//! ([`Campaign::pool_layout`] decides how many, [`DevicePool::shard_plan`]
+//! cuts the ranges, exactly as the in-process pool does). Each worker then
+//! fans its assigned range out over its *local* device pool, so total
+//! parallel capacity is `workers × local devices`. Because per-image
+//! inference is independent and every device is a clone of the same
+//! plan-programmed prototype, any task-to-worker assignment yields the same
+//! merged predictions — which is what makes worker-death requeue safe.
+
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::ops::Range;
+use std::path::PathBuf;
+use std::process::{Child, Command};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use nvfi::campaign::{Campaign, CampaignResult, CampaignSpec, FiRecord};
+use nvfi::{DevicePool, EmulationPlatform, PlatformConfig, PlatformError, QuantizedEvalSet};
+use nvfi_accel::FaultKind;
+use nvfi_compiler::regmap::MultId;
+use nvfi_dataset::Dataset;
+use nvfi_quant::QuantModel;
+
+use crate::codec::WireError;
+use crate::wire::{self, Msg, WireFault};
+use crate::worker;
+
+/// Errors of the distributed campaign fabric.
+#[derive(Debug)]
+pub enum DistError {
+    /// Socket/process I/O failed.
+    Io(std::io::Error),
+    /// A frame failed to decode (or the peer speaks the wrong version).
+    Wire(WireError),
+    /// A platform/device error (compile, DRAM, window validation).
+    Platform(PlatformError),
+    /// A worker *reported* an error — deterministic, so not retried.
+    Worker(String),
+    /// A message arrived outside the session lifecycle.
+    Protocol(&'static str),
+    /// Spawning or attaching workers failed.
+    Spawn(String),
+    /// Every worker died with tasks still outstanding.
+    FleetLost {
+        /// Tasks that never completed.
+        incomplete: usize,
+    },
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::Io(e) => write!(f, "dist i/o error: {e}"),
+            DistError::Wire(e) => write!(f, "dist wire error: {e}"),
+            DistError::Platform(e) => write!(f, "dist platform error: {e}"),
+            DistError::Worker(m) => write!(f, "worker reported: {m}"),
+            DistError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            DistError::Spawn(m) => write!(f, "could not raise worker fleet: {m}"),
+            DistError::FleetLost { incomplete } => {
+                write!(f, "every worker died with {incomplete} task(s) outstanding")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistError::Io(e) => Some(e),
+            DistError::Wire(e) => Some(e),
+            DistError::Platform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DistError {
+    fn from(e: std::io::Error) -> Self {
+        DistError::Io(e)
+    }
+}
+
+impl From<WireError> for DistError {
+    fn from(e: WireError) -> Self {
+        DistError::Wire(e)
+    }
+}
+
+impl From<PlatformError> for DistError {
+    fn from(e: PlatformError) -> Self {
+        DistError::Platform(e)
+    }
+}
+
+impl From<nvfi_accel::AccelError> for DistError {
+    fn from(e: nvfi_accel::AccelError) -> Self {
+        DistError::Platform(PlatformError::Accel(e))
+    }
+}
+
+/// How worker processes are spawned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkerSpawn {
+    /// Re-execute the **current binary** with `NVFI_WORKER_CONNECT` set.
+    /// The binary must call [`worker::maybe_serve`] first thing in `main`
+    /// (the examples and benches do) — the re-executed copy then serves a
+    /// worker session and exits instead of running `main` proper.
+    SelfExec,
+    /// Spawn an explicit worker executable (e.g. the `nvfi_worker` bin),
+    /// passing the coordinator address as `NVFI_WORKER_CONNECT`.
+    Exe(PathBuf),
+}
+
+/// How the worker fleet is raised for one campaign.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FleetSpec {
+    /// Spawn method for the [`CampaignSpec::workers`] local processes.
+    pub spawn: WorkerSpawn,
+    /// Devices of each worker's local [`DevicePool`]. `0` (the default)
+    /// spreads the campaign's `threads` budget evenly over the fleet
+    /// (`max(1, threads / workers)`), so `threads` keeps meaning "total
+    /// device budget" in both execution models.
+    pub local_devices: usize,
+    /// Explicit coordinator bind address (e.g. `0.0.0.0:7070`) for
+    /// cross-host workers; `None` binds an ephemeral localhost port.
+    pub listen: Option<String>,
+    /// Cross-host workers expected to attach (`nvfi_worker <addr>`) in
+    /// addition to the spawned ones.
+    pub external_workers: usize,
+    /// Extra environment for spawned worker `i` (`worker_env[i]`; missing
+    /// entries mean no extra environment). Used by fault-tolerance tests to
+    /// make one specific worker die mid-campaign.
+    pub worker_env: Vec<Vec<(String, String)>>,
+    /// How long to wait for the full fleet to connect and shake hands.
+    pub accept_timeout: Duration,
+    /// Upper bound on one shard's round trip (send `Work`, receive
+    /// `ShardDone`); a worker exceeding it is treated as lost and its shard
+    /// requeued. `None` (the default) waits forever — shard compute time is
+    /// workload-dependent (an exact-engine window on a large fixture can
+    /// legitimately run for minutes), so only set this when the network can
+    /// stall silently (cross-host fleets behind flaky links) and you can
+    /// bound your shards' compute time.
+    pub task_timeout: Option<Duration>,
+}
+
+impl Default for FleetSpec {
+    fn default() -> Self {
+        FleetSpec {
+            spawn: WorkerSpawn::SelfExec,
+            local_devices: 0,
+            listen: None,
+            external_workers: 0,
+            worker_env: Vec::new(),
+            accept_timeout: Duration::from_secs(60),
+            task_timeout: None,
+        }
+    }
+}
+
+impl FleetSpec {
+    /// Self-exec'd local workers (the caller's `main` must start with
+    /// [`worker::maybe_serve`]).
+    #[must_use]
+    pub fn self_exec() -> Self {
+        FleetSpec::default()
+    }
+
+    /// Workers spawned from an explicit executable.
+    #[must_use]
+    pub fn exe(path: impl Into<PathBuf>) -> Self {
+        FleetSpec {
+            spawn: WorkerSpawn::Exe(path.into()),
+            ..FleetSpec::default()
+        }
+    }
+}
+
+/// One schedulable unit: an image shard of one work item.
+#[derive(Clone, Debug)]
+struct Task {
+    /// Index into the work list (0 = baseline).
+    work_id: usize,
+    /// Image range of the evaluation set.
+    range: Range<usize>,
+}
+
+/// Reaps (and on early exit, kills) the spawned worker processes.
+struct FleetGuard {
+    children: Vec<Child>,
+}
+
+impl Drop for FleetGuard {
+    fn drop(&mut self) {
+        for child in &mut self.children {
+            // A cleanly shut-down worker has already exited; kill is a no-op
+            // race loser then. Either way, wait() reaps.
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Runs `spec` as a distributed campaign: [`CampaignSpec::workers`] local
+/// worker processes (spawned per [`FleetSpec::spawn`]) plus
+/// [`FleetSpec::external_workers`] cross-host ones, each session programmed
+/// once with the compiled plan + DRAM weight image + quantized evaluation
+/// set, then fed `(work item, image shard)` tasks until the work list is
+/// drained. Predictions are merged by `(work item, shard range)` — never by
+/// arrival order — so the result is **bit-identical** to the in-process
+/// [`Campaign::run`] for every fleet size, and a worker that dies mid-shard
+/// only costs a requeue.
+///
+/// With an empty fleet (`spec.workers == 0` and no external workers) this
+/// simply delegates to the in-process path.
+///
+/// # Errors
+///
+/// [`DistError::Spawn`] if the fleet cannot be raised,
+/// [`DistError::Worker`] if a worker reports a deterministic error,
+/// [`DistError::FleetLost`] if every worker dies mid-campaign; platform
+/// and socket errors propagate as their variants.
+///
+/// # Panics
+///
+/// Panics on the same spec violations as [`Campaign::run`] (no kinds, zero
+/// evaluation images, empty expanded work list).
+pub fn run_campaign(
+    model: &QuantModel,
+    config: PlatformConfig,
+    spec: &CampaignSpec,
+    eval: &Dataset,
+    fleet: &FleetSpec,
+) -> Result<CampaignResult, DistError> {
+    let total_workers = spec.workers + fleet.external_workers;
+    if total_workers == 0 {
+        return Ok(Campaign::new(model, config).run(spec, eval)?);
+    }
+    assert!(
+        !spec.kinds.is_empty(),
+        "campaign needs at least one fault kind"
+    );
+    assert!(spec.eval_images > 0, "campaign needs evaluation images");
+    let targets = Campaign::expand_targets(&spec.selection);
+    assert!(
+        !targets.is_empty(),
+        "campaign target selection expands to no target sets"
+    );
+    // Work item 0 is the fault-free baseline; 1.. are the fault programs in
+    // the same deterministic order as the in-process work list.
+    let mut work: Vec<Option<(Vec<MultId>, FaultKind)>> = vec![None];
+    for t in &targets {
+        for k in &spec.kinds {
+            work.push(Some((t.clone(), *k)));
+        }
+    }
+    let eval = eval.take(spec.eval_images);
+    let start = Instant::now();
+
+    // One quantization pass per campaign, exactly like the in-process path;
+    // the bytes ship to every worker, no worker re-quantizes.
+    let qset = QuantizedEvalSet::build(model, &eval.images);
+
+    // The prototype compiles the plan once, validates the window before any
+    // work is scheduled, and donates the DRAM weight image.
+    let mut proto = EmulationPlatform::assemble(model, config)?;
+    if let Some(w) = &spec.fault_window {
+        proto.accel().validate_fault_window(w)?;
+    }
+    let plan_words = nvfi_compiler::plan::encode_words(proto.plan());
+    let weight_image = proto.accel_mut().export_weight_image()?;
+
+    // Raise the fleet. A fixed listen address may sit in TIME_WAIT for a
+    // moment after a previous campaign of the same experiment (fig2/fig3
+    // run one campaign per figure point over the same coordinator port), so
+    // AddrInUse is retried within the accept budget rather than failing the
+    // experiment mid-way.
+    let bind_addr = fleet.listen.as_deref().unwrap_or("127.0.0.1:0");
+    let bind_deadline = Instant::now() + fleet.accept_timeout;
+    let listener = loop {
+        match TcpListener::bind(bind_addr) {
+            Ok(l) => break l,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::AddrInUse && Instant::now() < bind_deadline =>
+            {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => return Err(DistError::Spawn(format!("bind {bind_addr}: {e}"))),
+        }
+    };
+    let local = listener
+        .local_addr()
+        .map_err(|e| DistError::Spawn(e.to_string()))?;
+    // Spawned (same-host) workers connect to loopback when the listener is
+    // on loopback or a wildcard; a concrete non-loopback bind (cross-host
+    // listen combined with local spawns) is handed to them verbatim.
+    let connect_addr = if local.ip().is_unspecified() || local.ip().is_loopback() {
+        format!("127.0.0.1:{}", local.port())
+    } else {
+        local.to_string()
+    };
+    let mut guard = FleetGuard {
+        children: Vec::new(),
+    };
+    for i in 0..spec.workers {
+        let exe = match &fleet.spawn {
+            WorkerSpawn::SelfExec => std::env::current_exe()
+                .map_err(|e| DistError::Spawn(format!("current_exe: {e}")))?,
+            WorkerSpawn::Exe(p) => p.clone(),
+        };
+        let mut cmd = Command::new(&exe);
+        cmd.env(worker::ENV_CONNECT, &connect_addr);
+        for (k, v) in fleet.worker_env.get(i).map_or(&[][..], Vec::as_slice) {
+            cmd.env(k, v);
+        }
+        guard.children.push(
+            cmd.spawn()
+                .map_err(|e| DistError::Spawn(format!("spawn {}: {e}", exe.display())))?,
+        );
+    }
+    let mut streams = accept_fleet(&listener, total_workers, fleet.accept_timeout)?;
+
+    // Ship the session payloads: each encoded ONCE, the same bytes replayed
+    // to every worker (the wire probes assert the "once").
+    let local_devices = if fleet.local_devices > 0 {
+        fleet.local_devices
+    } else {
+        (spec.threads / total_workers).max(1)
+    };
+    let shape = qset.shape();
+    let frames = [
+        Msg::Plan {
+            config: config.into(),
+            local_devices: local_devices as u32,
+            words: plan_words,
+        }
+        .encode(),
+        Msg::Weights {
+            regions: weight_image,
+        }
+        .encode(),
+        // Encoded straight from the borrowed pixel slice: no owned copy of
+        // the (large) evaluation set just to build a `Msg`.
+        wire::encode_eval_set(
+            shape.n as u32,
+            shape.c as u32,
+            shape.h as u32,
+            shape.w as u32,
+            qset.images().as_slice(),
+        ),
+    ];
+    for stream in &mut streams {
+        for frame in &frames {
+            wire::write_frame(stream, frame)?;
+        }
+    }
+
+    // The task list: each work item cut into as many contiguous shards as
+    // the two-level layout gives its scheduling slot — all 1s when the work
+    // list is at least as wide as the fleet (pure item-level parallelism),
+    // wider shard fan-out when the fleet outnumbers the items.
+    let layout = Campaign::pool_layout(total_workers, work.len(), 0);
+    let granularity = DevicePool::granularity(&config);
+    let mut tasks: Vec<Task> = Vec::new();
+    for i in 0..work.len() {
+        let shards = layout[i % layout.len()];
+        for range in DevicePool::shard_plan(eval.len(), shards, granularity) {
+            tasks.push(Task { work_id: i, range });
+        }
+    }
+
+    // Scheduling state: a queue of pending task indices (popped by worker
+    // threads, pushed back on worker death) and one result slot per task.
+    let queue: Mutex<Vec<usize>> = Mutex::new((0..tasks.len()).rev().collect());
+    let results: Vec<Mutex<Option<Vec<u8>>>> = (0..tasks.len()).map(|_| Mutex::new(None)).collect();
+    let fatal: Mutex<Option<DistError>> = Mutex::new(None);
+    let abort = AtomicBool::new(false);
+    let done = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for (worker_id, mut stream) in streams.into_iter().enumerate() {
+            let tasks = &tasks;
+            let work = &work;
+            let queue = &queue;
+            let results = &results;
+            let fatal = &fatal;
+            let abort = &abort;
+            let done = &done;
+            scope.spawn(move || {
+                loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let popped = queue.lock().unwrap().pop();
+                    let Some(task_idx) = popped else {
+                        if done.load(Ordering::Relaxed) == tasks.len() {
+                            // Everything completed: release the worker, then
+                            // drain to EOF so the *worker* closes first —
+                            // keeping TIME_WAIT off the coordinator's side,
+                            // which matters when a fixed listen port is
+                            // re-bound by the experiment's next campaign.
+                            let _ = wire::send(&mut stream, &Msg::Shutdown);
+                            let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                            let mut sink = [0u8; 256];
+                            while matches!(std::io::Read::read(&mut stream, &mut sink), Ok(n) if n > 0)
+                            {
+                            }
+                            break;
+                        }
+                        // Queue empty but tasks still in flight elsewhere: a
+                        // dying worker may yet requeue one, so stay
+                        // available instead of shutting down.
+                        std::thread::sleep(Duration::from_millis(5));
+                        continue;
+                    };
+                    let task = &tasks[task_idx];
+                    match run_task(&mut stream, task, work, spec, fleet.task_timeout) {
+                        Ok(preds) => {
+                            *results[task_idx].lock().unwrap() = Some(preds);
+                            if spec.verbose {
+                                // stderr lock held across count + write =>
+                                // strictly monotonic done/total lines, with
+                                // per-worker attribution for debuggability.
+                                let mut err = std::io::stderr().lock();
+                                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                                let _ = writeln!(
+                                    err,
+                                    "  fi {}/{} [worker {}]: item {} images {}..{}",
+                                    finished,
+                                    tasks.len(),
+                                    worker_id,
+                                    task.work_id,
+                                    task.range.start,
+                                    task.range.end,
+                                );
+                            } else {
+                                done.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(TaskError::WorkerLost(e)) => {
+                            // The shard is requeued for a surviving worker;
+                            // this connection is done.
+                            queue.lock().unwrap().push(task_idx);
+                            if spec.verbose {
+                                eprintln!(
+                                    "  worker {worker_id} lost mid-shard \
+                                     (item {} images {}..{}): {e}; requeued",
+                                    task.work_id, task.range.start, task.range.end,
+                                );
+                            }
+                            break;
+                        }
+                        Err(TaskError::Fatal(e)) => {
+                            // Deterministic failure: no point retrying it on
+                            // another worker. Stop the fleet.
+                            let mut slot = fatal.lock().unwrap();
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                            abort.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(e) = fatal.into_inner().unwrap() {
+        return Err(e);
+    }
+    let incomplete = results
+        .iter()
+        .filter(|r| r.lock().unwrap().is_none())
+        .count();
+    if incomplete > 0 {
+        return Err(DistError::FleetLost { incomplete });
+    }
+
+    // Merge: concatenate each work item's shards in range order (the task
+    // list is already ordered that way), then fold into records exactly as
+    // the in-process loop does.
+    let mut per_item: Vec<Vec<u8>> = vec![Vec::new(); work.len()];
+    for (task, result) in tasks.iter().zip(&results) {
+        per_item[task.work_id].extend(result.lock().unwrap().take().unwrap());
+    }
+    let clean_preds = &per_item[0];
+    let baseline_accuracy = nvfi::campaign::prediction_accuracy(clean_preds, &eval.labels);
+    let mut records = Vec::with_capacity(work.len() - 1);
+    for (item, preds) in work.iter().zip(&per_item).skip(1) {
+        let (targets, kind) = item.as_ref().expect("non-baseline items carry a fault");
+        // The shared fold of nvfi::campaign — bit-identity with the
+        // in-process path is structural, not a re-implementation.
+        records.push(FiRecord::from_preds(
+            targets.clone(),
+            *kind,
+            preds,
+            clean_preds,
+            &eval.labels,
+            baseline_accuracy,
+        ));
+    }
+    let total_inferences = (records.len() as u64 + 1) * eval.len() as u64;
+    Ok(CampaignResult {
+        baseline_accuracy,
+        records,
+        total_inferences,
+        wall_seconds: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Why one task attempt ended.
+enum TaskError {
+    /// The socket broke — the worker process is gone; requeue the shard.
+    WorkerLost(std::io::Error),
+    /// A deterministic error that retrying elsewhere would reproduce.
+    Fatal(DistError),
+}
+
+/// Sends one task to a worker and awaits its predictions. With a
+/// `task_timeout`, a reply that never comes (stalled worker, silently
+/// partitioned link — no RST, so not a socket error) surfaces as a timed-out
+/// read and the worker is treated as lost, instead of blocking the campaign
+/// forever.
+fn run_task(
+    stream: &mut TcpStream,
+    task: &Task,
+    work: &[Option<(Vec<MultId>, FaultKind)>],
+    spec: &CampaignSpec,
+    task_timeout: Option<Duration>,
+) -> Result<Vec<u8>, TaskError> {
+    let fault = work[task.work_id]
+        .as_ref()
+        .map(|(targets, kind)| WireFault::from_targets(targets, *kind));
+    // The baseline stays window-free, exactly like the in-process path.
+    let window = if fault.is_some() {
+        spec.fault_window.clone()
+    } else {
+        None
+    };
+    let msg = Msg::Work {
+        work_id: task.work_id as u32,
+        start: task.range.start as u32,
+        end: task.range.end as u32,
+        fault,
+        window,
+    };
+    wire::send(stream, &msg).map_err(TaskError::WorkerLost)?;
+    if task_timeout.is_some() {
+        let _ = stream.set_read_timeout(task_timeout);
+    }
+    let reply = wire::recv(stream);
+    if task_timeout.is_some() {
+        let _ = stream.set_read_timeout(None);
+    }
+    match reply {
+        Ok(Msg::ShardDone {
+            work_id,
+            start,
+            end,
+            preds,
+        }) => {
+            if work_id as usize != task.work_id
+                || start as usize != task.range.start
+                || end as usize != task.range.end
+            {
+                return Err(TaskError::Fatal(DistError::Protocol(
+                    "shard reply does not match the assigned task",
+                )));
+            }
+            Ok(preds)
+        }
+        Ok(Msg::WorkerErr { message }) => Err(TaskError::Fatal(DistError::Worker(message))),
+        Ok(_) => Err(TaskError::Fatal(DistError::Protocol(
+            "expected ShardDone or WorkerErr",
+        ))),
+        Err(DistError::Io(e)) => Err(TaskError::WorkerLost(e)),
+        Err(e) => Err(TaskError::Fatal(e)),
+    }
+}
+
+/// Accepts and handshakes `n` workers within `timeout`.
+fn accept_fleet(
+    listener: &TcpListener,
+    n: usize,
+    timeout: Duration,
+) -> Result<Vec<TcpStream>, DistError> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| DistError::Spawn(e.to_string()))?;
+    let deadline = Instant::now() + timeout;
+    let mut streams = Vec::with_capacity(n);
+    while streams.len() < n {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                stream
+                    .set_nonblocking(false)
+                    .map_err(|e| DistError::Spawn(e.to_string()))?;
+                let _ = stream.set_nodelay(true);
+                // The handshake read is bounded by the remaining accept
+                // deadline: a connected-but-silent peer (half-open link,
+                // port scanner, stalled worker) must time the fleet out,
+                // not hang the coordinator on a blocking recv forever.
+                let remaining = deadline
+                    .saturating_duration_since(Instant::now())
+                    .max(Duration::from_millis(1));
+                stream
+                    .set_read_timeout(Some(remaining))
+                    .map_err(|e| DistError::Spawn(e.to_string()))?;
+                wire::accept_hello(&mut stream)?;
+                stream
+                    .set_read_timeout(None)
+                    .map_err(|e| DistError::Spawn(e.to_string()))?;
+                streams.push(stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(DistError::Spawn(format!(
+                        "only {}/{} workers connected within {:?}",
+                        streams.len(),
+                        n,
+                        timeout
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(DistError::Spawn(format!("accept: {e}"))),
+        }
+    }
+    Ok(streams)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A peer that connects but never sends its hello must make the fleet
+    /// accept *time out with an error* — not hang the coordinator forever
+    /// on a blocking handshake read.
+    #[test]
+    fn silent_peer_times_the_fleet_accept_out() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _silent = TcpStream::connect(addr).unwrap();
+        let t = Instant::now();
+        let r = accept_fleet(&listener, 1, Duration::from_millis(300));
+        assert!(r.is_err(), "a silent peer must not count as a worker");
+        assert!(
+            t.elapsed() < Duration::from_secs(30),
+            "accept must observe the deadline instead of blocking"
+        );
+    }
+}

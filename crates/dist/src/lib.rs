@@ -1,0 +1,97 @@
+//! **`nvfi-dist`** — the multi-process campaign fabric: a coordinator that
+//! spreads one fault-injection campaign over a pool of worker *processes*
+//! (local subprocesses or cross-host peers), each of which drives its own
+//! local [`nvfi::DevicePool`]. The in-process two-level scheduler of
+//! [`nvfi::campaign::Campaign::run`] saturates one process's threads; this
+//! crate is the next scaling axis the ROADMAP names — one compiled design
+//! shipped once, work sharded wide, results merged deterministically, the
+//! shape cloud-FPGA fault-injection studies (DeepStrike) and multi-board
+//! emulation engines both take.
+//!
+//! Everything rides on std `TcpStream` sockets (localhost for spawned
+//! workers, any address for cross-host ones) and the little-endian codec of
+//! the `bytes` shim — no async runtime, no serde.
+//!
+//! # Session lifecycle
+//!
+//! A worker session is a strict sequence; every arrow is one or more frames
+//! on the same socket:
+//!
+//! ```text
+//! worker                          coordinator
+//!   | --- Hello{version} ----------> |   (worker speaks first)
+//!   | <-- Hello{version} ----------- |   (mismatch => clear error, close)
+//!   | <-- Plan{config, devices, w} - |   (compiled plan words, ONCE)
+//!   | <-- Weights{regions} --------- |   (DRAM weight image, ONCE)
+//!   | <-- EvalSet{shape, i8 data} -- |   (quantized eval set, ONCE)
+//!   | <-- Work{id, range, fault} --- |   (one frame per assigned shard)
+//!   | --- ShardDone{id, preds} ----> |
+//!   |            ...                 |
+//!   | <-- Shutdown ----------------- |
+//! ```
+//!
+//! The plan + weight image + evaluation set are serialized exactly **once
+//! per campaign** (the coordinator encodes each payload a single time and
+//! replays the same bytes to every worker — asserted by the
+//! [`wire::plan_serializations`] / [`wire::weight_serializations`] /
+//! [`wire::eval_serializations`] probes); per-work-item traffic is only the
+//! tiny fault program `(targets, kind, window)` plus an image range, and
+//! the predictions coming back.
+//!
+//! # Wire format
+//!
+//! Frames are length-prefixed binary, all integers **little-endian**:
+//!
+//! ```text
+//! frame   := len:u32 payload[len]          (len <= MAX_FRAME_BYTES)
+//! payload := tag:u8 body                   (tag picks the message type)
+//! ```
+//!
+//! Bodies are fixed field sequences (see [`wire::Msg`]); variable-length
+//! fields carry a `u64` element count, validated against the bytes actually
+//! remaining before anything is allocated, so a truncated or corrupt frame
+//! is rejected with a [`WireError`] instead of a panic or an OOM. Trailing
+//! bytes after a body are also rejected — a frame must parse exactly.
+//!
+//! **Versioning rule:** [`wire::WIRE_VERSION`] is bumped on *any* change to
+//! the frame layout, a message body, or an enum encoding (fault kinds,
+//! execution modes). The version travels in the `Hello` exchanged before
+//! anything else; both sides reject a mismatch with an error naming both
+//! versions, so a stale worker binary fails fast instead of mis-decoding
+//! campaign traffic.
+//!
+//! # Determinism
+//!
+//! A distributed run is **bit-identical** to the in-process
+//! [`nvfi::campaign::Campaign::run`]: the coordinator quantizes the
+//! evaluation split once (same [`nvfi::QuantizedEvalSet`]), workers classify
+//! borrowed sub-ranges of it on identical plan-programmed devices
+//! (per-image inference is independent and transient windows gate on
+//! per-inference cycle numbering), and predictions are merged by `(work
+//! item, shard range)` — never by arrival order. Which worker ran which
+//! shard, how many workers there are, and worker deaths mid-shard (the
+//! shard is requeued on a surviving worker) all leave the records
+//! unchanged; `tests/dist_parity.rs` asserts each of these.
+//!
+//! # Entry points
+//!
+//! * [`run_campaign`] — the coordinator: spawn/attach workers, ship the
+//!   session payloads, schedule, merge; falls back to the in-process path
+//!   when the fleet is empty.
+//! * [`FleetSpec`] — how to raise the fleet: self-exec subprocesses
+//!   ([`WorkerSpawn::SelfExec`] — re-executes the current binary, which
+//!   must call [`worker::maybe_serve`] first thing in `main`), an explicit
+//!   worker executable ([`WorkerSpawn::Exe`], e.g. the `nvfi_worker` bin),
+//!   and/or cross-host workers attaching to a listen address.
+//! * [`worker::serve`] / the `nvfi_worker` binary — the worker side.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod coordinator;
+pub mod wire;
+pub mod worker;
+
+pub use codec::WireError;
+pub use coordinator::{run_campaign, DistError, FleetSpec, WorkerSpawn};

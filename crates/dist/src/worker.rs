@@ -1,0 +1,270 @@
+//! The worker side of the campaign fabric: serve one coordinator session on
+//! a connected socket, driving a local [`DevicePool`] built from the
+//! shipped plan + weight image.
+//!
+//! A worker process is raised one of three ways:
+//!
+//! * **self-exec** — the coordinator re-executes its own binary with
+//!   [`ENV_CONNECT`] set; that binary's `main` starts with
+//!   [`maybe_serve`], which hijacks the process into [`serve_addr`];
+//! * the **`nvfi_worker` binary** of this crate, spawned locally or started
+//!   by hand on another host (`nvfi_worker <coordinator-addr>`);
+//! * any embedder calling [`serve`] on a stream it connected itself.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use nvfi::{DevicePool, EmulationPlatform, QuantizedEvalSet};
+use nvfi_accel::FaultConfig;
+use nvfi_tensor::{Shape4, Tensor};
+
+use crate::coordinator::DistError;
+use crate::wire::{self, Msg};
+
+/// Environment variable carrying the coordinator address a worker process
+/// must connect to (consumed by [`maybe_serve`] and the `nvfi_worker` bin).
+pub const ENV_CONNECT: &str = "NVFI_WORKER_CONNECT";
+
+/// Test hook: a worker with `NVFI_WORKER_EXIT_AFTER=n` serves `n` shards
+/// normally, then **exits without replying** when shard `n + 1` arrives —
+/// simulating a worker death mid-shard for the requeue fault-tolerance
+/// tests. Unset (the default) means never.
+pub const ENV_EXIT_AFTER: &str = "NVFI_WORKER_EXIT_AFTER";
+
+/// Exit code of a deliberate [`ENV_EXIT_AFTER`] death (distinguishable from
+/// a crash in test logs).
+pub const EXIT_AFTER_CODE: i32 = 17;
+
+/// Self-exec hook: when [`ENV_CONNECT`] is set, the process is a spawned
+/// worker — connect, serve the session, and **exit** (status 0 on a clean
+/// shutdown, 1 on error). When unset, returns immediately. Call this first
+/// thing in `main` of any binary that coordinates with
+/// [`crate::WorkerSpawn::SelfExec`].
+pub fn maybe_serve() {
+    let Ok(addr) = std::env::var(ENV_CONNECT) else {
+        return;
+    };
+    match serve_addr(&addr) {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("nvfi worker ({addr}): {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Connects to a coordinator and serves one session.
+///
+/// # Errors
+///
+/// [`DistError::Spawn`] if the coordinator is unreachable; session errors
+/// per [`serve`].
+pub fn serve_addr(addr: &str) -> Result<(), DistError> {
+    // The coordinator binds before spawning, so the first attempt usually
+    // lands; the retry window covers slow cross-host starts.
+    let mut stream = connect_retry(addr, Duration::from_secs(5))?;
+    serve(&mut stream)
+}
+
+/// Serves coordinator sessions **in a loop**: after a clean shutdown the
+/// worker reconnects and waits for the next session, so one long-lived
+/// `nvfi_worker` process can carry a whole multi-campaign experiment (fig2
+/// runs one campaign per `(k, injected value)` point — each is its own
+/// session). The loop ends cleanly when the coordinator stays unreachable
+/// for the reconnect window after at least one served session (experiment
+/// over); an unreachable coordinator *before* any session is an error.
+///
+/// # Errors
+///
+/// [`DistError::Spawn`] if the first session never connects; session
+/// errors per [`serve`].
+pub fn serve_forever(addr: &str) -> Result<(), DistError> {
+    let mut sessions = 0u64;
+    loop {
+        match connect_retry(addr, Duration::from_secs(60)) {
+            Ok(mut stream) => match serve(&mut stream) {
+                Ok(()) => sessions += 1,
+                // An I/O failure after a served session is the coordinator
+                // tearing down (e.g. we reconnected into a dying listener's
+                // TCP backlog and the socket died before the handshake) —
+                // retry; once nothing listens any more, connect_retry's
+                // window ends the loop cleanly.
+                Err(DistError::Io(_)) if sessions > 0 => {
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                Err(e) => return Err(e),
+            },
+            Err(e) => {
+                return if sessions > 0 { Ok(()) } else { Err(e) };
+            }
+        }
+    }
+}
+
+/// Connects with retries spread over `window`.
+fn connect_retry(addr: &str, window: Duration) -> Result<TcpStream, DistError> {
+    let deadline = std::time::Instant::now() + window;
+    loop {
+        let err = match TcpStream::connect(addr) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                return Ok(stream);
+            }
+            Err(e) => e,
+        };
+        if std::time::Instant::now() >= deadline {
+            return Err(DistError::Spawn(format!(
+                "could not reach coordinator at {addr}: {err}"
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// The per-session device state a worker accumulates as the coordinator's
+/// setup frames arrive (hello → plan → weights → eval set), after which
+/// [`Msg::Work`] frames are served until [`Msg::Shutdown`].
+#[derive(Default)]
+struct Session {
+    /// The plan-programmed device, until the pool absorbs it.
+    device: Option<EmulationPlatform>,
+    /// Local pool size requested by the coordinator.
+    local_devices: usize,
+    /// The local device pool (built when the eval set arrives).
+    pool: Option<DevicePool>,
+    /// The shipped, already-quantized evaluation set.
+    qset: Option<QuantizedEvalSet>,
+}
+
+/// Serves one coordinator session on `stream`: handshake, session setup,
+/// then work frames until shutdown. Deterministic failures (device errors,
+/// protocol violations) are reported back as [`Msg::WorkerErr`] before the
+/// error is returned, so the coordinator can distinguish them from a worker
+/// death.
+///
+/// # Errors
+///
+/// [`DistError::Wire`] on a version mismatch or malformed frame,
+/// [`DistError::Io`] when the coordinator goes away, [`DistError::Platform`]
+/// on device errors.
+pub fn serve<S: Read + Write>(stream: &mut S) -> Result<(), DistError> {
+    wire::client_hello(stream)?;
+    let exit_after: Option<u64> = std::env::var(ENV_EXIT_AFTER)
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let mut served = 0u64;
+    let mut session = Session::default();
+    loop {
+        let msg = wire::recv(stream)?;
+        let step = match msg {
+            Msg::Shutdown => return Ok(()),
+            Msg::Work { .. } if exit_after == Some(served) => {
+                // Deliberate mid-shard death (test hook): the shard was
+                // accepted but never answered, so the coordinator must
+                // requeue it.
+                std::process::exit(EXIT_AFTER_CODE);
+            }
+            msg => handle(&mut session, msg),
+        };
+        match step {
+            Ok(Some(reply)) => {
+                wire::send(stream, &reply).map_err(DistError::Io)?;
+                served += 1;
+            }
+            Ok(None) => {}
+            Err(e) => {
+                let _ = wire::send(
+                    stream,
+                    &Msg::WorkerErr {
+                        message: e.to_string(),
+                    },
+                );
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// Applies one coordinator frame to the session, returning the reply to
+/// send (only [`Msg::Work`] has one).
+fn handle(session: &mut Session, msg: Msg) -> Result<Option<Msg>, DistError> {
+    match msg {
+        Msg::Plan {
+            config,
+            local_devices,
+            words,
+        } => {
+            let plan = nvfi_compiler::plan::decode_words(&words)
+                .map_err(|_| DistError::Protocol("plan words do not decode"))?;
+            session.device = Some(EmulationPlatform::from_plan(plan, config.into())?);
+            session.local_devices = local_devices as usize;
+            session.pool = None;
+            session.qset = None;
+            Ok(None)
+        }
+        Msg::Weights { regions } => {
+            let device = session
+                .device
+                .as_mut()
+                .ok_or(DistError::Protocol("weights before plan"))?;
+            device
+                .accel_mut()
+                .import_weight_image(&regions)
+                .map_err(|e| DistError::Platform(e.into()))?;
+            Ok(None)
+        }
+        Msg::EvalSet { n, c, h, w, data } => {
+            let device = session
+                .device
+                .take()
+                .ok_or(DistError::Protocol("eval set before plan"))?;
+            let shape = Shape4::new(n as usize, c as usize, h as usize, w as usize);
+            session.qset = Some(QuantizedEvalSet::from_tensor(Tensor::from_vec(shape, data)));
+            session.pool = Some(DevicePool::from_device(
+                device,
+                session.local_devices.max(1),
+            ));
+            Ok(None)
+        }
+        Msg::Work {
+            work_id,
+            start,
+            end,
+            fault,
+            window,
+        } => {
+            let pool = session
+                .pool
+                .as_mut()
+                .ok_or(DistError::Protocol("work before session setup"))?;
+            let qset = session
+                .qset
+                .as_ref()
+                .ok_or(DistError::Protocol("work before eval set"))?;
+            let (start, end) = (start as usize, end as usize);
+            if end > qset.len() {
+                return Err(DistError::Protocol("shard range outside the eval set"));
+            }
+            pool.clear_faults();
+            if let Some(f) = &fault {
+                pool.inject(&FaultConfig::new(f.targets(), f.kind));
+            }
+            if window.is_some() {
+                pool.set_fault_window(window)?;
+            }
+            let preds = pool.classify_i8_range(qset, start..end)?;
+            pool.clear_faults();
+            Ok(Some(Msg::ShardDone {
+                work_id,
+                start: start as u32,
+                end: end as u32,
+                preds,
+            }))
+        }
+        Msg::Hello { .. } | Msg::ShardDone { .. } | Msg::Shutdown => {
+            Err(DistError::Protocol("unexpected message for a worker"))
+        }
+        Msg::WorkerErr { message } => Err(DistError::Worker(message)),
+    }
+}

@@ -1,0 +1,220 @@
+//! Property tests of the `nvfi-dist` wire format: every message type
+//! round-trips bit-exactly through encode/decode, and no truncation of any
+//! encoded message can panic the decoder.
+
+use nvfi_accel::FaultKind;
+use nvfi_dist::wire::{Msg, WireConfig, WireFault};
+use nvfi_dist::WireError;
+use proptest::prelude::*;
+
+/// Encode → decode must reproduce the message exactly.
+fn roundtrip(msg: &Msg) {
+    let encoded = msg.encode();
+    let decoded = Msg::decode(encoded).expect("well-formed message decodes");
+    assert_eq!(&decoded, msg);
+}
+
+/// Every strict prefix of an encoded message must decode to an error — the
+/// decoder's job on a truncated frame is to reject, never to panic or to
+/// fabricate a message.
+fn truncations_rejected(msg: &Msg) {
+    let encoded = msg.encode();
+    // Sample cuts densely for small payloads, sparsely for big ones.
+    let step = (encoded.len() / 64).max(1);
+    for cut in (0..encoded.len()).step_by(step) {
+        let r = Msg::decode(encoded[..cut].to_vec());
+        assert!(
+            r.is_err(),
+            "prefix of {cut}/{} bytes decoded to {r:?}",
+            encoded.len()
+        );
+    }
+}
+
+fn exercise(msg: &Msg) {
+    roundtrip(msg);
+    truncations_rejected(msg);
+}
+
+fn mode_of(tag: u8) -> nvfi_accel::ExecMode {
+    match tag % 3 {
+        0 => nvfi_accel::ExecMode::Exact,
+        1 => nvfi_accel::ExecMode::Fast,
+        _ => nvfi_accel::ExecMode::Auto,
+    }
+}
+
+fn kind_of(tag: u8, a: u32, b: u32) -> FaultKind {
+    match tag % 4 {
+        0 => FaultKind::StuckAtZero,
+        1 => FaultKind::Constant(a as i32),
+        2 => FaultKind::StuckBits { fsel: a, fdata: b },
+        _ => FaultKind::FlipBits { mask: a },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hello_roundtrips(version in 0u32..u32::MAX) {
+        exercise(&Msg::Hello { version });
+    }
+
+    #[test]
+    fn plan_roundtrips(
+        mode in 0u8..3,
+        idle in 0u8..2,
+        clock in 1.0f64..1e10,
+        dram in 1u64..(1 << 40),
+        batch in 1u64..256,
+        shard in 0u64..256,
+        devices in 1u32..64,
+        words in collection::vec(any::<u32>(), 0..256usize),
+    ) {
+        exercise(&Msg::Plan {
+            config: WireConfig {
+                mode: mode_of(mode),
+                idle_lanes: if idle == 0 {
+                    nvfi_accel::IdleLanePolicy::ZeroFed
+                } else {
+                    nvfi_accel::IdleLanePolicy::Gated
+                },
+                clock_hz: clock,
+                dram_capacity: dram,
+                batch,
+                shard_images: shard,
+            },
+            local_devices: devices,
+            words,
+        });
+    }
+
+    #[test]
+    fn weights_roundtrip(
+        addrs in collection::vec(0u64..(1 << 32), 0..8usize),
+        payload in collection::vec(-128i32..128, 0..512usize),
+    ) {
+        // Regions of varying sizes carved from one payload pool.
+        let bytes: Vec<i8> = payload.iter().map(|&v| v as i8).collect();
+        let regions: Vec<(u64, Vec<i8>)> = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &addr)| {
+                let take = (bytes.len() / (i + 1)).min(bytes.len());
+                (addr, bytes[..take].to_vec())
+            })
+            .collect();
+        exercise(&Msg::Weights { regions });
+    }
+
+    #[test]
+    fn eval_set_roundtrips(
+        n in 0usize..5,
+        c in 1usize..4,
+        hw in 1usize..9,
+        seed in any::<u32>(),
+    ) {
+        let data: Vec<i8> = (0..n * c * hw * hw)
+            .map(|i| ((i as u32).wrapping_mul(seed) % 251) as i8)
+            .collect();
+        exercise(&Msg::EvalSet {
+            n: n as u32,
+            c: c as u32,
+            h: hw as u32,
+            w: hw as u32,
+            data,
+        });
+    }
+
+    #[test]
+    fn work_roundtrips(
+        work_id in 0u32..10_000,
+        start in 0u32..10_000,
+        len in 0u32..10_000,
+        has_fault in 0u8..2,
+        lanes in collection::vec(0u8..64, 0..64usize),
+        kind_tag in any::<u8>(),
+        ka in any::<u32>(),
+        kb in any::<u32>(),
+        has_window in 0u8..2,
+        wstart in 0u64..(1 << 40),
+        wlen in 0u64..(1 << 20),
+    ) {
+        exercise(&Msg::Work {
+            work_id,
+            start,
+            end: start + len,
+            fault: (has_fault == 1).then(|| WireFault {
+                lanes,
+                kind: kind_of(kind_tag, ka, kb),
+            }),
+            window: (has_window == 1).then(|| wstart..wstart + wlen),
+        });
+    }
+
+    #[test]
+    fn shard_done_roundtrips(
+        work_id in any::<u32>(),
+        start in 0u32..100_000,
+        preds in collection::vec(0u32..256, 0..512usize),
+    ) {
+        let preds: Vec<u8> = preds.iter().map(|&p| p as u8).collect();
+        exercise(&Msg::ShardDone {
+            work_id,
+            start,
+            end: start + preds.len() as u32,
+            preds,
+        });
+    }
+
+    #[test]
+    fn worker_err_and_shutdown_roundtrip(len in 0usize..200, seed in any::<u32>()) {
+        let message: String = (0..len)
+            .map(|i| char::from(b'a' + (((i as u32).wrapping_mul(seed)) % 26) as u8))
+            .collect();
+        exercise(&Msg::WorkerErr { message });
+        exercise(&Msg::Shutdown);
+    }
+
+    /// Bit flips in a frame must decode to an error or to a *different but
+    /// well-formed* message — never panic.
+    #[test]
+    fn corrupted_frames_never_panic(
+        byte in 0usize..64,
+        bit in 0u8..8,
+        lanes in collection::vec(0u8..64, 1..8usize),
+    ) {
+        let msg = Msg::Work {
+            work_id: 1,
+            start: 0,
+            end: 4,
+            fault: Some(WireFault { lanes, kind: FaultKind::StuckAtZero }),
+            window: Some(5..1000),
+        };
+        let mut encoded = msg.encode();
+        let idx = byte % encoded.len();
+        encoded[idx] ^= 1 << bit;
+        let _ = Msg::decode(encoded); // must return, not panic
+    }
+}
+
+/// A fault targeting a lane outside the 64-multiplier array is invalid on
+/// its face and must be rejected at decode time.
+#[test]
+fn out_of_range_lane_rejected() {
+    let msg = Msg::Work {
+        work_id: 0,
+        start: 0,
+        end: 1,
+        fault: Some(WireFault {
+            lanes: vec![64],
+            kind: FaultKind::StuckAtZero,
+        }),
+        window: None,
+    };
+    assert_eq!(
+        Msg::decode(msg.encode()),
+        Err(WireError::Invalid("target lane out of range"))
+    );
+}

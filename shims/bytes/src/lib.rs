@@ -1,22 +1,36 @@
 //! Offline stand-in for the `bytes` crate (API subset; see
 //! shims/README.md): `Bytes`/`BytesMut` plus the little-endian `Buf`/
-//! `BufMut` accessors the artifact format uses.
+//! `BufMut` accessors the artifact format and the `nvfi-dist` wire format
+//! use. Every panicking accessor has a checked `try_*` twin that returns
+//! `None` instead of panicking on underflow — what a network decoder must
+//! use, since a truncated frame is an input error, not a programmer error.
 
 /// Read access to a byte cursor.
 pub trait Buf {
     /// Bytes left to read.
     fn remaining(&self) -> usize;
 
+    /// Reads `n` bytes, or `None` if fewer than `n` remain (the cursor is
+    /// left unmoved on failure).
+    fn try_take_bytes(&mut self, n: usize) -> Option<&[u8]>;
+
     /// Reads `n` bytes.
     ///
     /// # Panics
     ///
     /// Panics if fewer than `n` bytes remain.
-    fn take_bytes(&mut self, n: usize) -> &[u8];
+    fn take_bytes(&mut self, n: usize) -> &[u8] {
+        self.try_take_bytes(n).expect("buffer underflow")
+    }
 
     /// Reads one byte.
     fn get_u8(&mut self) -> u8 {
         self.take_bytes(1)[0]
+    }
+
+    /// Checked [`Buf::get_u8`].
+    fn try_get_u8(&mut self) -> Option<u8> {
+        self.try_take_bytes(1).map(|b| b[0])
     }
 
     /// Reads a little-endian u16.
@@ -29,6 +43,44 @@ pub trait Buf {
     fn get_u32_le(&mut self) -> u32 {
         let b = self.take_bytes(4);
         u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    /// Checked [`Buf::get_u32_le`].
+    fn try_get_u32_le(&mut self) -> Option<u32> {
+        self.try_take_bytes(4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian u64.
+    fn get_u64_le(&mut self) -> u64 {
+        let b = self.take_bytes(8);
+        u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+    }
+
+    /// Checked [`Buf::get_u64_le`].
+    fn try_get_u64_le(&mut self) -> Option<u64> {
+        self.try_take_bytes(8)
+            .map(|b| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads a little-endian i32.
+    fn get_i32_le(&mut self) -> i32 {
+        self.get_u32_le() as i32
+    }
+
+    /// Checked [`Buf::get_i32_le`].
+    fn try_get_i32_le(&mut self) -> Option<i32> {
+        self.try_get_u32_le().map(|v| v as i32)
+    }
+
+    /// Reads a little-endian i64.
+    fn get_i64_le(&mut self) -> i64 {
+        self.get_u64_le() as i64
+    }
+
+    /// Checked [`Buf::get_i64_le`].
+    fn try_get_i64_le(&mut self) -> Option<i64> {
+        self.try_get_u64_le().map(|v| v as i64)
     }
 
     /// Reads a little-endian f32.
@@ -57,6 +109,21 @@ pub trait BufMut {
         self.put_slice(&v.to_le_bytes());
     }
 
+    /// Appends a little-endian u64.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian i32.
+    fn put_i32_le(&mut self, v: i32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian i64.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
     /// Appends a little-endian f32.
     fn put_f32_le(&mut self, v: f32) {
         self.put_u32_le(v.to_bits());
@@ -79,6 +146,18 @@ impl Bytes {
             pos: 0,
         }
     }
+
+    /// Takes ownership of a byte vector (no copy).
+    #[must_use]
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes::from_vec(data)
+    }
 }
 
 impl Buf for Bytes {
@@ -86,11 +165,13 @@ impl Buf for Bytes {
         self.data.len() - self.pos
     }
 
-    fn take_bytes(&mut self, n: usize) -> &[u8] {
-        assert!(self.remaining() >= n, "buffer underflow");
+    fn try_take_bytes(&mut self, n: usize) -> Option<&[u8]> {
+        if self.remaining() < n {
+            return None;
+        }
         let s = &self.data[self.pos..self.pos + n];
         self.pos += n;
-        s
+        Some(s)
     }
 }
 
@@ -111,6 +192,24 @@ impl BytesMut {
     #[must_use]
     pub fn to_vec(&self) -> Vec<u8> {
         self.data.clone()
+    }
+
+    /// Consumes the buffer into its bytes (no copy).
+    #[must_use]
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data
+    }
+
+    /// Number of accumulated bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
     }
 
     /// Freezes into a readable [`Bytes`].
@@ -140,12 +239,18 @@ mod tests {
         w.put_u16_le(7);
         w.put_u8(3);
         w.put_f32_le(1.5);
+        w.put_u64_le(0x0102_0304_0506_0708);
+        w.put_i64_le(-9);
+        w.put_i32_le(-5);
         let mut r = Bytes::copy_from_slice(&w.to_vec());
-        assert_eq!(r.remaining(), 11);
+        assert_eq!(r.remaining(), 31);
         assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
         assert_eq!(r.get_u16_le(), 7);
         assert_eq!(r.get_u8(), 3);
         assert_eq!(r.get_f32_le(), 1.5);
+        assert_eq!(r.get_u64_le(), 0x0102_0304_0506_0708);
+        assert_eq!(r.get_i64_le(), -9);
+        assert_eq!(r.get_i32_le(), -5);
         assert_eq!(r.remaining(), 0);
     }
 
@@ -154,5 +259,29 @@ mod tests {
     fn underflow_panics() {
         let mut r = Bytes::copy_from_slice(&[1, 2]);
         let _ = r.get_u32_le();
+    }
+
+    #[test]
+    fn checked_accessors_do_not_panic_or_advance() {
+        let mut r = Bytes::copy_from_slice(&[1, 2, 3]);
+        assert_eq!(r.try_get_u32_le(), None);
+        assert_eq!(r.try_get_u64_le(), None);
+        assert_eq!(r.try_get_i64_le(), None);
+        // Failed reads must not consume: the three bytes are still there.
+        assert_eq!(r.remaining(), 3);
+        assert_eq!(r.try_get_u8(), Some(1));
+        assert_eq!(r.try_take_bytes(2), Some(&[2u8, 3u8][..]));
+        assert_eq!(r.try_get_u8(), None);
+    }
+
+    #[test]
+    fn from_vec_and_into_vec_avoid_copies() {
+        let b = Bytes::from_vec(vec![9, 8, 7]);
+        assert_eq!(b.remaining(), 3);
+        let mut w = BytesMut::new();
+        w.put_u8(1);
+        assert_eq!(w.len(), 1);
+        assert!(!w.is_empty());
+        assert_eq!(w.into_vec(), vec![1]);
     }
 }

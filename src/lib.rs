@@ -10,6 +10,8 @@
 //! * [`nvfi_compiler`] — quantized-model-to-execution-plan compiler;
 //! * [`nvfi_quant`] / [`nvfi_nn`] / [`nvfi_dataset`] / [`nvfi_tensor`] /
 //!   [`nvfi_hwnum`] — the CNN stack;
+//! * [`nvfi_dist`] — the multi-process campaign fabric: coordinator/worker
+//!   pools over sockets, bit-identical to the in-process scheduler;
 //! * [`nvfi_systolic`] — the SAFFIRA-style software-simulation baseline;
 //! * [`nvfi_synth`] — the synthesis (LUT/FF) cost model.
 
@@ -19,6 +21,7 @@ pub use nvfi;
 pub use nvfi_accel;
 pub use nvfi_compiler;
 pub use nvfi_dataset;
+pub use nvfi_dist;
 pub use nvfi_hwnum;
 pub use nvfi_nn;
 pub use nvfi_quant;
