@@ -66,17 +66,24 @@ impl DistRunner {
     /// Builds the runner from the experiment configuration's wire knobs.
     #[must_use]
     pub fn from_config(cfg: &nvfi::experiments::ExperimentConfig) -> Self {
+        // NVFI_TASK_TIMEOUT (seconds; unset = wait forever) bounds shard
+        // silence in both fleet shapes — heartbeating workers never trip it.
+        let task_timeout = cfg.task_timeout.map(std::time::Duration::from_secs);
         match &cfg.dist_addr {
             Some(addr) => DistRunner {
                 fleet: nvfi_dist::FleetSpec {
                     listen: Some(addr.clone()),
                     external_workers: cfg.workers,
+                    task_timeout,
                     ..nvfi_dist::FleetSpec::self_exec()
                 },
                 external: true,
             },
             None => DistRunner {
-                fleet: nvfi_dist::FleetSpec::self_exec(),
+                fleet: nvfi_dist::FleetSpec {
+                    task_timeout,
+                    ..nvfi_dist::FleetSpec::self_exec()
+                },
                 external: false,
             },
         }

@@ -112,6 +112,14 @@ pub struct CampaignSpec {
     /// the rest recompute their prefix (bit-identical, slower); `0`
     /// disables the cache entirely; `usize::MAX` removes the bound.
     pub golden_cache_bytes: usize,
+    /// Checkpoint file of a **distributed** campaign (`NVFI_CHECKPOINT` in
+    /// the experiment drivers). When set, the `nvfi-dist` coordinator
+    /// persists completed shards there as they land and a restarted
+    /// coordinator resumes the campaign, redoing only unfinished shards —
+    /// with records bit-identical to an uninterrupted run. The file is
+    /// removed once the campaign completes. Ignored by the in-process
+    /// [`Campaign::run`], which has no coordinator process to lose.
+    pub checkpoint_path: Option<std::path::PathBuf>,
     /// Progress lines on stderr.
     pub verbose: bool,
 }
@@ -129,6 +137,7 @@ impl Default for CampaignSpec {
             workers: 0,
             fault_window: None,
             golden_cache_bytes: GOLDEN_CACHE_DEFAULT_BYTES,
+            checkpoint_path: None,
             verbose: false,
         }
     }

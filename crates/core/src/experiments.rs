@@ -72,6 +72,22 @@ pub struct ExperimentConfig {
     /// local processes. `None` (the default) binds an ephemeral localhost
     /// port for locally spawned workers.
     pub dist_addr: Option<String>,
+    /// Per-shard silence timeout of a distributed campaign, in **seconds**
+    /// (`NVFI_TASK_TIMEOUT`). Consumed by the `nvfi-bench` experiment
+    /// binaries, which plumb it into the coordinator's
+    /// `FleetSpec::task_timeout`: a worker whose shard goes silent (no
+    /// heartbeat, no completion) for longer is treated as lost and its
+    /// shard is requeued. `None` (the default) waits forever — the right
+    /// call for local fleets, where a dead worker closes its socket and is
+    /// detected immediately anyway; set it for cross-host fleets behind
+    /// links that can stall silently.
+    pub task_timeout: Option<u64>,
+    /// Checkpoint file for distributed campaigns (`NVFI_CHECKPOINT`; see
+    /// [`crate::campaign::CampaignSpec::checkpoint_path`]). Sequential
+    /// campaigns of one experiment may share the path: each campaign
+    /// removes the file when it completes, and a leftover checkpoint from
+    /// a killed run only resumes the campaign whose fingerprint matches.
+    pub checkpoint: Option<PathBuf>,
     /// Where result files are written.
     pub out_dir: PathBuf,
     /// Progress on stderr.
@@ -92,6 +108,8 @@ impl Default for ExperimentConfig {
             golden_cache_bytes: crate::campaign::GOLDEN_CACHE_DEFAULT_BYTES,
             workers: 0,
             dist_addr: None,
+            task_timeout: None,
+            checkpoint: None,
             out_dir: PathBuf::from("results"),
             verbose: false,
         }
@@ -121,6 +139,8 @@ impl ExperimentConfig {
             golden_cache_bytes: crate::campaign::GOLDEN_CACHE_DEFAULT_BYTES,
             workers: 0,
             dist_addr: None,
+            task_timeout: None,
+            checkpoint: None,
             out_dir: std::env::temp_dir().join("nvfi_quick_results"),
             verbose: false,
         }
@@ -130,7 +150,9 @@ impl ExperimentConfig {
     /// `NVFI_WIDTH`, `NVFI_EPOCHS`, `NVFI_TRAIN`, `NVFI_TEST`, `NVFI_NOISE`,
     /// `NVFI_EVAL`, `NVFI_TRIALS`, `NVFI_MAX_K`, `NVFI_TABLE1_WIDTH`,
     /// `NVFI_THREADS`, `NVFI_POOL`, `NVFI_SHARD`, `NVFI_GOLDEN_CACHE`,
-    /// `NVFI_WORKERS`, `NVFI_DIST_ADDR`, `NVFI_OUT_DIR`, `NVFI_VERBOSE`.
+    /// `NVFI_WORKERS`, `NVFI_DIST_ADDR`, `NVFI_TASK_TIMEOUT` (seconds;
+    /// unset = wait forever), `NVFI_CHECKPOINT` (checkpoint file path),
+    /// `NVFI_OUT_DIR`, `NVFI_VERBOSE`.
     #[must_use]
     pub fn from_env() -> Self {
         fn get<T: std::str::FromStr>(key: &str, default: T) -> T {
@@ -162,6 +184,14 @@ impl ExperimentConfig {
         if let Ok(addr) = std::env::var("NVFI_DIST_ADDR") {
             if !addr.is_empty() {
                 cfg.dist_addr = Some(addr);
+            }
+        }
+        if let Ok(secs) = std::env::var("NVFI_TASK_TIMEOUT") {
+            cfg.task_timeout = secs.parse().ok().filter(|&s| s > 0);
+        }
+        if let Ok(path) = std::env::var("NVFI_CHECKPOINT") {
+            if !path.is_empty() {
+                cfg.checkpoint = Some(PathBuf::from(path));
             }
         }
         cfg.verbose = get("NVFI_VERBOSE", 1u8) != 0;
@@ -378,6 +408,7 @@ pub fn run_fig2_with<E>(
                 pool_devices: cfg.pool_devices,
                 workers: cfg.workers,
                 golden_cache_bytes: cfg.golden_cache_bytes,
+                checkpoint_path: cfg.checkpoint.clone(),
                 verbose: cfg.verbose,
                 ..Default::default()
             };
@@ -537,6 +568,7 @@ pub fn run_fig3_with<E>(
             pool_devices: cfg.pool_devices,
             workers: cfg.workers,
             golden_cache_bytes: cfg.golden_cache_bytes,
+            checkpoint_path: cfg.checkpoint.clone(),
             verbose: cfg.verbose,
             ..Default::default()
         };

@@ -1,0 +1,333 @@
+//! Durable campaign progress: a versioned checkpoint file the coordinator
+//! rewrites as shards complete, so a killed-and-restarted coordinator
+//! resumes the campaign — re-shipping artifacts to a fresh fleet but
+//! **redoing only the shards that never finished** — and still merges
+//! records bit-identical to an uninterrupted run.
+//!
+//! Merging is by `(work item, shard range)`, never by arrival or recovery
+//! order, so replaying checkpointed predictions into the result slots is
+//! exactly as good as having computed them this run.
+//!
+//! # File format (version 1)
+//!
+//! ```text
+//! magic    "NVFC"                      4 bytes
+//! version  u32 LE                      = 1
+//! fingerprint u64 LE                   campaign identity (see below)
+//! entries  u64 LE                      completed-shard count
+//!   per entry:
+//!     work_id u32, start u32, end u32  the (work item, shard range) key
+//!     preds   u64 length + bytes       predicted classes for start..end
+//! crc32    u32 LE                      over every preceding byte
+//! ```
+//!
+//! The **fingerprint** hashes everything that determines the schedule and
+//! its answers: the encoded session frames (plan + weights + evaluation
+//! set), the task list, and each work item's full fault program. A
+//! checkpoint whose fingerprint does not match the restarted campaign is
+//! ignored and overwritten — resuming someone else's shards would splice
+//! wrong predictions into the merge.
+//!
+//! Writes go to a `.tmp` sibling and are renamed into place, so a
+//! coordinator killed mid-write leaves either the old checkpoint or the
+//! new one, never a torn file; a torn or corrupt file (bad magic, version,
+//! or CRC) loads as "no checkpoint" rather than an error.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::codec::{crc32, Dec, Enc};
+
+/// Checkpoint file magic: the bytes `NVFC`.
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"NVFC";
+
+/// Checkpoint format version. Bump on any layout change; a mismatched
+/// version loads as "no checkpoint".
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// One completed shard: the `(work item, image range)` key and its
+/// predictions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointEntry {
+    /// Work-item index (0 = baseline).
+    pub work_id: u32,
+    /// First image of the shard.
+    pub start: u32,
+    /// One past the last image of the shard.
+    pub end: u32,
+    /// Predicted classes for `start..end`.
+    pub preds: Vec<u8>,
+}
+
+/// A campaign's durable progress: its identity fingerprint and every
+/// completed shard.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Campaign identity hash (see the module docs).
+    pub fingerprint: u64,
+    /// Completed shards, in completion order (order is irrelevant to the
+    /// merge, which keys on `(work_id, start, end)`).
+    pub entries: Vec<CheckpointEntry>,
+}
+
+impl Checkpoint {
+    /// An empty checkpoint for a campaign with identity `fingerprint`.
+    #[must_use]
+    pub fn new(fingerprint: u64) -> Self {
+        Checkpoint {
+            fingerprint,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Serializes the checkpoint (including the CRC trailer).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u32(u32::from_le_bytes(CHECKPOINT_MAGIC));
+        e.u32(CHECKPOINT_VERSION);
+        e.u64(self.fingerprint);
+        e.u64(self.entries.len() as u64);
+        for entry in &self.entries {
+            e.u32(entry.work_id);
+            e.u32(entry.start);
+            e.u32(entry.end);
+            e.u8_slice(&entry.preds);
+        }
+        let mut bytes = e.into_vec();
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        bytes
+    }
+
+    /// Parses checkpoint bytes. `None` on any corruption — bad magic,
+    /// unknown version, failed CRC, truncation, trailing bytes. A damaged
+    /// checkpoint costs redone shards, never a wrong merge.
+    #[must_use]
+    pub fn decode(bytes: &[u8]) -> Option<Checkpoint> {
+        if bytes.len() < 4 {
+            return None;
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(trailer.try_into().ok()?);
+        if stored != crc32(body) {
+            return None;
+        }
+        let mut d = Dec::new(body.to_vec());
+        if d.u32("magic").ok()? != u32::from_le_bytes(CHECKPOINT_MAGIC) {
+            return None;
+        }
+        if d.u32("version").ok()? != CHECKPOINT_VERSION {
+            return None;
+        }
+        let fingerprint = d.u64("fingerprint").ok()?;
+        let count = d.u64("entry count").ok()?;
+        // Each entry is at least its 20 fixed bytes; an absurd count must
+        // not drive a huge allocation.
+        if count.saturating_mul(20) > d.remaining() as u64 {
+            return None;
+        }
+        let mut entries = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let work_id = d.u32("work id").ok()?;
+            let start = d.u32("start").ok()?;
+            let end = d.u32("end").ok()?;
+            if start > end {
+                return None;
+            }
+            let preds = d.u8_slice("preds").ok()?;
+            if preds.len() as u64 != u64::from(end - start) {
+                return None;
+            }
+            entries.push(CheckpointEntry {
+                work_id,
+                start,
+                end,
+                preds,
+            });
+        }
+        d.finish().ok()?;
+        Some(Checkpoint {
+            fingerprint,
+            entries,
+        })
+    }
+
+    /// Atomically persists the checkpoint: written to `<path>.tmp`, then
+    /// renamed over `path`.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors (unwritable directory, disk full).
+    pub fn store(&self, path: &Path) -> io::Result<()> {
+        let tmp = tmp_path(path);
+        fs::write(&tmp, self.encode())?;
+        fs::rename(&tmp, path)
+    }
+
+    /// Loads the checkpoint at `path`. `None` when the file is missing or
+    /// corrupt (see [`Checkpoint::decode`]).
+    #[must_use]
+    pub fn load(path: &Path) -> Option<Checkpoint> {
+        Checkpoint::decode(&fs::read(path).ok()?)
+    }
+
+    /// Removes the checkpoint (and any stale `.tmp` sibling) after a
+    /// campaign completes — a finished campaign must not donate shards to
+    /// an unrelated later run at the same path.
+    pub fn remove(path: &Path) {
+        let _ = fs::remove_file(path);
+        let _ = fs::remove_file(tmp_path(path));
+    }
+}
+
+fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    std::path::PathBuf::from(tmp)
+}
+
+/// FNV-1a 64-bit hasher for the campaign fingerprint: tiny, dependency-free
+/// and stable across platforms and runs (unlike `DefaultHasher`, whose
+/// output is explicitly unspecified between releases).
+#[derive(Clone, Debug)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64 {
+            state: 0xCBF2_9CE4_8422_2325,
+        }
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv64::default()
+    }
+
+    /// Folds `bytes` into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// Folds a u64 (little-endian) into the hash.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The accumulated hash.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            fingerprint: 0xDEAD_BEEF_0BAD_F00D,
+            entries: vec![
+                CheckpointEntry {
+                    work_id: 0,
+                    start: 0,
+                    end: 4,
+                    preds: vec![1, 2, 3, 4],
+                },
+                CheckpointEntry {
+                    work_id: 3,
+                    start: 8,
+                    end: 10,
+                    preds: vec![9, 9],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrips_bit_identically() {
+        let cp = sample();
+        assert_eq!(Checkpoint::decode(&cp.encode()), Some(cp));
+        let empty = Checkpoint::new(7);
+        assert_eq!(Checkpoint::decode(&empty.encode()), Some(empty));
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_rejected() {
+        let bytes = sample().encode();
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x04;
+            assert_eq!(
+                Checkpoint::decode(&corrupt),
+                None,
+                "flip at byte {i} must fail the CRC"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_rejected() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert_eq!(Checkpoint::decode(&bytes[..cut]), None);
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_ignored() {
+        let mut cp = sample().encode();
+        // Patch the version field (bytes 4..8) and re-seal the CRC so only
+        // the version check can reject it.
+        cp[4] = 0xFF;
+        let body_len = cp.len() - 4;
+        let crc = crc32(&cp[..body_len]).to_le_bytes();
+        cp[body_len..].copy_from_slice(&crc);
+        assert_eq!(Checkpoint::decode(&cp), None);
+    }
+
+    #[test]
+    fn store_load_remove_cycle() {
+        let dir = std::env::temp_dir().join(format!("nvfi-ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.ckpt");
+        let cp = sample();
+        cp.store(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path), Some(cp.clone()));
+        // Overwrite with more progress; the rename is atomic.
+        let mut more = cp;
+        more.entries.push(CheckpointEntry {
+            work_id: 5,
+            start: 0,
+            end: 1,
+            preds: vec![0],
+        });
+        more.store(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path), Some(more));
+        Checkpoint::remove(&path);
+        assert_eq!(Checkpoint::load(&path), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fnv_is_stable_and_order_sensitive() {
+        let mut a = Fnv64::new();
+        a.write(b"abc");
+        // Known FNV-1a 64 vector for "abc".
+        assert_eq!(a.finish(), 0xE71F_A219_0541_574B);
+        let mut b = Fnv64::new();
+        b.write(b"cba");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

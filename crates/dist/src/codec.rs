@@ -52,6 +52,14 @@ pub enum WireError {
     Invalid(&'static str),
     /// The payload has trailing bytes after a complete message.
     TrailingBytes(usize),
+    /// The frame's CRC32 trailer does not match its payload: bits flipped
+    /// in transit (or the peer pre-dates the checksummed v2 frame layout).
+    Crc {
+        /// The CRC stored in the frame trailer.
+        stored: u32,
+        /// The CRC computed over the received payload.
+        computed: u32,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -79,11 +87,50 @@ impl fmt::Display for WireError {
             WireError::TrailingBytes(n) => {
                 write!(f, "{n} trailing bytes after a complete message")
             }
+            WireError::Crc { stored, computed } => write!(
+                f,
+                "frame CRC mismatch: trailer says {stored:#010x}, payload hashes to \
+                 {computed:#010x} (bits flipped in transit, or a pre-v2 peer)"
+            ),
         }
     }
 }
 
 impl std::error::Error for WireError {}
+
+/// The CRC32 lookup table (IEEE 802.3 reflected polynomial `0xEDB88320`),
+/// built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE 802.3, the zlib/Ethernet polynomial) of `bytes` — the
+/// per-frame integrity check of the v2 wire format, hand-rolled because the
+/// fabric takes no external dependencies.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
 
 /// Encoder: a growable little-endian byte sink.
 #[derive(Debug, Default)]
@@ -424,6 +471,16 @@ mod tests {
             d.u32_slice("words"),
             Err(WireError::BadLength { .. })
         ));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE CRC32 check value and a couple of anchors, so a
+        // table or loop bug cannot silently redefine "integrity".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"nvfi"), crc32(b"nvfi"));
+        assert_ne!(crc32(b"nvfi"), crc32(b"nvfj"));
     }
 
     #[test]

@@ -14,7 +14,31 @@
 //! inference is independent and every device is a clone of the same
 //! plan-programmed prototype, any task-to-worker assignment yields the same
 //! merged predictions — which is what makes worker-death requeue safe.
+//!
+//! # Failure model
+//!
+//! The fabric assumes a **hostile transport** and a trustworthy workload:
+//!
+//! * a broken socket, a timed-out shard, a CRC-failed frame, or an
+//!   out-of-lifecycle message costs one **requeue** — the connection is
+//!   dropped and the shard goes back on the shared queue;
+//! * the listener stays open for the whole campaign: a late or
+//!   *reconnecting* worker is **re-admitted** mid-flight (handshake, the
+//!   same pre-encoded session frames, then the shared queue), or turned
+//!   away with a versioned [`Msg::Goodbye`] once the re-admission cap is
+//!   reached — never left hanging in TCP limbo;
+//! * losing **every** worker, for longer than
+//!   [`FleetSpec::readmission_grace`], ends the distributed attempt:
+//!   [`DistError::FleetLost`], or — with
+//!   [`OnFleetLost::Degrade`] — a bit-identical in-process fallback run;
+//! * with a checkpoint path ([`CampaignSpec::checkpoint_path`]), completed
+//!   shards are persisted as they land, and a **restarted coordinator
+//!   resumes**: artifacts are re-shipped, finished shards are replayed from
+//!   the checkpoint, only unfinished ones are redone;
+//! * a worker-*reported* error ([`Msg::WorkerErr`]) stays **fatal**: it is
+//!   deterministic and would reproduce on any other worker.
 
+use std::collections::HashMap;
 use std::io::Write as _;
 use std::net::{TcpListener, TcpStream};
 use std::ops::Range;
@@ -31,7 +55,8 @@ use nvfi_compiler::regmap::MultId;
 use nvfi_dataset::Dataset;
 use nvfi_quant::QuantModel;
 
-use crate::codec::WireError;
+use crate::checkpoint::{Checkpoint, CheckpointEntry, Fnv64};
+use crate::codec::{crc32, WireError};
 use crate::wire::{self, Msg, WireFault};
 use crate::worker;
 
@@ -121,6 +146,20 @@ pub enum WorkerSpawn {
     Exe(PathBuf),
 }
 
+/// What the coordinator does when every worker is lost with tasks still
+/// outstanding (after [`FleetSpec::readmission_grace`] has passed with no
+/// reconnection).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OnFleetLost {
+    /// Return [`DistError::FleetLost`] (the default): the caller decides.
+    #[default]
+    Fail,
+    /// Degrade gracefully: fall back to the in-process [`Campaign::run`],
+    /// whose merged records are **bit-identical** to what the fleet would
+    /// have produced — the campaign finishes slower instead of failing.
+    Degrade,
+}
+
 /// How the worker fleet is raised for one campaign.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FleetSpec {
@@ -143,14 +182,24 @@ pub struct FleetSpec {
     pub worker_env: Vec<Vec<(String, String)>>,
     /// How long to wait for the full fleet to connect and shake hands.
     pub accept_timeout: Duration,
-    /// Upper bound on one shard's round trip (send `Work`, receive
-    /// `ShardDone`); a worker exceeding it is treated as lost and its shard
-    /// requeued. `None` (the default) waits forever — shard compute time is
-    /// workload-dependent (an exact-engine window on a large fixture can
-    /// legitimately run for minutes), so only set this when the network can
-    /// stall silently (cross-host fleets behind flaky links) and you can
-    /// bound your shards' compute time.
+    /// Upper bound on **silence** during one shard: after sending `Work`,
+    /// every received frame (the worker's [`Msg::Pong`] heartbeats between
+    /// compute waves included) restarts the window, so a *slow* shard that
+    /// keeps heartbeating never times out — only a genuinely stalled worker
+    /// does, and its shard is requeued. `None` (the default) waits forever;
+    /// set this when the network can stall silently (cross-host fleets
+    /// behind flaky links).
     pub task_timeout: Option<Duration>,
+    /// Fleet-lost policy (fail the campaign or degrade to in-process).
+    pub on_fleet_lost: OnFleetLost,
+    /// How long the coordinator keeps the campaign alive with **zero**
+    /// connected workers before declaring the fleet lost — the window a
+    /// crashed-and-backing-off worker has to reconnect and be re-admitted.
+    pub readmission_grace: Duration,
+    /// Upper bound on mid-campaign (re-)admissions; a worker connecting
+    /// beyond it is turned away with a [`Msg::Goodbye`]. Caps the worst
+    /// case of a crash-looping worker being re-admitted forever.
+    pub max_readmissions: usize,
 }
 
 impl Default for FleetSpec {
@@ -163,6 +212,9 @@ impl Default for FleetSpec {
             worker_env: Vec::new(),
             accept_timeout: Duration::from_secs(60),
             task_timeout: None,
+            on_fleet_lost: OnFleetLost::Fail,
+            readmission_grace: Duration::from_secs(5),
+            max_readmissions: 64,
         }
     }
 }
@@ -210,6 +262,52 @@ impl Drop for FleetGuard {
     }
 }
 
+/// The checkpoint file plus its in-memory image, persisted (atomically,
+/// whole-file) after every completed shard.
+struct CkptState {
+    path: PathBuf,
+    cp: Mutex<Checkpoint>,
+}
+
+impl CkptState {
+    fn record(&self, task: &Task, preds: &[u8]) {
+        let mut cp = self.cp.lock().unwrap();
+        cp.entries.push(CheckpointEntry {
+            work_id: task.work_id as u32,
+            start: task.range.start as u32,
+            end: task.range.end as u32,
+            preds: preds.to_vec(),
+        });
+        if let Err(e) = cp.store(&self.path) {
+            // A failing checkpoint must not fail the campaign — it only
+            // weakens a future resume.
+            eprintln!(
+                "nvfi coordinator: checkpoint write to {} failed: {e}",
+                self.path.display()
+            );
+        }
+    }
+}
+
+/// Everything the per-connection worker threads and the acceptor share.
+/// All fields are references into `run_campaign`'s stack frame, so the
+/// struct is `Copy` and moves freely into scoped threads.
+#[derive(Clone, Copy)]
+struct Shared<'a> {
+    tasks: &'a [Task],
+    work: &'a [Option<(Vec<MultId>, FaultKind)>],
+    spec: &'a CampaignSpec,
+    queue: &'a Mutex<Vec<usize>>,
+    results: &'a [Mutex<Option<Vec<u8>>>],
+    fatal: &'a Mutex<Option<DistError>>,
+    abort: &'a AtomicBool,
+    done: &'a AtomicUsize,
+    /// Currently connected workers (initial fleet + re-admissions − losses).
+    active: &'a AtomicUsize,
+    task_timeout: Option<Duration>,
+    ckpt: Option<&'a CkptState>,
+}
+
 /// Runs `spec` as a distributed campaign: [`CampaignSpec::workers`] local
 /// worker processes (spawned per [`FleetSpec::spawn`]) plus
 /// [`FleetSpec::external_workers`] cross-host ones, each session programmed
@@ -217,8 +315,8 @@ impl Drop for FleetGuard {
 /// set, then fed `(work item, image shard)` tasks until the work list is
 /// drained. Predictions are merged by `(work item, shard range)` — never by
 /// arrival order — so the result is **bit-identical** to the in-process
-/// [`Campaign::run`] for every fleet size, and a worker that dies mid-shard
-/// only costs a requeue.
+/// [`Campaign::run`] for every fleet size, whatever faults the transport
+/// injects (see the module docs for the failure model).
 ///
 /// With an empty fleet (`spec.workers == 0` and no external workers) this
 /// simply delegates to the in-process path.
@@ -227,8 +325,10 @@ impl Drop for FleetGuard {
 ///
 /// [`DistError::Spawn`] if the fleet cannot be raised,
 /// [`DistError::Worker`] if a worker reports a deterministic error,
-/// [`DistError::FleetLost`] if every worker dies mid-campaign; platform
-/// and socket errors propagate as their variants.
+/// [`DistError::FleetLost`] if every worker stays gone past the
+/// re-admission grace (unless [`OnFleetLost::Degrade`] turns that into an
+/// in-process run); platform and socket errors propagate as their
+/// variants.
 ///
 /// # Panics
 ///
@@ -279,6 +379,241 @@ pub fn run_campaign(
     let plan_words = nvfi_compiler::plan::encode_words(proto.plan());
     let weight_image = proto.accel_mut().export_weight_image()?;
 
+    // Ship-once session payloads: each encoded ONCE, the same bytes replayed
+    // to every worker — initial fleet and mid-campaign re-admissions alike
+    // (the wire probes assert the "once").
+    let local_devices = if fleet.local_devices > 0 {
+        fleet.local_devices
+    } else {
+        (spec.threads / total_workers).max(1)
+    };
+    let shape = qset.shape();
+    let frames = [
+        Msg::Plan {
+            config: config.into(),
+            local_devices: local_devices as u32,
+            words: plan_words,
+        }
+        .encode(),
+        Msg::Weights {
+            regions: weight_image,
+        }
+        .encode(),
+        // Encoded straight from the borrowed pixel slice: no owned copy of
+        // the (large) evaluation set just to build a `Msg`.
+        wire::encode_eval_set(
+            shape.n as u32,
+            shape.c as u32,
+            shape.h as u32,
+            shape.w as u32,
+            qset.images().as_slice(),
+        ),
+    ];
+
+    // The task list: each work item cut into as many contiguous shards as
+    // the two-level layout gives its scheduling slot — all 1s when the work
+    // list is at least as wide as the fleet (pure item-level parallelism),
+    // wider shard fan-out when the fleet outnumbers the items.
+    let layout = Campaign::pool_layout(total_workers, work.len(), 0);
+    let granularity = DevicePool::granularity(&config);
+    let mut tasks: Vec<Task> = Vec::new();
+    for i in 0..work.len() {
+        let shards = layout[i % layout.len()];
+        for range in DevicePool::shard_plan(eval.len(), shards, granularity) {
+            tasks.push(Task { work_id: i, range });
+        }
+    }
+
+    // Scheduling state: a queue of pending task indices (popped by worker
+    // threads, pushed back on worker loss) and one result slot per task.
+    let results: Vec<Mutex<Option<Vec<u8>>>> = (0..tasks.len()).map(|_| Mutex::new(None)).collect();
+    let mut prefilled = 0usize;
+
+    // Checkpoint/resume: replay completed shards of a previous (killed)
+    // coordinator whose campaign fingerprint matches this one, then keep
+    // persisting as new shards land.
+    let ckpt: Option<CkptState> = spec.checkpoint_path.as_ref().map(|path| {
+        let fingerprint = campaign_fingerprint(&frames, &tasks, &work, spec);
+        let mut cp = Checkpoint::new(fingerprint);
+        if let Some(prev) = Checkpoint::load(path) {
+            if prev.fingerprint == fingerprint {
+                let by_key: HashMap<(u32, u32, u32), usize> = tasks
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| {
+                        (
+                            (t.work_id as u32, t.range.start as u32, t.range.end as u32),
+                            i,
+                        )
+                    })
+                    .collect();
+                for entry in prev.entries {
+                    let key = (entry.work_id, entry.start, entry.end);
+                    if let Some(&idx) = by_key.get(&key) {
+                        let mut slot = results[idx].lock().unwrap();
+                        if slot.is_none() {
+                            *slot = Some(entry.preds.clone());
+                            prefilled += 1;
+                            cp.entries.push(entry);
+                        }
+                    }
+                }
+                if spec.verbose && prefilled > 0 {
+                    eprintln!(
+                        "  resuming from {}: {}/{} shards already done",
+                        path.display(),
+                        prefilled,
+                        tasks.len()
+                    );
+                }
+            } else if spec.verbose {
+                eprintln!(
+                    "  checkpoint {} belongs to a different campaign; starting fresh",
+                    path.display()
+                );
+            }
+        }
+        CkptState {
+            path: path.to_path_buf(),
+            cp: Mutex::new(cp),
+        }
+    });
+
+    if prefilled < tasks.len() {
+        run_fleet(
+            spec,
+            fleet,
+            total_workers,
+            &frames,
+            &tasks,
+            &work,
+            &results,
+            prefilled,
+            ckpt.as_ref(),
+        )?;
+        // FleetLost (with the checkpoint, if any, left on disk for a
+        // restart) either propagates or degrades to the in-process run.
+        let incomplete = results
+            .iter()
+            .filter(|r| r.lock().unwrap().is_none())
+            .count();
+        if incomplete > 0 {
+            match fleet.on_fleet_lost {
+                OnFleetLost::Fail => return Err(DistError::FleetLost { incomplete }),
+                OnFleetLost::Degrade => {
+                    if spec.verbose {
+                        eprintln!(
+                            "  fleet lost with {incomplete} task(s) outstanding; \
+                             degrading to the in-process campaign"
+                        );
+                    }
+                    let result = Campaign::new(model, config).run(spec, &eval)?;
+                    if let Some(ck) = &ckpt {
+                        Checkpoint::remove(&ck.path);
+                    }
+                    return Ok(result);
+                }
+            }
+        }
+    }
+
+    // Merge: concatenate each work item's shards in range order (the task
+    // list is already ordered that way), then fold into records exactly as
+    // the in-process loop does.
+    let mut per_item: Vec<Vec<u8>> = vec![Vec::new(); work.len()];
+    for (task, result) in tasks.iter().zip(&results) {
+        per_item[task.work_id].extend(result.lock().unwrap().take().unwrap());
+    }
+    let clean_preds = &per_item[0];
+    let baseline_accuracy = nvfi::campaign::prediction_accuracy(clean_preds, &eval.labels);
+    let mut records = Vec::with_capacity(work.len() - 1);
+    for (item, preds) in work.iter().zip(&per_item).skip(1) {
+        let (targets, kind) = item.as_ref().expect("non-baseline items carry a fault");
+        // The shared fold of nvfi::campaign — bit-identity with the
+        // in-process path is structural, not a re-implementation.
+        records.push(FiRecord::from_preds(
+            targets.clone(),
+            *kind,
+            preds,
+            clean_preds,
+            &eval.labels,
+            baseline_accuracy,
+        ));
+    }
+    // The campaign is complete: a finished run's checkpoint must not donate
+    // shards to an unrelated later campaign at the same path.
+    if let Some(ck) = &ckpt {
+        Checkpoint::remove(&ck.path);
+    }
+    let total_inferences = (records.len() as u64 + 1) * eval.len() as u64;
+    Ok(CampaignResult {
+        baseline_accuracy,
+        records,
+        total_inferences,
+        wall_seconds: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Hashes everything that determines the schedule and its answers: the
+/// encoded session frames (plan, weights, evaluation set — config and
+/// quantized pixels included), the task list, and each work item's full
+/// fault program as it would go on the wire. Two campaigns share a
+/// fingerprint iff their checkpointed shards are interchangeable.
+fn campaign_fingerprint(
+    frames: &[Vec<u8>; 3],
+    tasks: &[Task],
+    work: &[Option<(Vec<MultId>, FaultKind)>],
+    spec: &CampaignSpec,
+) -> u64 {
+    let mut h = Fnv64::new();
+    for frame in frames {
+        h.write_u64(u64::from(crc32(frame)));
+    }
+    h.write_u64(tasks.len() as u64);
+    for t in tasks {
+        h.write_u64(t.work_id as u64);
+        h.write_u64(t.range.start as u64);
+        h.write_u64(t.range.end as u64);
+    }
+    for (work_id, item) in work.iter().enumerate() {
+        let fault = item
+            .as_ref()
+            .map(|(targets, kind)| WireFault::from_targets(targets, *kind));
+        let window = if fault.is_some() {
+            spec.fault_window.clone()
+        } else {
+            None
+        };
+        h.write(
+            &Msg::Work {
+                work_id: work_id as u32,
+                start: 0,
+                end: 0,
+                fault,
+                window,
+            }
+            .encode(),
+        );
+    }
+    h.finish()
+}
+
+/// Raises the fleet and drives the shared queue dry (or loses the fleet —
+/// the caller inspects the result slots). The listener stays open for the
+/// whole campaign: a dedicated acceptor thread re-admits reconnecting or
+/// late workers mid-flight and watches for total fleet loss.
+#[allow(clippy::too_many_arguments)]
+fn run_fleet(
+    spec: &CampaignSpec,
+    fleet: &FleetSpec,
+    total_workers: usize,
+    frames: &[Vec<u8>; 3],
+    tasks: &[Task],
+    work: &[Option<(Vec<MultId>, FaultKind)>],
+    results: &[Mutex<Option<Vec<u8>>>],
+    prefilled: usize,
+    ckpt: Option<&CkptState>,
+) -> Result<(), DistError> {
     // Raise the fleet. A fixed listen address may sit in TIME_WAIT for a
     // moment after a previous campaign of the same experiment (fig2/fig3
     // run one campaign per figure point over the same coordinator port), so
@@ -329,214 +664,255 @@ pub fn run_campaign(
     }
     let mut streams = accept_fleet(&listener, total_workers, fleet.accept_timeout)?;
 
-    // Ship the session payloads: each encoded ONCE, the same bytes replayed
-    // to every worker (the wire probes assert the "once").
-    let local_devices = if fleet.local_devices > 0 {
-        fleet.local_devices
-    } else {
-        (spec.threads / total_workers).max(1)
-    };
-    let shape = qset.shape();
-    let frames = [
-        Msg::Plan {
-            config: config.into(),
-            local_devices: local_devices as u32,
-            words: plan_words,
-        }
-        .encode(),
-        Msg::Weights {
-            regions: weight_image,
-        }
-        .encode(),
-        // Encoded straight from the borrowed pixel slice: no owned copy of
-        // the (large) evaluation set just to build a `Msg`.
-        wire::encode_eval_set(
-            shape.n as u32,
-            shape.c as u32,
-            shape.h as u32,
-            shape.w as u32,
-            qset.images().as_slice(),
-        ),
-    ];
     for stream in &mut streams {
-        for frame in &frames {
+        for frame in frames {
             wire::write_frame(stream, frame)?;
         }
     }
 
-    // The task list: each work item cut into as many contiguous shards as
-    // the two-level layout gives its scheduling slot — all 1s when the work
-    // list is at least as wide as the fleet (pure item-level parallelism),
-    // wider shard fan-out when the fleet outnumbers the items.
-    let layout = Campaign::pool_layout(total_workers, work.len(), 0);
-    let granularity = DevicePool::granularity(&config);
-    let mut tasks: Vec<Task> = Vec::new();
-    for i in 0..work.len() {
-        let shards = layout[i % layout.len()];
-        for range in DevicePool::shard_plan(eval.len(), shards, granularity) {
-            tasks.push(Task { work_id: i, range });
-        }
-    }
-
-    // Scheduling state: a queue of pending task indices (popped by worker
-    // threads, pushed back on worker death) and one result slot per task.
-    let queue: Mutex<Vec<usize>> = Mutex::new((0..tasks.len()).rev().collect());
-    let results: Vec<Mutex<Option<Vec<u8>>>> = (0..tasks.len()).map(|_| Mutex::new(None)).collect();
+    let queue: Mutex<Vec<usize>> = Mutex::new(
+        (0..tasks.len())
+            .rev()
+            .filter(|&i| results[i].lock().unwrap().is_none())
+            .collect(),
+    );
     let fatal: Mutex<Option<DistError>> = Mutex::new(None);
     let abort = AtomicBool::new(false);
-    let done = AtomicUsize::new(0);
+    let done = AtomicUsize::new(prefilled);
+    let active = AtomicUsize::new(streams.len());
+    let shared = Shared {
+        tasks,
+        work,
+        spec,
+        queue: &queue,
+        results,
+        fatal: &fatal,
+        abort: &abort,
+        done: &done,
+        active: &active,
+        task_timeout: fleet.task_timeout,
+        ckpt,
+    };
 
     std::thread::scope(|scope| {
-        for (worker_id, mut stream) in streams.into_iter().enumerate() {
-            let tasks = &tasks;
-            let work = &work;
-            let queue = &queue;
-            let results = &results;
-            let fatal = &fatal;
-            let abort = &abort;
-            let done = &done;
-            scope.spawn(move || {
-                loop {
-                    if abort.load(Ordering::Relaxed) {
+        for (worker_id, stream) in streams.into_iter().enumerate() {
+            scope.spawn(move || worker_thread(shared, worker_id, stream));
+        }
+        // The acceptor: keeps the listener open for the life of the
+        // campaign, re-admitting late/reconnecting workers (handshake +
+        // the same pre-encoded session frames, then the shared queue) and
+        // declaring the fleet lost if it stays empty past the grace.
+        let listener = &listener;
+        let fleet = &fleet;
+        scope.spawn(move || {
+            let mut admitted = 0usize;
+            let mut empty_since: Option<Instant> = None;
+            loop {
+                if shared.abort.load(Ordering::Relaxed)
+                    || shared.done.load(Ordering::Relaxed) == shared.tasks.len()
+                {
+                    break;
+                }
+                if shared.active.load(Ordering::SeqCst) == 0 {
+                    let since = *empty_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() >= fleet.readmission_grace {
+                        // Nobody is left and nobody came back: end the
+                        // campaign attempt. The result slots decide between
+                        // FleetLost and (policy) degradation upstream.
+                        shared.abort.store(true, Ordering::SeqCst);
                         break;
                     }
-                    let popped = queue.lock().unwrap().pop();
-                    let Some(task_idx) = popped else {
-                        if done.load(Ordering::Relaxed) == tasks.len() {
-                            // Everything completed: release the worker, then
-                            // drain to EOF so the *worker* closes first —
-                            // keeping TIME_WAIT off the coordinator's side,
-                            // which matters when a fixed listen port is
-                            // re-bound by the experiment's next campaign.
-                            let _ = wire::send(&mut stream, &Msg::Shutdown);
-                            let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-                            let mut sink = [0u8; 256];
-                            while matches!(std::io::Read::read(&mut stream, &mut sink), Ok(n) if n > 0)
-                            {
-                            }
-                            break;
-                        }
-                        // Queue empty but tasks still in flight elsewhere: a
-                        // dying worker may yet requeue one, so stay
-                        // available instead of shutting down.
-                        std::thread::sleep(Duration::from_millis(5));
-                        continue;
-                    };
-                    let task = &tasks[task_idx];
-                    match run_task(&mut stream, task, work, spec, fleet.task_timeout) {
-                        Ok(preds) => {
-                            *results[task_idx].lock().unwrap() = Some(preds);
-                            if spec.verbose {
-                                // stderr lock held across count + write =>
-                                // strictly monotonic done/total lines, with
-                                // per-worker attribution for debuggability.
-                                let mut err = std::io::stderr().lock();
-                                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                                let _ = writeln!(
-                                    err,
-                                    "  fi {}/{} [worker {}]: item {} images {}..{}",
-                                    finished,
-                                    tasks.len(),
-                                    worker_id,
-                                    task.work_id,
-                                    task.range.start,
-                                    task.range.end,
-                                );
-                            } else {
-                                done.fetch_add(1, Ordering::Relaxed);
-                            }
-                        }
-                        Err(TaskError::WorkerLost(e)) => {
-                            // The shard is requeued for a surviving worker;
-                            // this connection is done.
-                            queue.lock().unwrap().push(task_idx);
-                            if spec.verbose {
-                                eprintln!(
-                                    "  worker {worker_id} lost mid-shard \
-                                     (item {} images {}..{}): {e}; requeued",
-                                    task.work_id, task.range.start, task.range.end,
-                                );
-                            }
-                            break;
-                        }
-                        Err(TaskError::Fatal(e)) => {
-                            // Deterministic failure: no point retrying it on
-                            // another worker. Stop the fleet.
-                            let mut slot = fatal.lock().unwrap();
-                            if slot.is_none() {
-                                *slot = Some(e);
-                            }
-                            abort.store(true, Ordering::Relaxed);
-                            break;
-                        }
-                    }
+                } else {
+                    empty_since = None;
                 }
-            });
-        }
+                match listener.accept() {
+                    Ok((mut s, _)) => {
+                        if s.set_nonblocking(false).is_err() {
+                            continue;
+                        }
+                        let _ = s.set_nodelay(true);
+                        let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+                        if wire::accept_hello(&mut s).is_err() {
+                            continue;
+                        }
+                        if admitted >= fleet.max_readmissions {
+                            // Versioned, explicit rejection *after* the
+                            // handshake: the worker's serve loop reads a
+                            // clean `Goodbye` and stands down, instead of
+                            // hanging in TCP limbo or misreading the frame.
+                            let _ = wire::send(
+                                &mut s,
+                                &Msg::Goodbye {
+                                    reason: format!(
+                                        "re-admission cap ({}) reached",
+                                        fleet.max_readmissions
+                                    ),
+                                },
+                            );
+                            continue;
+                        }
+                        if s.set_read_timeout(None).is_err() {
+                            continue;
+                        }
+                        if frames
+                            .iter()
+                            .try_for_each(|f| wire::write_frame(&mut s, f))
+                            .is_err()
+                        {
+                            continue;
+                        }
+                        admitted += 1;
+                        shared.active.fetch_add(1, Ordering::SeqCst);
+                        empty_since = None;
+                        let worker_id = total_workers + admitted;
+                        if shared.spec.verbose {
+                            eprintln!("  worker {worker_id} admitted mid-campaign");
+                        }
+                        scope.spawn(move || worker_thread(shared, worker_id, s));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+        });
     });
+    drop(guard);
 
     if let Some(e) = fatal.into_inner().unwrap() {
         return Err(e);
     }
-    let incomplete = results
-        .iter()
-        .filter(|r| r.lock().unwrap().is_none())
-        .count();
-    if incomplete > 0 {
-        return Err(DistError::FleetLost { incomplete });
-    }
+    Ok(())
+}
 
-    // Merge: concatenate each work item's shards in range order (the task
-    // list is already ordered that way), then fold into records exactly as
-    // the in-process loop does.
-    let mut per_item: Vec<Vec<u8>> = vec![Vec::new(); work.len()];
-    for (task, result) in tasks.iter().zip(&results) {
-        per_item[task.work_id].extend(result.lock().unwrap().take().unwrap());
+/// Drives one worker connection: pop a task, run it, repeat — requeueing on
+/// loss, probing liveness while idle, and releasing the worker with
+/// [`Msg::Shutdown`] when the campaign completes.
+fn worker_thread(shared: Shared<'_>, worker_id: usize, mut stream: TcpStream) {
+    let mut last_done: Option<(u32, u32, u32)> = None;
+    let mut last_ping = Instant::now();
+    loop {
+        if shared.abort.load(Ordering::Relaxed) {
+            break;
+        }
+        let popped = shared.queue.lock().unwrap().pop();
+        let Some(task_idx) = popped else {
+            if shared.done.load(Ordering::Relaxed) == shared.tasks.len() {
+                // Everything completed: release the worker, then drain to
+                // EOF so the *worker* closes first — keeping TIME_WAIT off
+                // the coordinator's side, which matters when a fixed listen
+                // port is re-bound by the experiment's next campaign.
+                let _ = wire::send(&mut stream, &Msg::Shutdown);
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                let mut sink = [0u8; 256];
+                while matches!(std::io::Read::read(&mut stream, &mut sink), Ok(n) if n > 0) {}
+                break;
+            }
+            // Queue empty but tasks still in flight elsewhere: a lost worker
+            // may yet requeue one, so stay available — and probe liveness
+            // about once a second (fire-and-forget; the Pong reply is
+            // absorbed by the next task's reply loop) so a dead socket is
+            // noticed while idle, not when a requeue finally lands on it.
+            if last_ping.elapsed() >= Duration::from_secs(1) {
+                last_ping = Instant::now();
+                if wire::send(&mut stream, &Msg::Ping).is_err() {
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        };
+        let task = &shared.tasks[task_idx];
+        match run_task(
+            &mut stream,
+            task,
+            shared.work,
+            shared.spec,
+            shared.task_timeout,
+            &mut last_done,
+        ) {
+            Ok(preds) => {
+                // Persist before counting done: a coordinator killed right
+                // here resumes with this shard already checkpointed.
+                if let Some(ck) = shared.ckpt {
+                    ck.record(task, &preds);
+                }
+                *shared.results[task_idx].lock().unwrap() = Some(preds);
+                last_ping = Instant::now();
+                if shared.spec.verbose {
+                    // stderr lock held across count + write => strictly
+                    // monotonic done/total lines, with per-worker
+                    // attribution for debuggability.
+                    let mut err = std::io::stderr().lock();
+                    let finished = shared.done.fetch_add(1, Ordering::Relaxed) + 1;
+                    let _ = writeln!(
+                        err,
+                        "  fi {}/{} [worker {}]: item {} images {}..{}",
+                        finished,
+                        shared.tasks.len(),
+                        worker_id,
+                        task.work_id,
+                        task.range.start,
+                        task.range.end,
+                    );
+                } else {
+                    shared.done.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(TaskError::WorkerLost(e)) => {
+                // The shard is requeued for a surviving (or re-admitted)
+                // worker; this connection is done.
+                shared.queue.lock().unwrap().push(task_idx);
+                if shared.spec.verbose {
+                    eprintln!(
+                        "  worker {worker_id} lost mid-shard \
+                         (item {} images {}..{}): {e}; requeued",
+                        task.work_id, task.range.start, task.range.end,
+                    );
+                }
+                break;
+            }
+            Err(TaskError::Fatal(e)) => {
+                // Deterministic failure: no point retrying it on another
+                // worker. Stop the fleet.
+                let mut slot = shared.fatal.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(e);
+                }
+                shared.abort.store(true, Ordering::SeqCst);
+                break;
+            }
+        }
     }
-    let clean_preds = &per_item[0];
-    let baseline_accuracy = nvfi::campaign::prediction_accuracy(clean_preds, &eval.labels);
-    let mut records = Vec::with_capacity(work.len() - 1);
-    for (item, preds) in work.iter().zip(&per_item).skip(1) {
-        let (targets, kind) = item.as_ref().expect("non-baseline items carry a fault");
-        // The shared fold of nvfi::campaign — bit-identity with the
-        // in-process path is structural, not a re-implementation.
-        records.push(FiRecord::from_preds(
-            targets.clone(),
-            *kind,
-            preds,
-            clean_preds,
-            &eval.labels,
-            baseline_accuracy,
-        ));
-    }
-    let total_inferences = (records.len() as u64 + 1) * eval.len() as u64;
-    Ok(CampaignResult {
-        baseline_accuracy,
-        records,
-        total_inferences,
-        wall_seconds: start.elapsed().as_secs_f64(),
-    })
+    shared.active.fetch_sub(1, Ordering::SeqCst);
 }
 
 /// Why one task attempt ended.
 enum TaskError {
-    /// The socket broke — the worker process is gone; requeue the shard.
+    /// The connection is no longer trustworthy — the worker died, stalled
+    /// past the timeout, or the transport corrupted a frame. Requeue the
+    /// shard; a reconnecting worker gets re-admitted.
     WorkerLost(std::io::Error),
     /// A deterministic error that retrying elsewhere would reproduce.
     Fatal(DistError),
 }
 
-/// Sends one task to a worker and awaits its predictions. With a
+/// Sends one task to a worker and awaits its predictions, absorbing
+/// [`Msg::Pong`] heartbeats (each restarts the `task_timeout` silence
+/// window — a slow worker that keeps heartbeating never times out) and
+/// chaos-duplicated replays of the previously completed shard. With a
 /// `task_timeout`, a reply that never comes (stalled worker, silently
-/// partitioned link — no RST, so not a socket error) surfaces as a timed-out
-/// read and the worker is treated as lost, instead of blocking the campaign
-/// forever.
+/// partitioned link — no RST, so not a socket error) surfaces as a
+/// timed-out read and the worker is treated as lost, instead of blocking
+/// the campaign forever.
 fn run_task(
     stream: &mut TcpStream,
     task: &Task,
     work: &[Option<(Vec<MultId>, FaultKind)>],
     spec: &CampaignSpec,
     task_timeout: Option<Duration>,
+    last_done: &mut Option<(u32, u32, u32)>,
 ) -> Result<Vec<u8>, TaskError> {
     let fault = work[task.work_id]
         .as_ref()
@@ -558,37 +934,69 @@ fn run_task(
     if task_timeout.is_some() {
         let _ = stream.set_read_timeout(task_timeout);
     }
-    let reply = wire::recv(stream);
-    if task_timeout.is_some() {
-        let _ = stream.set_read_timeout(None);
-    }
-    match reply {
-        Ok(Msg::ShardDone {
-            work_id,
-            start,
-            end,
-            preds,
-        }) => {
-            if work_id as usize != task.work_id
-                || start as usize != task.range.start
-                || end as usize != task.range.end
-            {
-                return Err(TaskError::Fatal(DistError::Protocol(
+    let result = loop {
+        match wire::recv(stream) {
+            // Heartbeat (or a stale idle-probe reply): proof of life. The
+            // per-recv timeout restarts, which is exactly the liveness
+            // contract — silence times out, progress does not.
+            Ok(Msg::Pong) => continue,
+            Ok(Msg::ShardDone {
+                work_id,
+                start,
+                end,
+                preds,
+            }) => {
+                let key = (work_id, start, end);
+                if *last_done == Some(key) {
+                    // A chaos-duplicated replay of the previous completion:
+                    // already merged, skip it.
+                    continue;
+                }
+                if work_id as usize == task.work_id
+                    && start as usize == task.range.start
+                    && end as usize == task.range.end
+                {
+                    *last_done = Some(key);
+                    break Ok(preds);
+                }
+                // A completion for a shard this connection doesn't own: the
+                // stream is out of step (dropped/duplicated frames). Drop
+                // the connection and requeue — never merge it.
+                break Err(TaskError::WorkerLost(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
                     "shard reply does not match the assigned task",
                 )));
             }
-            Ok(preds)
+            Ok(Msg::WorkerErr { message }) => {
+                break Err(TaskError::Fatal(DistError::Worker(message)))
+            }
+            Ok(_) => {
+                break Err(TaskError::WorkerLost(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "message outside the session lifecycle",
+                )))
+            }
+            Err(DistError::Io(e)) => break Err(TaskError::WorkerLost(e)),
+            // A CRC-failed frame is transport corruption, not a worker bug:
+            // drop the connection, requeue, let re-admission replace it.
+            Err(DistError::Wire(e @ WireError::Crc { .. })) => {
+                break Err(TaskError::WorkerLost(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    e.to_string(),
+                )))
+            }
+            Err(e) => break Err(TaskError::Fatal(e)),
         }
-        Ok(Msg::WorkerErr { message }) => Err(TaskError::Fatal(DistError::Worker(message))),
-        Ok(_) => Err(TaskError::Fatal(DistError::Protocol(
-            "expected ShardDone or WorkerErr",
-        ))),
-        Err(DistError::Io(e)) => Err(TaskError::WorkerLost(e)),
-        Err(e) => Err(TaskError::Fatal(e)),
+    };
+    if task_timeout.is_some() {
+        let _ = stream.set_read_timeout(None);
     }
+    result
 }
 
-/// Accepts and handshakes `n` workers within `timeout`.
+/// Accepts and handshakes `n` workers within `timeout` (the initial fleet
+/// raise; afterwards the acceptor thread owns the listener, which it leaves
+/// in the non-blocking mode set here).
 fn accept_fleet(
     listener: &TcpListener,
     n: usize,

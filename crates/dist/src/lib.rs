@@ -25,9 +25,10 @@
 //!   | <-- Weights{regions} --------- |   (DRAM weight image, ONCE)
 //!   | <-- EvalSet{shape, i8 data} -- |   (quantized eval set, ONCE)
 //!   | <-- Work{id, range, fault} --- |   (one frame per assigned shard)
+//!   | --- Pong --------------------> |   (heartbeat between compute waves)
 //!   | --- ShardDone{id, preds} ----> |
 //!   |            ...                 |
-//!   | <-- Shutdown ----------------- |
+//!   | <-- Shutdown ----------------- |   (or Goodbye{reason}: turned away)
 //! ```
 //!
 //! The plan + weight image + evaluation set are serialized exactly **once
@@ -43,15 +44,18 @@
 //! Frames are length-prefixed binary, all integers **little-endian**:
 //!
 //! ```text
-//! frame   := len:u32 payload[len]          (len <= MAX_FRAME_BYTES)
+//! frame   := len:u32 payload[len] crc:u32  (len <= MAX_FRAME_BYTES)
 //! payload := tag:u8 body                   (tag picks the message type)
+//! crc     := CRC-32 (IEEE) of payload      (since wire version 2)
 //! ```
 //!
 //! Bodies are fixed field sequences (see [`wire::Msg`]); variable-length
 //! fields carry a `u64` element count, validated against the bytes actually
 //! remaining before anything is allocated, so a truncated or corrupt frame
 //! is rejected with a [`WireError`] instead of a panic or an OOM. Trailing
-//! bytes after a body are also rejected — a frame must parse exactly.
+//! bytes after a body are also rejected — a frame must parse exactly. A
+//! frame whose CRC trailer does not match is a named [`WireError::Crc`]:
+//! a flipped bit in transit is *diagnosed*, never silently mis-decoded.
 //!
 //! **Versioning rule:** [`wire::WIRE_VERSION`] is bumped on *any* change to
 //! the frame layout, a message body, or an enum encoding (fault kinds,
@@ -73,6 +77,24 @@
 //! shard is requeued on a surviving worker) all leave the records
 //! unchanged; `tests/dist_parity.rs` asserts each of these.
 //!
+//! # Failure model
+//!
+//! The fabric is built to survive a hostile transport and prove it: the
+//! [`chaos`] module wraps any stream in a deterministic fault injector
+//! (connection drops mid-frame, stalls, bit flips, truncation, duplicated
+//! frames — seeded via `NVFI_CHAOS_SEED` / scripted via `NVFI_CHAOS_PLAN`),
+//! and the coordinator answers every injected class: CRC-failed or
+//! out-of-lifecycle frames drop the connection and requeue the shard,
+//! [`Msg::Pong`](wire::Msg::Pong) heartbeats keep slow-but-alive shards
+//! from timing out while [`FleetSpec::task_timeout`] kills genuinely
+//! stalled ones, crashed workers reconnect with capped-backoff and are
+//! **re-admitted** mid-campaign (or turned away with a versioned
+//! `Goodbye`), total fleet loss either fails the campaign or degrades to
+//! the bit-identical in-process run ([`OnFleetLost`]), and a killed
+//! coordinator **resumes** from a CRC-sealed [`checkpoint`] redoing only
+//! unfinished shards. See `crates/dist/README.md` and the [`coordinator`]
+//! module docs for the full failure model.
+//!
 //! # Entry points
 //!
 //! * [`run_campaign`] — the coordinator: spawn/attach workers, ship the
@@ -88,10 +110,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod checkpoint;
 pub mod codec;
 pub mod coordinator;
 pub mod wire;
 pub mod worker;
 
+pub use chaos::{ChaosPlan, ChaosStream};
+pub use checkpoint::Checkpoint;
 pub use codec::WireError;
-pub use coordinator::{run_campaign, DistError, FleetSpec, WorkerSpawn};
+pub use coordinator::{run_campaign, DistError, FleetSpec, OnFleetLost, WorkerSpawn};
+pub use worker::ServeEnd;

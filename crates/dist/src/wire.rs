@@ -20,7 +20,14 @@ use crate::coordinator::DistError;
 /// Wire protocol version. **Bump on any change** to the frame layout, a
 /// message body, or an enum encoding — the `Hello` exchange rejects a
 /// mismatch on both sides.
-pub const WIRE_VERSION: u32 = 1;
+///
+/// v2: every frame carries a trailing CRC32 over its payload, and the
+/// message set gains [`Msg::Ping`]/[`Msg::Pong`] liveness heartbeats and
+/// the [`Msg::Goodbye`] clean rejection. A v1 endpoint fails its very
+/// first v2 frame with a named [`WireError::Crc`]/framing error instead of
+/// mis-decoding traffic — frame-layout changes are exactly what the
+/// version bump is for.
+pub const WIRE_VERSION: u32 = 2;
 
 /// `Hello` magic: the bytes `NVFI`, read as a little-endian u32.
 pub const WIRE_MAGIC: u32 = u32::from_le_bytes(*b"NVFI");
@@ -39,8 +46,11 @@ const TAG_WEIGHTS: u8 = 0x03;
 const TAG_EVAL_SET: u8 = 0x04;
 const TAG_WORK: u8 = 0x05;
 const TAG_SHUTDOWN: u8 = 0x06;
+const TAG_PING: u8 = 0x07;
+const TAG_GOODBYE: u8 = 0x08;
 const TAG_SHARD_DONE: u8 = 0x11;
 const TAG_WORKER_ERR: u8 = 0x12;
+const TAG_PONG: u8 = 0x13;
 
 // Serialize-once probes (in the spirit of
 // `nvfi_quant::batch::quantization_passes`): a campaign must encode its
@@ -202,6 +212,21 @@ pub enum Msg {
     },
     /// Session over; the worker exits cleanly.
     Shutdown,
+    /// Liveness probe. The coordinator pings idle workers between tasks; a
+    /// worker replies [`Msg::Pong`].
+    Ping,
+    /// Liveness reply/heartbeat. Sent in answer to [`Msg::Ping`], and
+    /// **unsolicited** by a worker between compute waves of a long shard —
+    /// so a `task_timeout` distinguishes a *stalled* worker (silence) from
+    /// a *slow* one (heartbeats keep arriving).
+    Pong,
+    /// Clean rejection of a connected peer (campaign already complete,
+    /// re-admission cap reached). The worker stops reconnecting instead of
+    /// being left in TCP limbo.
+    Goodbye {
+        /// Why the peer was turned away.
+        reason: String,
+    },
     /// A completed shard's predictions, one class byte per image of
     /// `start..end`.
     ShardDone {
@@ -294,6 +319,12 @@ impl Msg {
                 }
             }
             Msg::Shutdown => e.u8(TAG_SHUTDOWN),
+            Msg::Ping => e.u8(TAG_PING),
+            Msg::Pong => e.u8(TAG_PONG),
+            Msg::Goodbye { reason } => {
+                e.u8(TAG_GOODBYE);
+                e.str(reason);
+            }
             Msg::ShardDone {
                 work_id,
                 start,
@@ -449,6 +480,11 @@ impl Msg {
                 }
             }
             TAG_SHUTDOWN => Msg::Shutdown,
+            TAG_PING => Msg::Ping,
+            TAG_PONG => Msg::Pong,
+            TAG_GOODBYE => Msg::Goodbye {
+                reason: d.str("goodbye reason")?,
+            },
             TAG_SHARD_DONE => {
                 let work_id = d.u32("done work id")?;
                 let start = d.u32("done start")?;
@@ -575,7 +611,11 @@ fn decode_kind(d: &mut Dec) -> Result<FaultKind, WireError> {
 // Frame I/O
 // ---------------------------------------------------------------------------
 
-/// Writes one frame: a u32 little-endian payload length, then the payload.
+/// Writes one frame: a u32 little-endian payload length, the payload, then
+/// a CRC32 trailer over the payload (v2 frame layout — see
+/// [`crate::codec::crc32`]). One `flush` per frame, so stream wrappers
+/// (e.g. [`crate::chaos::ChaosStream`]) can treat flush as the frame
+/// boundary.
 ///
 /// # Errors
 ///
@@ -593,29 +633,40 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     );
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)?;
+    w.write_all(&crate::codec::crc32(payload).to_le_bytes())?;
     w.flush()
 }
 
-/// Reads one frame's payload. A length prefix above [`MAX_FRAME_BYTES`] is
-/// rejected before any allocation; a stream that ends mid-frame surfaces as
+/// Reads one frame's payload and verifies its CRC32 trailer. A length
+/// prefix above [`MAX_FRAME_BYTES`] is rejected before any allocation; a
+/// stream that ends mid-frame surfaces as
 /// [`io::ErrorKind::UnexpectedEof`] — an error, never a panic.
 ///
 /// # Errors
 ///
-/// Propagates socket errors; oversized lengths map to
-/// [`io::ErrorKind::InvalidData`].
-pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+/// [`DistError::Io`] on socket errors (oversized lengths map to
+/// [`io::ErrorKind::InvalidData`]); [`DistError::Wire`] with a named
+/// [`WireError::Crc`] when the trailer does not match the payload — flipped
+/// bits are an integrity error, never silently-decoded garbage.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, DistError> {
     let mut len = [0u8; 4];
-    r.read_exact(&mut len)?;
+    r.read_exact(&mut len).map_err(DistError::Io)?;
     let len = u32::from_le_bytes(len);
     if len > MAX_FRAME_BYTES {
-        return Err(io::Error::new(
+        return Err(DistError::Io(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("frame length {len} exceeds the {MAX_FRAME_BYTES}-byte bound"),
-        ));
+        )));
     }
     let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
+    r.read_exact(&mut payload).map_err(DistError::Io)?;
+    let mut stored = [0u8; 4];
+    r.read_exact(&mut stored).map_err(DistError::Io)?;
+    let stored = u32::from_le_bytes(stored);
+    let computed = crate::codec::crc32(&payload);
+    if stored != computed {
+        return Err(DistError::Wire(WireError::Crc { stored, computed }));
+    }
     Ok(payload)
 }
 
@@ -633,9 +684,9 @@ pub fn send(w: &mut impl Write, msg: &Msg) -> io::Result<()> {
 /// # Errors
 ///
 /// [`DistError::Io`] on socket errors (including truncation),
-/// [`DistError::Wire`] on malformed payloads.
+/// [`DistError::Wire`] on malformed or CRC-failed payloads.
 pub fn recv(r: &mut impl Read) -> Result<Msg, DistError> {
-    let payload = read_frame(r).map_err(DistError::Io)?;
+    let payload = read_frame(r)?;
     Msg::decode(payload).map_err(DistError::Wire)
 }
 
@@ -819,6 +870,61 @@ mod tests {
             Msg::decode(e.into_vec()),
             Err(WireError::Invalid("eval shape/pixel mismatch"))
         );
+    }
+
+    #[test]
+    fn flipped_payload_bit_is_a_named_crc_error() {
+        let msg = Msg::ShardDone {
+            work_id: 4,
+            start: 0,
+            end: 3,
+            preds: vec![1, 2, 3],
+        };
+        let mut buf = Vec::new();
+        send(&mut buf, &msg).unwrap();
+        // Flip one bit in every payload byte position in turn; each must be
+        // caught by the CRC trailer, never decoded as a different message.
+        for i in 4..buf.len() - 4 {
+            let mut corrupt = buf.clone();
+            corrupt[i] ^= 0x10;
+            let mut r = &corrupt[..];
+            match recv(&mut r) {
+                Err(DistError::Wire(WireError::Crc { stored, computed })) => {
+                    assert_ne!(stored, computed)
+                }
+                other => panic!("byte {i}: expected CRC error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn flipped_crc_trailer_bit_is_also_caught() {
+        let mut buf = Vec::new();
+        send(&mut buf, &Msg::Ping).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        let mut r = &buf[..];
+        assert!(matches!(
+            recv(&mut r),
+            Err(DistError::Wire(WireError::Crc { .. }))
+        ));
+    }
+
+    #[test]
+    fn heartbeats_and_goodbye_roundtrip() {
+        for msg in [
+            Msg::Ping,
+            Msg::Pong,
+            Msg::Goodbye {
+                reason: "campaign complete".into(),
+            },
+        ] {
+            let mut buf = Vec::new();
+            send(&mut buf, &msg).unwrap();
+            let mut r = &buf[..];
+            assert_eq!(recv(&mut r).unwrap(), msg);
+            assert!(r.is_empty());
+        }
     }
 
     #[test]

@@ -6,10 +6,20 @@
 //!
 //! * **self-exec** — the coordinator re-executes its own binary with
 //!   [`ENV_CONNECT`] set; that binary's `main` starts with
-//!   [`maybe_serve`], which hijacks the process into [`serve_addr`];
+//!   [`maybe_serve`], which hijacks the process into a serve/reconnect
+//!   loop;
 //! * the **`nvfi_worker` binary** of this crate, spawned locally or started
 //!   by hand on another host (`nvfi_worker <coordinator-addr>`);
 //! * any embedder calling [`serve`] on a stream it connected itself.
+//!
+//! Every socket-owning entry point wraps its stream in
+//! [`crate::chaos::ChaosStream::wrap_env`], so the chaos env knobs
+//! (`NVFI_CHAOS_SEED` / `NVFI_CHAOS_PLAN`) can perturb any worker session
+//! without code changes. Transient session failures — the coordinator
+//! restarting, a chaos-injected drop, a corrupted frame — make the worker
+//! **reconnect with capped exponential backoff** and be re-admitted by the
+//! coordinator's persistent listener, instead of dying and shrinking the
+//! fleet for good.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -18,9 +28,13 @@ use std::time::Duration;
 use nvfi::{DevicePool, EmulationPlatform, QuantizedEvalSet};
 use nvfi_accel::FaultConfig;
 use nvfi_tensor::{Shape4, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
+use crate::chaos::ChaosStream;
+use crate::codec::WireError;
 use crate::coordinator::DistError;
-use crate::wire::{self, Msg};
+use crate::wire::{self, Msg, WireFault};
 
 /// Environment variable carrying the coordinator address a worker process
 /// must connect to (consumed by [`maybe_serve`] and the `nvfi_worker` bin).
@@ -36,34 +50,84 @@ pub const ENV_EXIT_AFTER: &str = "NVFI_WORKER_EXIT_AFTER";
 /// a crash in test logs).
 pub const EXIT_AFTER_CODE: i32 = 17;
 
+/// How a worker session ended cleanly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeEnd {
+    /// The coordinator sent [`Msg::Shutdown`]: the session ran to the end
+    /// of its campaign. Long-lived workers reconnect for the next one.
+    Shutdown,
+    /// The coordinator sent [`Msg::Goodbye`] — connected, versioned, and
+    /// turned away with a reason (campaign already complete, re-admission
+    /// cap reached). Not an error: the worker was *told*, not left hanging.
+    Goodbye(String),
+}
+
+/// Capped exponential backoff with equal jitter: attempt `n` sleeps
+/// between half and all of `min(100ms << n, 5s)`. The jitter keeps a fleet
+/// of workers that lost the same coordinator from reconnecting in
+/// lockstep.
+fn backoff_delay(attempt: u32, rng: &mut StdRng) -> Duration {
+    let ceil_ms = (100u64 << attempt.min(10)).min(5_000);
+    Duration::from_millis(ceil_ms / 2 + rng.gen_range(0..=ceil_ms / 2))
+}
+
 /// Self-exec hook: when [`ENV_CONNECT`] is set, the process is a spawned
-/// worker — connect, serve the session, and **exit** (status 0 on a clean
-/// shutdown, 1 on error). When unset, returns immediately. Call this first
-/// thing in `main` of any binary that coordinates with
-/// [`crate::WorkerSpawn::SelfExec`].
+/// worker — connect, serve sessions, and **exit** (status 0 on a clean
+/// shutdown or goodbye, 1 on a deterministic error). When unset, returns
+/// immediately. Call this first thing in `main` of any binary that
+/// coordinates with [`crate::WorkerSpawn::SelfExec`].
+///
+/// A *transient* session failure (socket error, CRC-failed frame — the
+/// coordinator restarting, or the chaos harness at work) does not kill the
+/// process: the worker backs off and reconnects, up to a bounded number of
+/// attempts, and the coordinator's persistent listener re-admits it
+/// mid-campaign.
 pub fn maybe_serve() {
     let Ok(addr) = std::env::var(ENV_CONNECT) else {
         return;
     };
-    match serve_addr(&addr) {
-        Ok(()) => std::process::exit(0),
-        Err(e) => {
-            eprintln!("nvfi worker ({addr}): {e}");
-            std::process::exit(1);
+    let mut rng = StdRng::seed_from_u64(u64::from(std::process::id()));
+    let mut attempt = 0u32;
+    loop {
+        let result = connect_retry(&addr, Duration::from_secs(5)).and_then(|stream| {
+            let mut stream = ChaosStream::wrap_env(stream);
+            serve(&mut stream)
+        });
+        match result {
+            Ok(ServeEnd::Shutdown) => std::process::exit(0),
+            Ok(ServeEnd::Goodbye(reason)) => {
+                eprintln!("nvfi worker ({addr}): released by coordinator: {reason}");
+                std::process::exit(0);
+            }
+            Err(DistError::Io(_) | DistError::Wire(WireError::Crc { .. })) if attempt < 16 => {
+                attempt += 1;
+                let delay = backoff_delay(attempt, &mut rng);
+                eprintln!(
+                    "nvfi worker ({addr}): transient session failure, \
+                     reconnect attempt {attempt} in {delay:?}"
+                );
+                std::thread::sleep(delay);
+            }
+            Err(e) => {
+                eprintln!("nvfi worker ({addr}): {e}");
+                std::process::exit(1);
+            }
         }
     }
 }
 
-/// Connects to a coordinator and serves one session.
+/// Connects to a coordinator and serves one session (chaos-wrapped; see the
+/// module docs).
 ///
 /// # Errors
 ///
 /// [`DistError::Spawn`] if the coordinator is unreachable; session errors
 /// per [`serve`].
-pub fn serve_addr(addr: &str) -> Result<(), DistError> {
+pub fn serve_addr(addr: &str) -> Result<ServeEnd, DistError> {
     // The coordinator binds before spawning, so the first attempt usually
     // lands; the retry window covers slow cross-host starts.
-    let mut stream = connect_retry(addr, Duration::from_secs(5))?;
+    let stream = connect_retry(addr, Duration::from_secs(5))?;
+    let mut stream = ChaosStream::wrap_env(stream);
     serve(&mut stream)
 }
 
@@ -75,26 +139,61 @@ pub fn serve_addr(addr: &str) -> Result<(), DistError> {
 /// for the reconnect window after at least one served session (experiment
 /// over); an unreachable coordinator *before* any session is an error.
 ///
+/// Transient session failures (socket errors, CRC-failed frames) are
+/// retried with capped exponential backoff — each retry logged with its
+/// attempt count — instead of the former tight 100 ms loop, so a dead
+/// coordinator does not spin a hot core during teardown. A [`Msg::Goodbye`]
+/// is logged and followed by a reconnect pause: for a per-campaign
+/// rejection (campaign complete, cap reached) the next campaign of the same
+/// experiment may still want this worker, and the loop's normal
+/// connect-window exit ends it once nothing listens any more.
+///
 /// # Errors
 ///
-/// [`DistError::Spawn`] if the first session never connects; session
-/// errors per [`serve`].
+/// [`DistError::Spawn`] if the first session never connects; deterministic
+/// session errors per [`serve`].
 pub fn serve_forever(addr: &str) -> Result<(), DistError> {
     let mut sessions = 0u64;
+    let mut attempt = 0u32;
+    let mut rng = StdRng::seed_from_u64(u64::from(std::process::id()));
     loop {
         match connect_retry(addr, Duration::from_secs(60)) {
-            Ok(mut stream) => match serve(&mut stream) {
-                Ok(()) => sessions += 1,
-                // An I/O failure after a served session is the coordinator
-                // tearing down (e.g. we reconnected into a dying listener's
-                // TCP backlog and the socket died before the handshake) —
-                // retry; once nothing listens any more, connect_retry's
-                // window ends the loop cleanly.
-                Err(DistError::Io(_)) if sessions > 0 => {
-                    std::thread::sleep(Duration::from_millis(100));
+            Ok(stream) => {
+                let mut stream = ChaosStream::wrap_env(stream);
+                match serve(&mut stream) {
+                    Ok(ServeEnd::Shutdown) => {
+                        sessions += 1;
+                        attempt = 0;
+                    }
+                    Ok(ServeEnd::Goodbye(reason)) => {
+                        attempt += 1;
+                        let delay = backoff_delay(attempt, &mut rng);
+                        eprintln!(
+                            "nvfi worker ({addr}): turned away ({reason}); \
+                             retrying for a later campaign in {delay:?}"
+                        );
+                        std::thread::sleep(delay);
+                    }
+                    // Transient transport failure — the coordinator tearing
+                    // down, restarting, or the chaos harness at work. Back
+                    // off and reconnect (even on the very first session: the
+                    // chaos harness can kill that one too); once nothing
+                    // listens any more, connect_retry's window ends the loop
+                    // cleanly.
+                    Err(DistError::Io(_) | DistError::Wire(WireError::Crc { .. }))
+                        if attempt < 16 =>
+                    {
+                        attempt += 1;
+                        let delay = backoff_delay(attempt, &mut rng);
+                        eprintln!(
+                            "nvfi worker ({addr}): transient session failure, \
+                             reconnect attempt {attempt} in {delay:?}"
+                        );
+                        std::thread::sleep(delay);
+                    }
+                    Err(e) => return Err(e),
                 }
-                Err(e) => return Err(e),
-            },
+            }
             Err(e) => {
                 return if sessions > 0 { Ok(()) } else { Err(e) };
             }
@@ -135,6 +234,9 @@ struct Session {
     pool: Option<DevicePool>,
     /// The shipped, already-quantized evaluation set.
     qset: Option<QuantizedEvalSet>,
+    /// Heartbeat wave: images computed between [`Msg::Pong`] heartbeats of
+    /// a long shard (one full pass of the local pool).
+    wave: usize,
 }
 
 /// Serves one coordinator session on `stream`: handshake, session setup,
@@ -143,12 +245,20 @@ struct Session {
 /// error is returned, so the coordinator can distinguish them from a worker
 /// death.
 ///
+/// During a shard the worker emits an **unsolicited [`Msg::Pong`]
+/// heartbeat** after each compute wave (`local_devices × shard
+/// granularity` images), so a coordinator `task_timeout` distinguishes a
+/// stalled worker (silence) from a slow one (heartbeats keep arriving).
+/// The shard itself is computed in those same waves; per-image inference
+/// is independent and each wave is bit-identical to the corresponding
+/// slice of a whole-shard run, so chunking never changes a prediction.
+///
 /// # Errors
 ///
 /// [`DistError::Wire`] on a version mismatch or malformed frame,
 /// [`DistError::Io`] when the coordinator goes away, [`DistError::Platform`]
 /// on device errors.
-pub fn serve<S: Read + Write>(stream: &mut S) -> Result<(), DistError> {
+pub fn serve<S: Read + Write>(stream: &mut S) -> Result<ServeEnd, DistError> {
     wire::client_hello(stream)?;
     let exit_after: Option<u64> = std::env::var(ENV_EXIT_AFTER)
         .ok()
@@ -156,39 +266,106 @@ pub fn serve<S: Read + Write>(stream: &mut S) -> Result<(), DistError> {
     let mut served = 0u64;
     let mut session = Session::default();
     loop {
-        let msg = wire::recv(stream)?;
-        let step = match msg {
-            Msg::Shutdown => return Ok(()),
+        match wire::recv(stream)? {
+            Msg::Shutdown => return Ok(ServeEnd::Shutdown),
+            Msg::Goodbye { reason } => return Ok(ServeEnd::Goodbye(reason)),
+            Msg::Ping => {
+                wire::send(stream, &Msg::Pong).map_err(DistError::Io)?;
+            }
             Msg::Work { .. } if exit_after == Some(served) => {
                 // Deliberate mid-shard death (test hook): the shard was
                 // accepted but never answered, so the coordinator must
                 // requeue it.
                 std::process::exit(EXIT_AFTER_CODE);
             }
-            msg => handle(&mut session, msg),
-        };
-        match step {
-            Ok(Some(reply)) => {
-                wire::send(stream, &reply).map_err(DistError::Io)?;
-                served += 1;
-            }
-            Ok(None) => {}
-            Err(e) => {
-                let _ = wire::send(
-                    stream,
-                    &Msg::WorkerErr {
-                        message: e.to_string(),
-                    },
-                );
-                return Err(e);
+            Msg::Work {
+                work_id,
+                start,
+                end,
+                fault,
+                window,
+            } => match run_shard(&mut session, stream, work_id, start, end, fault, window) {
+                Ok(reply) => {
+                    wire::send(stream, &reply).map_err(DistError::Io)?;
+                    served += 1;
+                }
+                Err(e) => return report_and_fail(stream, e),
+            },
+            msg => {
+                if let Err(e) = handle(&mut session, msg) {
+                    return report_and_fail(stream, e);
+                }
             }
         }
     }
 }
 
-/// Applies one coordinator frame to the session, returning the reply to
-/// send (only [`Msg::Work`] has one).
-fn handle(session: &mut Session, msg: Msg) -> Result<Option<Msg>, DistError> {
+/// Reports a deterministic failure to the coordinator, then returns it.
+fn report_and_fail<S: Read + Write>(stream: &mut S, e: DistError) -> Result<ServeEnd, DistError> {
+    let _ = wire::send(
+        stream,
+        &Msg::WorkerErr {
+            message: e.to_string(),
+        },
+    );
+    Err(e)
+}
+
+/// Computes one shard in heartbeat waves (see [`serve`]), returning the
+/// [`Msg::ShardDone`] reply.
+fn run_shard<S: Read + Write>(
+    session: &mut Session,
+    stream: &mut S,
+    work_id: u32,
+    start: u32,
+    end: u32,
+    fault: Option<WireFault>,
+    window: Option<std::ops::Range<u64>>,
+) -> Result<Msg, DistError> {
+    let pool = session
+        .pool
+        .as_mut()
+        .ok_or(DistError::Protocol("work before session setup"))?;
+    let qset = session
+        .qset
+        .as_ref()
+        .ok_or(DistError::Protocol("work before eval set"))?;
+    let (start, end) = (start as usize, end as usize);
+    if end > qset.len() {
+        return Err(DistError::Protocol("shard range outside the eval set"));
+    }
+    pool.clear_faults();
+    if let Some(f) = &fault {
+        pool.inject(&FaultConfig::new(f.targets(), f.kind));
+    }
+    if window.is_some() {
+        pool.set_fault_window(window)?;
+    }
+    let wave = session.wave.max(1);
+    let mut preds = Vec::with_capacity(end - start);
+    let mut at = start;
+    while at < end {
+        let stop = (at + wave).min(end);
+        preds.extend(pool.classify_i8_range(qset, at..stop)?);
+        at = stop;
+        if at < end {
+            // Heartbeat between waves: proof of life, not completion. The
+            // coordinator's reply loop absorbs any number of these.
+            wire::send(stream, &Msg::Pong).map_err(DistError::Io)?;
+        }
+    }
+    pool.clear_faults();
+    Ok(Msg::ShardDone {
+        work_id,
+        start: start as u32,
+        end: end as u32,
+        preds,
+    })
+}
+
+/// Applies one coordinator *setup* frame to the session ([`Msg::Work`],
+/// heartbeats and session-ending frames are handled in [`serve`] itself).
+fn handle(session: &mut Session, msg: Msg) -> Result<(), DistError> {
     match msg {
         Msg::Plan {
             config,
@@ -197,11 +374,14 @@ fn handle(session: &mut Session, msg: Msg) -> Result<Option<Msg>, DistError> {
         } => {
             let plan = nvfi_compiler::plan::decode_words(&words)
                 .map_err(|_| DistError::Protocol("plan words do not decode"))?;
-            session.device = Some(EmulationPlatform::from_plan(plan, config.into())?);
+            let platform_config: nvfi::PlatformConfig = config.into();
+            session.wave =
+                (local_devices as usize).max(1) * DevicePool::granularity(&platform_config);
+            session.device = Some(EmulationPlatform::from_plan(plan, platform_config)?);
             session.local_devices = local_devices as usize;
             session.pool = None;
             session.qset = None;
-            Ok(None)
+            Ok(())
         }
         Msg::Weights { regions } => {
             let device = session
@@ -212,7 +392,7 @@ fn handle(session: &mut Session, msg: Msg) -> Result<Option<Msg>, DistError> {
                 .accel_mut()
                 .import_weight_image(&regions)
                 .map_err(|e| DistError::Platform(e.into()))?;
-            Ok(None)
+            Ok(())
         }
         Msg::EvalSet { n, c, h, w, data } => {
             let device = session
@@ -225,46 +405,15 @@ fn handle(session: &mut Session, msg: Msg) -> Result<Option<Msg>, DistError> {
                 device,
                 session.local_devices.max(1),
             ));
-            Ok(None)
+            Ok(())
         }
-        Msg::Work {
-            work_id,
-            start,
-            end,
-            fault,
-            window,
-        } => {
-            let pool = session
-                .pool
-                .as_mut()
-                .ok_or(DistError::Protocol("work before session setup"))?;
-            let qset = session
-                .qset
-                .as_ref()
-                .ok_or(DistError::Protocol("work before eval set"))?;
-            let (start, end) = (start as usize, end as usize);
-            if end > qset.len() {
-                return Err(DistError::Protocol("shard range outside the eval set"));
-            }
-            pool.clear_faults();
-            if let Some(f) = &fault {
-                pool.inject(&FaultConfig::new(f.targets(), f.kind));
-            }
-            if window.is_some() {
-                pool.set_fault_window(window)?;
-            }
-            let preds = pool.classify_i8_range(qset, start..end)?;
-            pool.clear_faults();
-            Ok(Some(Msg::ShardDone {
-                work_id,
-                start: start as u32,
-                end: end as u32,
-                preds,
-            }))
-        }
-        Msg::Hello { .. } | Msg::ShardDone { .. } | Msg::Shutdown => {
-            Err(DistError::Protocol("unexpected message for a worker"))
-        }
+        Msg::Hello { .. }
+        | Msg::ShardDone { .. }
+        | Msg::Pong
+        | Msg::Shutdown
+        | Msg::Ping
+        | Msg::Goodbye { .. }
+        | Msg::Work { .. } => Err(DistError::Protocol("unexpected message for a worker")),
         Msg::WorkerErr { message } => Err(DistError::Worker(message)),
     }
 }

@@ -155,6 +155,9 @@ fn losing_every_worker_is_a_clear_error() {
     let die_immediately = vec![(worker::ENV_EXIT_AFTER.to_string(), "0".to_string())];
     let fleet = FleetSpec {
         worker_env: vec![die_immediately.clone(), die_immediately],
+        // Both workers are dead for good; no point granting the default 5 s
+        // re-admission window before declaring the fleet lost.
+        readmission_grace: Duration::from_millis(400),
         ..worker_fleet()
     };
     let spec = CampaignSpec {

@@ -1,9 +1,12 @@
 //! Property tests of the `nvfi-dist` wire format: every message type
-//! round-trips bit-exactly through encode/decode, and no truncation of any
-//! encoded message can panic the decoder.
+//! round-trips bit-exactly through encode/decode, no truncation of any
+//! encoded message can panic the decoder, and no [`ChaosStream`] corruption
+//! plan — bit flips, truncation, duplication, mid-frame drops, in any
+//! combination — can panic the frame reader.
 
 use nvfi_accel::FaultKind;
-use nvfi_dist::wire::{Msg, WireConfig, WireFault};
+use nvfi_dist::chaos::{ChaosAction, ChaosPlan, ChaosStream};
+use nvfi_dist::wire::{self, Msg, WireConfig, WireFault};
 use nvfi_dist::WireError;
 use proptest::prelude::*;
 
@@ -196,6 +199,72 @@ proptest! {
         let idx = byte % encoded.len();
         encoded[idx] ^= 1 << bit;
         let _ = Msg::decode(encoded); // must return, not panic
+    }
+
+    #[test]
+    fn heartbeats_and_goodbye_roundtrip_propwise(len in 0usize..120, seed in any::<u32>()) {
+        exercise(&Msg::Ping);
+        exercise(&Msg::Pong);
+        let reason: String = (0..len)
+            .map(|i| char::from(b'a' + (((i as u32).wrapping_mul(seed)) % 26) as u8))
+            .collect();
+        exercise(&Msg::Goodbye { reason });
+    }
+
+    /// Whatever corruption plan a [`ChaosStream`] applies to a frame
+    /// sequence — bit flips, truncation, duplication, mid-frame connection
+    /// drops, in any combination and order — the frame reader must only
+    /// ever return `Ok(msg)` or a named error. Never a panic, never an
+    /// unbounded allocation.
+    #[test]
+    fn chaos_mangled_streams_never_panic_the_reader(
+        raw_actions in collection::vec(
+            (0u8..4, 0u64..8, 0u64..96, 0u8..8),
+            0..6usize,
+        ),
+        preds in collection::vec(0u32..256, 0..64usize),
+    ) {
+        let actions = raw_actions
+            .iter()
+            .map(|&(tag, frame, arg, bit)| match tag {
+                0 => ChaosAction::FlipBit { frame, offset: arg, bit },
+                1 => ChaosAction::Truncate { frame, keep: arg },
+                2 => ChaosAction::Duplicate { frame },
+                _ => ChaosAction::DropMidFrame { frame, keep: arg },
+            })
+            .collect();
+        let msgs = vec![
+            Msg::Hello { version: wire::WIRE_VERSION },
+            Msg::Work {
+                work_id: 3,
+                start: 0,
+                end: preds.len() as u32,
+                fault: Some(WireFault { lanes: vec![0, 17], kind: FaultKind::StuckAtZero }),
+                window: Some(10..200),
+            },
+            Msg::ShardDone {
+                work_id: 3,
+                start: 0,
+                end: preds.len() as u32,
+                preds: preds.iter().map(|&p| p as u8).collect(),
+            },
+            Msg::Ping,
+            Msg::Shutdown,
+        ];
+        let mut mangler = ChaosStream::new(Vec::<u8>::new(), ChaosPlan { actions });
+        for msg in &msgs {
+            // A DropMidFrame plan makes later sends fail; that is the point.
+            let _ = wire::send(&mut mangler, msg);
+        }
+        let bytes = mangler.get_ref().clone();
+        let mut reader: &[u8] = &bytes;
+        // Duplication at most doubles the frame count; past that the stream
+        // is exhausted and recv must keep erroring, not spin.
+        for _ in 0..2 * msgs.len() + 1 {
+            if wire::recv(&mut reader).is_err() {
+                break; // must return (Ok or Err) — never panic
+            }
+        }
     }
 }
 
