@@ -51,6 +51,28 @@ impl FaultKind {
         let (fsel, _, xor) = self.registers();
         fsel == I18::MASK && xor == 0
     }
+
+    /// Rejects fault kinds that are provable no-ops: after 18-bit register
+    /// masking the injector mux overrides no wires and flips no bits, so a
+    /// campaign over this kind would emulate at full cost and measure
+    /// nothing (a "0% SDC" result that is an artifact of the fault program,
+    /// not the workload). `StuckBits { fsel: 0, .. }` and
+    /// `FlipBits { mask: 0 }` are the canonical offenders.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of why the kind cannot perturb any product.
+    pub fn validate(self) -> Result<(), String> {
+        let (fsel, _, xor) = self.registers();
+        if (fsel | xor) & I18::MASK == 0 {
+            return Err(format!(
+                "fault kind {self:?} is a provable no-op: after 18-bit masking \
+                 it overrides no wires (fsel = 0) and flips no bits (xor = 0), \
+                 so no multiplier product can ever be perturbed"
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// A complete fault programming: which multipliers, and what to force.
@@ -232,6 +254,27 @@ mod tests {
         assert!(FaultKind::Constant(5).is_full_override());
         assert!(!FaultKind::StuckBits { fsel: 1, fdata: 1 }.is_full_override());
         assert!(!FaultKind::FlipBits { mask: 1 }.is_full_override());
+    }
+
+    #[test]
+    fn no_op_fault_kinds_fail_validation() {
+        assert!(FaultKind::StuckBits { fsel: 0, fdata: 5 }
+            .validate()
+            .is_err());
+        assert!(FaultKind::FlipBits { mask: 0 }.validate().is_err());
+        // An out-of-mask selection is a no-op after 18-bit masking too.
+        let high = FaultKind::StuckBits {
+            fsel: 0xFFFC_0000,
+            fdata: 0x3FFFF,
+        };
+        assert!(high.validate().is_err());
+        // Everything that can touch a wire passes.
+        assert!(FaultKind::StuckAtZero.validate().is_ok());
+        assert!(FaultKind::Constant(0).validate().is_ok());
+        assert!(FaultKind::StuckBits { fsel: 1, fdata: 0 }
+            .validate()
+            .is_ok());
+        assert!(FaultKind::FlipBits { mask: 1 }.validate().is_ok());
     }
 
     #[test]

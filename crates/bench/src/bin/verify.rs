@@ -1,0 +1,58 @@
+//! Strict plan verification over the benchmark fixture models.
+//!
+//! Compiles the small (fig2-scale) and medium (fig3/Table-I-scale)
+//! fixtures, runs [`nvfi_compiler::verify::verify_plan`] over each compiled
+//! [`nvfi_compiler::ExecutionPlan`], and prints every diagnostic. With `-D`
+//! (or `--deny`) any diagnostic is fatal — the CI gate that keeps the
+//! checked-in compiler honest against its own invariant catalogue.
+//!
+//! ```text
+//! cargo run --release -p nvfi-bench --bin verify -- -D
+//! ```
+
+use std::process::ExitCode;
+
+use nvfi::PlatformConfig;
+use nvfi_bench::{medium_fixture, small_fixture};
+use nvfi_compiler::verify_plan;
+use nvfi_quant::QuantModel;
+
+fn verify_model(name: &str, model: &QuantModel) -> usize {
+    let dram = PlatformConfig::default().accel.dram_capacity;
+    let plan = match nvfi_compiler::compile(model, dram) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{name}: compile failed: {e}");
+            return 1;
+        }
+    };
+    let diags = verify_plan(&plan);
+    for d in &diags {
+        eprintln!("{name}: {d}");
+    }
+    println!(
+        "{name}: {} ops, {} diagnostic(s)",
+        plan.ops.len(),
+        diags.len()
+    );
+    diags.len()
+}
+
+fn main() -> ExitCode {
+    let deny = std::env::args().any(|a| a == "-D" || a == "--deny");
+    let mut total = 0;
+    let (small, _) = small_fixture();
+    total += verify_model("small_fixture", &small);
+    let (medium, _) = medium_fixture();
+    total += verify_model("medium_fixture", &medium);
+    if total == 0 {
+        println!("verify: all fixture plans clean");
+        ExitCode::SUCCESS
+    } else if deny {
+        eprintln!("verify: {total} diagnostic(s) (denied with -D)");
+        ExitCode::FAILURE
+    } else {
+        eprintln!("verify: {total} diagnostic(s) (warnings; pass -D to deny)");
+        ExitCode::SUCCESS
+    }
+}

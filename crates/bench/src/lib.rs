@@ -7,6 +7,8 @@
 //! finishes in minutes on one core — the *experiments* use the full-size
 //! configuration from `ExperimentConfig::from_env()`.
 
+#![forbid(unsafe_code)]
+
 use nvfi_dataset::{SynthCifar, SynthCifarConfig, TrainTest};
 use nvfi_nn::fold::fold_resnet;
 use nvfi_nn::resnet::ResNet;

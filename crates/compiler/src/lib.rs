@@ -16,7 +16,30 @@
 //! * [`regmap`] — the AXI4-Lite/CSB register addresses shared between this
 //!   compiler and the accelerator model, including the fault-injection
 //!   block (`SEL_A`, `SEL_B`, `FSEL`, `FDATA` — Fig. 1 of the paper);
-//! * [`lower`] — the entry point: [`lower::compile`].
+//! * [`lower`] — the entry point: [`lower::compile`];
+//! * [`verify`] — the IR verifier and fault-reachability analyzer.
+//!
+//! # Plan invariants
+//!
+//! Every [`ExecutionPlan`] this compiler emits upholds the invariants the
+//! campaign fabric silently relies on; [`verify::verify_plan`] re-derives
+//! each one independently and reports violations as named
+//! [`verify::VerifyDiag`]s:
+//!
+//! | Invariant name | What must hold |
+//! |---|---|
+//! | `shape-chain` | every surface an op reads is the plan input or was produced earlier at exactly the shape the reader expects; the output is a linear head with `num_classes` logits |
+//! | `surface-overlap` | activation surfaces, weight regions and the logits region are pairwise disjoint |
+//! | `surface-alignment` | every region starts on an [`alloc::ALIGN`] boundary |
+//! | `surface-bounds` | every region (and `weight_image` entry) lies inside `dram_size` |
+//! | `requant-range` | bias/requant lengths match op geometry; multipliers non-negative, shifts within `Requant::MAX_SHIFT`; input scale finite and positive |
+//! | `span-schedule` | per-op MAC-cycle spans are disjoint, contiguous, sized `op_mac_cycles(op)`, and tile `1..=total_mac_cycles()` |
+//! | `live-in` | `live_in_surfaces(b)` equals an independent recomputation of what ops `b..` read before writing |
+//! | `encode-closure` | `encode_words` → `decode_words` is the identity (modulo the weight image) and re-encodes to the same words |
+//!
+//! [`verify::fault_reachability`] builds on the same structure to classify
+//! a fault program `Reachable` or `ProvablyMasked` before any emulation
+//! runs — the first rung of differential (fault-cone) execution.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +49,10 @@ pub mod lower;
 pub mod plan;
 pub mod regmap;
 pub mod surface;
+pub mod verify;
 
 pub use lower::{compile, CompileError};
 pub use plan::{ConvOp, ExecutionPlan, LinearOp, PlanOp, PoolKind, PoolOp, RegWrite};
+pub use verify::{
+    fault_reachability, verify_plan, Invariant, MaskReason, Reachability, VerifyDiag, VerifyMode,
+};

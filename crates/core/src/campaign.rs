@@ -27,8 +27,10 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use nvfi_accel::{FaultConfig, FaultKind};
+use nvfi_accel::{FaultConfig, FaultKind, IdleLanePolicy};
 use nvfi_compiler::regmap::{MultId, TOTAL_MULTS};
+use nvfi_compiler::verify::{fault_reachability, verify_plan};
+use nvfi_compiler::ExecutionPlan;
 use nvfi_dataset::Dataset;
 use nvfi_quant::QuantModel;
 use rand::rngs::StdRng;
@@ -37,6 +39,8 @@ use rand::SeedableRng;
 
 use crate::platform::{EmulationPlatform, PlatformConfig, PlatformError};
 use crate::pool::{DevicePool, GoldenActivationCache, QuantizedEvalSet};
+
+pub use nvfi_compiler::verify::VerifyMode;
 
 /// Which multipliers each fault configuration targets.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -120,6 +124,18 @@ pub struct CampaignSpec {
     /// removed once the campaign completes. Ignored by the in-process
     /// [`Campaign::run`], which has no coordinator process to lose.
     pub checkpoint_path: Option<std::path::PathBuf>,
+    /// Static verification at plan load ([`VerifyMode::Warn`] by default):
+    /// the compiled plan is checked against the `nvfi_compiler::verify`
+    /// invariant catalogue (strict mode turns diagnostics into
+    /// [`PlatformError::Verify`], warn mode prints them), and every work
+    /// item is classified by the fault-reachability analysis — provably
+    /// masked items skip emulation entirely and their records are
+    /// synthesized from the fault-free predictions (bit-identical by
+    /// construction; counted in [`CampaignResult::masked_static`]).
+    /// [`VerifyMode::Off`] disables both. Independent of all this, fault
+    /// kinds that are provable no-ops (`FaultKind::validate`) are always
+    /// rejected up front.
+    pub verify: VerifyMode,
     /// Progress lines on stderr.
     pub verbose: bool,
 }
@@ -138,9 +154,78 @@ impl Default for CampaignSpec {
             fault_window: None,
             golden_cache_bytes: GOLDEN_CACHE_DEFAULT_BYTES,
             checkpoint_path: None,
+            verify: VerifyMode::default(),
             verbose: false,
         }
     }
+}
+
+/// Runs the plan verifier according to `mode`: [`VerifyMode::Off`] skips,
+/// [`VerifyMode::Warn`] prints every diagnostic to stderr,
+/// [`VerifyMode::Strict`] turns any diagnostic into
+/// [`PlatformError::Verify`]. Shared by [`Campaign::run`] and the
+/// `nvfi-dist` coordinator so both entry points enforce the same policy.
+///
+/// # Errors
+///
+/// Returns [`PlatformError::Verify`] in strict mode when the plan has any
+/// diagnostic.
+pub fn run_plan_verifier(plan: &ExecutionPlan, mode: VerifyMode) -> Result<(), PlatformError> {
+    if mode == VerifyMode::Off {
+        return Ok(());
+    }
+    let diags = verify_plan(plan);
+    if diags.is_empty() {
+        return Ok(());
+    }
+    if mode == VerifyMode::Strict {
+        return Err(PlatformError::Verify(format!(
+            "plan fails verification with {} diagnostic(s): {}",
+            diags.len(),
+            diags
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("; ")
+        )));
+    }
+    for d in &diags {
+        eprintln!("nvfi-verify warning: {d}");
+    }
+    Ok(())
+}
+
+/// Rejects campaign fault kinds that are provable no-ops (see
+/// [`FaultKind::validate`]) — shared by [`Campaign::run`] and the
+/// `nvfi-dist` coordinator.
+///
+/// # Errors
+///
+/// Returns [`PlatformError::Verify`] naming the offending kind.
+pub fn validate_fault_kinds(kinds: &[FaultKind]) -> Result<(), PlatformError> {
+    for k in kinds {
+        k.validate().map_err(PlatformError::Verify)?;
+    }
+    Ok(())
+}
+
+/// Whether `(targets, kind)` under `window` is provably masked on `plan`:
+/// a thin adapter from campaign-level types onto
+/// [`nvfi_compiler::verify::fault_reachability`]. `gated` is the platform's
+/// idle-lane policy. `ProvablyMasked` is sound — the exact engine cannot
+/// produce anything but the fault-free predictions — which is what lets
+/// campaigns skip these items bit-identically.
+#[must_use]
+pub fn fault_provably_masked(
+    plan: &ExecutionPlan,
+    targets: &[MultId],
+    kind: FaultKind,
+    gated: bool,
+    window: Option<&Range<u64>>,
+) -> bool {
+    let lanes: Vec<usize> = targets.iter().map(|t| t.lane()).collect();
+    let (fsel, fdata, xor) = kind.registers();
+    fault_reachability(plan, &lanes, fsel, fdata, xor, gated, window).is_provably_masked()
 }
 
 /// Per-image outcome taxonomy of one fault injection, following the usual
@@ -249,6 +334,10 @@ pub struct CampaignResult {
     pub baseline_accuracy: f64,
     /// One record per (target set, kind), in deterministic order.
     pub records: Vec<FiRecord>,
+    /// Work items the fault-reachability analysis proved masked and skipped
+    /// without emulation (their records are synthesized from the fault-free
+    /// predictions and count no inferences). `0` when verification is off.
+    pub masked_static: usize,
     /// Total emulated inferences.
     pub total_inferences: u64,
     /// Wall-clock seconds the campaign took.
@@ -382,6 +471,7 @@ impl Campaign {
             "campaign needs at least one fault kind"
         );
         assert!(spec.eval_images > 0, "campaign needs evaluation images");
+        validate_fault_kinds(&spec.kinds)?;
         // The work list: (index, targets, kind).
         let targets = Self::expand_targets(&spec.selection);
         assert!(
@@ -430,6 +520,34 @@ impl Campaign {
         // and — still fault-free — captures the golden-prefix activation
         // cache windowed work items restore from.
         let mut proto = EmulationPlatform::assemble(&self.model, self.config)?;
+        // Static verification at plan load, then fault reachability: work
+        // items the analysis proves masked never reach a device — their
+        // records are synthesized from the fault-free predictions after the
+        // fleet runs, which is bit-identical by the analysis' soundness.
+        run_plan_verifier(proto.plan(), spec.verify)?;
+        let gated = self.config.accel.idle_lanes == IdleLanePolicy::Gated;
+        let masked: Vec<bool> = if spec.verify == VerifyMode::Off {
+            vec![false; work.len()]
+        } else {
+            work.iter()
+                .map(|(_, targets, kind)| {
+                    fault_provably_masked(
+                        proto.plan(),
+                        targets,
+                        *kind,
+                        gated,
+                        spec.fault_window.as_ref(),
+                    )
+                })
+                .collect()
+        };
+        let masked_static = masked.iter().filter(|&&m| m).count();
+        if spec.verbose && masked_static > 0 {
+            eprintln!(
+                "  {masked_static}/{} work item(s) provably masked; skipping emulation",
+                work.len()
+            );
+        }
         let golden = match &spec.fault_window {
             Some(w) => {
                 proto.accel().validate_fault_window(w)?;
@@ -467,6 +585,7 @@ impl Campaign {
                 let done = &done;
                 let clean_preds = &clean_preds;
                 let golden = &golden;
+                let masked = &masked;
                 handles.push(scope.spawn(
                     move || -> Result<Vec<(usize, FiRecord)>, PlatformError> {
                         let mut local: Vec<(usize, FiRecord)> = Vec::new();
@@ -474,6 +593,11 @@ impl Campaign {
                             let idx = next.fetch_add(1, Ordering::Relaxed);
                             if idx >= work.len() {
                                 break;
+                            }
+                            if masked[idx] {
+                                // Provably masked: the record is synthesized
+                                // from the fault-free predictions after join.
+                                continue;
                             }
                             let (_, targets, kind) = &work[idx];
                             pool.inject(&FaultConfig::new(targets.clone(), *kind));
@@ -536,14 +660,33 @@ impl Campaign {
             debug_assert!(slots[idx].is_none(), "duplicate record for work item {idx}");
             slots[idx] = Some(rec);
         }
+        // Provably-masked items produce exactly the fault-free predictions,
+        // so their records fold the clean predictions against themselves —
+        // the same record the device would have produced, without running it.
+        for (idx, is_masked) in masked.iter().enumerate() {
+            if *is_masked {
+                let (_, targets, kind) = &work[idx];
+                debug_assert!(slots[idx].is_none(), "masked item {idx} was executed");
+                slots[idx] = Some(FiRecord::from_preds(
+                    targets.clone(),
+                    *kind,
+                    &clean_preds,
+                    &clean_preds,
+                    &eval.labels,
+                    baseline_accuracy,
+                ));
+            }
+        }
         let records: Vec<FiRecord> = slots
             .into_iter()
             .map(|r| r.expect("record missing"))
             .collect();
-        let total_inferences = (records.len() as u64 + 1) * eval.len() as u64;
+        let executed = records.len() - masked_static;
+        let total_inferences = (executed as u64 + 1) * eval.len() as u64;
         Ok(CampaignResult {
             baseline_accuracy,
             records,
+            masked_static,
             total_inferences,
             wall_seconds: start.elapsed().as_secs_f64(),
         })
@@ -678,6 +821,88 @@ mod tests {
         let r = &result.records[0];
         assert_eq!(r.outcomes.sdc, 0, "no selected lane => fully masked");
         assert_eq!(r.drop_pct, 0.0);
+    }
+
+    /// A single-stage width-2 net: channel counts are 3 (stem input), 2
+    /// (block convs) and 2 (head input), so multiplier lanes `j >= 3` are
+    /// idle in every MAC op — the fixture for provable-masking tests.
+    fn narrow_setup() -> (QuantModel, Dataset) {
+        let data = SynthCifar::new(SynthCifarConfig {
+            train: 16,
+            test: 12,
+            ..Default::default()
+        })
+        .generate();
+        let net = ResNet::new(2, &[1], 10, 3);
+        let deploy = fold_resnet(&net, 32);
+        let q = quantize(&deploy, &data.train.images, &QuantConfig::default()).unwrap();
+        (q, data.test)
+    }
+
+    #[test]
+    fn no_op_fault_kinds_are_rejected_up_front() {
+        let (q, eval) = setup();
+        let campaign = Campaign::new(&q, PlatformConfig::default());
+        for kind in [
+            FaultKind::StuckBits { fsel: 0, fdata: 5 },
+            FaultKind::FlipBits { mask: 0 },
+        ] {
+            let spec = CampaignSpec {
+                kinds: vec![FaultKind::StuckAtZero, kind],
+                eval_images: 2,
+                ..Default::default()
+            };
+            match campaign.run(&spec, &eval) {
+                Err(PlatformError::Verify(msg)) => {
+                    assert!(
+                        msg.contains("no-op"),
+                        "error must explain the rejection: {msg}"
+                    )
+                }
+                other => panic!("no-op kind {kind:?} must be rejected, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn provably_masked_items_prune_bit_identically() {
+        let (q, eval) = narrow_setup();
+        let campaign = Campaign::new(&q, PlatformConfig::default());
+        // Lane (0, 5): multiplier 5 is idle in every op of the narrow net
+        // and stuck-at-zero cannot perturb a zero-fed idle lane — provably
+        // masked. Lane (0, 0) is live — always executed.
+        let mk_spec = |verify| CampaignSpec {
+            selection: TargetSelection::Fixed(vec![
+                vec![MultId::new(0, 5)],
+                vec![MultId::new(0, 0)],
+            ]),
+            kinds: vec![FaultKind::StuckAtZero],
+            eval_images: 6,
+            verify,
+            ..Default::default()
+        };
+        let pruned = campaign.run(&mk_spec(VerifyMode::Warn), &eval).unwrap();
+        let full = campaign.run(&mk_spec(VerifyMode::Off), &eval).unwrap();
+        assert_eq!(pruned.masked_static, 1, "the idle-lane item is pruned");
+        assert_eq!(full.masked_static, 0, "verify off disables pruning");
+        assert_eq!(
+            pruned.records, full.records,
+            "pruning must be bit-identical to emulating the masked item"
+        );
+        assert_eq!(pruned.baseline_accuracy, full.baseline_accuracy);
+        // Only the executed items count inferences: baseline + 1 vs. + 2.
+        assert_eq!(pruned.total_inferences, 2 * 6);
+        assert_eq!(full.total_inferences, 3 * 6);
+        // The same fault with a nonzero override perturbs the zero-fed idle
+        // lane, so it must NOT be pruned.
+        let live_spec = CampaignSpec {
+            selection: TargetSelection::Fixed(vec![vec![MultId::new(0, 5)]]),
+            kinds: vec![FaultKind::Constant(1)],
+            eval_images: 6,
+            ..Default::default()
+        };
+        let live = campaign.run(&live_spec, &eval).unwrap();
+        assert_eq!(live.masked_static, 0);
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub enum PlatformError {
     Compile(CompileError),
     /// The device rejected the plan or an operation.
     Accel(AccelError),
+    /// Static verification rejected the plan or the campaign's fault
+    /// programs (strict verify mode, or a provable no-op fault kind).
+    Verify(String),
 }
 
 impl fmt::Display for PlatformError {
@@ -36,6 +39,7 @@ impl fmt::Display for PlatformError {
         match self {
             PlatformError::Compile(e) => write!(f, "platform compile error: {e}"),
             PlatformError::Accel(e) => write!(f, "platform device error: {e}"),
+            PlatformError::Verify(msg) => write!(f, "platform verification error: {msg}"),
         }
     }
 }
@@ -45,6 +49,7 @@ impl std::error::Error for PlatformError {
         match self {
             PlatformError::Compile(e) => Some(e),
             PlatformError::Accel(e) => Some(e),
+            PlatformError::Verify(_) => None,
         }
     }
 }

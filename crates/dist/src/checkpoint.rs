@@ -211,6 +211,20 @@ impl Fnv64 {
         Fnv64::default()
     }
 
+    /// A hasher pre-seeded with the wire protocol and checkpoint format
+    /// versions. Campaign fingerprints derive from this, so a resumed
+    /// coordinator can never replay shards recorded under an older
+    /// protocol: bumping [`crate::wire::WIRE_VERSION`] or
+    /// [`CHECKPOINT_VERSION`] changes every fingerprint, and the stale
+    /// checkpoint reads as "a different campaign".
+    #[must_use]
+    pub fn campaign_seed() -> Self {
+        let mut h = Fnv64::new();
+        h.write_u64(u64::from(crate::wire::WIRE_VERSION));
+        h.write_u64(u64::from(CHECKPOINT_VERSION));
+        h
+    }
+
     /// Folds `bytes` into the hash.
     pub fn write(&mut self, bytes: &[u8]) {
         for &b in bytes {
@@ -329,5 +343,29 @@ mod tests {
         let mut b = Fnv64::new();
         b.write(b"cba");
         assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn campaign_seed_folds_in_both_format_versions() {
+        // The seed differs from the plain offset basis (so fingerprints are
+        // version-qualified) and equals exactly "basis + wire version +
+        // checkpoint version" (so a bump of either invalidates checkpoints).
+        let seeded = Fnv64::campaign_seed();
+        assert_ne!(seeded.finish(), Fnv64::new().finish());
+        let mut manual = Fnv64::new();
+        manual.write_u64(u64::from(crate::wire::WIRE_VERSION));
+        manual.write_u64(u64::from(CHECKPOINT_VERSION));
+        assert_eq!(seeded.finish(), manual.finish());
+        // Deterministic across calls.
+        assert_eq!(
+            Fnv64::campaign_seed().finish(),
+            Fnv64::campaign_seed().finish()
+        );
+        // And sensitive to the version values: hashing different versions
+        // yields a different seed.
+        let mut bumped = Fnv64::new();
+        bumped.write_u64(u64::from(crate::wire::WIRE_VERSION) + 1);
+        bumped.write_u64(u64::from(CHECKPOINT_VERSION));
+        assert_ne!(seeded.finish(), bumped.finish());
     }
 }

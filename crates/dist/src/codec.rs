@@ -114,6 +114,7 @@ const CRC32_TABLE: [u32; 256] = {
             };
             bit += 1;
         }
+        // nvfi-lint: allow(decode-panic) — i < 256 loop bound, const-eval
         table[i] = crc;
         i += 1;
     }
@@ -127,6 +128,7 @@ const CRC32_TABLE: [u32; 256] = {
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = !0u32;
     for &b in bytes {
+        // nvfi-lint: allow(decode-panic) — index masked to 0..256
         crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
     }
     !crc
@@ -191,6 +193,7 @@ impl Enc {
             for (dst, &src) in chunk.iter_mut().zip(part) {
                 *dst = src as u8;
             }
+            // nvfi-lint: allow(decode-panic) — part.len() <= chunk.len() by chunks()
             self.buf.put_slice(&chunk[..part.len()]);
         }
     }

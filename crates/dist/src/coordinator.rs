@@ -48,9 +48,12 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use nvfi::campaign::{Campaign, CampaignResult, CampaignSpec, FiRecord};
+use nvfi::campaign::{
+    fault_provably_masked, run_plan_verifier, validate_fault_kinds, Campaign, CampaignResult,
+    CampaignSpec, FiRecord, VerifyMode,
+};
 use nvfi::{DevicePool, EmulationPlatform, PlatformConfig, PlatformError, QuantizedEvalSet};
-use nvfi_accel::FaultKind;
+use nvfi_accel::{FaultKind, IdleLanePolicy};
 use nvfi_compiler::regmap::MultId;
 use nvfi_dataset::Dataset;
 use nvfi_quant::QuantModel;
@@ -350,6 +353,7 @@ pub fn run_campaign(
         "campaign needs at least one fault kind"
     );
     assert!(spec.eval_images > 0, "campaign needs evaluation images");
+    validate_fault_kinds(&spec.kinds).map_err(DistError::Platform)?;
     let targets = Campaign::expand_targets(&spec.selection);
     assert!(
         !targets.is_empty(),
@@ -375,6 +379,43 @@ pub fn run_campaign(
     let mut proto = EmulationPlatform::assemble(model, config)?;
     if let Some(w) = &spec.fault_window {
         proto.accel().validate_fault_window(w)?;
+    }
+    // Static verification at plan load, then fault reachability over the
+    // work list: provably-masked items are never scheduled on the fleet —
+    // their records fold the fault-free predictions against themselves
+    // after the merge (bit-identical to running them, by soundness of the
+    // analysis). The baseline (item 0) is always executed.
+    run_plan_verifier(proto.plan(), spec.verify).map_err(DistError::Platform)?;
+    let gated = config.accel.idle_lanes == IdleLanePolicy::Gated;
+    let masked: Vec<bool> = work
+        .iter()
+        .map(|item| match item {
+            Some((targets, kind)) if spec.verify != VerifyMode::Off => fault_provably_masked(
+                proto.plan(),
+                targets,
+                *kind,
+                gated,
+                spec.fault_window.as_ref(),
+            ),
+            _ => false,
+        })
+        .collect();
+    let masked_static = masked.iter().filter(|&&m| m).count();
+    if masked_static == work.len() - 1 {
+        // Every fault item is provably masked: the whole campaign is the
+        // baseline pass, so run in-process (which prunes identically) and
+        // never raise — or even spawn — the fleet.
+        if spec.verbose {
+            eprintln!(
+                "  all {masked_static} work item(s) provably masked; \
+                 fleet not raised"
+            );
+        }
+        let result = Campaign::new(model, config).run(spec, &eval)?;
+        if let Some(path) = &spec.checkpoint_path {
+            Checkpoint::remove(path);
+        }
+        return Ok(result);
     }
     let plan_words = nvfi_compiler::plan::encode_words(proto.plan());
     let weight_image = proto.accel_mut().export_weight_image()?;
@@ -418,6 +459,9 @@ pub fn run_campaign(
     let granularity = DevicePool::granularity(&config);
     let mut tasks: Vec<Task> = Vec::new();
     for i in 0..work.len() {
+        if masked[i] {
+            continue; // provably masked: no shards, no fleet time
+        }
         let shards = layout[i % layout.len()];
         for range in DevicePool::shard_plan(eval.len(), shards, granularity) {
             tasks.push(Task { work_id: i, range });
@@ -524,7 +568,15 @@ pub fn run_campaign(
     for (task, result) in tasks.iter().zip(&results) {
         per_item[task.work_id].extend(result.lock().unwrap().take().unwrap());
     }
-    let clean_preds = &per_item[0];
+    // Provably-masked items produce exactly the fault-free predictions: give
+    // them the baseline's, and the shared record fold below does the rest.
+    let clean_preds: Vec<u8> = per_item[0].clone();
+    for (item, is_masked) in per_item.iter_mut().zip(&masked) {
+        if *is_masked {
+            item.clone_from(&clean_preds);
+        }
+    }
+    let clean_preds = &clean_preds;
     let baseline_accuracy = nvfi::campaign::prediction_accuracy(clean_preds, &eval.labels);
     let mut records = Vec::with_capacity(work.len() - 1);
     for (item, preds) in work.iter().zip(&per_item).skip(1) {
@@ -545,27 +597,31 @@ pub fn run_campaign(
     if let Some(ck) = &ckpt {
         Checkpoint::remove(&ck.path);
     }
-    let total_inferences = (records.len() as u64 + 1) * eval.len() as u64;
+    let executed = records.len() - masked_static;
+    let total_inferences = (executed as u64 + 1) * eval.len() as u64;
     Ok(CampaignResult {
         baseline_accuracy,
         records,
+        masked_static,
         total_inferences,
         wall_seconds: start.elapsed().as_secs_f64(),
     })
 }
 
 /// Hashes everything that determines the schedule and its answers: the
-/// encoded session frames (plan, weights, evaluation set — config and
-/// quantized pixels included), the task list, and each work item's full
-/// fault program as it would go on the wire. Two campaigns share a
-/// fingerprint iff their checkpointed shards are interchangeable.
+/// wire + checkpoint format versions (via [`Fnv64::campaign_seed`], so a
+/// protocol bump invalidates every older checkpoint), the encoded session
+/// frames (plan, weights, evaluation set — config and quantized pixels
+/// included), the task list, and each work item's full fault program as it
+/// would go on the wire. Two campaigns share a fingerprint iff their
+/// checkpointed shards are interchangeable.
 fn campaign_fingerprint(
     frames: &[Vec<u8>; 3],
     tasks: &[Task],
     work: &[Option<(Vec<MultId>, FaultKind)>],
     spec: &CampaignSpec,
 ) -> u64 {
-    let mut h = Fnv64::new();
+    let mut h = Fnv64::campaign_seed();
     for frame in frames {
         h.write_u64(u64::from(crc32(frame)));
     }

@@ -631,6 +631,7 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
         "frame of {} bytes exceeds MAX_FRAME_BYTES",
         payload.len()
     );
+    // nvfi-lint: allow(truncating-cast) — asserted <= MAX_FRAME_BYTES above
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)?;
     w.write_all(&crate::codec::crc32(payload).to_le_bytes())?;

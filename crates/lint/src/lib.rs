@@ -1,0 +1,645 @@
+#![forbid(unsafe_code)]
+//! `nvfi-lint` — a purpose-built source scanner for this workspace.
+//!
+//! Rustc and clippy police the language; this linter polices the *project
+//! contracts* that the distributed campaign fabric depends on and that no
+//! general-purpose tool knows about:
+//!
+//! | rule | contract |
+//! |------|----------|
+//! | `decode-panic` | The wire-decode paths (`dist/src/{codec,wire,checkpoint}.rs` outside `#[cfg(test)]`) never panic on hostile input: no `unwrap`/`expect`/`panic!`-family macros and no slice/array indexing — malformed bytes must surface as `Err`, because a panicking worker looks exactly like a crashed one to the coordinator. |
+//! | `truncating-cast` | No `as u8`/`as u16`/`as u32` casts in length/byte-size arithmetic anywhere in `dist/src` — a silently wrapped length is how a 4 GiB frame becomes a 0-byte read. Use `try_from` or an asserted guard. |
+//! | `msg-tag-coverage` | Every `TAG_*` wire tag is matched by a decode arm, and every [`Msg`] variant round-trips through the codec property tests — a tag without a decode arm is a frame the fleet cannot parse. |
+//! | `forbid-unsafe` | Every crate root in the workspace declares `#![forbid(unsafe_code)]`: the emulator is a *model*, and a model with UB proves nothing. |
+//!
+//! A finding the author has justified is silenced with an allow comment on
+//! the offending line or the line directly above it:
+//!
+//! ```text
+//! // nvfi-lint: allow(truncating-cast) — length is assert-bounded above
+//! w.write_all(&(payload.len() as u32).to_le_bytes())?;
+//! ```
+//!
+//! The scanner is deliberately lexical (comments and string literals are
+//! stripped before matching, so a `panic!` in a doc comment never trips it)
+//! rather than a full parser: the rules are narrow enough that token-level
+//! matching plus the allow escape hatch stays exact in practice, and the
+//! crate needs zero dependencies.
+//!
+//! [`Msg`]: ../nvfi_dist/wire/enum.Msg.html
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Wire-decode paths must be panic-free.
+pub const RULE_DECODE_PANIC: &str = "decode-panic";
+/// No truncating casts in length arithmetic.
+pub const RULE_TRUNCATING_CAST: &str = "truncating-cast";
+/// Every wire tag decoded, every `Msg` variant property-tested.
+pub const RULE_MSG_TAG_COVERAGE: &str = "msg-tag-coverage";
+/// Every crate root forbids `unsafe`.
+pub const RULE_FORBID_UNSAFE: &str = "forbid-unsafe";
+
+/// One finding: a named rule tripped at a file and line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The rule that fired (one of the `RULE_*` constants).
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What tripped and why it matters.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}:{}: {}",
+            self.rule, self.file, self.line, self.detail
+        )
+    }
+}
+
+/// Replaces the contents of comments, string literals and char literals
+/// with spaces, preserving line structure, so the rule matchers only ever
+/// see code. Handles line and (nested) block comments, escapes in string
+/// and char literals, raw strings with any number of `#`s, and leaves
+/// lifetimes (`'a`) intact.
+#[must_use]
+pub fn strip_comments_and_strings(source: &str) -> String {
+    let b: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut i = 0;
+    // Emits `c` if it is a newline (to keep line numbers), else a space.
+    fn blank(out: &mut String, c: char) {
+        out.push(if c == '\n' { '\n' } else { ' ' });
+    }
+    while i < b.len() {
+        let c = b[i];
+        // Line comment.
+        if c == '/' && b.get(i + 1) == Some(&'/') {
+            while i < b.len() && b[i] != '\n' {
+                blank(&mut out, b[i]);
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (Rust nests them).
+        if c == '/' && b.get(i + 1) == Some(&'*') {
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    blank(&mut out, b[i]);
+                    blank(&mut out, b[i + 1]);
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    blank(&mut out, b[i]);
+                    blank(&mut out, b[i + 1]);
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    blank(&mut out, b[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string: r"..." / r#"..."# (with optional leading b).
+        let raw_start = if c == 'r' {
+            Some(i + 1)
+        } else if c == 'b' && b.get(i + 1) == Some(&'r') {
+            Some(i + 2)
+        } else {
+            None
+        };
+        if let Some(mut j) = raw_start {
+            let hashes_from = j;
+            while b.get(j) == Some(&'#') {
+                j += 1;
+            }
+            let hashes = j - hashes_from;
+            if b.get(j) == Some(&'"') {
+                // Preceding `r`/`br` and hashes are part of the literal.
+                while i <= j {
+                    blank(&mut out, b[i]);
+                    i += 1;
+                }
+                // Scan for `"` followed by `hashes` `#`s.
+                'raw: while i < b.len() {
+                    if b[i] == '"' && (1..=hashes).all(|k| b.get(i + k) == Some(&'#')) {
+                        for _ in 0..=hashes {
+                            blank(&mut out, b[i]);
+                            i += 1;
+                        }
+                        break 'raw;
+                    }
+                    blank(&mut out, b[i]);
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Plain or byte string.
+        if c == '"' || (c == 'b' && b.get(i + 1) == Some(&'"')) {
+            if c == 'b' {
+                blank(&mut out, c);
+                i += 1;
+            }
+            blank(&mut out, b[i]); // opening quote
+            i += 1;
+            while i < b.len() {
+                if b[i] == '\\' {
+                    blank(&mut out, b[i]);
+                    if i + 1 < b.len() {
+                        blank(&mut out, b[i + 1]);
+                    }
+                    i += 2;
+                } else if b[i] == '"' {
+                    blank(&mut out, b[i]);
+                    i += 1;
+                    break;
+                } else {
+                    blank(&mut out, b[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime: 'x' or '\n' is a literal; 'a (no
+        // closing quote right after) is a lifetime and stays as code.
+        if c == '\'' {
+            let is_char = match b.get(i + 1) {
+                Some('\\') => true,
+                Some(_) => b.get(i + 2) == Some(&'\''),
+                None => false,
+            };
+            if is_char {
+                blank(&mut out, b[i]);
+                i += 1;
+                while i < b.len() {
+                    if b[i] == '\\' {
+                        blank(&mut out, b[i]);
+                        if i + 1 < b.len() {
+                            blank(&mut out, b[i + 1]);
+                        }
+                        i += 2;
+                    } else if b[i] == '\'' {
+                        blank(&mut out, b[i]);
+                        i += 1;
+                        break;
+                    } else {
+                        blank(&mut out, b[i]);
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+/// True if line `idx` (0-based, into the **original** source lines) or the
+/// line directly above carries `// nvfi-lint: allow(rule)`.
+fn allowed(original_lines: &[&str], idx: usize, rule: &str) -> bool {
+    let marker = format!("nvfi-lint: allow({rule})");
+    let here = original_lines.get(idx).is_some_and(|l| l.contains(&marker));
+    let above = idx > 0 && original_lines[idx - 1].contains(&marker);
+    here || above
+}
+
+/// Lines of `source` before the first `#[cfg(test)]` attribute — the
+/// region the decode-path rules police. Test modules may panic freely.
+fn non_test_line_count(stripped_lines: &[&str]) -> usize {
+    stripped_lines
+        .iter()
+        .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
+        .unwrap_or(stripped_lines.len())
+}
+
+const PANIC_TOKENS: [&str; 6] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// `decode-panic`: flags panic tokens and slice/array indexing in the
+/// non-test region of a wire-decode file.
+#[must_use]
+pub fn check_decode_panics(file: &str, source: &str) -> Vec<Violation> {
+    let stripped = strip_comments_and_strings(source);
+    let stripped_lines: Vec<&str> = stripped.lines().collect();
+    let original_lines: Vec<&str> = source.lines().collect();
+    let limit = non_test_line_count(&stripped_lines);
+    let mut out = Vec::new();
+    for (idx, line) in stripped_lines.iter().take(limit).enumerate() {
+        if allowed(&original_lines, idx, RULE_DECODE_PANIC) {
+            continue;
+        }
+        for tok in PANIC_TOKENS {
+            if line.contains(tok) {
+                out.push(Violation {
+                    rule: RULE_DECODE_PANIC,
+                    file: file.to_string(),
+                    line: idx + 1,
+                    detail: format!(
+                        "`{tok}` in a wire-decode path; malformed input must return Err, not panic"
+                    ),
+                });
+            }
+        }
+        if has_slice_index(line) {
+            out.push(Violation {
+                rule: RULE_DECODE_PANIC,
+                file: file.to_string(),
+                line: idx + 1,
+                detail: "slice/array indexing in a wire-decode path can panic; \
+                         use get()/split-at helpers or justify with an allow comment"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// True if the (stripped) line contains an indexing bracket: `[` directly
+/// preceded by an identifier character, `)` or `]`. Attribute brackets
+/// (`#[...]`), array types (`[u8; 4]`) and macro brackets (`vec![`) do not
+/// match.
+fn has_slice_index(stripped_line: &str) -> bool {
+    let chars: Vec<char> = stripped_line.chars().collect();
+    chars.windows(2).any(|w| {
+        w[1] == '[' && (w[0].is_ascii_alphanumeric() || w[0] == '_' || w[0] == ')' || w[0] == ']')
+    })
+}
+
+const NARROWING_CASTS: [&str; 3] = [" as u8", " as u16", " as u32"];
+
+/// `truncating-cast`: flags `as u8`/`as u16`/`as u32` on non-test lines
+/// whose context is length/size arithmetic (the line mentions `len`,
+/// `size`, `count` or `remaining`; `usize`/`isize` do not count as
+/// `size`).
+#[must_use]
+pub fn check_truncating_casts(file: &str, source: &str) -> Vec<Violation> {
+    let stripped = strip_comments_and_strings(source);
+    let stripped_lines: Vec<&str> = stripped.lines().collect();
+    let original_lines: Vec<&str> = source.lines().collect();
+    let limit = non_test_line_count(&stripped_lines);
+    let mut out = Vec::new();
+    for (idx, line) in stripped_lines.iter().take(limit).enumerate() {
+        let Some(cast) = NARROWING_CASTS.iter().find(|c| line.contains(*c)) else {
+            continue;
+        };
+        let ctx = line
+            .to_lowercase()
+            .replace("usize", "")
+            .replace("isize", "");
+        let lengthy = ["len", "size", "count", "remaining"]
+            .iter()
+            .any(|w| ctx.contains(w));
+        if !lengthy || allowed(&original_lines, idx, RULE_TRUNCATING_CAST) {
+            continue;
+        }
+        out.push(Violation {
+            rule: RULE_TRUNCATING_CAST,
+            file: file.to_string(),
+            line: idx + 1,
+            detail: format!(
+                "`{}` in length/size arithmetic silently wraps; use try_from or an asserted guard",
+                cast.trim_start()
+            ),
+        });
+    }
+    out
+}
+
+/// `msg-tag-coverage`: every `TAG_*` const in the wire module must appear
+/// in a `match` decode arm, and every `Msg` variant must appear as
+/// `Msg::Variant` in the codec round-trip property tests.
+#[must_use]
+pub fn check_msg_tag_coverage(
+    wire_file: &str,
+    wire_source: &str,
+    proptests_file: &str,
+    proptests_source: &str,
+) -> Vec<Violation> {
+    let stripped = strip_comments_and_strings(wire_source);
+    let original_lines: Vec<&str> = wire_source.lines().collect();
+    let mut out = Vec::new();
+
+    // Tags: `const TAG_X: u8 = ...;` declarations.
+    let mut tags: Vec<(String, usize)> = Vec::new();
+    for (idx, line) in stripped.lines().enumerate() {
+        let t = line.trim_start();
+        if let Some(rest) = t.strip_prefix("const TAG_") {
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            tags.push((format!("TAG_{name}"), idx));
+        }
+    }
+    for (tag, decl_idx) in &tags {
+        let decoded = stripped.lines().enumerate().any(|(idx, line)| {
+            idx != *decl_idx && line.contains(tag.as_str()) && line.contains("=>")
+        });
+        if !decoded && !allowed(&original_lines, *decl_idx, RULE_MSG_TAG_COVERAGE) {
+            out.push(Violation {
+                rule: RULE_MSG_TAG_COVERAGE,
+                file: wire_file.to_string(),
+                line: decl_idx + 1,
+                detail: format!("wire tag `{tag}` has no decode match arm"),
+            });
+        }
+    }
+
+    // Variants of `pub enum Msg { ... }` at brace depth 1.
+    let mut variants: Vec<(String, usize)> = Vec::new();
+    let mut depth = 0usize;
+    let mut in_msg = false;
+    for (idx, line) in stripped.lines().enumerate() {
+        let t = line.trim();
+        if t.starts_with("pub enum Msg") {
+            in_msg = true;
+        }
+        if in_msg && depth == 1 {
+            let ident: String = t
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if ident.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                variants.push((ident, idx));
+            }
+        }
+        for c in t.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if in_msg && depth == 0 {
+                        in_msg = false;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !in_msg && !variants.is_empty() {
+            break;
+        }
+    }
+    let stripped_props = strip_comments_and_strings(proptests_source);
+    for (variant, decl_idx) in &variants {
+        let needle = format!("Msg::{variant}");
+        let tested = stripped_props.lines().any(|l| l.contains(needle.as_str()));
+        if !tested && !allowed(&original_lines, *decl_idx, RULE_MSG_TAG_COVERAGE) {
+            out.push(Violation {
+                rule: RULE_MSG_TAG_COVERAGE,
+                file: wire_file.to_string(),
+                line: decl_idx + 1,
+                detail: format!(
+                    "`Msg::{variant}` never appears in the round-trip property tests \
+                     ({proptests_file})"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// `forbid-unsafe`: a crate root must declare `#![forbid(unsafe_code)]`.
+#[must_use]
+pub fn check_forbid_unsafe(file: &str, source: &str) -> Vec<Violation> {
+    if source.contains("#![forbid(unsafe_code)]")
+        || allowed(&source.lines().collect::<Vec<_>>(), 0, RULE_FORBID_UNSAFE)
+    {
+        return Vec::new();
+    }
+    vec![Violation {
+        rule: RULE_FORBID_UNSAFE,
+        file: file.to_string(),
+        line: 1,
+        detail: "crate root must declare #![forbid(unsafe_code)]".to_string(),
+    }]
+}
+
+/// The wire-decode files policed by `decode-panic`.
+const DECODE_FILES: [&str; 3] = [
+    "crates/dist/src/codec.rs",
+    "crates/dist/src/wire.rs",
+    "crates/dist/src/checkpoint.rs",
+];
+
+fn read(root: &Path, rel: &str) -> io::Result<String> {
+    fs::read_to_string(root.join(rel)).map_err(|e| io::Error::new(e.kind(), format!("{rel}: {e}")))
+}
+
+/// Runs every rule over the workspace rooted at `root`. Returns all
+/// findings (empty = clean), sorted by file then line.
+///
+/// # Errors
+///
+/// Propagates IO errors reading the policed files — a missing decode file
+/// is an error, not a pass, so the lint cannot rot silently if files move.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+
+    for rel in DECODE_FILES {
+        out.extend(check_decode_panics(rel, &read(root, rel)?));
+    }
+
+    // truncating-cast polices all of dist/src (coordinator, worker, fleet —
+    // anything that computes shard/frame extents).
+    let dist_src = root.join("crates/dist/src");
+    let mut dist_files: Vec<PathBuf> = fs::read_dir(&dist_src)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    dist_files.sort();
+    for path in dist_files {
+        let rel = format!(
+            "crates/dist/src/{}",
+            path.file_name().unwrap_or_default().to_string_lossy()
+        );
+        out.extend(check_truncating_casts(&rel, &read(root, &rel)?));
+    }
+
+    out.extend(check_msg_tag_coverage(
+        "crates/dist/src/wire.rs",
+        &read(root, "crates/dist/src/wire.rs")?,
+        "crates/dist/tests/proptests.rs",
+        &read(root, "crates/dist/tests/proptests.rs")?,
+    ));
+
+    let mut roots: Vec<String> = vec!["src/lib.rs".to_string()];
+    for dir in ["crates", "shims"] {
+        let mut entries: Vec<PathBuf> = fs::read_dir(root.join(dir))?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.join("src/lib.rs").is_file())
+            .collect();
+        entries.sort();
+        for p in entries {
+            roots.push(format!(
+                "{dir}/{}/src/lib.rs",
+                p.file_name().unwrap_or_default().to_string_lossy()
+            ));
+        }
+    }
+    for rel in roots {
+        out.extend(check_forbid_unsafe(&rel, &read(root, &rel)?));
+    }
+
+    out.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripping_blanks_comments_strings_and_chars_but_not_lifetimes() {
+        let src = r#"fn f<'a>(s: &'a str) -> char {
+    // panic!("in a comment")
+    let _msg = "panic!(in a string) b.unwrap()";
+    /* block .unwrap() /* nested */ still comment */
+    let c = '[';
+    'x'
+}"#;
+        let stripped = strip_comments_and_strings(src);
+        assert!(!stripped.contains("panic!"));
+        assert!(!stripped.contains(".unwrap()"));
+        assert!(!stripped.contains('['), "char literal '[' blanked");
+        assert!(stripped.contains("&'a str"), "lifetime survives");
+        assert_eq!(stripped.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let x = r#\"a.unwrap() \"quoted\" \"#; let y = x[0];";
+        let stripped = strip_comments_and_strings(src);
+        assert!(!stripped.contains(".unwrap()"));
+        assert!(
+            stripped.contains("x[0]"),
+            "code after the raw string survives"
+        );
+    }
+
+    #[test]
+    fn decode_panic_flags_tokens_and_indexing() {
+        let src =
+            "fn decode(b: &[u8]) -> u8 {\n    let x = b[0];\n    b.first().copied().unwrap()\n}\n";
+        let v = check_decode_panics("f.rs", src);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|v| v.rule == RULE_DECODE_PANIC));
+        assert_eq!(v[0].line, 2, "indexing on line 2");
+        assert_eq!(v[1].line, 3, "unwrap on line 3");
+    }
+
+    #[test]
+    fn decode_panic_ignores_tests_attributes_and_allows() {
+        let src = "\
+#[derive(Debug)]
+struct S;
+// nvfi-lint: allow(decode-panic) — bounds checked above
+let x = b[0];
+let arr: [u8; 4] = [0; 4];
+let v = vec![1, 2];
+#[cfg(test)]
+mod tests {
+    fn t() { x.unwrap(); }
+}
+";
+        assert!(check_decode_panics("f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn truncating_cast_needs_length_context() {
+        let flagged = "let n = payload.len() as u32;\n";
+        let v = check_truncating_casts("f.rs", flagged);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RULE_TRUNCATING_CAST);
+        // No len/size/count context: a lane index cast is fine.
+        assert!(check_truncating_casts("f.rs", "let l = t.lane() as u8;\n").is_empty());
+        // `usize` does not count as `size` context.
+        assert!(check_truncating_casts("f.rs", "let x = (y as usize) as u32;\n").is_empty());
+        // Allow comment silences it.
+        let allowed = "// nvfi-lint: allow(truncating-cast)\nlet n = payload.len() as u32;\n";
+        assert!(check_truncating_casts("f.rs", allowed).is_empty());
+    }
+
+    const WIRE_FIXTURE: &str = "\
+const TAG_A: u8 = 1;
+const TAG_B: u8 = 2;
+pub enum Msg {
+    Alpha { x: u32 },
+    Beta,
+}
+fn decode(tag: u8) {
+    match tag {
+        TAG_A => {}
+        TAG_B => {}
+        _ => {}
+    }
+}
+";
+
+    #[test]
+    fn tag_coverage_clean_fixture_passes() {
+        let props = "let m = Msg::Alpha { x: 1 }; let n = Msg::Beta;";
+        assert!(check_msg_tag_coverage("w.rs", WIRE_FIXTURE, "p.rs", props).is_empty());
+    }
+
+    #[test]
+    fn tag_coverage_flags_missing_decode_arm_and_untested_variant() {
+        let wire = WIRE_FIXTURE.replace("        TAG_B => {}\n", "");
+        let props = "let m = Msg::Alpha { x: 1 };"; // Beta never round-tripped
+        let v = check_msg_tag_coverage("w.rs", &wire, "p.rs", props);
+        assert_eq!(v.len(), 2);
+        assert!(v[0].detail.contains("TAG_B"), "{}", v[0]);
+        assert!(v[1].detail.contains("Msg::Beta"), "{}", v[1]);
+    }
+
+    #[test]
+    fn forbid_unsafe_checks_the_attribute() {
+        assert!(check_forbid_unsafe("l.rs", "#![forbid(unsafe_code)]\npub fn f() {}\n").is_empty());
+        let v = check_forbid_unsafe("l.rs", "pub fn f() {}\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RULE_FORBID_UNSAFE);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn the_workspace_itself_is_clean() {
+        // CARGO_MANIFEST_DIR = crates/lint; the workspace root is two up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .unwrap()
+            .to_path_buf();
+        let v = lint_workspace(&root).expect("workspace files readable");
+        assert!(
+            v.is_empty(),
+            "workspace must lint clean:\n{}",
+            v.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -1,0 +1,126 @@
+#![forbid(unsafe_code)]
+//! The `nvfi-lint` binary: scans the workspace and exits non-zero on any
+//! violation, printing each as `rule: file:line: detail`.
+//!
+//! ```text
+//! nvfi-lint [WORKSPACE_ROOT]   # default: walk up from cwd to [workspace]
+//! nvfi-lint --self-test        # prove the gate fires on seeded violations
+//! ```
+//!
+//! `--self-test` runs every rule against built-in sources that each seed
+//! exactly the violation the rule exists to catch, and fails if any rule
+//! stays silent — the CI demonstration that the gate actually gates.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use nvfi_lint::{
+    check_decode_panics, check_forbid_unsafe, check_msg_tag_coverage, check_truncating_casts,
+    lint_workspace, Violation, RULE_DECODE_PANIC, RULE_FORBID_UNSAFE, RULE_MSG_TAG_COVERAGE,
+    RULE_TRUNCATING_CAST,
+};
+
+/// Walks up from the current directory to the first `Cargo.toml` that
+/// declares `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// One seeded-violation fixture: a rule, a source that must trip it, and
+/// the check that runs it.
+fn self_test() -> ExitCode {
+    let cases: Vec<(&str, Vec<Violation>)> = vec![
+        (
+            RULE_DECODE_PANIC,
+            check_decode_panics(
+                "self-test/decode.rs",
+                "fn decode(b: &[u8]) -> u8 {\n    let hi = b[0];\n    hi\n}\n",
+            ),
+        ),
+        (
+            RULE_TRUNCATING_CAST,
+            check_truncating_casts(
+                "self-test/cast.rs",
+                "fn frame_len(payload: &[u8]) -> u32 {\n    payload.len() as u32\n}\n",
+            ),
+        ),
+        (
+            RULE_MSG_TAG_COVERAGE,
+            check_msg_tag_coverage(
+                "self-test/wire.rs",
+                "const TAG_ORPHAN: u8 = 9;\npub enum Msg {\n    Orphan,\n}\n",
+                "self-test/proptests.rs",
+                "// no round-trip for Msg::Orphan's tag\n",
+            ),
+        ),
+        (
+            RULE_FORBID_UNSAFE,
+            check_forbid_unsafe("self-test/lib.rs", "pub fn root_without_forbid() {}\n"),
+        ),
+    ];
+    let mut failed = false;
+    for (rule, violations) in &cases {
+        if violations.iter().any(|v| v.rule == *rule) {
+            for v in violations {
+                println!("self-test: caught seeded violation: {v}");
+            }
+        } else {
+            eprintln!("self-test: rule `{rule}` did NOT fire on its seeded violation");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "self-test: all {} rules fired on their seeded violations",
+            cases.len()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--self-test") {
+        return self_test();
+    }
+    let root = match args.first() {
+        Some(p) => PathBuf::from(p),
+        None => match find_workspace_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("nvfi-lint: no [workspace] Cargo.toml found above the current directory");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    match lint_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("nvfi-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            eprintln!("nvfi-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("nvfi-lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

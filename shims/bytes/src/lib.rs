@@ -5,6 +5,8 @@
 //! `None` instead of panicking on underflow — what a network decoder must
 //! use, since a truncated frame is an input error, not a programmer error.
 
+#![forbid(unsafe_code)]
+
 /// Read access to a byte cursor.
 pub trait Buf {
     /// Bytes left to read.

@@ -7,6 +7,8 @@
 //! (`{"id": ..., "mean_ns": ..., "median_ns": ...}`) is appended to it —
 //! that is how `BENCH_*.json` numbers in this repository are produced.
 
+#![forbid(unsafe_code)]
+
 use std::io::Write as _;
 use std::time::Instant;
 

@@ -6,6 +6,8 @@
 //! report the case index; re-running is deterministic (the RNG seed is a
 //! hash of the test function name), so a failing case reproduces exactly.
 
+#![forbid(unsafe_code)]
+
 use core::ops::Range;
 
 /// Deterministic generator for test-case construction (SplitMix64).

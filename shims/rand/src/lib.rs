@@ -4,6 +4,8 @@
 //! and statistically fine for synthetic data and target shuffling. It is
 //! **not** stream-compatible with upstream `rand::rngs::StdRng`.
 
+#![forbid(unsafe_code)]
+
 use core::ops::{Range, RangeInclusive};
 
 /// Low-level source of randomness.

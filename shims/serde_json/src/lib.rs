@@ -4,6 +4,8 @@
 //! ([`Value::get`], [`Value::as_f64`], ...). Objects preserve insertion
 //! order.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 
 /// A JSON value.
