@@ -11,7 +11,7 @@ use nvfi_accel::{AccelConfig, ExecMode, FaultConfig, FaultKind};
 use nvfi_bench::{medium_fixture, small_fixture};
 use nvfi_compiler::regmap::MultId;
 use nvfi_dataset::{SynthCifar, SynthCifarConfig};
-use nvfi_dist::{run_campaign, FleetSpec};
+use nvfi_dist::{run_campaign, CampaignServer, FleetSpec};
 use nvfi_quant::QuantModel;
 
 fn bench_single_fi_evaluation(c: &mut Criterion) {
@@ -303,6 +303,90 @@ fn bench_dist_campaign(c: &mut Criterion) {
     g.finish();
 }
 
+/// The session-cache acceptance pair: the same 2-configuration x 64-image
+/// campaign shape against a **cold** session (every iteration raises a
+/// one-worker fleet, ships plan + weights + eval set, runs, tears down —
+/// the `run_campaign` cost) and a **warm** one (a persistent
+/// [`CampaignServer`] submit/wait against an already-programmed fleet —
+/// only the few-byte artifact delta and the work frames travel). Each
+/// iteration uses fresh fault targets so the warm rows measure real fleet
+/// work, never a result-cache hit. The warm-vs-cold gap is the price of a
+/// fleet raise plus a full artifact ship — what the content-addressed
+/// session cache deletes from every campaign after the first.
+fn bench_session_cache(c: &mut Criterion) {
+    let (q, _) = small_fixture();
+    let eval = SynthCifar::new(SynthCifarConfig {
+        train: 0,
+        test: 64,
+        ..Default::default()
+    })
+    .generate()
+    .test;
+    let config = PlatformConfig::default();
+    let counter = std::cell::Cell::new(0usize);
+    let mk = |i: usize| CampaignSpec {
+        selection: TargetSelection::Fixed(vec![
+            vec![MultId::new((i % 8) as u8, ((i * 3 + 1) % 8) as u8)],
+            vec![MultId::new(((i + 5) % 8) as u8, ((i * 5 + 2) % 8) as u8)],
+        ]),
+        kinds: vec![FaultKind::StuckAtZero],
+        eval_images: 64,
+        threads: 2,
+        ..Default::default()
+    };
+    let fleet = FleetSpec::self_exec();
+
+    // Parity sanity before timing anything: a server-submitted campaign is
+    // the in-process campaign.
+    let server = CampaignServer::start(&fleet, 1).unwrap();
+    let spec0 = mk(1000);
+    let warm0 = server
+        .submit(&q, config, &spec0, &eval)
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(
+        Campaign::new(&q, config)
+            .run(&spec0, &eval)
+            .unwrap()
+            .records,
+        warm0.records,
+        "server-submitted campaign must match the in-process pool"
+    );
+    server.shutdown();
+
+    let mut g = c.benchmark_group("campaign");
+    g.sample_size(5);
+    g.bench_function("session_2cfg_64img_cold", |b| {
+        b.iter(|| {
+            let i = counter.get();
+            counter.set(i + 1);
+            let server = CampaignServer::start(&fleet, 1).unwrap();
+            let r = server
+                .submit(&q, config, &mk(i), &eval)
+                .unwrap()
+                .wait()
+                .unwrap();
+            server.shutdown();
+            r
+        })
+    });
+    let server = CampaignServer::start(&fleet, 1).unwrap();
+    g.bench_function("session_2cfg_64img_warm", |b| {
+        b.iter(|| {
+            let i = counter.get();
+            counter.set(i + 1);
+            server
+                .submit(&q, config, &mk(i), &eval)
+                .unwrap()
+                .wait()
+                .unwrap()
+        })
+    });
+    server.shutdown();
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_single_fi_evaluation,
@@ -310,7 +394,8 @@ criterion_group!(
     bench_pool_sharded_campaign,
     bench_quantize_once,
     bench_windowed_campaign,
-    bench_dist_campaign
+    bench_dist_campaign,
+    bench_session_cache
 );
 
 // Hand-written entry point instead of `criterion_main!`: the distributed

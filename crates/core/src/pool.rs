@@ -133,10 +133,50 @@ impl GoldenActivationCache {
         }))
     }
 
+    /// Reassembles a cache from its shipped parts — the receiving end of a
+    /// distributed campaign, where the coordinator built the cache once and
+    /// a worker reconstructs it from the wire (stride is re-derived from
+    /// the surfaces).
+    ///
+    /// Returns `None` when the parts are inconsistent: a zero stride, or a
+    /// data length that is not `cached_images` whole strides.
+    #[must_use]
+    pub fn from_parts(
+        boundary: usize,
+        surfaces: Vec<(u64, u64)>,
+        data: Vec<i8>,
+        cached_images: usize,
+    ) -> Option<Self> {
+        let stride: usize = surfaces.iter().map(|&(_, b)| b as usize).sum();
+        if stride == 0 || data.len() != cached_images * stride {
+            return None;
+        }
+        Some(GoldenActivationCache {
+            boundary,
+            surfaces,
+            stride,
+            data,
+            cached_images,
+        })
+    }
+
     /// The op boundary the cache checkpoints.
     #[must_use]
     pub fn boundary(&self) -> usize {
         self.boundary
+    }
+
+    /// The live-in `(addr, bytes)` surfaces of the boundary, in capture
+    /// order.
+    #[must_use]
+    pub fn surfaces(&self) -> &[(u64, u64)] {
+        &self.surfaces
+    }
+
+    /// The raw captured bytes, `cached_images` fixed strides.
+    #[must_use]
+    pub fn data(&self) -> &[i8] {
+        &self.data
     }
 
     /// Number of images checkpointed (a budget-limited prefix of the set).
@@ -547,13 +587,44 @@ impl DevicePool {
         set: &QuantizedEvalSet,
         cache: Option<&GoldenActivationCache>,
     ) -> Result<Vec<u8>, PlatformError> {
+        self.classify_i8_golden_range(set, 0..set.len(), cache)
+    }
+
+    /// Classifies the contiguous sub-range `range` of a pre-quantized
+    /// evaluation set under an armed transient fault window — the
+    /// golden-cache analogue of [`DevicePool::classify_i8_range`], and the
+    /// entry point a distributed worker drives for windowed shards. Cache
+    /// entries are looked up by **absolute** image index, so a shard of
+    /// images `64..96` hits entries `64..96` of the shared cache exactly as
+    /// the coordinator's full-set run would.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first device error (by shard order). Returns
+    /// [`PlatformError::Accel`] on an evaluation-set shape mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds of `set`.
+    pub fn classify_i8_golden_range(
+        &mut self,
+        set: &QuantizedEvalSet,
+        range: Range<usize>,
+        cache: Option<&GoldenActivationCache>,
+    ) -> Result<Vec<u8>, PlatformError> {
         let Some(cache) = cache else {
-            return self.classify_i8(set);
+            return self.classify_i8_range(set, range);
         };
         self.check_set_shape(set)?;
-        self.classify_sharded(set.len(), &|device, range| {
-            let mut preds = Vec::with_capacity(range.len());
-            for i in range {
+        assert!(
+            range.start <= range.end && range.end <= set.len(),
+            "image range {range:?} outside the {}-image set",
+            set.len()
+        );
+        let offset = range.start;
+        self.classify_sharded(range.len(), &move |device, r| {
+            let mut preds = Vec::with_capacity(r.len());
+            for i in offset + r.start..offset + r.end {
                 let class = match cache.entry(i) {
                     Some((surfaces, data)) => {
                         device

@@ -1,11 +1,17 @@
 //! Standalone campaign worker: connects to a coordinator and serves
-//! sessions (hello → plan/weights → eval set → work items → shutdown) in a
-//! loop — after a clean shutdown it reconnects for the next campaign of the
-//! same experiment, and exits once the coordinator stays gone.
+//! sessions (hello → cache advertisement → artifact deltas → work items →
+//! shutdown) in a loop — after a clean shutdown it reconnects for the next
+//! campaign of the same experiment, keeping its content-addressed artifact
+//! cache warm across reconnects. While no coordinator is listening it
+//! idle-waits indefinitely by default; set `NVFI_WORKER_IDLE_EXIT` (in
+//! seconds) to bound the wait — the process then exits once the
+//! coordinator stays gone that long (cleanly if it served at least one
+//! session, with an error if it never reached a coordinator at all).
 //!
 //! ```text
 //! nvfi_worker <coordinator-addr>      # e.g. nvfi_worker 10.0.0.5:7070
 //! NVFI_WORKER_CONNECT=<addr> nvfi_worker
+//! NVFI_WORKER_IDLE_EXIT=30 nvfi_worker <addr>   # give up after 30s idle
 //! ```
 //!
 //! Run by the coordinator as a local subprocess, or by hand on another host

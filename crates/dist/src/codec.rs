@@ -212,6 +212,14 @@ impl Enc {
         }
     }
 
+    /// Appends a length-prefixed u64 list (content hashes on the wire).
+    pub fn u64_slice(&mut self, v: &[u64]) {
+        self.buf.put_u64_le(v.len() as u64);
+        for &w in v {
+            self.buf.put_u64_le(w);
+        }
+    }
+
     /// Appends a length-prefixed UTF-8 string.
     pub fn str(&mut self, v: &str) {
         self.buf.put_u64_le(v.len() as u64);
@@ -364,6 +372,21 @@ impl Dec {
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             out.push(self.u32(what)?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed u64 list.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] / [`WireError::BadLength`] on a short or
+    /// lying frame.
+    pub fn u64_slice(&mut self, what: &'static str) -> Result<Vec<u64>, WireError> {
+        let n = self.checked_len(what, 8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u64(what)?);
         }
         Ok(out)
     }

@@ -1,19 +1,20 @@
-//! The coordinator: raises a worker fleet, ships the session payloads once,
-//! schedules `(work item × image shard)` tasks over the fleet, and merges
-//! the predictions into a [`CampaignResult`] bit-identical to the
-//! in-process [`Campaign::run`].
+//! The coordinator façade: fleet/raise configuration ([`FleetSpec`]), the
+//! fabric's error type ([`DistError`]), and the one-shot [`run_campaign`]
+//! entry point — raise a fleet, run one campaign, tear the fleet down.
 //!
-//! Scheduling reuses the two-level shape of the in-process campaign loop:
-//! an outer cursor over the expanded `(targets, kind)` work list, and —
-//! whenever the work list is narrower than the worker fleet — inner
-//! sharding of each item's evaluation range across several workers
-//! ([`Campaign::pool_layout`] decides how many, [`DevicePool::shard_plan`]
-//! cuts the ranges, exactly as the in-process pool does). Each worker then
-//! fans its assigned range out over its *local* device pool, so total
-//! parallel capacity is `workers × local devices`. Because per-image
-//! inference is independent and every device is a clone of the same
-//! plan-programmed prototype, any task-to-worker assignment yields the same
-//! merged predictions — which is what makes worker-death requeue safe.
+//! Since wire v3 the machinery behind [`run_campaign`] is the persistent
+//! multiplexing [`CampaignServer`]: this
+//! function is now sugar for *start a server, submit one campaign, wait,
+//! shut down*. Everything it guaranteed still holds — scheduling reuses
+//! the two-level shape of the in-process campaign loop
+//! ([`Campaign::pool_layout`] × [`DevicePool::shard_plan`](nvfi::DevicePool::shard_plan)), predictions
+//! merge by `(work item, shard range)` rather than arrival order, and the
+//! result is **bit-identical** to the in-process [`Campaign::run`] for
+//! every fleet size. Callers that run *many* campaigns should hold a
+//! [`CampaignServer`] instead: workers then
+//! keep their programmed plan / weight image / quantized evaluation set
+//! across campaigns (content-addressed session cache), so repeat
+//! campaigns re-ship zero artifact bytes.
 //!
 //! # Failure model
 //!
@@ -21,47 +22,35 @@
 //!
 //! * a broken socket, a timed-out shard, a CRC-failed frame, or an
 //!   out-of-lifecycle message costs one **requeue** — the connection is
-//!   dropped and the shard goes back on the shared queue;
+//!   dropped and the shard goes back on the owning client's queue;
 //! * the listener stays open for the whole campaign: a late or
-//!   *reconnecting* worker is **re-admitted** mid-flight (handshake, the
-//!   same pre-encoded session frames, then the shared queue), or turned
-//!   away with a versioned [`Msg::Goodbye`] once the re-admission cap is
-//!   reached — never left hanging in TCP limbo;
+//!   *reconnecting* worker is **re-admitted** mid-flight (handshake +
+//!   cache advertisement, then a session delta ships only what it lacks),
+//!   or turned away with a versioned [`Msg::Goodbye`](crate::wire::Msg)
+//!   once the re-admission cap is reached — never left hanging in TCP
+//!   limbo;
 //! * losing **every** worker, for longer than
 //!   [`FleetSpec::readmission_grace`], ends the distributed attempt:
 //!   [`DistError::FleetLost`], or — with
 //!   [`OnFleetLost::Degrade`] — a bit-identical in-process fallback run;
 //! * with a checkpoint path ([`CampaignSpec::checkpoint_path`]), completed
 //!   shards are persisted as they land, and a **restarted coordinator
-//!   resumes**: artifacts are re-shipped, finished shards are replayed from
-//!   the checkpoint, only unfinished ones are redone;
-//! * a worker-*reported* error ([`Msg::WorkerErr`]) stays **fatal**: it is
-//!   deterministic and would reproduce on any other worker.
+//!   resumes**: artifacts are re-shipped, finished shards are replayed
+//!   from the checkpoint, only unfinished ones are redone;
+//! * a worker-*reported* error ([`Msg::WorkerErr`](crate::wire::Msg))
+//!   stays **fatal**: it is deterministic and would reproduce on any
+//!   other worker.
 
-use std::collections::HashMap;
-use std::io::Write as _;
-use std::net::{TcpListener, TcpStream};
-use std::ops::Range;
 use std::path::PathBuf;
-use std::process::{Child, Command};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use nvfi::campaign::{
-    fault_provably_masked, run_plan_verifier, validate_fault_kinds, Campaign, CampaignResult,
-    CampaignSpec, FiRecord, VerifyMode,
-};
-use nvfi::{DevicePool, EmulationPlatform, PlatformConfig, PlatformError, QuantizedEvalSet};
-use nvfi_accel::{FaultKind, IdleLanePolicy};
-use nvfi_compiler::regmap::MultId;
+use nvfi::campaign::{Campaign, CampaignResult, CampaignSpec};
+use nvfi::{PlatformConfig, PlatformError};
 use nvfi_dataset::Dataset;
 use nvfi_quant::QuantModel;
 
-use crate::checkpoint::{Checkpoint, CheckpointEntry, Fnv64};
-use crate::codec::{crc32, WireError};
-use crate::wire::{self, Msg, WireFault};
-use crate::worker;
+use crate::codec::WireError;
+use crate::server::{self, CampaignServer, Prepared};
 
 /// Errors of the distributed campaign fabric.
 #[derive(Debug)]
@@ -140,7 +129,8 @@ impl From<nvfi_accel::AccelError> for DistError {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WorkerSpawn {
     /// Re-execute the **current binary** with `NVFI_WORKER_CONNECT` set.
-    /// The binary must call [`worker::maybe_serve`] first thing in `main`
+    /// The binary must call [`worker::maybe_serve`](crate::worker::maybe_serve)
+    /// first thing in `main`
     /// (the examples and benches do) — the re-executed copy then serves a
     /// worker session and exits instead of running `main` proper.
     SelfExec,
@@ -163,12 +153,13 @@ pub enum OnFleetLost {
     Degrade,
 }
 
-/// How the worker fleet is raised for one campaign.
+/// How the worker fleet is raised for one campaign (or one
+/// [`CampaignServer`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FleetSpec {
     /// Spawn method for the [`CampaignSpec::workers`] local processes.
     pub spawn: WorkerSpawn,
-    /// Devices of each worker's local [`DevicePool`]. `0` (the default)
+    /// Devices of each worker's local `DevicePool`. `0` (the default)
     /// spreads the campaign's `threads` budget evenly over the fleet
     /// (`max(1, threads / workers)`), so `threads` keeps meaning "total
     /// device budget" in both execution models.
@@ -186,12 +177,12 @@ pub struct FleetSpec {
     /// How long to wait for the full fleet to connect and shake hands.
     pub accept_timeout: Duration,
     /// Upper bound on **silence** during one shard: after sending `Work`,
-    /// every received frame (the worker's [`Msg::Pong`] heartbeats between
-    /// compute waves included) restarts the window, so a *slow* shard that
-    /// keeps heartbeating never times out — only a genuinely stalled worker
-    /// does, and its shard is requeued. `None` (the default) waits forever;
-    /// set this when the network can stall silently (cross-host fleets
-    /// behind flaky links).
+    /// every received frame (the worker's [`Msg::Pong`](crate::wire::Msg)
+    /// heartbeats between compute waves included) restarts the window, so a
+    /// *slow* shard that keeps heartbeating never times out — only a
+    /// genuinely stalled worker does, and its shard is requeued. `None`
+    /// (the default) waits forever; set this when the network can stall
+    /// silently (cross-host fleets behind flaky links).
     pub task_timeout: Option<Duration>,
     /// Fleet-lost policy (fail the campaign or degrade to in-process).
     pub on_fleet_lost: OnFleetLost,
@@ -200,8 +191,9 @@ pub struct FleetSpec {
     /// crashed-and-backing-off worker has to reconnect and be re-admitted.
     pub readmission_grace: Duration,
     /// Upper bound on mid-campaign (re-)admissions; a worker connecting
-    /// beyond it is turned away with a [`Msg::Goodbye`]. Caps the worst
-    /// case of a crash-looping worker being re-admitted forever.
+    /// beyond it is turned away with a [`Msg::Goodbye`](crate::wire::Msg).
+    /// Caps the worst case of a crash-looping worker being re-admitted
+    /// forever.
     pub max_readmissions: usize,
 }
 
@@ -224,7 +216,7 @@ impl Default for FleetSpec {
 
 impl FleetSpec {
     /// Self-exec'd local workers (the caller's `main` must start with
-    /// [`worker::maybe_serve`]).
+    /// [`worker::maybe_serve`](crate::worker::maybe_serve)).
     #[must_use]
     pub fn self_exec() -> Self {
         FleetSpec::default()
@@ -240,86 +232,21 @@ impl FleetSpec {
     }
 }
 
-/// One schedulable unit: an image shard of one work item.
-#[derive(Clone, Debug)]
-struct Task {
-    /// Index into the work list (0 = baseline).
-    work_id: usize,
-    /// Image range of the evaluation set.
-    range: Range<usize>,
-}
-
-/// Reaps (and on early exit, kills) the spawned worker processes.
-struct FleetGuard {
-    children: Vec<Child>,
-}
-
-impl Drop for FleetGuard {
-    fn drop(&mut self) {
-        for child in &mut self.children {
-            // A cleanly shut-down worker has already exited; kill is a no-op
-            // race loser then. Either way, wait() reaps.
-            let _ = child.kill();
-            let _ = child.wait();
-        }
-    }
-}
-
-/// The checkpoint file plus its in-memory image, persisted (atomically,
-/// whole-file) after every completed shard.
-struct CkptState {
-    path: PathBuf,
-    cp: Mutex<Checkpoint>,
-}
-
-impl CkptState {
-    fn record(&self, task: &Task, preds: &[u8]) {
-        let mut cp = self.cp.lock().unwrap();
-        cp.entries.push(CheckpointEntry {
-            work_id: task.work_id as u32,
-            start: task.range.start as u32,
-            end: task.range.end as u32,
-            preds: preds.to_vec(),
-        });
-        if let Err(e) = cp.store(&self.path) {
-            // A failing checkpoint must not fail the campaign — it only
-            // weakens a future resume.
-            eprintln!(
-                "nvfi coordinator: checkpoint write to {} failed: {e}",
-                self.path.display()
-            );
-        }
-    }
-}
-
-/// Everything the per-connection worker threads and the acceptor share.
-/// All fields are references into `run_campaign`'s stack frame, so the
-/// struct is `Copy` and moves freely into scoped threads.
-#[derive(Clone, Copy)]
-struct Shared<'a> {
-    tasks: &'a [Task],
-    work: &'a [Option<(Vec<MultId>, FaultKind)>],
-    spec: &'a CampaignSpec,
-    queue: &'a Mutex<Vec<usize>>,
-    results: &'a [Mutex<Option<Vec<u8>>>],
-    fatal: &'a Mutex<Option<DistError>>,
-    abort: &'a AtomicBool,
-    done: &'a AtomicUsize,
-    /// Currently connected workers (initial fleet + re-admissions − losses).
-    active: &'a AtomicUsize,
-    task_timeout: Option<Duration>,
-    ckpt: Option<&'a CkptState>,
-}
-
 /// Runs `spec` as a distributed campaign: [`CampaignSpec::workers`] local
 /// worker processes (spawned per [`FleetSpec::spawn`]) plus
-/// [`FleetSpec::external_workers`] cross-host ones, each session programmed
-/// once with the compiled plan + DRAM weight image + quantized evaluation
-/// set, then fed `(work item, image shard)` tasks until the work list is
-/// drained. Predictions are merged by `(work item, shard range)` — never by
-/// arrival order — so the result is **bit-identical** to the in-process
-/// [`Campaign::run`] for every fleet size, whatever faults the transport
-/// injects (see the module docs for the failure model).
+/// [`FleetSpec::external_workers`] cross-host ones, each session
+/// programmed by content-addressed artifact delta (compiled plan + DRAM
+/// weight image + quantized evaluation set, plus the golden activation
+/// cache for windowed campaigns), then fed `(work item, image shard)`
+/// tasks until the work list is drained. Predictions are merged by
+/// `(work item, shard range)` — never by arrival order — so the result is
+/// **bit-identical** to the in-process [`Campaign::run`] for every fleet
+/// size, whatever faults the transport injects (see the module docs for
+/// the failure model).
+///
+/// One-shot sugar for [`CampaignServer`]:
+/// start, submit, wait, shut down. Hold a server yourself to amortize the
+/// fleet and its artifact caches over many campaigns.
 ///
 /// With an empty fleet (`spec.workers == 0` and no external workers) this
 /// simply delegates to the in-process path.
@@ -348,779 +275,36 @@ pub fn run_campaign(
     if total_workers == 0 {
         return Ok(Campaign::new(model, config).run(spec, eval)?);
     }
-    assert!(
-        !spec.kinds.is_empty(),
-        "campaign needs at least one fault kind"
-    );
-    assert!(spec.eval_images > 0, "campaign needs evaluation images");
-    validate_fault_kinds(&spec.kinds).map_err(DistError::Platform)?;
-    let targets = Campaign::expand_targets(&spec.selection);
-    assert!(
-        !targets.is_empty(),
-        "campaign target selection expands to no target sets"
-    );
-    // Work item 0 is the fault-free baseline; 1.. are the fault programs in
-    // the same deterministic order as the in-process work list.
-    let mut work: Vec<Option<(Vec<MultId>, FaultKind)>> = vec![None];
-    for t in &targets {
-        for k in &spec.kinds {
-            work.push(Some((t.clone(), *k)));
-        }
-    }
-    let eval = eval.take(spec.eval_images);
-    let start = Instant::now();
-
-    // One quantization pass per campaign, exactly like the in-process path;
-    // the bytes ship to every worker, no worker re-quantizes.
-    let qset = QuantizedEvalSet::build(model, &eval.images);
-
-    // The prototype compiles the plan once, validates the window before any
-    // work is scheduled, and donates the DRAM weight image.
-    let mut proto = EmulationPlatform::assemble(model, config)?;
-    if let Some(w) = &spec.fault_window {
-        proto.accel().validate_fault_window(w)?;
-    }
-    // Static verification at plan load, then fault reachability over the
-    // work list: provably-masked items are never scheduled on the fleet —
-    // their records fold the fault-free predictions against themselves
-    // after the merge (bit-identical to running them, by soundness of the
-    // analysis). The baseline (item 0) is always executed.
-    run_plan_verifier(proto.plan(), spec.verify).map_err(DistError::Platform)?;
-    let gated = config.accel.idle_lanes == IdleLanePolicy::Gated;
-    let masked: Vec<bool> = work
-        .iter()
-        .map(|item| match item {
-            Some((targets, kind)) if spec.verify != VerifyMode::Off => fault_provably_masked(
-                proto.plan(),
-                targets,
-                *kind,
-                gated,
-                spec.fault_window.as_ref(),
-            ),
-            _ => false,
-        })
-        .collect();
-    let masked_static = masked.iter().filter(|&&m| m).count();
-    if masked_static == work.len() - 1 {
-        // Every fault item is provably masked: the whole campaign is the
-        // baseline pass, so run in-process (which prunes identically) and
-        // never raise — or even spawn — the fleet.
-        if spec.verbose {
-            eprintln!(
-                "  all {masked_static} work item(s) provably masked; \
-                 fleet not raised"
-            );
-        }
-        let result = Campaign::new(model, config).run(spec, &eval)?;
-        if let Some(path) = &spec.checkpoint_path {
-            Checkpoint::remove(path);
-        }
-        return Ok(result);
-    }
-    let plan_words = nvfi_compiler::plan::encode_words(proto.plan());
-    let weight_image = proto.accel_mut().export_weight_image()?;
-
-    // Ship-once session payloads: each encoded ONCE, the same bytes replayed
-    // to every worker — initial fleet and mid-campaign re-admissions alike
-    // (the wire probes assert the "once").
     let local_devices = if fleet.local_devices > 0 {
         fleet.local_devices
     } else {
         (spec.threads / total_workers).max(1)
     };
-    let shape = qset.shape();
-    let frames = [
-        Msg::Plan {
-            config: config.into(),
-            local_devices: local_devices as u32,
-            words: plan_words,
-        }
-        .encode(),
-        Msg::Weights {
-            regions: weight_image,
-        }
-        .encode(),
-        // Encoded straight from the borrowed pixel slice: no owned copy of
-        // the (large) evaluation set just to build a `Msg`.
-        wire::encode_eval_set(
-            shape.n as u32,
-            shape.c as u32,
-            shape.h as u32,
-            shape.w as u32,
-            qset.images().as_slice(),
-        ),
-    ];
-
-    // The task list: each work item cut into as many contiguous shards as
-    // the two-level layout gives its scheduling slot — all 1s when the work
-    // list is at least as wide as the fleet (pure item-level parallelism),
-    // wider shard fan-out when the fleet outnumbers the items.
-    let layout = Campaign::pool_layout(total_workers, work.len(), 0);
-    let granularity = DevicePool::granularity(&config);
-    let mut tasks: Vec<Task> = Vec::new();
-    for i in 0..work.len() {
-        if masked[i] {
-            continue; // provably masked: no shards, no fleet time
-        }
-        let shards = layout[i % layout.len()];
-        for range in DevicePool::shard_plan(eval.len(), shards, granularity) {
-            tasks.push(Task { work_id: i, range });
-        }
-    }
-
-    // Scheduling state: a queue of pending task indices (popped by worker
-    // threads, pushed back on worker loss) and one result slot per task.
-    let results: Vec<Mutex<Option<Vec<u8>>>> = (0..tasks.len()).map(|_| Mutex::new(None)).collect();
-    let mut prefilled = 0usize;
-
-    // Checkpoint/resume: replay completed shards of a previous (killed)
-    // coordinator whose campaign fingerprint matches this one, then keep
-    // persisting as new shards land.
-    let ckpt: Option<CkptState> = spec.checkpoint_path.as_ref().map(|path| {
-        let fingerprint = campaign_fingerprint(&frames, &tasks, &work, spec);
-        let mut cp = Checkpoint::new(fingerprint);
-        if let Some(prev) = Checkpoint::load(path) {
-            if prev.fingerprint == fingerprint {
-                let by_key: HashMap<(u32, u32, u32), usize> = tasks
-                    .iter()
-                    .enumerate()
-                    .map(|(i, t)| {
-                        (
-                            (t.work_id as u32, t.range.start as u32, t.range.end as u32),
-                            i,
-                        )
-                    })
-                    .collect();
-                for entry in prev.entries {
-                    let key = (entry.work_id, entry.start, entry.end);
-                    if let Some(&idx) = by_key.get(&key) {
-                        let mut slot = results[idx].lock().unwrap();
-                        if slot.is_none() {
-                            *slot = Some(entry.preds.clone());
-                            prefilled += 1;
-                            cp.entries.push(entry);
-                        }
-                    }
-                }
-                if spec.verbose && prefilled > 0 {
-                    eprintln!(
-                        "  resuming from {}: {}/{} shards already done",
-                        path.display(),
-                        prefilled,
-                        tasks.len()
-                    );
-                }
-            } else if spec.verbose {
+    // Prepare (compile, verify, prune, hash, shard) before raising any
+    // fleet: an all-masked campaign must never spawn a process.
+    let prepared = match server::prepare(model, config, spec, eval, total_workers, local_devices)? {
+        Prepared::Immediate(result) => return Ok(result),
+        Prepared::Scheduled(p) => p,
+    };
+    let srv = CampaignServer::start(fleet, spec.workers)?;
+    let outcome = srv.submit_prepared(*prepared).wait();
+    srv.shutdown();
+    match outcome {
+        Err(DistError::FleetLost { incomplete }) if fleet.on_fleet_lost == OnFleetLost::Degrade => {
+            // FleetLost left the checkpoint (if any) on disk; the in-process
+            // fallback finishes the campaign, so retire it afterwards.
+            if spec.verbose {
                 eprintln!(
-                    "  checkpoint {} belongs to a different campaign; starting fresh",
-                    path.display()
+                    "  fleet lost with {incomplete} task(s) outstanding; \
+                     degrading to the in-process campaign"
                 );
             }
+            let result = Campaign::new(model, config).run(spec, eval)?;
+            if let Some(path) = &spec.checkpoint_path {
+                crate::checkpoint::Checkpoint::remove(path);
+            }
+            Ok(result)
         }
-        CkptState {
-            path: path.to_path_buf(),
-            cp: Mutex::new(cp),
-        }
-    });
-
-    if prefilled < tasks.len() {
-        run_fleet(
-            spec,
-            fleet,
-            total_workers,
-            &frames,
-            &tasks,
-            &work,
-            &results,
-            prefilled,
-            ckpt.as_ref(),
-        )?;
-        // FleetLost (with the checkpoint, if any, left on disk for a
-        // restart) either propagates or degrades to the in-process run.
-        let incomplete = results
-            .iter()
-            .filter(|r| r.lock().unwrap().is_none())
-            .count();
-        if incomplete > 0 {
-            match fleet.on_fleet_lost {
-                OnFleetLost::Fail => return Err(DistError::FleetLost { incomplete }),
-                OnFleetLost::Degrade => {
-                    if spec.verbose {
-                        eprintln!(
-                            "  fleet lost with {incomplete} task(s) outstanding; \
-                             degrading to the in-process campaign"
-                        );
-                    }
-                    let result = Campaign::new(model, config).run(spec, &eval)?;
-                    if let Some(ck) = &ckpt {
-                        Checkpoint::remove(&ck.path);
-                    }
-                    return Ok(result);
-                }
-            }
-        }
-    }
-
-    // Merge: concatenate each work item's shards in range order (the task
-    // list is already ordered that way), then fold into records exactly as
-    // the in-process loop does.
-    let mut per_item: Vec<Vec<u8>> = vec![Vec::new(); work.len()];
-    for (task, result) in tasks.iter().zip(&results) {
-        per_item[task.work_id].extend(result.lock().unwrap().take().unwrap());
-    }
-    // Provably-masked items produce exactly the fault-free predictions: give
-    // them the baseline's, and the shared record fold below does the rest.
-    let clean_preds: Vec<u8> = per_item[0].clone();
-    for (item, is_masked) in per_item.iter_mut().zip(&masked) {
-        if *is_masked {
-            item.clone_from(&clean_preds);
-        }
-    }
-    let clean_preds = &clean_preds;
-    let baseline_accuracy = nvfi::campaign::prediction_accuracy(clean_preds, &eval.labels);
-    let mut records = Vec::with_capacity(work.len() - 1);
-    for (item, preds) in work.iter().zip(&per_item).skip(1) {
-        let (targets, kind) = item.as_ref().expect("non-baseline items carry a fault");
-        // The shared fold of nvfi::campaign — bit-identity with the
-        // in-process path is structural, not a re-implementation.
-        records.push(FiRecord::from_preds(
-            targets.clone(),
-            *kind,
-            preds,
-            clean_preds,
-            &eval.labels,
-            baseline_accuracy,
-        ));
-    }
-    // The campaign is complete: a finished run's checkpoint must not donate
-    // shards to an unrelated later campaign at the same path.
-    if let Some(ck) = &ckpt {
-        Checkpoint::remove(&ck.path);
-    }
-    let executed = records.len() - masked_static;
-    let total_inferences = (executed as u64 + 1) * eval.len() as u64;
-    Ok(CampaignResult {
-        baseline_accuracy,
-        records,
-        masked_static,
-        total_inferences,
-        wall_seconds: start.elapsed().as_secs_f64(),
-    })
-}
-
-/// Hashes everything that determines the schedule and its answers: the
-/// wire + checkpoint format versions (via [`Fnv64::campaign_seed`], so a
-/// protocol bump invalidates every older checkpoint), the encoded session
-/// frames (plan, weights, evaluation set — config and quantized pixels
-/// included), the task list, and each work item's full fault program as it
-/// would go on the wire. Two campaigns share a fingerprint iff their
-/// checkpointed shards are interchangeable.
-fn campaign_fingerprint(
-    frames: &[Vec<u8>; 3],
-    tasks: &[Task],
-    work: &[Option<(Vec<MultId>, FaultKind)>],
-    spec: &CampaignSpec,
-) -> u64 {
-    let mut h = Fnv64::campaign_seed();
-    for frame in frames {
-        h.write_u64(u64::from(crc32(frame)));
-    }
-    h.write_u64(tasks.len() as u64);
-    for t in tasks {
-        h.write_u64(t.work_id as u64);
-        h.write_u64(t.range.start as u64);
-        h.write_u64(t.range.end as u64);
-    }
-    for (work_id, item) in work.iter().enumerate() {
-        let fault = item
-            .as_ref()
-            .map(|(targets, kind)| WireFault::from_targets(targets, *kind));
-        let window = if fault.is_some() {
-            spec.fault_window.clone()
-        } else {
-            None
-        };
-        h.write(
-            &Msg::Work {
-                work_id: work_id as u32,
-                start: 0,
-                end: 0,
-                fault,
-                window,
-            }
-            .encode(),
-        );
-    }
-    h.finish()
-}
-
-/// Raises the fleet and drives the shared queue dry (or loses the fleet —
-/// the caller inspects the result slots). The listener stays open for the
-/// whole campaign: a dedicated acceptor thread re-admits reconnecting or
-/// late workers mid-flight and watches for total fleet loss.
-#[allow(clippy::too_many_arguments)]
-fn run_fleet(
-    spec: &CampaignSpec,
-    fleet: &FleetSpec,
-    total_workers: usize,
-    frames: &[Vec<u8>; 3],
-    tasks: &[Task],
-    work: &[Option<(Vec<MultId>, FaultKind)>],
-    results: &[Mutex<Option<Vec<u8>>>],
-    prefilled: usize,
-    ckpt: Option<&CkptState>,
-) -> Result<(), DistError> {
-    // Raise the fleet. A fixed listen address may sit in TIME_WAIT for a
-    // moment after a previous campaign of the same experiment (fig2/fig3
-    // run one campaign per figure point over the same coordinator port), so
-    // AddrInUse is retried within the accept budget rather than failing the
-    // experiment mid-way.
-    let bind_addr = fleet.listen.as_deref().unwrap_or("127.0.0.1:0");
-    let bind_deadline = Instant::now() + fleet.accept_timeout;
-    let listener = loop {
-        match TcpListener::bind(bind_addr) {
-            Ok(l) => break l,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::AddrInUse && Instant::now() < bind_deadline =>
-            {
-                std::thread::sleep(Duration::from_millis(50));
-            }
-            Err(e) => return Err(DistError::Spawn(format!("bind {bind_addr}: {e}"))),
-        }
-    };
-    let local = listener
-        .local_addr()
-        .map_err(|e| DistError::Spawn(e.to_string()))?;
-    // Spawned (same-host) workers connect to loopback when the listener is
-    // on loopback or a wildcard; a concrete non-loopback bind (cross-host
-    // listen combined with local spawns) is handed to them verbatim.
-    let connect_addr = if local.ip().is_unspecified() || local.ip().is_loopback() {
-        format!("127.0.0.1:{}", local.port())
-    } else {
-        local.to_string()
-    };
-    let mut guard = FleetGuard {
-        children: Vec::new(),
-    };
-    for i in 0..spec.workers {
-        let exe = match &fleet.spawn {
-            WorkerSpawn::SelfExec => std::env::current_exe()
-                .map_err(|e| DistError::Spawn(format!("current_exe: {e}")))?,
-            WorkerSpawn::Exe(p) => p.clone(),
-        };
-        let mut cmd = Command::new(&exe);
-        cmd.env(worker::ENV_CONNECT, &connect_addr);
-        for (k, v) in fleet.worker_env.get(i).map_or(&[][..], Vec::as_slice) {
-            cmd.env(k, v);
-        }
-        guard.children.push(
-            cmd.spawn()
-                .map_err(|e| DistError::Spawn(format!("spawn {}: {e}", exe.display())))?,
-        );
-    }
-    let mut streams = accept_fleet(&listener, total_workers, fleet.accept_timeout)?;
-
-    for stream in &mut streams {
-        for frame in frames {
-            wire::write_frame(stream, frame)?;
-        }
-    }
-
-    let queue: Mutex<Vec<usize>> = Mutex::new(
-        (0..tasks.len())
-            .rev()
-            .filter(|&i| results[i].lock().unwrap().is_none())
-            .collect(),
-    );
-    let fatal: Mutex<Option<DistError>> = Mutex::new(None);
-    let abort = AtomicBool::new(false);
-    let done = AtomicUsize::new(prefilled);
-    let active = AtomicUsize::new(streams.len());
-    let shared = Shared {
-        tasks,
-        work,
-        spec,
-        queue: &queue,
-        results,
-        fatal: &fatal,
-        abort: &abort,
-        done: &done,
-        active: &active,
-        task_timeout: fleet.task_timeout,
-        ckpt,
-    };
-
-    std::thread::scope(|scope| {
-        for (worker_id, stream) in streams.into_iter().enumerate() {
-            scope.spawn(move || worker_thread(shared, worker_id, stream));
-        }
-        // The acceptor: keeps the listener open for the life of the
-        // campaign, re-admitting late/reconnecting workers (handshake +
-        // the same pre-encoded session frames, then the shared queue) and
-        // declaring the fleet lost if it stays empty past the grace.
-        let listener = &listener;
-        let fleet = &fleet;
-        scope.spawn(move || {
-            let mut admitted = 0usize;
-            let mut empty_since: Option<Instant> = None;
-            loop {
-                if shared.abort.load(Ordering::Relaxed)
-                    || shared.done.load(Ordering::Relaxed) == shared.tasks.len()
-                {
-                    break;
-                }
-                if shared.active.load(Ordering::SeqCst) == 0 {
-                    let since = *empty_since.get_or_insert_with(Instant::now);
-                    if since.elapsed() >= fleet.readmission_grace {
-                        // Nobody is left and nobody came back: end the
-                        // campaign attempt. The result slots decide between
-                        // FleetLost and (policy) degradation upstream.
-                        shared.abort.store(true, Ordering::SeqCst);
-                        break;
-                    }
-                } else {
-                    empty_since = None;
-                }
-                match listener.accept() {
-                    Ok((mut s, _)) => {
-                        if s.set_nonblocking(false).is_err() {
-                            continue;
-                        }
-                        let _ = s.set_nodelay(true);
-                        let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
-                        if wire::accept_hello(&mut s).is_err() {
-                            continue;
-                        }
-                        if admitted >= fleet.max_readmissions {
-                            // Versioned, explicit rejection *after* the
-                            // handshake: the worker's serve loop reads a
-                            // clean `Goodbye` and stands down, instead of
-                            // hanging in TCP limbo or misreading the frame.
-                            let _ = wire::send(
-                                &mut s,
-                                &Msg::Goodbye {
-                                    reason: format!(
-                                        "re-admission cap ({}) reached",
-                                        fleet.max_readmissions
-                                    ),
-                                },
-                            );
-                            continue;
-                        }
-                        if s.set_read_timeout(None).is_err() {
-                            continue;
-                        }
-                        if frames
-                            .iter()
-                            .try_for_each(|f| wire::write_frame(&mut s, f))
-                            .is_err()
-                        {
-                            continue;
-                        }
-                        admitted += 1;
-                        shared.active.fetch_add(1, Ordering::SeqCst);
-                        empty_since = None;
-                        let worker_id = total_workers + admitted;
-                        if shared.spec.verbose {
-                            eprintln!("  worker {worker_id} admitted mid-campaign");
-                        }
-                        scope.spawn(move || worker_thread(shared, worker_id, s));
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(10));
-                    }
-                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
-                }
-            }
-        });
-    });
-    drop(guard);
-
-    if let Some(e) = fatal.into_inner().unwrap() {
-        return Err(e);
-    }
-    Ok(())
-}
-
-/// Drives one worker connection: pop a task, run it, repeat — requeueing on
-/// loss, probing liveness while idle, and releasing the worker with
-/// [`Msg::Shutdown`] when the campaign completes.
-fn worker_thread(shared: Shared<'_>, worker_id: usize, mut stream: TcpStream) {
-    let mut last_done: Option<(u32, u32, u32)> = None;
-    let mut last_ping = Instant::now();
-    loop {
-        if shared.abort.load(Ordering::Relaxed) {
-            break;
-        }
-        let popped = shared.queue.lock().unwrap().pop();
-        let Some(task_idx) = popped else {
-            if shared.done.load(Ordering::Relaxed) == shared.tasks.len() {
-                // Everything completed: release the worker, then drain to
-                // EOF so the *worker* closes first — keeping TIME_WAIT off
-                // the coordinator's side, which matters when a fixed listen
-                // port is re-bound by the experiment's next campaign.
-                let _ = wire::send(&mut stream, &Msg::Shutdown);
-                let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-                let mut sink = [0u8; 256];
-                while matches!(std::io::Read::read(&mut stream, &mut sink), Ok(n) if n > 0) {}
-                break;
-            }
-            // Queue empty but tasks still in flight elsewhere: a lost worker
-            // may yet requeue one, so stay available — and probe liveness
-            // about once a second (fire-and-forget; the Pong reply is
-            // absorbed by the next task's reply loop) so a dead socket is
-            // noticed while idle, not when a requeue finally lands on it.
-            if last_ping.elapsed() >= Duration::from_secs(1) {
-                last_ping = Instant::now();
-                if wire::send(&mut stream, &Msg::Ping).is_err() {
-                    break;
-                }
-            }
-            std::thread::sleep(Duration::from_millis(5));
-            continue;
-        };
-        let task = &shared.tasks[task_idx];
-        match run_task(
-            &mut stream,
-            task,
-            shared.work,
-            shared.spec,
-            shared.task_timeout,
-            &mut last_done,
-        ) {
-            Ok(preds) => {
-                // Persist before counting done: a coordinator killed right
-                // here resumes with this shard already checkpointed.
-                if let Some(ck) = shared.ckpt {
-                    ck.record(task, &preds);
-                }
-                *shared.results[task_idx].lock().unwrap() = Some(preds);
-                last_ping = Instant::now();
-                if shared.spec.verbose {
-                    // stderr lock held across count + write => strictly
-                    // monotonic done/total lines, with per-worker
-                    // attribution for debuggability.
-                    let mut err = std::io::stderr().lock();
-                    let finished = shared.done.fetch_add(1, Ordering::Relaxed) + 1;
-                    let _ = writeln!(
-                        err,
-                        "  fi {}/{} [worker {}]: item {} images {}..{}",
-                        finished,
-                        shared.tasks.len(),
-                        worker_id,
-                        task.work_id,
-                        task.range.start,
-                        task.range.end,
-                    );
-                } else {
-                    shared.done.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-            Err(TaskError::WorkerLost(e)) => {
-                // The shard is requeued for a surviving (or re-admitted)
-                // worker; this connection is done.
-                shared.queue.lock().unwrap().push(task_idx);
-                if shared.spec.verbose {
-                    eprintln!(
-                        "  worker {worker_id} lost mid-shard \
-                         (item {} images {}..{}): {e}; requeued",
-                        task.work_id, task.range.start, task.range.end,
-                    );
-                }
-                break;
-            }
-            Err(TaskError::Fatal(e)) => {
-                // Deterministic failure: no point retrying it on another
-                // worker. Stop the fleet.
-                let mut slot = shared.fatal.lock().unwrap();
-                if slot.is_none() {
-                    *slot = Some(e);
-                }
-                shared.abort.store(true, Ordering::SeqCst);
-                break;
-            }
-        }
-    }
-    shared.active.fetch_sub(1, Ordering::SeqCst);
-}
-
-/// Why one task attempt ended.
-enum TaskError {
-    /// The connection is no longer trustworthy — the worker died, stalled
-    /// past the timeout, or the transport corrupted a frame. Requeue the
-    /// shard; a reconnecting worker gets re-admitted.
-    WorkerLost(std::io::Error),
-    /// A deterministic error that retrying elsewhere would reproduce.
-    Fatal(DistError),
-}
-
-/// Sends one task to a worker and awaits its predictions, absorbing
-/// [`Msg::Pong`] heartbeats (each restarts the `task_timeout` silence
-/// window — a slow worker that keeps heartbeating never times out) and
-/// chaos-duplicated replays of the previously completed shard. With a
-/// `task_timeout`, a reply that never comes (stalled worker, silently
-/// partitioned link — no RST, so not a socket error) surfaces as a
-/// timed-out read and the worker is treated as lost, instead of blocking
-/// the campaign forever.
-fn run_task(
-    stream: &mut TcpStream,
-    task: &Task,
-    work: &[Option<(Vec<MultId>, FaultKind)>],
-    spec: &CampaignSpec,
-    task_timeout: Option<Duration>,
-    last_done: &mut Option<(u32, u32, u32)>,
-) -> Result<Vec<u8>, TaskError> {
-    let fault = work[task.work_id]
-        .as_ref()
-        .map(|(targets, kind)| WireFault::from_targets(targets, *kind));
-    // The baseline stays window-free, exactly like the in-process path.
-    let window = if fault.is_some() {
-        spec.fault_window.clone()
-    } else {
-        None
-    };
-    let msg = Msg::Work {
-        work_id: task.work_id as u32,
-        start: task.range.start as u32,
-        end: task.range.end as u32,
-        fault,
-        window,
-    };
-    wire::send(stream, &msg).map_err(TaskError::WorkerLost)?;
-    if task_timeout.is_some() {
-        let _ = stream.set_read_timeout(task_timeout);
-    }
-    let result = loop {
-        match wire::recv(stream) {
-            // Heartbeat (or a stale idle-probe reply): proof of life. The
-            // per-recv timeout restarts, which is exactly the liveness
-            // contract — silence times out, progress does not.
-            Ok(Msg::Pong) => continue,
-            Ok(Msg::ShardDone {
-                work_id,
-                start,
-                end,
-                preds,
-            }) => {
-                let key = (work_id, start, end);
-                if *last_done == Some(key) {
-                    // A chaos-duplicated replay of the previous completion:
-                    // already merged, skip it.
-                    continue;
-                }
-                if work_id as usize == task.work_id
-                    && start as usize == task.range.start
-                    && end as usize == task.range.end
-                {
-                    *last_done = Some(key);
-                    break Ok(preds);
-                }
-                // A completion for a shard this connection doesn't own: the
-                // stream is out of step (dropped/duplicated frames). Drop
-                // the connection and requeue — never merge it.
-                break Err(TaskError::WorkerLost(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    "shard reply does not match the assigned task",
-                )));
-            }
-            Ok(Msg::WorkerErr { message }) => {
-                break Err(TaskError::Fatal(DistError::Worker(message)))
-            }
-            Ok(_) => {
-                break Err(TaskError::WorkerLost(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    "message outside the session lifecycle",
-                )))
-            }
-            Err(DistError::Io(e)) => break Err(TaskError::WorkerLost(e)),
-            // A CRC-failed frame is transport corruption, not a worker bug:
-            // drop the connection, requeue, let re-admission replace it.
-            Err(DistError::Wire(e @ WireError::Crc { .. })) => {
-                break Err(TaskError::WorkerLost(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    e.to_string(),
-                )))
-            }
-            Err(e) => break Err(TaskError::Fatal(e)),
-        }
-    };
-    if task_timeout.is_some() {
-        let _ = stream.set_read_timeout(None);
-    }
-    result
-}
-
-/// Accepts and handshakes `n` workers within `timeout` (the initial fleet
-/// raise; afterwards the acceptor thread owns the listener, which it leaves
-/// in the non-blocking mode set here).
-fn accept_fleet(
-    listener: &TcpListener,
-    n: usize,
-    timeout: Duration,
-) -> Result<Vec<TcpStream>, DistError> {
-    listener
-        .set_nonblocking(true)
-        .map_err(|e| DistError::Spawn(e.to_string()))?;
-    let deadline = Instant::now() + timeout;
-    let mut streams = Vec::with_capacity(n);
-    while streams.len() < n {
-        match listener.accept() {
-            Ok((mut stream, _)) => {
-                stream
-                    .set_nonblocking(false)
-                    .map_err(|e| DistError::Spawn(e.to_string()))?;
-                let _ = stream.set_nodelay(true);
-                // The handshake read is bounded by the remaining accept
-                // deadline: a connected-but-silent peer (half-open link,
-                // port scanner, stalled worker) must time the fleet out,
-                // not hang the coordinator on a blocking recv forever.
-                let remaining = deadline
-                    .saturating_duration_since(Instant::now())
-                    .max(Duration::from_millis(1));
-                stream
-                    .set_read_timeout(Some(remaining))
-                    .map_err(|e| DistError::Spawn(e.to_string()))?;
-                wire::accept_hello(&mut stream)?;
-                stream
-                    .set_read_timeout(None)
-                    .map_err(|e| DistError::Spawn(e.to_string()))?;
-                streams.push(stream);
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                if Instant::now() >= deadline {
-                    return Err(DistError::Spawn(format!(
-                        "only {}/{} workers connected within {:?}",
-                        streams.len(),
-                        n,
-                        timeout
-                    )));
-                }
-                std::thread::sleep(Duration::from_millis(10));
-            }
-            Err(e) => return Err(DistError::Spawn(format!("accept: {e}"))),
-        }
-    }
-    Ok(streams)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    /// A peer that connects but never sends its hello must make the fleet
-    /// accept *time out with an error* — not hang the coordinator forever
-    /// on a blocking handshake read.
-    #[test]
-    fn silent_peer_times_the_fleet_accept_out() {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let _silent = TcpStream::connect(addr).unwrap();
-        let t = Instant::now();
-        let r = accept_fleet(&listener, 1, Duration::from_millis(300));
-        assert!(r.is_err(), "a silent peer must not count as a worker");
-        assert!(
-            t.elapsed() < Duration::from_secs(30),
-            "accept must observe the deadline instead of blocking"
-        );
+        other => other,
     }
 }

@@ -12,7 +12,7 @@
 //! workers, any address for cross-host ones) and the little-endian codec of
 //! the `bytes` shim — no async runtime, no serde.
 //!
-//! # Session lifecycle
+//! # Session lifecycle (wire v3: content-addressed sessions)
 //!
 //! A worker session is a strict sequence; every arrow is one or more frames
 //! on the same socket:
@@ -21,23 +21,31 @@
 //! worker                          coordinator
 //!   | --- Hello{version} ----------> |   (worker speaks first)
 //!   | <-- Hello{version} ----------- |   (mismatch => clear error, close)
-//!   | <-- Plan{config, devices, w} - |   (compiled plan words, ONCE)
-//!   | <-- Weights{regions} --------- |   (DRAM weight image, ONCE)
-//!   | <-- EvalSet{shape, i8 data} -- |   (quantized eval set, ONCE)
+//!   | --- HaveArtifacts{hashes} ---> |   (cached artifact advertisement)
+//!   | <-- ArtifactDelta{4 hashes} -- |   (session switch: what to run,
+//!   | <-- Plan / Weights / EvalSet - |    plus ONLY the frames the worker
+//!   | <-- Golden ------------------- |    is missing, in ship-bit order)
 //!   | <-- Work{id, range, fault} --- |   (one frame per assigned shard)
 //!   | --- Pong --------------------> |   (heartbeat between compute waves)
 //!   | --- ShardDone{id, preds} ----> |
 //!   |            ...                 |
+//!   | <-- ArtifactDelta ... -------- |   (next campaign: usually 0 frames)
 //!   | <-- Shutdown ----------------- |   (or Goodbye{reason}: turned away)
 //! ```
 //!
-//! The plan + weight image + evaluation set are serialized exactly **once
-//! per campaign** (the coordinator encodes each payload a single time and
-//! replays the same bytes to every worker — asserted by the
-//! [`wire::plan_serializations`] / [`wire::weight_serializations`] /
-//! [`wire::eval_serializations`] probes); per-work-item traffic is only the
-//! tiny fault program `(targets, kind, window)` plus an image range, and
-//! the predictions coming back.
+//! Every session artifact — compiled plan, DRAM weight image, quantized
+//! evaluation set, golden activation cache — is identified by a **content
+//! hash** and cached on the worker across campaigns *and reconnects*. A
+//! worker advertises its cache right after the hello; each
+//! [`Msg::ArtifactDelta`](wire::Msg) names the four hashes of the next
+//! campaign and ships only what the worker lacks, so a repeat campaign
+//! over unchanged artifacts re-ships **zero** artifact bytes. Each
+//! distinct artifact is serialized exactly **once per server** whatever
+//! the fleet size (asserted by the [`wire::plan_serializations`] /
+//! [`wire::weight_serializations`] / [`wire::eval_serializations`] /
+//! [`wire::artifact_bytes_shipped`] probes); per-work-item traffic is only
+//! the tiny fault program `(targets, kind, window)` plus an image range,
+//! and the predictions coming back.
 //!
 //! # Wire format
 //!
@@ -97,15 +105,24 @@
 //!
 //! # Entry points
 //!
-//! * [`run_campaign`] — the coordinator: spawn/attach workers, ship the
-//!   session payloads, schedule, merge; falls back to the in-process path
-//!   when the fleet is empty.
+//! * [`CampaignServer`] — the persistent multiplexing campaign server: one
+//!   long-lived worker fleet serving many concurrent client campaigns,
+//!   fair-share interleaved, behind a result cache keyed by
+//!   `(plan, fault config, eval set)` content hashes. Each
+//!   [`CampaignServer::submit`] returns a [`ClientHandle`] streaming
+//!   per-shard [`Progress`]; [`ServerStats`] counts submissions, cache
+//!   hits, dispatches and shipped artifact frames.
+//! * [`run_campaign`] — one-shot sugar over the server: raise a fleet, run
+//!   one campaign, tear down; falls back to the in-process path when the
+//!   fleet is empty.
 //! * [`FleetSpec`] — how to raise the fleet: self-exec subprocesses
 //!   ([`WorkerSpawn::SelfExec`] — re-executes the current binary, which
 //!   must call [`worker::maybe_serve`] first thing in `main`), an explicit
 //!   worker executable ([`WorkerSpawn::Exe`], e.g. the `nvfi_worker` bin),
 //!   and/or cross-host workers attaching to a listen address.
-//! * [`worker::serve`] / the `nvfi_worker` binary — the worker side.
+//! * [`worker::serve`] / the `nvfi_worker` binary — the worker side; its
+//!   `serve_forever` loop holds the artifact cache across reconnects and
+//!   idle-waits for a coordinator (bounded by `NVFI_WORKER_IDLE_EXIT`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -114,6 +131,7 @@ pub mod chaos;
 pub mod checkpoint;
 pub mod codec;
 pub mod coordinator;
+pub mod server;
 pub mod wire;
 pub mod worker;
 
@@ -121,4 +139,5 @@ pub use chaos::{ChaosPlan, ChaosStream};
 pub use checkpoint::Checkpoint;
 pub use codec::WireError;
 pub use coordinator::{run_campaign, DistError, FleetSpec, OnFleetLost, WorkerSpawn};
+pub use server::{CampaignServer, ClientHandle, Progress, ServerStats};
 pub use worker::ServeEnd;

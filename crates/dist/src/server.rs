@@ -1,0 +1,1747 @@
+//! The multiplexing campaign server: one **persistent** worker fleet
+//! serving many client campaigns concurrently over content-addressed
+//! sessions.
+//!
+//! [`run_campaign`](crate::run_campaign) raises a fleet, runs one campaign
+//! and tears the fleet down. A [`CampaignServer`] decouples those
+//! lifetimes: the fleet is raised once ([`CampaignServer::start`]) and then
+//! any number of campaigns are [`submit`](CampaignServer::submit)ted
+//! against it — concurrently, from any thread — each returning a
+//! [`ClientHandle`] whose [`wait`](ClientHandle::wait) yields a
+//! [`CampaignResult`] **bit-identical** to the in-process
+//! [`Campaign::run`].
+//!
+//! # Content-addressed sessions (wire v3)
+//!
+//! Every campaign artifact — compiled plan, DRAM weight image, quantized
+//! evaluation set, golden activation cache — is hashed by **content**
+//! (stable FNV-1a over the decoded payload, never over encoded frames, so
+//! the serialize-once probes stay meaningful) and encoded exactly once per
+//! distinct hash per server. Workers advertise what they already hold in a
+//! [`Msg::HaveArtifacts`] frame at connection time; each campaign switch
+//! is a [`Msg::ArtifactDelta`] naming the four hashes plus **only the
+//! frames the worker is missing**. A repeat campaign over unchanged
+//! artifacts re-ships zero artifact bytes
+//! ([`wire::artifact_bytes_shipped`] proves it), and an [`FaultKind`]
+//! sweep over one model is a stream of few-byte deltas instead of repeated
+//! weight images.
+//!
+//! # Fair-share multiplexing
+//!
+//! Worker connections pull from the per-client task queues through
+//! `fair_share_pick`: the ready client with the fewest dispatched shards
+//! wins (ties to the lower id), so a short campaign submitted next to a
+//! long one drains in parallel instead of queuing behind it — no client
+//! starves. Per-client progress streams over [`ClientHandle::progress`].
+//!
+//! # Result cache
+//!
+//! Completed campaigns are cached by a key hashing everything that
+//! determines the merged records: `(plan, weights, eval set, golden)`
+//! hashes, the labels, the verifier mode, and every work item's full fault
+//! program as it would go on the wire. A repeat submit with an identical
+//! key returns the cached [`CampaignResult`] without dispatching a single
+//! shard ([`ServerStats`] exposes the hit count).
+//!
+//! # Failure model
+//!
+//! Identical to [`run_campaign`](crate::run_campaign)'s, per client: a
+//! broken socket, CRC-failed frame or timed-out shard requeues **only the
+//! owning client's shard**; reconnecting workers are re-admitted (their
+//! advertisement trims re-shipping to the delta); a fleet empty past
+//! [`FleetSpec::readmission_grace`] fails every unfinished client with
+//! [`DistError::FleetLost`] while the server itself stays up for later
+//! submissions; worker-*reported* errors stay fatal to their client.
+//! Checkpoints ([`CampaignSpec::checkpoint_path`]) record per-client
+//! progress and resume across server (or coordinator) restarts.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::ops::Range;
+use std::path::PathBuf;
+use std::process::{Child, Command};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use nvfi::campaign::{
+    fault_provably_masked, prediction_accuracy, run_plan_verifier, validate_fault_kinds, Campaign,
+    CampaignResult, CampaignSpec, FiRecord, VerifyMode,
+};
+use nvfi::{
+    DevicePool, EmulationPlatform, GoldenActivationCache, PlatformConfig, QuantizedEvalSet,
+};
+use nvfi_accel::{FaultKind, IdleLanePolicy};
+use nvfi_compiler::regmap::MultId;
+use nvfi_dataset::Dataset;
+use nvfi_quant::QuantModel;
+
+use crate::checkpoint::{Checkpoint, CheckpointEntry, Fnv64};
+use crate::codec::{crc32, WireError};
+use crate::coordinator::{DistError, FleetSpec, WorkerSpawn};
+use crate::wire::{self, Msg, WireConfig, WireFault};
+use crate::worker;
+
+/// The expanded campaign work list: item 0 is the fault-free baseline,
+/// items 1.. carry `(targets, kind)` fault programs.
+type WorkList = Vec<Option<(Vec<MultId>, FaultKind)>>;
+
+/// One schedulable unit: an image shard of one work item.
+#[derive(Clone, Debug)]
+pub(crate) struct Task {
+    /// Index into the work list (0 = baseline).
+    pub(crate) work_id: usize,
+    /// Image range of the evaluation set.
+    pub(crate) range: Range<usize>,
+}
+
+/// Reaps (and on early exit, kills) the spawned worker processes.
+struct FleetGuard {
+    children: Vec<Child>,
+}
+
+impl Drop for FleetGuard {
+    fn drop(&mut self) {
+        for child in &mut self.children {
+            // A cleanly shut-down worker has already exited; kill is a no-op
+            // race loser then. Either way, wait() reaps.
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// The checkpoint file plus its in-memory image, persisted (atomically,
+/// whole-file) after every completed shard.
+struct CkptState {
+    path: PathBuf,
+    cp: Mutex<Checkpoint>,
+}
+
+impl CkptState {
+    fn record(&self, task: &Task, preds: &[u8]) {
+        let mut cp = self.cp.lock().unwrap();
+        cp.entries.push(CheckpointEntry {
+            work_id: task.work_id as u32,
+            start: task.range.start as u32,
+            end: task.range.end as u32,
+            preds: preds.to_vec(),
+        });
+        if let Err(e) = cp.store(&self.path) {
+            // A failing checkpoint must not fail the campaign — it only
+            // weakens a future resume.
+            eprintln!(
+                "nvfi server: checkpoint write to {} failed: {e}",
+                self.path.display()
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Content hashing
+// ---------------------------------------------------------------------------
+
+/// Finishes a hash, mapping the (astronomically unlikely) zero digest to a
+/// fixed nonzero constant: `0` is the wire's "artifact absent" sentinel
+/// ([`Msg::ArtifactDelta`]) and must never collide with a real hash.
+fn finish_nonzero(h: &Fnv64) -> u64 {
+    match h.finish() {
+        0 => 0x9E37_79B9_7F4A_7C15,
+        v => v,
+    }
+}
+
+/// Folds an `i8` slice into the hash through a small stack buffer (the
+/// hasher takes `u8` bytes; weight images and pixel sets are large enough
+/// that a per-call `Vec` copy would show up).
+fn write_i8s(h: &mut Fnv64, data: &[i8]) {
+    let mut buf = [0u8; 4096];
+    for chunk in data.chunks(buf.len()) {
+        for (dst, &src) in buf.iter_mut().zip(chunk) {
+            *dst = src as u8;
+        }
+        h.write(&buf[..chunk.len()]);
+    }
+}
+
+/// Content hash of a plan artifact: the wire configuration, the worker's
+/// local device count (it changes the shipped [`Msg::Plan`] frame) and the
+/// compiled plan words. Domain-tagged so a plan hash can never collide
+/// with another artifact kind's.
+fn hash_plan(config: &WireConfig, local_devices: u32, words: &[u32]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(&[1]);
+    h.write(&[
+        wire::mode_tag(config.mode),
+        wire::idle_tag(config.idle_lanes),
+    ]);
+    h.write_u64(config.clock_hz.to_bits());
+    h.write_u64(config.dram_capacity);
+    h.write_u64(config.batch);
+    h.write_u64(config.shard_images);
+    h.write_u64(u64::from(local_devices));
+    h.write_u64(words.len() as u64);
+    for &w in words {
+        h.write_u64(u64::from(w));
+    }
+    finish_nonzero(&h)
+}
+
+/// Content hash of a DRAM weight image (`(addr, bytes)` regions). A single
+/// flipped weight — an SEU in storage — changes this hash, which is what
+/// invalidates stale worker caches.
+fn hash_weights(regions: &[(u64, Vec<i8>)]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(&[2]);
+    h.write_u64(regions.len() as u64);
+    for (addr, bytes) in regions {
+        h.write_u64(*addr);
+        h.write_u64(bytes.len() as u64);
+        write_i8s(&mut h, bytes);
+    }
+    finish_nonzero(&h)
+}
+
+/// Content hash of a quantized evaluation set (shape + pixels).
+fn hash_eval(qset: &QuantizedEvalSet) -> u64 {
+    let shape = qset.shape();
+    let mut h = Fnv64::new();
+    h.write(&[3]);
+    h.write_u64(shape.n as u64);
+    h.write_u64(shape.c as u64);
+    h.write_u64(shape.h as u64);
+    h.write_u64(shape.w as u64);
+    write_i8s(&mut h, qset.images().as_slice());
+    finish_nonzero(&h)
+}
+
+/// Content hash of a golden activation cache.
+fn hash_golden(golden: &GoldenActivationCache) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(&[4]);
+    h.write_u64(golden.boundary() as u64);
+    h.write_u64(golden.surfaces().len() as u64);
+    for &(addr, bytes) in golden.surfaces() {
+        h.write_u64(addr);
+        h.write_u64(bytes);
+    }
+    h.write_u64(golden.cached_images() as u64);
+    write_i8s(&mut h, golden.data());
+    finish_nonzero(&h)
+}
+
+/// The result-cache key: hashes everything that determines the merged
+/// records — the four artifact hashes, the evaluation labels, the verifier
+/// mode (it decides which items are pruned as provably masked) and every
+/// work item's full fault program as it would go on the wire. Two submits
+/// share a key iff their [`CampaignResult`]s are interchangeable.
+fn result_cache_key(
+    artifact_hashes: (u64, u64, u64, u64),
+    work: &WorkList,
+    spec: &CampaignSpec,
+    eval_len: usize,
+    labels: &[u8],
+) -> u64 {
+    let (plan, weights, eval, golden) = artifact_hashes;
+    let mut h = Fnv64::new();
+    h.write(&[5]);
+    h.write_u64(plan);
+    h.write_u64(weights);
+    h.write_u64(eval);
+    h.write_u64(golden);
+    h.write_u64(eval_len as u64);
+    h.write(labels);
+    h.write(&[match spec.verify {
+        VerifyMode::Off => 0,
+        VerifyMode::Warn => 1,
+        VerifyMode::Strict => 2,
+    }]);
+    for (work_id, item) in work.iter().enumerate() {
+        let fault = item
+            .as_ref()
+            .map(|(targets, kind)| WireFault::from_targets(targets, *kind));
+        let window = if fault.is_some() {
+            spec.fault_window.clone()
+        } else {
+            None
+        };
+        // Msg::Work encoding bumps no serialize-once probes, so hashing the
+        // canonical wire bytes is free and stays in sync with the protocol.
+        h.write(
+            &Msg::Work {
+                work_id: work_id as u32,
+                start: 0,
+                end: 0,
+                fault,
+                window,
+            }
+            .encode(),
+        );
+    }
+    finish_nonzero(&h)
+}
+
+/// Hashes everything that determines the schedule and its answers: the
+/// wire + checkpoint format versions (via [`Fnv64::campaign_seed`], so a
+/// protocol bump invalidates every older checkpoint), the encoded session
+/// frames (plan, weights, evaluation set — config and quantized pixels
+/// included), the task list, and each work item's full fault program as it
+/// would go on the wire. Two campaigns share a fingerprint iff their
+/// checkpointed shards are interchangeable.
+fn campaign_fingerprint(
+    frames: [&[u8]; 3],
+    tasks: &[Task],
+    work: &WorkList,
+    fault_window: &Option<Range<u64>>,
+) -> u64 {
+    let mut h = Fnv64::campaign_seed();
+    for frame in frames {
+        h.write_u64(u64::from(crc32(frame)));
+    }
+    h.write_u64(tasks.len() as u64);
+    for t in tasks {
+        h.write_u64(t.work_id as u64);
+        h.write_u64(t.range.start as u64);
+        h.write_u64(t.range.end as u64);
+    }
+    for (work_id, item) in work.iter().enumerate() {
+        let fault = item
+            .as_ref()
+            .map(|(targets, kind)| WireFault::from_targets(targets, *kind));
+        let window = if fault.is_some() {
+            fault_window.clone()
+        } else {
+            None
+        };
+        h.write(
+            &Msg::Work {
+                work_id: work_id as u32,
+                start: 0,
+                end: 0,
+                fault,
+                window,
+            }
+            .encode(),
+        );
+    }
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Campaign preparation
+// ---------------------------------------------------------------------------
+
+/// What [`prepare`] decided about a campaign.
+pub(crate) enum Prepared {
+    /// The campaign resolved without the fleet (every fault item provably
+    /// masked): here is the finished result.
+    Immediate(CampaignResult),
+    /// The campaign needs fleet time; submit this to a server.
+    Scheduled(Box<PreparedCampaign>),
+}
+
+/// A campaign compiled, hashed and sharded — everything a
+/// [`CampaignServer`] needs to schedule it, nothing borrowed from the
+/// caller.
+pub(crate) struct PreparedCampaign {
+    config: PlatformConfig,
+    local_devices: usize,
+    plan_hash: u64,
+    weights_hash: u64,
+    eval_hash: u64,
+    /// `0` when the campaign ships no golden cache.
+    golden_hash: u64,
+    plan_words: Vec<u32>,
+    weight_image: Vec<(u64, Vec<i8>)>,
+    qset: QuantizedEvalSet,
+    golden: Option<GoldenActivationCache>,
+    work: WorkList,
+    masked: Vec<bool>,
+    masked_static: usize,
+    tasks: Vec<Task>,
+    window: Option<Range<u64>>,
+    verbose: bool,
+    checkpoint_path: Option<PathBuf>,
+    labels: Vec<u8>,
+    eval_len: usize,
+    result_key: u64,
+    started: Instant,
+}
+
+/// Compiles, verifies, hashes and shards one campaign — the fleet-free
+/// front half shared by [`CampaignServer::submit`] and
+/// [`crate::run_campaign`]. Mirrors the in-process [`Campaign::run`]
+/// exactly: one quantization pass, plan verification, fault-reachability
+/// pruning (an all-masked campaign never engages the fleet), and the
+/// golden activation cache build for windowed campaigns.
+pub(crate) fn prepare(
+    model: &QuantModel,
+    config: PlatformConfig,
+    spec: &CampaignSpec,
+    eval: &Dataset,
+    total_workers: usize,
+    local_devices: usize,
+) -> Result<Prepared, DistError> {
+    assert!(
+        !spec.kinds.is_empty(),
+        "campaign needs at least one fault kind"
+    );
+    assert!(spec.eval_images > 0, "campaign needs evaluation images");
+    validate_fault_kinds(&spec.kinds).map_err(DistError::Platform)?;
+    let targets = Campaign::expand_targets(&spec.selection);
+    assert!(
+        !targets.is_empty(),
+        "campaign target selection expands to no target sets"
+    );
+    // Work item 0 is the fault-free baseline; 1.. are the fault programs in
+    // the same deterministic order as the in-process work list.
+    let mut work: WorkList = vec![None];
+    for t in &targets {
+        for k in &spec.kinds {
+            work.push(Some((t.clone(), *k)));
+        }
+    }
+    let eval = eval.take(spec.eval_images);
+    let started = Instant::now();
+
+    // One quantization pass per campaign, exactly like the in-process path;
+    // the bytes ship to every worker, no worker re-quantizes.
+    let qset = QuantizedEvalSet::build(model, &eval.images);
+
+    // The prototype compiles the plan once, validates the window before any
+    // work is scheduled, and donates the DRAM weight image.
+    let mut proto = EmulationPlatform::assemble(model, config)?;
+    if let Some(w) = &spec.fault_window {
+        proto.accel().validate_fault_window(w)?;
+    }
+    // Static verification at plan load, then fault reachability over the
+    // work list: provably-masked items are never scheduled on the fleet —
+    // their records fold the fault-free predictions against themselves
+    // after the merge (bit-identical to running them, by soundness of the
+    // analysis). The baseline (item 0) is always executed.
+    run_plan_verifier(proto.plan(), spec.verify).map_err(DistError::Platform)?;
+    let gated = config.accel.idle_lanes == IdleLanePolicy::Gated;
+    let masked: Vec<bool> = work
+        .iter()
+        .map(|item| match item {
+            Some((targets, kind)) if spec.verify != VerifyMode::Off => fault_provably_masked(
+                proto.plan(),
+                targets,
+                *kind,
+                gated,
+                spec.fault_window.as_ref(),
+            ),
+            _ => false,
+        })
+        .collect();
+    let masked_static = masked.iter().filter(|&&m| m).count();
+    if masked_static == work.len() - 1 {
+        // Every fault item is provably masked: the whole campaign is the
+        // baseline pass, so run in-process (which prunes identically) and
+        // never touch the fleet.
+        if spec.verbose {
+            eprintln!(
+                "  all {masked_static} work item(s) provably masked; \
+                 fleet not engaged"
+            );
+        }
+        let result = Campaign::new(model, config).run(spec, &eval)?;
+        if let Some(path) = &spec.checkpoint_path {
+            Checkpoint::remove(path);
+        }
+        return Ok(Prepared::Immediate(result));
+    }
+    // Windowed campaigns build the golden activation cache once, on the
+    // coordinator's prototype — exactly like the in-process path — and ship
+    // it as a fourth content-addressed artifact so remote workers restore
+    // golden prefixes instead of recomputing them.
+    let golden = match &spec.fault_window {
+        Some(w) => GoldenActivationCache::build(&mut proto, &qset, w, spec.golden_cache_bytes)?,
+        None => None,
+    };
+    let plan_words = nvfi_compiler::plan::encode_words(proto.plan());
+    let weight_image = proto.accel_mut().export_weight_image()?;
+
+    let wire_config: WireConfig = config.into();
+    let plan_hash = hash_plan(&wire_config, local_devices as u32, &plan_words);
+    let weights_hash = hash_weights(&weight_image);
+    let eval_hash = hash_eval(&qset);
+    let golden_hash = golden.as_ref().map_or(0, hash_golden);
+
+    // The task list: each work item cut into as many contiguous shards as
+    // the two-level layout gives its scheduling slot — all 1s when the work
+    // list is at least as wide as the fleet (pure item-level parallelism),
+    // wider shard fan-out when the fleet outnumbers the items.
+    let layout = Campaign::pool_layout(total_workers, work.len(), 0);
+    let granularity = DevicePool::granularity(&config);
+    let mut tasks: Vec<Task> = Vec::new();
+    for i in 0..work.len() {
+        if masked[i] {
+            continue; // provably masked: no shards, no fleet time
+        }
+        let shards = layout[i % layout.len()];
+        for range in DevicePool::shard_plan(eval.len(), shards, granularity) {
+            tasks.push(Task { work_id: i, range });
+        }
+    }
+
+    let result_key = result_cache_key(
+        (plan_hash, weights_hash, eval_hash, golden_hash),
+        &work,
+        spec,
+        eval.len(),
+        &eval.labels,
+    );
+    Ok(Prepared::Scheduled(Box::new(PreparedCampaign {
+        config,
+        local_devices,
+        plan_hash,
+        weights_hash,
+        eval_hash,
+        golden_hash,
+        plan_words,
+        weight_image,
+        qset,
+        golden,
+        work,
+        masked,
+        masked_static,
+        tasks,
+        window: spec.fault_window.clone(),
+        verbose: spec.verbose,
+        checkpoint_path: spec.checkpoint_path.clone(),
+        labels: eval.labels.clone(),
+        eval_len: eval.len(),
+        result_key,
+        started,
+    })))
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling
+// ---------------------------------------------------------------------------
+
+/// Picks the next client a freed worker should serve: among the *ready*
+/// clients (unfinished, with queued shards), the one with the fewest
+/// dispatched shards wins, ties to the lower (older) id. Pure so the
+/// fairness invariant is unit-testable: a client with pending work is
+/// never starved by a larger campaign, because every dispatch to the big
+/// client raises its count above the small one's.
+fn fair_share_pick(clients: impl Iterator<Item = (u64, u64, bool)>) -> Option<u64> {
+    clients
+        .filter(|&(_, _, ready)| ready)
+        .min_by_key(|&(id, dispatched, _)| (dispatched, id))
+        .map(|(id, _, _)| id)
+}
+
+/// Progress of one client campaign, streamed per completed shard over
+/// [`ClientHandle::progress`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Progress {
+    /// Shards completed so far (checkpoint-prefilled ones included).
+    pub done: usize,
+    /// Total shards of this campaign.
+    pub total: usize,
+}
+
+/// Counters of a [`CampaignServer`]'s lifetime, for tests and monitoring.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Campaigns submitted (result-cache hits included).
+    pub campaigns_submitted: u64,
+    /// Submissions answered from the result cache without fleet work.
+    pub cache_hits: u64,
+    /// Shards handed to workers (requeued shards count again).
+    pub tasks_dispatched: u64,
+    /// Artifact frames actually shipped to workers (cache misses only).
+    pub artifact_frames_shipped: u64,
+}
+
+/// One client campaign's scheduling state.
+struct ClientState {
+    /// The `(plan, weights, eval, golden)` artifact hashes — the worker
+    /// session key. `golden` is 0 when the campaign ships none.
+    session: (u64, u64, u64, u64),
+    work: Arc<WorkList>,
+    window: Option<Range<u64>>,
+    tasks: Arc<Vec<Task>>,
+    /// Pending task indices (popped by workers, pushed back on loss).
+    queue: Vec<usize>,
+    /// One slot per task, filled as shards land.
+    results: Vec<Option<Vec<u8>>>,
+    done: usize,
+    /// Shards dispatched so far — the fair-share key.
+    dispatched: u64,
+    fatal: Option<DistError>,
+    finished: bool,
+    verbose: bool,
+    ckpt: Option<Arc<CkptState>>,
+    progress: Sender<Progress>,
+}
+
+/// Mutex-guarded server state.
+struct ServerState {
+    /// Encoded artifact frames by content hash — each encoded exactly once
+    /// per server, replayed to however many workers miss it.
+    artifacts: HashMap<u64, Arc<Vec<u8>>>,
+    clients: BTreeMap<u64, ClientState>,
+    next_client: u64,
+    /// Finished campaigns by result key (see [`result_cache_key`]).
+    results_cache: HashMap<u64, CampaignResult>,
+    stats: ServerStats,
+}
+
+/// Everything worker-connection threads, the acceptor and client handles
+/// share.
+struct ServerInner {
+    state: Mutex<ServerState>,
+    /// Notified whenever a client finishes (success, fatal, fleet lost).
+    completion: Condvar,
+    shutting_down: AtomicBool,
+    /// Currently connected workers (initial fleet + re-admissions − losses).
+    active: AtomicUsize,
+    task_timeout: Option<Duration>,
+    readmission_grace: Duration,
+    max_readmissions: usize,
+    total_workers: usize,
+}
+
+/// One dispatch decision, built under the state lock and executed outside
+/// it.
+struct Assignment {
+    client: u64,
+    task_idx: usize,
+    tasks: Arc<Vec<Task>>,
+    session: (u64, u64, u64, u64),
+    /// [`Msg::ArtifactDelta`] ship bitmask for this connection.
+    ship: u8,
+    /// The pre-encoded artifact frames to ship, in ship-bit order.
+    frames: Vec<Arc<Vec<u8>>>,
+    work_msg: Msg,
+    /// Expected `(work_id, start, end)` of the reply.
+    key: (u32, u32, u32),
+    ckpt: Option<Arc<CkptState>>,
+    total: usize,
+}
+
+/// Pops the fairest client's next shard and computes what this connection
+/// must ship to run it. `has` is the connection's view of the worker's
+/// artifact cache (advertisement + everything shipped since); it is updated
+/// optimistically — if the ship fails the connection breaks anyway.
+fn pick_assignment(inner: &ServerInner, has: &mut HashSet<u64>) -> Option<Assignment> {
+    let mut guard = inner.state.lock().unwrap();
+    let st = &mut *guard;
+    let id = fair_share_pick(
+        st.clients
+            .iter()
+            .map(|(&id, c)| (id, c.dispatched, !c.finished && !c.queue.is_empty())),
+    )?;
+    let c = st.clients.get_mut(&id)?;
+    let task_idx = c.queue.pop()?;
+    c.dispatched += 1;
+    let task = &c.tasks[task_idx];
+    let fault = c.work[task.work_id]
+        .as_ref()
+        .map(|(targets, kind)| WireFault::from_targets(targets, *kind));
+    // The baseline stays window-free, exactly like the in-process path.
+    let window = if fault.is_some() {
+        c.window.clone()
+    } else {
+        None
+    };
+    let key = (
+        task.work_id as u32,
+        task.range.start as u32,
+        task.range.end as u32,
+    );
+    let work_msg = Msg::Work {
+        work_id: key.0,
+        start: key.1,
+        end: key.2,
+        fault,
+        window,
+    };
+    let session = c.session;
+    let (mut ship, mut frames) = (0u8, Vec::new());
+    for (bit, &hash) in [session.0, session.1, session.2, session.3]
+        .iter()
+        .enumerate()
+    {
+        if hash == 0 || has.contains(&hash) {
+            continue; // absent (golden-free campaign) or already cached
+        }
+        ship |= 1 << bit;
+        frames.push(
+            st.artifacts
+                .get(&hash)
+                .expect("artifacts are registered before their client")
+                .clone(),
+        );
+        has.insert(hash);
+    }
+    st.stats.tasks_dispatched += 1;
+    Some(Assignment {
+        client: id,
+        task_idx,
+        tasks: c.tasks.clone(),
+        session,
+        ship,
+        frames,
+        work_msg,
+        key,
+        ckpt: c.ckpt.clone(),
+        total: c.tasks.len(),
+    })
+}
+
+/// Puts a lost shard back on its owner's queue (the owner may have
+/// finished — fatally or via another worker — in the meantime).
+fn requeue(inner: &ServerInner, a: &Assignment, worker_id: usize, why: &dyn std::fmt::Display) {
+    let mut st = inner.state.lock().unwrap();
+    if let Some(c) = st.clients.get_mut(&a.client) {
+        if !c.finished {
+            c.queue.push(a.task_idx);
+            if c.verbose {
+                let task = &a.tasks[a.task_idx];
+                eprintln!(
+                    "  worker {worker_id} lost mid-shard (client {} item {} \
+                     images {}..{}): {why}; requeued",
+                    a.client, task.work_id, task.range.start, task.range.end,
+                );
+            }
+        }
+    }
+}
+
+/// Why one task attempt ended.
+enum TaskError {
+    /// The connection is no longer trustworthy — the worker died, stalled
+    /// past the timeout, or the transport corrupted a frame. Requeue the
+    /// shard; a reconnecting worker gets re-admitted.
+    WorkerLost(std::io::Error),
+    /// A deterministic error that retrying elsewhere would reproduce.
+    Fatal(DistError),
+}
+
+/// Awaits one shard's predictions, absorbing [`Msg::Pong`] heartbeats
+/// (each restarts the `task_timeout` silence window — a slow worker that
+/// keeps heartbeating never times out) and chaos-duplicated replays of the
+/// previously completed shard. The dedup key includes the **client** id:
+/// two multiplexed clients may legitimately produce identical
+/// `(work_id, start, end)` triples back to back.
+fn await_shard(
+    stream: &mut TcpStream,
+    client: u64,
+    key: (u32, u32, u32),
+    task_timeout: Option<Duration>,
+    last_done: &mut Option<(u64, u32, u32, u32)>,
+) -> Result<Vec<u8>, TaskError> {
+    if task_timeout.is_some() {
+        let _ = stream.set_read_timeout(task_timeout);
+    }
+    let result = loop {
+        match wire::recv(stream) {
+            // Heartbeat (or a stale idle-probe reply): proof of life. The
+            // per-recv timeout restarts, which is exactly the liveness
+            // contract — silence times out, progress does not.
+            Ok(Msg::Pong) => continue,
+            Ok(Msg::ShardDone {
+                work_id,
+                start,
+                end,
+                preds,
+            }) => {
+                if *last_done == Some((client, work_id, start, end)) {
+                    // A chaos-duplicated replay of the previous completion:
+                    // already merged, skip it.
+                    continue;
+                }
+                if (work_id, start, end) == key {
+                    *last_done = Some((client, work_id, start, end));
+                    break Ok(preds);
+                }
+                // A completion for a shard this connection doesn't own: the
+                // stream is out of step (dropped/duplicated frames). Drop
+                // the connection and requeue — never merge it.
+                break Err(TaskError::WorkerLost(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "shard reply does not match the assigned task",
+                )));
+            }
+            Ok(Msg::WorkerErr { message }) => {
+                break Err(TaskError::Fatal(DistError::Worker(message)))
+            }
+            Ok(_) => {
+                break Err(TaskError::WorkerLost(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "message outside the session lifecycle",
+                )))
+            }
+            Err(DistError::Io(e)) => break Err(TaskError::WorkerLost(e)),
+            // A CRC-failed frame is transport corruption, not a worker bug:
+            // drop the connection, requeue, let re-admission replace it.
+            Err(DistError::Wire(e @ WireError::Crc { .. })) => {
+                break Err(TaskError::WorkerLost(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    e.to_string(),
+                )))
+            }
+            Err(e) => break Err(TaskError::Fatal(e)),
+        }
+    };
+    if task_timeout.is_some() {
+        let _ = stream.set_read_timeout(None);
+    }
+    result
+}
+
+/// Drives one worker connection for the life of the server: pick the
+/// fairest client's next shard, activate the session by delta if it
+/// changed, run the shard, land the result — requeueing on loss, probing
+/// liveness while idle, and releasing the worker with [`Msg::Shutdown`] at
+/// server shutdown.
+fn connection_thread(
+    inner: &Arc<ServerInner>,
+    worker_id: usize,
+    mut stream: TcpStream,
+    advertised: Vec<u64>,
+) {
+    let mut has: HashSet<u64> = advertised.into_iter().collect();
+    let mut current: (u64, u64, u64, u64) = (0, 0, 0, 0);
+    let mut current_client: Option<u64> = None;
+    let mut last_done: Option<(u64, u32, u32, u32)> = None;
+    let mut last_ping = Instant::now();
+    loop {
+        if inner.shutting_down.load(Ordering::Relaxed) {
+            // Release the worker, then drain to EOF so the *worker* closes
+            // first — keeping TIME_WAIT off the server's side, which
+            // matters when a fixed listen port is re-bound by the next
+            // experiment.
+            let _ = wire::send(&mut stream, &Msg::Shutdown);
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+            let mut sink = [0u8; 256];
+            while matches!(std::io::Read::read(&mut stream, &mut sink), Ok(n) if n > 0) {}
+            break;
+        }
+        let Some(a) = pick_assignment(inner, &mut has) else {
+            // No ready client: stay available — a lost worker may yet
+            // requeue a shard, a new campaign may arrive — and probe
+            // liveness about once a second (fire-and-forget; the Pong is
+            // absorbed by the next shard's reply loop) so a dead socket is
+            // noticed while idle.
+            if last_ping.elapsed() >= Duration::from_secs(1) {
+                last_ping = Instant::now();
+                if wire::send(&mut stream, &Msg::Ping).is_err() {
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        };
+        // Activate the session when it (or the owning client) changed. The
+        // client is part of the switch condition only for the reply dedup:
+        // the artifact tuple alone decides what ships.
+        if a.session != current || current_client != Some(a.client) || a.ship != 0 {
+            let (plan, weights, eval, golden) = a.session;
+            let activated = wire::send(
+                &mut stream,
+                &Msg::ArtifactDelta {
+                    plan,
+                    weights,
+                    eval,
+                    golden,
+                    ship: a.ship,
+                },
+            )
+            .and_then(|()| {
+                a.frames
+                    .iter()
+                    .try_for_each(|f| wire::write_frame(&mut stream, f))
+            });
+            if let Err(e) = activated {
+                requeue(inner, &a, worker_id, &e);
+                break;
+            }
+            for f in &a.frames {
+                wire::count_artifact_bytes(f.len() as u64);
+            }
+            if !a.frames.is_empty() {
+                inner.state.lock().unwrap().stats.artifact_frames_shipped += a.frames.len() as u64;
+            }
+            current = a.session;
+            current_client = Some(a.client);
+            last_done = None;
+        }
+        let outcome = wire::send(&mut stream, &a.work_msg)
+            .map_err(TaskError::WorkerLost)
+            .and_then(|()| {
+                await_shard(
+                    &mut stream,
+                    a.client,
+                    a.key,
+                    inner.task_timeout,
+                    &mut last_done,
+                )
+            });
+        match outcome {
+            Ok(preds) => {
+                // Persist before counting done: a server killed right here
+                // resumes with this shard already checkpointed.
+                if let Some(ck) = &a.ckpt {
+                    ck.record(&a.tasks[a.task_idx], &preds);
+                }
+                let mut st = inner.state.lock().unwrap();
+                if let Some(c) = st.clients.get_mut(&a.client) {
+                    if !c.finished && c.results[a.task_idx].is_none() {
+                        c.results[a.task_idx] = Some(preds);
+                        c.done += 1;
+                        let _ = c.progress.send(Progress {
+                            done: c.done,
+                            total: a.total,
+                        });
+                        if c.verbose {
+                            let task = &a.tasks[a.task_idx];
+                            eprintln!(
+                                "  fi client {} {}/{} [worker {worker_id}]: \
+                                 item {} images {}..{}",
+                                a.client,
+                                c.done,
+                                a.total,
+                                task.work_id,
+                                task.range.start,
+                                task.range.end,
+                            );
+                        }
+                        if c.done == a.total {
+                            c.finished = true;
+                            inner.completion.notify_all();
+                        }
+                    }
+                }
+                last_ping = Instant::now();
+            }
+            Err(TaskError::WorkerLost(e)) => {
+                // The shard is requeued for a surviving (or re-admitted)
+                // worker; this connection is done.
+                requeue(inner, &a, worker_id, &e);
+                break;
+            }
+            Err(TaskError::Fatal(e)) => {
+                // Deterministic failure: retrying it on another worker
+                // would reproduce it. Fail the owning client — other
+                // clients keep running — and drop this connection (its
+                // stream state is no longer trusted).
+                let mut st = inner.state.lock().unwrap();
+                if let Some(c) = st.clients.get_mut(&a.client) {
+                    if !c.finished {
+                        c.fatal = Some(e);
+                        c.finished = true;
+                        c.queue.clear();
+                        inner.completion.notify_all();
+                    }
+                }
+                break;
+            }
+        }
+    }
+    inner.active.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Keeps the listener open for the life of the server: re-admits
+/// reconnecting or late workers (handshake + advertisement, then the
+/// shared scheduler) and fails every unfinished client when the fleet
+/// stays empty past the re-admission grace — the server itself survives a
+/// fleet loss and serves later submissions if workers return.
+fn acceptor_thread(
+    inner: &Arc<ServerInner>,
+    listener: &TcpListener,
+    conn_threads: &Mutex<Vec<JoinHandle<()>>>,
+) {
+    let mut admitted = 0usize;
+    let mut empty_since: Option<Instant> = None;
+    loop {
+        if inner.shutting_down.load(Ordering::Relaxed) {
+            break;
+        }
+        if inner.active.load(Ordering::SeqCst) == 0 {
+            let mut st = inner.state.lock().unwrap();
+            if st.clients.values().any(|c| !c.finished) {
+                let since = *empty_since.get_or_insert_with(Instant::now);
+                if since.elapsed() >= inner.readmission_grace {
+                    // Nobody is left and nobody came back: fail every
+                    // unfinished client (their checkpoints, if any, stay on
+                    // disk for a resume). The server stays up.
+                    for c in st.clients.values_mut() {
+                        if !c.finished {
+                            c.fatal = Some(DistError::FleetLost {
+                                incomplete: c.tasks.len() - c.done,
+                            });
+                            c.finished = true;
+                            c.queue.clear();
+                        }
+                    }
+                    inner.completion.notify_all();
+                    empty_since = None;
+                }
+            } else {
+                empty_since = None;
+            }
+        } else {
+            empty_since = None;
+        }
+        match listener.accept() {
+            Ok((mut s, _)) => {
+                if s.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let _ = s.set_nodelay(true);
+                // The handshake reads are bounded: a connected-but-silent
+                // peer (half-open link, port scanner) is dropped, never
+                // allowed to hang the acceptor.
+                let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+                if wire::accept_hello(&mut s).is_err() {
+                    continue;
+                }
+                let Ok(Msg::HaveArtifacts { hashes }) = wire::recv(&mut s) else {
+                    continue;
+                };
+                if admitted >= inner.max_readmissions {
+                    // Versioned, explicit rejection *after* the handshake:
+                    // the worker's serve loop reads a clean `Goodbye` and
+                    // stands down, instead of hanging in TCP limbo or
+                    // misreading the frame.
+                    let _ = wire::send(
+                        &mut s,
+                        &Msg::Goodbye {
+                            reason: format!(
+                                "re-admission cap ({}) reached",
+                                inner.max_readmissions
+                            ),
+                        },
+                    );
+                    continue;
+                }
+                if s.set_read_timeout(None).is_err() {
+                    continue;
+                }
+                admitted += 1;
+                inner.active.fetch_add(1, Ordering::SeqCst);
+                empty_since = None;
+                let worker_id = inner.total_workers + admitted;
+                {
+                    let st = inner.state.lock().unwrap();
+                    if st.clients.values().any(|c| c.verbose) {
+                        eprintln!("  worker {worker_id} admitted mid-campaign");
+                    }
+                }
+                let inner2 = Arc::clone(inner);
+                conn_threads
+                    .lock()
+                    .unwrap()
+                    .push(std::thread::spawn(move || {
+                        connection_thread(&inner2, worker_id, s, hashes)
+                    }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Accepts and handshakes `n` workers within `timeout` (the initial fleet
+/// raise; afterwards the acceptor thread owns the listener, which it
+/// leaves in the non-blocking mode set here). Returns each worker's stream
+/// with its [`Msg::HaveArtifacts`] advertisement. Tolerant of bad peers:
+/// a failed hello or a missing advertisement drops that connection and
+/// keeps accepting — a chaos-mangled handshake costs the worker a clean
+/// reconnect, not the fleet.
+fn accept_fleet(
+    listener: &TcpListener,
+    n: usize,
+    timeout: Duration,
+) -> Result<Vec<(TcpStream, Vec<u64>)>, DistError> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| DistError::Spawn(e.to_string()))?;
+    let deadline = Instant::now() + timeout;
+    let mut streams = Vec::with_capacity(n);
+    while streams.len() < n {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                // The handshake read is bounded by the remaining accept
+                // deadline: a connected-but-silent peer (half-open link,
+                // port scanner, stalled worker) must time the fleet out,
+                // not hang the coordinator on a blocking recv forever.
+                let remaining = deadline
+                    .saturating_duration_since(Instant::now())
+                    .max(Duration::from_millis(1));
+                if stream.set_read_timeout(Some(remaining)).is_err() {
+                    continue;
+                }
+                if wire::accept_hello(&mut stream).is_err() {
+                    continue;
+                }
+                let Ok(Msg::HaveArtifacts { hashes }) = wire::recv(&mut stream) else {
+                    continue;
+                };
+                if stream.set_read_timeout(None).is_err() {
+                    continue;
+                }
+                streams.push((stream, hashes));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(DistError::Spawn(format!(
+                        "only {}/{} workers connected within {:?}",
+                        streams.len(),
+                        n,
+                        timeout
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(DistError::Spawn(format!("accept: {e}"))),
+        }
+    }
+    Ok(streams)
+}
+
+// ---------------------------------------------------------------------------
+// The server
+// ---------------------------------------------------------------------------
+
+/// A persistent multiplexing campaign server: one worker fleet, many
+/// concurrent client campaigns (see the module docs). Dropping the server
+/// shuts it down — unfinished clients fail with a named error, workers are
+/// released with [`Msg::Shutdown`], spawned processes are reaped.
+pub struct CampaignServer {
+    inner: Arc<ServerInner>,
+    children: Mutex<Vec<Child>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    acceptor: Mutex<Option<JoinHandle<()>>>,
+    addr: SocketAddr,
+    local_devices_cfg: usize,
+}
+
+impl CampaignServer {
+    /// Raises the fleet and starts the server: spawns `workers` local
+    /// worker processes (per [`FleetSpec::spawn`]), waits for them plus
+    /// [`FleetSpec::external_workers`] cross-host ones to connect and
+    /// advertise their caches, and hands every connection to the shared
+    /// scheduler. The listener stays open for the server's life, so
+    /// workers raised later (or reconnecting after a crash) join the same
+    /// fleet.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Spawn`] when the fleet is empty
+    /// (`workers + external_workers == 0`), a worker process cannot be
+    /// spawned, or the fleet does not complete its handshakes within
+    /// [`FleetSpec::accept_timeout`].
+    pub fn start(fleet: &FleetSpec, workers: usize) -> Result<CampaignServer, DistError> {
+        let total_workers = workers + fleet.external_workers;
+        if total_workers == 0 {
+            return Err(DistError::Spawn(
+                "a campaign server needs at least one worker".to_string(),
+            ));
+        }
+        // A fixed listen address may sit in TIME_WAIT for a moment after a
+        // previous server of the same experiment, so AddrInUse is retried
+        // within the accept budget rather than failing the experiment.
+        let bind_addr = fleet.listen.as_deref().unwrap_or("127.0.0.1:0");
+        let bind_deadline = Instant::now() + fleet.accept_timeout;
+        let listener = loop {
+            match TcpListener::bind(bind_addr) {
+                Ok(l) => break l,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::AddrInUse
+                        && Instant::now() < bind_deadline =>
+                {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(e) => return Err(DistError::Spawn(format!("bind {bind_addr}: {e}"))),
+            }
+        };
+        let local = listener
+            .local_addr()
+            .map_err(|e| DistError::Spawn(e.to_string()))?;
+        // Spawned (same-host) workers connect to loopback when the listener
+        // is on loopback or a wildcard; a concrete non-loopback bind
+        // (cross-host listen combined with local spawns) is handed to them
+        // verbatim.
+        let connect_addr = if local.ip().is_unspecified() || local.ip().is_loopback() {
+            format!("127.0.0.1:{}", local.port())
+        } else {
+            local.to_string()
+        };
+        let mut guard = FleetGuard {
+            children: Vec::new(),
+        };
+        for i in 0..workers {
+            let exe = match &fleet.spawn {
+                WorkerSpawn::SelfExec => std::env::current_exe()
+                    .map_err(|e| DistError::Spawn(format!("current_exe: {e}")))?,
+                WorkerSpawn::Exe(p) => p.clone(),
+            };
+            let mut cmd = Command::new(&exe);
+            cmd.env(worker::ENV_CONNECT, &connect_addr);
+            for (k, v) in fleet.worker_env.get(i).map_or(&[][..], Vec::as_slice) {
+                cmd.env(k, v);
+            }
+            guard.children.push(
+                cmd.spawn()
+                    .map_err(|e| DistError::Spawn(format!("spawn {}: {e}", exe.display())))?,
+            );
+        }
+        // Early returns above drop the guard, which kills + reaps what was
+        // spawned so far.
+        let streams = accept_fleet(&listener, total_workers, fleet.accept_timeout)?;
+        let children = std::mem::take(&mut guard.children);
+        drop(guard);
+
+        let inner = Arc::new(ServerInner {
+            state: Mutex::new(ServerState {
+                artifacts: HashMap::new(),
+                clients: BTreeMap::new(),
+                next_client: 0,
+                results_cache: HashMap::new(),
+                stats: ServerStats::default(),
+            }),
+            completion: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            active: AtomicUsize::new(streams.len()),
+            task_timeout: fleet.task_timeout,
+            readmission_grace: fleet.readmission_grace,
+            max_readmissions: fleet.max_readmissions,
+            total_workers,
+        });
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        {
+            let mut reg = conn_threads.lock().unwrap();
+            for (worker_id, (stream, hashes)) in streams.into_iter().enumerate() {
+                let inner2 = Arc::clone(&inner);
+                reg.push(std::thread::spawn(move || {
+                    connection_thread(&inner2, worker_id, stream, hashes)
+                }));
+            }
+        }
+        let acceptor = {
+            let inner2 = Arc::clone(&inner);
+            let reg = Arc::clone(&conn_threads);
+            std::thread::spawn(move || acceptor_thread(&inner2, &listener, &reg))
+        };
+        Ok(CampaignServer {
+            inner,
+            children: Mutex::new(children),
+            conn_threads,
+            acceptor: Mutex::new(Some(acceptor)),
+            addr: local,
+            local_devices_cfg: fleet.local_devices,
+        })
+    }
+
+    /// The address the server listens on — what cross-host `nvfi_worker`
+    /// processes connect to.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the server's lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        self.inner.state.lock().unwrap().stats
+    }
+
+    /// Submits one campaign to the shared fleet and returns immediately
+    /// with a [`ClientHandle`]; the campaign runs concurrently with every
+    /// other submitted one, interleaved fair-share. `spec.workers` is
+    /// ignored — the fleet was sized at [`CampaignServer::start`] — but
+    /// `spec.threads` still means "total device budget" when the fleet's
+    /// [`FleetSpec::local_devices`] was 0.
+    ///
+    /// An all-masked campaign, or one whose result key is already in the
+    /// result cache, resolves without any fleet work.
+    ///
+    /// # Errors
+    ///
+    /// Compile/verification errors as their [`DistError`] variants.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same spec violations as [`Campaign::run`] (no kinds,
+    /// zero evaluation images, empty expanded work list).
+    pub fn submit(
+        &self,
+        model: &QuantModel,
+        config: PlatformConfig,
+        spec: &CampaignSpec,
+        eval: &Dataset,
+    ) -> Result<ClientHandle, DistError> {
+        let local_devices = if self.local_devices_cfg > 0 {
+            self.local_devices_cfg
+        } else {
+            (spec.threads / self.inner.total_workers).max(1)
+        };
+        match prepare(
+            model,
+            config,
+            spec,
+            eval,
+            self.inner.total_workers,
+            local_devices,
+        )? {
+            Prepared::Immediate(result) => Ok(ClientHandle::ready(result)),
+            Prepared::Scheduled(p) => Ok(self.submit_prepared(*p)),
+        }
+    }
+
+    /// Registers a [`PreparedCampaign`] with the scheduler: result-cache
+    /// lookup first, then artifact registration (each distinct hash
+    /// encoded exactly once per server), checkpoint prefill, and the
+    /// client queue.
+    pub(crate) fn submit_prepared(&self, p: PreparedCampaign) -> ClientHandle {
+        let mut st = self.inner.state.lock().unwrap();
+        st.stats.campaigns_submitted += 1;
+        if let Some(cached) = st.results_cache.get(&p.result_key) {
+            let mut result = cached.clone();
+            st.stats.cache_hits += 1;
+            drop(st);
+            result.wall_seconds = p.started.elapsed().as_secs_f64();
+            if let Some(path) = &p.checkpoint_path {
+                // The cached answer completes this campaign; a stale
+                // checkpoint must not donate shards to a later run.
+                Checkpoint::remove(path);
+            }
+            return ClientHandle::ready(result);
+        }
+        // Register the artifact frames. Encoding happens at most once per
+        // distinct content hash for the server's whole life — the
+        // serialize-once probes count these.
+        let plan_frame = ensure_artifact(&mut st, p.plan_hash, || {
+            Msg::Plan {
+                config: p.config.into(),
+                local_devices: p.local_devices as u32,
+                words: p.plan_words.clone(),
+            }
+            .encode()
+        });
+        let weights_frame = ensure_artifact(&mut st, p.weights_hash, || {
+            Msg::Weights {
+                regions: p.weight_image.clone(),
+            }
+            .encode()
+        });
+        let shape = p.qset.shape();
+        let eval_frame = ensure_artifact(&mut st, p.eval_hash, || {
+            // Encoded straight from the borrowed pixel slice: no owned copy
+            // of the (large) evaluation set just to build a `Msg`.
+            wire::encode_eval_set(
+                shape.n as u32,
+                shape.c as u32,
+                shape.h as u32,
+                shape.w as u32,
+                p.qset.images().as_slice(),
+            )
+        });
+        if let Some(golden) = &p.golden {
+            ensure_artifact(&mut st, p.golden_hash, || {
+                Msg::Golden {
+                    boundary: golden.boundary() as u64,
+                    surfaces: golden.surfaces().to_vec(),
+                    data: golden.data().to_vec(),
+                    cached_images: golden.cached_images() as u64,
+                }
+                .encode()
+            });
+        }
+        drop(st);
+
+        // Checkpoint/resume (file I/O outside the state lock): replay
+        // completed shards of a previous campaign whose fingerprint matches
+        // this one, then keep persisting as new shards land.
+        let mut results: Vec<Option<Vec<u8>>> = vec![None; p.tasks.len()];
+        let mut prefilled = 0usize;
+        let ckpt: Option<Arc<CkptState>> = p.checkpoint_path.as_ref().map(|path| {
+            let fingerprint = campaign_fingerprint(
+                [&plan_frame, &weights_frame, &eval_frame],
+                &p.tasks,
+                &p.work,
+                &p.window,
+            );
+            let mut cp = Checkpoint::new(fingerprint);
+            if let Some(prev) = Checkpoint::load(path) {
+                if prev.fingerprint == fingerprint {
+                    let by_key: HashMap<(u32, u32, u32), usize> = p
+                        .tasks
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| {
+                            (
+                                (t.work_id as u32, t.range.start as u32, t.range.end as u32),
+                                i,
+                            )
+                        })
+                        .collect();
+                    for entry in prev.entries {
+                        let key = (entry.work_id, entry.start, entry.end);
+                        if let Some(&idx) = by_key.get(&key) {
+                            if results[idx].is_none() {
+                                results[idx] = Some(entry.preds.clone());
+                                prefilled += 1;
+                                cp.entries.push(entry);
+                            }
+                        }
+                    }
+                    if p.verbose && prefilled > 0 {
+                        eprintln!(
+                            "  resuming from {}: {}/{} shards already done",
+                            path.display(),
+                            prefilled,
+                            p.tasks.len()
+                        );
+                    }
+                } else if p.verbose {
+                    eprintln!(
+                        "  checkpoint {} belongs to a different campaign; starting fresh",
+                        path.display()
+                    );
+                }
+            }
+            Arc::new(CkptState {
+                path: path.clone(),
+                cp: Mutex::new(cp),
+            })
+        });
+
+        let (progress_tx, progress_rx) = channel();
+        let work = Arc::new(p.work);
+        let tasks = Arc::new(p.tasks);
+        let queue: Vec<usize> = (0..tasks.len())
+            .rev()
+            .filter(|&i| results[i].is_none())
+            .collect();
+        let finished = prefilled == tasks.len();
+        let ctx = MergeCtx {
+            work: Arc::clone(&work),
+            tasks: Arc::clone(&tasks),
+            masked: p.masked,
+            masked_static: p.masked_static,
+            labels: p.labels,
+            eval_len: p.eval_len,
+            result_key: p.result_key,
+            checkpoint_path: p.checkpoint_path,
+            started: p.started,
+        };
+        let mut st = self.inner.state.lock().unwrap();
+        let id = st.next_client;
+        st.next_client += 1;
+        st.clients.insert(
+            id,
+            ClientState {
+                session: (p.plan_hash, p.weights_hash, p.eval_hash, p.golden_hash),
+                work,
+                window: p.window,
+                tasks,
+                queue,
+                results,
+                done: prefilled,
+                dispatched: 0,
+                fatal: None,
+                finished,
+                verbose: p.verbose,
+                ckpt,
+                progress: progress_tx,
+            },
+        );
+        if finished {
+            self.inner.completion.notify_all();
+        }
+        drop(st);
+        ClientHandle {
+            inner: HandleInner::Pending {
+                server: Arc::clone(&self.inner),
+                id,
+                ctx,
+            },
+            progress: progress_rx,
+        }
+    }
+
+    /// Shuts the server down: fails unfinished clients with a named error,
+    /// releases every worker with [`Msg::Shutdown`], joins the scheduler
+    /// threads and reaps spawned worker processes. Idempotent; also runs
+    /// on drop.
+    pub fn shutdown(self) {
+        self.stop();
+    }
+
+    fn stop(&self) {
+        if self.inner.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            for c in st.clients.values_mut() {
+                if !c.finished {
+                    c.finished = true;
+                    c.queue.clear();
+                    if c.fatal.is_none() {
+                        c.fatal = Some(DistError::Protocol("campaign server shut down"));
+                    }
+                }
+            }
+            self.inner.completion.notify_all();
+        }
+        // The acceptor first — it is the only spawner of new connection
+        // threads, so after this join the registry is final.
+        if let Some(h) = self.acceptor.lock().unwrap().take() {
+            let _ = h.join();
+        }
+        let handles: Vec<JoinHandle<()>> = self.conn_threads.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        for mut child in self.children.lock().unwrap().drain(..) {
+            // A cleanly shut-down worker has already exited; kill is a
+            // no-op race loser then. Either way, wait() reaps.
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+impl Drop for CampaignServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Interns an encoded artifact frame by content hash — the closure runs
+/// (and the serialize-once probes tick) only when the hash is new to the
+/// server.
+fn ensure_artifact(
+    st: &mut ServerState,
+    hash: u64,
+    make: impl FnOnce() -> Vec<u8>,
+) -> Arc<Vec<u8>> {
+    st.artifacts
+        .entry(hash)
+        .or_insert_with(|| Arc::new(make()))
+        .clone()
+}
+
+// ---------------------------------------------------------------------------
+// Client handles
+// ---------------------------------------------------------------------------
+
+/// Everything [`ClientHandle::wait`] needs to merge landed shards into a
+/// [`CampaignResult`] without touching the server's shared state.
+struct MergeCtx {
+    work: Arc<WorkList>,
+    tasks: Arc<Vec<Task>>,
+    masked: Vec<bool>,
+    masked_static: usize,
+    labels: Vec<u8>,
+    eval_len: usize,
+    result_key: u64,
+    checkpoint_path: Option<PathBuf>,
+    started: Instant,
+}
+
+enum HandleInner {
+    Ready(CampaignResult),
+    Pending {
+        server: Arc<ServerInner>,
+        id: u64,
+        ctx: MergeCtx,
+    },
+}
+
+/// One submitted campaign's handle: stream its [`progress`], then
+/// [`wait`] for the merged result.
+///
+/// [`progress`]: ClientHandle::progress
+/// [`wait`]: ClientHandle::wait
+pub struct ClientHandle {
+    inner: HandleInner,
+    progress: Receiver<Progress>,
+}
+
+impl ClientHandle {
+    fn ready(result: CampaignResult) -> ClientHandle {
+        // A resolved campaign streams no progress: the sender is dropped
+        // immediately, so the receiver reports disconnection, not silence.
+        let (_tx, rx) = channel();
+        ClientHandle {
+            inner: HandleInner::Ready(result),
+            progress: rx,
+        }
+    }
+
+    /// The per-shard progress stream of this campaign. Disconnects once
+    /// the campaign finished (or when it resolved without fleet work).
+    #[must_use]
+    pub fn progress(&self) -> &Receiver<Progress> {
+        &self.progress
+    }
+
+    /// Blocks until the campaign finishes and merges its shards into a
+    /// [`CampaignResult`] **bit-identical** to the in-process
+    /// [`Campaign::run`] — predictions concatenated by `(work item, shard
+    /// range)`, never by arrival order, then folded through the shared
+    /// [`FiRecord::from_preds`]. The finished result is stored in the
+    /// server's result cache.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::FleetLost`] when every worker stayed gone past the
+    /// re-admission grace (the checkpoint, if any, is left on disk for a
+    /// resume); [`DistError::Worker`] for worker-reported deterministic
+    /// failures; [`DistError::Protocol`] when the server was shut down
+    /// with this campaign unfinished.
+    pub fn wait(self) -> Result<CampaignResult, DistError> {
+        let (server, id, ctx) = match self.inner {
+            HandleInner::Ready(result) => return Ok(result),
+            HandleInner::Pending { server, id, ctx } => (server, id, ctx),
+        };
+        let mut st = server.state.lock().unwrap();
+        loop {
+            match st.clients.get(&id) {
+                Some(c) if c.finished => break,
+                Some(_) => st = server.completion.wait(st).unwrap(),
+                None => return Err(DistError::Protocol("campaign client vanished")),
+            }
+        }
+        let client = st.clients.remove(&id).expect("checked above");
+        drop(st);
+        if let Some(e) = client.fatal {
+            return Err(e);
+        }
+        // Merge: concatenate each work item's shards in range order (the
+        // task list is already ordered that way), then fold into records
+        // exactly as the in-process loop does.
+        let mut per_item: Vec<Vec<u8>> = vec![Vec::new(); ctx.work.len()];
+        for (task, slot) in ctx.tasks.iter().zip(client.results) {
+            per_item[task.work_id].extend(slot.expect("a finished, non-fatal client has no holes"));
+        }
+        // Provably-masked items produce exactly the fault-free predictions:
+        // give them the baseline's, and the shared record fold below does
+        // the rest.
+        let clean_preds: Vec<u8> = per_item[0].clone();
+        for (item, is_masked) in per_item.iter_mut().zip(&ctx.masked) {
+            if *is_masked {
+                item.clone_from(&clean_preds);
+            }
+        }
+        let baseline_accuracy = prediction_accuracy(&clean_preds, &ctx.labels);
+        let mut records = Vec::with_capacity(ctx.work.len() - 1);
+        for (item, preds) in ctx.work.iter().zip(&per_item).skip(1) {
+            let (targets, kind) = item.as_ref().expect("non-baseline items carry a fault");
+            // The shared fold of nvfi::campaign — bit-identity with the
+            // in-process path is structural, not a re-implementation.
+            records.push(FiRecord::from_preds(
+                targets.clone(),
+                *kind,
+                preds,
+                &clean_preds,
+                &ctx.labels,
+                baseline_accuracy,
+            ));
+        }
+        let executed = records.len() - ctx.masked_static;
+        let total_inferences = (executed as u64 + 1) * ctx.eval_len as u64;
+        let result = CampaignResult {
+            baseline_accuracy,
+            records,
+            masked_static: ctx.masked_static,
+            total_inferences,
+            wall_seconds: ctx.started.elapsed().as_secs_f64(),
+        };
+        // The campaign is complete: cache the answer for repeat queries and
+        // retire the checkpoint — a finished run must not donate shards to
+        // an unrelated later campaign at the same path.
+        server
+            .state
+            .lock()
+            .unwrap()
+            .results_cache
+            .insert(ctx.result_key, result.clone());
+        if let Some(path) = &ctx.checkpoint_path {
+            Checkpoint::remove(path);
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A peer that connects but never sends its hello must make the fleet
+    /// accept *time out with an error* — not hang the server forever on a
+    /// blocking handshake read.
+    #[test]
+    fn silent_peer_times_the_fleet_accept_out() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _silent = TcpStream::connect(addr).unwrap();
+        let t = Instant::now();
+        let r = accept_fleet(&listener, 1, Duration::from_millis(300));
+        assert!(r.is_err(), "a silent peer must not count as a worker");
+        assert!(
+            t.elapsed() < Duration::from_secs(30),
+            "accept must observe the deadline instead of blocking"
+        );
+    }
+
+    #[test]
+    fn fair_share_prefers_the_least_served_ready_client() {
+        // Client 1 has had 5 shards, client 2 only 1: 2 wins.
+        let pick = fair_share_pick([(1, 5, true), (2, 1, true)].into_iter());
+        assert_eq!(pick, Some(2));
+    }
+
+    #[test]
+    fn fair_share_skips_unready_clients() {
+        // The least-served client is finished/drained; the other wins.
+        let pick = fair_share_pick([(1, 5, true), (2, 1, false)].into_iter());
+        assert_eq!(pick, Some(1));
+        assert_eq!(
+            fair_share_pick([(1, 5, false), (2, 1, false)].into_iter()),
+            None
+        );
+        assert_eq!(fair_share_pick(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn fair_share_breaks_ties_toward_the_older_client() {
+        let pick = fair_share_pick([(7, 3, true), (2, 3, true), (9, 3, true)].into_iter());
+        assert_eq!(pick, Some(2));
+    }
+
+    #[test]
+    fn content_hashes_are_domain_separated_and_nonzero() {
+        // The same byte content under different artifact kinds must hash
+        // differently (domain tags), and no hash may be the wire's
+        // "absent" sentinel 0.
+        let w = hash_weights(&[(0, vec![1, 2, 3])]);
+        let mut h = Fnv64::new();
+        h.write(&[3]);
+        assert_ne!(w, 0);
+        assert_ne!(w, finish_nonzero(&h));
+        let a = hash_weights(&[(0, vec![1, 2, 3])]);
+        let b = hash_weights(&[(0, vec![1, 2, 4])]);
+        assert_eq!(w, a, "content hashing is deterministic");
+        assert_ne!(a, b, "a single flipped weight must change the hash");
+    }
+}

@@ -27,7 +27,17 @@ use crate::coordinator::DistError;
 /// first v2 frame with a named [`WireError::Crc`]/framing error instead of
 /// mis-decoding traffic — frame-layout changes are exactly what the
 /// version bump is for.
-pub const WIRE_VERSION: u32 = 2;
+///
+/// v3: sessions are content-addressed. A worker follows its `Hello` with
+/// [`Msg::HaveArtifacts`] advertising the content hashes it still holds
+/// from earlier campaigns; the coordinator activates a session with
+/// [`Msg::ArtifactDelta`] naming the artifact hashes the next work runs
+/// under and ships only the frames the worker is missing. The artifact set
+/// gains [`Msg::Golden`], the windowed-campaign golden activation cache.
+/// Bare `Plan`/`Weights`/`EvalSet` frames outside a delta are a protocol
+/// error in v3. The checkpoint seed folds `WIRE_VERSION`, so v2 resume
+/// files self-invalidate.
+pub const WIRE_VERSION: u32 = 3;
 
 /// `Hello` magic: the bytes `NVFI`, read as a little-endian u32.
 pub const WIRE_MAGIC: u32 = u32::from_le_bytes(*b"NVFI");
@@ -48,9 +58,12 @@ const TAG_WORK: u8 = 0x05;
 const TAG_SHUTDOWN: u8 = 0x06;
 const TAG_PING: u8 = 0x07;
 const TAG_GOODBYE: u8 = 0x08;
+const TAG_DELTA: u8 = 0x09;
+const TAG_GOLDEN: u8 = 0x0A;
 const TAG_SHARD_DONE: u8 = 0x11;
 const TAG_WORKER_ERR: u8 = 0x12;
 const TAG_PONG: u8 = 0x13;
+const TAG_HAVE: u8 = 0x14;
 
 // Serialize-once probes (in the spirit of
 // `nvfi_quant::batch::quantization_passes`): a campaign must encode its
@@ -59,6 +72,7 @@ const TAG_PONG: u8 = 0x13;
 static PLAN_SERIALIZATIONS: AtomicU64 = AtomicU64::new(0);
 static WEIGHT_SERIALIZATIONS: AtomicU64 = AtomicU64::new(0);
 static EVAL_SERIALIZATIONS: AtomicU64 = AtomicU64::new(0);
+static ARTIFACT_BYTES: AtomicU64 = AtomicU64::new(0);
 
 /// Process-wide count of [`Msg::Plan`] encodes (test probe).
 #[must_use]
@@ -76,6 +90,21 @@ pub fn weight_serializations() -> u64 {
 #[must_use]
 pub fn eval_serializations() -> u64 {
     EVAL_SERIALIZATIONS.load(Ordering::Relaxed)
+}
+
+/// Process-wide count of artifact payload bytes *actually shipped* to
+/// workers (test probe). The campaign server bumps this only for artifact
+/// frames a worker did not already hold — a warm session that re-ships
+/// nothing leaves it untouched, which is exactly what the session-cache
+/// tests assert.
+#[must_use]
+pub fn artifact_bytes_shipped() -> u64 {
+    ARTIFACT_BYTES.load(Ordering::Relaxed)
+}
+
+/// Credits `n` bytes to the [`artifact_bytes_shipped`] probe.
+pub(crate) fn count_artifact_bytes(n: u64) {
+    ARTIFACT_BYTES.fetch_add(n, Ordering::Relaxed);
 }
 
 /// The platform configuration as it travels on the wire — what a worker
@@ -246,6 +275,49 @@ pub enum Msg {
         /// Human-readable description.
         message: String,
     },
+    /// Content hashes of artifacts the worker still holds from earlier
+    /// sessions. Sent once per connection, immediately after the hello
+    /// exchange, so the coordinator can ship only deltas. An empty list is
+    /// a cold worker.
+    HaveArtifacts {
+        /// Cached artifact content hashes (plan/weights/eval/golden alike;
+        /// hashes are domain-tagged so the kinds cannot collide).
+        hashes: Vec<u64>,
+    },
+    /// Session activation: the artifact hashes all subsequent [`Msg::Work`]
+    /// runs under, plus which of them are shipped as frames **immediately
+    /// following this message** (in plan, weights, eval-set, golden order).
+    /// Artifacts not shipped must already be in the worker's cache.
+    ArtifactDelta {
+        /// Content hash of the plan artifact (config + local devices +
+        /// plan words). Never zero.
+        plan: u64,
+        /// Content hash of the DRAM weight image. Never zero.
+        weights: u64,
+        /// Content hash of the quantized evaluation set. Never zero.
+        eval: u64,
+        /// Content hash of the golden activation cache, or 0 when the
+        /// session has none (no fault window).
+        golden: u64,
+        /// Bitmask of artifacts shipped right after this frame: bit 0 =
+        /// plan, bit 1 = weights, bit 2 = eval set, bit 3 = golden.
+        ship: u8,
+    },
+    /// The golden activation cache for windowed campaigns: clean boundary
+    /// activations per image, so a worker replays only the suffix of the
+    /// network behind the fault window (the remote analogue of
+    /// [`nvfi::GoldenActivationCache`]).
+    Golden {
+        /// Plan step index of the cached boundary.
+        boundary: u64,
+        /// `(addr, bytes)` DRAM surfaces that make up one image's boundary
+        /// activations.
+        surfaces: Vec<(u64, u64)>,
+        /// Concatenated per-image surface bytes, `cached_images` strides.
+        data: Vec<i8>,
+        /// Images cached (a prefix of the evaluation set).
+        cached_images: u64,
+    },
 }
 
 impl Msg {
@@ -340,6 +412,40 @@ impl Msg {
             Msg::WorkerErr { message } => {
                 e.u8(TAG_WORKER_ERR);
                 e.str(message);
+            }
+            Msg::HaveArtifacts { hashes } => {
+                e.u8(TAG_HAVE);
+                e.u64_slice(hashes);
+            }
+            Msg::ArtifactDelta {
+                plan,
+                weights,
+                eval,
+                golden,
+                ship,
+            } => {
+                e.u8(TAG_DELTA);
+                e.u64(*plan);
+                e.u64(*weights);
+                e.u64(*eval);
+                e.u64(*golden);
+                e.u8(*ship);
+            }
+            Msg::Golden {
+                boundary,
+                surfaces,
+                data,
+                cached_images,
+            } => {
+                e.u8(TAG_GOLDEN);
+                e.u64(*boundary);
+                e.u64(surfaces.len() as u64);
+                for &(addr, bytes) in surfaces {
+                    e.u64(addr);
+                    e.u64(bytes);
+                }
+                e.i8_slice(data);
+                e.u64(*cached_images);
             }
         }
         e.into_vec()
@@ -503,6 +609,68 @@ impl Msg {
             TAG_WORKER_ERR => Msg::WorkerErr {
                 message: d.str("worker error")?,
             },
+            TAG_HAVE => Msg::HaveArtifacts {
+                hashes: d.u64_slice("artifact hashes")?,
+            },
+            TAG_DELTA => {
+                let plan = d.u64("delta plan hash")?;
+                let weights = d.u64("delta weights hash")?;
+                let eval = d.u64("delta eval hash")?;
+                let golden = d.u64("delta golden hash")?;
+                let ship = d.u8("delta ship mask")?;
+                if plan == 0 || weights == 0 || eval == 0 {
+                    return Err(WireError::Invalid("zero artifact hash"));
+                }
+                if ship & !0x0F != 0 {
+                    return Err(WireError::Invalid("unknown delta ship bits"));
+                }
+                if golden == 0 && ship & 0x08 != 0 {
+                    return Err(WireError::Invalid("golden shipped without a hash"));
+                }
+                Msg::ArtifactDelta {
+                    plan,
+                    weights,
+                    eval,
+                    golden,
+                    ship,
+                }
+            }
+            TAG_GOLDEN => {
+                let boundary = d.u64("golden boundary")?;
+                let count = d.u64("golden surface count")?;
+                // Each surface is the 16 bytes of (addr, len) on the wire.
+                if count.saturating_mul(16) > d.remaining() as u64 {
+                    return Err(WireError::BadLength {
+                        what: "golden surfaces",
+                        claimed: count.saturating_mul(16),
+                        remaining: d.remaining(),
+                    });
+                }
+                let mut surfaces = Vec::with_capacity(count as usize);
+                let mut stride: u128 = 0;
+                for _ in 0..count {
+                    let addr = d.u64("golden surface addr")?;
+                    let bytes = d.u64("golden surface bytes")?;
+                    stride += u128::from(bytes);
+                    surfaces.push((addr, bytes));
+                }
+                let data = d.i8_slice("golden data")?;
+                let cached_images = d.u64("golden cached images")?;
+                if boundary == 0 || surfaces.is_empty() || stride == 0 || cached_images == 0 {
+                    return Err(WireError::Invalid("empty golden cache"));
+                }
+                // u128: a forged stride * image count must not wrap into a
+                // plausible data length.
+                if stride * u128::from(cached_images) != data.len() as u128 {
+                    return Err(WireError::Invalid("golden stride/data mismatch"));
+                }
+                Msg::Golden {
+                    boundary,
+                    surfaces,
+                    data,
+                    cached_images,
+                }
+            }
             t => {
                 return Err(WireError::BadTag {
                     what: "message",
@@ -532,7 +700,7 @@ pub fn encode_eval_set(n: u32, c: u32, h: u32, w: u32, data: &[i8]) -> Vec<u8> {
     e.into_vec()
 }
 
-fn mode_tag(m: ExecMode) -> u8 {
+pub(crate) fn mode_tag(m: ExecMode) -> u8 {
     match m {
         ExecMode::Exact => 0,
         ExecMode::Fast => 1,
@@ -552,7 +720,7 @@ fn mode_from_tag(t: u8) -> Result<ExecMode, WireError> {
     }
 }
 
-fn idle_tag(p: IdleLanePolicy) -> u8 {
+pub(crate) fn idle_tag(p: IdleLanePolicy) -> u8 {
     match p {
         IdleLanePolicy::ZeroFed => 0,
         IdleLanePolicy::Gated => 1,

@@ -1,6 +1,7 @@
-//! The worker side of the campaign fabric: serve one coordinator session on
-//! a connected socket, driving a local [`DevicePool`] built from the
-//! shipped plan + weight image.
+//! The worker side of the campaign fabric: serve coordinator sessions on a
+//! connected socket, driving a local [`DevicePool`] built from
+//! content-addressed artifacts the coordinator ships (and re-ships only
+//! when they change).
 //!
 //! A worker process is raised one of three ways:
 //!
@@ -11,6 +12,18 @@
 //! * the **`nvfi_worker` binary** of this crate, spawned locally or started
 //!   by hand on another host (`nvfi_worker <coordinator-addr>`);
 //! * any embedder calling [`serve`] on a stream it connected itself.
+//!
+//! # Session cache (wire v3)
+//!
+//! A worker keeps an [`ArtifactCache`] of the plans, weight images,
+//! evaluation sets and golden activation caches it has been shipped, keyed
+//! by content hash. Each new connection advertises the cached hashes in a
+//! [`Msg::HaveArtifacts`] frame right after the hello exchange; the
+//! coordinator activates campaigns with [`Msg::ArtifactDelta`] frames that
+//! ship **only what the worker is missing** — a repeat campaign over
+//! unchanged artifacts re-ships zero bytes, and switching between the
+//! campaigns of a multiplexed server is a few-byte delta instead of a
+//! weight image.
 //!
 //! Every socket-owning entry point wraps its stream in
 //! [`crate::chaos::ChaosStream::wrap_env`], so the chaos env knobs
@@ -23,9 +36,9 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use nvfi::{DevicePool, EmulationPlatform, QuantizedEvalSet};
+use nvfi::{DevicePool, EmulationPlatform, GoldenActivationCache, QuantizedEvalSet};
 use nvfi_accel::FaultConfig;
 use nvfi_tensor::{Shape4, Tensor};
 use rand::rngs::StdRng;
@@ -34,7 +47,7 @@ use rand::{Rng, SeedableRng};
 use crate::chaos::ChaosStream;
 use crate::codec::WireError;
 use crate::coordinator::DistError;
-use crate::wire::{self, Msg, WireFault};
+use crate::wire::{self, Msg, WireConfig, WireFault};
 
 /// Environment variable carrying the coordinator address a worker process
 /// must connect to (consumed by [`maybe_serve`] and the `nvfi_worker` bin).
@@ -46,9 +59,20 @@ pub const ENV_CONNECT: &str = "NVFI_WORKER_CONNECT";
 /// tests. Unset (the default) means never.
 pub const ENV_EXIT_AFTER: &str = "NVFI_WORKER_EXIT_AFTER";
 
+/// How long (in seconds) a [`serve_forever`] worker idles without a
+/// reachable coordinator before standing down. Unset or unparsable means
+/// **unbounded**: a persistent-fleet worker waits for the next campaign
+/// indefinitely, which is the point of a persistent fleet.
+pub const ENV_IDLE_EXIT: &str = "NVFI_WORKER_IDLE_EXIT";
+
 /// Exit code of a deliberate [`ENV_EXIT_AFTER`] death (distinguishable from
 /// a crash in test logs).
 pub const EXIT_AFTER_CODE: i32 = 17;
+
+/// Cached artifacts retained per kind across sessions. Eviction (oldest
+/// first) happens only when a new connection advertises, so the set a
+/// coordinator was told about never shrinks mid-connection.
+const CACHE_CAP: usize = 8;
 
 /// How a worker session ended cleanly.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -71,6 +95,106 @@ fn backoff_delay(attempt: u32, rng: &mut StdRng) -> Duration {
     Duration::from_millis(ceil_ms / 2 + rng.gen_range(0..=ceil_ms / 2))
 }
 
+/// A cached plan artifact: the platform config, the local device count it
+/// was programmed for, and the encoded plan words.
+type PlanArtifact = (WireConfig, u32, Vec<u32>);
+
+/// A cached DRAM weight image: shipped `(addr, bytes)` regions.
+type WeightImage = Vec<(u64, Vec<i8>)>;
+
+/// The content-addressed artifact store a worker keeps **across sessions**
+/// (and across reconnects of the same process): everything a coordinator
+/// has shipped, keyed by the content hash it was announced under. One
+/// built [`DevicePool`] is kept alongside, keyed by its
+/// `(plan, weights)` hash pair, so re-activating the same campaign skips
+/// device programming entirely.
+///
+/// Entries are stored in insertion order; `ArtifactCache::advertise`
+/// evicts beyond `CACHE_CAP` per kind (oldest first) and returns what
+/// remains — the exact set the next coordinator may rely on.
+#[derive(Default)]
+pub struct ArtifactCache {
+    /// Plan artifacts: `(config, local_devices, plan words)`.
+    plans: Vec<(u64, PlanArtifact)>,
+    /// DRAM weight images as shipped `(addr, bytes)` regions.
+    weights: Vec<(u64, WeightImage)>,
+    /// Quantized evaluation sets, reconstructed once at receive time.
+    evals: Vec<(u64, QuantizedEvalSet)>,
+    /// Golden activation caches for windowed campaigns.
+    goldens: Vec<(u64, GoldenActivationCache)>,
+    /// The one programmed device pool, keyed by `(plan, weights)` hashes.
+    built: Option<((u64, u64), DevicePool)>,
+}
+
+fn cache_get<T>(entries: &[(u64, T)], hash: u64) -> Option<&T> {
+    entries.iter().find(|(h, _)| *h == hash).map(|(_, v)| v)
+}
+
+fn cache_put<T>(entries: &mut Vec<(u64, T)>, hash: u64, value: T) {
+    entries.retain(|(h, _)| *h != hash);
+    entries.push((hash, value));
+}
+
+impl ArtifactCache {
+    /// Trims each kind to `CACHE_CAP` (oldest first) and returns every
+    /// retained hash — the connection-start advertisement. The built pool
+    /// is dropped if either of its artifacts was evicted.
+    fn advertise(&mut self) -> Vec<u64> {
+        trim(&mut self.plans);
+        trim(&mut self.weights);
+        trim(&mut self.evals);
+        trim(&mut self.goldens);
+        if let Some(((p, w), _)) = &self.built {
+            if cache_get(&self.plans, *p).is_none() || cache_get(&self.weights, *w).is_none() {
+                self.built = None;
+            }
+        }
+        let mut hashes = Vec::new();
+        hashes.extend(self.plans.iter().map(|(h, _)| *h));
+        hashes.extend(self.weights.iter().map(|(h, _)| *h));
+        hashes.extend(self.evals.iter().map(|(h, _)| *h));
+        hashes.extend(self.goldens.iter().map(|(h, _)| *h));
+        hashes
+    }
+
+    /// Resolves the active session's artifacts, building (or reusing) the
+    /// programmed device pool. Split borrows: the pool is the only mutable
+    /// piece, the eval set and golden cache stay shared.
+    fn parts(
+        &mut self,
+        session: &Session,
+    ) -> Result<
+        (
+            &mut DevicePool,
+            &QuantizedEvalSet,
+            Option<&GoldenActivationCache>,
+        ),
+        DistError,
+    > {
+        let qset = cache_get(&self.evals, session.eval)
+            .ok_or(DistError::Protocol("work before eval set"))?;
+        let golden = if session.golden == 0 {
+            None
+        } else {
+            Some(
+                cache_get(&self.goldens, session.golden)
+                    .ok_or(DistError::Protocol("work names a missing golden cache"))?,
+            )
+        };
+        let pool = match &mut self.built {
+            Some((key, pool)) if *key == (session.plan, session.weights) => pool,
+            _ => return Err(DistError::Protocol("work before session activation")),
+        };
+        Ok((pool, qset, golden))
+    }
+}
+
+fn trim<T>(entries: &mut Vec<(u64, T)>) {
+    while entries.len() > CACHE_CAP {
+        entries.remove(0);
+    }
+}
+
 /// Self-exec hook: when [`ENV_CONNECT`] is set, the process is a spawned
 /// worker — connect, serve sessions, and **exit** (status 0 on a clean
 /// shutdown or goodbye, 1 on a deterministic error). When unset, returns
@@ -81,17 +205,19 @@ fn backoff_delay(attempt: u32, rng: &mut StdRng) -> Duration {
 /// coordinator restarting, or the chaos harness at work) does not kill the
 /// process: the worker backs off and reconnects, up to a bounded number of
 /// attempts, and the coordinator's persistent listener re-admits it
-/// mid-campaign.
+/// mid-campaign. The artifact cache survives reconnects, so a re-admitted
+/// worker is re-activated by delta, not re-shipped from scratch.
 pub fn maybe_serve() {
     let Ok(addr) = std::env::var(ENV_CONNECT) else {
         return;
     };
     let mut rng = StdRng::seed_from_u64(u64::from(std::process::id()));
     let mut attempt = 0u32;
+    let mut cache = ArtifactCache::default();
     loop {
         let result = connect_retry(&addr, Duration::from_secs(5)).and_then(|stream| {
             let mut stream = ChaosStream::wrap_env(stream);
-            serve(&mut stream)
+            serve_with_cache(&mut stream, &mut cache)
         });
         match result {
             Ok(ServeEnd::Shutdown) => std::process::exit(0),
@@ -133,77 +259,94 @@ pub fn serve_addr(addr: &str) -> Result<ServeEnd, DistError> {
 
 /// Serves coordinator sessions **in a loop**: after a clean shutdown the
 /// worker reconnects and waits for the next session, so one long-lived
-/// `nvfi_worker` process can carry a whole multi-campaign experiment (fig2
-/// runs one campaign per `(k, injected value)` point — each is its own
-/// session). The loop ends cleanly when the coordinator stays unreachable
-/// for the reconnect window after at least one served session (experiment
-/// over); an unreachable coordinator *before* any session is an error.
+/// `nvfi_worker` process can carry a whole multi-campaign experiment, its
+/// artifact cache warm across all of them. With no coordinator reachable
+/// the worker **idle-waits** — a persistent fleet must not stand down
+/// between campaigns — unless [`ENV_IDLE_EXIT`] bounds the wait: after
+/// that many coordinator-free seconds the loop ends, cleanly when at least
+/// one session was served, with [`DistError::Spawn`] when none ever was.
 ///
 /// Transient session failures (socket errors, CRC-failed frames) are
 /// retried with capped exponential backoff — each retry logged with its
-/// attempt count — instead of the former tight 100 ms loop, so a dead
-/// coordinator does not spin a hot core during teardown. A [`Msg::Goodbye`]
-/// is logged and followed by a reconnect pause: for a per-campaign
-/// rejection (campaign complete, cap reached) the next campaign of the same
-/// experiment may still want this worker, and the loop's normal
-/// connect-window exit ends it once nothing listens any more.
+/// attempt count. A [`Msg::Goodbye`] is logged and followed by a reconnect
+/// pause: for a per-campaign rejection (campaign complete, cap reached)
+/// the next campaign of the same experiment may still want this worker.
 ///
 /// # Errors
 ///
-/// [`DistError::Spawn`] if the first session never connects; deterministic
-/// session errors per [`serve`].
+/// [`DistError::Spawn`] when an [`ENV_IDLE_EXIT`] deadline expires before
+/// any session was served; deterministic session errors per [`serve`].
 pub fn serve_forever(addr: &str) -> Result<(), DistError> {
+    let idle_exit: Option<Duration> = std::env::var(ENV_IDLE_EXIT)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_secs);
     let mut sessions = 0u64;
     let mut attempt = 0u32;
     let mut rng = StdRng::seed_from_u64(u64::from(std::process::id()));
+    let mut cache = ArtifactCache::default();
+    let mut idle_since = Instant::now();
     loop {
-        match connect_retry(addr, Duration::from_secs(60)) {
-            Ok(stream) => {
-                let mut stream = ChaosStream::wrap_env(stream);
-                match serve(&mut stream) {
-                    Ok(ServeEnd::Shutdown) => {
-                        sessions += 1;
-                        attempt = 0;
+        let stream = loop {
+            match TcpStream::connect(addr) {
+                Ok(s) => {
+                    let _ = s.set_nodelay(true);
+                    break s;
+                }
+                Err(e) => {
+                    if let Some(limit) = idle_exit {
+                        if idle_since.elapsed() >= limit {
+                            return if sessions > 0 {
+                                Ok(())
+                            } else {
+                                Err(DistError::Spawn(format!(
+                                    "no coordinator at {addr} within the \
+                                     {limit:?} idle deadline: {e}"
+                                )))
+                            };
+                        }
                     }
-                    Ok(ServeEnd::Goodbye(reason)) => {
-                        attempt += 1;
-                        let delay = backoff_delay(attempt, &mut rng);
-                        eprintln!(
-                            "nvfi worker ({addr}): turned away ({reason}); \
-                             retrying for a later campaign in {delay:?}"
-                        );
-                        std::thread::sleep(delay);
-                    }
-                    // Transient transport failure — the coordinator tearing
-                    // down, restarting, or the chaos harness at work. Back
-                    // off and reconnect (even on the very first session: the
-                    // chaos harness can kill that one too); once nothing
-                    // listens any more, connect_retry's window ends the loop
-                    // cleanly.
-                    Err(DistError::Io(_) | DistError::Wire(WireError::Crc { .. }))
-                        if attempt < 16 =>
-                    {
-                        attempt += 1;
-                        let delay = backoff_delay(attempt, &mut rng);
-                        eprintln!(
-                            "nvfi worker ({addr}): transient session failure, \
-                             reconnect attempt {attempt} in {delay:?}"
-                        );
-                        std::thread::sleep(delay);
-                    }
-                    Err(e) => return Err(e),
+                    std::thread::sleep(Duration::from_millis(100));
                 }
             }
-            Err(e) => {
-                return if sessions > 0 { Ok(()) } else { Err(e) };
+        };
+        let mut stream = ChaosStream::wrap_env(stream);
+        match serve_with_cache(&mut stream, &mut cache) {
+            Ok(ServeEnd::Shutdown) => {
+                sessions += 1;
+                attempt = 0;
             }
+            Ok(ServeEnd::Goodbye(reason)) => {
+                attempt += 1;
+                let delay = backoff_delay(attempt, &mut rng);
+                eprintln!(
+                    "nvfi worker ({addr}): turned away ({reason}); \
+                     retrying for a later campaign in {delay:?}"
+                );
+                std::thread::sleep(delay);
+            }
+            // Transient transport failure — the coordinator tearing down,
+            // restarting, or the chaos harness at work. Back off and
+            // reconnect; the idle deadline (if any) ends the loop once
+            // nothing listens any more.
+            Err(DistError::Io(_) | DistError::Wire(WireError::Crc { .. })) if attempt < 16 => {
+                attempt += 1;
+                let delay = backoff_delay(attempt, &mut rng);
+                eprintln!(
+                    "nvfi worker ({addr}): transient session failure, \
+                     reconnect attempt {attempt} in {delay:?}"
+                );
+                std::thread::sleep(delay);
+            }
+            Err(e) => return Err(e),
         }
+        idle_since = Instant::now();
     }
 }
 
 /// Connects with retries spread over `window`.
 fn connect_retry(addr: &str, window: Duration) -> Result<TcpStream, DistError> {
-    let deadline = std::time::Instant::now() + window;
+    let deadline = Instant::now() + window;
     loop {
         let err = match TcpStream::connect(addr) {
             Ok(stream) => {
@@ -212,7 +355,7 @@ fn connect_retry(addr: &str, window: Duration) -> Result<TcpStream, DistError> {
             }
             Err(e) => e,
         };
-        if std::time::Instant::now() >= deadline {
+        if Instant::now() >= deadline {
             return Err(DistError::Spawn(format!(
                 "could not reach coordinator at {addr}: {err}"
             )));
@@ -221,29 +364,41 @@ fn connect_retry(addr: &str, window: Duration) -> Result<TcpStream, DistError> {
     }
 }
 
-/// The per-session device state a worker accumulates as the coordinator's
-/// setup frames arrive (hello → plan → weights → eval set), after which
-/// [`Msg::Work`] frames are served until [`Msg::Shutdown`].
+/// The active campaign a connection is serving: the artifact hashes the
+/// last [`Msg::ArtifactDelta`] named. All device state lives in the
+/// [`ArtifactCache`]; a session is just the key set selecting it.
 #[derive(Default)]
 struct Session {
-    /// The plan-programmed device, until the pool absorbs it.
-    device: Option<EmulationPlatform>,
-    /// Local pool size requested by the coordinator.
-    local_devices: usize,
-    /// The local device pool (built when the eval set arrives).
-    pool: Option<DevicePool>,
-    /// The shipped, already-quantized evaluation set.
-    qset: Option<QuantizedEvalSet>,
+    /// Plan artifact hash (0 until the first delta).
+    plan: u64,
+    /// Weight-image artifact hash.
+    weights: u64,
+    /// Evaluation-set artifact hash.
+    eval: u64,
+    /// Golden-cache artifact hash, 0 when the campaign has none.
+    golden: u64,
     /// Heartbeat wave: images computed between [`Msg::Pong`] heartbeats of
     /// a long shard (one full pass of the local pool).
     wave: usize,
 }
 
-/// Serves one coordinator session on `stream`: handshake, session setup,
-/// then work frames until shutdown. Deterministic failures (device errors,
-/// protocol violations) are reported back as [`Msg::WorkerErr`] before the
-/// error is returned, so the coordinator can distinguish them from a worker
-/// death.
+/// Serves one coordinator session on `stream` with a **fresh** artifact
+/// cache — the single-campaign entry point embedders and tests drive. See
+/// [`serve_with_cache`] for the full protocol.
+///
+/// # Errors
+///
+/// As [`serve_with_cache`].
+pub fn serve<S: Read + Write>(stream: &mut S) -> Result<ServeEnd, DistError> {
+    serve_with_cache(stream, &mut ArtifactCache::default())
+}
+
+/// Serves one coordinator connection on `stream`: hello handshake, a
+/// [`Msg::HaveArtifacts`] advertisement of `cache`'s content hashes, then
+/// [`Msg::ArtifactDelta`] activations and [`Msg::Work`] frames until
+/// shutdown. Deterministic failures (device errors, protocol violations)
+/// are reported back as [`Msg::WorkerErr`] before the error is returned,
+/// so the coordinator can distinguish them from a worker death.
 ///
 /// During a shard the worker emits an **unsolicited [`Msg::Pong`]
 /// heartbeat** after each compute wave (`local_devices × shard
@@ -258,8 +413,18 @@ struct Session {
 /// [`DistError::Wire`] on a version mismatch or malformed frame,
 /// [`DistError::Io`] when the coordinator goes away, [`DistError::Platform`]
 /// on device errors.
-pub fn serve<S: Read + Write>(stream: &mut S) -> Result<ServeEnd, DistError> {
+pub fn serve_with_cache<S: Read + Write>(
+    stream: &mut S,
+    cache: &mut ArtifactCache,
+) -> Result<ServeEnd, DistError> {
     wire::client_hello(stream)?;
+    wire::send(
+        stream,
+        &Msg::HaveArtifacts {
+            hashes: cache.advertise(),
+        },
+    )
+    .map_err(DistError::Io)?;
     let exit_after: Option<u64> = std::env::var(ENV_EXIT_AFTER)
         .ok()
         .and_then(|v| v.parse().ok());
@@ -271,6 +436,26 @@ pub fn serve<S: Read + Write>(stream: &mut S) -> Result<ServeEnd, DistError> {
             Msg::Goodbye { reason } => return Ok(ServeEnd::Goodbye(reason)),
             Msg::Ping => {
                 wire::send(stream, &Msg::Pong).map_err(DistError::Io)?;
+            }
+            Msg::ArtifactDelta {
+                plan,
+                weights,
+                eval,
+                golden,
+                ship,
+            } => {
+                if let Err(e) = apply_delta(
+                    cache,
+                    &mut session,
+                    stream,
+                    plan,
+                    weights,
+                    eval,
+                    golden,
+                    ship,
+                ) {
+                    return report_and_fail(stream, e);
+                }
             }
             Msg::Work { .. } if exit_after == Some(served) => {
                 // Deliberate mid-shard death (test hook): the shard was
@@ -284,17 +469,26 @@ pub fn serve<S: Read + Write>(stream: &mut S) -> Result<ServeEnd, DistError> {
                 end,
                 fault,
                 window,
-            } => match run_shard(&mut session, stream, work_id, start, end, fault, window) {
+            } => match run_shard(cache, &session, stream, work_id, start, end, fault, window) {
                 Ok(reply) => {
                     wire::send(stream, &reply).map_err(DistError::Io)?;
                     served += 1;
                 }
                 Err(e) => return report_and_fail(stream, e),
             },
-            msg => {
-                if let Err(e) = handle(&mut session, msg) {
-                    return report_and_fail(stream, e);
-                }
+            // Bare artifact frames only travel inside a delta in v3.
+            Msg::Plan { .. } | Msg::Weights { .. } | Msg::EvalSet { .. } | Msg::Golden { .. } => {
+                return report_and_fail(
+                    stream,
+                    DistError::Protocol("artifact frame outside a delta"),
+                )
+            }
+            Msg::WorkerErr { message } => return Err(DistError::Worker(message)),
+            Msg::Hello { .. } | Msg::ShardDone { .. } | Msg::Pong | Msg::HaveArtifacts { .. } => {
+                return report_and_fail(
+                    stream,
+                    DistError::Protocol("unexpected message for a worker"),
+                )
             }
         }
     }
@@ -311,10 +505,115 @@ fn report_and_fail<S: Read + Write>(stream: &mut S, e: DistError) -> Result<Serv
     Err(e)
 }
 
-/// Computes one shard in heartbeat waves (see [`serve`]), returning the
-/// [`Msg::ShardDone`] reply.
-fn run_shard<S: Read + Write>(
+/// Applies one [`Msg::ArtifactDelta`]: receives the shipped artifact
+/// frames (in plan, weights, eval-set, golden order), verifies every
+/// referenced hash is now cached, and activates the session — reusing the
+/// already-programmed device pool when the `(plan, weights)` pair is
+/// unchanged, rebuilding it otherwise.
+#[allow(clippy::too_many_arguments)]
+fn apply_delta<S: Read + Write>(
+    cache: &mut ArtifactCache,
     session: &mut Session,
+    stream: &mut S,
+    plan: u64,
+    weights: u64,
+    eval: u64,
+    golden: u64,
+    ship: u8,
+) -> Result<(), DistError> {
+    for bit in 0..4u8 {
+        if ship & (1 << bit) == 0 {
+            continue;
+        }
+        match (bit, wire::recv(stream)?) {
+            (
+                0,
+                Msg::Plan {
+                    config,
+                    local_devices,
+                    words,
+                },
+            ) => cache_put(&mut cache.plans, plan, (config, local_devices, words)),
+            (1, Msg::Weights { regions }) => cache_put(&mut cache.weights, weights, regions),
+            (2, Msg::EvalSet { n, c, h, w, data }) => {
+                let shape = Shape4::new(n as usize, c as usize, h as usize, w as usize);
+                cache_put(
+                    &mut cache.evals,
+                    eval,
+                    QuantizedEvalSet::from_tensor(Tensor::from_vec(shape, data)),
+                );
+            }
+            (
+                3,
+                Msg::Golden {
+                    boundary,
+                    surfaces,
+                    data,
+                    cached_images,
+                },
+            ) => {
+                let g = GoldenActivationCache::from_parts(
+                    boundary as usize,
+                    surfaces,
+                    data,
+                    cached_images as usize,
+                )
+                .ok_or(DistError::Protocol("inconsistent golden cache frame"))?;
+                cache_put(&mut cache.goldens, golden, g);
+            }
+            _ => return Err(DistError::Protocol("unexpected frame inside a delta")),
+        }
+    }
+    let (config, local_devices, words) = cache_get(&cache.plans, plan)
+        .ok_or(DistError::Protocol("delta references an uncached plan"))?
+        .clone();
+    let regions = cache_get(&cache.weights, weights).ok_or(DistError::Protocol(
+        "delta references an uncached weight image",
+    ))?;
+    if cache_get(&cache.evals, eval).is_none() {
+        return Err(DistError::Protocol("delta references an uncached eval set"));
+    }
+    if golden != 0 && cache_get(&cache.goldens, golden).is_none() {
+        return Err(DistError::Protocol(
+            "delta references an uncached golden cache",
+        ));
+    }
+    let platform_config: nvfi::PlatformConfig = config.into();
+    match &mut cache.built {
+        // Same programmed device: re-arm it instead of rebuilding.
+        Some((key, pool)) if *key == (plan, weights) => {
+            pool.clear_faults();
+            pool.set_fault_window(None)?;
+        }
+        built => {
+            let decoded = nvfi_compiler::plan::decode_words(&words)
+                .map_err(|_| DistError::Protocol("plan words do not decode"))?;
+            let mut device = EmulationPlatform::from_plan(decoded, platform_config)?;
+            device
+                .accel_mut()
+                .import_weight_image(regions)
+                .map_err(|e| DistError::Platform(e.into()))?;
+            let pool = DevicePool::from_device(device, (local_devices as usize).max(1));
+            *built = Some(((plan, weights), pool));
+        }
+    }
+    session.plan = plan;
+    session.weights = weights;
+    session.eval = eval;
+    session.golden = golden;
+    session.wave = (local_devices as usize).max(1) * DevicePool::granularity(&platform_config);
+    Ok(())
+}
+
+/// Computes one shard in heartbeat waves (see [`serve_with_cache`]),
+/// returning the [`Msg::ShardDone`] reply. Windowed shards restore each
+/// image's golden prefix from the session's shipped
+/// [`GoldenActivationCache`] when one exists — bit-identical to the
+/// recompute path, just cheaper.
+#[allow(clippy::too_many_arguments)]
+fn run_shard<S: Read + Write>(
+    cache: &mut ArtifactCache,
+    session: &Session,
     stream: &mut S,
     work_id: u32,
     start: u32,
@@ -322,14 +621,7 @@ fn run_shard<S: Read + Write>(
     fault: Option<WireFault>,
     window: Option<std::ops::Range<u64>>,
 ) -> Result<Msg, DistError> {
-    let pool = session
-        .pool
-        .as_mut()
-        .ok_or(DistError::Protocol("work before session setup"))?;
-    let qset = session
-        .qset
-        .as_ref()
-        .ok_or(DistError::Protocol("work before eval set"))?;
+    let (pool, qset, golden) = cache.parts(session)?;
     let (start, end) = (start as usize, end as usize);
     if end > qset.len() {
         return Err(DistError::Protocol("shard range outside the eval set"));
@@ -338,15 +630,20 @@ fn run_shard<S: Read + Write>(
     if let Some(f) = &fault {
         pool.inject(&FaultConfig::new(f.targets(), f.kind));
     }
-    if window.is_some() {
-        pool.set_fault_window(window)?;
-    }
+    // Always (re)set the window: a windowed shard must not leak its window
+    // into the next, window-free shard of a multiplexed session.
+    pool.set_fault_window(window.clone())?;
+    let windowed = window.is_some();
     let wave = session.wave.max(1);
     let mut preds = Vec::with_capacity(end - start);
     let mut at = start;
     while at < end {
         let stop = (at + wave).min(end);
-        preds.extend(pool.classify_i8_range(qset, at..stop)?);
+        preds.extend(if windowed {
+            pool.classify_i8_golden_range(qset, at..stop, golden)?
+        } else {
+            pool.classify_i8_range(qset, at..stop)?
+        });
         at = stop;
         if at < end {
             // Heartbeat between waves: proof of life, not completion. The
@@ -355,65 +652,11 @@ fn run_shard<S: Read + Write>(
         }
     }
     pool.clear_faults();
+    pool.set_fault_window(None)?;
     Ok(Msg::ShardDone {
         work_id,
         start: start as u32,
         end: end as u32,
         preds,
     })
-}
-
-/// Applies one coordinator *setup* frame to the session ([`Msg::Work`],
-/// heartbeats and session-ending frames are handled in [`serve`] itself).
-fn handle(session: &mut Session, msg: Msg) -> Result<(), DistError> {
-    match msg {
-        Msg::Plan {
-            config,
-            local_devices,
-            words,
-        } => {
-            let plan = nvfi_compiler::plan::decode_words(&words)
-                .map_err(|_| DistError::Protocol("plan words do not decode"))?;
-            let platform_config: nvfi::PlatformConfig = config.into();
-            session.wave =
-                (local_devices as usize).max(1) * DevicePool::granularity(&platform_config);
-            session.device = Some(EmulationPlatform::from_plan(plan, platform_config)?);
-            session.local_devices = local_devices as usize;
-            session.pool = None;
-            session.qset = None;
-            Ok(())
-        }
-        Msg::Weights { regions } => {
-            let device = session
-                .device
-                .as_mut()
-                .ok_or(DistError::Protocol("weights before plan"))?;
-            device
-                .accel_mut()
-                .import_weight_image(&regions)
-                .map_err(|e| DistError::Platform(e.into()))?;
-            Ok(())
-        }
-        Msg::EvalSet { n, c, h, w, data } => {
-            let device = session
-                .device
-                .take()
-                .ok_or(DistError::Protocol("eval set before plan"))?;
-            let shape = Shape4::new(n as usize, c as usize, h as usize, w as usize);
-            session.qset = Some(QuantizedEvalSet::from_tensor(Tensor::from_vec(shape, data)));
-            session.pool = Some(DevicePool::from_device(
-                device,
-                session.local_devices.max(1),
-            ));
-            Ok(())
-        }
-        Msg::Hello { .. }
-        | Msg::ShardDone { .. }
-        | Msg::Pong
-        | Msg::Shutdown
-        | Msg::Ping
-        | Msg::Goodbye { .. }
-        | Msg::Work { .. } => Err(DistError::Protocol("unexpected message for a worker")),
-        Msg::WorkerErr { message } => Err(DistError::Worker(message)),
-    }
 }

@@ -78,11 +78,12 @@ fn chaos_on_worker_0(plan: &str) -> Vec<Vec<(String, String)>> {
     vec![vec![(ENV_CHAOS_PLAN.to_string(), plan.to_string())]]
 }
 
-/// **Corrupt frame.** Worker 0 flips one bit of its second outgoing frame
-/// (its first shard reply or heartbeat). The coordinator must diagnose the
-/// CRC failure, drop the connection, requeue the shard — and the worker,
-/// seeing its session die, reconnects and is re-admitted. Records stay
-/// bit-identical.
+/// **Corrupt frame.** Worker 0 flips one bit of its third outgoing frame —
+/// its first post-handshake frame (frames 0 and 1 are the hello and the v3
+/// cache advertisement), i.e. its first shard reply or heartbeat. The
+/// coordinator must diagnose the CRC failure, drop the connection, requeue
+/// the shard — and the worker, seeing its session die, reconnects and is
+/// re-admitted. Records stay bit-identical.
 #[test]
 fn corrupt_frame_is_requeued_and_worker_readmitted() {
     let (q, eval) = setup();
@@ -90,7 +91,7 @@ fn corrupt_frame_is_requeued_and_worker_readmitted() {
     let spec = base_spec();
     let in_process = Campaign::new(&q, config).run(&spec, &eval).unwrap();
     let fleet = FleetSpec {
-        worker_env: chaos_on_worker_0("flip:1:9:3"),
+        worker_env: chaos_on_worker_0("flip:2:9:3"),
         ..worker_fleet()
     };
     let dist_spec = CampaignSpec { workers: 2, ..spec };
@@ -99,9 +100,9 @@ fn corrupt_frame_is_requeued_and_worker_readmitted() {
 }
 
 /// **Connection drop mid-frame.** Worker 0's link dies five bytes into its
-/// second outgoing frame — the coordinator sees a torn frame and EOF, the
-/// worker sees a broken pipe, backs off, reconnects, and is re-admitted
-/// mid-campaign. Records stay bit-identical.
+/// first post-handshake outgoing frame — the coordinator sees a torn frame
+/// and EOF, the worker sees a broken pipe, backs off, reconnects, and is
+/// re-admitted mid-campaign. Records stay bit-identical.
 #[test]
 fn connection_drop_mid_frame_reconnects_and_readmits() {
     let (q, eval) = setup();
@@ -109,7 +110,7 @@ fn connection_drop_mid_frame_reconnects_and_readmits() {
     let spec = base_spec();
     let in_process = Campaign::new(&q, config).run(&spec, &eval).unwrap();
     let fleet = FleetSpec {
-        worker_env: chaos_on_worker_0("drop:1:5"),
+        worker_env: chaos_on_worker_0("drop:2:5"),
         ..worker_fleet()
     };
     let dist_spec = CampaignSpec { workers: 2, ..spec };
@@ -128,7 +129,7 @@ fn stalled_shard_is_timed_out_and_requeued() {
     let spec = base_spec();
     let in_process = Campaign::new(&q, config).run(&spec, &eval).unwrap();
     let fleet = FleetSpec {
-        worker_env: chaos_on_worker_0("stall:1:4000"),
+        worker_env: chaos_on_worker_0("stall:2:4000"),
         task_timeout: Some(Duration::from_secs(2)),
         ..worker_fleet()
     };
@@ -238,7 +239,7 @@ fn reconnect_beyond_cap_is_turned_away_and_campaign_completes() {
     let spec = base_spec();
     let in_process = Campaign::new(&q, config).run(&spec, &eval).unwrap();
     let fleet = FleetSpec {
-        worker_env: chaos_on_worker_0("drop:1:5"),
+        worker_env: chaos_on_worker_0("drop:2:5"),
         max_readmissions: 0,
         ..worker_fleet()
     };

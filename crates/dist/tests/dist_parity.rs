@@ -101,9 +101,10 @@ fn single_item_shards_across_workers_identically() {
     assert_identical(&in_process, &dist, "sharded single item");
 }
 
-/// Transient-window campaigns ship the window with each work item; workers
-/// run the op-scoped engine and must stay bit-identical (they recompute
-/// golden prefixes locally rather than shipping the coordinator's cache).
+/// Transient-window campaigns ship the window with each work item plus the
+/// coordinator-built golden activation cache as a fourth content-addressed
+/// artifact; workers restore golden prefixes from it and must stay
+/// bit-identical.
 #[test]
 fn windowed_campaign_matches_in_process() {
     let (q, eval) = setup();
@@ -238,6 +239,14 @@ fn truncated_frame_over_socket_is_an_error() {
             },
         )
         .unwrap();
+        // Consume the worker's cache advertisement before hanging up:
+        // closing a socket with unread received data sends RST, which
+        // could discard the truncated frame below from the worker's
+        // receive buffer and turn the asserted clean EOF into a reset.
+        match wire::recv(&mut s) {
+            Ok(Msg::HaveArtifacts { .. }) => {}
+            other => panic!("expected the cache advertisement, got {other:?}"),
+        }
         // Promise a 64-byte frame, deliver 3 bytes, hang up.
         s.write_all(&64u32.to_le_bytes()).unwrap();
         s.write_all(&[1, 2, 3]).unwrap();
@@ -324,6 +333,9 @@ fn stalled_worker_is_timed_out_and_shard_requeued() {
             }
         };
         wire::client_hello(&mut s).unwrap();
+        // An empty cache advertisement completes the v3 admission
+        // handshake; everything after it is where this peer misbehaves.
+        wire::send(&mut s, &Msg::HaveArtifacts { hashes: vec![] }).unwrap();
         loop {
             match wire::recv(&mut s) {
                 Ok(Msg::Work { .. }) => std::thread::sleep(Duration::from_secs(3600)),

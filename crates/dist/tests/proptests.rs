@@ -211,6 +211,46 @@ proptest! {
         exercise(&Msg::Goodbye { reason });
     }
 
+    /// The v3 session-cache advertisement: any list of content hashes
+    /// (zeros included — the decoder does not police advertisement values)
+    /// round-trips, and truncation never panics.
+    #[test]
+    fn have_artifacts_roundtrips(hashes in collection::vec(any::<u64>(), 0..64usize)) {
+        exercise(&Msg::HaveArtifacts { hashes });
+    }
+
+    /// The v3 session switch: nonzero plan/weights/eval hashes, an optional
+    /// golden hash, and any subset of the four ship bits (bit 3 only with a
+    /// golden hash) round-trip; truncation never panics.
+    #[test]
+    fn artifact_delta_roundtrips(
+        plan in 1u64..u64::MAX,
+        weights in 1u64..u64::MAX,
+        eval in 1u64..u64::MAX,
+        golden in any::<u64>(),
+        ship_bits in 0u8..16,
+    ) {
+        let ship = if golden == 0 { ship_bits & 0x07 } else { ship_bits };
+        exercise(&Msg::ArtifactDelta { plan, weights, eval, golden, ship });
+    }
+
+    /// A well-formed golden activation cache (nonzero boundary, at least one
+    /// surface, data sized exactly `stride × cached_images`) round-trips;
+    /// truncation never panics.
+    #[test]
+    fn golden_roundtrips(
+        boundary in 1u64..1_000,
+        surfaces in collection::vec((0u64..(1 << 32), 1u64..64), 1..6usize),
+        cached_images in 1u64..5,
+        seed in any::<u32>(),
+    ) {
+        let stride: u64 = surfaces.iter().map(|&(_, bytes)| bytes).sum();
+        let data: Vec<i8> = (0..stride * cached_images)
+            .map(|i| ((i as u32).wrapping_mul(seed) % 251) as i8)
+            .collect();
+        exercise(&Msg::Golden { boundary, surfaces, data, cached_images });
+    }
+
     /// Whatever corruption plan a [`ChaosStream`] applies to a frame
     /// sequence — bit flips, truncation, duplication, mid-frame connection
     /// drops, in any combination and order — the frame reader must only
