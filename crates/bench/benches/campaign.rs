@@ -387,6 +387,71 @@ fn bench_session_cache(c: &mut Criterion) {
     g.finish();
 }
 
+/// The price of full-rate result auditing: the same warm-session shape as
+/// `session_2cfg_64img_warm` (whose default is baseline-only auditing) but
+/// with `audit_rate: 1.0` — every completed shard silently re-dispatched
+/// and compared, on a one-worker fleet where every audit is the in-process
+/// arbiter re-execution. The gap against the warm row is what
+/// `NVFI_AUDIT_RATE=1` buys and costs.
+fn bench_session_audit(c: &mut Criterion) {
+    let (q, _) = small_fixture();
+    let eval = SynthCifar::new(SynthCifarConfig {
+        train: 0,
+        test: 64,
+        ..Default::default()
+    })
+    .generate()
+    .test;
+    let config = PlatformConfig::default();
+    let counter = std::cell::Cell::new(2000usize);
+    let mk = |i: usize| CampaignSpec {
+        selection: TargetSelection::Fixed(vec![
+            vec![MultId::new((i % 8) as u8, ((i * 3 + 1) % 8) as u8)],
+            vec![MultId::new(((i + 5) % 8) as u8, ((i * 5 + 2) % 8) as u8)],
+        ]),
+        kinds: vec![FaultKind::StuckAtZero],
+        eval_images: 64,
+        threads: 2,
+        ..Default::default()
+    };
+    let fleet = FleetSpec {
+        audit_rate: 1.0,
+        ..FleetSpec::self_exec()
+    };
+    let server = CampaignServer::start(&fleet, 1).unwrap();
+    // Parity sanity before timing: full-rate auditing must not change a
+    // single record.
+    let spec0 = mk(3000);
+    let audited0 = server
+        .submit(&q, config, &spec0, &eval)
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(
+        Campaign::new(&q, config)
+            .run(&spec0, &eval)
+            .unwrap()
+            .records,
+        audited0.records,
+        "fully-audited campaign must match the in-process pool"
+    );
+    let mut g = c.benchmark_group("campaign");
+    g.sample_size(5);
+    g.bench_function("session_2cfg_64img_audit", |b| {
+        b.iter(|| {
+            let i = counter.get();
+            counter.set(i + 1);
+            server
+                .submit(&q, config, &mk(i), &eval)
+                .unwrap()
+                .wait()
+                .unwrap()
+        })
+    });
+    server.shutdown();
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_single_fi_evaluation,
@@ -395,7 +460,8 @@ criterion_group!(
     bench_quantize_once,
     bench_windowed_campaign,
     bench_dist_campaign,
-    bench_session_cache
+    bench_session_cache,
+    bench_session_audit
 );
 
 // Hand-written entry point instead of `criterion_main!`: the distributed

@@ -71,12 +71,17 @@ impl DistRunner {
         // NVFI_TASK_TIMEOUT (seconds; unset = wait forever) bounds shard
         // silence in both fleet shapes — heartbeating workers never trip it.
         let task_timeout = cfg.task_timeout.map(std::time::Duration::from_secs);
+        // NVFI_AUDIT_RATE / NVFI_QUARANTINE plumb the result-integrity
+        // layer: audit sampling of completed shards and draining of
+        // convicted workers (the baseline shard is always audited).
         match &cfg.dist_addr {
             Some(addr) => DistRunner {
                 fleet: nvfi_dist::FleetSpec {
                     listen: Some(addr.clone()),
                     external_workers: cfg.workers,
                     task_timeout,
+                    audit_rate: cfg.audit_rate,
+                    quarantine: cfg.quarantine,
                     ..nvfi_dist::FleetSpec::self_exec()
                 },
                 external: true,
@@ -84,6 +89,8 @@ impl DistRunner {
             None => DistRunner {
                 fleet: nvfi_dist::FleetSpec {
                     task_timeout,
+                    audit_rate: cfg.audit_rate,
+                    quarantine: cfg.quarantine,
                     ..nvfi_dist::FleetSpec::self_exec()
                 },
                 external: false,

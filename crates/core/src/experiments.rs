@@ -88,6 +88,16 @@ pub struct ExperimentConfig {
     /// removes the file when it completes, and a leftover checkpoint from
     /// a killed run only resumes the campaign whose fingerprint matches.
     pub checkpoint: Option<PathBuf>,
+    /// Fraction of completed distributed shards silently re-dispatched to
+    /// a second worker and compared byte-for-byte (`NVFI_AUDIT_RATE`,
+    /// `0.0..=1.0`; plumbed into the coordinator's `FleetSpec::audit_rate`).
+    /// The baseline shard is always audited whatever the rate. Default
+    /// `0.0` (baseline-only).
+    pub audit_rate: f64,
+    /// Whether convicted workers are quarantined and drained
+    /// (`NVFI_QUARANTINE`, `0` disables; plumbed into
+    /// `FleetSpec::quarantine`). Default `true`.
+    pub quarantine: bool,
     /// Where result files are written.
     pub out_dir: PathBuf,
     /// Progress on stderr.
@@ -110,6 +120,8 @@ impl Default for ExperimentConfig {
             dist_addr: None,
             task_timeout: None,
             checkpoint: None,
+            audit_rate: 0.0,
+            quarantine: true,
             out_dir: PathBuf::from("results"),
             verbose: false,
         }
@@ -141,6 +153,8 @@ impl ExperimentConfig {
             dist_addr: None,
             task_timeout: None,
             checkpoint: None,
+            audit_rate: 0.0,
+            quarantine: true,
             out_dir: std::env::temp_dir().join("nvfi_quick_results"),
             verbose: false,
         }
@@ -152,7 +166,9 @@ impl ExperimentConfig {
     /// `NVFI_THREADS`, `NVFI_POOL`, `NVFI_SHARD`, `NVFI_GOLDEN_CACHE`,
     /// `NVFI_WORKERS`, `NVFI_DIST_ADDR`, `NVFI_TASK_TIMEOUT` (seconds;
     /// unset = wait forever), `NVFI_CHECKPOINT` (checkpoint file path),
-    /// `NVFI_OUT_DIR`, `NVFI_VERBOSE`.
+    /// `NVFI_AUDIT_RATE` (fraction of distributed shards silently
+    /// re-checked on a second worker), `NVFI_QUARANTINE` (`0` disables
+    /// draining convicted workers), `NVFI_OUT_DIR`, `NVFI_VERBOSE`.
     #[must_use]
     pub fn from_env() -> Self {
         fn get<T: std::str::FromStr>(key: &str, default: T) -> T {
@@ -194,6 +210,8 @@ impl ExperimentConfig {
                 cfg.checkpoint = Some(PathBuf::from(path));
             }
         }
+        cfg.audit_rate = get("NVFI_AUDIT_RATE", cfg.audit_rate).clamp(0.0, 1.0);
+        cfg.quarantine = get("NVFI_QUARANTINE", 1u8) != 0;
         cfg.verbose = get("NVFI_VERBOSE", 1u8) != 0;
         if let Ok(dir) = std::env::var("NVFI_OUT_DIR") {
             cfg.out_dir = PathBuf::from(dir);

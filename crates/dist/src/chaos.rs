@@ -16,7 +16,14 @@
 //!   length prefix promises, with the connection left open (only a
 //!   `task_timeout` can unstick the peer — which is the point);
 //! * **duplicated frames** ([`ChaosAction::Duplicate`]) — the same frame
-//!   delivered twice.
+//!   delivered twice;
+//! * **late duplicated frames** ([`ChaosAction::ReplayFrame`], `ldup`) — a
+//!   valid frame re-delivered *after* later frames, the reordered-duplicate
+//!   case the coordinator's completion dedup must absorb;
+//! * **byzantine payload corruption** ([`ChaosAction::LieShardDone`],
+//!   `lie`) — a `ShardDone` payload mangled and its CRC trailer
+//!   **re-sealed**, so the wire layer provably cannot catch it; only the
+//!   v4 shard attestation can.
 //!
 //! Write-side actions are **frame-indexed**: the wire layer flushes exactly
 //! once per frame ([`crate::wire::write_frame`]), so the wrapper counts
@@ -118,6 +125,33 @@ pub enum ChaosAction {
         /// Incoming bytes delivered before the drop.
         after_bytes: u64,
     },
+    /// Re-emit outgoing frame `frame` (as actually delivered) after `delay`
+    /// further frames have been sent — a **late duplicate**, arriving when
+    /// the session has long moved on. Unlike [`ChaosAction::Duplicate`] the
+    /// copy is not adjacent, so it exercises the receiver's
+    /// already-recorded-completion dedup rather than its in-order one.
+    ReplayFrame {
+        /// Outgoing frame index to capture.
+        frame: u64,
+        /// Frames to wait before re-emitting the copy.
+        delay: u64,
+    },
+    /// Byzantine corruption: XOR bit `bit` of a body byte of the `nth`
+    /// outgoing [`Msg::ShardDone`](crate::wire::Msg) frame (counted among
+    /// ShardDone frames only, not all frames), then **recompute and re-seal
+    /// the CRC trailer** over the corrupted payload. The frame arrives
+    /// CRC-valid: the wire layer provably cannot catch it, which is exactly
+    /// the fault class the v4 shard attestation exists for. `offset` skips
+    /// the tag byte, so the frame still decodes as a ShardDone.
+    LieShardDone {
+        /// Index among outgoing ShardDone frames (0 = the first).
+        nth: u64,
+        /// Byte offset into the payload past the tag byte (modulo its
+        /// length).
+        offset: u64,
+        /// Bit to flip (taken modulo 8).
+        bit: u8,
+    },
 }
 
 impl ChaosAction {
@@ -128,8 +162,11 @@ impl ChaosAction {
             | ChaosAction::Truncate { frame, .. }
             | ChaosAction::Duplicate { frame }
             | ChaosAction::DropMidFrame { frame, .. }
-            | ChaosAction::StallWrite { frame, .. } => Some(*frame),
-            ChaosAction::StallRead { .. } | ChaosAction::DropRead { .. } => None,
+            | ChaosAction::StallWrite { frame, .. }
+            | ChaosAction::ReplayFrame { frame, .. } => Some(*frame),
+            ChaosAction::StallRead { .. }
+            | ChaosAction::DropRead { .. }
+            | ChaosAction::LieShardDone { .. } => None,
         }
     }
 }
@@ -193,6 +230,8 @@ impl ChaosPlan {
     /// stall:FRAME:MS           sleep MS ms before outgoing frame FRAME
     /// rstall:BYTES:MS          sleep MS ms at incoming byte BYTES
     /// rdrop:BYTES              kill the link after BYTES incoming bytes
+    /// ldup:FRAME:DELAY         re-emit frame FRAME after DELAY more frames
+    /// lie:NTH:OFFSET:BIT       corrupt the NTH ShardDone body, re-seal CRC
     /// ```
     ///
     /// # Errors
@@ -237,6 +276,15 @@ impl ChaosPlan {
                 },
                 "rdrop" => ChaosAction::DropRead {
                     after_bytes: num("bytes")?,
+                },
+                "ldup" => ChaosAction::ReplayFrame {
+                    frame: num("frame")?,
+                    delay: num("delay")?,
+                },
+                "lie" => ChaosAction::LieShardDone {
+                    nth: num("nth")?,
+                    offset: num("offset")?,
+                    bit: (num("bit")? % 8) as u8,
                 },
                 other => return Err(format!("unknown chaos action kind `{other}` in `{token}`")),
             };
@@ -284,10 +332,15 @@ pub struct ChaosStream<S> {
     plan: ChaosPlan,
     /// Outgoing frames completed (flush count).
     frames_written: u64,
+    /// Outgoing `ShardDone` frames completed (the `lie` verb's index).
+    shard_frames: u64,
     /// Incoming bytes delivered.
     bytes_read: u64,
     /// The outgoing frame currently being assembled (between flushes).
     wbuf: Vec<u8>,
+    /// Captured frames awaiting late re-emission: `(emit once
+    /// frames_written reaches this, bytes)`.
+    replay: Vec<(u64, Vec<u8>)>,
     /// Set once a drop action fires; every later I/O call fails.
     dead: bool,
 }
@@ -299,8 +352,10 @@ impl<S> ChaosStream<S> {
             inner,
             plan,
             frames_written: 0,
+            shard_frames: 0,
             bytes_read: 0,
             wbuf: Vec::new(),
+            replay: Vec::new(),
             dead: false,
         }
     }
@@ -337,6 +392,67 @@ impl<S> ChaosStream<S> {
         });
         hit
     }
+
+    /// Applies a pending [`ChaosAction::LieShardDone`] if `frame` is the
+    /// targeted outgoing `ShardDone` frame: flips one body bit past the tag
+    /// byte, then **recomputes the CRC trailer** so the corruption survives
+    /// the wire layer's integrity check.
+    fn apply_lie(&mut self, frame: &mut [u8]) {
+        // frame := len:u32 | payload (tag + body) | crc:u32
+        if frame.len() < 9 || frame[4] != crate::wire::TAG_SHARD_DONE {
+            return;
+        }
+        let nth = self.shard_frames;
+        self.shard_frames += 1;
+        let mut fired: Option<(u64, u8)> = None;
+        self.plan.actions.retain(|a| match *a {
+            ChaosAction::LieShardDone {
+                nth: n,
+                offset,
+                bit,
+            } if n == nth => {
+                fired = Some((offset, bit));
+                false
+            }
+            _ => true,
+        });
+        let Some((offset, bit)) = fired else {
+            return;
+        };
+        let payload_len = frame.len() - 8;
+        if payload_len < 2 {
+            return;
+        }
+        // Skip the tag byte: the frame must still decode as a ShardDone for
+        // the lie to reach the attestation check rather than a BadTag.
+        let idx = 5 + (offset as usize % (payload_len - 1));
+        frame[idx] ^= 1 << (bit % 8);
+        let crc = crate::codec::crc32(&frame[4..4 + payload_len]);
+        let at = frame.len() - 4;
+        frame[at..].copy_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Emits captured [`ChaosAction::ReplayFrame`] copies that have waited
+    /// out their delay.
+    fn emit_due_replays(&mut self) -> io::Result<()>
+    where
+        S: Write,
+    {
+        let now = self.frames_written;
+        let mut due: Vec<Vec<u8>> = Vec::new();
+        self.replay.retain_mut(|(at, bytes)| {
+            if *at <= now {
+                due.push(std::mem::take(bytes));
+                false
+            } else {
+                true
+            }
+        });
+        for bytes in due {
+            self.inner.write_all(&bytes)?;
+        }
+        Ok(())
+    }
 }
 
 impl<S: Write> Write for ChaosStream<S> {
@@ -359,7 +475,9 @@ impl<S: Write> Write for ChaosStream<S> {
         let actions = self.take_write_actions();
         let mut frame = std::mem::take(&mut self.wbuf);
         self.frames_written += 1;
-        if actions.is_empty() {
+        // Tag-predicated, not frame-indexed: fires on the Nth ShardDone.
+        self.apply_lie(&mut frame);
+        if actions.is_empty() && self.replay.is_empty() {
             if !frame.is_empty() {
                 self.inner.write_all(&frame)?;
             }
@@ -368,6 +486,7 @@ impl<S: Write> Write for ChaosStream<S> {
         let mut keep = frame.len();
         let mut drop_after = false;
         let mut copies = 1usize;
+        let mut replay_delay: Option<u64> = None;
         for action in actions {
             match action {
                 ChaosAction::StallWrite { millis, .. } => {
@@ -389,7 +508,10 @@ impl<S: Write> Write for ChaosStream<S> {
                     drop_after = true;
                 }
                 ChaosAction::Duplicate { .. } => copies = 2,
-                ChaosAction::StallRead { .. } | ChaosAction::DropRead { .. } => {}
+                ChaosAction::ReplayFrame { delay, .. } => replay_delay = Some(delay),
+                ChaosAction::StallRead { .. }
+                | ChaosAction::DropRead { .. }
+                | ChaosAction::LieShardDone { .. } => {}
             }
         }
         if drop_after {
@@ -401,6 +523,13 @@ impl<S: Write> Write for ChaosStream<S> {
         for _ in 0..copies {
             self.inner.write_all(&frame[..keep])?;
         }
+        if let Some(delay) = replay_delay {
+            // Capture the frame as delivered; re-emitted once `delay` more
+            // frames have been flushed.
+            self.replay
+                .push((self.frames_written + delay, frame[..keep].to_vec()));
+        }
+        self.emit_due_replays()?;
         self.inner.flush()
     }
 }
@@ -568,6 +697,60 @@ mod tests {
         assert!(ChaosPlan::parse("flip:1").is_err());
         assert!(ChaosPlan::parse("stall:one:2").is_err());
         assert_eq!(ChaosPlan::parse("").unwrap(), ChaosPlan::none());
+    }
+
+    #[test]
+    fn lie_reseals_the_crc_so_the_wire_layer_cannot_catch_it() {
+        let done = crate::wire::Msg::ShardDone {
+            work_id: 4,
+            start: 0,
+            end: 3,
+            attest: crate::wire::shard_attestation((1, 2, 3, 0), 4, 0, 3, &[1, 2, 3]),
+            preds: vec![1, 2, 3],
+        };
+        let mut s = ChaosStream::new(Mem::default(), ChaosPlan::parse("lie:0:12:0").unwrap());
+        // A non-ShardDone frame first: the lie must skip it.
+        crate::wire::send(&mut s, &crate::wire::Msg::Ping).unwrap();
+        crate::wire::send(&mut s, &done).unwrap();
+        let wrote = s.inner.wrote;
+        let mut cursor = io::Cursor::new(wrote);
+        assert_eq!(
+            crate::wire::recv(&mut cursor).unwrap(),
+            crate::wire::Msg::Ping
+        );
+        // The mangled ShardDone still decodes cleanly — CRC was re-sealed —
+        // but the message differs from what the worker sent.
+        let lied = crate::wire::recv(&mut cursor).unwrap();
+        assert_ne!(lied, done, "payload must have been mangled");
+        match lied {
+            crate::wire::Msg::ShardDone { attest, preds, .. } => {
+                // Offset 12 lands on the attestation field, so the preds are
+                // intact but the attestation no longer matches them... or the
+                // recomputation over the delivered session tuple.
+                assert_eq!(preds, vec![1, 2, 3]);
+                assert_ne!(
+                    attest,
+                    crate::wire::shard_attestation((1, 2, 3, 0), 4, 0, 3, &preds)
+                );
+            }
+            other => panic!("still a ShardDone, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ldup_reemits_the_captured_frame_after_the_delay() {
+        let plan = ChaosPlan::parse("ldup:0:2").unwrap();
+        let (wrote, err) = frames(plan, &[b"aa", b"bb", b"cc"]);
+        assert!(err.is_none());
+        let mut f = Vec::new();
+        for p in [&b"aa"[..], b"bb", b"cc"] {
+            crate::wire::write_frame(&mut f, p).unwrap();
+        }
+        let one = f.len() / 3;
+        // Delivery order: frame 0, 1, 2, then the late duplicate of frame 0.
+        assert_eq!(wrote.len(), f.len() + one);
+        assert_eq!(&wrote[..f.len()], &f[..]);
+        assert_eq!(&wrote[f.len()..], &f[..one], "late duplicate of frame 0");
     }
 
     #[test]

@@ -60,6 +60,18 @@ pub enum WireError {
         /// The CRC computed over the received payload.
         computed: u32,
     },
+    /// A shard reply's attestation does not match what the coordinator
+    /// computes over the assigned session artifacts and the delivered
+    /// predictions (wire v4). Unlike [`WireError::Crc`] this survives a
+    /// valid CRC trailer: it names a peer that *executed* against the wrong
+    /// artifacts (a stale cached plan or weight image) or whose payload was
+    /// corrupted after the CRC was sealed.
+    Integrity {
+        /// The attestation the coordinator expects for this shard.
+        expected: u64,
+        /// The attestation the reply carried.
+        got: u64,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -91,6 +103,12 @@ impl fmt::Display for WireError {
                 f,
                 "frame CRC mismatch: trailer says {stored:#010x}, payload hashes to \
                  {computed:#010x} (bits flipped in transit, or a pre-v2 peer)"
+            ),
+            WireError::Integrity { expected, got } => write!(
+                f,
+                "shard attestation mismatch: expected {expected:#018x}, reply attests \
+                 {got:#018x} (worker executed against stale artifacts, or the payload \
+                 was corrupted after the CRC was sealed)"
             ),
         }
     }

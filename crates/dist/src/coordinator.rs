@@ -18,11 +18,21 @@
 //!
 //! # Failure model
 //!
-//! The fabric assumes a **hostile transport** and a trustworthy workload:
+//! The fabric assumes a **hostile transport** and, since wire v4, hostile
+//! *workers* too — a worker may return wrong answers, not just crash:
 //!
 //! * a broken socket, a timed-out shard, a CRC-failed frame, or an
 //!   out-of-lifecycle message costs one **requeue** — the connection is
 //!   dropped and the shard goes back on the owning client's queue;
+//! * a reply whose [`wire::shard_attestation`](crate::wire::shard_attestation)
+//!   does not match the assigned session (stale cached artifacts, post-CRC
+//!   corruption) is a named [`WireError::Integrity`] — rejected, requeued,
+//!   and a trust strike against the worker; a **self-consistent lie** is
+//!   caught by audit re-execution ([`FleetSpec::audit_rate`]; the baseline
+//!   shard is always sampled), arbitrated by an authoritative in-process
+//!   re-run, and punished by quarantining the convicted worker
+//!   ([`Trust`](crate::trust::Trust)) while its unverified shards are
+//!   re-checked — conviction is fatal only to the worker, never a client;
 //! * the listener stays open for the whole campaign: a late or
 //!   *reconnecting* worker is **re-admitted** mid-flight (handshake +
 //!   cache advertisement, then a session delta ships only what it lacks),
@@ -155,7 +165,7 @@ pub enum OnFleetLost {
 
 /// How the worker fleet is raised for one campaign (or one
 /// [`CampaignServer`]).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FleetSpec {
     /// Spawn method for the [`CampaignSpec::workers`] local processes.
     pub spawn: WorkerSpawn,
@@ -195,6 +205,23 @@ pub struct FleetSpec {
     /// Caps the worst case of a crash-looping worker being re-admitted
     /// forever.
     pub max_readmissions: usize,
+    /// Fraction (`0.0..=1.0`) of completed shards the server silently
+    /// **audits** by re-dispatching them to a different worker and
+    /// comparing replies byte-for-byte; a mismatch is arbitrated by an
+    /// authoritative in-process re-execution that decides which replica
+    /// lied. Sampling is deterministic per `(client, shard)` (hash-based,
+    /// not random) so a rerun audits the same shards. The baseline shard
+    /// (work item 0) is **always** audited whatever the rate — every
+    /// record's fault-free reference deserves the double-check. Suspect
+    /// and probationary workers are audited at 100 % regardless.
+    /// Default `0.0` (baseline-only).
+    pub audit_rate: f64,
+    /// Whether audit convictions and attestation failures feed the
+    /// per-worker [`Trust`](crate::trust::Trust) state machine, draining
+    /// convicted workers from the fleet and putting re-admitted ones on
+    /// probation. Default `true`; disable only to measure a hostile fleet
+    /// without defending against it.
+    pub quarantine: bool,
 }
 
 impl Default for FleetSpec {
@@ -210,6 +237,8 @@ impl Default for FleetSpec {
             on_fleet_lost: OnFleetLost::Fail,
             readmission_grace: Duration::from_secs(5),
             max_readmissions: 64,
+            audit_rate: 0.0,
+            quarantine: true,
         }
     }
 }

@@ -12,7 +12,7 @@
 //! workers, any address for cross-host ones) and the little-endian codec of
 //! the `bytes` shim — no async runtime, no serde.
 //!
-//! # Session lifecycle (wire v3: content-addressed sessions)
+//! # Session lifecycle (wire v4: content-addressed sessions, attested results)
 //!
 //! A worker session is a strict sequence; every arrow is one or more frames
 //! on the same socket:
@@ -21,13 +21,13 @@
 //! worker                          coordinator
 //!   | --- Hello{version} ----------> |   (worker speaks first)
 //!   | <-- Hello{version} ----------- |   (mismatch => clear error, close)
-//!   | --- HaveArtifacts{hashes} ---> |   (cached artifact advertisement)
+//!   | --- HaveArtifacts{ident, ...}> |   (worker identity + cached artifacts)
 //!   | <-- ArtifactDelta{4 hashes} -- |   (session switch: what to run,
 //!   | <-- Plan / Weights / EvalSet - |    plus ONLY the frames the worker
 //!   | <-- Golden ------------------- |    is missing, in ship-bit order)
 //!   | <-- Work{id, range, fault} --- |   (one frame per assigned shard)
 //!   | --- Pong --------------------> |   (heartbeat between compute waves)
-//!   | --- ShardDone{id, preds} ----> |
+//!   | --- ShardDone{id, attest,..}-> |   (attested: see below)
 //!   |            ...                 |
 //!   | <-- ArtifactDelta ... -------- |   (next campaign: usually 0 frames)
 //!   | <-- Shutdown ----------------- |   (or Goodbye{reason}: turned away)
@@ -103,6 +103,20 @@
 //! unfinished shards. See `crates/dist/README.md` and the [`coordinator`]
 //! module docs for the full failure model.
 //!
+//! Since wire v4 the fabric also survives **wrong answers**, which a CRC
+//! cannot catch: every `ShardDone` carries a [`wire::shard_attestation`]
+//! binding the predictions to the content hashes of the artifacts the worker
+//! actually executed against (a stale cache or post-CRC corruption is a named
+//! [`WireError::Integrity`], not a silent wrong merge); the server silently
+//! **audits** a configurable fraction of completed shards by re-dispatching
+//! them to a different worker ([`FleetSpec::audit_rate`] — the baseline
+//! shard is always audited) and arbitrates any mismatch with an
+//! authoritative in-process re-execution; and each worker identity carries a
+//! [`Trust`] reputation (`Healthy → Suspect → Quarantined`, with audited
+//! probation after re-admission), so a worker caught lying is drained, its
+//! unverified shards re-checked, and every client's result stays
+//! bit-identical to the in-process run.
+//!
 //! # Entry points
 //!
 //! * [`CampaignServer`] — the persistent multiplexing campaign server: one
@@ -132,6 +146,7 @@ pub mod checkpoint;
 pub mod codec;
 pub mod coordinator;
 pub mod server;
+pub mod trust;
 pub mod wire;
 pub mod worker;
 
@@ -140,4 +155,5 @@ pub use checkpoint::Checkpoint;
 pub use codec::WireError;
 pub use coordinator::{run_campaign, DistError, FleetSpec, OnFleetLost, WorkerSpawn};
 pub use server::{CampaignServer, ClientHandle, Progress, ServerStats};
+pub use trust::Trust;
 pub use worker::ServeEnd;

@@ -54,6 +54,34 @@
 //! submissions; worker-*reported* errors stay fatal to their client.
 //! Checkpoints ([`CampaignSpec::checkpoint_path`]) record per-client
 //! progress and resume across server (or coordinator) restarts.
+//!
+//! # Result integrity (wire v4)
+//!
+//! A CRC only proves a frame survived the *transport*; it says nothing
+//! about whether the worker computed the right answer. Three layers close
+//! that gap:
+//!
+//! * **Attestation** — every [`Msg::ShardDone`] carries a
+//!   [`wire::shard_attestation`] binding the predictions to the artifact
+//!   hashes of the session the worker actually executed under. The server
+//!   recomputes it from the *assigned* session: a worker running stale
+//!   cached artifacts, or a frame corrupted after its CRC was sealed, is a
+//!   named [`WireError::Integrity`] — the shard is requeued, never merged.
+//! * **Audit re-execution** — completed shards are sampled (the baseline
+//!   shard always; others per [`FleetSpec::audit_rate`]) and silently
+//!   re-dispatched to a *different* worker. A mismatch triggers an
+//!   authoritative in-process re-execution that arbitrates which replica
+//!   lied; the stored result is repaired if needed, so a *self-consistent*
+//!   lie (correctly attested wrong predictions) is caught too. On a
+//!   one-worker fleet the audit runs in-process directly.
+//! * **Quarantine** — each worker identity carries a [`Trust`] record:
+//!   `Healthy → Suspect` on an integrity strike, `Quarantined` on a second
+//!   strike or an audit conviction. A quarantined worker is drained
+//!   ([`Msg::Goodbye`]), its unverified completed shards are re-verified
+//!   in-process, and a re-admitted one serves on probation (every shard
+//!   audited) until [`crate::trust::PROBATION_CLEAN`] consecutive audits
+//!   pass. Conviction is fatal only to the worker — every client's result
+//!   stays bit-identical to the in-process [`Campaign::run`].
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -62,7 +90,7 @@ use std::path::PathBuf;
 use std::process::{Child, Command};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -73,7 +101,7 @@ use nvfi::campaign::{
 use nvfi::{
     DevicePool, EmulationPlatform, GoldenActivationCache, PlatformConfig, QuantizedEvalSet,
 };
-use nvfi_accel::{FaultKind, IdleLanePolicy};
+use nvfi_accel::{FaultConfig, FaultKind, IdleLanePolicy};
 use nvfi_compiler::regmap::MultId;
 use nvfi_dataset::Dataset;
 use nvfi_quant::QuantModel;
@@ -81,8 +109,17 @@ use nvfi_quant::QuantModel;
 use crate::checkpoint::{Checkpoint, CheckpointEntry, Fnv64};
 use crate::codec::{crc32, WireError};
 use crate::coordinator::{DistError, FleetSpec, WorkerSpawn};
+use crate::trust::Trust;
 use crate::wire::{self, Msg, WireConfig, WireFault};
 use crate::worker;
+
+/// Locks a mutex, recovering from poison: server state is kept consistent
+/// under the lock by construction (no panicking code holds it — this file
+/// is policed by the `decode-panic` lint), so a poisoned lock only means
+/// some *other* thread died and its guard data is still valid.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// The expanded campaign work list: item 0 is the fault-free baseline,
 /// items 1.. carry `(targets, kind)` fault programs.
@@ -121,14 +158,30 @@ struct CkptState {
 }
 
 impl CkptState {
+    /// Records (or, after an audit repaired a lying worker's shard,
+    /// **replaces**) one completed shard. Keyed replacement keeps a resume
+    /// from replaying a result that arbitration already overruled.
     fn record(&self, task: &Task, preds: &[u8]) {
-        let mut cp = self.cp.lock().unwrap();
-        cp.entries.push(CheckpointEntry {
-            work_id: task.work_id as u32,
-            start: task.range.start as u32,
-            end: task.range.end as u32,
-            preds: preds.to_vec(),
-        });
+        let mut cp = lock(&self.cp);
+        let key = (
+            task.work_id as u32,
+            task.range.start as u32,
+            task.range.end as u32,
+        );
+        if let Some(entry) = cp
+            .entries
+            .iter_mut()
+            .find(|e| (e.work_id, e.start, e.end) == key)
+        {
+            entry.preds = preds.to_vec();
+        } else {
+            cp.entries.push(CheckpointEntry {
+                work_id: key.0,
+                start: key.1,
+                end: key.2,
+                preds: preds.to_vec(),
+            });
+        }
         if let Err(e) = cp.store(&self.path) {
             // A failing checkpoint must not fail the campaign — it only
             // weakens a future resume.
@@ -163,6 +216,7 @@ fn write_i8s(h: &mut Fnv64, data: &[i8]) {
         for (dst, &src) in buf.iter_mut().zip(chunk) {
             *dst = src as u8;
         }
+        // nvfi-lint: allow(decode-panic) — chunks() caps chunk.len() at buf.len()
         h.write(&buf[..chunk.len()]);
     }
 }
@@ -478,11 +532,11 @@ pub(crate) fn prepare(
     let layout = Campaign::pool_layout(total_workers, work.len(), 0);
     let granularity = DevicePool::granularity(&config);
     let mut tasks: Vec<Task> = Vec::new();
-    for i in 0..work.len() {
-        if masked[i] {
+    for (i, is_masked) in masked.iter().enumerate() {
+        if *is_masked {
             continue; // provably masked: no shards, no fleet time
         }
-        let shards = layout[i % layout.len()];
+        let shards = layout.get(i % layout.len().max(1)).copied().unwrap_or(1);
         for range in DevicePool::shard_plan(eval.len(), shards, granularity) {
             tasks.push(Task { work_id: i, range });
         }
@@ -558,6 +612,28 @@ pub struct ServerStats {
     pub tasks_dispatched: u64,
     /// Artifact frames actually shipped to workers (cache misses only).
     pub artifact_frames_shipped: u64,
+    /// Audit re-executions scheduled (wire re-dispatches and in-process
+    /// ones both count; never counted in [`tasks_dispatched`](Self::tasks_dispatched)).
+    pub audits_dispatched: u64,
+    /// Audits whose replica disagreed with the stored result (each one
+    /// arbitrated by an authoritative in-process re-execution).
+    pub audit_mismatches: u64,
+    /// Worker identities that transitioned into quarantine.
+    pub workers_quarantined: u64,
+    /// Shard replies rejected for a failed attestation
+    /// ([`WireError::Integrity`]) — requeued, never merged.
+    pub integrity_rejects: u64,
+}
+
+/// One entry of a client's pending-work queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum QueueEntry {
+    /// Run this task for the first (or requeued) time.
+    Run(usize),
+    /// Silently re-execute an already-completed task to verify the worker
+    /// that produced it. Ineligible for the producer itself unless no other
+    /// worker is connected (then it runs in-process).
+    Audit { task_idx: usize, producer: u64 },
 }
 
 /// One client campaign's scheduling state.
@@ -568,10 +644,21 @@ struct ClientState {
     work: Arc<WorkList>,
     window: Option<Range<u64>>,
     tasks: Arc<Vec<Task>>,
-    /// Pending task indices (popped by workers, pushed back on loss).
-    queue: Vec<usize>,
+    /// Pending work (popped by workers, pushed back on loss).
+    queue: Vec<QueueEntry>,
     /// One slot per task, filled as shards land.
     results: Vec<Option<Vec<u8>>>,
+    /// Which worker identity produced each landed result (`None` for
+    /// checkpoint-prefilled or arbitration-authoritative slots).
+    producer: Vec<Option<u64>>,
+    /// Tasks with an audit scheduled or in flight (guards every resolution
+    /// path — an audit is closed exactly once).
+    audit_open: Vec<bool>,
+    /// Tasks whose stored result was confirmed (audit passed or
+    /// authoritative re-execution) — exempt from quarantine sweeps.
+    verified: Vec<bool>,
+    /// Open audits; a client finishes only when this reaches zero.
+    audits_pending: usize,
     done: usize,
     /// Shards dispatched so far — the fair-share key.
     dispatched: u64,
@@ -579,6 +666,8 @@ struct ClientState {
     finished: bool,
     verbose: bool,
     ckpt: Option<Arc<CkptState>>,
+    /// In-process authoritative re-executor for audit arbitration.
+    arbiter: Arc<Arbiter>,
     progress: Sender<Progress>,
 }
 
@@ -591,6 +680,10 @@ struct ServerState {
     next_client: u64,
     /// Finished campaigns by result key (see [`result_cache_key`]).
     results_cache: HashMap<u64, CampaignResult>,
+    /// Reputation per worker identity — survives reconnects and drains.
+    trust: HashMap<u64, Trust>,
+    /// Connection count per worker identity currently serving.
+    active_idents: HashMap<u64, u32>,
     stats: ServerStats,
 }
 
@@ -607,6 +700,265 @@ struct ServerInner {
     readmission_grace: Duration,
     max_readmissions: usize,
     total_workers: usize,
+    /// Fraction of non-baseline completed shards audited (baseline shards
+    /// are always audited). See [`FleetSpec::audit_rate`].
+    audit_rate: f64,
+    /// Whether integrity strikes and audit convictions quarantine workers
+    /// (audits still *repair* results when off). See [`FleetSpec::quarantine`].
+    quarantine: bool,
+}
+
+/// The in-process authoritative re-executor behind audit arbitration: the
+/// campaign's artifacts kept decoded-side, plus a lazily built one-device
+/// pool. Mirrors the worker's shard execution exactly (same plan decode,
+/// same weight import, same classify entry points), so its predictions are
+/// bit-identical to an honest worker's — per-image inference is independent
+/// of device count and shard cuts, which is the same property the
+/// distributed/in-process parity tests pin down.
+struct Arbiter {
+    config: PlatformConfig,
+    plan_words: Arc<Vec<u32>>,
+    weight_image: Arc<Vec<(u64, Vec<i8>)>>,
+    qset: Arc<QuantizedEvalSet>,
+    golden: Arc<Option<GoldenActivationCache>>,
+    work: Arc<WorkList>,
+    window: Option<Range<u64>>,
+    /// Built on first use; an audit-free campaign never pays for it.
+    pool: Mutex<Option<DevicePool>>,
+}
+
+impl Arbiter {
+    /// Re-executes one task authoritatively, returning its predictions.
+    fn run(&self, task: &Task) -> Result<Vec<u8>, DistError> {
+        let mut guard = lock(&self.pool);
+        if guard.is_none() {
+            let decoded = nvfi_compiler::plan::decode_words(&self.plan_words)
+                .map_err(|_| DistError::Protocol("arbiter plan words do not decode"))?;
+            let mut device = EmulationPlatform::from_plan(decoded, self.config)?;
+            device
+                .accel_mut()
+                .import_weight_image(&self.weight_image)
+                .map_err(|e| DistError::Platform(e.into()))?;
+            *guard = Some(DevicePool::from_device(device, 1));
+        }
+        let Some(pool) = guard.as_mut() else {
+            return Err(DistError::Protocol("arbiter pool vanished"));
+        };
+        pool.clear_faults();
+        let fault = self
+            .work
+            .get(task.work_id)
+            .and_then(|item| item.as_ref())
+            .map(|(targets, kind)| FaultConfig::new(targets.clone(), *kind));
+        if let Some(f) = &fault {
+            pool.inject(f);
+        }
+        // The baseline stays window-free, exactly like the dispatch path.
+        let window = if fault.is_some() {
+            self.window.clone()
+        } else {
+            None
+        };
+        pool.set_fault_window(window.clone())?;
+        let preds = if window.is_some() {
+            pool.classify_i8_golden_range(
+                &self.qset,
+                task.range.clone(),
+                self.golden.as_ref().as_ref(),
+            )?
+        } else {
+            pool.classify_i8_range(&self.qset, task.range.clone())?
+        };
+        pool.clear_faults();
+        pool.set_fault_window(None)?;
+        Ok(preds)
+    }
+}
+
+/// Whether a completed shard is sampled for audit: the baseline (work item
+/// 0) always is — the one shard every campaign depends on — and others by
+/// a deterministic domain-tagged draw over `(client, shard key)` against
+/// `audit_rate`, so the audit set is reproducible run to run.
+fn audit_sampled(rate: f64, client: u64, key: (u32, u32, u32)) -> bool {
+    if key.0 == 0 {
+        return true;
+    }
+    if rate <= 0.0 {
+        return false;
+    }
+    if rate >= 1.0 {
+        return true;
+    }
+    let mut h = Fnv64::new();
+    h.write(&[7]);
+    h.write_u64(client);
+    h.write_u64(u64::from(key.0));
+    h.write_u64(u64::from(key.1));
+    h.write_u64(u64::from(key.2));
+    // nvfi-lint: allow(truncating-cast) — rate is in (0, 1), product < 10_000
+    (h.finish() % 10_000) < (rate * 10_000.0) as u64
+}
+
+/// Finishes a client once every shard landed **and** every open audit was
+/// resolved; must be called with the state lock held.
+fn maybe_finish(c: &mut ClientState, completion: &Condvar) {
+    if !c.finished && c.done == c.tasks.len() && c.audits_pending == 0 {
+        c.finished = true;
+        completion.notify_all();
+    }
+}
+
+/// Fails one client with a deterministic error (other clients keep
+/// running).
+fn fail_client(inner: &ServerInner, id: u64, e: DistError) {
+    let mut st = lock(&inner.state);
+    if let Some(c) = st.clients.get_mut(&id) {
+        if !c.finished {
+            c.fatal = Some(e);
+            c.finished = true;
+            c.queue.clear();
+            inner.completion.notify_all();
+        }
+    }
+}
+
+/// One task a quarantine sweep must re-verify in-process.
+struct SweepItem {
+    client: u64,
+    task_idx: usize,
+    arbiter: Arc<Arbiter>,
+    tasks: Arc<Vec<Task>>,
+    ckpt: Option<Arc<CkptState>>,
+}
+
+/// Punishes a worker identity: a `strike` (attestation failure) walks
+/// `Healthy → Suspect → Quarantined`, a conviction (audit arbitration
+/// proved a wrong answer) quarantines outright. On the transition *into*
+/// quarantine every unverified shard the worker produced is re-verified by
+/// the owning client's arbiter — repaired if it lied — so nothing the
+/// convicted worker touched survives unchecked. No-op when
+/// [`FleetSpec::quarantine`] is off.
+fn punish_worker(inner: &ServerInner, ident: u64, conviction: bool) {
+    if !inner.quarantine {
+        return;
+    }
+    let mut sweep: Vec<SweepItem> = Vec::new();
+    {
+        let mut guard = lock(&inner.state);
+        let st = &mut *guard;
+        let t = st.trust.entry(ident).or_default();
+        if t.is_quarantined() {
+            return; // already quarantined (and swept)
+        }
+        if conviction {
+            t.convict();
+        } else {
+            t.strike();
+        }
+        if !t.is_quarantined() {
+            return; // first strike: Suspect — every next shard is audited
+        }
+        st.stats.workers_quarantined += 1;
+        for (&id, c) in &mut st.clients {
+            if c.finished {
+                continue;
+            }
+            // Queued audits of the quarantined producer are superseded by
+            // the sweep (their pending counts are resolved there).
+            c.queue
+                .retain(|e| !matches!(e, QueueEntry::Audit { producer, .. } if *producer == ident));
+            for i in 0..c.tasks.len() {
+                let produced = c.producer.get(i).copied().flatten() == Some(ident);
+                let unverified = !c.verified.get(i).copied().unwrap_or(true);
+                let landed = c.results.get(i).is_some_and(Option::is_some);
+                if produced && unverified && landed {
+                    if !c.audit_open.get(i).copied().unwrap_or(true) {
+                        if let Some(open) = c.audit_open.get_mut(i) {
+                            *open = true;
+                            c.audits_pending += 1;
+                        }
+                    }
+                    sweep.push(SweepItem {
+                        client: id,
+                        task_idx: i,
+                        arbiter: Arc::clone(&c.arbiter),
+                        tasks: Arc::clone(&c.tasks),
+                        ckpt: c.ckpt.clone(),
+                    });
+                }
+            }
+        }
+    }
+    for item in sweep {
+        let Some(task) = item.tasks.get(item.task_idx) else {
+            continue;
+        };
+        let auth = match item.arbiter.run(task) {
+            Ok(v) => v,
+            Err(e) => {
+                fail_client(inner, item.client, e);
+                continue;
+            }
+        };
+        let mut rerecord = false;
+        {
+            let mut guard = lock(&inner.state);
+            let st = &mut *guard;
+            let Some(c) = st.clients.get_mut(&item.client) else {
+                continue;
+            };
+            if c.finished || !c.audit_open.get(item.task_idx).copied().unwrap_or(false) {
+                continue; // resolved by a concurrent audit landing
+            }
+            if let Some(slot) = c.results.get_mut(item.task_idx) {
+                if slot.as_deref() != Some(auth.as_slice()) {
+                    if slot.is_some() {
+                        st.stats.audit_mismatches += 1;
+                    } else {
+                        // The audited task was discarded and requeued (its
+                        // producer got convicted): the arbitration *is* its
+                        // completion.
+                        c.done += 1;
+                    }
+                    *slot = Some(auth.clone());
+                    rerecord = true;
+                }
+            }
+            close_audit(c, item.task_idx, &inner.completion);
+        }
+        if rerecord {
+            if let Some(ck) = &item.ckpt {
+                ck.record(task, &auth);
+            }
+        }
+    }
+}
+
+/// Closes one open audit (idempotently guarded by the caller): the slot is
+/// now verified and the producer bookkeeping retired. Must be called with
+/// the state lock held and `audit_open[task_idx]` true.
+fn close_audit(c: &mut ClientState, task_idx: usize, completion: &Condvar) {
+    if let Some(open) = c.audit_open.get_mut(task_idx) {
+        *open = false;
+    }
+    if let Some(v) = c.verified.get_mut(task_idx) {
+        *v = true;
+    }
+    c.audits_pending = c.audits_pending.saturating_sub(1);
+    maybe_finish(c, completion);
+}
+
+/// How a picked assignment is to be executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AssignKind {
+    /// Dispatch over the wire and merge the reply.
+    Run,
+    /// Dispatch over the wire and compare the reply against the stored
+    /// result of `producer`'s earlier run.
+    Audit { producer: u64 },
+    /// No other worker can audit `producer` (one-worker fleet): run the
+    /// arbiter in-process and compare directly.
+    AuditLocal { producer: u64 },
 }
 
 /// One dispatch decision, built under the state lock and executed outside
@@ -614,6 +966,7 @@ struct ServerInner {
 struct Assignment {
     client: u64,
     task_idx: usize,
+    kind: AssignKind,
     tasks: Arc<Vec<Task>>,
     session: (u64, u64, u64, u64),
     /// [`Msg::ArtifactDelta`] ship bitmask for this connection.
@@ -624,27 +977,72 @@ struct Assignment {
     /// Expected `(work_id, start, end)` of the reply.
     key: (u32, u32, u32),
     ckpt: Option<Arc<CkptState>>,
+    arbiter: Arc<Arbiter>,
     total: usize,
 }
 
-/// Pops the fairest client's next shard and computes what this connection
-/// must ship to run it. `has` is the connection's view of the worker's
-/// artifact cache (advertisement + everything shipped since); it is updated
-/// optimistically — if the ship fails the connection breaks anyway.
-fn pick_assignment(inner: &ServerInner, has: &mut HashSet<u64>) -> Option<Assignment> {
-    let mut guard = inner.state.lock().unwrap();
+/// Whether one queue entry is dispatchable to the worker identity `ident`:
+/// runs always are; audits only to a worker other than the producer —
+/// unless no other worker is connected, in which case the producer's
+/// connection thread arbitrates in-process ([`AssignKind::AuditLocal`]).
+/// Audits whose task was already resolved (conviction sweep, fleet-loss
+/// rescue) are stale and never eligible.
+fn entry_eligible(c: &ClientState, e: &QueueEntry, ident: u64, active: &[u64]) -> bool {
+    match *e {
+        QueueEntry::Run(_) => true,
+        QueueEntry::Audit { task_idx, producer } => {
+            c.audit_open.get(task_idx).copied().unwrap_or(false)
+                && (ident != producer || !active.iter().any(|&w| w != producer))
+        }
+    }
+}
+
+/// Pops the fairest client's next eligible entry and computes what this
+/// connection must ship to run it. `has` is the connection's view of the
+/// worker's artifact cache (advertisement + everything shipped since); it
+/// is updated optimistically — if the ship fails the connection breaks
+/// anyway.
+fn pick_assignment(inner: &ServerInner, has: &mut HashSet<u64>, ident: u64) -> Option<Assignment> {
+    let mut guard = lock(&inner.state);
     let st = &mut *guard;
-    let id = fair_share_pick(
-        st.clients
-            .iter()
-            .map(|(&id, c)| (id, c.dispatched, !c.finished && !c.queue.is_empty())),
-    )?;
+    let active: Vec<u64> = st
+        .active_idents
+        .iter()
+        .filter(|&(_, &n)| n > 0)
+        .map(|(&w, _)| w)
+        .collect();
+    let id = fair_share_pick(st.clients.iter().map(|(&id, c)| {
+        let ready = !c.finished && c.queue.iter().any(|e| entry_eligible(c, e, ident, &active));
+        (id, c.dispatched, ready)
+    }))?;
     let c = st.clients.get_mut(&id)?;
-    let task_idx = c.queue.pop()?;
-    c.dispatched += 1;
-    let task = &c.tasks[task_idx];
-    let fault = c.work[task.work_id]
-        .as_ref()
+    // Newest-first, like the plain pop the Run-only queue used to get.
+    let pos = c
+        .queue
+        .iter()
+        .rposition(|e| entry_eligible(c, e, ident, &active))?;
+    let entry = c.queue.remove(pos);
+    let (task_idx, kind) = match entry {
+        QueueEntry::Run(task_idx) => {
+            c.dispatched += 1;
+            st.stats.tasks_dispatched += 1;
+            (task_idx, AssignKind::Run)
+        }
+        QueueEntry::Audit { task_idx, producer } => {
+            st.stats.audits_dispatched += 1;
+            let kind = if ident != producer {
+                AssignKind::Audit { producer }
+            } else {
+                AssignKind::AuditLocal { producer }
+            };
+            (task_idx, kind)
+        }
+    };
+    let task = c.tasks.get(task_idx)?;
+    let fault = c
+        .work
+        .get(task.work_id)
+        .and_then(|item| item.as_ref())
         .map(|(targets, kind)| WireFault::from_targets(targets, *kind));
     // The baseline stays window-free, exactly like the in-process path.
     let window = if fault.is_some() {
@@ -666,51 +1064,69 @@ fn pick_assignment(inner: &ServerInner, has: &mut HashSet<u64>) -> Option<Assign
     };
     let session = c.session;
     let (mut ship, mut frames) = (0u8, Vec::new());
-    for (bit, &hash) in [session.0, session.1, session.2, session.3]
-        .iter()
-        .enumerate()
-    {
-        if hash == 0 || has.contains(&hash) {
-            continue; // absent (golden-free campaign) or already cached
+    // An in-process audit touches no socket: nothing to ship.
+    if !matches!(kind, AssignKind::AuditLocal { .. }) {
+        for (bit, &hash) in [session.0, session.1, session.2, session.3]
+            .iter()
+            .enumerate()
+        {
+            if hash == 0 || has.contains(&hash) {
+                continue; // absent (golden-free campaign) or already cached
+            }
+            let Some(frame) = st.artifacts.get(&hash) else {
+                // Artifacts are registered before their client; an absent
+                // one means the session is unshippable — skip the bit, the
+                // worker will report the inconsistent delta.
+                continue;
+            };
+            ship |= 1 << bit;
+            frames.push(Arc::clone(frame));
+            has.insert(hash);
         }
-        ship |= 1 << bit;
-        frames.push(
-            st.artifacts
-                .get(&hash)
-                .expect("artifacts are registered before their client")
-                .clone(),
-        );
-        has.insert(hash);
     }
-    st.stats.tasks_dispatched += 1;
     Some(Assignment {
         client: id,
         task_idx,
-        tasks: c.tasks.clone(),
+        kind,
+        tasks: Arc::clone(&c.tasks),
         session,
         ship,
         frames,
         work_msg,
         key,
         ckpt: c.ckpt.clone(),
+        arbiter: Arc::clone(&c.arbiter),
         total: c.tasks.len(),
     })
 }
 
 /// Puts a lost shard back on its owner's queue (the owner may have
-/// finished — fatally or via another worker — in the meantime).
+/// finished — fatally or via another worker — in the meantime). A lost
+/// *audit* is re-enqueued only while its audit is still open — a
+/// conviction sweep may have resolved it meanwhile.
 fn requeue(inner: &ServerInner, a: &Assignment, worker_id: usize, why: &dyn std::fmt::Display) {
-    let mut st = inner.state.lock().unwrap();
+    let mut st = lock(&inner.state);
     if let Some(c) = st.clients.get_mut(&a.client) {
         if !c.finished {
-            c.queue.push(a.task_idx);
+            match a.kind {
+                AssignKind::Run => c.queue.push(QueueEntry::Run(a.task_idx)),
+                AssignKind::Audit { producer } | AssignKind::AuditLocal { producer } => {
+                    if c.audit_open.get(a.task_idx).copied().unwrap_or(false) {
+                        c.queue.push(QueueEntry::Audit {
+                            task_idx: a.task_idx,
+                            producer,
+                        });
+                    }
+                }
+            }
             if c.verbose {
-                let task = &a.tasks[a.task_idx];
-                eprintln!(
-                    "  worker {worker_id} lost mid-shard (client {} item {} \
-                     images {}..{}): {why}; requeued",
-                    a.client, task.work_id, task.range.start, task.range.end,
-                );
+                if let Some(task) = a.tasks.get(a.task_idx) {
+                    eprintln!(
+                        "  worker {worker_id} lost mid-shard (client {} item {} \
+                         images {}..{}): {why}; requeued",
+                        a.client, task.work_id, task.range.start, task.range.end,
+                    );
+                }
             }
         }
     }
@@ -719,25 +1135,42 @@ fn requeue(inner: &ServerInner, a: &Assignment, worker_id: usize, why: &dyn std:
 /// Why one task attempt ended.
 enum TaskError {
     /// The connection is no longer trustworthy — the worker died, stalled
-    /// past the timeout, or the transport corrupted a frame. Requeue the
-    /// shard; a reconnecting worker gets re-admitted.
+    /// past the timeout, the transport corrupted a frame, or the reply was
+    /// malformed. Requeue the shard; a reconnecting worker gets
+    /// re-admitted.
     WorkerLost(std::io::Error),
+    /// The reply decoded cleanly (valid CRC) but its attestation does not
+    /// match the assigned session and predictions: the worker executed
+    /// against stale artifacts or the payload was corrupted after the CRC
+    /// was sealed. Requeue the shard *and strike the worker*.
+    Integrity(WireError),
     /// A deterministic error that retrying elsewhere would reproduce.
     Fatal(DistError),
 }
 
 /// Awaits one shard's predictions, absorbing [`Msg::Pong`] heartbeats
 /// (each restarts the `task_timeout` silence window — a slow worker that
-/// keeps heartbeating never times out) and chaos-duplicated replays of the
-/// previously completed shard. The dedup key includes the **client** id:
-/// two multiplexed clients may legitimately produce identical
-/// `(work_id, start, end)` triples back to back.
+/// keeps heartbeating never times out) and chaos-duplicated replays of
+/// **any** previously recorded completion — `done_keys` holds every
+/// completion this connection has accepted, so an arbitrarily late
+/// reordered duplicate is recognized, not just the most recent. The dedup
+/// key includes the **client** id: two multiplexed clients may
+/// legitimately produce identical `(work_id, start, end)` triples back to
+/// back.
+///
+/// A reply matching the assigned key is accepted only if its attestation
+/// matches a recomputation over the **assigned session** and the delivered
+/// predictions — otherwise it is a [`TaskError::Integrity`]: the worker
+/// executed against stale artifacts, or the payload was corrupted after
+/// its CRC was sealed (the byzantine case the wire layer provably cannot
+/// catch).
 fn await_shard(
     stream: &mut TcpStream,
     client: u64,
     key: (u32, u32, u32),
+    session: (u64, u64, u64, u64),
     task_timeout: Option<Duration>,
-    last_done: &mut Option<(u64, u32, u32, u32)>,
+    done_keys: &mut HashSet<(u64, u32, u32, u32)>,
 ) -> Result<Vec<u8>, TaskError> {
     if task_timeout.is_some() {
         let _ = stream.set_read_timeout(task_timeout);
@@ -752,15 +1185,23 @@ fn await_shard(
                 work_id,
                 start,
                 end,
+                attest,
                 preds,
             }) => {
-                if *last_done == Some((client, work_id, start, end)) {
-                    // A chaos-duplicated replay of the previous completion:
-                    // already merged, skip it.
+                if done_keys.contains(&(client, work_id, start, end)) {
+                    // A chaos-duplicated replay of an earlier completion
+                    // (however late): already merged, skip it.
                     continue;
                 }
                 if (work_id, start, end) == key {
-                    *last_done = Some((client, work_id, start, end));
+                    let expected = wire::shard_attestation(session, work_id, start, end, &preds);
+                    if attest != expected {
+                        break Err(TaskError::Integrity(WireError::Integrity {
+                            expected,
+                            got: attest,
+                        }));
+                    }
+                    done_keys.insert((client, work_id, start, end));
                     break Ok(preds);
                 }
                 // A completion for a shard this connection doesn't own: the
@@ -781,9 +1222,11 @@ fn await_shard(
                 )))
             }
             Err(DistError::Io(e)) => break Err(TaskError::WorkerLost(e)),
-            // A CRC-failed frame is transport corruption, not a worker bug:
-            // drop the connection, requeue, let re-admission replace it.
-            Err(DistError::Wire(e @ WireError::Crc { .. })) => {
+            // A malformed or CRC-failed frame is a broken peer or transport,
+            // not the client's fault: drop the connection, requeue, let
+            // re-admission replace the worker. Garbage traffic costs the
+            // fabric a retry — it never fails a campaign.
+            Err(DistError::Wire(e)) => {
                 break Err(TaskError::WorkerLost(std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
                     e.to_string(),
@@ -798,22 +1241,253 @@ fn await_shard(
     result
 }
 
+/// Lands one completed *run*: checkpoint, merge, and — when the shard is
+/// sampled (or the producer is under heightened audit) — schedule a silent
+/// audit re-execution. A result landed by a worker that was quarantined
+/// mid-flight is discarded and its task requeued: nothing a convicted
+/// worker produced is merged unverified.
+fn land_run(inner: &ServerInner, a: &Assignment, worker_id: usize, ident: u64, preds: Vec<u8>) {
+    // Persist before counting done: a server killed right here resumes
+    // with this shard already checkpointed. (A later arbitration replaces
+    // the entry by key if this worker turns out to have lied.)
+    if let Some(ck) = &a.ckpt {
+        if let Some(task) = a.tasks.get(a.task_idx) {
+            ck.record(task, &preds);
+        }
+    }
+    let mut guard = lock(&inner.state);
+    let st = &mut *guard;
+    let producer_trust = st.trust.get(&ident).copied().unwrap_or_default();
+    let Some(c) = st.clients.get_mut(&a.client) else {
+        return;
+    };
+    if c.finished || !matches!(c.results.get(a.task_idx), Some(None)) {
+        return;
+    }
+    if inner.quarantine && producer_trust.is_quarantined() {
+        // Convicted while this shard was in flight: discard and requeue.
+        c.queue.push(QueueEntry::Run(a.task_idx));
+        return;
+    }
+    if let Some(slot) = c.results.get_mut(a.task_idx) {
+        *slot = Some(preds);
+    }
+    if let Some(p) = c.producer.get_mut(a.task_idx) {
+        *p = Some(ident);
+    }
+    c.done += 1;
+    let _ = c.progress.send(Progress {
+        done: c.done,
+        total: a.total,
+    });
+    if c.verbose {
+        if let Some(task) = a.tasks.get(a.task_idx) {
+            eprintln!(
+                "  fi client {} {}/{} [worker {worker_id}]: \
+                 item {} images {}..{}",
+                a.client, c.done, a.total, task.work_id, task.range.start, task.range.end,
+            );
+        }
+    }
+    let need_audit = (inner.quarantine && producer_trust.audits_all())
+        || audit_sampled(inner.audit_rate, a.client, a.key);
+    if need_audit && !c.verified.get(a.task_idx).copied().unwrap_or(false) {
+        if let Some(open) = c.audit_open.get_mut(a.task_idx) {
+            *open = true;
+            c.audits_pending += 1;
+            c.queue.push(QueueEntry::Audit {
+                task_idx: a.task_idx,
+                producer: ident,
+            });
+        }
+    }
+    maybe_finish(c, &inner.completion);
+}
+
+/// Resolves one wire-dispatched audit: the replica either confirms the
+/// stored result (audit passes, producer credited) or triggers the
+/// authoritative in-process arbitration that decides which replica lied —
+/// repairing the stored result and convicting the liar.
+fn resolve_wire_audit(
+    inner: &ServerInner,
+    a: &Assignment,
+    producer: u64,
+    auditor: u64,
+    replica: Vec<u8>,
+) {
+    let original: Option<Vec<u8>> = {
+        let mut guard = lock(&inner.state);
+        let st = &mut *guard;
+        let Some(c) = st.clients.get_mut(&a.client) else {
+            return;
+        };
+        if c.finished || !c.audit_open.get(a.task_idx).copied().unwrap_or(false) {
+            return; // resolved meanwhile (conviction sweep, rescue)
+        }
+        match c.results.get(a.task_idx).and_then(Option::as_ref) {
+            Some(orig) if *orig == replica => {
+                // Audit passed: the stored result is confirmed.
+                close_audit(c, a.task_idx, &inner.completion);
+                if inner.quarantine {
+                    st.trust.entry(producer).or_default().audit_passed();
+                }
+                None
+            }
+            Some(orig) => {
+                st.stats.audit_mismatches += 1;
+                Some(orig.clone())
+            }
+            None => {
+                // No stored result to audit (requeued after a quarantine
+                // discard): nothing to compare, close the audit.
+                close_audit(c, a.task_idx, &inner.completion);
+                None
+            }
+        }
+    };
+    let Some(original) = original else {
+        return;
+    };
+    // Two replicas disagree: somebody lied. Arbitrate authoritatively.
+    let Some(task) = a.tasks.get(a.task_idx) else {
+        return;
+    };
+    let auth = match a.arbiter.run(task) {
+        Ok(v) => v,
+        Err(e) => {
+            fail_client(inner, a.client, e);
+            return;
+        }
+    };
+    let orig_lied = auth != original;
+    let replica_lied = auth != replica;
+    let mut rerecord = false;
+    {
+        let mut guard = lock(&inner.state);
+        if let Some(c) = guard.clients.get_mut(&a.client) {
+            if !c.finished && c.audit_open.get(a.task_idx).copied().unwrap_or(false) {
+                if orig_lied {
+                    if let Some(slot) = c.results.get_mut(a.task_idx) {
+                        *slot = Some(auth.clone());
+                    }
+                    if let Some(p) = c.producer.get_mut(a.task_idx) {
+                        *p = None; // authoritative now
+                    }
+                    rerecord = true;
+                }
+                close_audit(c, a.task_idx, &inner.completion);
+            }
+        }
+        if inner.quarantine && !orig_lied {
+            // The producer told the truth; the auditor is the liar. Credit
+            // the producer as any passed audit would.
+            guard.trust.entry(producer).or_default().audit_passed();
+        }
+    }
+    if rerecord {
+        if let Some(ck) = &a.ckpt {
+            ck.record(task, &auth);
+        }
+    }
+    if orig_lied {
+        punish_worker(inner, producer, true);
+    }
+    if replica_lied {
+        punish_worker(inner, auditor, true);
+    }
+}
+
+/// Resolves an in-process audit (one-worker fleets: nobody else can check
+/// the producer): the arbiter's re-execution *is* authoritative, so it is
+/// compared against the stored result directly.
+fn resolve_local_audit(inner: &ServerInner, a: &Assignment, producer: u64) {
+    let original: Option<Vec<u8>> = {
+        let mut guard = lock(&inner.state);
+        let Some(c) = guard.clients.get_mut(&a.client) else {
+            return;
+        };
+        if c.finished || !c.audit_open.get(a.task_idx).copied().unwrap_or(false) {
+            return;
+        }
+        match c.results.get(a.task_idx).and_then(Option::as_ref) {
+            Some(orig) => Some(orig.clone()),
+            None => {
+                close_audit(c, a.task_idx, &inner.completion);
+                None
+            }
+        }
+    };
+    let Some(original) = original else {
+        return;
+    };
+    let Some(task) = a.tasks.get(a.task_idx) else {
+        return;
+    };
+    let auth = match a.arbiter.run(task) {
+        Ok(v) => v,
+        Err(e) => {
+            fail_client(inner, a.client, e);
+            return;
+        }
+    };
+    let lied = auth != original;
+    let mut rerecord = false;
+    {
+        let mut guard = lock(&inner.state);
+        let st = &mut *guard;
+        if let Some(c) = st.clients.get_mut(&a.client) {
+            if !c.finished && c.audit_open.get(a.task_idx).copied().unwrap_or(false) {
+                if lied {
+                    st.stats.audit_mismatches += 1;
+                    if let Some(slot) = c.results.get_mut(a.task_idx) {
+                        *slot = Some(auth.clone());
+                    }
+                    if let Some(p) = c.producer.get_mut(a.task_idx) {
+                        *p = None;
+                    }
+                    rerecord = true;
+                } else if inner.quarantine {
+                    st.trust.entry(producer).or_default().audit_passed();
+                }
+                close_audit(c, a.task_idx, &inner.completion);
+            }
+        }
+    }
+    if rerecord {
+        if let Some(ck) = &a.ckpt {
+            ck.record(task, &auth);
+        }
+    }
+    if lied {
+        punish_worker(inner, producer, true);
+    }
+}
+
 /// Drives one worker connection for the life of the server: pick the
-/// fairest client's next shard, activate the session by delta if it
-/// changed, run the shard, land the result — requeueing on loss, probing
-/// liveness while idle, and releasing the worker with [`Msg::Shutdown`] at
-/// server shutdown.
+/// fairest client's next entry, activate the session by delta if it
+/// changed, run the shard (or audit), land the result — requeueing on
+/// loss, striking integrity violations, draining quarantined workers with
+/// [`Msg::Goodbye`], probing liveness while idle, and releasing the worker
+/// with [`Msg::Shutdown`] at server shutdown.
 fn connection_thread(
     inner: &Arc<ServerInner>,
     worker_id: usize,
+    ident: u64,
     mut stream: TcpStream,
     advertised: Vec<u64>,
 ) {
     let mut has: HashSet<u64> = advertised.into_iter().collect();
     let mut current: (u64, u64, u64, u64) = (0, 0, 0, 0);
     let mut current_client: Option<u64> = None;
-    let mut last_done: Option<(u64, u32, u32, u32)> = None;
+    // Every completion this connection has accepted, across session
+    // switches: an arbitrarily late chaos-duplicated replay must be
+    // recognized whenever it surfaces, not only right after the original.
+    let mut done_keys: HashSet<(u64, u32, u32, u32)> = HashSet::new();
     let mut last_ping = Instant::now();
+    {
+        let mut st = lock(&inner.state);
+        *st.active_idents.entry(ident).or_insert(0) += 1;
+    }
     loop {
         if inner.shutting_down.load(Ordering::Relaxed) {
             // Release the worker, then drain to EOF so the *worker* closes
@@ -826,7 +1500,25 @@ fn connection_thread(
             while matches!(std::io::Read::read(&mut stream, &mut sink), Ok(n) if n > 0) {}
             break;
         }
-        let Some(a) = pick_assignment(inner, &mut has) else {
+        if inner.quarantine {
+            let quarantined = lock(&inner.state)
+                .trust
+                .get(&ident)
+                .is_some_and(|t| t.is_quarantined());
+            if quarantined {
+                // Drain the convicted worker. Its serve loop reads a clean
+                // `Goodbye` and stands down (or reconnects later, entering
+                // probation via the acceptor's re-admission path).
+                let _ = wire::send(
+                    &mut stream,
+                    &Msg::Goodbye {
+                        reason: "worker quarantined after failed result audit".to_string(),
+                    },
+                );
+                break;
+            }
+        }
+        let Some(a) = pick_assignment(inner, &mut has, ident) else {
             // No ready client: stay available — a lost worker may yet
             // requeue a shard, a new campaign may arrive — and probe
             // liveness about once a second (fire-and-forget; the Pong is
@@ -841,9 +1533,14 @@ fn connection_thread(
             std::thread::sleep(Duration::from_millis(5));
             continue;
         };
+        if let AssignKind::AuditLocal { producer } = a.kind {
+            // In-process arbitration: no frames on this connection.
+            resolve_local_audit(inner, &a, producer);
+            continue;
+        }
         // Activate the session when it (or the owning client) changed. The
-        // client is part of the switch condition only for the reply dedup:
-        // the artifact tuple alone decides what ships.
+        // client matters only for bookkeeping symmetry: the artifact tuple
+        // alone decides what ships.
         if a.session != current || current_client != Some(a.client) || a.ship != 0 {
             let (plan, weights, eval, golden) = a.session;
             let activated = wire::send(
@@ -869,12 +1566,15 @@ fn connection_thread(
                 wire::count_artifact_bytes(f.len() as u64);
             }
             if !a.frames.is_empty() {
-                inner.state.lock().unwrap().stats.artifact_frames_shipped += a.frames.len() as u64;
+                lock(&inner.state).stats.artifact_frames_shipped += a.frames.len() as u64;
             }
             current = a.session;
             current_client = Some(a.client);
-            last_done = None;
         }
+        // A legitimate re-dispatch of a key this connection completed
+        // before (an audit of a task someone else requeued here, or a
+        // repair re-run) must not be mistaken for a late duplicate.
+        done_keys.remove(&(a.client, a.key.0, a.key.1, a.key.2));
         let outcome = wire::send(&mut stream, &a.work_msg)
             .map_err(TaskError::WorkerLost)
             .and_then(|()| {
@@ -882,44 +1582,19 @@ fn connection_thread(
                     &mut stream,
                     a.client,
                     a.key,
+                    a.session,
                     inner.task_timeout,
-                    &mut last_done,
+                    &mut done_keys,
                 )
             });
         match outcome {
             Ok(preds) => {
-                // Persist before counting done: a server killed right here
-                // resumes with this shard already checkpointed.
-                if let Some(ck) = &a.ckpt {
-                    ck.record(&a.tasks[a.task_idx], &preds);
-                }
-                let mut st = inner.state.lock().unwrap();
-                if let Some(c) = st.clients.get_mut(&a.client) {
-                    if !c.finished && c.results[a.task_idx].is_none() {
-                        c.results[a.task_idx] = Some(preds);
-                        c.done += 1;
-                        let _ = c.progress.send(Progress {
-                            done: c.done,
-                            total: a.total,
-                        });
-                        if c.verbose {
-                            let task = &a.tasks[a.task_idx];
-                            eprintln!(
-                                "  fi client {} {}/{} [worker {worker_id}]: \
-                                 item {} images {}..{}",
-                                a.client,
-                                c.done,
-                                a.total,
-                                task.work_id,
-                                task.range.start,
-                                task.range.end,
-                            );
-                        }
-                        if c.done == a.total {
-                            c.finished = true;
-                            inner.completion.notify_all();
-                        }
+                match a.kind {
+                    AssignKind::Run => land_run(inner, &a, worker_id, ident, preds),
+                    AssignKind::Audit { producer } => {
+                        resolve_wire_audit(inner, &a, producer, ident, preds);
                     }
+                    AssignKind::AuditLocal { .. } => {} // handled above
                 }
                 last_ping = Instant::now();
             }
@@ -929,22 +1604,29 @@ fn connection_thread(
                 requeue(inner, &a, worker_id, &e);
                 break;
             }
+            Err(TaskError::Integrity(e)) => {
+                // The reply survived its CRC but failed attestation: stale
+                // artifacts or post-CRC corruption. Requeue, strike the
+                // worker (two strikes quarantine), drop the connection.
+                lock(&inner.state).stats.integrity_rejects += 1;
+                requeue(inner, &a, worker_id, &e);
+                punish_worker(inner, ident, false);
+                break;
+            }
             Err(TaskError::Fatal(e)) => {
                 // Deterministic failure: retrying it on another worker
                 // would reproduce it. Fail the owning client — other
                 // clients keep running — and drop this connection (its
                 // stream state is no longer trusted).
-                let mut st = inner.state.lock().unwrap();
-                if let Some(c) = st.clients.get_mut(&a.client) {
-                    if !c.finished {
-                        c.fatal = Some(e);
-                        c.finished = true;
-                        c.queue.clear();
-                        inner.completion.notify_all();
-                    }
-                }
+                fail_client(inner, a.client, e);
                 break;
             }
+        }
+    }
+    {
+        let mut st = lock(&inner.state);
+        if let Some(n) = st.active_idents.get_mut(&ident) {
+            *n = n.saturating_sub(1);
         }
     }
     inner.active.fetch_sub(1, Ordering::SeqCst);
@@ -967,15 +1649,25 @@ fn acceptor_thread(
             break;
         }
         if inner.active.load(Ordering::SeqCst) == 0 {
-            let mut st = inner.state.lock().unwrap();
-            if st.clients.values().any(|c| !c.finished) {
+            let unfinished = {
+                let st = lock(&inner.state);
+                st.clients.values().any(|c| !c.finished)
+            };
+            if unfinished {
                 let since = *empty_since.get_or_insert_with(Instant::now);
                 if since.elapsed() >= inner.readmission_grace {
-                    // Nobody is left and nobody came back: fail every
-                    // unfinished client (their checkpoints, if any, stay on
-                    // disk for a resume). The server stays up.
+                    // Nobody is left and nobody came back. A client whose
+                    // only outstanding work is *audits* (the producer died
+                    // before its verification landed) is rescued by
+                    // arbitrating them in-process — its result must not be
+                    // lost to somebody else's death.
+                    rescue_open_audits(inner);
+                    let mut st = lock(&inner.state);
                     for c in st.clients.values_mut() {
                         if !c.finished {
+                            // Fail the rest (their checkpoints, if any,
+                            // stay on disk for a resume). The server
+                            // stays up.
                             c.fatal = Some(DistError::FleetLost {
                                 incomplete: c.tasks.len() - c.done,
                             });
@@ -1005,7 +1697,7 @@ fn acceptor_thread(
                 if wire::accept_hello(&mut s).is_err() {
                     continue;
                 }
-                let Ok(Msg::HaveArtifacts { hashes }) = wire::recv(&mut s) else {
+                let Ok(Msg::HaveArtifacts { ident, hashes }) = wire::recv(&mut s) else {
                     continue;
                 };
                 if admitted >= inner.max_readmissions {
@@ -1032,23 +1724,95 @@ fn acceptor_thread(
                 empty_since = None;
                 let worker_id = inner.total_workers + admitted;
                 {
-                    let st = inner.state.lock().unwrap();
+                    let mut st = lock(&inner.state);
+                    // A quarantined identity coming back is re-admitted on
+                    // probation: it serves again, but every shard it
+                    // completes is audited until it earns trust back.
+                    st.trust.entry(ident).or_default().readmit();
                     if st.clients.values().any(|c| c.verbose) {
                         eprintln!("  worker {worker_id} admitted mid-campaign");
                     }
                 }
                 let inner2 = Arc::clone(inner);
-                conn_threads
-                    .lock()
-                    .unwrap()
-                    .push(std::thread::spawn(move || {
-                        connection_thread(&inner2, worker_id, s, hashes)
-                    }));
+                lock(conn_threads).push(std::thread::spawn(move || {
+                    connection_thread(&inner2, worker_id, ident, s, hashes)
+                }));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
             }
             Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Resolves every open audit of every unfinished client in-process (the
+/// fleet is gone; the arbiter is the only executor left). Audits whose
+/// producers died unverified are arbitrated authoritatively, so a client
+/// that only awaited verification finishes with a repaired — and correct —
+/// result instead of a [`DistError::FleetLost`].
+fn rescue_open_audits(inner: &ServerInner) {
+    let mut rescue: Vec<SweepItem> = Vec::new();
+    {
+        let mut st = lock(&inner.state);
+        for (&id, c) in &mut st.clients {
+            if c.finished || c.audits_pending == 0 {
+                continue;
+            }
+            for i in 0..c.tasks.len() {
+                if c.audit_open.get(i).copied().unwrap_or(false) {
+                    rescue.push(SweepItem {
+                        client: id,
+                        task_idx: i,
+                        arbiter: Arc::clone(&c.arbiter),
+                        tasks: Arc::clone(&c.tasks),
+                        ckpt: c.ckpt.clone(),
+                    });
+                }
+            }
+        }
+    }
+    for item in rescue {
+        let Some(task) = item.tasks.get(item.task_idx) else {
+            continue;
+        };
+        let auth = match item.arbiter.run(task) {
+            Ok(v) => v,
+            Err(e) => {
+                fail_client(inner, item.client, e);
+                continue;
+            }
+        };
+        let mut rerecord = false;
+        {
+            let mut guard = lock(&inner.state);
+            let st = &mut *guard;
+            let Some(c) = st.clients.get_mut(&item.client) else {
+                continue;
+            };
+            if c.finished || !c.audit_open.get(item.task_idx).copied().unwrap_or(false) {
+                continue;
+            }
+            if let Some(slot) = c.results.get_mut(item.task_idx) {
+                if slot.as_deref() != Some(auth.as_slice()) {
+                    if slot.is_some() {
+                        st.stats.audit_mismatches += 1;
+                    } else {
+                        // The audited task was discarded and requeued (its
+                        // producer got convicted): the arbitration *is* its
+                        // completion.
+                        c.done += 1;
+                    }
+                    *slot = Some(auth.clone());
+                    rerecord = true;
+                }
+            }
+            close_audit(c, item.task_idx, &inner.completion);
+        }
+        if rerecord {
+            if let Some(ck) = &item.ckpt {
+                ck.record(task, &auth);
+            }
         }
     }
 }
@@ -1064,7 +1828,7 @@ fn accept_fleet(
     listener: &TcpListener,
     n: usize,
     timeout: Duration,
-) -> Result<Vec<(TcpStream, Vec<u64>)>, DistError> {
+) -> Result<Vec<(TcpStream, u64, Vec<u64>)>, DistError> {
     listener
         .set_nonblocking(true)
         .map_err(|e| DistError::Spawn(e.to_string()))?;
@@ -1090,13 +1854,13 @@ fn accept_fleet(
                 if wire::accept_hello(&mut stream).is_err() {
                     continue;
                 }
-                let Ok(Msg::HaveArtifacts { hashes }) = wire::recv(&mut stream) else {
+                let Ok(Msg::HaveArtifacts { ident, hashes }) = wire::recv(&mut stream) else {
                     continue;
                 };
                 if stream.set_read_timeout(None).is_err() {
                     continue;
                 }
-                streams.push((stream, hashes));
+                streams.push((stream, ident, hashes));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 if Instant::now() >= deadline {
@@ -1194,6 +1958,7 @@ impl CampaignServer {
             };
             let mut cmd = Command::new(&exe);
             cmd.env(worker::ENV_CONNECT, &connect_addr);
+            // nvfi-lint: allow(decode-panic) — `&[][..]` is an empty-slice literal, not indexing
             for (k, v) in fleet.worker_env.get(i).map_or(&[][..], Vec::as_slice) {
                 cmd.env(k, v);
             }
@@ -1214,6 +1979,8 @@ impl CampaignServer {
                 clients: BTreeMap::new(),
                 next_client: 0,
                 results_cache: HashMap::new(),
+                trust: HashMap::new(),
+                active_idents: HashMap::new(),
                 stats: ServerStats::default(),
             }),
             completion: Condvar::new(),
@@ -1223,14 +1990,16 @@ impl CampaignServer {
             readmission_grace: fleet.readmission_grace,
             max_readmissions: fleet.max_readmissions,
             total_workers,
+            audit_rate: fleet.audit_rate,
+            quarantine: fleet.quarantine,
         });
         let conn_threads = Arc::new(Mutex::new(Vec::new()));
         {
-            let mut reg = conn_threads.lock().unwrap();
-            for (worker_id, (stream, hashes)) in streams.into_iter().enumerate() {
+            let mut reg = lock(&conn_threads);
+            for (worker_id, (stream, ident, hashes)) in streams.into_iter().enumerate() {
                 let inner2 = Arc::clone(&inner);
                 reg.push(std::thread::spawn(move || {
-                    connection_thread(&inner2, worker_id, stream, hashes)
+                    connection_thread(&inner2, worker_id, ident, stream, hashes)
                 }));
             }
         }
@@ -1259,7 +2028,7 @@ impl CampaignServer {
     /// A snapshot of the server's lifetime counters.
     #[must_use]
     pub fn stats(&self) -> ServerStats {
-        self.inner.state.lock().unwrap().stats
+        lock(&self.inner.state).stats
     }
 
     /// Submits one campaign to the shared fleet and returns immediately
@@ -1310,7 +2079,7 @@ impl CampaignServer {
     /// encoded exactly once per server), checkpoint prefill, and the
     /// client queue.
     pub(crate) fn submit_prepared(&self, p: PreparedCampaign) -> ClientHandle {
-        let mut st = self.inner.state.lock().unwrap();
+        let mut st = lock(&self.inner.state);
         st.stats.campaigns_submitted += 1;
         if let Some(cached) = st.results_cache.get(&p.result_key) {
             let mut result = cached.clone();
@@ -1324,6 +2093,14 @@ impl CampaignServer {
             }
             return ClientHandle::ready(result);
         }
+        // The decoded artifacts live on (shared) behind the audit arbiter:
+        // an authoritative in-process re-execution needs exactly what a
+        // worker would be shipped.
+        let plan_words = Arc::new(p.plan_words);
+        let weight_image = Arc::new(p.weight_image);
+        let qset = Arc::new(p.qset);
+        let golden = Arc::new(p.golden);
+        let work = Arc::new(p.work);
         // Register the artifact frames. Encoding happens at most once per
         // distinct content hash for the server's whole life — the
         // serialize-once probes count these.
@@ -1331,17 +2108,17 @@ impl CampaignServer {
             Msg::Plan {
                 config: p.config.into(),
                 local_devices: p.local_devices as u32,
-                words: p.plan_words.clone(),
+                words: plan_words.as_ref().clone(),
             }
             .encode()
         });
         let weights_frame = ensure_artifact(&mut st, p.weights_hash, || {
             Msg::Weights {
-                regions: p.weight_image.clone(),
+                regions: weight_image.as_ref().clone(),
             }
             .encode()
         });
-        let shape = p.qset.shape();
+        let shape = qset.shape();
         let eval_frame = ensure_artifact(&mut st, p.eval_hash, || {
             // Encoded straight from the borrowed pixel slice: no owned copy
             // of the (large) evaluation set just to build a `Msg`.
@@ -1350,16 +2127,16 @@ impl CampaignServer {
                 shape.c as u32,
                 shape.h as u32,
                 shape.w as u32,
-                p.qset.images().as_slice(),
+                qset.images().as_slice(),
             )
         });
-        if let Some(golden) = &p.golden {
+        if let Some(g) = golden.as_ref() {
             ensure_artifact(&mut st, p.golden_hash, || {
                 Msg::Golden {
-                    boundary: golden.boundary() as u64,
-                    surfaces: golden.surfaces().to_vec(),
-                    data: golden.data().to_vec(),
-                    cached_images: golden.cached_images() as u64,
+                    boundary: g.boundary() as u64,
+                    surfaces: g.surfaces().to_vec(),
+                    data: g.data().to_vec(),
+                    cached_images: g.cached_images() as u64,
                 }
                 .encode()
             });
@@ -1375,7 +2152,7 @@ impl CampaignServer {
             let fingerprint = campaign_fingerprint(
                 [&plan_frame, &weights_frame, &eval_frame],
                 &p.tasks,
-                &p.work,
+                &work,
                 &p.window,
             );
             let mut cp = Checkpoint::new(fingerprint);
@@ -1395,8 +2172,8 @@ impl CampaignServer {
                     for entry in prev.entries {
                         let key = (entry.work_id, entry.start, entry.end);
                         if let Some(&idx) = by_key.get(&key) {
-                            if results[idx].is_none() {
-                                results[idx] = Some(entry.preds.clone());
+                            if let Some(slot @ None) = results.get_mut(idx) {
+                                *slot = Some(entry.preds.clone());
                                 prefilled += 1;
                                 cp.entries.push(entry);
                             }
@@ -1424,13 +2201,27 @@ impl CampaignServer {
         });
 
         let (progress_tx, progress_rx) = channel();
-        let work = Arc::new(p.work);
         let tasks = Arc::new(p.tasks);
-        let queue: Vec<usize> = (0..tasks.len())
+        let queue: Vec<QueueEntry> = (0..tasks.len())
             .rev()
-            .filter(|&i| results[i].is_none())
+            .filter(|&i| results.get(i).is_some_and(Option::is_none))
+            .map(QueueEntry::Run)
             .collect();
         let finished = prefilled == tasks.len();
+        // Checkpoint-prefilled shards count as verified: they were landed
+        // (and possibly audited) by the run that recorded them, and there
+        // is no producer left to audit.
+        let verified: Vec<bool> = results.iter().map(Option::is_some).collect();
+        let arbiter = Arc::new(Arbiter {
+            config: p.config,
+            plan_words,
+            weight_image,
+            qset,
+            golden,
+            work: Arc::clone(&work),
+            window: p.window.clone(),
+            pool: Mutex::new(None),
+        });
         let ctx = MergeCtx {
             work: Arc::clone(&work),
             tasks: Arc::clone(&tasks),
@@ -1442,7 +2233,7 @@ impl CampaignServer {
             checkpoint_path: p.checkpoint_path,
             started: p.started,
         };
-        let mut st = self.inner.state.lock().unwrap();
+        let mut st = lock(&self.inner.state);
         let id = st.next_client;
         st.next_client += 1;
         st.clients.insert(
@@ -1451,8 +2242,12 @@ impl CampaignServer {
                 session: (p.plan_hash, p.weights_hash, p.eval_hash, p.golden_hash),
                 work,
                 window: p.window,
-                tasks,
+                tasks: Arc::clone(&tasks),
                 queue,
+                producer: vec![None; tasks.len()],
+                audit_open: vec![false; tasks.len()],
+                verified,
+                audits_pending: 0,
                 results,
                 done: prefilled,
                 dispatched: 0,
@@ -1460,6 +2255,7 @@ impl CampaignServer {
                 finished,
                 verbose: p.verbose,
                 ckpt,
+                arbiter,
                 progress: progress_tx,
             },
         );
@@ -1490,7 +2286,7 @@ impl CampaignServer {
             return;
         }
         {
-            let mut st = self.inner.state.lock().unwrap();
+            let mut st = lock(&self.inner.state);
             for c in st.clients.values_mut() {
                 if !c.finished {
                     c.finished = true;
@@ -1504,14 +2300,14 @@ impl CampaignServer {
         }
         // The acceptor first — it is the only spawner of new connection
         // threads, so after this join the registry is final.
-        if let Some(h) = self.acceptor.lock().unwrap().take() {
+        if let Some(h) = lock(&self.acceptor).take() {
             let _ = h.join();
         }
-        let handles: Vec<JoinHandle<()>> = self.conn_threads.lock().unwrap().drain(..).collect();
+        let handles: Vec<JoinHandle<()>> = lock(&self.conn_threads).drain(..).collect();
         for h in handles {
             let _ = h.join();
         }
-        for mut child in self.children.lock().unwrap().drain(..) {
+        for mut child in lock(&self.children).drain(..) {
             // A cleanly shut-down worker has already exited; kill is a
             // no-op race loser then. Either way, wait() reaps.
             let _ = child.kill();
@@ -1614,15 +2410,22 @@ impl ClientHandle {
             HandleInner::Ready(result) => return Ok(result),
             HandleInner::Pending { server, id, ctx } => (server, id, ctx),
         };
-        let mut st = server.state.lock().unwrap();
+        let mut st = lock(&server.state);
         loop {
             match st.clients.get(&id) {
                 Some(c) if c.finished => break,
-                Some(_) => st = server.completion.wait(st).unwrap(),
+                Some(_) => {
+                    st = server
+                        .completion
+                        .wait(st)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
                 None => return Err(DistError::Protocol("campaign client vanished")),
             }
         }
-        let client = st.clients.remove(&id).expect("checked above");
+        let Some(client) = st.clients.remove(&id) else {
+            return Err(DistError::Protocol("campaign client vanished"));
+        };
         drop(st);
         if let Some(e) = client.fatal {
             return Err(e);
@@ -1632,12 +2435,18 @@ impl ClientHandle {
         // exactly as the in-process loop does.
         let mut per_item: Vec<Vec<u8>> = vec![Vec::new(); ctx.work.len()];
         for (task, slot) in ctx.tasks.iter().zip(client.results) {
-            per_item[task.work_id].extend(slot.expect("a finished, non-fatal client has no holes"));
+            let Some(preds) = slot else {
+                return Err(DistError::Protocol("finished campaign left a shard hole"));
+            };
+            let Some(item) = per_item.get_mut(task.work_id) else {
+                return Err(DistError::Protocol("shard names an out-of-range work item"));
+            };
+            item.extend(preds);
         }
         // Provably-masked items produce exactly the fault-free predictions:
         // give them the baseline's, and the shared record fold below does
         // the rest.
-        let clean_preds: Vec<u8> = per_item[0].clone();
+        let clean_preds: Vec<u8> = per_item.first().cloned().unwrap_or_default();
         for (item, is_masked) in per_item.iter_mut().zip(&ctx.masked) {
             if *is_masked {
                 item.clone_from(&clean_preds);
@@ -1646,7 +2455,11 @@ impl ClientHandle {
         let baseline_accuracy = prediction_accuracy(&clean_preds, &ctx.labels);
         let mut records = Vec::with_capacity(ctx.work.len() - 1);
         for (item, preds) in ctx.work.iter().zip(&per_item).skip(1) {
-            let (targets, kind) = item.as_ref().expect("non-baseline items carry a fault");
+            let Some((targets, kind)) = item.as_ref() else {
+                return Err(DistError::Protocol(
+                    "non-baseline work item carries no fault",
+                ));
+            };
             // The shared fold of nvfi::campaign — bit-identity with the
             // in-process path is structural, not a re-implementation.
             records.push(FiRecord::from_preds(
@@ -1670,10 +2483,7 @@ impl ClientHandle {
         // The campaign is complete: cache the answer for repeat queries and
         // retire the checkpoint — a finished run must not donate shards to
         // an unrelated later campaign at the same path.
-        server
-            .state
-            .lock()
-            .unwrap()
+        lock(&server.state)
             .results_cache
             .insert(ctx.result_key, result.clone());
         if let Some(path) = &ctx.checkpoint_path {

@@ -1,0 +1,210 @@
+//! Per-worker reputation: the quarantine state machine.
+//!
+//! Every worker process announces a stable identity (see
+//! [`crate::worker::worker_ident`]) in its `HaveArtifacts` greeting, and the
+//! campaign server keeps one [`Trust`] record per identity — *not* per
+//! connection — so a worker that reconnects after a crash or a drain inherits
+//! its own history.
+//!
+//! The machine is deliberately small and one-directional under suspicion:
+//!
+//! ```text
+//!            strike              strike / convict
+//! Healthy ──────────▶ Suspect ──────────────────▶ Quarantined
+//!    ▲                   │                             │
+//!    │   audit passed    │                             │ readmit
+//!    ├───────────────────┘                             ▼
+//!    │              3 clean audits               Probation { clean }
+//!    └───────────────────────────────────────────────┘
+//! ```
+//!
+//! * A **strike** is recorded when a reply fails attestation
+//!   ([`crate::codec::WireError::Integrity`]). One strike makes a worker
+//!   `Suspect` (every subsequent shard is audited); a second convicts it.
+//! * A **conviction** — an audit arbitration proving the worker returned a
+//!   wrong answer — quarantines it immediately from any state.
+//! * A quarantined worker is drained (told `Goodbye`) and its unfinished
+//!   completed shards are re-verified. If the fleet's re-admission budget
+//!   allows it back, it re-enters on **probation**: 100 % of its shards are
+//!   audited until [`PROBATION_CLEAN`] consecutive audits pass, after which
+//!   it is trusted again.
+//!
+//! Transitions never panic and never affect clients: conviction costs the
+//! *worker* its seat, while the shards it touched are silently repaired.
+
+/// Consecutive clean audits a probationary worker needs to regain trust.
+pub const PROBATION_CLEAN: u32 = 3;
+
+/// Reputation state of one worker identity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Trust {
+    /// No evidence of misbehaviour; audited at the fleet's sampling rate.
+    #[default]
+    Healthy,
+    /// One integrity strike on record; every shard is audited until an audit
+    /// passes (clearing the strike) or a second strike convicts.
+    Suspect,
+    /// Convicted or struck out. Drained from the fleet and refused work.
+    Quarantined,
+    /// Re-admitted after quarantine; every shard is audited until `clean`
+    /// reaches [`PROBATION_CLEAN`].
+    Probation {
+        /// Consecutive clean audits since re-admission.
+        clean: u32,
+    },
+}
+
+impl Trust {
+    /// Record an integrity strike (attestation mismatch on a reply).
+    ///
+    /// `Healthy` becomes `Suspect`; a `Suspect` or probationary worker is
+    /// struck out to `Quarantined`. Striking a quarantined worker is a no-op.
+    pub fn strike(&mut self) {
+        *self = match *self {
+            Trust::Healthy => Trust::Suspect,
+            Trust::Suspect | Trust::Quarantined | Trust::Probation { .. } => Trust::Quarantined,
+        };
+    }
+
+    /// Record a conviction: audit arbitration proved a wrong answer.
+    /// Quarantines from any state.
+    pub fn convict(&mut self) {
+        *self = Trust::Quarantined;
+    }
+
+    /// Re-admit a quarantined worker on probation. States other than
+    /// `Quarantined` are unchanged (a healthy reconnect is not a probation).
+    pub fn readmit(&mut self) {
+        if *self == Trust::Quarantined {
+            *self = Trust::Probation { clean: 0 };
+        }
+    }
+
+    /// Record a passed audit. Clears a `Suspect` strike; credits probation,
+    /// restoring trust after [`PROBATION_CLEAN`] consecutive clean audits.
+    pub fn audit_passed(&mut self) {
+        *self = match *self {
+            Trust::Healthy | Trust::Suspect => Trust::Healthy,
+            Trust::Quarantined => Trust::Quarantined,
+            Trust::Probation { clean } => {
+                if clean + 1 >= PROBATION_CLEAN {
+                    Trust::Healthy
+                } else {
+                    Trust::Probation { clean: clean + 1 }
+                }
+            }
+        };
+    }
+
+    /// Whether every shard this worker completes must be audited regardless
+    /// of the fleet's sampling rate.
+    #[must_use]
+    pub fn audits_all(self) -> bool {
+        matches!(self, Trust::Suspect | Trust::Probation { .. })
+    }
+
+    /// Whether the worker is barred from receiving work.
+    #[must_use]
+    pub fn is_quarantined(self) -> bool {
+        self == Trust::Quarantined
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_healthy_and_sampled() {
+        let t = Trust::default();
+        assert_eq!(t, Trust::Healthy);
+        assert!(!t.audits_all());
+        assert!(!t.is_quarantined());
+    }
+
+    #[test]
+    fn first_strike_suspends_second_convicts() {
+        let mut t = Trust::Healthy;
+        t.strike();
+        assert_eq!(t, Trust::Suspect);
+        assert!(t.audits_all());
+        assert!(!t.is_quarantined());
+        t.strike();
+        assert_eq!(t, Trust::Quarantined);
+        assert!(t.is_quarantined());
+    }
+
+    #[test]
+    fn conviction_quarantines_from_any_state() {
+        for start in [
+            Trust::Healthy,
+            Trust::Suspect,
+            Trust::Quarantined,
+            Trust::Probation { clean: 2 },
+        ] {
+            let mut t = start;
+            t.convict();
+            assert_eq!(t, Trust::Quarantined, "convict from {start:?}");
+        }
+    }
+
+    #[test]
+    fn clean_audit_clears_a_suspect_strike() {
+        let mut t = Trust::Suspect;
+        t.audit_passed();
+        assert_eq!(t, Trust::Healthy);
+    }
+
+    #[test]
+    fn audit_pass_keeps_healthy_healthy() {
+        let mut t = Trust::Healthy;
+        t.audit_passed();
+        assert_eq!(t, Trust::Healthy);
+    }
+
+    #[test]
+    fn readmission_enters_probation_only_from_quarantine() {
+        let mut t = Trust::Quarantined;
+        t.readmit();
+        assert_eq!(t, Trust::Probation { clean: 0 });
+        assert!(t.audits_all());
+        assert!(!t.is_quarantined());
+        for start in [
+            Trust::Healthy,
+            Trust::Suspect,
+            Trust::Probation { clean: 1 },
+        ] {
+            let mut t = start;
+            t.readmit();
+            assert_eq!(t, start, "readmit must not touch {start:?}");
+        }
+    }
+
+    #[test]
+    fn probation_needs_three_consecutive_clean_audits() {
+        let mut t = Trust::Quarantined;
+        t.readmit();
+        t.audit_passed();
+        assert_eq!(t, Trust::Probation { clean: 1 });
+        t.audit_passed();
+        assert_eq!(t, Trust::Probation { clean: 2 });
+        t.audit_passed();
+        assert_eq!(t, Trust::Healthy);
+    }
+
+    #[test]
+    fn strike_during_probation_strikes_out() {
+        let mut t = Trust::Probation { clean: 2 };
+        t.strike();
+        assert_eq!(t, Trust::Quarantined);
+    }
+
+    #[test]
+    fn audit_pass_never_frees_a_quarantined_worker() {
+        let mut t = Trust::Quarantined;
+        t.audit_passed();
+        assert_eq!(t, Trust::Quarantined);
+        t.strike();
+        assert_eq!(t, Trust::Quarantined);
+    }
+}

@@ -37,7 +37,18 @@ use crate::coordinator::DistError;
 /// Bare `Plan`/`Weights`/`EvalSet` frames outside a delta are a protocol
 /// error in v3. The checkpoint seed folds `WIRE_VERSION`, so v2 resume
 /// files self-invalidate.
-pub const WIRE_VERSION: u32 = 3;
+///
+/// v4: results are attested and workers are identified.
+/// [`Msg::ShardDone`] carries a domain-tagged FNV-1a attestation
+/// ([`shard_attestation`]) folding the session's artifact content hashes,
+/// the shard key and the predictions themselves — a worker that executed
+/// against a stale cached plan or weight image, or whose reply was
+/// corrupted *after* the CRC trailer was sealed, becomes a named
+/// [`WireError::Integrity`] instead of a silently merged wrong result.
+/// [`Msg::HaveArtifacts`] gains a per-process worker identity, stable
+/// across reconnects, which keys the coordinator's audit/quarantine
+/// reputation book (see `crates/dist/src/trust.rs`).
+pub const WIRE_VERSION: u32 = 4;
 
 /// `Hello` magic: the bytes `NVFI`, read as a little-endian u32.
 pub const WIRE_MAGIC: u32 = u32::from_le_bytes(*b"NVFI");
@@ -60,7 +71,7 @@ const TAG_PING: u8 = 0x07;
 const TAG_GOODBYE: u8 = 0x08;
 const TAG_DELTA: u8 = 0x09;
 const TAG_GOLDEN: u8 = 0x0A;
-const TAG_SHARD_DONE: u8 = 0x11;
+pub(crate) const TAG_SHARD_DONE: u8 = 0x11;
 const TAG_WORKER_ERR: u8 = 0x12;
 const TAG_PONG: u8 = 0x13;
 const TAG_HAVE: u8 = 0x14;
@@ -265,6 +276,12 @@ pub enum Msg {
         start: u32,
         /// Echoed shard end.
         end: u32,
+        /// Result attestation: [`shard_attestation`] over the artifact
+        /// hashes of the session the worker **actually executed against**,
+        /// the shard key, and `preds`. The coordinator recomputes it from
+        /// the session it *assigned*; a mismatch is a named
+        /// [`WireError::Integrity`], never a merged result.
+        attest: u64,
         /// Predicted classes in image order.
         preds: Vec<u8>,
     },
@@ -280,6 +297,10 @@ pub enum Msg {
     /// exchange, so the coordinator can ship only deltas. An empty list is
     /// a cold worker.
     HaveArtifacts {
+        /// The worker's per-process identity: random, nonzero, and stable
+        /// across reconnects of the same process, so the coordinator's
+        /// audit/quarantine reputation survives re-admission. (v4)
+        ident: u64,
         /// Cached artifact content hashes (plan/weights/eval/golden alike;
         /// hashes are domain-tagged so the kinds cannot collide).
         hashes: Vec<u64>,
@@ -401,20 +422,23 @@ impl Msg {
                 work_id,
                 start,
                 end,
+                attest,
                 preds,
             } => {
                 e.u8(TAG_SHARD_DONE);
                 e.u32(*work_id);
                 e.u32(*start);
                 e.u32(*end);
+                e.u64(*attest);
                 e.u8_slice(preds);
             }
             Msg::WorkerErr { message } => {
                 e.u8(TAG_WORKER_ERR);
                 e.str(message);
             }
-            Msg::HaveArtifacts { hashes } => {
+            Msg::HaveArtifacts { ident, hashes } => {
                 e.u8(TAG_HAVE);
+                e.u64(*ident);
                 e.u64_slice(hashes);
             }
             Msg::ArtifactDelta {
@@ -595,6 +619,7 @@ impl Msg {
                 let work_id = d.u32("done work id")?;
                 let start = d.u32("done start")?;
                 let end = d.u32("done end")?;
+                let attest = d.u64("done attestation")?;
                 let preds = d.u8_slice("predictions")?;
                 if preds.len() as u64 != u64::from(end.saturating_sub(start)) {
                     return Err(WireError::Invalid("prediction count != shard size"));
@@ -603,15 +628,23 @@ impl Msg {
                     work_id,
                     start,
                     end,
+                    attest,
                     preds,
                 }
             }
             TAG_WORKER_ERR => Msg::WorkerErr {
                 message: d.str("worker error")?,
             },
-            TAG_HAVE => Msg::HaveArtifacts {
-                hashes: d.u64_slice("artifact hashes")?,
-            },
+            TAG_HAVE => {
+                let ident = d.u64("worker ident")?;
+                if ident == 0 {
+                    return Err(WireError::Invalid("zero worker ident"));
+                }
+                Msg::HaveArtifacts {
+                    ident,
+                    hashes: d.u64_slice("artifact hashes")?,
+                }
+            }
             TAG_DELTA => {
                 let plan = d.u64("delta plan hash")?;
                 let weights = d.u64("delta weights hash")?;
@@ -698,6 +731,39 @@ pub fn encode_eval_set(n: u32, c: u32, h: u32, w: u32, data: &[i8]) -> Vec<u8> {
     e.u32(w);
     e.i8_slice(data);
     e.into_vec()
+}
+
+/// Domain tag of the shard-result attestation hash (the content-hash
+/// domains 1–5 live in `server.rs`; 7 is the audit sampling draw).
+const ATTEST_DOMAIN: u8 = 6;
+
+/// The v4 shard-result attestation: a domain-tagged FNV-1a hash folding the
+/// session's artifact content hashes (`(plan, weights, eval, golden)` as
+/// announced by [`Msg::ArtifactDelta`]), the shard key, and the predicted
+/// classes. The worker computes it over the session it **actually executed
+/// against**; the coordinator recomputes it over the session it
+/// **assigned**. Executing on a stale cached artifact — or any payload
+/// corruption introduced after the CRC trailer was sealed — therefore
+/// surfaces as a named [`WireError::Integrity`], never a merged result.
+#[must_use]
+pub fn shard_attestation(
+    session: (u64, u64, u64, u64),
+    work_id: u32,
+    start: u32,
+    end: u32,
+    preds: &[u8],
+) -> u64 {
+    let mut h = crate::checkpoint::Fnv64::new();
+    h.write(&[ATTEST_DOMAIN]);
+    h.write_u64(session.0);
+    h.write_u64(session.1);
+    h.write_u64(session.2);
+    h.write_u64(session.3);
+    h.write_u64(u64::from(work_id));
+    h.write_u64(u64::from(start));
+    h.write_u64(u64::from(end));
+    h.write(preds);
+    h.finish()
 }
 
 pub(crate) fn mode_tag(m: ExecMode) -> u8 {
@@ -1047,6 +1113,7 @@ mod tests {
             work_id: 4,
             start: 0,
             end: 3,
+            attest: shard_attestation((1, 2, 3, 0), 4, 0, 3, &[1, 2, 3]),
             preds: vec![1, 2, 3],
         };
         let mut buf = Vec::new();
@@ -1094,6 +1161,34 @@ mod tests {
             assert_eq!(recv(&mut r).unwrap(), msg);
             assert!(r.is_empty());
         }
+    }
+
+    #[test]
+    fn attestation_is_sensitive_to_every_component() {
+        let base = shard_attestation((1, 2, 3, 4), 5, 0, 3, &[7, 8, 9]);
+        // Artifact hashes, shard key, and predictions each perturb it.
+        assert_ne!(base, shard_attestation((9, 2, 3, 4), 5, 0, 3, &[7, 8, 9]));
+        assert_ne!(base, shard_attestation((1, 9, 3, 4), 5, 0, 3, &[7, 8, 9]));
+        assert_ne!(base, shard_attestation((1, 2, 9, 4), 5, 0, 3, &[7, 8, 9]));
+        assert_ne!(base, shard_attestation((1, 2, 3, 9), 5, 0, 3, &[7, 8, 9]));
+        assert_ne!(base, shard_attestation((1, 2, 3, 4), 6, 0, 3, &[7, 8, 9]));
+        assert_ne!(base, shard_attestation((1, 2, 3, 4), 5, 1, 3, &[7, 8, 9]));
+        assert_ne!(base, shard_attestation((1, 2, 3, 4), 5, 0, 4, &[7, 8, 9]));
+        assert_ne!(base, shard_attestation((1, 2, 3, 4), 5, 0, 3, &[7, 8, 0]));
+        // And deterministic across calls.
+        assert_eq!(base, shard_attestation((1, 2, 3, 4), 5, 0, 3, &[7, 8, 9]));
+    }
+
+    #[test]
+    fn zero_worker_ident_rejected() {
+        let mut e = Enc::new();
+        e.u8(TAG_HAVE);
+        e.u64(0); // ident
+        e.u64(0); // empty hash list
+        assert_eq!(
+            Msg::decode(e.into_vec()),
+            Err(WireError::Invalid("zero worker ident"))
+        );
     }
 
     #[test]

@@ -65,6 +65,16 @@ pub const ENV_EXIT_AFTER: &str = "NVFI_WORKER_EXIT_AFTER";
 /// indefinitely, which is the point of a persistent fleet.
 pub const ENV_IDLE_EXIT: &str = "NVFI_WORKER_IDLE_EXIT";
 
+/// Byzantine test hook: a worker with `NVFI_WORKER_CORRUPT_AFTER=n` serves
+/// `n` shards honestly, then **silently corrupts the predictions** of every
+/// later shard — *before* the attestation is computed, so the reply is
+/// self-consistent and sails through both the CRC trailer and the
+/// attestation check. This is the adversary the coordinator's audit
+/// re-execution exists to catch (a mangled-in-transit payload is already
+/// caught by [`crate::wire::shard_attestation`]). Unset (the default) means
+/// never.
+pub const ENV_CORRUPT_AFTER: &str = "NVFI_WORKER_CORRUPT_AFTER";
+
 /// Exit code of a deliberate [`ENV_EXIT_AFTER`] death (distinguishable from
 /// a crash in test logs).
 pub const EXIT_AFTER_CODE: i32 = 17;
@@ -84,6 +94,28 @@ pub enum ServeEnd {
     /// turned away with a reason (campaign already complete, re-admission
     /// cap reached). Not an error: the worker was *told*, not left hanging.
     Goodbye(String),
+}
+
+/// The worker's per-process identity, advertised in every
+/// [`Msg::HaveArtifacts`]: random, nonzero, and **stable across
+/// reconnects** of the same process, so the coordinator's audit/quarantine
+/// reputation book follows a re-admitted worker instead of resetting with
+/// each session.
+#[must_use]
+pub fn worker_ident() -> u64 {
+    static IDENT: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *IDENT.get_or_init(|| {
+        let mut h = crate::checkpoint::Fnv64::new();
+        h.write_u64(u64::from(std::process::id()));
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::SystemTime::UNIX_EPOCH)
+            .map_or(0, |d| d.as_nanos() as u64);
+        h.write_u64(nanos);
+        match h.finish() {
+            0 => 1, // the wire format reserves ident 0 as invalid
+            v => v,
+        }
+    })
 }
 
 /// Capped exponential backoff with equal jitter: attempt `n` sleeps
@@ -421,11 +453,15 @@ pub fn serve_with_cache<S: Read + Write>(
     wire::send(
         stream,
         &Msg::HaveArtifacts {
+            ident: worker_ident(),
             hashes: cache.advertise(),
         },
     )
     .map_err(DistError::Io)?;
     let exit_after: Option<u64> = std::env::var(ENV_EXIT_AFTER)
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let corrupt_after: Option<u64> = std::env::var(ENV_CORRUPT_AFTER)
         .ok()
         .and_then(|v| v.parse().ok());
     let mut served = 0u64;
@@ -469,13 +505,18 @@ pub fn serve_with_cache<S: Read + Write>(
                 end,
                 fault,
                 window,
-            } => match run_shard(cache, &session, stream, work_id, start, end, fault, window) {
-                Ok(reply) => {
-                    wire::send(stream, &reply).map_err(DistError::Io)?;
-                    served += 1;
+            } => {
+                let corrupt = corrupt_after.is_some_and(|n| served >= n);
+                match run_shard(
+                    cache, &session, stream, work_id, start, end, fault, window, corrupt,
+                ) {
+                    Ok(reply) => {
+                        wire::send(stream, &reply).map_err(DistError::Io)?;
+                        served += 1;
+                    }
+                    Err(e) => return report_and_fail(stream, e),
                 }
-                Err(e) => return report_and_fail(stream, e),
-            },
+            }
             // Bare artifact frames only travel inside a delta in v3.
             Msg::Plan { .. } | Msg::Weights { .. } | Msg::EvalSet { .. } | Msg::Golden { .. } => {
                 return report_and_fail(
@@ -610,6 +651,13 @@ fn apply_delta<S: Read + Write>(
 /// image's golden prefix from the session's shipped
 /// [`GoldenActivationCache`] when one exists — bit-identical to the
 /// recompute path, just cheaper.
+///
+/// The reply is **attested**: [`wire::shard_attestation`] over the artifact
+/// hashes of the session this shard actually ran under, the shard key, and
+/// the predictions. With `corrupt` set (the [`ENV_CORRUPT_AFTER`] byzantine
+/// hook) the predictions are flipped *before* the attestation is computed —
+/// a self-consistent lie only the coordinator's audit re-execution can
+/// catch.
 #[allow(clippy::too_many_arguments)]
 fn run_shard<S: Read + Write>(
     cache: &mut ArtifactCache,
@@ -620,6 +668,7 @@ fn run_shard<S: Read + Write>(
     end: u32,
     fault: Option<WireFault>,
     window: Option<std::ops::Range<u64>>,
+    corrupt: bool,
 ) -> Result<Msg, DistError> {
     let (pool, qset, golden) = cache.parts(session)?;
     let (start, end) = (start as usize, end as usize);
@@ -653,10 +702,25 @@ fn run_shard<S: Read + Write>(
     }
     pool.clear_faults();
     pool.set_fault_window(None)?;
+    if corrupt {
+        // Byzantine hook: flip every prediction's low bit, keeping the
+        // reply well-formed and (below) self-consistently attested.
+        for p in &mut preds {
+            *p ^= 1;
+        }
+    }
+    let attest = wire::shard_attestation(
+        (session.plan, session.weights, session.eval, session.golden),
+        work_id,
+        start as u32,
+        end as u32,
+        &preds,
+    );
     Ok(Msg::ShardDone {
         work_id,
         start: start as u32,
         end: end as u32,
+        attest,
         preds,
     })
 }

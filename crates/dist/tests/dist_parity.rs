@@ -335,7 +335,14 @@ fn stalled_worker_is_timed_out_and_shard_requeued() {
         wire::client_hello(&mut s).unwrap();
         // An empty cache advertisement completes the v3 admission
         // handshake; everything after it is where this peer misbehaves.
-        wire::send(&mut s, &Msg::HaveArtifacts { hashes: vec![] }).unwrap();
+        wire::send(
+            &mut s,
+            &Msg::HaveArtifacts {
+                ident: 0xBAD_5EED,
+                hashes: vec![],
+            },
+        )
+        .unwrap();
         loop {
             match wire::recv(&mut s) {
                 Ok(Msg::Work { .. }) => std::thread::sleep(Duration::from_secs(3600)),

@@ -160,6 +160,7 @@ proptest! {
     fn shard_done_roundtrips(
         work_id in any::<u32>(),
         start in 0u32..100_000,
+        attest in any::<u64>(),
         preds in collection::vec(0u32..256, 0..512usize),
     ) {
         let preds: Vec<u8> = preds.iter().map(|&p| p as u8).collect();
@@ -167,6 +168,7 @@ proptest! {
             work_id,
             start,
             end: start + preds.len() as u32,
+            attest,
             preds,
         });
     }
@@ -211,12 +213,20 @@ proptest! {
         exercise(&Msg::Goodbye { reason });
     }
 
-    /// The v3 session-cache advertisement: any list of content hashes
-    /// (zeros included — the decoder does not police advertisement values)
-    /// round-trips, and truncation never panics.
+    /// The session-cache advertisement: any nonzero worker identity with
+    /// any list of content hashes (zeros included — the decoder does not
+    /// police advertisement values) round-trips, and truncation never
+    /// panics. A zero identity is invalid on its face and rejected.
     #[test]
-    fn have_artifacts_roundtrips(hashes in collection::vec(any::<u64>(), 0..64usize)) {
-        exercise(&Msg::HaveArtifacts { hashes });
+    fn have_artifacts_roundtrips(
+        ident in 1u64..u64::MAX,
+        hashes in collection::vec(any::<u64>(), 0..64usize),
+    ) {
+        exercise(&Msg::HaveArtifacts { ident, hashes: hashes.clone() });
+        assert_eq!(
+            Msg::decode(Msg::HaveArtifacts { ident: 0, hashes }.encode()),
+            Err(WireError::Invalid("zero worker ident")),
+        );
     }
 
     /// The v3 session switch: nonzero plan/weights/eval hashes, an optional
@@ -259,7 +269,7 @@ proptest! {
     #[test]
     fn chaos_mangled_streams_never_panic_the_reader(
         raw_actions in collection::vec(
-            (0u8..4, 0u64..8, 0u64..96, 0u8..8),
+            (0u8..6, 0u64..8, 0u64..96, 0u8..8),
             0..6usize,
         ),
         preds in collection::vec(0u32..256, 0..64usize),
@@ -270,7 +280,9 @@ proptest! {
                 0 => ChaosAction::FlipBit { frame, offset: arg, bit },
                 1 => ChaosAction::Truncate { frame, keep: arg },
                 2 => ChaosAction::Duplicate { frame },
-                _ => ChaosAction::DropMidFrame { frame, keep: arg },
+                3 => ChaosAction::DropMidFrame { frame, keep: arg },
+                4 => ChaosAction::ReplayFrame { frame, delay: bit as u64 },
+                _ => ChaosAction::LieShardDone { nth: frame, offset: arg, bit: bit % 8 },
             })
             .collect();
         let msgs = vec![
@@ -286,6 +298,7 @@ proptest! {
                 work_id: 3,
                 start: 0,
                 end: preds.len() as u32,
+                attest: 0xDEAD_BEEF_F00D_CAFE,
                 preds: preds.iter().map(|&p| p as u8).collect(),
             },
             Msg::Ping,

@@ -7,7 +7,7 @@
 //!
 //! | rule | contract |
 //! |------|----------|
-//! | `decode-panic` | The wire-decode paths (`dist/src/{codec,wire,checkpoint}.rs` outside `#[cfg(test)]`) never panic on hostile input: no `unwrap`/`expect`/`panic!`-family macros and no slice/array indexing — malformed bytes must surface as `Err`, because a panicking worker looks exactly like a crashed one to the coordinator. |
+//! | `decode-panic` | The wire-decode paths (`dist/src/{codec,wire,checkpoint,server}.rs` outside `#[cfg(test)]`) never panic on hostile input: no `unwrap`/`expect`/`panic!`-family macros and no slice/array indexing — malformed bytes must surface as `Err`, because a panicking worker looks exactly like a crashed one to the coordinator (and the server additionally verifies attested results from workers it must assume can lie). |
 //! | `truncating-cast` | No `as u8`/`as u16`/`as u32` casts in length/byte-size arithmetic anywhere in `dist/src` — a silently wrapped length is how a 4 GiB frame becomes a 0-byte read. Use `try_from` or an asserted guard. |
 //! | `msg-tag-coverage` | Every `TAG_*` wire tag is matched by a decode arm, and every [`Msg`] variant round-trips through the codec property tests — a tag without a decode arm is a frame the fleet cannot parse. |
 //! | `forbid-unsafe` | Every crate root in the workspace declares `#![forbid(unsafe_code)]`: the emulator is a *model*, and a model with UB proves nothing. |
@@ -436,11 +436,15 @@ pub fn check_forbid_unsafe(file: &str, source: &str) -> Vec<Violation> {
     }]
 }
 
-/// The wire-decode files policed by `decode-panic`.
-const DECODE_FILES: [&str; 3] = [
+/// The wire-decode files policed by `decode-panic`. `server.rs` joined the
+/// list with wire v4: it recomputes attestations over hostile `ShardDone`
+/// bodies and arbitrates audits, so a panic there takes the whole fleet's
+/// coordinator down on input one lying worker controls.
+const DECODE_FILES: [&str; 4] = [
     "crates/dist/src/codec.rs",
     "crates/dist/src/wire.rs",
     "crates/dist/src/checkpoint.rs",
+    "crates/dist/src/server.rs",
 ];
 
 fn read(root: &Path, rel: &str) -> io::Result<String> {
