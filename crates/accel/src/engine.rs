@@ -29,8 +29,9 @@
 
 use std::collections::HashMap;
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+use nvfi_obs::metrics::{self, Counter};
 
 use nvfi_compiler::plan::{ConvOp, ExecutionPlan, LinearOp, PlanOp, PoolKind, PoolOp, RegWrite};
 use nvfi_compiler::surface;
@@ -82,27 +83,51 @@ enum OpPath {
 }
 
 /// Process-wide count of golden-prefix captures
-/// ([`Accelerator::run_prefix_i8_view`] calls). A test probe in the spirit
-/// of `nvfi_quant::batch::quantization_passes`: a campaign must capture the
-/// golden prefix of each image exactly once, however many windowed work
-/// items later restore it.
-static GOLDEN_PREFIX_PASSES: AtomicU64 = AtomicU64::new(0);
+/// ([`Accelerator::run_prefix_i8_view`] calls), backed by the `nvfi_obs`
+/// metrics registry under `golden_prefix_passes`. A test probe in the
+/// spirit of `nvfi_quant::batch::quantization_passes`: a campaign must
+/// capture the golden prefix of each image exactly once, however many
+/// windowed work items later restore it.
+fn golden_prefix_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| metrics::counter("golden_prefix_passes"))
+}
 
 /// Process-wide count of golden restores
 /// ([`Accelerator::run_suffix_i8_view`] calls) — the cheap half of the
-/// golden-prefix protocol.
-static GOLDEN_RESTORES: AtomicU64 = AtomicU64::new(0);
+/// golden-prefix protocol. Registry name: `golden_restores`.
+fn golden_restore_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| metrics::counter("golden_restores"))
+}
+
+/// Per-op path-decision counters (`engine_path_fast`,
+/// `engine_path_fast_corrected`, `engine_path_exact`): how often the
+/// engine took each [`OpPath`]. The fast/exact split is the whole point
+/// of the windowed-execution optimization, so the registry exposes it.
+fn path_counter(path: OpPath) -> &'static Counter {
+    static FAST: OnceLock<Counter> = OnceLock::new();
+    static CORRECTED: OnceLock<Counter> = OnceLock::new();
+    static EXACT: OnceLock<Counter> = OnceLock::new();
+    match path {
+        OpPath::Fast => FAST.get_or_init(|| metrics::counter("engine_path_fast")),
+        OpPath::FastCorrected => {
+            CORRECTED.get_or_init(|| metrics::counter("engine_path_fast_corrected"))
+        }
+        OpPath::Exact => EXACT.get_or_init(|| metrics::counter("engine_path_exact")),
+    }
+}
 
 /// Reads the process-wide golden-prefix capture counter (test probe).
 #[must_use]
 pub fn golden_prefix_passes() -> u64 {
-    GOLDEN_PREFIX_PASSES.load(Ordering::Relaxed)
+    golden_prefix_counter().get()
 }
 
 /// Reads the process-wide golden-restore counter (test probe).
 #[must_use]
 pub fn golden_restores() -> u64 {
-    GOLDEN_RESTORES.load(Ordering::Relaxed)
+    golden_restore_counter().get()
 }
 
 /// What happens on multiplier lanes whose channel index exceeds the layer's
@@ -675,7 +700,7 @@ impl Accelerator {
         self.cycle = 0;
         self.write_input_surface(&plan, image)?;
         self.exec_ops(&plan, 0, boundary)?;
-        GOLDEN_PREFIX_PASSES.fetch_add(1, Ordering::Relaxed);
+        golden_prefix_counter().inc();
         Ok(())
     }
 
@@ -726,7 +751,7 @@ impl Accelerator {
         }
         self.cycle = self.prefix_mac_cycles(boundary);
         self.exec_ops(&plan, boundary, plan.ops.len())?;
-        GOLDEN_RESTORES.fetch_add(1, Ordering::Relaxed);
+        golden_restore_counter().inc();
         self.read_result(&plan)
     }
 
@@ -1003,12 +1028,17 @@ impl Accelerator {
     /// [`ExecMode::Exact`] forces everything exact; [`ExecMode::Fast`]
     /// errors whenever the exact engine would be needed.
     fn op_path(&self, op_idx: usize) -> Result<OpPath, AccelError> {
+        // Count every decision in the registry (`engine_path_*`).
+        fn counted(path: OpPath) -> Result<OpPath, AccelError> {
+            path_counter(path).inc();
+            Ok(path)
+        }
         if self.config.mode == ExecMode::Exact {
-            return Ok(OpPath::Exact);
+            return counted(OpPath::Exact);
         }
         let fi = &self.csb.fi;
         if !fi.any_active() {
-            return Ok(OpPath::Fast);
+            return counted(OpPath::Fast);
         }
         let needs_exact = match &fi.window {
             Some(w) => span_intersects(&self.spans[op_idx], w),
@@ -1018,15 +1048,15 @@ impl Accelerator {
             if self.config.mode == ExecMode::Fast {
                 return Err(AccelError::FastPathUnsupported);
             }
-            return Ok(OpPath::Exact);
+            return counted(OpPath::Exact);
         }
         if fi.window.is_some() {
             // Windowed fault missing this op entirely: plain fast, no
             // corrections — the mux output equals the product for every
             // cycle of this op's span.
-            return Ok(OpPath::Fast);
+            return counted(OpPath::Fast);
         }
-        Ok(OpPath::FastCorrected)
+        counted(OpPath::FastCorrected)
     }
 
     /// Atomic-op (MAC-array cycle) count of plan op `op_idx`, read from the

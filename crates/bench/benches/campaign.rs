@@ -12,6 +12,7 @@ use nvfi_bench::{medium_fixture, small_fixture};
 use nvfi_compiler::regmap::MultId;
 use nvfi_dataset::{SynthCifar, SynthCifarConfig};
 use nvfi_dist::{run_campaign, CampaignServer, FleetSpec};
+use nvfi_obs::trace;
 use nvfi_quant::QuantModel;
 
 fn bench_single_fi_evaluation(c: &mut Criterion) {
@@ -452,6 +453,73 @@ fn bench_session_audit(c: &mut Criterion) {
     g.finish();
 }
 
+/// The flight-recorder overhead row: the same warm-session shape as
+/// `session_2cfg_64img_warm` but with the `nvfi_obs` recorder enabled
+/// (`NVFI_TRACE=1` equivalent) — every coordinator phase span, shipped
+/// worker span summary and audit event is recorded into the bounded ring.
+/// The gap against the warm row is the price of always-on tracing; the
+/// ci_gate budget keeps it marginal.
+fn bench_session_traced(c: &mut Criterion) {
+    let (q, _) = small_fixture();
+    let eval = SynthCifar::new(SynthCifarConfig {
+        train: 0,
+        test: 64,
+        ..Default::default()
+    })
+    .generate()
+    .test;
+    let config = PlatformConfig::default();
+    let counter = std::cell::Cell::new(4000usize);
+    let mk = |i: usize| CampaignSpec {
+        selection: TargetSelection::Fixed(vec![
+            vec![MultId::new((i % 8) as u8, ((i * 3 + 1) % 8) as u8)],
+            vec![MultId::new(((i + 5) % 8) as u8, ((i * 5 + 2) % 8) as u8)],
+        ]),
+        kinds: vec![FaultKind::StuckAtZero],
+        eval_images: 64,
+        threads: 2,
+        ..Default::default()
+    };
+    let fleet = FleetSpec::self_exec();
+    let server = CampaignServer::start(&fleet, 1).unwrap();
+    // Parity sanity before timing: tracing must not change a single record.
+    trace::set_enabled(true);
+    trace::clear();
+    let spec0 = mk(5000);
+    let traced0 = server
+        .submit(&q, config, &spec0, &eval)
+        .unwrap()
+        .wait()
+        .unwrap();
+    trace::set_enabled(false);
+    assert_eq!(
+        Campaign::new(&q, config)
+            .run(&spec0, &eval)
+            .unwrap()
+            .records,
+        traced0.records,
+        "traced campaign must match the in-process pool"
+    );
+    trace::set_enabled(true);
+    let mut g = c.benchmark_group("campaign");
+    g.sample_size(5);
+    g.bench_function("session_2cfg_64img_traced", |b| {
+        b.iter(|| {
+            let i = counter.get();
+            counter.set(i + 1);
+            server
+                .submit(&q, config, &mk(i), &eval)
+                .unwrap()
+                .wait()
+                .unwrap()
+        })
+    });
+    trace::set_enabled(false);
+    trace::clear();
+    server.shutdown();
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_single_fi_evaluation,
@@ -461,7 +529,8 @@ criterion_group!(
     bench_windowed_campaign,
     bench_dist_campaign,
     bench_session_cache,
-    bench_session_audit
+    bench_session_audit,
+    bench_session_traced
 );
 
 // Hand-written entry point instead of `criterion_main!`: the distributed

@@ -12,6 +12,7 @@ use nvfi_nn::fold::fold_resnet;
 use nvfi_nn::resnet::ResNet;
 use nvfi_nn::train::{TrainConfig, Trainer};
 use nvfi_nn::{artifact, DeployModel};
+use nvfi_obs::progress;
 use nvfi_quant::{quantize, QuantConfig, QuantModel};
 
 /// What to train / where to cache.
@@ -95,15 +96,15 @@ pub fn get_or_train(spec: &ModelSpec) -> (DeployModel, TrainTest) {
     let path = spec.artifact_path();
     if let Ok(model) = artifact::load_file(&path) {
         if spec.verbose {
-            eprintln!("loaded cached model {}", path.display());
+            progress::note(format!("loaded cached model {}", path.display()));
         }
         return (model, data);
     }
     if spec.verbose {
-        eprintln!(
+        progress::note(format!(
             "training ResNet-18 (width {}) on SynthCIFAR ({} images, {} epochs)...",
             spec.width, spec.train, spec.epochs
-        );
+        ));
     }
     let mut net = ResNet::resnet18(spec.width, 10, spec.seed);
     let cfg = TrainConfig {
@@ -114,10 +115,10 @@ pub fn get_or_train(spec: &ModelSpec) -> (DeployModel, TrainTest) {
     };
     let stats = Trainer::new(cfg).fit(&mut net, &data.train, &data.test);
     if spec.verbose {
-        eprintln!(
+        progress::note(format!(
             "float test accuracy: {:.1}%",
             100.0 * stats.final_test_acc()
-        );
+        ));
     }
     let deploy = fold_resnet(&net, 32);
     save_quietly(&deploy, &path);
@@ -142,7 +143,10 @@ fn save_quietly(model: &DeployModel, path: &Path) {
         let _ = std::fs::create_dir_all(dir);
     }
     if let Err(e) = artifact::save_file(model, path) {
-        eprintln!("warning: could not cache model at {}: {e}", path.display());
+        progress::note(format!(
+            "warning: could not cache model at {}: {e}",
+            path.display()
+        ));
     }
 }
 

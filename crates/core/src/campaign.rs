@@ -32,6 +32,7 @@ use nvfi_compiler::regmap::{MultId, TOTAL_MULTS};
 use nvfi_compiler::verify::{fault_reachability, verify_plan};
 use nvfi_compiler::ExecutionPlan;
 use nvfi_dataset::Dataset;
+use nvfi_obs::{progress, trace};
 use nvfi_quant::QuantModel;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -190,7 +191,7 @@ pub fn run_plan_verifier(plan: &ExecutionPlan, mode: VerifyMode) -> Result<(), P
         )));
     }
     for d in &diags {
-        eprintln!("nvfi-verify warning: {d}");
+        progress::note(format!("nvfi-verify warning: {d}"));
     }
     Ok(())
 }
@@ -489,6 +490,7 @@ impl Campaign {
         }
         let eval = eval.take(spec.eval_images);
         let start = Instant::now();
+        let _run_span = trace::span("campaign.run");
 
         // Quantize the evaluation split to i8 exactly once per campaign —
         // the software equivalent of the paper's flow, which quantizes the
@@ -497,7 +499,10 @@ impl Campaign {
         // this set; no per-work-item or per-shard re-quantization (asserted
         // by the `nvfi_quant::batch::quantization_passes` probe in
         // tests/quantize_once.rs).
-        let qset = QuantizedEvalSet::build(&self.model, &eval.images);
+        let qset = {
+            let _s = trace::span("campaign.quantize");
+            QuantizedEvalSet::build(&self.model, &eval.images)
+        };
 
         // The device fleet: compile the plan once, clone it per member, one
         // pool of devices per outer worker group. Groups are capped at the
@@ -543,14 +548,15 @@ impl Campaign {
         };
         let masked_static = masked.iter().filter(|&&m| m).count();
         if spec.verbose && masked_static > 0 {
-            eprintln!(
+            progress::note(format!(
                 "  {masked_static}/{} work item(s) provably masked; skipping emulation",
                 work.len()
-            );
+            ));
         }
         let golden = match &spec.fault_window {
             Some(w) => {
                 proto.accel().validate_fault_window(w)?;
+                let _s = trace::span("campaign.golden_build");
                 GoldenActivationCache::build(&mut proto, &qset, w, spec.golden_cache_bytes)?
             }
             None => None,
@@ -560,7 +566,10 @@ impl Campaign {
         // Baseline through the same pool, sharded across the whole fleet:
         // accuracy plus the fault-free predictions used for masked/SDC
         // classification.
-        let clean_preds = fleet.classify_i8(&qset)?;
+        let clean_preds = {
+            let _s = trace::span("campaign.baseline");
+            fleet.classify_i8(&qset)?
+        };
         let baseline_accuracy = prediction_accuracy(&clean_preds, &eval.labels);
 
         let pools = fleet.split(&layout);
@@ -588,6 +597,10 @@ impl Campaign {
                 let masked = &masked;
                 handles.push(scope.spawn(
                     move || -> Result<Vec<(usize, FiRecord)>, PlatformError> {
+                        let _ctx = trace::with_ids(trace::Ids {
+                            worker: worker_id as u64,
+                            ..Default::default()
+                        });
                         let mut local: Vec<(usize, FiRecord)> = Vec::new();
                         loop {
                             let idx = next.fetch_add(1, Ordering::Relaxed);
@@ -599,6 +612,7 @@ impl Campaign {
                                 // from the fault-free predictions after join.
                                 continue;
                             }
+                            let _item_span = trace::span("campaign.item");
                             let (_, targets, kind) = &work[idx];
                             pool.inject(&FaultConfig::new(targets.clone(), *kind));
                             let preds = if spec.fault_window.is_some() {
@@ -619,29 +633,25 @@ impl Campaign {
                                 baseline_accuracy,
                             );
                             if spec.verbose {
-                                // Holding the stderr lock across the
-                                // increment and the write makes the printed
-                                // `done/total` strictly monotonic: no other
-                                // group can count or print in between. The
-                                // `[worker k]` suffix attributes each item
-                                // to its worker group, mirroring the
-                                // per-worker attribution of distributed
-                                // (`nvfi-dist`) progress lines.
-                                use std::io::Write;
-                                let mut err = std::io::stderr().lock();
-                                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                                let _ = writeln!(
-                                    err,
-                                    "  fi {}/{} [worker {}]: {:?} on {} mult(s) \
-                                     -> {:.1}% (sdc {:.0}%)",
-                                    finished,
-                                    work.len(),
-                                    worker_id,
-                                    kind,
-                                    targets.len(),
-                                    record.accuracy * 100.0,
-                                    record.outcomes.sdc_rate() * 100.0
-                                );
+                                // `emit_tick` holds the renderer lock across
+                                // the increment and the write, so the printed
+                                // `done/total` is strictly monotonic; the
+                                // `[worker k]` suffix attributes each item to
+                                // its worker group, mirroring the per-worker
+                                // attribution of distributed (`nvfi-dist`)
+                                // progress lines.
+                                progress::emit_tick(done, |finished| progress::Event::ItemDone {
+                                    done: finished,
+                                    total: work.len(),
+                                    worker: worker_id,
+                                    detail: format!(
+                                        "{:?} on {} mult(s) -> {:.1}% (sdc {:.0}%)",
+                                        kind,
+                                        targets.len(),
+                                        record.accuracy * 100.0,
+                                        record.outcomes.sdc_rate() * 100.0
+                                    ),
+                                });
                             }
                             local.push((idx, record));
                         }
@@ -683,6 +693,11 @@ impl Campaign {
             .collect();
         let executed = records.len() - masked_static;
         let total_inferences = (executed as u64 + 1) * eval.len() as u64;
+        // Close the campaign span before exporting so it lands in the ring;
+        // the export is cumulative, so running under a `CampaignServer`
+        // (which exports again at `stop()`) loses nothing.
+        drop(_run_span);
+        trace::maybe_export();
         Ok(CampaignResult {
             baseline_accuracy,
             records,

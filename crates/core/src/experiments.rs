@@ -18,6 +18,7 @@ use std::time::Instant;
 
 use nvfi_accel::FaultKind;
 use nvfi_compiler::regmap::{MultId, MAC_UNITS, MULTS_PER_MAC};
+use nvfi_obs::progress;
 use nvfi_quant::{quantize, QuantConfig, QuantModel};
 use nvfi_synth::{table1_synthesis_rows, SynthRow};
 use serde_json::json;
@@ -434,10 +435,10 @@ pub fn run_fig2_with<E>(
             let drops = result.drops_pct();
             total += drops.len();
             if cfg.verbose {
-                eprintln!(
+                progress::note(format!(
                     "fig2: k={k} inj={value}: median drop {:.1} pp",
                     FiveNum::from_sample(&drops).median
-                );
+                ));
             }
             groups.push(Fig2Group {
                 k,
@@ -598,7 +599,11 @@ pub fn run_fig3_with<E>(
         }
         if cfg.verbose {
             let (r, c) = map.argmin();
-            eprintln!("fig3: inj={value}: worst cell MAC {} mult {}", r + 1, c + 1);
+            progress::note(format!(
+                "fig3: inj={value}: worst cell MAC {} mult {}",
+                r + 1,
+                c + 1
+            ));
         }
         maps.push((value, map));
     }

@@ -27,6 +27,7 @@
 use std::ops::Range;
 
 use nvfi_accel::{AccelError, FaultConfig};
+use nvfi_obs::trace;
 use nvfi_quant::QuantModel;
 use nvfi_tensor::{Shape4, Tensor};
 
@@ -548,13 +549,29 @@ impl DevicePool {
         let granularity = Self::granularity(&self.config());
         let plan = Self::shard_plan(images, self.devices.len(), granularity);
         if plan.len() <= 1 {
+            let _s = trace::span("pool.shard");
             return run_shard(&mut self.devices[0], 0..images);
         }
+        // Shard threads inherit the spawning thread's trace ids (worker
+        // group, campaign) so their `pool.shard` spans attribute correctly.
+        let ids = trace::current_ids();
         let mut results: Vec<Result<Vec<u8>, PlatformError>> = Vec::with_capacity(plan.len());
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for (device, range) in self.devices.iter_mut().zip(plan.iter().cloned()) {
-                handles.push(scope.spawn(move || run_shard(device, range)));
+            for (shard, (device, range)) in self
+                .devices
+                .iter_mut()
+                .zip(plan.iter().cloned())
+                .enumerate()
+            {
+                handles.push(scope.spawn(move || {
+                    let _ctx = trace::with_ids(trace::Ids {
+                        shard: shard as u64,
+                        ..ids
+                    });
+                    let _s = trace::span("pool.shard");
+                    run_shard(device, range)
+                }));
             }
             for h in handles {
                 results.push(h.join().expect("pool shard worker panicked"));

@@ -24,16 +24,16 @@ fn main() -> ExitCode {
         .nth(1)
         .or_else(|| std::env::var(nvfi_dist::worker::ENV_CONNECT).ok());
     let Some(addr) = addr else {
-        eprintln!(
+        nvfi_obs::progress::note(format!(
             "usage: nvfi_worker <coordinator-addr>  (or set {})",
             nvfi_dist::worker::ENV_CONNECT
-        );
+        ));
         return ExitCode::FAILURE;
     };
     match nvfi_dist::worker::serve_forever(&addr) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("nvfi_worker ({addr}): {e}");
+            nvfi_obs::progress::note(format!("nvfi_worker ({addr}): {e}"));
             ExitCode::FAILURE
         }
     }

@@ -707,6 +707,7 @@ mod tests {
             end: 3,
             attest: crate::wire::shard_attestation((1, 2, 3, 0), 4, 0, 3, &[1, 2, 3]),
             preds: vec![1, 2, 3],
+            spans: Vec::new(),
         };
         let mut s = ChaosStream::new(Mem::default(), ChaosPlan::parse("lie:0:12:0").unwrap());
         // A non-ShardDone frame first: the lie must skip it.

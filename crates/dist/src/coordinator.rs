@@ -57,6 +57,7 @@ use std::time::Duration;
 use nvfi::campaign::{Campaign, CampaignResult, CampaignSpec};
 use nvfi::{PlatformConfig, PlatformError};
 use nvfi_dataset::Dataset;
+use nvfi_obs::progress;
 use nvfi_quant::QuantModel;
 
 use crate::codec::WireError;
@@ -323,10 +324,7 @@ pub fn run_campaign(
             // FleetLost left the checkpoint (if any) on disk; the in-process
             // fallback finishes the campaign, so retire it afterwards.
             if spec.verbose {
-                eprintln!(
-                    "  fleet lost with {incomplete} task(s) outstanding; \
-                     degrading to the in-process campaign"
-                );
+                progress::emit(&progress::Event::FleetDegraded { incomplete });
             }
             let result = Campaign::new(model, config).run(spec, eval)?;
             if let Some(path) = &spec.checkpoint_path {

@@ -12,7 +12,7 @@
 //! workers, any address for cross-host ones) and the little-endian codec of
 //! the `bytes` shim — no async runtime, no serde.
 //!
-//! # Session lifecycle (wire v4: content-addressed sessions, attested results)
+//! # Session lifecycle (wire v5: content-addressed sessions, attested results)
 //!
 //! A worker session is a strict sequence; every arrow is one or more frames
 //! on the same socket:
@@ -117,6 +117,21 @@
 //! unverified shards re-checked, and every client's result stays
 //! bit-identical to the in-process run.
 //!
+//! # Observability (wire v5)
+//!
+//! Wire v5 makes the fabric *watchable* without changing what it computes:
+//! every `ShardDone` may carry a compact span summary (`worker.wave` /
+//! `worker.execute` timings measured on the worker, capped at
+//! [`wire::MAX_SHARD_SPANS`]) which the coordinator re-bases into its own
+//! per-shard timeline, and `Msg::StatsQuery` / `Msg::Stats` let any client
+//! poll the server's Prometheus rendering over the wire ([`query_stats`]).
+//! The span summary is **advisory** and deliberately excluded from the
+//! shard attestation: a worker that lies about a duration can skew a
+//! timeline, never a merged record. Tracing is armed by `NVFI_TRACE`
+//! (chrome-trace export path) and is inert — no clock reads — when unset;
+//! see `nvfi_obs` and the *Observability* section of
+//! `crates/dist/README.md` for the span taxonomy and metric names.
+//!
 //! # Entry points
 //!
 //! * [`CampaignServer`] — the persistent multiplexing campaign server: one
@@ -154,6 +169,6 @@ pub use chaos::{ChaosPlan, ChaosStream};
 pub use checkpoint::Checkpoint;
 pub use codec::WireError;
 pub use coordinator::{run_campaign, DistError, FleetSpec, OnFleetLost, WorkerSpawn};
-pub use server::{CampaignServer, ClientHandle, Progress, ServerStats};
+pub use server::{query_stats, CampaignServer, ClientHandle, Progress, ServerStats};
 pub use trust::Trust;
 pub use worker::ServeEnd;

@@ -104,6 +104,7 @@ use nvfi::{
 use nvfi_accel::{FaultConfig, FaultKind, IdleLanePolicy};
 use nvfi_compiler::regmap::MultId;
 use nvfi_dataset::Dataset;
+use nvfi_obs::{progress, trace};
 use nvfi_quant::QuantModel;
 
 use crate::checkpoint::{Checkpoint, CheckpointEntry, Fnv64};
@@ -185,10 +186,10 @@ impl CkptState {
         if let Err(e) = cp.store(&self.path) {
             // A failing checkpoint must not fail the campaign — it only
             // weakens a future resume.
-            eprintln!(
+            progress::note(format!(
                 "nvfi server: checkpoint write to {} failed: {e}",
                 self.path.display()
-            );
+            ));
         }
     }
 }
@@ -497,10 +498,9 @@ pub(crate) fn prepare(
         // baseline pass, so run in-process (which prunes identically) and
         // never touch the fleet.
         if spec.verbose {
-            eprintln!(
-                "  all {masked_static} work item(s) provably masked; \
-                 fleet not engaged"
-            );
+            progress::note(format!(
+                "  all {masked_static} work item(s) provably masked; fleet not engaged"
+            ));
         }
         let result = Campaign::new(model, config).run(spec, &eval)?;
         if let Some(path) = &spec.checkpoint_path {
@@ -623,6 +623,36 @@ pub struct ServerStats {
     /// Shard replies rejected for a failed attestation
     /// ([`WireError::Integrity`]) — requeued, never merged.
     pub integrity_rejects: u64,
+}
+
+impl ServerStats {
+    /// Renders the server counters — followed by every metric in the
+    /// process-wide `nvfi_obs` registry (engine path decisions, serialize-
+    /// once probes, shard timings) — as Prometheus text exposition. This
+    /// is the payload of a [`Msg::Stats`] reply.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, v) in [
+            ("server_campaigns_submitted", self.campaigns_submitted),
+            ("server_cache_hits", self.cache_hits),
+            ("server_tasks_dispatched", self.tasks_dispatched),
+            (
+                "server_artifact_frames_shipped",
+                self.artifact_frames_shipped,
+            ),
+            ("server_audits_dispatched", self.audits_dispatched),
+            ("server_audit_mismatches", self.audit_mismatches),
+            ("server_workers_quarantined", self.workers_quarantined),
+            ("server_integrity_rejects", self.integrity_rejects),
+        ] {
+            let _ = writeln!(out, "# TYPE nvfi_{name} counter");
+            let _ = writeln!(out, "nvfi_{name} {v}");
+        }
+        out.push_str(&nvfi_obs::metrics::render_prometheus());
+        out
+    }
 }
 
 /// One entry of a client's pending-work queue.
@@ -856,8 +886,10 @@ fn punish_worker(inner: &ServerInner, ident: u64, conviction: bool) {
             t.strike();
         }
         if !t.is_quarantined() {
+            trace::event("trust.strike");
             return; // first strike: Suspect — every next shard is audited
         }
+        trace::event("trust.quarantined");
         st.stats.workers_quarantined += 1;
         for (&id, c) in &mut st.clients {
             if c.finished {
@@ -1119,13 +1151,17 @@ fn requeue(inner: &ServerInner, a: &Assignment, worker_id: usize, why: &dyn std:
                     }
                 }
             }
+            trace::event("shard.requeued");
             if c.verbose {
                 if let Some(task) = a.tasks.get(a.task_idx) {
-                    eprintln!(
-                        "  worker {worker_id} lost mid-shard (client {} item {} \
-                         images {}..{}): {why}; requeued",
-                        a.client, task.work_id, task.range.start, task.range.end,
-                    );
+                    progress::emit(&progress::Event::ShardRequeued {
+                        worker: worker_id,
+                        client: a.client,
+                        item: task.work_id as u32,
+                        start: task.range.start as u32,
+                        end: task.range.end as u32,
+                        why: why.to_string(),
+                    });
                 }
             }
         }
@@ -1171,7 +1207,7 @@ fn await_shard(
     session: (u64, u64, u64, u64),
     task_timeout: Option<Duration>,
     done_keys: &mut HashSet<(u64, u32, u32, u32)>,
-) -> Result<Vec<u8>, TaskError> {
+) -> Result<(Vec<u8>, Vec<wire::WireSpan>), TaskError> {
     if task_timeout.is_some() {
         let _ = stream.set_read_timeout(task_timeout);
     }
@@ -1187,6 +1223,7 @@ fn await_shard(
                 end,
                 attest,
                 preds,
+                spans,
             }) => {
                 if done_keys.contains(&(client, work_id, start, end)) {
                     // A chaos-duplicated replay of an earlier completion
@@ -1202,7 +1239,7 @@ fn await_shard(
                         }));
                     }
                     done_keys.insert((client, work_id, start, end));
-                    break Ok(preds);
+                    break Ok((preds, spans));
                 }
                 // A completion for a shard this connection doesn't own: the
                 // stream is out of step (dropped/duplicated frames). Drop
@@ -1282,11 +1319,18 @@ fn land_run(inner: &ServerInner, a: &Assignment, worker_id: usize, ident: u64, p
     });
     if c.verbose {
         if let Some(task) = a.tasks.get(a.task_idx) {
-            eprintln!(
-                "  fi client {} {}/{} [worker {worker_id}]: \
-                 item {} images {}..{}",
-                a.client, c.done, a.total, task.work_id, task.range.start, task.range.end,
-            );
+            // `c.done` was advanced under the state lock just above, so
+            // the printed sequence is monotonic; the renderer's own lock
+            // only guards against interleaved lines.
+            progress::emit(&progress::Event::ShardLanded {
+                client: a.client,
+                done: c.done,
+                total: a.total,
+                worker: worker_id,
+                item: task.work_id as u32,
+                start: task.range.start as u32,
+                end: task.range.end as u32,
+            });
         }
     }
     let need_audit = (inner.quarantine && producer_trust.audits_all())
@@ -1327,6 +1371,7 @@ fn resolve_wire_audit(
         match c.results.get(a.task_idx).and_then(Option::as_ref) {
             Some(orig) if *orig == replica => {
                 // Audit passed: the stored result is confirmed.
+                trace::event("audit.pass");
                 close_audit(c, a.task_idx, &inner.completion);
                 if inner.quarantine {
                     st.trust.entry(producer).or_default().audit_passed();
@@ -1334,6 +1379,7 @@ fn resolve_wire_audit(
                 None
             }
             Some(orig) => {
+                trace::event("audit.mismatch");
                 st.stats.audit_mismatches += 1;
                 Some(orig.clone())
             }
@@ -1437,6 +1483,7 @@ fn resolve_local_audit(inner: &ServerInner, a: &Assignment, producer: u64) {
         let st = &mut *guard;
         if let Some(c) = st.clients.get_mut(&a.client) {
             if !c.finished && c.audit_open.get(a.task_idx).copied().unwrap_or(false) {
+                trace::event(if lied { "audit.mismatch" } else { "audit.pass" });
                 if lied {
                     st.stats.audit_mismatches += 1;
                     if let Some(slot) = c.results.get_mut(a.task_idx) {
@@ -1484,6 +1531,9 @@ fn connection_thread(
     // recognized whenever it surfaces, not only right after the original.
     let mut done_keys: HashSet<(u64, u32, u32, u32)> = HashSet::new();
     let mut last_ping = Instant::now();
+    // Start of this connection's current idle stretch — the per-shard
+    // queue-wait phase runs from here to the next successful pick.
+    let mut idle_since = trace::now_us();
     {
         let mut st = lock(&inner.state);
         *st.active_idents.entry(ident).or_insert(0) += 1;
@@ -1533,15 +1583,44 @@ fn connection_thread(
             std::thread::sleep(Duration::from_millis(5));
             continue;
         };
+        // Per-shard phase spans, all on the worker's lane (`tid` =
+        // `worker_id`) so the exported timeline reads one row per worker:
+        // queue-wait ends at the successful pick; ship, execute and merge
+        // are measured around their blocks below.
+        let traced = trace::is_enabled();
+        let ids = trace::Ids {
+            campaign: 0,
+            client: a.client,
+            worker: worker_id as u64,
+            shard: u64::from(a.key.0),
+        };
+        let lane = worker_id as u64;
+        let picked_us = trace::now_us();
+        if traced {
+            trace::import_span(
+                "shard.queue_wait",
+                idle_since,
+                picked_us.saturating_sub(idle_since),
+                lane,
+                ids,
+            );
+        }
+        let _ctx = trace::with_ids(ids);
         if let AssignKind::AuditLocal { producer } = a.kind {
             // In-process arbitration: no frames on this connection.
+            trace::event("audit.dispatch_local");
             resolve_local_audit(inner, &a, producer);
+            idle_since = trace::now_us();
             continue;
+        }
+        if matches!(a.kind, AssignKind::Audit { .. }) {
+            trace::event("audit.dispatch");
         }
         // Activate the session when it (or the owning client) changed. The
         // client matters only for bookkeeping symmetry: the artifact tuple
         // alone decides what ships.
         if a.session != current || current_client != Some(a.client) || a.ship != 0 {
+            let ship_t0 = trace::now_us();
             let (plan, weights, eval, golden) = a.session;
             let activated = wire::send(
                 &mut stream,
@@ -1568,6 +1647,16 @@ fn connection_thread(
             if !a.frames.is_empty() {
                 lock(&inner.state).stats.artifact_frames_shipped += a.frames.len() as u64;
             }
+            if traced {
+                let now = trace::now_us();
+                trace::import_span(
+                    "shard.ship",
+                    ship_t0,
+                    now.saturating_sub(ship_t0),
+                    lane,
+                    ids,
+                );
+            }
             current = a.session;
             current_client = Some(a.client);
         }
@@ -1575,6 +1664,19 @@ fn connection_thread(
         // before (an audit of a task someone else requeued here, or a
         // repair re-run) must not be mistaken for a late duplicate.
         done_keys.remove(&(a.client, a.key.0, a.key.1, a.key.2));
+        // Dispatch timestamp: worker-side span summaries in the reply are
+        // shard-relative and get re-based onto the coordinator timeline
+        // here.
+        let exec_t0 = trace::now_us();
+        if traced {
+            trace::import_span(
+                "server.dispatch",
+                picked_us,
+                exec_t0.saturating_sub(picked_us),
+                lane,
+                ids,
+            );
+        }
         let outcome = wire::send(&mut stream, &a.work_msg)
             .map_err(TaskError::WorkerLost)
             .and_then(|()| {
@@ -1588,7 +1690,21 @@ fn connection_thread(
                 )
             });
         match outcome {
-            Ok(preds) => {
+            Ok((preds, worker_spans)) => {
+                if traced {
+                    let now = trace::now_us();
+                    trace::import_span(
+                        "shard.execute",
+                        exec_t0,
+                        now.saturating_sub(exec_t0),
+                        lane,
+                        ids,
+                    );
+                    for ws in worker_spans {
+                        trace::import_span(ws.name, exec_t0 + ws.start_us, ws.dur_us, lane, ids);
+                    }
+                }
+                let merge_t0 = trace::now_us();
                 match a.kind {
                     AssignKind::Run => land_run(inner, &a, worker_id, ident, preds),
                     AssignKind::Audit { producer } => {
@@ -1596,6 +1712,17 @@ fn connection_thread(
                     }
                     AssignKind::AuditLocal { .. } => {} // handled above
                 }
+                if traced {
+                    let now = trace::now_us();
+                    trace::import_span(
+                        "shard.merge",
+                        merge_t0,
+                        now.saturating_sub(merge_t0),
+                        lane,
+                        ids,
+                    );
+                }
+                idle_since = trace::now_us();
                 last_ping = Instant::now();
             }
             Err(TaskError::WorkerLost(e)) => {
@@ -1644,9 +1771,33 @@ fn acceptor_thread(
 ) {
     let mut admitted = 0usize;
     let mut empty_since: Option<Instant> = None;
+    // `NVFI_METRICS=top`: one periodic fleet-summary line instead of the
+    // raw per-shard verbose stream.
+    let metrics_top = matches!(std::env::var("NVFI_METRICS").as_deref(), Ok("top"));
+    let mut last_top = Instant::now();
     loop {
         if inner.shutting_down.load(Ordering::Relaxed) {
             break;
+        }
+        if metrics_top && last_top.elapsed() >= Duration::from_secs(2) {
+            last_top = Instant::now();
+            let (clients, stats) = {
+                let st = lock(&inner.state);
+                (
+                    st.clients.values().filter(|c| !c.finished).count(),
+                    st.stats,
+                )
+            };
+            progress::emit(&progress::Event::FleetSummary {
+                workers: inner.active.load(Ordering::SeqCst),
+                clients,
+                dispatched: stats.tasks_dispatched,
+                shipped: stats.artifact_frames_shipped,
+                audits: stats.audits_dispatched,
+                mismatches: stats.audit_mismatches,
+                quarantined: stats.workers_quarantined,
+                cache_hits: stats.cache_hits,
+            });
         }
         if inner.active.load(Ordering::SeqCst) == 0 {
             let unfinished = {
@@ -1697,8 +1848,16 @@ fn acceptor_thread(
                 if wire::accept_hello(&mut s).is_err() {
                     continue;
                 }
-                let Ok(Msg::HaveArtifacts { ident, hashes }) = wire::recv(&mut s) else {
-                    continue;
+                let (ident, hashes) = match wire::recv(&mut s) {
+                    Ok(Msg::HaveArtifacts { ident, hashes }) => (ident, hashes),
+                    // One-shot observability poll (wire v5): answer with
+                    // the Prometheus exposition and drop the connection.
+                    Ok(Msg::StatsQuery) => {
+                        let text = lock(&inner.state).stats.render_prometheus();
+                        let _ = wire::send(&mut s, &Msg::Stats { text });
+                        continue;
+                    }
+                    _ => continue,
                 };
                 if admitted >= inner.max_readmissions {
                     // Versioned, explicit rejection *after* the handshake:
@@ -1729,8 +1888,9 @@ fn acceptor_thread(
                     // probation: it serves again, but every shard it
                     // completes is audited until it earns trust back.
                     st.trust.entry(ident).or_default().readmit();
+                    trace::event("worker.admitted");
                     if st.clients.values().any(|c| c.verbose) {
-                        eprintln!("  worker {worker_id} admitted mid-campaign");
+                        progress::emit(&progress::Event::WorkerAdmitted { worker: worker_id });
                     }
                 }
                 let inner2 = Arc::clone(inner);
@@ -2180,18 +2340,16 @@ impl CampaignServer {
                         }
                     }
                     if p.verbose && prefilled > 0 {
-                        eprintln!(
-                            "  resuming from {}: {}/{} shards already done",
-                            path.display(),
-                            prefilled,
-                            p.tasks.len()
-                        );
+                        progress::emit(&progress::Event::Resumed {
+                            path: path.display().to_string(),
+                            done: prefilled,
+                            total: p.tasks.len(),
+                        });
                     }
                 } else if p.verbose {
-                    eprintln!(
-                        "  checkpoint {} belongs to a different campaign; starting fresh",
-                        path.display()
-                    );
+                    progress::emit(&progress::Event::CheckpointMismatch {
+                        path: path.display().to_string(),
+                    });
                 }
             }
             Arc::new(CkptState {
@@ -2313,12 +2471,41 @@ impl CampaignServer {
             let _ = child.kill();
             let _ = child.wait();
         }
+        // Connection threads are joined: every recorded span has reached
+        // the ring. Export the timeline (`NVFI_TRACE=path.json`) and/or
+        // dump the metrics (`NVFI_METRICS=path`) now.
+        trace::maybe_export();
+        if let Ok(path) = std::env::var("NVFI_METRICS") {
+            if !path.is_empty() && path != "top" {
+                let text = lock(&self.inner.state).stats.render_prometheus();
+                if let Err(e) = std::fs::write(&path, text) {
+                    progress::note(format!("nvfi server: metrics dump to {path} failed: {e}"));
+                }
+            }
+        }
     }
 }
 
 impl Drop for CampaignServer {
     fn drop(&mut self) {
         self.stop();
+    }
+}
+
+/// Polls a running campaign server for its Prometheus metrics over the wire
+/// (`Msg::StatsQuery` → `Msg::Stats`).
+///
+/// Speaks the ordinary worker hello first, so the server's version gate
+/// applies; the connection is dropped after the reply. Works against any
+/// [`CampaignServer`] with a listen address — local or cross-host.
+pub fn query_stats(addr: SocketAddr) -> Result<String, DistError> {
+    let mut s = TcpStream::connect(addr).map_err(DistError::Io)?;
+    let _ = s.set_nodelay(true);
+    wire::client_hello(&mut s)?;
+    wire::send(&mut s, &Msg::StatsQuery).map_err(DistError::Io)?;
+    match wire::recv(&mut s)? {
+        Msg::Stats { text } => Ok(text),
+        _ => Err(DistError::Protocol("unexpected reply to a stats query")),
     }
 }
 

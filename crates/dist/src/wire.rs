@@ -8,11 +8,12 @@
 
 use std::io::{self, Read, Write};
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 use nvfi::PlatformConfig;
 use nvfi_accel::{AccelConfig, ExecMode, FaultKind, IdleLanePolicy};
 use nvfi_compiler::regmap::{MultId, TOTAL_MULTS};
+use nvfi_obs::metrics::{self, Counter};
 
 use crate::codec::{Dec, Enc, WireError};
 use crate::coordinator::DistError;
@@ -48,7 +49,17 @@ use crate::coordinator::DistError;
 /// [`Msg::HaveArtifacts`] gains a per-process worker identity, stable
 /// across reconnects, which keys the coordinator's audit/quarantine
 /// reputation book (see `crates/dist/src/trust.rs`).
-pub const WIRE_VERSION: u32 = 4;
+///
+/// v5: observability. [`Msg::ShardDone`] carries a compact span summary
+/// ([`WireSpan`] list: worker-side execute/wave timings as shard-relative
+/// microsecond offsets) so the coordinator can re-base worker phases onto
+/// its own timeline. The summaries are **advisory**: they are deliberately
+/// excluded from [`shard_attestation`], so a byzantine worker can at worst
+/// lie about its own timing, never smuggle a wrong result past the audit.
+/// The message set gains [`Msg::StatsQuery`]/[`Msg::Stats`], a one-shot
+/// Prometheus text-exposition poll any peer can issue to a campaign
+/// server after the hello exchange.
+pub const WIRE_VERSION: u32 = 5;
 
 /// `Hello` magic: the bytes `NVFI`, read as a little-endian u32.
 pub const WIRE_MAGIC: u32 = u32::from_le_bytes(*b"NVFI");
@@ -71,36 +82,54 @@ const TAG_PING: u8 = 0x07;
 const TAG_GOODBYE: u8 = 0x08;
 const TAG_DELTA: u8 = 0x09;
 const TAG_GOLDEN: u8 = 0x0A;
+const TAG_STATS_QUERY: u8 = 0x0B;
 pub(crate) const TAG_SHARD_DONE: u8 = 0x11;
 const TAG_WORKER_ERR: u8 = 0x12;
 const TAG_PONG: u8 = 0x13;
 const TAG_HAVE: u8 = 0x14;
+const TAG_STATS: u8 = 0x15;
 
 // Serialize-once probes (in the spirit of
-// `nvfi_quant::batch::quantization_passes`): a campaign must encode its
-// plan, weight image and evaluation set exactly once, however many workers
-// the bytes are replayed to and however many work items follow.
-static PLAN_SERIALIZATIONS: AtomicU64 = AtomicU64::new(0);
-static WEIGHT_SERIALIZATIONS: AtomicU64 = AtomicU64::new(0);
-static EVAL_SERIALIZATIONS: AtomicU64 = AtomicU64::new(0);
-static ARTIFACT_BYTES: AtomicU64 = AtomicU64::new(0);
+// `nvfi_quant::batch::quantization_passes`), backed by the `nvfi_obs`
+// metrics registry: a campaign must encode its plan, weight image and
+// evaluation set exactly once, however many workers the bytes are replayed
+// to and however many work items follow.
+fn plan_ser_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| metrics::counter("wire_plan_serializations"))
+}
+
+fn weight_ser_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| metrics::counter("wire_weight_serializations"))
+}
+
+fn eval_ser_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| metrics::counter("wire_eval_serializations"))
+}
+
+fn artifact_bytes_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| metrics::counter("artifact_bytes_shipped"))
+}
 
 /// Process-wide count of [`Msg::Plan`] encodes (test probe).
 #[must_use]
 pub fn plan_serializations() -> u64 {
-    PLAN_SERIALIZATIONS.load(Ordering::Relaxed)
+    plan_ser_counter().get()
 }
 
 /// Process-wide count of [`Msg::Weights`] encodes (test probe).
 #[must_use]
 pub fn weight_serializations() -> u64 {
-    WEIGHT_SERIALIZATIONS.load(Ordering::Relaxed)
+    weight_ser_counter().get()
 }
 
 /// Process-wide count of [`Msg::EvalSet`] encodes (test probe).
 #[must_use]
 pub fn eval_serializations() -> u64 {
-    EVAL_SERIALIZATIONS.load(Ordering::Relaxed)
+    eval_ser_counter().get()
 }
 
 /// Process-wide count of artifact payload bytes *actually shipped* to
@@ -110,12 +139,32 @@ pub fn eval_serializations() -> u64 {
 /// tests assert.
 #[must_use]
 pub fn artifact_bytes_shipped() -> u64 {
-    ARTIFACT_BYTES.load(Ordering::Relaxed)
+    artifact_bytes_counter().get()
 }
 
 /// Credits `n` bytes to the [`artifact_bytes_shipped`] probe.
 pub(crate) fn count_artifact_bytes(n: u64) {
-    ARTIFACT_BYTES.fetch_add(n, Ordering::Relaxed);
+    artifact_bytes_counter().add(n);
+}
+
+/// Upper bound on [`Msg::ShardDone`] span-summary entries. Workers cap
+/// what they ship; the decoder rejects anything larger, so a byzantine
+/// summary cannot bloat the coordinator's ring.
+pub const MAX_SHARD_SPANS: usize = 64;
+
+/// One worker-side span as shipped in a [`Msg::ShardDone`] summary:
+/// timings are microsecond offsets **relative to the worker's shard
+/// start**, so the coordinator can re-base them onto its own timeline at
+/// the dispatch timestamp. Advisory only — excluded from
+/// [`shard_attestation`] by design (see the v5 note on [`WIRE_VERSION`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireSpan {
+    /// Span name (e.g. `worker.execute`, `worker.wave`).
+    pub name: String,
+    /// Start offset from the worker's shard start, microseconds.
+    pub start_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
 }
 
 /// The platform configuration as it travels on the wire — what a worker
@@ -284,6 +333,9 @@ pub enum Msg {
         attest: u64,
         /// Predicted classes in image order.
         preds: Vec<u8>,
+        /// Compact worker-side span summary (≤ [`MAX_SHARD_SPANS`]
+        /// entries, shard-relative timings). Advisory; not attested. (v5)
+        spans: Vec<WireSpan>,
     },
     /// A worker-side failure (device error, protocol violation). Fatal for
     /// the campaign: unlike a worker *death*, a reported error is
@@ -324,6 +376,17 @@ pub enum Msg {
         /// plan, bit 1 = weights, bit 2 = eval set, bit 3 = golden.
         ship: u8,
     },
+    /// One-shot observability poll: ask a campaign server for its current
+    /// metrics. Sent by a monitoring peer right after the hello exchange
+    /// in place of [`Msg::HaveArtifacts`]; the server answers with
+    /// [`Msg::Stats`] and drops the connection. (v5)
+    StatsQuery,
+    /// The server's metrics snapshot in Prometheus text exposition
+    /// (`ServerStats::render_prometheus`). (v5)
+    Stats {
+        /// Prometheus text exposition.
+        text: String,
+    },
     /// The golden activation cache for windowed campaigns: clean boundary
     /// activations per image, so a worker replays only the suffix of the
     /// network behind the fault window (the remote analogue of
@@ -357,7 +420,7 @@ impl Msg {
                 local_devices,
                 words,
             } => {
-                PLAN_SERIALIZATIONS.fetch_add(1, Ordering::Relaxed);
+                plan_ser_counter().inc();
                 e.u8(TAG_PLAN);
                 e.u8(mode_tag(config.mode));
                 e.u8(idle_tag(config.idle_lanes));
@@ -369,7 +432,7 @@ impl Msg {
                 e.u32_slice(words);
             }
             Msg::Weights { regions } => {
-                WEIGHT_SERIALIZATIONS.fetch_add(1, Ordering::Relaxed);
+                weight_ser_counter().inc();
                 e.u8(TAG_WEIGHTS);
                 e.u64(regions.len() as u64);
                 for (addr, bytes) in regions {
@@ -414,6 +477,11 @@ impl Msg {
             Msg::Shutdown => e.u8(TAG_SHUTDOWN),
             Msg::Ping => e.u8(TAG_PING),
             Msg::Pong => e.u8(TAG_PONG),
+            Msg::StatsQuery => e.u8(TAG_STATS_QUERY),
+            Msg::Stats { text } => {
+                e.u8(TAG_STATS);
+                e.str(text);
+            }
             Msg::Goodbye { reason } => {
                 e.u8(TAG_GOODBYE);
                 e.str(reason);
@@ -424,6 +492,7 @@ impl Msg {
                 end,
                 attest,
                 preds,
+                spans,
             } => {
                 e.u8(TAG_SHARD_DONE);
                 e.u32(*work_id);
@@ -431,6 +500,12 @@ impl Msg {
                 e.u32(*end);
                 e.u64(*attest);
                 e.u8_slice(preds);
+                e.u64(spans.len() as u64);
+                for s in spans {
+                    e.str(&s.name);
+                    e.u64(s.start_us);
+                    e.u64(s.dur_us);
+                }
             }
             Msg::WorkerErr { message } => {
                 e.u8(TAG_WORKER_ERR);
@@ -612,6 +687,10 @@ impl Msg {
             TAG_SHUTDOWN => Msg::Shutdown,
             TAG_PING => Msg::Ping,
             TAG_PONG => Msg::Pong,
+            TAG_STATS_QUERY => Msg::StatsQuery,
+            TAG_STATS => Msg::Stats {
+                text: d.str("stats text")?,
+            },
             TAG_GOODBYE => Msg::Goodbye {
                 reason: d.str("goodbye reason")?,
             },
@@ -624,12 +703,28 @@ impl Msg {
                 if preds.len() as u64 != u64::from(end.saturating_sub(start)) {
                     return Err(WireError::Invalid("prediction count != shard size"));
                 }
+                let span_count = d.u64("span summary count")?;
+                if span_count > MAX_SHARD_SPANS as u64 {
+                    return Err(WireError::Invalid("oversized span summary"));
+                }
+                let mut spans = Vec::with_capacity(span_count as usize);
+                for _ in 0..span_count {
+                    let name = d.str("span name")?;
+                    let start_us = d.u64("span start")?;
+                    let dur_us = d.u64("span duration")?;
+                    spans.push(WireSpan {
+                        name,
+                        start_us,
+                        dur_us,
+                    });
+                }
                 Msg::ShardDone {
                     work_id,
                     start,
                     end,
                     attest,
                     preds,
+                    spans,
                 }
             }
             TAG_WORKER_ERR => Msg::WorkerErr {
@@ -722,7 +817,7 @@ impl Msg {
 /// Decodes as [`Msg::EvalSet`]; counts one [`eval_serializations`] pass.
 #[must_use]
 pub fn encode_eval_set(n: u32, c: u32, h: u32, w: u32, data: &[i8]) -> Vec<u8> {
-    EVAL_SERIALIZATIONS.fetch_add(1, Ordering::Relaxed);
+    eval_ser_counter().inc();
     let mut e = Enc::new();
     e.u8(TAG_EVAL_SET);
     e.u32(n);
@@ -1115,6 +1210,7 @@ mod tests {
             end: 3,
             attest: shard_attestation((1, 2, 3, 0), 4, 0, 3, &[1, 2, 3]),
             preds: vec![1, 2, 3],
+            spans: Vec::new(),
         };
         let mut buf = Vec::new();
         send(&mut buf, &msg).unwrap();

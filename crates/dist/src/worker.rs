@@ -40,6 +40,7 @@ use std::time::{Duration, Instant};
 
 use nvfi::{DevicePool, EmulationPlatform, GoldenActivationCache, QuantizedEvalSet};
 use nvfi_accel::FaultConfig;
+use nvfi_obs::progress;
 use nvfi_tensor::{Shape4, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -47,7 +48,7 @@ use rand::{Rng, SeedableRng};
 use crate::chaos::ChaosStream;
 use crate::codec::WireError;
 use crate::coordinator::DistError;
-use crate::wire::{self, Msg, WireConfig, WireFault};
+use crate::wire::{self, Msg, WireConfig, WireFault, WireSpan};
 
 /// Environment variable carrying the coordinator address a worker process
 /// must connect to (consumed by [`maybe_serve`] and the `nvfi_worker` bin).
@@ -254,20 +255,22 @@ pub fn maybe_serve() {
         match result {
             Ok(ServeEnd::Shutdown) => std::process::exit(0),
             Ok(ServeEnd::Goodbye(reason)) => {
-                eprintln!("nvfi worker ({addr}): released by coordinator: {reason}");
+                progress::note(format!(
+                    "nvfi worker ({addr}): released by coordinator: {reason}"
+                ));
                 std::process::exit(0);
             }
             Err(DistError::Io(_) | DistError::Wire(WireError::Crc { .. })) if attempt < 16 => {
                 attempt += 1;
                 let delay = backoff_delay(attempt, &mut rng);
-                eprintln!(
+                progress::note(format!(
                     "nvfi worker ({addr}): transient session failure, \
                      reconnect attempt {attempt} in {delay:?}"
-                );
+                ));
                 std::thread::sleep(delay);
             }
             Err(e) => {
-                eprintln!("nvfi worker ({addr}): {e}");
+                progress::note(format!("nvfi worker ({addr}): {e}"));
                 std::process::exit(1);
             }
         }
@@ -351,10 +354,10 @@ pub fn serve_forever(addr: &str) -> Result<(), DistError> {
             Ok(ServeEnd::Goodbye(reason)) => {
                 attempt += 1;
                 let delay = backoff_delay(attempt, &mut rng);
-                eprintln!(
+                progress::note(format!(
                     "nvfi worker ({addr}): turned away ({reason}); \
                      retrying for a later campaign in {delay:?}"
-                );
+                ));
                 std::thread::sleep(delay);
             }
             // Transient transport failure — the coordinator tearing down,
@@ -364,10 +367,10 @@ pub fn serve_forever(addr: &str) -> Result<(), DistError> {
             Err(DistError::Io(_) | DistError::Wire(WireError::Crc { .. })) if attempt < 16 => {
                 attempt += 1;
                 let delay = backoff_delay(attempt, &mut rng);
-                eprintln!(
+                progress::note(format!(
                     "nvfi worker ({addr}): transient session failure, \
                      reconnect attempt {attempt} in {delay:?}"
-                );
+                ));
                 std::thread::sleep(delay);
             }
             Err(e) => return Err(e),
@@ -525,7 +528,12 @@ pub fn serve_with_cache<S: Read + Write>(
                 )
             }
             Msg::WorkerErr { message } => return Err(DistError::Worker(message)),
-            Msg::Hello { .. } | Msg::ShardDone { .. } | Msg::Pong | Msg::HaveArtifacts { .. } => {
+            Msg::Hello { .. }
+            | Msg::ShardDone { .. }
+            | Msg::Pong
+            | Msg::HaveArtifacts { .. }
+            | Msg::StatsQuery
+            | Msg::Stats { .. } => {
                 return report_and_fail(
                     stream,
                     DistError::Protocol("unexpected message for a worker"),
@@ -686,13 +694,25 @@ fn run_shard<S: Read + Write>(
     let wave = session.wave.max(1);
     let mut preds = Vec::with_capacity(end - start);
     let mut at = start;
+    // Measure each compute wave; the shard reply piggybacks the timings as
+    // a compact, shard-relative span summary (advisory, never attested).
+    let shard_t0 = std::time::Instant::now();
+    let mut spans = Vec::new();
     while at < end {
         let stop = (at + wave).min(end);
+        let wave_off = shard_t0.elapsed().as_micros() as u64;
         preds.extend(if windowed {
             pool.classify_i8_golden_range(qset, at..stop, golden)?
         } else {
             pool.classify_i8_range(qset, at..stop)?
         });
+        if spans.len() + 1 < wire::MAX_SHARD_SPANS {
+            spans.push(WireSpan {
+                name: "worker.wave".into(),
+                start_us: wave_off,
+                dur_us: (shard_t0.elapsed().as_micros() as u64).saturating_sub(wave_off),
+            });
+        }
         at = stop;
         if at < end {
             // Heartbeat between waves: proof of life, not completion. The
@@ -702,6 +722,11 @@ fn run_shard<S: Read + Write>(
     }
     pool.clear_faults();
     pool.set_fault_window(None)?;
+    spans.push(WireSpan {
+        name: "worker.execute".into(),
+        start_us: 0,
+        dur_us: shard_t0.elapsed().as_micros() as u64,
+    });
     if corrupt {
         // Byzantine hook: flip every prediction's low bit, keeping the
         // reply well-formed and (below) self-consistently attested.
@@ -722,5 +747,6 @@ fn run_shard<S: Read + Write>(
         end: end as u32,
         attest,
         preds,
+        spans,
     })
 }

@@ -6,7 +6,7 @@
 
 use nvfi_accel::FaultKind;
 use nvfi_dist::chaos::{ChaosAction, ChaosPlan, ChaosStream};
-use nvfi_dist::wire::{self, Msg, WireConfig, WireFault};
+use nvfi_dist::wire::{self, Msg, WireConfig, WireFault, WireSpan};
 use nvfi_dist::WireError;
 use proptest::prelude::*;
 
@@ -162,15 +162,40 @@ proptest! {
         start in 0u32..100_000,
         attest in any::<u64>(),
         preds in collection::vec(0u32..256, 0..512usize),
+        spans in collection::vec(
+            (0usize..4, 0u64..(1 << 40), 0u64..(1 << 30)),
+            0..8usize,
+        ),
     ) {
         let preds: Vec<u8> = preds.iter().map(|&p| p as u8).collect();
+        let names = ["worker.wave", "worker.execute", "a", ""];
+        let spans: Vec<WireSpan> = spans
+            .iter()
+            .map(|&(n, start_us, dur_us)| WireSpan {
+                name: names[n].to_string(),
+                start_us,
+                dur_us,
+            })
+            .collect();
         exercise(&Msg::ShardDone {
             work_id,
             start,
             end: start + preds.len() as u32,
             attest,
             preds,
+            spans,
         });
+    }
+
+    /// The stats poll pair (`StatsQuery` → `Stats`) round-trips for any
+    /// Prometheus text payload, empty included.
+    #[test]
+    fn stats_query_and_reply_roundtrip(len in 0usize..300, seed in any::<u32>()) {
+        exercise(&Msg::StatsQuery);
+        let text: String = (0..len)
+            .map(|i| char::from(b' ' + (((i as u32).wrapping_mul(seed)) % 94) as u8))
+            .collect();
+        exercise(&Msg::Stats { text });
     }
 
     #[test]
@@ -300,6 +325,11 @@ proptest! {
                 end: preds.len() as u32,
                 attest: 0xDEAD_BEEF_F00D_CAFE,
                 preds: preds.iter().map(|&p| p as u8).collect(),
+                spans: vec![WireSpan {
+                    name: "worker.execute".to_string(),
+                    start_us: 0,
+                    dur_us: 1234,
+                }],
             },
             Msg::Ping,
             Msg::Shutdown,

@@ -11,6 +11,7 @@
 //! | `truncating-cast` | No `as u8`/`as u16`/`as u32` casts in length/byte-size arithmetic anywhere in `dist/src` — a silently wrapped length is how a 4 GiB frame becomes a 0-byte read. Use `try_from` or an asserted guard. |
 //! | `msg-tag-coverage` | Every `TAG_*` wire tag is matched by a decode arm, and every [`Msg`] variant round-trips through the codec property tests — a tag without a decode arm is a frame the fleet cannot parse. |
 //! | `forbid-unsafe` | Every crate root in the workspace declares `#![forbid(unsafe_code)]`: the emulator is a *model*, and a model with UB proves nothing. |
+//! | `bare-eprintln` | No `eprintln!`/`eprint!` in `core/src` or `dist/src` outside `#[cfg(test)]`: human-facing progress goes through the one `nvfi_obs::progress` renderer (structured events, one lock, stable formats) so concurrent pool/fleet threads never interleave partial lines and downstream log parsers see one grammar. |
 //!
 //! A finding the author has justified is silenced with an allow comment on
 //! the offending line or the line directly above it:
@@ -41,6 +42,8 @@ pub const RULE_TRUNCATING_CAST: &str = "truncating-cast";
 pub const RULE_MSG_TAG_COVERAGE: &str = "msg-tag-coverage";
 /// Every crate root forbids `unsafe`.
 pub const RULE_FORBID_UNSAFE: &str = "forbid-unsafe";
+/// Progress output goes through `nvfi_obs::progress`, not raw stderr.
+pub const RULE_BARE_EPRINTLN: &str = "bare-eprintln";
 
 /// One finding: a named rule tripped at a file and line.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -420,6 +423,37 @@ pub fn check_msg_tag_coverage(
     out
 }
 
+/// `bare-eprintln`: flags `eprintln!`/`eprint!` in the non-test region of a
+/// core/dist source file — progress output must go through the structured
+/// `nvfi_obs::progress` renderer instead, so emit sites stay declarative
+/// and concurrent threads never interleave partial lines.
+#[must_use]
+pub fn check_bare_eprintln(file: &str, source: &str) -> Vec<Violation> {
+    let stripped = strip_comments_and_strings(source);
+    let stripped_lines: Vec<&str> = stripped.lines().collect();
+    let original_lines: Vec<&str> = source.lines().collect();
+    let limit = non_test_line_count(&stripped_lines);
+    let mut out = Vec::new();
+    for (idx, line) in stripped_lines.iter().take(limit).enumerate() {
+        if !(line.contains("eprintln!") || line.contains("eprint!")) {
+            continue;
+        }
+        if allowed(&original_lines, idx, RULE_BARE_EPRINTLN) {
+            continue;
+        }
+        out.push(Violation {
+            rule: RULE_BARE_EPRINTLN,
+            file: file.to_string(),
+            line: idx + 1,
+            detail: "bare eprintln!/eprint! in core/dist; emit a structured \
+                     `nvfi_obs::progress::Event` (or `progress::note`) so the \
+                     single renderer owns stderr"
+                .to_string(),
+        });
+    }
+    out
+}
+
 /// `forbid-unsafe`: a crate root must declare `#![forbid(unsafe_code)]`.
 #[must_use]
 pub fn check_forbid_unsafe(file: &str, source: &str) -> Vec<Violation> {
@@ -480,6 +514,25 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
             path.file_name().unwrap_or_default().to_string_lossy()
         );
         out.extend(check_truncating_casts(&rel, &read(root, &rel)?));
+    }
+
+    // bare-eprintln polices every core and dist source file, the dist
+    // binaries included (read_dir does not recurse, so `src/bin` is listed
+    // explicitly).
+    for dir in ["crates/core/src", "crates/dist/src", "crates/dist/src/bin"] {
+        let mut files: Vec<PathBuf> = fs::read_dir(root.join(dir))?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+            .collect();
+        files.sort();
+        for path in files {
+            let rel = format!(
+                "{dir}/{}",
+                path.file_name().unwrap_or_default().to_string_lossy()
+            );
+            out.extend(check_bare_eprintln(&rel, &read(root, &rel)?));
+        }
     }
 
     out.extend(check_msg_tag_coverage(
@@ -617,6 +670,25 @@ fn decode(tag: u8) {
         assert_eq!(v.len(), 2);
         assert!(v[0].detail.contains("TAG_B"), "{}", v[0]);
         assert!(v[1].detail.contains("Msg::Beta"), "{}", v[1]);
+    }
+
+    #[test]
+    fn bare_eprintln_flags_raw_stderr_but_respects_tests_and_allows() {
+        let src = "fn f() {\n    eprintln!(\"progress {}\", 1);\n}\n";
+        let v = check_bare_eprintln("f.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RULE_BARE_EPRINTLN);
+        assert_eq!(v[0].line, 2);
+        // A mention in a comment or string never trips the rule.
+        let quiet = "// eprintln! is banned here\nlet s = \"eprintln!\";\n";
+        assert!(check_bare_eprintln("f.rs", quiet).is_empty());
+        // Test modules may print freely.
+        let test_only = "#[cfg(test)]\nmod tests {\n    fn t() { eprintln!(\"x\"); }\n}\n";
+        assert!(check_bare_eprintln("f.rs", test_only).is_empty());
+        // An allow comment silences a justified site.
+        let allowed =
+            "// nvfi-lint: allow(bare-eprintln) — panic handler, renderer unusable\neprintln!(\"x\");\n";
+        assert!(check_bare_eprintln("f.rs", allowed).is_empty());
     }
 
     #[test]

@@ -15,9 +15,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use nvfi_lint::{
-    check_decode_panics, check_forbid_unsafe, check_msg_tag_coverage, check_truncating_casts,
-    lint_workspace, Violation, RULE_DECODE_PANIC, RULE_FORBID_UNSAFE, RULE_MSG_TAG_COVERAGE,
-    RULE_TRUNCATING_CAST,
+    check_bare_eprintln, check_decode_panics, check_forbid_unsafe, check_msg_tag_coverage,
+    check_truncating_casts, lint_workspace, Violation, RULE_BARE_EPRINTLN, RULE_DECODE_PANIC,
+    RULE_FORBID_UNSAFE, RULE_MSG_TAG_COVERAGE, RULE_TRUNCATING_CAST,
 };
 
 /// Walks up from the current directory to the first `Cargo.toml` that
@@ -67,6 +67,13 @@ fn self_test() -> ExitCode {
         (
             RULE_FORBID_UNSAFE,
             check_forbid_unsafe("self-test/lib.rs", "pub fn root_without_forbid() {}\n"),
+        ),
+        (
+            RULE_BARE_EPRINTLN,
+            check_bare_eprintln(
+                "self-test/progress.rs",
+                "fn tick(done: usize) {\n    eprintln!(\"done {done}\");\n}\n",
+            ),
         ),
     ];
     let mut failed = false;

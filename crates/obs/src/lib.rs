@@ -1,0 +1,42 @@
+//! `nvfi_obs` — the observability core shared by every layer of the fabric.
+//!
+//! The crate has three pieces, all std-only and dependency-free:
+//!
+//! * [`metrics`] — a process-wide registry of named counters, gauges and
+//!   fixed log2-bucket histograms, rendered as Prometheus text exposition.
+//!   The scattered per-crate test probes (`quantization_passes`,
+//!   `golden_prefix_passes`, the wire serialize-once counters) are thin
+//!   wrappers over registry counters, so tests and dashboards read the
+//!   same numbers.
+//! * [`trace`] — a lock-light span/event recorder ("flight recorder").
+//!   Emitting threads append to a thread-local buffer; buffers drain into
+//!   one bounded global ring. When the ring is full the *oldest* events
+//!   are dropped (and counted), never the newest. The whole recorder is
+//!   gated on a single relaxed atomic, so a disabled span costs one load
+//!   and no clock read. Snapshots export as chrome-trace JSON loadable in
+//!   `about:tracing` / Perfetto.
+//! * [`progress`] — the single human-facing renderer for campaign
+//!   progress. All verbose output across core/dist funnels through one
+//!   mutex here, which both prevents interleaved-line corruption and lets
+//!   the done/total tick counter stay monotonic with the printed line.
+//!
+//! # Ring memory model
+//!
+//! Events written by a thread become visible to exporters via two
+//! ordinary mutex hand-offs: the thread-local buffer flushes into the
+//! global ring under the ring mutex (on overflow past the flush
+//! watermark, and on thread exit via the buffer's `Drop`), and
+//! [`trace::snapshot`] clones the ring under the same mutex after first
+//! flushing the *calling* thread's buffer. There is no lock-free
+//! publication: a snapshot therefore observes every event flushed before
+//! it, plus the caller's own unflushed tail, but may miss the most recent
+//! (< watermark) events of other still-running threads. Campaign code
+//! exports after joining its workers, so completed runs lose nothing.
+//! The enable flag and the drop counter use relaxed atomics — they gate
+//! and count, they do not order.
+
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod progress;
+pub mod trace;

@@ -1,0 +1,246 @@
+//! Process-wide metrics registry: named counters, gauges and log2-bucket
+//! histograms with a Prometheus text exposition.
+//!
+//! Handles are cheap `Arc` clones over atomics; the registry lock is only
+//! taken at registration (and rendering) time, so the hot path — bumping a
+//! counter or observing a histogram sample — is a relaxed atomic op.
+//! Callers are expected to cache handles in a `OnceLock` at the call site:
+//!
+//! ```
+//! use std::sync::OnceLock;
+//! use nvfi_obs::metrics::{self, Counter};
+//!
+//! static PASSES: OnceLock<Counter> = OnceLock::new();
+//! fn passes() -> &'static Counter {
+//!     PASSES.get_or_init(|| metrics::counter("quantization_passes"))
+//! }
+//! passes().inc();
+//! assert!(metrics::render_prometheus().contains("quantization_passes"));
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (queue depths, live workers).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets. Bucket `i` counts samples `v` with
+/// `v < 2^i` (cumulatively: bit-length of `v` ≤ `i`), so 32 buckets cover
+/// microsecond timings up to ~35 minutes before the overflow bucket.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+struct HistogramInner {
+    /// `buckets[i]` counts samples whose bit length is exactly `i`
+    /// (i.e. `2^(i-1) <= v < 2^i`, with `v = 0` in bucket 0). The
+    /// Prometheus rendering accumulates these into cumulative `le` series.
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A histogram with fixed log2 buckets.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    pub fn observe(&self, v: u64) {
+        let bits = (u64::BITS - v.leading_zeros()) as usize;
+        let idx = bits.min(HISTOGRAM_BUCKETS - 1);
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+static REGISTRY: OnceLock<Mutex<BTreeMap<String, Metric>>> = OnceLock::new();
+
+fn registry() -> MutexGuard<'static, BTreeMap<String, Metric>> {
+    REGISTRY
+        .get_or_init(|| Mutex::new(BTreeMap::new()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Fetch (registering on first use) the counter named `name`.
+///
+/// Panics if `name` is already registered as a different metric kind —
+/// that is a programming error, not a runtime condition.
+#[must_use]
+pub fn counter(name: &str) -> Counter {
+    let mut reg = registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))))
+    {
+        Metric::Counter(c) => c.clone(),
+        _ => panic!("metric {name:?} already registered with a different kind"),
+    }
+}
+
+/// Fetch (registering on first use) the gauge named `name`.
+#[must_use]
+pub fn gauge(name: &str) -> Gauge {
+    let mut reg = registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicI64::new(0)))))
+    {
+        Metric::Gauge(g) => g.clone(),
+        _ => panic!("metric {name:?} already registered with a different kind"),
+    }
+}
+
+/// Fetch (registering on first use) the histogram named `name`.
+#[must_use]
+pub fn histogram(name: &str) -> Histogram {
+    let mut reg = registry();
+    match reg.entry(name.to_string()).or_insert_with(|| {
+        Metric::Histogram(Histogram(Arc::new(HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        })))
+    }) {
+        Metric::Histogram(h) => h.clone(),
+        _ => panic!("metric {name:?} already registered with a different kind"),
+    }
+}
+
+/// Render every registered metric as Prometheus text exposition
+/// (metrics are prefixed `nvfi_`; histograms get cumulative `le` buckets
+/// plus `_sum`/`_count` series).
+#[must_use]
+pub fn render_prometheus() -> String {
+    let reg = registry();
+    let mut out = String::new();
+    for (name, metric) in reg.iter() {
+        match metric {
+            Metric::Counter(c) => {
+                let _ = writeln!(out, "# TYPE nvfi_{name} counter");
+                let _ = writeln!(out, "nvfi_{name} {}", c.get());
+            }
+            Metric::Gauge(g) => {
+                let _ = writeln!(out, "# TYPE nvfi_{name} gauge");
+                let _ = writeln!(out, "nvfi_{name} {}", g.get());
+            }
+            Metric::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE nvfi_{name} histogram");
+                let mut cum = 0u64;
+                for (i, b) in h.0.buckets.iter().enumerate() {
+                    cum += b.load(Ordering::Relaxed);
+                    if i + 1 == HISTOGRAM_BUCKETS {
+                        let _ = writeln!(out, "nvfi_{name}_bucket{{le=\"+Inf\"}} {cum}");
+                    } else {
+                        // Bucket i holds bit-lengths <= i, i.e. v < 2^i.
+                        let le = (1u64 << i) - 1;
+                        let _ = writeln!(out, "nvfi_{name}_bucket{{le=\"{le}\"}} {cum}");
+                    }
+                }
+                let _ = writeln!(out, "nvfi_{name}_sum {}", h.sum());
+                let _ = writeln!(out, "nvfi_{name}_count {}", h.count());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_roundtrip_and_render() {
+        let c = counter("test_metric_counter");
+        let before = c.get();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), before + 5);
+        // A second fetch observes the same underlying cell.
+        assert_eq!(counter("test_metric_counter").get(), before + 5);
+        let text = render_prometheus();
+        assert!(text.contains("# TYPE nvfi_test_metric_counter counter"));
+        assert!(text.contains(&format!("nvfi_test_metric_counter {}", before + 5)));
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = gauge("test_metric_gauge");
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let h = histogram("test_metric_histo");
+        for v in [0u64, 1, 2, 3, 900, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        let text = render_prometheus();
+        // v=0 and v=1 land below le=1; everything lands below +Inf.
+        assert!(text.contains("nvfi_test_metric_histo_bucket{le=\"1\"} 2"));
+        assert!(text.contains("nvfi_test_metric_histo_bucket{le=\"+Inf\"} 6"));
+        assert!(text.contains("nvfi_test_metric_histo_count 6"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let _ = counter("test_metric_kind_clash");
+        let _ = gauge("test_metric_kind_clash");
+    }
+}

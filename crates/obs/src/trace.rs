@@ -1,0 +1,520 @@
+//! The flight recorder: a lock-light span/event tracer with a bounded
+//! global ring and chrome-trace JSON export.
+//!
+//! Emit sites create RAII [`Span`]s or fire instant [`event`]s. When
+//! tracing is disabled (the default) both cost a single relaxed atomic
+//! load — no clock read, no allocation. When enabled, completed spans are
+//! appended to a thread-local buffer that drains into the global ring
+//! every [`FLUSH_AT`] events and on thread exit; see the crate docs for
+//! the ring's memory model.
+//!
+//! Enabling:
+//! * `NVFI_TRACE=1` — record only (programmatic snapshot/export).
+//! * `NVFI_TRACE=path.json` — record, and campaign entry points export a
+//!   chrome-trace JSON file to `path.json` on completion (load it in
+//!   `about:tracing` or Perfetto).
+//! * [`set_enabled`] — programmatic override (benches, tests).
+
+use std::borrow::Cow;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, Once, OnceLock};
+use std::time::Instant;
+
+use crate::metrics::{self, Counter};
+
+/// Capacity of the global ring. Overflow drops the *oldest* events and
+/// bumps the `trace_dropped` counter.
+pub const RING_CAP: usize = 65_536;
+
+/// Thread-local buffer watermark: buffers drain into the ring once they
+/// hold this many events (and on thread exit).
+pub const FLUSH_AT: usize = 128;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+/// Identity attached to every span/event, inherited from the emitting
+/// thread's context (see [`with_ids`]). Zero means "unset".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Ids {
+    pub campaign: u64,
+    pub client: u64,
+    pub worker: u64,
+    pub shard: u64,
+}
+
+/// What a [`TraceEvent`] records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A duration (chrome-trace `ph:"X"`).
+    Span,
+    /// An instant (chrome-trace `ph:"i"`).
+    Instant,
+}
+
+/// One recorded event. `ts_us`/`dur_us` are microseconds relative to the
+/// process-wide [`epoch`].
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    pub name: Cow<'static, str>,
+    pub kind: EventKind,
+    pub ts_us: u64,
+    pub dur_us: u64,
+    pub tid: u64,
+    pub ids: Ids,
+}
+
+thread_local! {
+    static CONTEXT: Cell<Ids> = const { Cell::new(Ids { campaign: 0, client: 0, worker: 0, shard: 0 }) };
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    static BUFFER: BufferGuard = const { BufferGuard(RefCell::new(Vec::new())) };
+}
+
+/// Thread-local event buffer; `Drop` flushes the tail into the ring when
+/// the owning thread exits.
+struct BufferGuard(RefCell<Vec<TraceEvent>>);
+
+impl Drop for BufferGuard {
+    fn drop(&mut self) {
+        let events = std::mem::take(&mut *self.0.borrow_mut());
+        if !events.is_empty() {
+            flush_into_ring(events);
+        }
+    }
+}
+
+fn ring() -> MutexGuard<'static, VecDeque<TraceEvent>> {
+    static RING: OnceLock<Mutex<VecDeque<TraceEvent>>> = OnceLock::new();
+    RING.get_or_init(|| Mutex::new(VecDeque::new()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn dropped_counter() -> &'static Counter {
+    static DROPPED: OnceLock<Counter> = OnceLock::new();
+    DROPPED.get_or_init(|| metrics::counter("trace_dropped"))
+}
+
+/// The process-wide trace epoch: all timestamps are microseconds since
+/// the first observability call in the process.
+pub fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since [`epoch`].
+#[must_use]
+pub fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+/// Is the recorder on? First call latches the `NVFI_TRACE` environment
+/// knob; [`set_enabled`] overrides it afterwards.
+#[must_use]
+pub fn is_enabled() -> bool {
+    ENV_INIT.call_once(|| {
+        if std::env::var_os("NVFI_TRACE").is_some_and(|v| !v.is_empty()) {
+            ENABLED.store(true, Ordering::Relaxed);
+        }
+    });
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Programmatically switch the recorder on/off (wins over `NVFI_TRACE`).
+pub fn set_enabled(on: bool) {
+    ENV_INIT.call_once(|| {});
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// The chrome-trace output path, when `NVFI_TRACE` names a file
+/// (anything other than empty/`1`).
+#[must_use]
+pub fn export_path() -> Option<PathBuf> {
+    let v = std::env::var("NVFI_TRACE").ok()?;
+    if v.is_empty() || v == "1" {
+        return None;
+    }
+    Some(PathBuf::from(v))
+}
+
+/// Export to the `NVFI_TRACE` path if one is configured. Campaign entry
+/// points call this on completion; errors are reported as a progress
+/// note rather than failing the campaign.
+pub fn maybe_export() {
+    if let Some(path) = export_path() {
+        if let Err(e) = export_chrome(&path) {
+            crate::progress::note(format!(
+                "nvfi-obs: trace export to {} failed: {e}",
+                path.display()
+            ));
+        }
+    }
+}
+
+/// Install `ids` as the current thread's span context; the returned guard
+/// restores the previous context on drop (contexts nest).
+#[must_use]
+pub fn with_ids(ids: Ids) -> IdsGuard {
+    let prev = CONTEXT.get();
+    CONTEXT.set(ids);
+    IdsGuard { prev }
+}
+
+/// Current thread's span context.
+#[must_use]
+pub fn current_ids() -> Ids {
+    CONTEXT.get()
+}
+
+pub struct IdsGuard {
+    prev: Ids,
+}
+
+impl Drop for IdsGuard {
+    fn drop(&mut self) {
+        CONTEXT.set(self.prev);
+    }
+}
+
+/// An RAII span: records a duration event from creation to drop. When the
+/// recorder is off at creation this is inert (no clock read).
+pub struct Span {
+    name: &'static str,
+    start_us: u64,
+    live: bool,
+}
+
+/// Open a span named `name`.
+#[must_use]
+pub fn span(name: &'static str) -> Span {
+    if !is_enabled() {
+        return Span {
+            name,
+            start_us: 0,
+            live: false,
+        };
+    }
+    Span {
+        name,
+        start_us: now_us(),
+        live: true,
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.live {
+            let end = now_us();
+            push(TraceEvent {
+                name: Cow::Borrowed(self.name),
+                kind: EventKind::Span,
+                ts_us: self.start_us,
+                dur_us: end.saturating_sub(self.start_us),
+                tid: TID.with(|t| *t),
+                ids: CONTEXT.get(),
+            });
+        }
+    }
+}
+
+/// Fire an instant event named `name`.
+pub fn event(name: &'static str) {
+    if is_enabled() {
+        push(TraceEvent {
+            name: Cow::Borrowed(name),
+            kind: EventKind::Instant,
+            ts_us: now_us(),
+            dur_us: 0,
+            tid: TID.with(|t| *t),
+            ids: CONTEXT.get(),
+        });
+    }
+}
+
+/// Record a span observed elsewhere (e.g. a worker's span summary shipped
+/// over the wire) with explicit timestamp, lane and identity.
+pub fn import_span(
+    name: impl Into<Cow<'static, str>>,
+    ts_us: u64,
+    dur_us: u64,
+    tid: u64,
+    ids: Ids,
+) {
+    if is_enabled() {
+        push(TraceEvent {
+            name: name.into(),
+            kind: EventKind::Span,
+            ts_us,
+            dur_us,
+            tid,
+            ids,
+        });
+    }
+}
+
+fn push(ev: TraceEvent) {
+    let flush = BUFFER.with(|b| {
+        let mut buf = b.0.borrow_mut();
+        buf.push(ev);
+        if buf.len() >= FLUSH_AT {
+            Some(std::mem::take(&mut *buf))
+        } else {
+            None
+        }
+    });
+    if let Some(events) = flush {
+        flush_into_ring(events);
+    }
+}
+
+fn flush_into_ring(events: Vec<TraceEvent>) {
+    let mut ring = ring();
+    let mut dropped = 0u64;
+    for ev in events {
+        if ring.len() >= RING_CAP {
+            ring.pop_front();
+            dropped += 1;
+        }
+        ring.push_back(ev);
+    }
+    drop(ring);
+    if dropped > 0 {
+        dropped_counter().add(dropped);
+    }
+}
+
+/// Flush the calling thread's buffer into the ring.
+pub fn flush() {
+    let events = BUFFER.with(|b| std::mem::take(&mut *b.0.borrow_mut()));
+    if !events.is_empty() {
+        flush_into_ring(events);
+    }
+}
+
+/// Total events evicted from the ring by overflow, process-wide.
+#[must_use]
+pub fn dropped() -> u64 {
+    dropped_counter().get()
+}
+
+/// Flush the calling thread, then clone the ring contents (oldest first).
+/// The ring is *not* drained: repeated snapshots/exports are cumulative.
+#[must_use]
+pub fn snapshot() -> Vec<TraceEvent> {
+    flush();
+    ring().iter().cloned().collect()
+}
+
+/// Drop every recorded event (tests and benches that want isolation).
+pub fn clear() {
+    flush();
+    ring().clear();
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Write a chrome-trace JSON array of the current snapshot to `path`.
+/// Returns the number of events written. The file loads directly in
+/// `about:tracing` and Perfetto.
+pub fn export_chrome(path: &Path) -> io::Result<usize> {
+    use std::fmt::Write as _;
+    let events = snapshot();
+    let mut out = String::with_capacity(events.len() * 128 + 2);
+    out.push_str("[\n");
+    for (i, ev) in events.iter().enumerate() {
+        let ph = match ev.kind {
+            EventKind::Span => "X",
+            EventKind::Instant => "i",
+        };
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"ph\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{}",
+            json_escape(&ev.name),
+            ph,
+            ev.tid,
+            ev.ts_us,
+        );
+        match ev.kind {
+            EventKind::Span => {
+                let _ = write!(out, ",\"dur\":{}", ev.dur_us);
+            }
+            EventKind::Instant => out.push_str(",\"s\":\"t\""),
+        }
+        let _ = write!(
+            out,
+            ",\"args\":{{\"campaign\":{},\"client\":{},\"worker\":{},\"shard\":{}}}}}",
+            ev.ids.campaign, ev.ids.client, ev.ids.worker, ev.ids.shard,
+        );
+        out.push_str(if i + 1 == events.len() { "\n" } else { ",\n" });
+    }
+    out.push(']');
+    std::fs::write(path, out)?;
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The recorder is process-global state (one ring, one enable bit), so
+    /// tests that toggle it serialize on this lock.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock_recorder() -> MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn concurrent_emit_never_panics_or_deadlocks() {
+        let _g = lock_recorder();
+        set_enabled(true);
+        clear();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let _ctx = with_ids(Ids {
+                        worker: 7,
+                        ..Ids::default()
+                    });
+                    for i in 0..500 {
+                        let _s = span("test.span");
+                        if i % 16 == 0 {
+                            event("test.instant");
+                        }
+                        if i % 64 == 0 {
+                            flush();
+                        }
+                    }
+                    // `thread::scope` may return before TLS destructors run,
+                    // so flush the tail explicitly rather than relying on
+                    // BufferGuard's exit flush here.
+                    flush();
+                });
+            }
+        });
+        let events = snapshot();
+        // 8 threads × (500 spans + ceil(500/16) instants), all landed (or
+        // evicted — this test alone stays far below RING_CAP).
+        assert_eq!(events.len(), 8 * (500 + 32));
+        assert!(events.iter().all(|e| e.ids.worker == 7));
+        set_enabled(false);
+        clear();
+    }
+
+    #[test]
+    fn ring_overflow_drops_oldest_and_counts() {
+        let _g = lock_recorder();
+        set_enabled(true);
+        clear();
+        let dropped_before = dropped();
+        let extra = 100u64;
+        for i in 0..(RING_CAP as u64 + extra) {
+            // Distinct timestamps make eviction order observable.
+            import_span("test.fill", i, 1, 1, Ids::default());
+        }
+        flush();
+        let events = snapshot();
+        assert_eq!(events.len(), RING_CAP);
+        // The *oldest* events were evicted: the survivors start at `extra`.
+        assert_eq!(events.first().unwrap().ts_us, extra);
+        assert_eq!(events.last().unwrap().ts_us, RING_CAP as u64 + extra - 1);
+        assert_eq!(dropped() - dropped_before, extra);
+        set_enabled(false);
+        clear();
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing_and_skips_the_clock() {
+        let _g = lock_recorder();
+        set_enabled(false);
+        clear();
+        for _ in 0..100_000 {
+            let s = span("test.disabled");
+            // Inert span: no clock read happened at creation.
+            assert_eq!(s.start_us, 0);
+            assert!(!s.live);
+            event("test.disabled.instant");
+        }
+        flush();
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn id_contexts_nest_and_restore() {
+        let _g = lock_recorder();
+        let outer = Ids {
+            campaign: 1,
+            ..Ids::default()
+        };
+        let inner = Ids {
+            campaign: 1,
+            shard: 4,
+            ..Ids::default()
+        };
+        let base = current_ids();
+        {
+            let _a = with_ids(outer);
+            assert_eq!(current_ids(), outer);
+            {
+                let _b = with_ids(inner);
+                assert_eq!(current_ids(), inner);
+            }
+            assert_eq!(current_ids(), outer);
+        }
+        assert_eq!(current_ids(), base);
+    }
+
+    #[test]
+    fn chrome_export_is_wellformed_and_cumulative() {
+        let _g = lock_recorder();
+        set_enabled(true);
+        clear();
+        import_span(
+            "test.export \"quoted\"",
+            10,
+            5,
+            3,
+            Ids {
+                worker: 3,
+                ..Ids::default()
+            },
+        );
+        event("test.export.instant");
+        let path =
+            std::env::temp_dir().join(format!("nvfi_obs_export_{}.json", std::process::id()));
+        let first = export_chrome(&path).unwrap();
+        assert_eq!(first, 2);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("[\n") && text.ends_with(']'));
+        assert!(text.contains("\"name\":\"test.export \\\"quoted\\\"\""));
+        assert!(text.contains("\"ph\":\"X\"") && text.contains("\"dur\":5"));
+        assert!(text.contains("\"ph\":\"i\"") && text.contains("\"s\":\"t\""));
+        assert!(text.contains("\"worker\":3"));
+        // Snapshots are cumulative: a later export still has the old events.
+        event("test.export.later");
+        let second = export_chrome(&path).unwrap();
+        assert_eq!(second, 3);
+        let _ = std::fs::remove_file(&path);
+        set_enabled(false);
+        clear();
+    }
+}

@@ -14,12 +14,17 @@
 //! campaign performs exactly **one** eval-set quantization, i.e. that no
 //! per-work-item or per-shard re-quantization crept back into the hot path.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 use nvfi_hwnum::sat;
+use nvfi_obs::metrics::{self, Counter};
 
-/// Process-wide count of batch-quantization passes (not elements).
-static PASSES: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of batch-quantization passes (not elements), backed
+/// by the `nvfi_obs` metrics registry under `quantization_passes`.
+fn passes() -> &'static Counter {
+    static PASSES: OnceLock<Counter> = OnceLock::new();
+    PASSES.get_or_init(|| metrics::counter("quantization_passes"))
+}
 
 /// Number of batch-quantization passes performed by this process so far.
 ///
@@ -28,7 +33,7 @@ static PASSES: AtomicU64 = AtomicU64::new(0);
 /// with other quantizing tests (give them their own test binary).
 #[must_use]
 pub fn quantization_passes() -> u64 {
-    PASSES.load(Ordering::Relaxed)
+    passes().get()
 }
 
 /// Quantizes a dense f32 slice to i8 into `dst` (cleared and refilled), and
@@ -36,7 +41,7 @@ pub fn quantization_passes() -> u64 {
 pub fn quantize_slice_into(src: &[f32], scale: f32, dst: &mut Vec<i8>) {
     dst.clear();
     dst.extend(src.iter().map(|&v| sat::quantize_f32_to_i8(v, scale)));
-    PASSES.fetch_add(1, Ordering::Relaxed);
+    passes().inc();
 }
 
 /// Allocating convenience wrapper around [`quantize_slice_into`].
